@@ -1,0 +1,42 @@
+//! Criterion bench: the E4/E5 decision procedures — witness search cost
+//! for `T_n` and `S_n` as `n` grows (exponential in `n`, exact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_core::{find_discerning_witness, find_recording_witness};
+use rc_spec::types::{Sn, Tn};
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    for n in [4usize, 5, 6, 7] {
+        let tn = Tn::new(n);
+        group.bench_with_input(BenchmarkId::new("tn_discerning", n), &n, |b, &n| {
+            b.iter(|| {
+                let w = find_discerning_witness(&tn, n);
+                assert!(w.is_some());
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("tn_not_recording_n_minus_1", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let w = find_recording_witness(&tn, n - 1);
+                    assert!(w.is_none());
+                })
+            },
+        );
+    }
+    for n in [3usize, 5, 7] {
+        let sn = Sn::new(n);
+        group.bench_with_input(BenchmarkId::new("sn_recording", n), &n, |b, &n| {
+            b.iter(|| {
+                let w = find_recording_witness(&sn, n);
+                assert!(w.is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: the bounded-exhaustive model checker — states/sec on
+//! the Fig. 2 verification workload, versus crash budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_core::algorithms::build_team_rc_system;
+use rc_core::{check_recording, Assignment};
+use rc_runtime::{explore, ExploreConfig};
+use rc_spec::types::Sn;
+use rc_spec::{TypeHandle, Value};
+use std::sync::Arc;
+
+fn bench_explorer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer");
+    group.sample_size(10);
+    let n = 3;
+    let sn = Sn::new(n);
+    let w = check_recording(
+        &sn,
+        &Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]),
+    )
+    .expect("S_3 witness");
+    let ty: TypeHandle = Arc::new(sn);
+    let mut inputs = vec![Value::Int(0)];
+    inputs.extend(vec![Value::Int(1); n - 1]);
+    for budget in [0usize, 1, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("fig2_s3_crash_budget", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let outcome = explore(
+                        &|| build_team_rc_system(ty.clone(), &w, &inputs),
+                        &ExploreConfig {
+                            crash_budget: budget,
+                            crash_after_decide: true,
+                            inputs: Some(inputs.clone()),
+                            ..ExploreConfig::default()
+                        },
+                    );
+                    assert!(outcome.is_verified());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explorer);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: the E3 Fig. 4 transformation — execution cost versus
+//! simultaneous-crash budget (each crash restarts every process and can
+//! open a new round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_core::algorithms::{build_simultaneous_rc_system, ConsensusObjectFactory};
+use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
+use rc_runtime::{run, RunOptions};
+use rc_spec::Value;
+
+fn bench_simultaneous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simultaneous_rc");
+    let factory = ConsensusObjectFactory { domain: 8 };
+    let inputs: Vec<Value> = (0..4).map(Value::Int).collect();
+    let opts = RunOptions {
+        record_trace: false,
+        ..RunOptions::default()
+    };
+    for crashes in [0usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("crash_budget", crashes),
+            &crashes,
+            |b, &crashes| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let (mut mem, mut programs) =
+                        build_simultaneous_rc_system(&factory, &inputs, crashes + 4);
+                    let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                        seed,
+                        crash_prob: 0.05,
+                        max_crashes: crashes,
+                        simultaneous: true,
+                        crash_after_decide: true,
+                    });
+                    let exec = run(&mut mem, &mut programs, &mut sched, opts);
+                    assert!(exec.all_decided);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simultaneous);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: the E2 Fig. 2 algorithm — one full recoverable team
+//! consensus execution (simulator), crash-free vs crashing schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_core::algorithms::build_team_rc_system;
+use rc_core::{check_recording, Assignment, RecordingWitness};
+use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
+use rc_runtime::{run, RunOptions};
+use rc_spec::types::Sn;
+use rc_spec::{TypeHandle, Value};
+use std::sync::Arc;
+
+fn witness(n: usize) -> (TypeHandle, RecordingWitness, Vec<Value>) {
+    let sn = Sn::new(n);
+    let a = Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]);
+    let w = check_recording(&sn, &a).expect("S_n witness");
+    let mut inputs = vec![Value::Int(0)];
+    inputs.extend(vec![Value::Int(1); n - 1]);
+    (Arc::new(sn), w, inputs)
+}
+
+fn bench_team_rc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("team_rc");
+    let opts = RunOptions {
+        record_trace: false,
+        ..RunOptions::default()
+    };
+    for n in [2usize, 4, 8] {
+        let (ty, w, inputs) = witness(n);
+        group.bench_with_input(BenchmarkId::new("crash_free", n), &n, |b, _| {
+            b.iter(|| {
+                let (mut mem, mut programs) =
+                    build_team_rc_system(ty.clone(), &w, &inputs);
+                let exec = run(&mut mem, &mut programs, &mut RoundRobin::new(), opts);
+                assert!(exec.all_decided);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_crashes", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let (mut mem, mut programs) =
+                    build_team_rc_system(ty.clone(), &w, &inputs);
+                let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                    seed,
+                    crash_prob: 0.2,
+                    max_crashes: 4,
+                    simultaneous: false,
+                    crash_after_decide: false,
+                });
+                let exec = run(&mut mem, &mut programs, &mut sched, opts);
+                assert!(exec.all_decided);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_team_rc);
+criterion_main!(benches);

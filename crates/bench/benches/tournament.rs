@@ -1,0 +1,45 @@
+//! Criterion bench: the Appendix B tournament — full n-process RC cost
+//! versus n, on CAS witnesses (rcons = ∞).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_core::algorithms::build_tournament_rc;
+use rc_core::find_recording_witness;
+use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
+use rc_runtime::{run, RunOptions};
+use rc_spec::types::Cas;
+use rc_spec::{TypeHandle, Value};
+use std::sync::Arc;
+
+fn bench_tournament(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tournament_rc");
+    let opts = RunOptions {
+        record_trace: false,
+        ..RunOptions::default()
+    };
+    for n in [2usize, 4, 6, 8] {
+        let cas: TypeHandle = Arc::new(Cas::new(2));
+        let w = find_recording_witness(&cas, n).expect("CAS records at any level");
+        let inputs: Vec<Value> = (0..n).map(|i| Value::Int(i64::from(i as u32 % 2))).collect();
+        group.bench_with_input(BenchmarkId::new("cas_with_crashes", n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let (mut mem, mut programs) =
+                    build_tournament_rc(cas.clone(), &w, &inputs);
+                let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                    seed,
+                    crash_prob: 0.1,
+                    max_crashes: 4,
+                    simultaneous: false,
+                    crash_after_decide: false,
+                });
+                let exec = run(&mut mem, &mut programs, &mut sched, opts);
+                assert!(exec.all_decided);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tournament);
+criterion_main!(benches);

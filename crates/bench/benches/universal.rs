@@ -1,0 +1,96 @@
+//! Criterion bench: the E6 Fig. 7 universal construction — operations per
+//! second on the deterministic simulator and on real threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rc_core::algorithms::ConsensusObjectFactory;
+use rc_runtime::sched::RoundRobin;
+use rc_runtime::threaded::{run_threaded, SharedMemory, ThreadedCrashPlan};
+use rc_runtime::{run, Memory, Program, RunOptions};
+use rc_spec::types::Counter;
+use rc_spec::{Operation, Value};
+use rc_universal::{RUniversalWorker, UniversalLayout};
+use std::sync::Arc;
+
+fn build(n: usize, ops_per: usize) -> (Memory, Arc<UniversalLayout>, Vec<Box<dyn Program>>) {
+    let mut mem = Memory::new();
+    let pool = 1 + n * ops_per;
+    let layout = UniversalLayout::alloc(
+        &mut mem,
+        Arc::new(Counter::new(1 << 20)),
+        Value::Int(0),
+        n,
+        ops_per,
+        &ConsensusObjectFactory {
+            domain: pool as u32,
+        },
+    );
+    let programs: Vec<Box<dyn Program>> = (0..n)
+        .map(|pid| {
+            Box::new(RUniversalWorker::new(
+                layout.clone(),
+                pid,
+                vec![Operation::nullary("inc"); ops_per],
+            )) as Box<dyn Program>
+        })
+        .collect();
+    (mem, layout, programs)
+}
+
+fn bench_universal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runiversal");
+    let ops_per = 8;
+    for n in [2usize, 4, 8] {
+        group.throughput(Throughput::Elements((n * ops_per) as u64));
+        group.bench_with_input(BenchmarkId::new("simulated", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut mem, _layout, mut programs) = build(n, ops_per);
+                let exec = run(
+                    &mut mem,
+                    &mut programs,
+                    &mut RoundRobin::new(),
+                    RunOptions {
+                        record_trace: false,
+                        ..RunOptions::default()
+                    },
+                );
+                assert!(exec.all_decided);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mem, _layout, programs) = build(n, ops_per);
+                let shared = SharedMemory::from_memory(&mem);
+                let reports = run_threaded(
+                    &shared,
+                    programs,
+                    ThreadedCrashPlan::default(),
+                    1_000_000,
+                );
+                assert_eq!(reports.len(), n);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("threaded_with_crashes", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let (mem, _layout, programs) = build(n, ops_per);
+                let shared = SharedMemory::from_memory(&mem);
+                let reports = run_threaded(
+                    &shared,
+                    programs,
+                    ThreadedCrashPlan {
+                        seed,
+                        crash_prob: 0.01,
+                        max_crashes_per_thread: 2,
+                    },
+                    1_000_000,
+                );
+                assert_eq!(reports.len(), n);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_universal);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Prints every experiment table (E1–E10); pass experiment ids to select
+//! a subset, and `--fast` for smaller sample counts:
+//!
+//! ```sh
+//! cargo run -p rc-bench --release --bin tables           # everything
+//! cargo run -p rc-bench --release --bin tables -- e4 e5  # a subset
+//! ```
+
+use rc_bench::exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    let (samples, seeds) = if fast { (50, 50) } else { (400, 300) };
+
+    println!("════════════════════════════════════════════════════════════════");
+    println!(" When Is Recoverable Consensus Harder Than Consensus? (PODC 2022)");
+    println!(" experiment tables — see EXPERIMENTS.md for the paper-vs-measured log");
+    println!("════════════════════════════════════════════════════════════════\n");
+
+    if want("e1") {
+        println!("{}", exp::e1_figure1(samples));
+    }
+    if want("e2") {
+        println!("{}", exp::e2_team_rc(seeds));
+    }
+    if want("e3") {
+        println!("{}", exp::e3_simultaneous(seeds));
+    }
+    if want("e4") {
+        println!("{}", exp::e4_tn(if fast { 7 } else { 10 }));
+    }
+    if want("e5") {
+        println!("{}", exp::e5_sn(if fast { 6 } else { 9 }));
+    }
+    if want("e6") {
+        println!("{}", exp::e6_universal(seeds));
+    }
+    if want("e7") {
+        println!("{}", exp::e7_stack());
+    }
+    if want("e8") {
+        println!("{}", exp::e8_catalog());
+    }
+    if want("e9") {
+        println!("{}", exp::e9_sets());
+    }
+    if want("e10") {
+        println!("{}", exp::e10_headline(seeds.min(100)));
+    }
+}

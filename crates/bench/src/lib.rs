@@ -1,0 +1,24 @@
+//! # rc-bench — the experiment harness
+//!
+//! One experiment per figure/claim of the paper (the experiment index
+//! lives in `DESIGN.md` §5 and results are recorded in `EXPERIMENTS.md`):
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | E1 | Fig. 1 implication diagram | [`exp::e1_figure1`] |
+//! | E2 | Fig. 2 recoverable team consensus | [`exp::e2_team_rc`] |
+//! | E3 | Fig. 4 / Theorem 1 simultaneous transform | [`exp::e3_simultaneous`] |
+//! | E4 | Fig. 5 / Prop. 19 `T_n` | [`exp::e4_tn`] |
+//! | E5 | Fig. 6 / Prop. 21 `S_n` | [`exp::e5_sn`] |
+//! | E6 | Fig. 7 RUniversal | [`exp::e6_universal`] |
+//! | E7 | Fig. 8 / Appendix H stack | [`exp::e7_stack`] |
+//! | E8 | Corollary 17 hierarchy survey | [`exp::e8_catalog`] |
+//! | E9 | Theorem 22 multi-type bound | [`exp::e9_sets`] |
+//! | E10 | headline: when is RC harder? | [`exp::e10_headline`] |
+//!
+//! Run `cargo run -p rc-bench --release --bin tables` for all tables, or
+//! `--bin tables -- e4 e5` for a subset. Criterion timing benches live in
+//! `benches/`.
+
+pub mod exp;
+pub mod table;

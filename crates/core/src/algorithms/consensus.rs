@@ -1,0 +1,414 @@
+//! The Theorem 3 (Ruppert) team consensus algorithm for *n*-discerning
+//! readable types — correct under **halting** failures, and demonstrably
+//! *not* crash-recoverable.
+//!
+//! Each process `p_i` writes its input to its team's register, performs
+//! its single update `op_i` on the shared object `O`, **remembers the
+//! response `r`** (in volatile local memory!), then reads `O`'s state `q`
+//! and uses the witness classifier `(r, q) ↦ team` to decide which team's
+//! register to return.
+//!
+//! The two failure modes the paper identifies for crashes (Section 3,
+//! "there are two key difficulties…"):
+//!
+//! 1. a crash after the update loses `r`, which the classifier needs;
+//! 2. a recovered process re-executes `op_i`, applying a **second** update
+//!    that can obliterate the evidence of which team went first (e.g.
+//!    `T_n`'s counters wrap and the object "forgets").
+//!
+//! The tests reproduce failure mode 2 as an agreement violation for `T_4`
+//! under a single crash — the executable heart of the paper's claim that
+//! recoverable consensus is *harder* than consensus.
+
+use crate::discerning::DiscerningWitness;
+use crate::witness::Team;
+use rc_runtime::{Addr, MemOps, Memory, Program, Step};
+use rc_spec::{ObjectType, TypeHandle, Value};
+use std::sync::Arc;
+
+/// The shared cells of one Theorem-3 team consensus instance.
+#[derive(Clone, Copy, Debug)]
+pub struct TeamConsensusShared {
+    /// The object `O`, initially in the witness state `q0`.
+    pub obj: Addr,
+    /// Team A's input register, initially ⊥.
+    pub reg_a: Addr,
+    /// Team B's input register, initially ⊥.
+    pub reg_b: Addr,
+}
+
+/// Witness data shared by all processes of one instance.
+#[derive(Debug)]
+pub struct TeamConsensusConfig {
+    /// The (readable) object type.
+    pub ty: TypeHandle,
+    /// The discerning witness whose per-process classifiers drive the
+    /// decision.
+    pub witness: DiscerningWitness,
+}
+
+impl TeamConsensusConfig {
+    /// Packages a readable type and witness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not readable — Theorem 3's algorithm reads `O`'s
+    /// state, which non-readable types (e.g. the classic stack) do not
+    /// support.
+    pub fn new(ty: TypeHandle, witness: DiscerningWitness) -> Arc<Self> {
+        assert!(
+            ty.is_readable(),
+            "Theorem 3's algorithm requires a readable type; {} is not",
+            ty.name()
+        );
+        Arc::new(TeamConsensusConfig { ty, witness })
+    }
+}
+
+/// Allocates the shared cells for one instance.
+pub fn alloc_team_consensus(
+    mem: &mut Memory,
+    config: &TeamConsensusConfig,
+) -> TeamConsensusShared {
+    let obj = mem.alloc_object(
+        config.ty.clone(),
+        config.witness.assignment.q0.clone(),
+    );
+    let reg_a = mem.alloc_register(Value::Bottom);
+    let reg_b = mem.alloc_register(Value::Bottom);
+    TeamConsensusShared { obj, reg_a, reg_b }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pc {
+    WriteInput,
+    Apply,
+    ReadState,
+    /// Read the register of `winner` and decide.
+    Output(Team),
+}
+
+/// One process's Theorem-3 team consensus routine.
+///
+/// This program is **intentionally not crash-safe**: [`Program::on_crash`]
+/// faithfully wipes the remembered response and program counter, so a
+/// recovered process re-runs from the beginning and updates `O` a second
+/// time. That is the behaviour whose consequences Section 3 of the paper
+/// analyzes; see the module docs.
+#[derive(Clone, Debug)]
+pub struct TeamConsensus {
+    config: Arc<TeamConsensusConfig>,
+    shared: TeamConsensusShared,
+    slot: usize,
+    input: Value,
+    pc: Pc,
+    response: Option<Value>,
+}
+
+impl TeamConsensus {
+    /// Creates the routine for witness row `slot` with the given input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range for the witness.
+    pub fn new(
+        config: Arc<TeamConsensusConfig>,
+        shared: TeamConsensusShared,
+        slot: usize,
+        input: Value,
+    ) -> Self {
+        assert!(slot < config.witness.len(), "slot out of range");
+        TeamConsensus {
+            config,
+            shared,
+            slot,
+            input,
+            pc: Pc::WriteInput,
+            response: None,
+        }
+    }
+
+    /// The process's team under the witness.
+    pub fn team(&self) -> Team {
+        self.config.witness.assignment.teams[self.slot]
+    }
+
+    fn reg_of(&self, team: Team) -> Addr {
+        match team {
+            Team::A => self.shared.reg_a,
+            Team::B => self.shared.reg_b,
+        }
+    }
+}
+
+impl Program for TeamConsensus {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        match &self.pc {
+            Pc::WriteInput => {
+                mem.write_register(self.reg_of(self.team()), self.input.clone());
+                self.pc = Pc::Apply;
+                Step::Running
+            }
+            Pc::Apply => {
+                let op = &self.config.witness.assignment.ops[self.slot];
+                // The response lives only in volatile memory — a crash
+                // here loses it (difficulty 1 of Section 3).
+                self.response = Some(mem.apply(self.shared.obj, op));
+                self.pc = Pc::ReadState;
+                Step::Running
+            }
+            Pc::ReadState => {
+                let q = mem.read_object(self.shared.obj);
+                let r = self.response.clone().expect("set at Apply");
+                // In a crash-free execution the classifier is total over
+                // reachable (r, q) pairs. Under crashes a process may
+                // produce a pair outside every R-set; the paper gives no
+                // guarantee there, and we default to our own team — any
+                // choice can violate agreement, which is the point of the
+                // counterexample experiments.
+                let winner = self
+                    .config
+                    .witness
+                    .classify(self.slot, &r, &q)
+                    .unwrap_or_else(|| self.team());
+                self.pc = Pc::Output(winner);
+                Step::Running
+            }
+            Pc::Output(winner) => Step::Decided(mem.read_register(self.reg_of(*winner))),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.pc = Pc::WriteInput;
+        self.response = None;
+    }
+
+    fn state_key(&self) -> Value {
+        let pc = match &self.pc {
+            Pc::WriteInput => Value::Int(0),
+            Pc::Apply => Value::Int(1),
+            Pc::ReadState => Value::Int(2),
+            Pc::Output(Team::A) => Value::Int(3),
+            Pc::Output(Team::B) => Value::Int(4),
+        };
+        Value::triple(
+            pc,
+            Value::Int(self.slot as i64),
+            self.response.clone().unwrap_or(Value::Bottom),
+        )
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds a complete Theorem-3 system: memory, cells, one [`TeamConsensus`]
+/// per witness row with `inputs[i]` as row `i`'s input.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the witness size or the type is
+/// not readable.
+pub fn build_team_consensus_system(
+    ty: TypeHandle,
+    witness: &DiscerningWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>) {
+    assert_eq!(inputs.len(), witness.len(), "one input per witness row");
+    let config = TeamConsensusConfig::new(ty, witness.clone());
+    let mut mem = Memory::new();
+    let shared = alloc_team_consensus(&mut mem, &config);
+    let programs: Vec<Box<dyn Program>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(slot, input)| {
+            Box::new(TeamConsensus::new(
+                config.clone(),
+                shared,
+                slot,
+                input.clone(),
+            )) as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discerning::check_discerning;
+    use crate::witness::Assignment;
+    use rc_runtime::sched::{Action, RoundRobin, ScriptedScheduler};
+    use rc_runtime::verify::check_consensus_execution;
+    use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+    use rc_spec::types::{Sn, TestAndSet, Tn};
+    use rc_spec::Operation;
+
+    fn tn_witness(n: usize) -> (TypeHandle, DiscerningWitness) {
+        let tn = Tn::new(n);
+        let a = Assignment::split(
+            Tn::forget_state(),
+            vec![Tn::op_a(); n / 2],
+            vec![Tn::op_b(); n.div_ceil(2)],
+        );
+        let w = check_discerning(&tn, &a).expect("paper's T_n witness");
+        (Arc::new(tn), w)
+    }
+
+    fn team_inputs(w: &DiscerningWitness) -> Vec<Value> {
+        w.assignment
+            .teams
+            .iter()
+            .map(|t| match t {
+                Team::A => Value::Int(0),
+                Team::B => Value::Int(1),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crash_free_consensus_on_tn_agrees() {
+        for n in 4..=6 {
+            let (ty, w) = tn_witness(n);
+            let inputs = team_inputs(&w);
+            let (mut mem, mut programs) = build_team_consensus_system(ty, &w, &inputs);
+            let exec = run(
+                &mut mem,
+                &mut programs,
+                &mut RoundRobin::new(),
+                RunOptions::default(),
+            );
+            check_consensus_execution(&exec, &inputs).expect("crash-free agreement");
+        }
+    }
+
+    #[test]
+    fn crash_free_model_check_verifies_t4() {
+        let (ty, w) = tn_witness(4);
+        let inputs = team_inputs(&w);
+        let outcome = explore(
+            &|| build_team_consensus_system(ty.clone(), &w, &inputs),
+            &ExploreConfig {
+                crash_budget: 0,
+                inputs: Some(inputs.clone()),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(
+            outcome.is_verified(),
+            "Theorem 3 holds under halting failures: {outcome:?}"
+        );
+    }
+
+    /// The executable heart of the paper: ONE crash breaks Theorem 3's
+    /// algorithm on T_4. The recovered process re-applies opA; three
+    /// A-updates wrap T_4's column counter, the object forgets the winner,
+    /// and a team-B process then decides differently.
+    #[test]
+    fn one_crash_violates_agreement_on_t4() {
+        let (ty, w) = tn_witness(4);
+        let inputs = team_inputs(&w);
+        // Slots: 0, 1 = team A (opA); 2, 3 = team B (opB).
+        let schedule = [
+            // p2 (slot 1, team A) runs to completion and decides A's value.
+            Action::Step(1), // write R_A
+            Action::Step(1), // apply opA → winner = A (first update)
+            Action::Step(1), // read state (A,0,0)
+            Action::Step(1), // read R_A → DECIDES 0
+            // p1 (slot 0, team A) updates, crashes, and re-updates.
+            Action::Step(0), // write R_A
+            Action::Step(0), // apply opA → col = 1
+            Action::Crash(0),
+            Action::Step(0), // write R_A (re-run)
+            Action::Step(0), // apply opA → col wraps → (⊥,0,0): FORGOTTEN
+            // p4 (slot 3, team B) now looks like the first updater.
+            Action::Step(3), // write R_B
+            Action::Step(3), // apply opB → winner = B
+            Action::Step(3), // read state (B,0,0)
+            Action::Step(3), // read R_B → DECIDES 1 — agreement violated
+        ];
+        let (mut mem, mut programs) = build_team_consensus_system(ty, &w, &inputs);
+        let mut sched = ScriptedScheduler::then_finish(schedule);
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        let err = check_consensus_execution(&exec, &inputs)
+            .expect_err("one crash must break the non-recoverable algorithm");
+        assert!(err.to_string().contains("agreement"), "{err}");
+    }
+
+    #[test]
+    fn crash_violation_found_by_model_checker_on_t4() {
+        let (ty, w) = tn_witness(4);
+        let inputs = team_inputs(&w);
+        let outcome = explore(
+            &|| build_team_consensus_system(ty.clone(), &w, &inputs),
+            &ExploreConfig {
+                crash_budget: 1,
+                inputs: Some(inputs.clone()),
+                max_states: 2_000_000,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(
+            outcome.is_violation(),
+            "a single crash suffices to break Theorem 3 on T_4: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn tas_two_process_consensus_works_crash_free() {
+        let tas: TypeHandle = Arc::new(TestAndSet::new());
+        let a = Assignment::split(
+            Value::Bool(false),
+            vec![Operation::nullary("tas")],
+            vec![Operation::nullary("tas")],
+        );
+        let w = check_discerning(&TestAndSet::new(), &a).expect("TAS witness");
+        let inputs = vec![Value::Int(0), Value::Int(1)];
+        let outcome = explore(
+            &|| build_team_consensus_system(tas.clone(), &w, &inputs),
+            &ExploreConfig {
+                crash_budget: 0,
+                inputs: Some(inputs.clone()),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_verified(), "{outcome:?}");
+    }
+
+    #[test]
+    fn sn_consensus_crash_free() {
+        let sn = Sn::new(3);
+        let a = Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); 2]);
+        let w = check_discerning(&sn, &a).expect("S_3 witness");
+        let ty: TypeHandle = Arc::new(sn);
+        let inputs = team_inputs(&w);
+        let (mut mem, mut programs) = build_team_consensus_system(ty, &w, &inputs);
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+        );
+        check_consensus_execution(&exec, &inputs).expect("agreement");
+    }
+
+    #[test]
+    fn rejects_non_readable_types() {
+        use rc_spec::types::Stack;
+        let stack = Stack::new(3, 2);
+        let a = Assignment::split(
+            Value::empty_list(),
+            vec![Operation::new("push", Value::Int(0))],
+            vec![Operation::new("push", Value::Int(1))],
+        );
+        let w = check_discerning(&stack, &a).expect("structurally discerning");
+        let result = std::panic::catch_unwind(|| {
+            TeamConsensusConfig::new(Arc::new(Stack::new(3, 2)), w)
+        });
+        assert!(
+            result.is_err(),
+            "Theorem 3 must refuse non-readable types like the stack"
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! The input-masking transformation from the paper's introduction.
+//!
+//! "Like Golab, we assume a process's input value does not change, even
+//! across multiple runs, but this is not a crucial assumption. If an RC
+//! algorithm requires this precondition, it can be transformed into one
+//! that does not using a register for each process's input. When a process
+//! begins a run, it reads this register and, if it has not yet been
+//! written, the process writes its input value. It then uses the value in
+//! the register as its input, ensuring that all of the process's runs of
+//! the original algorithm use the same input value." — Section 1.
+//!
+//! [`InputMasked`] implements exactly that wrapper. Tests simulate an
+//! adversarial environment that *changes* the process's nominal input
+//! between runs ([`InputMasked::set_next_input`]) and verify the inner
+//! algorithm still sees a single stable value.
+
+use rc_runtime::{Addr, MemOps, Memory, Program, Step};
+use rc_spec::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Builds the wrapped program once the masked input is known.
+pub type InnerMaker = Arc<dyn Fn(Value) -> Box<dyn Program> + Send + Sync>;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pc {
+    /// Read the input register.
+    ReadReg,
+    /// It was ⊥: write our current nominal input.
+    WriteReg,
+    /// Run the inner algorithm with the masked input.
+    Run,
+}
+
+/// Wraps an RC routine so that every run uses the same input value, even
+/// if the process's nominal input changes between runs.
+pub struct InputMasked {
+    reg: Addr,
+    nominal_input: Value,
+    make_inner: InnerMaker,
+    pc: Pc,
+    masked: Option<Value>,
+    inner: Option<Box<dyn Program>>,
+}
+
+impl InputMasked {
+    /// Creates the wrapper. `reg` must be a register dedicated to this
+    /// process, initialized to ⊥ and written by no one else.
+    pub fn new(reg: Addr, nominal_input: Value, make_inner: InnerMaker) -> Self {
+        InputMasked {
+            reg,
+            nominal_input,
+            make_inner,
+            pc: Pc::ReadReg,
+            masked: None,
+            inner: None,
+        }
+    }
+
+    /// Allocates the per-process input register (initially ⊥).
+    pub fn alloc_register(mem: &mut Memory) -> Addr {
+        mem.alloc_register(Value::Bottom)
+    }
+
+    /// Simulates an environment whose nominal input differs on the next
+    /// run (the situation the transformation defends against). Has no
+    /// effect on the current run.
+    pub fn set_next_input(&mut self, input: Value) {
+        self.nominal_input = input;
+    }
+
+    /// The input value the inner algorithm actually sees, if fixed yet.
+    pub fn masked_input(&self) -> Option<&Value> {
+        self.masked.as_ref()
+    }
+}
+
+impl fmt::Debug for InputMasked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InputMasked")
+            .field("pc", &self.pc)
+            .field("nominal_input", &self.nominal_input)
+            .field("masked", &self.masked)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Program for InputMasked {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        match self.pc {
+            Pc::ReadReg => {
+                let v = mem.read_register(self.reg);
+                if v.is_bottom() {
+                    self.pc = Pc::WriteReg;
+                } else {
+                    self.masked = Some(v);
+                    self.pc = Pc::Run;
+                }
+                Step::Running
+            }
+            Pc::WriteReg => {
+                mem.write_register(self.reg, self.nominal_input.clone());
+                self.masked = Some(self.nominal_input.clone());
+                self.pc = Pc::Run;
+                Step::Running
+            }
+            Pc::Run => {
+                let masked = self.masked.clone().expect("set before Run");
+                let inner = self
+                    .inner
+                    .get_or_insert_with(|| (self.make_inner)(masked));
+                inner.step(mem)
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.pc = Pc::ReadReg;
+        self.masked = None;
+        self.inner = None;
+    }
+
+    fn state_key(&self) -> Value {
+        let pc = match self.pc {
+            Pc::ReadReg => 0,
+            Pc::WriteReg => 1,
+            Pc::Run => 2,
+        };
+        Value::triple(
+            Value::Int(pc),
+            self.masked.clone().unwrap_or(Value::Bottom),
+            self.inner
+                .as_ref()
+                .map_or(Value::Bottom, |p| p.state_key()),
+        )
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(InputMasked {
+            reg: self.reg,
+            nominal_input: self.nominal_input.clone(),
+            make_inner: self.make_inner.clone(),
+            pc: self.pc.clone(),
+            masked: self.masked.clone(),
+            inner: self.inner.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_runtime::sched::{Action, ScriptedScheduler};
+    use rc_runtime::{run, RunOptions};
+
+    /// Inner program that simply decides its input after one register
+    /// write (so it takes more than one step).
+    #[derive(Clone, Debug)]
+    struct Echo {
+        scratch: Addr,
+        input: Value,
+        pc: u8,
+    }
+    impl Program for Echo {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            if self.pc == 0 {
+                mem.write_register(self.scratch, self.input.clone());
+                self.pc = 1;
+                Step::Running
+            } else {
+                Step::Decided(self.input.clone())
+            }
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
+        }
+        fn state_key(&self) -> Value {
+            Value::Int(i64::from(self.pc))
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn masks_changing_inputs_across_runs() {
+        let mut mem = Memory::new();
+        let reg = InputMasked::alloc_register(&mut mem);
+        let scratch = mem.alloc_register(Value::Bottom);
+        let make_inner: InnerMaker = Arc::new(move |input| {
+            Box::new(Echo {
+                scratch,
+                input,
+                pc: 0,
+            }) as Box<dyn Program>
+        });
+        let mut p = InputMasked::new(reg, Value::Int(1), make_inner);
+
+        // Run 1: read ⊥, write 1, start inner — then crash.
+        assert_eq!(p.step(&mut mem), Step::Running); // read reg (⊥)
+        assert_eq!(p.step(&mut mem), Step::Running); // write reg ← 1
+        assert_eq!(p.masked_input(), Some(&Value::Int(1)));
+        p.on_crash();
+        // The environment changes the nominal input between runs.
+        p.set_next_input(Value::Int(9));
+        // Run 2: the register already holds 1; the inner algorithm must
+        // see 1, not 9.
+        assert_eq!(p.step(&mut mem), Step::Running); // read reg (1)
+        assert_eq!(p.masked_input(), Some(&Value::Int(1)));
+        assert_eq!(p.step(&mut mem), Step::Running); // inner write
+        assert_eq!(p.step(&mut mem), Step::Decided(Value::Int(1)));
+    }
+
+    #[test]
+    fn first_run_uses_nominal_input() {
+        let mut mem = Memory::new();
+        let reg = InputMasked::alloc_register(&mut mem);
+        let scratch = mem.alloc_register(Value::Bottom);
+        let make_inner: InnerMaker = Arc::new(move |input| {
+            Box::new(Echo {
+                scratch,
+                input,
+                pc: 0,
+            }) as Box<dyn Program>
+        });
+        let mut programs: Vec<Box<dyn Program>> = vec![Box::new(InputMasked::new(
+            reg,
+            Value::Int(7),
+            make_inner,
+        ))];
+        let mut sched = ScriptedScheduler::then_finish([Action::Step(0)]);
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut sched,
+            RunOptions::default(),
+        );
+        assert_eq!(exec.outputs[0], vec![Value::Int(7)]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Executable forms of the paper's algorithms, as crashable state machines
+//! over the `rc-runtime` simulator.
+//!
+//! | Paper artifact | Here |
+//! |---|---|
+//! | Fig. 2 — recoverable team consensus (Theorem 8) | [`TeamRc`], [`build_team_rc_system`] |
+//! | Section 3.1's bad scenario (missing `|B|=1` guard) | [`BrokenTeamRc`] |
+//! | Appendix B — tournament: team RC → full RC (Prop. 30) | [`build_tournament_rc`] |
+//! | Theorem 3 — consensus from *n*-discerning readable types | [`TeamConsensus`], [`build_tournament_consensus`] |
+//! | Fig. 4 — consensus → simultaneous-crash RC (Theorem 1) | [`SimultaneousRc`], [`build_simultaneous_rc_system`] |
+//! | Section 1 — input-register masking transformation | [`InputMasked`] |
+
+mod consensus;
+mod input_mask;
+mod rc_factory;
+mod simultaneous;
+mod team_rc;
+mod tournament;
+
+pub use consensus::{
+    alloc_team_consensus, build_team_consensus_system, TeamConsensus, TeamConsensusConfig,
+    TeamConsensusShared,
+};
+pub use input_mask::{InnerMaker, InputMasked};
+pub use rc_factory::{consensus_object_rc_factory, tournament_rc_factory};
+pub use simultaneous::{
+    alloc_simultaneous_rc, build_simultaneous_rc_system, discerning_consensus_factory,
+    ConsensusFactory, ConsensusObjectFactory, FnConsensusFactory, InstanceMaker, SimultaneousRc,
+    SimultaneousRcShared,
+};
+pub use team_rc::{
+    alloc_team_rc, build_team_rc_system, BrokenTeamRc, TeamRc, TeamRcConfig, TeamRcShared,
+};
+pub use tournament::{
+    build_tournament_consensus, build_tournament_rc, StageMaker, StagedProgram,
+};

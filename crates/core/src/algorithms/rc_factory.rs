@@ -1,0 +1,238 @@
+//! Recoverable-consensus instance factories for the universal construction.
+//!
+//! Appendix F of the paper remarks: *"a process that crashes and recovers
+//! might access the RC instance associated with the `next` pointer of a
+//! node multiple times with different input values. So, we should use the
+//! mechanism described in the introduction to mask this behaviour and
+//! ensure that the process's inputs to the RC instance are identical."*
+//!
+//! Concretely: inside `RUniversal`, a process's proposal for a node's
+//! `next` pointer depends on volatile reads (the helping rule) — after a
+//! crash, the re-run may compute a *different* proposal for the *same* RC
+//! instance, violating the stable-input assumption of recoverable
+//! consensus. [`tournament_rc_factory`] therefore wraps each process's
+//! routine in the [`InputMasked`] transformation with a dedicated
+//! per-(instance, process) register: the first proposal is persisted and
+//! every re-run proposes it again.
+//!
+//! (Atomic consensus objects — [`ConsensusObjectFactory`] — do not need
+//! masking: their single `propose` access is atomic, and re-proposing any
+//! value returns the sticky winner.)
+
+use crate::algorithms::input_mask::{InnerMaker, InputMasked};
+use crate::algorithms::simultaneous::{ConsensusFactory, FnConsensusFactory, InstanceMaker};
+use crate::algorithms::team_rc::{alloc_team_rc, TeamRc, TeamRcConfig};
+use crate::algorithms::tournament::StageMaker;
+use crate::algorithms::ConsensusObjectFactory;
+use crate::recording::{check_recording, RecordingWitness};
+use crate::witness::{Assignment, Team};
+use rc_runtime::{Memory, Program};
+use rc_spec::{TypeHandle, Value};
+use std::sync::Arc;
+
+/// Builds a [`ConsensusFactory`] whose every instance is a *recoverable*
+/// consensus tournament (Fig. 2 + Appendix B) over an *n*-recording
+/// witness, with per-process input masking as required by Appendix F.
+///
+/// Instances allocated by this factory tolerate arbitrary independent
+/// crash/recovery of their callers, including re-invocation with
+/// *different* input values across runs — the masking registers pin each
+/// process's effective input to its first proposal.
+///
+/// # Panics
+///
+/// Panics (at instance-allocation time) if a sub-assignment of the witness
+/// fails to verify — impossible for a witness produced by
+/// [`check_recording`].
+pub fn tournament_rc_factory(
+    ty: TypeHandle,
+    witness: RecordingWitness,
+) -> impl ConsensusFactory {
+    FnConsensusFactory(move |mem: &mut Memory| {
+        let n = witness.len();
+        let mut stages: Vec<Vec<StageMaker>> = vec![Vec::new(); n];
+        let procs: Vec<usize> = (0..n).collect();
+        build_rc_stages(mem, &ty, &witness, &procs, &mut stages);
+        // One masking register per process, per instance (Appendix F).
+        let mask_regs: Vec<_> = (0..n).map(|_| InputMasked::alloc_register(mem)).collect();
+        let stages = Arc::new(stages);
+        Arc::new(move |pid: usize, input: Value| {
+            let stages = stages.clone();
+            let inner: InnerMaker = Arc::new(move |masked: Value| {
+                Box::new(crate::algorithms::tournament::StagedProgram::new(
+                    stages[pid].clone(),
+                    masked,
+                )) as Box<dyn Program>
+            });
+            Box::new(InputMasked::new(mask_regs[pid], input, inner)) as Box<dyn Program>
+        }) as InstanceMaker
+    })
+}
+
+/// Allocates the tournament-RC cells for `procs` and appends each
+/// process's stage chain (leaf-to-root) — the recoverable sibling of
+/// `build_stages_for_consensus`.
+fn build_rc_stages(
+    mem: &mut Memory,
+    ty: &TypeHandle,
+    witness: &RecordingWitness,
+    procs: &[usize],
+    stages: &mut [Vec<StageMaker>],
+) {
+    fn rec(
+        mem: &mut Memory,
+        ty: &TypeHandle,
+        assignment: &Assignment,
+        procs: &[usize],
+        stages: &mut [Vec<StageMaker>],
+    ) {
+        let k = procs.len();
+        if k < 2 {
+            return;
+        }
+        let a = assignment.team_size(Team::A);
+        let b = assignment.team_size(Team::B);
+        let lo = k.saturating_sub(b).max(1);
+        let hi = a.min(k - 1);
+        let a_prime = (k / 2).clamp(lo, hi);
+        let (group_a, group_b) = procs.split_at(a_prime);
+        rec(mem, ty, assignment, group_a, stages);
+        rec(mem, ty, assignment, group_b, stages);
+
+        let a_rows = assignment.members(Team::A);
+        let b_rows = assignment.members(Team::B);
+        let sub = Assignment::split(
+            assignment.q0.clone(),
+            a_rows[..a_prime]
+                .iter()
+                .map(|&i| assignment.ops[i].clone())
+                .collect(),
+            b_rows[..k - a_prime]
+                .iter()
+                .map(|&i| assignment.ops[i].clone())
+                .collect(),
+        );
+        let sub_witness =
+            check_recording(ty, &sub).expect("sub-assignments of a recording witness record");
+        let config = TeamRcConfig::new(ty.clone(), &sub_witness);
+        let shared = alloc_team_rc(mem, &config);
+        for (slot, &p) in procs.iter().enumerate() {
+            let config = config.clone();
+            stages[p].push(Arc::new(move |input: Value| {
+                Box::new(TeamRc::new(config.clone(), shared, slot, input)) as Box<dyn Program>
+            }) as StageMaker);
+        }
+    }
+    rec(mem, ty, &witness.assignment, procs, stages);
+}
+
+/// Convenience: the factory used for scale experiments — atomic consensus
+/// objects over node-pointer domains.
+pub fn consensus_object_rc_factory(domain: u32) -> ConsensusObjectFactory {
+    ConsensusObjectFactory { domain }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_recording_witness;
+    use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
+    use rc_runtime::verify::check_consensus_execution;
+    use rc_runtime::{run, RunOptions, Step};
+    use rc_spec::types::Sn;
+
+    /// The masked tournament-RC instances must satisfy RC even when every
+    /// run proposes a *different* value — the Appendix F hazard.
+    #[test]
+    fn masked_instances_tolerate_changing_proposals() {
+        let sn: TypeHandle = Arc::new(Sn::new(3));
+        let w = find_recording_witness(&sn, 3).expect("S_3 records");
+        let factory = tournament_rc_factory(sn, w);
+        for seed in 0..60u64 {
+            let mut mem = Memory::new();
+            let maker = factory.alloc_instance(&mut mem);
+            // Three processes propose; p0's proposal CHANGES between runs
+            // (simulating the helping rule recomputing a different
+            // pointer after a crash).
+            let mut programs: Vec<Box<dyn Program>> = (0..3)
+                .map(|pid| maker(pid, Value::Int(pid as i64)))
+                .collect();
+            let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                seed,
+                crash_prob: 0.2,
+                max_crashes: 3,
+                simultaneous: false,
+                crash_after_decide: true,
+            });
+            // Run manually so we can change p0's nominal input on crash.
+            let mut decided: Vec<Option<Value>> = vec![None; 3];
+            let mut steps = 0;
+            let mut all_outputs = Vec::new();
+            loop {
+                let flags: Vec<bool> = decided.iter().map(Option::is_some).collect();
+                let ctx = rc_runtime::sched::SchedContext {
+                    n: 3,
+                    decided: &flags,
+                    steps_taken: steps,
+                    crashes_injected: 0,
+                };
+                let Some(action) = rc_runtime::sched::Scheduler::next_action(&mut sched, &ctx)
+                else {
+                    break;
+                };
+                match action {
+                    rc_runtime::sched::Action::Step(p) => {
+                        if decided[p].is_some() {
+                            continue;
+                        }
+                        steps += 1;
+                        if let Step::Decided(v) = programs[p].step(&mut mem) {
+                            all_outputs.push(v.clone());
+                            decided[p] = Some(v);
+                        }
+                    }
+                    rc_runtime::sched::Action::Crash(p) => {
+                        programs[p].on_crash();
+                        decided[p] = None;
+                        // Replace the program to simulate a re-run with a
+                        // DIFFERENT nominal proposal (pid + 10).
+                        programs[p] = maker(p, Value::Int(p as i64 + 10));
+                    }
+                    rc_runtime::sched::Action::CrashAll => {}
+                }
+                assert!(steps < 100_000);
+            }
+            // Agreement over every output of every run.
+            if let Some(first) = all_outputs.first() {
+                assert!(
+                    all_outputs.iter().all(|v| v == first),
+                    "seed {seed}: outputs {all_outputs:?}"
+                );
+            }
+            // Validity: the decision must be a FIRST-run proposal (the
+            // masking registers pin inputs to first proposals) or — if the
+            // crash replaced a program before it ever wrote its mask — a
+            // replacement proposal. Either way it is one of the proposals
+            // ever made.
+            let valid: Vec<Value> = (0..3)
+                .flat_map(|p| [Value::Int(p as i64), Value::Int(p as i64 + 10)])
+                .collect();
+            for v in &all_outputs {
+                assert!(valid.contains(v), "seed {seed}: invalid output {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unmasked_factory_for_objects_still_works() {
+        let factory = consensus_object_rc_factory(8);
+        let mut mem = Memory::new();
+        let maker = factory.alloc_instance(&mut mem);
+        let mut programs: Vec<Box<dyn Program>> =
+            (0..4).map(|pid| maker(pid, Value::Int(pid as i64))).collect();
+        let mut sched = RandomScheduler::from_seed(3);
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        let inputs: Vec<Value> = (0..4).map(Value::Int).collect();
+        check_consensus_execution(&exec, &inputs).expect("consensus object RC");
+    }
+}

@@ -1,0 +1,480 @@
+//! The Fig. 4 transformation (Theorem 1): recoverable consensus under
+//! **simultaneous** crashes from any wait-free consensus algorithm.
+//!
+//! Each process walks through rounds `r = 1, 2, …`. Round `r` owns a
+//! consensus instance `C_r` and a result register `D[r]`. The register
+//! `Round[j]` remembers the largest round process `j` has *started*, so a
+//! recovered process never accesses the same `C_r` twice (Lemma 27 — this
+//! is what makes the black-box consensus safe to reuse: a crash in the
+//! middle of `C_r` looks to `C_r` like a *halting* failure, which the
+//! wait-free consensus algorithm tolerates by assumption). A process
+//! terminates when it completes a round and sees no process ahead of it
+//! (line 44); Lemmas 25–29 prove recoverable wait-freedom, validity and
+//! agreement for the simultaneous-crash model.
+//!
+//! The paper allows an *unbounded* number of instances (footnote 2); the
+//! simulation preallocates a caller-chosen horizon and reports via panic
+//! if an execution ever outruns it (none does, for finite crash budgets —
+//! the E3 experiment records the rounds actually used).
+//!
+//! The consensus base objects are pluggable ([`ConsensusFactory`]): atomic
+//! consensus objects for unit tests, or — the paper's headline
+//! composition — Theorem 3's algorithm on an *n*-discerning type such as
+//! `T_n`, yielding: `T_n` solves *n*-process RC under simultaneous crashes
+//! even though it cannot under independent crashes (Corollary 20).
+
+use crate::algorithms::tournament::StageMaker;
+use rc_runtime::{Addr, MemOps, Memory, Program, Step};
+use rc_spec::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Allocates per-round consensus instances inside the shared memory and
+/// hands out per-process programs for them.
+pub trait ConsensusFactory {
+    /// Allocates one instance's shared cells and returns a maker that
+    /// builds process `pid`'s routine with the given input.
+    fn alloc_instance(&self, mem: &mut Memory) -> InstanceMaker;
+}
+
+/// Builds process `pid`'s routine for one consensus instance, given its
+/// input value.
+pub type InstanceMaker = Arc<dyn Fn(usize, Value) -> Box<dyn Program> + Send + Sync>;
+
+/// A [`ConsensusFactory`] backed by atomic consensus objects
+/// ([`rc_spec::types::ConsensusObject`]) — one `propose` access decides.
+#[derive(Clone, Debug)]
+pub struct ConsensusObjectFactory {
+    /// Value domain of the underlying objects.
+    pub domain: u32,
+}
+
+impl ConsensusFactory for ConsensusObjectFactory {
+    fn alloc_instance(&self, mem: &mut Memory) -> InstanceMaker {
+        let obj = mem.alloc_object(
+            Arc::new(rc_spec::types::ConsensusObject::new(self.domain)),
+            Value::Bottom,
+        );
+        Arc::new(move |_pid, input| Box::new(ProposeProgram { obj, input }) as Box<dyn Program>)
+    }
+}
+
+/// A [`ConsensusFactory`] running an arbitrary per-instance builder —
+/// used to plug Theorem 3's tournament consensus (e.g. on `T_n`) into
+/// Fig. 4.
+pub struct FnConsensusFactory<F>(pub F);
+
+impl<F> ConsensusFactory for FnConsensusFactory<F>
+where
+    F: Fn(&mut Memory) -> InstanceMaker,
+{
+    fn alloc_instance(&self, mem: &mut Memory) -> InstanceMaker {
+        (self.0)(mem)
+    }
+}
+
+/// One-shot program proposing `input` to an atomic consensus object.
+#[derive(Clone, Debug)]
+struct ProposeProgram {
+    obj: Addr,
+    input: Value,
+}
+
+impl Program for ProposeProgram {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        let decided = mem.apply(
+            self.obj,
+            &rc_spec::Operation::new("propose", self.input.clone()),
+        );
+        Step::Decided(decided)
+    }
+    fn on_crash(&mut self) {}
+    fn state_key(&self) -> Value {
+        Value::Unit
+    }
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+/// Shared layout of one Fig. 4 system.
+#[derive(Clone)]
+pub struct SimultaneousRcShared {
+    /// `Round[1..n]` registers (0-indexed by pid), initially 0.
+    pub round_regs: Arc<Vec<Addr>>,
+    /// `D[1..R]` registers (0-indexed by round), initially ⊥.
+    pub d_regs: Arc<Vec<Addr>>,
+    /// Per-round instance makers for `C_1..C_R`.
+    pub instances: Arc<Vec<InstanceMaker>>,
+}
+
+impl fmt::Debug for SimultaneousRcShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimultaneousRcShared")
+            .field("rounds", &self.d_regs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Allocates a Fig. 4 system for `n` processes with `max_rounds`
+/// preallocated consensus instances (lines 30–32).
+pub fn alloc_simultaneous_rc(
+    mem: &mut Memory,
+    factory: &dyn ConsensusFactory,
+    n: usize,
+    max_rounds: usize,
+) -> SimultaneousRcShared {
+    let round_regs: Vec<Addr> = (0..n).map(|_| mem.alloc_register(Value::Int(0))).collect();
+    let d_regs: Vec<Addr> = (0..max_rounds)
+        .map(|_| mem.alloc_register(Value::Bottom))
+        .collect();
+    let instances: Vec<InstanceMaker> = (0..max_rounds)
+        .map(|_| factory.alloc_instance(mem))
+        .collect();
+    SimultaneousRcShared {
+        round_regs: Arc::new(round_regs),
+        d_regs: Arc::new(d_regs),
+        instances: Arc::new(instances),
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pc {
+    /// Line 37: read `Round[j]`.
+    CheckRound,
+    /// Line 38: write `Round[j] ← r`.
+    WriteRound,
+    /// Lines 39–41: read `D[r−1]` (skipped when `r = 1`).
+    ReadPrevThen,
+    /// Line 42: run `C_r.Decide(pref)` to completion.
+    RunConsensus,
+    /// Line 43: write `D[r] ← pref`.
+    WriteD,
+    /// Line 44: scan `Round[1..n]`; terminate if all ≤ r.
+    CheckAll { k: usize },
+    /// Lines 47–49: read `D[r−1]` on the else-branch (skipped when
+    /// `r = 1`).
+    ReadPrevElse,
+}
+
+/// One process's Fig. 4 `Decide(v)` routine (lines 33–52) as a crashable
+/// state machine.
+pub struct SimultaneousRc {
+    shared: SimultaneousRcShared,
+    pid: usize,
+    n: usize,
+    input: Value,
+    // Volatile state.
+    pc: Pc,
+    r: usize, // 1-based round, as in the paper
+    pref: Value,
+    inner: Option<Box<dyn Program>>,
+}
+
+impl SimultaneousRc {
+    /// Creates process `pid`'s routine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ≥ n`.
+    pub fn new(shared: SimultaneousRcShared, pid: usize, n: usize, input: Value) -> Self {
+        assert!(pid < n, "pid out of range");
+        SimultaneousRc {
+            shared,
+            pid,
+            n,
+            pref: input.clone(),
+            input,
+            pc: Pc::CheckRound,
+            r: 1,
+            inner: None,
+        }
+    }
+
+    /// The highest round this process has entered in its current run
+    /// (diagnostic; the E3 experiment reports the maximum over a run).
+    pub fn current_round(&self) -> usize {
+        self.r
+    }
+
+    fn d_reg(&self, round: usize) -> Addr {
+        *self
+            .shared
+            .d_regs
+            .get(round - 1)
+            .unwrap_or_else(|| panic!("round horizon exceeded: round {round} was never preallocated; raise max_rounds"))
+    }
+}
+
+impl fmt::Debug for SimultaneousRc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimultaneousRc")
+            .field("pid", &self.pid)
+            .field("r", &self.r)
+            .field("pc", &self.pc)
+            .field("pref", &self.pref)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Program for SimultaneousRc {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        match self.pc.clone() {
+            Pc::CheckRound => {
+                // Line 37: if Round[j] < r then … else lines 47–49.
+                let mine = mem.read_register(self.shared.round_regs[self.pid]);
+                let mine = mine.as_int().expect("Round registers hold ints");
+                if mine < self.r as i64 {
+                    self.pc = Pc::WriteRound;
+                } else {
+                    self.pc = Pc::ReadPrevElse;
+                }
+                Step::Running
+            }
+            Pc::WriteRound => {
+                // Line 38.
+                mem.write_register(
+                    self.shared.round_regs[self.pid],
+                    Value::Int(self.r as i64),
+                );
+                self.pc = Pc::ReadPrevThen;
+                Step::Running
+            }
+            Pc::ReadPrevThen => {
+                // Lines 39–41: pref ← D[r−1] if set (r > 1 only).
+                if self.r > 1 {
+                    let prev = mem.read_register(self.d_reg(self.r - 1));
+                    if !prev.is_bottom() {
+                        self.pref = prev;
+                    }
+                    self.pc = Pc::RunConsensus;
+                    Step::Running
+                } else {
+                    // No shared access this step.
+                    self.pc = Pc::RunConsensus;
+                    Step::Running
+                }
+            }
+            Pc::RunConsensus => {
+                // Line 42: pref ← C_r.Decide(pref).
+                if self.inner.is_none() {
+                    let round = self.r;
+                    let maker = self
+                        .shared
+                        .instances
+                        .get(round - 1)
+                        .unwrap_or_else(|| panic!("round horizon exceeded: round {round} was never preallocated; raise max_rounds"))
+                        .clone();
+                    self.inner = Some(maker(self.pid, self.pref.clone()));
+                }
+                match self.inner.as_mut().expect("just created").step(mem) {
+                    Step::Running => Step::Running,
+                    Step::Decided(v) => {
+                        self.pref = v;
+                        self.inner = None;
+                        self.pc = Pc::WriteD;
+                        Step::Running
+                    }
+                }
+            }
+            Pc::WriteD => {
+                // Line 43.
+                mem.write_register(self.d_reg(self.r), self.pref.clone());
+                self.pc = Pc::CheckAll { k: 0 };
+                Step::Running
+            }
+            Pc::CheckAll { k } => {
+                // Line 44: ∀k, Round[k] ≤ r?
+                let other = mem.read_register(self.shared.round_regs[k]);
+                let other = other.as_int().expect("Round registers hold ints");
+                if other > self.r as i64 {
+                    // Someone is ahead: advance to the next round (line 50).
+                    self.r += 1;
+                    self.pc = Pc::CheckRound;
+                    Step::Running
+                } else if k + 1 == self.n {
+                    // Line 45.
+                    Step::Decided(self.pref.clone())
+                } else {
+                    self.pc = Pc::CheckAll { k: k + 1 };
+                    Step::Running
+                }
+            }
+            Pc::ReadPrevElse => {
+                // Lines 47–49, then line 50.
+                if self.r > 1 {
+                    let prev = mem.read_register(self.d_reg(self.r - 1));
+                    if !prev.is_bottom() {
+                        self.pref = prev;
+                    }
+                }
+                self.r += 1;
+                self.pc = Pc::CheckRound;
+                Step::Running
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.pc = Pc::CheckRound;
+        self.r = 1;
+        self.pref = self.input.clone();
+        self.inner = None;
+    }
+
+    fn state_key(&self) -> Value {
+        let pc = match &self.pc {
+            Pc::CheckRound => Value::Int(0),
+            Pc::WriteRound => Value::Int(1),
+            Pc::ReadPrevThen => Value::Int(2),
+            Pc::RunConsensus => Value::Int(3),
+            Pc::WriteD => Value::Int(4),
+            Pc::CheckAll { k } => Value::pair(Value::Int(5), Value::Int(*k as i64)),
+            Pc::ReadPrevElse => Value::Int(6),
+        };
+        Value::Tuple(vec![
+            pc,
+            Value::Int(self.r as i64),
+            self.pref.clone(),
+            self.inner
+                .as_ref()
+                .map_or(Value::Bottom, |p| p.state_key()),
+        ])
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(SimultaneousRc {
+            shared: self.shared.clone(),
+            pid: self.pid,
+            n: self.n,
+            input: self.input.clone(),
+            pc: self.pc.clone(),
+            r: self.r,
+            pref: self.pref.clone(),
+            inner: self.inner.clone(),
+        })
+    }
+}
+
+/// Builds a complete Fig. 4 system for the given inputs.
+pub fn build_simultaneous_rc_system(
+    factory: &dyn ConsensusFactory,
+    inputs: &[Value],
+    max_rounds: usize,
+) -> (Memory, Vec<Box<dyn Program>>) {
+    let n = inputs.len();
+    let mut mem = Memory::new();
+    let shared = alloc_simultaneous_rc(&mut mem, factory, n, max_rounds);
+    let programs: Vec<Box<dyn Program>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(pid, input)| {
+            Box::new(SimultaneousRc::new(shared.clone(), pid, n, input.clone()))
+                as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs)
+}
+
+/// A [`ConsensusFactory`] running Theorem 3's tournament consensus on an
+/// *n*-discerning readable type — the composition that proves Theorem 1's
+/// "simultaneous-crash RC ≡ consensus" for concrete types like `T_n`.
+pub fn discerning_consensus_factory(
+    ty: rc_spec::TypeHandle,
+    witness: crate::DiscerningWitness,
+) -> impl ConsensusFactory {
+    use crate::algorithms::tournament::{build_stages_for_consensus, StagedProgram};
+
+    FnConsensusFactory(move |mem: &mut Memory| {
+        // Each instance is a fresh consensus tournament over the witness
+        // (its own object and registers); StagedProgram chains the
+        // per-group stages exactly as in build_tournament_consensus.
+        let n = witness.len();
+        let mut stages: Vec<Vec<StageMaker>> = vec![Vec::new(); n];
+        let procs: Vec<usize> = (0..n).collect();
+        build_stages_for_consensus(mem, &ty, &witness, &procs, &mut stages);
+        let stages = Arc::new(stages);
+        Arc::new(move |pid: usize, input: Value| {
+            Box::new(StagedProgram::new(stages[pid].clone(), input)) as Box<dyn Program>
+        }) as InstanceMaker
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
+    use rc_runtime::verify::check_consensus_execution;
+    use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+
+    fn inputs(n: usize) -> Vec<Value> {
+        (0..n).map(|i| Value::Int(i as i64)).collect()
+    }
+
+    #[test]
+    fn crash_free_run_agrees() {
+        let factory = ConsensusObjectFactory { domain: 8 };
+        let inputs = inputs(4);
+        let (mut mem, mut programs) = build_simultaneous_rc_system(&factory, &inputs, 4);
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+        );
+        check_consensus_execution(&exec, &inputs).expect("crash-free agreement");
+    }
+
+    #[test]
+    fn survives_randomized_simultaneous_crashes() {
+        let factory = ConsensusObjectFactory { domain: 8 };
+        let inputs = inputs(4);
+        for seed in 0..300 {
+            let (mut mem, mut programs) =
+                build_simultaneous_rc_system(&factory, &inputs, 8);
+            let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                seed,
+                crash_prob: 0.05,
+                max_crashes: 4,
+                simultaneous: true,
+                crash_after_decide: true,
+            });
+            let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+            check_consensus_execution(&exec, &inputs)
+                .unwrap_or_else(|e| panic!("seed={seed}: {e}\ntrace:\n{}", exec.trace));
+        }
+    }
+
+    #[test]
+    fn model_checked_simultaneous_crashes_n2() {
+        let factory = ConsensusObjectFactory { domain: 4 };
+        let inputs = inputs(2);
+        let outcome = explore(
+            &|| build_simultaneous_rc_system(&factory, &inputs, 5),
+            &ExploreConfig {
+                crash_budget: 2,
+                simultaneous: true,
+                crash_after_decide: true,
+                inputs: Some(inputs.clone()),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_verified(), "{outcome:?}");
+    }
+
+    #[test]
+    fn round_horizon_panic_is_informative() {
+        let factory = ConsensusObjectFactory { domain: 2 };
+        let mut mem = Memory::new();
+        let shared = alloc_simultaneous_rc(&mut mem, &factory, 1, 1);
+        let mut p = SimultaneousRc::new(shared, 0, 1, Value::Int(0));
+        assert_eq!(p.current_round(), 1);
+        // Force an out-of-horizon round access.
+        p.r = 2;
+        p.pc = Pc::WriteD;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.step(&mut mem)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,601 @@
+//! The recoverable team consensus algorithm of Fig. 2 (Theorem 8).
+//!
+//! Given a *normalized* [`RecordingWitness`] (`q0 ∉ Q_B`; see
+//! [`RecordingWitness::normalized`]), each process executes the paper's
+//! `Decide(v)` routine — team A's code on lines 4–14, team B's on lines
+//! 15–29 — against one shared object `O` of the witnessing type and two
+//! registers `R_A`, `R_B`. Every [`Program::step`] performs exactly one
+//! shared-memory access, so crashes can strike between any two accesses,
+//! exactly as the paper's adversary allows.
+//!
+//! The deliberately faulty [`BrokenTeamRc`] omits the `|B| = 1` test of
+//! line 19; Section 3.1 describes a schedule on which that version
+//! violates agreement — reproduced in this module's tests and in the
+//! `adversary` example.
+
+use crate::recording::RecordingWitness;
+use crate::witness::Team;
+use rc_runtime::{Addr, MemOps, Memory, Program, Step};
+use rc_spec::{Operation, TypeHandle, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The shared cells of one Fig. 2 instance.
+#[derive(Clone, Copy, Debug)]
+pub struct TeamRcShared {
+    /// The object `O` of the witnessing type, initially in state `q0`.
+    pub obj: Addr,
+    /// Register `R_A`, initially ⊥.
+    pub reg_a: Addr,
+    /// Register `R_B`, initially ⊥.
+    pub reg_b: Addr,
+}
+
+/// Witness data shared by all processes of one instance.
+#[derive(Debug)]
+pub struct TeamRcConfig {
+    /// The object type.
+    pub ty: TypeHandle,
+    /// The normalized witness (`q0 ∉ Q_B`).
+    pub witness: RecordingWitness,
+}
+
+impl TeamRcConfig {
+    /// Packages a type and witness, normalizing the witness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the witness (after normalization) still has `q0 ∈ Q_B` —
+    /// impossible for a witness produced by
+    /// [`check_recording`](crate::check_recording).
+    pub fn new(ty: TypeHandle, witness: &RecordingWitness) -> Arc<Self> {
+        let witness = witness.normalized();
+        assert!(
+            !witness.q_b.contains(&witness.assignment.q0),
+            "normalization must establish q0 ∉ Q_B"
+        );
+        Arc::new(TeamRcConfig { ty, witness })
+    }
+
+    fn q0(&self) -> &Value {
+        &self.witness.assignment.q0
+    }
+
+    fn q_a(&self) -> &BTreeSet<Value> {
+        &self.witness.q_a
+    }
+
+    fn team_of(&self, slot: usize) -> Team {
+        self.witness.assignment.teams[slot]
+    }
+
+    fn op_of(&self, slot: usize) -> &Operation {
+        &self.witness.assignment.ops[slot]
+    }
+
+    fn team_b_is_singleton(&self) -> bool {
+        self.witness.assignment.team_size(Team::B) == 1
+    }
+}
+
+/// Allocates the shared cells for one Fig. 2 instance (lines 1–3: `O` in
+/// state `q0`, registers `R_A`, `R_B` initially ⊥).
+pub fn alloc_team_rc(mem: &mut Memory, config: &TeamRcConfig) -> TeamRcShared {
+    let obj = mem.alloc_object(config.ty.clone(), config.q0().clone());
+    let reg_a = mem.alloc_register(Value::Bottom);
+    let reg_b = mem.alloc_register(Value::Bottom);
+    TeamRcShared { obj, reg_a, reg_b }
+}
+
+/// Program counter of the Fig. 2 state machine. Each variant performs one
+/// shared-memory access; paper line numbers in comments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pc {
+    /// Lines 5 / 16: write input to the team's register.
+    WriteInput,
+    /// Lines 6 / 17: first read of `O`.
+    ReadFirst,
+    /// Line 19 (team B, singleton): read `R_A`; if ≠ ⊥, return it.
+    SingletonGuard,
+    /// Lines 8 / 22: apply `op_i` to `O`.
+    Apply,
+    /// Lines 9 / 23: re-read `O`.
+    ReadSecond,
+    /// Lines 11–12 / 26–27: read the winning team's register and return.
+    Output { q_in_q_a: bool },
+}
+
+/// One process's Fig. 2 `Decide(v)` routine as a crashable state machine.
+///
+/// `slot` selects the process's row of the witness (its team and its
+/// operation `op_i`). The `input` is retained across crashes (the paper's
+/// stable-input assumption; see
+/// [`InputMasked`](crate::algorithms::InputMasked) for the transformation
+/// that removes it).
+#[derive(Clone, Debug)]
+pub struct TeamRc {
+    config: Arc<TeamRcConfig>,
+    shared: TeamRcShared,
+    slot: usize,
+    input: Value,
+    pc: Pc,
+    /// If `true`, the `|B| = 1` test of line 19 is skipped — the broken
+    /// variant of Section 3.1's second bad scenario.
+    skip_singleton_test: bool,
+}
+
+impl TeamRc {
+    /// Creates the routine for witness row `slot` with the given input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range for the witness.
+    pub fn new(
+        config: Arc<TeamRcConfig>,
+        shared: TeamRcShared,
+        slot: usize,
+        input: Value,
+    ) -> Self {
+        assert!(slot < config.witness.len(), "slot out of range");
+        TeamRc {
+            config,
+            shared,
+            slot,
+            input,
+            pc: Pc::WriteInput,
+            skip_singleton_test: false,
+        }
+    }
+
+    /// The process's team under the (normalized) witness.
+    pub fn team(&self) -> Team {
+        self.config.team_of(self.slot)
+    }
+
+    fn my_reg(&self) -> Addr {
+        match self.team() {
+            Team::A => self.shared.reg_a,
+            Team::B => self.shared.reg_b,
+        }
+    }
+
+    fn pc_code(&self) -> i64 {
+        match self.pc {
+            Pc::WriteInput => 0,
+            Pc::ReadFirst => 1,
+            Pc::SingletonGuard => 2,
+            Pc::Apply => 3,
+            Pc::ReadSecond => 4,
+            Pc::Output { q_in_q_a: false } => 5,
+            Pc::Output { q_in_q_a: true } => 6,
+        }
+    }
+}
+
+impl Program for TeamRc {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        match self.pc {
+            Pc::WriteInput => {
+                // Line 5 / 16: R_team ← v.
+                mem.write_register(self.my_reg(), self.input.clone());
+                self.pc = Pc::ReadFirst;
+                Step::Running
+            }
+            Pc::ReadFirst => {
+                // Line 6 / 17: q ← O.
+                let q = mem.read_object(self.shared.obj);
+                if q == *self.config.q0() {
+                    // Line 7 / 18 true branch.
+                    self.pc = match self.team() {
+                        Team::A => Pc::Apply,
+                        Team::B => {
+                            // Line 19: the guard applies only when |B| = 1
+                            // (unless we are the broken variant).
+                            if self.skip_singleton_test || self.config.team_b_is_singleton() {
+                                Pc::SingletonGuard
+                            } else {
+                                Pc::Apply
+                            }
+                        }
+                    };
+                } else {
+                    // Fall through to lines 11 / 26 with this q.
+                    self.pc = Pc::Output {
+                        q_in_q_a: self.config.q_a().contains(&q),
+                    };
+                }
+                Step::Running
+            }
+            Pc::SingletonGuard => {
+                // Line 19: |B| = 1 and R_A ≠ ⊥ → return R_A (line 20).
+                let r_a = mem.read_register(self.shared.reg_a);
+                if r_a.is_bottom() {
+                    self.pc = Pc::Apply;
+                    Step::Running
+                } else {
+                    Step::Decided(r_a)
+                }
+            }
+            Pc::Apply => {
+                // Line 8 / 22: apply op_i to O (response unused — after a
+                // crash it would be lost anyway; only the state matters).
+                mem.apply(self.shared.obj, self.config.op_of(self.slot));
+                self.pc = Pc::ReadSecond;
+                Step::Running
+            }
+            Pc::ReadSecond => {
+                // Line 9 / 23: q ← O.
+                let q = mem.read_object(self.shared.obj);
+                self.pc = Pc::Output {
+                    q_in_q_a: self.config.q_a().contains(&q),
+                };
+                Step::Running
+            }
+            Pc::Output { q_in_q_a } => {
+                // Lines 11–12 / 26–27: return the winner team's register.
+                let reg = if q_in_q_a {
+                    self.shared.reg_a
+                } else {
+                    self.shared.reg_b
+                };
+                Step::Decided(mem.read_register(reg))
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // The programme counter and all locals are volatile; the input is
+        // stable (Section 1).
+        self.pc = Pc::WriteInput;
+    }
+
+    fn state_key(&self) -> Value {
+        Value::pair(Value::Int(self.pc_code()), Value::Int(self.slot as i64))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+/// The broken variant of Fig. 2 used to reproduce the paper's second bad
+/// scenario (Section 3.1): the `|B| = 1` test of line 19 is omitted, so
+/// *every* team-B process defers to team A when it sees `R_A ≠ ⊥`.
+///
+/// With `|B| ≥ 2`, the paper's interleaving — one B process poised to
+/// update `O` after passing the guard, another B process deferring — makes
+/// two processes output different teams' values, violating agreement. The
+/// correct algorithm forbids exactly this by restricting the guard to
+/// singleton B.
+#[derive(Clone, Debug)]
+pub struct BrokenTeamRc(pub TeamRc);
+
+impl BrokenTeamRc {
+    /// Creates the broken routine for witness row `slot`.
+    pub fn new(
+        config: Arc<TeamRcConfig>,
+        shared: TeamRcShared,
+        slot: usize,
+        input: Value,
+    ) -> Self {
+        let mut inner = TeamRc::new(config, shared, slot, input);
+        inner.skip_singleton_test = true;
+        BrokenTeamRc(inner)
+    }
+}
+
+impl Program for BrokenTeamRc {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        self.0.step(mem)
+    }
+    fn on_crash(&mut self) {
+        self.0.on_crash();
+    }
+    fn state_key(&self) -> Value {
+        self.0.state_key()
+    }
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds a complete Fig. 2 system: memory, shared cells, and one
+/// [`TeamRc`] per witness row, with `inputs[i]` as row `i`'s input.
+///
+/// The inputs must satisfy the *team consensus* precondition (all members
+/// of a team propose the same value) for the agreement guarantee of
+/// Theorem 8 to apply; the function does not enforce it so that tests can
+/// also explore precondition violations.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the witness size.
+pub fn build_team_rc_system(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>) {
+    assert_eq!(inputs.len(), witness.len(), "one input per witness row");
+    let config = TeamRcConfig::new(ty, witness);
+    let mut mem = Memory::new();
+    let shared = alloc_team_rc(&mut mem, &config);
+    // Inputs are given per *original* witness row; normalization only
+    // renames teams, so row indices are stable.
+    let programs: Vec<Box<dyn Program>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(slot, input)| {
+            Box::new(TeamRc::new(config.clone(), shared, slot, input.clone()))
+                as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recording::check_recording;
+    use crate::witness::Assignment;
+    use rc_runtime::sched::{Action, RandomScheduler, RandomSchedulerConfig, ScriptedScheduler};
+    use rc_runtime::verify::check_consensus_execution;
+    use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+    use rc_spec::types::{Cas, Sn, StickyRegister};
+
+    fn sn_witness(n: usize) -> (TypeHandle, RecordingWitness) {
+        let sn = Sn::new(n);
+        let a = Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]);
+        let w = check_recording(&sn, &a).expect("S_n witness");
+        (Arc::new(sn), w)
+    }
+
+    /// Inputs satisfying the team-consensus precondition: team A proposes
+    /// 0, team B proposes 1 (slot 0 is team A in the S_n witness).
+    fn team_inputs(n: usize) -> Vec<Value> {
+        let mut inputs = vec![Value::Int(0)];
+        inputs.extend(vec![Value::Int(1); n - 1]);
+        inputs
+    }
+
+    #[test]
+    fn crash_free_run_agrees() {
+        for n in 2..=5 {
+            let (ty, w) = sn_witness(n);
+            let inputs = team_inputs(n);
+            let (mut mem, mut programs) = build_team_rc_system(ty, &w, &inputs);
+            let mut sched = rc_runtime::sched::RoundRobin::new();
+            let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+            let decision =
+                check_consensus_execution(&exec, &inputs).expect("must satisfy RC properties");
+            assert!(decision.is_some());
+        }
+    }
+
+    #[test]
+    fn randomized_crashes_never_violate_agreement() {
+        for n in 2..=4 {
+            let (ty, w) = sn_witness(n);
+            let inputs = team_inputs(n);
+            for seed in 0..200 {
+                let (mut mem, mut programs) =
+                    build_team_rc_system(ty.clone(), &w, &inputs);
+                let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                    seed,
+                    crash_prob: 0.25,
+                    max_crashes: 4,
+                    simultaneous: false,
+                    crash_after_decide: true,
+                });
+                let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+                check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| {
+                    panic!("n={n}, seed={seed}: {e}\ntrace:\n{}", exec.trace)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn model_checked_for_s2_and_s3() {
+        for n in [2usize, 3] {
+            let (ty, w) = sn_witness(n);
+            let inputs = team_inputs(n);
+            let outcome = explore(
+                &|| build_team_rc_system(ty.clone(), &w, &inputs),
+                &ExploreConfig {
+                    crash_budget: 2,
+                    crash_after_decide: true,
+                    inputs: Some(inputs.clone()),
+                    ..ExploreConfig::default()
+                },
+            );
+            assert!(outcome.is_verified(), "n={n}: {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn works_with_cas_and_sticky_witnesses() {
+        for (ty, n) in [
+            (Arc::new(Cas::new(2)) as TypeHandle, 4usize),
+            (Arc::new(StickyRegister::new(2)) as TypeHandle, 4),
+        ] {
+            let w = crate::find_recording_witness(&ty, n).expect("witness exists");
+            // Team A proposes 0, team B proposes 1, per the found witness.
+            let inputs: Vec<Value> = w
+                .assignment
+                .teams
+                .iter()
+                .map(|t| match t {
+                    Team::A => Value::Int(0),
+                    Team::B => Value::Int(1),
+                })
+                .collect();
+            for seed in 0..100 {
+                let (mut mem, mut programs) =
+                    build_team_rc_system(ty.clone(), &w, &inputs);
+                let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                    seed,
+                    crash_prob: 0.2,
+                    max_crashes: 3,
+                    simultaneous: false,
+                    crash_after_decide: true,
+                });
+                let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+                check_consensus_execution(&exec, &inputs)
+                    .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+            }
+        }
+    }
+
+    /// The paper's second bad scenario (Section 3.1): without the `|B| = 1`
+    /// test, agreement breaks on this exact interleaving.
+    ///
+    /// The scenario needs a witness orientation with `q0 ∉ Q_B` and
+    /// `|B| ≥ 2`. (S_n cannot provide it: its normalized witness always has
+    /// a singleton B, which makes the guard *correct* — so the demo uses
+    /// CAS, whose witnesses have `q0` outside both Q-sets.)
+    #[test]
+    fn broken_variant_violates_agreement_on_papers_schedule() {
+        let cas: TypeHandle = Arc::new(Cas::new(2));
+        let w = crate::find_recording_witness(&cas, 3).expect("cas witness");
+        let w = w.normalized();
+        // Ensure the orientation we need: make B the 2-process team by
+        // swapping if necessary (CAS witnesses have q0 ∉ both Q-sets, so
+        // both orientations are normalized).
+        let w = if w.assignment.team_size(Team::B) >= 2 {
+            w
+        } else {
+            RecordingWitness {
+                assignment: w.assignment.swap_teams(),
+                q_a: w.q_b.clone(),
+                q_b: w.q_a.clone(),
+            }
+        };
+        assert!(w.assignment.team_size(Team::B) >= 2);
+        assert!(!w.q_b.contains(&w.assignment.q0));
+
+        let config = TeamRcConfig::new(cas.clone(), &w);
+        let inputs: Vec<Value> = w
+            .assignment
+            .teams
+            .iter()
+            .map(|t| match t {
+                Team::A => Value::Int(0),
+                Team::B => Value::Int(1),
+            })
+            .collect();
+        let b_members = w.assignment.members(Team::B);
+        let a_members = w.assignment.members(Team::A);
+        let (b1, b2) = (b_members[0], b_members[1]);
+        let a1 = a_members[0];
+
+        let build = |broken: bool| {
+            let mut mem = Memory::new();
+            let shared = alloc_team_rc(&mut mem, &config);
+            let programs: Vec<Box<dyn Program>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(slot, input)| {
+                    if broken {
+                        Box::new(BrokenTeamRc::new(
+                            config.clone(),
+                            shared,
+                            slot,
+                            input.clone(),
+                        )) as Box<dyn Program>
+                    } else {
+                        Box::new(TeamRc::new(config.clone(), shared, slot, input.clone()))
+                            as Box<dyn Program>
+                    }
+                })
+                .collect();
+            (mem, programs)
+        };
+
+        // The paper's interleaving: b1 writes R_B, reads O = q0, passes the
+        // guard (R_A = ⊥) and is poised to update O; a1 writes R_A; b2 runs
+        // to completion, sees R_A ≠ ⊥ at the guard and returns team A's
+        // value; b1 resumes, updates O first, and returns team B's value.
+        let schedule = [
+            Action::Step(b1), // write R_B
+            Action::Step(b1), // read O = q0
+            Action::Step(b1), // guard: reads R_A = ⊥ → will update
+            Action::Step(a1), // a1 writes R_A
+            Action::Step(b2), // write R_B
+            Action::Step(b2), // read O = q0
+            Action::Step(b2), // guard: R_A ≠ ⊥ → DECIDES team A's value
+            Action::Step(b1), // apply op (first update! O ∈ Q_B)
+            Action::Step(b1), // re-read O
+            Action::Step(b1), // output: DECIDES team B's value — violation
+        ];
+
+        // Broken variant: agreement violated on this schedule.
+        let (mut mem, mut programs) = build(true);
+        let mut sched = ScriptedScheduler::then_finish(schedule);
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        let err = check_consensus_execution(&exec, &inputs)
+            .expect_err("the broken variant must violate agreement");
+        assert!(err.to_string().contains("agreement"), "{err}");
+
+        // Correct algorithm: the exact same schedule is harmless (b1 and
+        // b2 skip the guard because |B| > 1).
+        let (mut mem, mut programs) = build(false);
+        let mut sched = ScriptedScheduler::then_finish(schedule);
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        check_consensus_execution(&exec, &inputs).expect("correct variant agrees");
+    }
+
+    #[test]
+    fn broken_variant_caught_by_model_checker() {
+        let cas: TypeHandle = Arc::new(Cas::new(2));
+        let w = crate::find_recording_witness(&cas, 3)
+            .expect("cas witness")
+            .normalized();
+        let w = if w.assignment.team_size(Team::B) >= 2 {
+            w
+        } else {
+            RecordingWitness {
+                assignment: w.assignment.swap_teams(),
+                q_a: w.q_b.clone(),
+                q_b: w.q_a.clone(),
+            }
+        };
+        let config = TeamRcConfig::new(cas, &w);
+        let inputs: Vec<Value> = w
+            .assignment
+            .teams
+            .iter()
+            .map(|t| match t {
+                Team::A => Value::Int(0),
+                Team::B => Value::Int(1),
+            })
+            .collect();
+        let outcome = explore(
+            &|| {
+                let mut mem = Memory::new();
+                let shared = alloc_team_rc(&mut mem, &config);
+                let programs: Vec<Box<dyn Program>> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, input)| {
+                        Box::new(BrokenTeamRc::new(
+                            config.clone(),
+                            shared,
+                            slot,
+                            input.clone(),
+                        )) as Box<dyn Program>
+                    })
+                    .collect();
+                (mem, programs)
+            },
+            &ExploreConfig {
+                crash_budget: 0, // the violation needs no crashes at all
+                inputs: Some(inputs.clone()),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(
+            outcome.is_violation(),
+            "model checker must find the Section 3.1 scenario: {outcome:?}"
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! Tournament composition: from *team* consensus to full consensus
+//! (Proposition 30 / Appendix B).
+//!
+//! The recursive construction: split the `k` processes into two non-empty
+//! groups no larger than the witness's teams; each group recursively
+//! agrees on a group value; the two groups then run *team* consensus —
+//! with the group's agreed value as every member's input — to produce the
+//! final output. The recursion bottoms out at singleton groups, whose
+//! "agreement" is the process's own input.
+//!
+//! A process's view of the tournament is a *chain of stages* from its leaf
+//! to the root: [`StagedProgram`] runs stage `i+1` with stage `i`'s output
+//! as input. On a crash the whole chain restarts from the leaf — exactly
+//! the paper's re-run-from-the-beginning semantics. Re-running is safe
+//! for the recoverable tournament because each stage is itself an RC
+//! algorithm: by agreement, every re-run of a stage produces the same
+//! value, so the stage inputs (and hence the team-consensus preconditions)
+//! are stable across runs.
+//!
+//! The same combinator builds the (non-recoverable) consensus tournament
+//! of Theorem 3 from [`TeamConsensus`](super::TeamConsensus) stages.
+
+use crate::algorithms::consensus::{
+    alloc_team_consensus, TeamConsensus, TeamConsensusConfig,
+};
+use crate::algorithms::team_rc::{alloc_team_rc, TeamRc, TeamRcConfig};
+use crate::discerning::{check_discerning, DiscerningWitness};
+use crate::recording::{check_recording, RecordingWitness};
+use crate::witness::{Assignment, Team};
+use rc_runtime::{MemOps, Memory, Program, Step};
+use rc_spec::{TypeHandle, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A factory producing one stage's program given the stage input.
+pub type StageMaker = Arc<dyn Fn(Value) -> Box<dyn Program> + Send + Sync>;
+
+/// A chain of consensus stages threaded leaf-to-root; see the module docs.
+#[derive(Clone)]
+pub struct StagedProgram {
+    stages: Vec<StageMaker>,
+    original_input: Value,
+    stage_idx: usize,
+    current_input: Value,
+    current: Option<Box<dyn Program>>,
+}
+
+impl StagedProgram {
+    /// Creates a staged program; with no stages it immediately decides its
+    /// own input (the singleton-group base case).
+    pub fn new(stages: Vec<StageMaker>, input: Value) -> Self {
+        StagedProgram {
+            stages,
+            current_input: input.clone(),
+            original_input: input,
+            stage_idx: 0,
+            current: None,
+        }
+    }
+
+    /// Number of stages in the chain.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+impl fmt::Debug for StagedProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StagedProgram")
+            .field("stages", &self.stages.len())
+            .field("stage_idx", &self.stage_idx)
+            .field("current_input", &self.current_input)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Program for StagedProgram {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        if self.stage_idx >= self.stages.len() {
+            return Step::Decided(self.current_input.clone());
+        }
+        let current = self
+            .current
+            .get_or_insert_with(|| self.stages[self.stage_idx](self.current_input.clone()));
+        match current.step(mem) {
+            Step::Running => Step::Running,
+            Step::Decided(v) => {
+                self.current = None;
+                self.current_input = v.clone();
+                self.stage_idx += 1;
+                if self.stage_idx >= self.stages.len() {
+                    Step::Decided(v)
+                } else {
+                    Step::Running
+                }
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.stage_idx = 0;
+        self.current = None;
+        self.current_input = self.original_input.clone();
+    }
+
+    fn state_key(&self) -> Value {
+        Value::triple(
+            Value::Int(self.stage_idx as i64),
+            self.current_input.clone(),
+            self.current
+                .as_ref()
+                .map_or(Value::Bottom, |p| p.state_key()),
+        )
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+/// Splits `k` processes into group sizes `(a', b')` with `a' ≤ a`,
+/// `b' ≤ b`, both non-empty (possible whenever `2 ≤ k ≤ a + b`).
+fn split_sizes(k: usize, a: usize, b: usize) -> (usize, usize) {
+    debug_assert!(k >= 2 && k <= a + b);
+    // Need a' ≥ k − b (so b' ≤ b), a' ≤ a, and 1 ≤ a' ≤ k − 1.
+    let lo = k.saturating_sub(b).max(1);
+    let hi = a.min(k - 1);
+    debug_assert!(lo <= hi);
+    // Balance the tree: prefer an even split within the legal range.
+    let a_prime = (k / 2).clamp(lo, hi);
+    (a_prime, k - a_prime)
+}
+
+/// Builds the sub-assignment of `witness_assignment` for `a'` team-A rows
+/// and `b'` team-B rows, returning the row indices used and the new
+/// assignment (A rows first).
+fn sub_assignment(
+    assignment: &Assignment,
+    a_prime: usize,
+    b_prime: usize,
+) -> Assignment {
+    let a_rows = assignment.members(Team::A);
+    let b_rows = assignment.members(Team::B);
+    assert!(a_prime <= a_rows.len() && b_prime <= b_rows.len());
+    Assignment::split(
+        assignment.q0.clone(),
+        a_rows[..a_prime]
+            .iter()
+            .map(|&i| assignment.ops[i].clone())
+            .collect(),
+        b_rows[..b_prime]
+            .iter()
+            .map(|&i| assignment.ops[i].clone())
+            .collect(),
+    )
+}
+
+/// Recursively builds the stage chains; `stages[p]` accumulates process
+/// `p`'s chain in leaf-to-root order.
+fn build_node<F>(
+    mem: &mut Memory,
+    assignment: &Assignment,
+    procs: &[usize],
+    stages: &mut [Vec<StageMaker>],
+    make_stage: &F,
+) where
+    F: Fn(&mut Memory, Assignment, /*slot of each proc*/ &[usize]) -> Vec<StageMaker>,
+{
+    let k = procs.len();
+    if k < 2 {
+        return;
+    }
+    let a = assignment.team_size(Team::A);
+    let b = assignment.team_size(Team::B);
+    let (a_prime, b_prime) = split_sizes(k, a, b);
+    let (group_a, group_b) = procs.split_at(a_prime);
+
+    // Children first: stages accumulate leaf-to-root.
+    build_node(mem, assignment, group_a, stages, make_stage);
+    build_node(mem, assignment, group_b, stages, make_stage);
+
+    let sub = sub_assignment(assignment, a_prime, b_prime);
+    // Slot i of `sub` belongs to procs[i] (A rows first, matching split).
+    let makers = make_stage(mem, sub, procs);
+    debug_assert_eq!(makers.len(), k);
+    for (i, &p) in procs.iter().enumerate() {
+        stages[p].push(makers[i].clone());
+    }
+}
+
+/// Builds a full *recoverable consensus* system for `inputs.len()`
+/// processes from an *n*-recording witness with `n ≥ inputs.len()`
+/// (Theorem 8 + Proposition 30).
+///
+/// # Panics
+///
+/// Panics if the witness is smaller than the number of processes.
+pub fn build_tournament_rc(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>) {
+    let k = inputs.len();
+    assert!(
+        witness.len() >= k,
+        "witness covers {} processes, need {k}",
+        witness.len()
+    );
+    let mut mem = Memory::new();
+    let mut stages: Vec<Vec<StageMaker>> = vec![Vec::new(); k];
+    let procs: Vec<usize> = (0..k).collect();
+    let ty2 = ty.clone();
+    build_node(
+        &mut mem,
+        &witness.assignment,
+        &procs,
+        &mut stages,
+        &|mem, sub, _procs| {
+            let sub_witness =
+                check_recording(&ty2, &sub).expect("sub-assignments of a recording witness record");
+            let config = TeamRcConfig::new(ty2.clone(), &sub_witness);
+            let shared = alloc_team_rc(mem, &config);
+            (0..sub.len())
+                .map(|slot| {
+                    let config = config.clone();
+                    Arc::new(move |input: Value| {
+                        Box::new(TeamRc::new(config.clone(), shared, slot, input))
+                            as Box<dyn Program>
+                    }) as StageMaker
+                })
+                .collect()
+        },
+    );
+    let programs: Vec<Box<dyn Program>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(p, input)| {
+            Box::new(StagedProgram::new(stages[p].clone(), input.clone())) as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs)
+}
+
+/// Allocates the consensus-tournament cells for `procs` and appends each
+/// process's stage chain to `stages` (leaf-to-root). Shared by
+/// [`build_tournament_consensus`] and the Fig. 4 factory
+/// [`discerning_consensus_factory`](super::discerning_consensus_factory).
+pub(crate) fn build_stages_for_consensus(
+    mem: &mut Memory,
+    ty: &TypeHandle,
+    witness: &DiscerningWitness,
+    procs: &[usize],
+    stages: &mut [Vec<StageMaker>],
+) {
+    let ty2 = ty.clone();
+    build_node(
+        mem,
+        &witness.assignment,
+        procs,
+        stages,
+        &|mem, sub, _procs| {
+            let sub_witness = check_discerning(&ty2, &sub)
+                .expect("sub-assignments of a discerning witness discern");
+            let config = TeamConsensusConfig::new(ty2.clone(), sub_witness);
+            let shared = alloc_team_consensus(mem, &config);
+            (0..sub.len())
+                .map(|slot| {
+                    let config = config.clone();
+                    Arc::new(move |input: Value| {
+                        Box::new(TeamConsensus::new(config.clone(), shared, slot, input))
+                            as Box<dyn Program>
+                    }) as StageMaker
+                })
+                .collect()
+        },
+    );
+}
+
+/// Builds a full (non-recoverable) *consensus* system from an
+/// *n*-discerning witness (Theorem 3's tournament).
+///
+/// # Panics
+///
+/// Panics if the witness is smaller than the number of processes or the
+/// type is not readable.
+pub fn build_tournament_consensus(
+    ty: TypeHandle,
+    witness: &DiscerningWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>) {
+    let k = inputs.len();
+    assert!(
+        witness.len() >= k,
+        "witness covers {} processes, need {k}",
+        witness.len()
+    );
+    let mut mem = Memory::new();
+    let mut stages: Vec<Vec<StageMaker>> = vec![Vec::new(); k];
+    let procs: Vec<usize> = (0..k).collect();
+    build_stages_for_consensus(&mut mem, &ty, witness, &procs, &mut stages);
+    let programs: Vec<Box<dyn Program>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(p, input)| {
+            Box::new(StagedProgram::new(stages[p].clone(), input.clone())) as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
+    use rc_runtime::verify::check_consensus_execution;
+    use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+    use rc_spec::types::{Cas, Sn, Tn};
+
+    fn sn_witness(n: usize) -> (TypeHandle, RecordingWitness) {
+        let sn = Sn::new(n);
+        let a = Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]);
+        let w = check_recording(&sn, &a).expect("S_n witness");
+        (Arc::new(sn), w)
+    }
+
+    #[test]
+    fn split_sizes_are_legal() {
+        for a in 1..=5usize {
+            for b in 1..=5usize {
+                for k in 2..=(a + b) {
+                    let (ap, bp) = split_sizes(k, a, b);
+                    assert!(ap >= 1 && bp >= 1, "k={k}, a={a}, b={b}");
+                    assert!(ap <= a && bp <= b, "k={k}, a={a}, b={b}");
+                    assert_eq!(ap + bp, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tournament_rc_crash_free_with_distinct_inputs() {
+        for n in 2..=5 {
+            let (ty, w) = sn_witness(n);
+            let inputs: Vec<Value> = (0..n).map(|i| Value::Int(i as i64)).collect();
+            let (mut mem, mut programs) = build_tournament_rc(ty, &w, &inputs);
+            let exec = run(
+                &mut mem,
+                &mut programs,
+                &mut RoundRobin::new(),
+                RunOptions::default(),
+            );
+            check_consensus_execution(&exec, &inputs)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tournament_rc_survives_randomized_crashes() {
+        for n in 2..=4 {
+            let (ty, w) = sn_witness(n);
+            let inputs: Vec<Value> = (0..n).map(|i| Value::Int(i as i64)).collect();
+            for seed in 0..150 {
+                let (mut mem, mut programs) = build_tournament_rc(ty.clone(), &w, &inputs);
+                let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                    seed,
+                    crash_prob: 0.2,
+                    max_crashes: 4,
+                    simultaneous: false,
+                    crash_after_decide: true,
+                });
+                let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+                check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| {
+                    panic!("n={n}, seed={seed}: {e}\ntrace:\n{}", exec.trace)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn tournament_rc_model_checked_for_s3() {
+        let (ty, w) = sn_witness(3);
+        let inputs: Vec<Value> = (0..3).map(|i| Value::Int(i as i64)).collect();
+        let outcome = explore(
+            &|| build_tournament_rc(ty.clone(), &w, &inputs),
+            &ExploreConfig {
+                crash_budget: 1,
+                inputs: Some(inputs.clone()),
+                max_states: 3_000_000,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_verified(), "{outcome:?}");
+    }
+
+    #[test]
+    fn tournament_rc_with_cas_many_processes() {
+        let cas: TypeHandle = Arc::new(Cas::new(2));
+        let w = crate::find_recording_witness(&cas, 6).expect("cas 6-witness");
+        let inputs: Vec<Value> = (0..6).map(|i| Value::Int(i64::from(i % 2))).collect();
+        for seed in 0..50 {
+            let (mut mem, mut programs) = build_tournament_rc(cas.clone(), &w, &inputs);
+            let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                seed,
+                crash_prob: 0.15,
+                max_crashes: 5,
+                simultaneous: false,
+                crash_after_decide: true,
+            });
+            let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+            check_consensus_execution(&exec, &inputs)
+                .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tournament_consensus_crash_free_on_tn() {
+        let tn = Tn::new(6);
+        let a = Assignment::split(
+            Tn::forget_state(),
+            vec![Tn::op_a(); 3],
+            vec![Tn::op_b(); 3],
+        );
+        let w = check_discerning(&tn, &a).expect("T_6 witness");
+        let ty: TypeHandle = Arc::new(tn);
+        let inputs: Vec<Value> = (0..6).map(|i| Value::Int(i as i64)).collect();
+        let (mut mem, mut programs) = build_tournament_consensus(ty, &w, &inputs);
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+        );
+        check_consensus_execution(&exec, &inputs).expect("crash-free tournament agrees");
+    }
+
+    #[test]
+    fn fewer_processes_than_witness_is_fine() {
+        // An n-recording witness solves RC for any k ≤ n (unused processes
+        // simply take no steps — Proposition 30's remark).
+        let (ty, w) = sn_witness(5);
+        let inputs: Vec<Value> = (0..3).map(|i| Value::Int(i as i64)).collect();
+        let (mut mem, mut programs) = build_tournament_rc(ty, &w, &inputs);
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+        );
+        check_consensus_execution(&exec, &inputs).expect("3 of 5 processes agree");
+    }
+
+    #[test]
+    fn staged_program_with_no_stages_decides_input() {
+        let mut mem = Memory::new();
+        let mut p = StagedProgram::new(Vec::new(), Value::Int(4));
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.step(&mut mem), Step::Decided(Value::Int(4)));
+    }
+}

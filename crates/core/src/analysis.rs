@@ -1,0 +1,237 @@
+//! Commute / overwrite structure of operation pairs (Herlihy 1991), used by
+//! the paper in Appendix D (Proposition 19), Appendix E (Proposition 21)
+//! and Appendix H (the stack and queue impossibility results, Fig. 8).
+//!
+//! Operations `op_i` and `op_j` **commute** from state `q0` if the
+//! sequences `op_i, op_j` and `op_j, op_i` take the object from `q0` to the
+//! same state. `op_i` **overwrites** `op_j` from `q0` if `op_i` and
+//! `op_j, op_i` take the object from `q0` to the same state.
+//!
+//! For two processes (both teams singletons, so conditions 2–3 of
+//! Definition 4 are vacuous), an assignment `(q0, op_1, op_2)` is
+//! 2-recording **iff** none of the four state coincidences enumerated by
+//! [`PairConflict`] occurs — this is the engine behind the paper's
+//! "any pair of operations either commutes or overwrites, so even the
+//! definition of 2-recording is not satisfied" arguments.
+
+use rc_spec::{ObjectType, Operation, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether `op_i` and `op_j` commute from `q0` (equal final *states*; the
+/// paper's Appendix D definition).
+pub fn commutes(ty: &dyn ObjectType, q0: &Value, op_i: &Operation, op_j: &Operation) -> bool {
+    let (s_ij, _) = ty.apply_all(q0, &[op_i.clone(), op_j.clone()]);
+    let (s_ji, _) = ty.apply_all(q0, &[op_j.clone(), op_i.clone()]);
+    s_ij == s_ji
+}
+
+/// Whether `op_i` overwrites `op_j` from `q0`: `[op_i]` and `[op_j, op_i]`
+/// take the object from `q0` to the same state.
+pub fn overwrites(ty: &dyn ObjectType, q0: &Value, op_i: &Operation, op_j: &Operation) -> bool {
+    let (s_i, _) = ty.apply_all(q0, &[op_i.clone()]);
+    let (s_ji, _) = ty.apply_all(q0, &[op_j.clone(), op_i.clone()]);
+    s_i == s_ji
+}
+
+/// The four state coincidences that each individually refute 2-recording
+/// for a fixed `(q0, op_1, op_2)`.
+///
+/// Writing `a1 = δ(q0, op_1)`, `a12 = δ(q0, op_1 op_2)`,
+/// `b2 = δ(q0, op_2)`, `b21 = δ(q0, op_2 op_1)`, condition 1 of
+/// Definition 4 for two singleton teams says
+/// `{a1, a12} ∩ {b2, b21} = ∅`; the four possible intersections are:
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PairConflict {
+    /// `a12 = b21`: the operations commute.
+    Commute,
+    /// `a1 = b21`: `op_1` overwrites `op_2`.
+    FirstOverwritesSecond,
+    /// `b2 = a12`: `op_2` overwrites `op_1`.
+    SecondOverwritesFirst,
+    /// `a1 = b2`: the two operations have identical effect on `q0`.
+    SameEffect,
+}
+
+impl fmt::Display for PairConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairConflict::Commute => write!(f, "commute"),
+            PairConflict::FirstOverwritesSecond => write!(f, "op1 overwrites op2"),
+            PairConflict::SecondOverwritesFirst => write!(f, "op2 overwrites op1"),
+            PairConflict::SameEffect => write!(f, "same effect"),
+        }
+    }
+}
+
+/// All conflicts refuting 2-recording for `(q0, op_1, op_2)`; an empty
+/// result means the triple *is* a 2-recording witness (for two processes,
+/// conditions 2–3 of Definition 4 are vacuous).
+pub fn pair_conflicts(
+    ty: &dyn ObjectType,
+    q0: &Value,
+    op_1: &Operation,
+    op_2: &Operation,
+) -> Vec<PairConflict> {
+    let (a1, _) = ty.apply_all(q0, &[op_1.clone()]);
+    let (a12, _) = ty.apply_all(q0, &[op_1.clone(), op_2.clone()]);
+    let (b2, _) = ty.apply_all(q0, &[op_2.clone()]);
+    let (b21, _) = ty.apply_all(q0, &[op_2.clone(), op_1.clone()]);
+    let mut conflicts = Vec::new();
+    if a12 == b21 {
+        conflicts.push(PairConflict::Commute);
+    }
+    if a1 == b21 {
+        conflicts.push(PairConflict::FirstOverwritesSecond);
+    }
+    if b2 == a12 {
+        conflicts.push(PairConflict::SecondOverwritesFirst);
+    }
+    if a1 == b2 {
+        conflicts.push(PairConflict::SameEffect);
+    }
+    conflicts
+}
+
+/// One row of the exhaustive pair analysis of [`analyze_pairs`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairReport {
+    /// The initial state analyzed.
+    pub q0: Value,
+    /// First operation.
+    pub op_1: Operation,
+    /// Second operation.
+    pub op_2: Operation,
+    /// The conflicts found (empty = this triple witnesses 2-recording).
+    pub conflicts: Vec<PairConflict>,
+}
+
+/// Exhaustively classifies every `(q0, op_1, op_2)` triple of `ty` — the
+/// computational form of the paper's Appendix H stack analysis ("if both
+/// operations are Pops, they commute; if a Push and a Pop meet an empty
+/// stack, the Push overwrites the Pop; …").
+///
+/// The type is 2-recording **iff** some row has no conflicts.
+pub fn analyze_pairs(ty: &dyn ObjectType) -> Vec<PairReport> {
+    let ops = ty.operations();
+    let mut rows = Vec::new();
+    for q0 in ty.initial_states() {
+        for op_1 in &ops {
+            for op_2 in &ops {
+                rows.push(PairReport {
+                    q0: q0.clone(),
+                    op_1: op_1.clone(),
+                    op_2: op_2.clone(),
+                    conflicts: pair_conflicts(ty, &q0, op_1, op_2),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Whether *every* operation pair of `ty` conflicts from *every* candidate
+/// initial state — a sufficient condition for `ty` **not** being
+/// 2-recording, and hence (by Theorem 14) for `rcons(ty) ≤ 2`.
+pub fn all_pairs_conflict(ty: &dyn ObjectType) -> bool {
+    analyze_pairs(ty).iter().all(|row| !row.conflicts.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_spec::types::{Queue, Sn, Stack, TestAndSet};
+
+    fn push(v: i64) -> Operation {
+        Operation::new("push", Value::Int(v))
+    }
+    fn pop() -> Operation {
+        Operation::nullary("pop")
+    }
+
+    #[test]
+    fn pops_commute() {
+        let s = Stack::new(3, 2);
+        let q0 = Value::List(vec![Value::Int(0), Value::Int(1)]);
+        assert!(commutes(&s, &q0, &pop(), &pop()));
+    }
+
+    #[test]
+    fn push_overwrites_pop_on_empty() {
+        let s = Stack::new(3, 2);
+        assert!(overwrites(&s, &Value::empty_list(), &push(1), &pop()));
+    }
+
+    #[test]
+    fn pushes_do_not_commute_on_state() {
+        let s = Stack::new(3, 2);
+        assert!(!commutes(&s, &Value::empty_list(), &push(0), &push(1)));
+    }
+
+    #[test]
+    fn stack_has_conflict_free_pairs() {
+        // Two pushes of different values from the empty stack neither
+        // commute nor overwrite: the bottom element records the first
+        // pusher. (This is why the stack is 2-recording even though
+        // rcons(stack) = 1 — the record is not READABLE; see Appendix H.)
+        let s = Stack::new(3, 2);
+        assert!(pair_conflicts(&s, &Value::empty_list(), &push(0), &push(1)).is_empty());
+        assert!(!all_pairs_conflict(&s));
+    }
+
+    #[test]
+    fn queue_has_conflict_free_pairs() {
+        assert!(!all_pairs_conflict(&Queue::new(3, 2)));
+    }
+
+    #[test]
+    fn tas_every_pair_conflicts() {
+        // The TAS bit genuinely conflicts everywhere (single operation,
+        // absorbing state), which is why TAS is not 2-recording and the
+        // machinery bounds rcons(TAS) ≤ 2.
+        assert!(all_pairs_conflict(&TestAndSet::new()));
+    }
+
+    #[test]
+    fn register_faa_swap_counter_conflict_everywhere() {
+        use rc_spec::types::{Counter, FetchAdd, MaxRegister, Register, Swap};
+        assert!(all_pairs_conflict(&Register::new(2)));
+        assert!(all_pairs_conflict(&FetchAdd::new(8, &[1, 2])));
+        assert!(all_pairs_conflict(&Swap::new(2)));
+        assert!(all_pairs_conflict(&Counter::new(4)));
+        assert!(all_pairs_conflict(&MaxRegister::new(3)));
+    }
+
+    #[test]
+    fn sn_has_a_conflict_free_pair() {
+        // S_2 is 2-recording, so some (q0, opA, opB) row must be clean.
+        let s2 = Sn::new(2);
+        let rows = analyze_pairs(&s2);
+        assert!(rows.iter().any(|r| r.conflicts.is_empty()));
+        assert!(!all_pairs_conflict(&s2));
+    }
+
+    #[test]
+    fn conflict_kinds_on_stack_match_fig8_cases() {
+        let s = Stack::new(3, 2);
+        // Fig. 8(a): Pop/Pop commute from a non-empty stack.
+        let q_nonempty = Value::List(vec![Value::Int(0)]);
+        assert!(pair_conflicts(&s, &q_nonempty, &pop(), &pop())
+            .contains(&PairConflict::Commute));
+        // Fig. 8(b): Push overwrites Pop from the empty stack.
+        let cs = pair_conflicts(&s, &Value::empty_list(), &push(0), &pop());
+        assert!(cs.contains(&PairConflict::FirstOverwritesSecond));
+        // Two identical pushes: same effect.
+        let cs = pair_conflicts(&s, &Value::empty_list(), &push(0), &push(0));
+        assert!(cs.contains(&PairConflict::SameEffect));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PairConflict::Commute.to_string(), "commute");
+        assert_eq!(
+            PairConflict::SameEffect.to_string(),
+            "same effect"
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! The *n*-discerning property (Definition 2, from Ruppert 2000) and its
+//! decision procedure.
+//!
+//! For a team `X` and a process index `j`, the set `R_{X,j}` contains every
+//! pair `(r, q)` such that some sequence of *distinct* processes
+//! `i_1, …, i_α` **including `j`**, with `p_{i_1} ∈ X`, applied to an object
+//! in state `q0`, makes `op_j` return `r` and leaves the object in state
+//! `q`. A type is **n-discerning** if an assignment exists with
+//! `R_{A,j} ∩ R_{B,j} = ∅` for every `j`: a process that knows its own
+//! response `r` and later reads the state `q` can always tell which team
+//! updated the object first.
+//!
+//! Theorem 3 (Ruppert): a deterministic *readable* type solves `n`-process
+//! wait-free consensus **iff** it is *n*-discerning. The
+//! [`DiscerningWitness`] produced here carries the per-process classifier
+//! `(r, q) ↦ team` that the Theorem-3 consensus algorithm
+//! (`rc-core::algorithms::discerning_consensus`) evaluates at run time.
+
+use crate::recording::multisets;
+use crate::witness::{Assignment, Team};
+use rc_spec::{ObjectType, Value};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// The derived data of a successful Definition-2 check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiscerningWitness {
+    /// The witnessing assignment.
+    pub assignment: Assignment,
+    /// `classifiers[j]` maps `(r, q)` — the response of `op_j` and a state
+    /// read later — to the team that updated the object first.
+    classifiers: Vec<HashMap<(Value, Value), Team>>,
+}
+
+impl DiscerningWitness {
+    /// Number of processes `n`.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the witness covers no processes (never true).
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Which team updated the object first, given that process `j`'s update
+    /// returned `r` and a later read of the object returned state `q`.
+    ///
+    /// Returns `None` if the pair can arise from no execution in which each
+    /// process applies its operation at most once — the Theorem-3 algorithm
+    /// never encounters that case.
+    pub fn classify(&self, j: usize, response: &Value, state: &Value) -> Option<Team> {
+        self.classifiers
+            .get(j)
+            .and_then(|m| m.get(&(response.clone(), state.clone())))
+            .copied()
+    }
+
+    /// The number of classified `(r, q)` pairs for process `j` (diagnostic).
+    pub fn classifier_size(&self, j: usize) -> usize {
+        self.classifiers.get(j).map_or(0, HashMap::len)
+    }
+}
+
+/// Why an assignment fails Definition 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiscerningViolation {
+    /// The process whose response/state pair is ambiguous.
+    pub process: usize,
+    /// The response of `op_j` in both executions.
+    pub response: Value,
+    /// The final state in both executions.
+    pub state: Value,
+}
+
+/// Computes `R_{X,j}` (Definition 2's notation) for `team = X` and process
+/// index `j` (0-based).
+///
+/// The breadth-first search runs over triples *(object state, set of used
+/// processes, response of `op_j` if already applied)*; a pair `(r, q)` is
+/// collected at every node whose used-set contains `j`.
+pub fn r_set(
+    ty: &dyn ObjectType,
+    assignment: &Assignment,
+    team: Team,
+    j: usize,
+) -> BTreeSet<(Value, Value)> {
+    let n = assignment.len();
+    assert!(n <= 31, "r_set supports at most 31 processes");
+    assert!(j < n, "process index out of range");
+    let mut pairs = BTreeSet::new();
+    let mut seen: HashSet<(Value, u32, Option<Value>)> = HashSet::new();
+    let mut frontier = VecDeque::new();
+    for i in 0..n {
+        if assignment.teams[i] == team {
+            let t = ty.apply(&assignment.q0, &assignment.ops[i]);
+            let resp_j = (i == j).then(|| t.response.clone());
+            let node = (t.next, 1u32 << i, resp_j);
+            if seen.insert(node.clone()) {
+                frontier.push_back(node);
+            }
+        }
+    }
+    while let Some((state, used, resp_j)) = frontier.pop_front() {
+        if let Some(r) = &resp_j {
+            pairs.insert((r.clone(), state.clone()));
+        }
+        for k in 0..n {
+            if used & (1 << k) == 0 {
+                let t = ty.apply(&state, &assignment.ops[k]);
+                let resp_j = if k == j {
+                    Some(t.response.clone())
+                } else {
+                    resp_j.clone()
+                };
+                let node = (t.next, used | (1 << k), resp_j);
+                if seen.insert(node.clone()) {
+                    frontier.push_back(node);
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Checks whether `assignment` satisfies Definition 2 for `ty`.
+///
+/// # Errors
+///
+/// Returns the first ambiguous `(process, response, state)` triple found.
+pub fn check_discerning(
+    ty: &dyn ObjectType,
+    assignment: &Assignment,
+) -> Result<DiscerningWitness, DiscerningViolation> {
+    let n = assignment.len();
+    let mut classifiers = Vec::with_capacity(n);
+    for j in 0..n {
+        let r_a = r_set(ty, assignment, Team::A, j);
+        let r_b = r_set(ty, assignment, Team::B, j);
+        if let Some((response, state)) = r_a.intersection(&r_b).next() {
+            return Err(DiscerningViolation {
+                process: j,
+                response: response.clone(),
+                state: state.clone(),
+            });
+        }
+        let mut map = HashMap::with_capacity(r_a.len() + r_b.len());
+        for (r, q) in r_a {
+            map.insert((r, q), Team::A);
+        }
+        for (r, q) in r_b {
+            map.insert((r, q), Team::B);
+        }
+        classifiers.push(map);
+    }
+    Ok(DiscerningWitness {
+        assignment: assignment.clone(),
+        classifiers,
+    })
+}
+
+/// Searches for an *n*-discerning witness for `ty` (exhaustive over
+/// candidate initial states, team sizes, and per-team operation multisets —
+/// see [`find_recording_witness`](crate::find_recording_witness) for why
+/// multisets suffice).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn find_discerning_witness(ty: &dyn ObjectType, n: usize) -> Option<DiscerningWitness> {
+    assert!(n >= 2, "n-discerning is defined for n ≥ 2");
+    let ops = ty.operations();
+    let m = ops.len();
+    let mut q0s: Vec<Value> = ty.initial_states();
+    q0s.dedup();
+    for q0 in &q0s {
+        for size_a in 1..=n / 2 {
+            let size_b = n - size_a;
+            let ms_a = multisets(m, size_a);
+            let ms_b = multisets(m, size_b);
+            for a_ops in &ms_a {
+                for b_ops in &ms_b {
+                    if size_a == size_b && b_ops < a_ops {
+                        continue;
+                    }
+                    let assignment = Assignment::split(
+                        q0.clone(),
+                        a_ops.iter().map(|&i| ops[i].clone()).collect(),
+                        b_ops.iter().map(|&i| ops[i].clone()).collect(),
+                    );
+                    if let Ok(w) = check_discerning(ty, &assignment) {
+                        return Some(w);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether `ty` is *n*-discerning (Definition 2).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn is_discerning(ty: &dyn ObjectType, n: usize) -> bool {
+    find_discerning_witness(ty, n).is_some()
+}
+
+/// The largest `k` in `2..=cap` such that `ty` is `k`-discerning, or `None`
+/// if `ty` is not even 2-discerning.
+///
+/// Discerning is downward closed (drop a process from the larger team, as
+/// in Observation 6), so the scan stops at the first failure.
+pub fn max_discerning(ty: &dyn ObjectType, cap: usize) -> Option<usize> {
+    let mut best = None;
+    for k in 2..=cap {
+        if is_discerning(ty, k) {
+            best = Some(k);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_spec::types::{
+        Cas, Counter, FetchAdd, MaxRegister, Queue, Register, Sn, Stack, TestAndSet, Tn,
+    };
+    use rc_spec::Operation;
+
+    #[test]
+    fn tas_is_2_discerning_with_classifier() {
+        let tas = TestAndSet::new();
+        let w = find_discerning_witness(&tas, 2).expect("TAS is 2-discerning");
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        // First mover saw false: whichever process saw `false` belongs to
+        // the first team.
+        let q_true = Value::Bool(true);
+        let first = w
+            .classify(0, &Value::Bool(false), &q_true)
+            .expect("(false, true) must be classified for p0");
+        let second = w
+            .classify(0, &Value::Bool(true), &q_true)
+            .expect("(true, true) must be classified for p0");
+        assert_ne!(first, second);
+        assert!(w.classifier_size(0) >= 2);
+    }
+
+    #[test]
+    fn tas_is_not_3_discerning() {
+        assert!(find_discerning_witness(&TestAndSet::new(), 3).is_none());
+    }
+
+    #[test]
+    fn stack_discerning_saturates_despite_cons_2() {
+        // The stack's transition structure is n-discerning for every n
+        // (push-only executions record the first team at the bottom of the
+        // stack), yet cons(stack) = 2 (Herlihy 1991): Theorem 3 converts
+        // discerning witnesses into consensus algorithms only for READABLE
+        // types, and the classic stack is not readable.
+        use rc_spec::ObjectType;
+        let stack = Stack::new(3, 2);
+        assert!(!stack.is_readable());
+        assert!(is_discerning(&stack, 2));
+        assert!(is_discerning(&stack, 3));
+        assert!(is_discerning(&stack, 4));
+    }
+
+    #[test]
+    fn queue_discerning_saturates_despite_cons_2() {
+        let queue = Queue::new(3, 2);
+        assert!(is_discerning(&queue, 2));
+        assert!(is_discerning(&queue, 3));
+    }
+
+    #[test]
+    fn faa_and_swap_are_2_discerning() {
+        assert!(is_discerning(&FetchAdd::new(8, &[1, 2]), 2));
+        assert!(!is_discerning(&FetchAdd::new(8, &[1, 2]), 3));
+    }
+
+    #[test]
+    fn register_counter_max_are_not_2_discerning() {
+        assert!(!is_discerning(&Register::new(2), 2));
+        assert!(!is_discerning(&Counter::new(4), 2));
+        assert!(!is_discerning(&MaxRegister::new(3), 2));
+    }
+
+    #[test]
+    fn tn_is_n_discerning_with_papers_witness() {
+        // Proposition 19: q0 = (⊥,0,0), |A| = ⌊n/2⌋ with opA,
+        // |B| = ⌈n/2⌉ with opB.
+        for n in 4..=7 {
+            let tn = Tn::new(n);
+            let a = Assignment::split(
+                Tn::forget_state(),
+                vec![Tn::op_a(); n / 2],
+                vec![Tn::op_b(); n.div_ceil(2)],
+            );
+            check_discerning(&tn, &a).expect("paper's witness must verify");
+        }
+    }
+
+    #[test]
+    fn tn_is_not_n_plus_1_discerning() {
+        for n in 4..=6 {
+            let tn = Tn::new(n);
+            assert!(
+                find_discerning_witness(&tn, n + 1).is_none(),
+                "T_{n} must not be {}-discerning",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn sn_is_n_but_not_n_plus_1_discerning() {
+        // Proposition 21: cons(S_n) = n.
+        for n in 2..=5 {
+            let sn = Sn::new(n);
+            assert!(is_discerning(&sn, n), "S_{n} must be {n}-discerning");
+            assert!(
+                !is_discerning(&sn, n + 1),
+                "S_{n} must not be {}-discerning",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn cas_discerns_many_processes() {
+        assert!(is_discerning(&Cas::new(2), 4));
+    }
+
+    #[test]
+    fn max_discerning_saturates_cap_for_stack() {
+        assert_eq!(max_discerning(&Stack::new(3, 2), 4), Some(4));
+    }
+
+    #[test]
+    fn violation_pinpoints_ambiguity() {
+        // Two writes to a plain register: the second write's (r, q) pair is
+        // identical no matter who went first.
+        let reg = Register::new(2);
+        let a = Assignment::split(
+            Value::Bottom,
+            vec![Operation::new("write", Value::Int(0))],
+            vec![Operation::new("write", Value::Int(1))],
+        );
+        let v = check_discerning(&reg, &a).expect_err("register is not 2-discerning");
+        assert!(v.process < 2);
+    }
+
+    #[test]
+    fn r_set_for_tas_matches_hand_computation() {
+        let tas = TestAndSet::new();
+        let a = Assignment::split(
+            Value::Bool(false),
+            vec![Operation::nullary("tas")],
+            vec![Operation::nullary("tas")],
+        );
+        // R_{A,0}: p0 first (r=false,q=true) or p0 first then p1
+        // (r=false,q=true) → {(false,true)}.
+        let r_a0 = r_set(&tas, &a, Team::A, 0);
+        assert_eq!(r_a0.len(), 1);
+        assert!(r_a0.contains(&(Value::Bool(false), Value::Bool(true))));
+        // R_{B,0}: p1 first then p0: op_0 returns true → {(true,true)}.
+        let r_b0 = r_set(&tas, &a, Team::B, 0);
+        assert_eq!(r_b0.len(), 1);
+        assert!(r_b0.contains(&(Value::Bool(true), Value::Bool(true))));
+    }
+}

@@ -1,0 +1,303 @@
+//! The consensus and recoverable-consensus hierarchies (Section 3.3).
+//!
+//! For a deterministic *readable* type `T` the paper gives an effective
+//! recipe for locating `T` in both hierarchies:
+//!
+//! * `cons(T)` equals the largest `n` for which `T` is *n*-discerning
+//!   (Theorem 3, Ruppert 2000) — exact.
+//! * If `T` is *n*-recording but not (*n*+1)-recording, then
+//!   `rcons(T) ∈ {n, n+1}`: Theorem 8 gives the lower bound, Theorem 14
+//!   the upper (solving (*n*+2)-process RC would make `T`
+//!   (*n*+1)-recording).
+//! * In every case `cons(T) − 2 ≤ rcons(T) ≤ cons(T)` (Corollary 17).
+//!
+//! [`compute_hierarchy`] runs both decision procedures up to a search cap
+//! and packages the resulting interval; [`set_rcons_bounds`] implements the
+//! Theorem 22 bound for a *set* of types.
+
+use crate::discerning::max_discerning;
+use crate::recording::max_recording;
+use rc_spec::ObjectType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The maximum level at which a property (discerning / recording) holds,
+/// relative to a search cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// The property fails already at `n = 2`; the type sits at hierarchy
+    /// level 1 (single-process solvability is trivial).
+    One,
+    /// The property holds at this level and provably fails one level higher
+    /// (the failure was observed inside the search cap).
+    Exactly(usize),
+    /// The property holds at every level up to the search cap; the true
+    /// maximum is `≥ cap` and may be ∞.
+    AtLeastCap(usize),
+}
+
+impl Level {
+    /// The guaranteed lower bound on the hierarchy level.
+    pub fn lower_bound(&self) -> usize {
+        match self {
+            Level::One => 1,
+            Level::Exactly(n) | Level::AtLeastCap(n) => *n,
+        }
+    }
+
+    /// The exact level, if the search resolved it.
+    pub fn exact(&self) -> Option<usize> {
+        match self {
+            Level::One => Some(1),
+            Level::Exactly(n) => Some(*n),
+            Level::AtLeastCap(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::One => write!(f, "1"),
+            Level::Exactly(n) => write!(f, "{n}"),
+            Level::AtLeastCap(n) => write!(f, "≥{n}"),
+        }
+    }
+}
+
+fn level_from_scan(max: Option<usize>, cap: usize) -> Level {
+    match max {
+        None => Level::One,
+        Some(n) if n >= cap => Level::AtLeastCap(cap),
+        Some(n) => Level::Exactly(n),
+    }
+}
+
+/// The result of locating one type in both hierarchies.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyReport {
+    /// The type's name.
+    pub type_name: String,
+    /// Whether the type is readable. The paper's positive theorems
+    /// (Theorem 3: discerning ⟹ consensus; Theorem 8: recording ⟹ RC)
+    /// hold **only for readable types**, so for a non-readable type (e.g.
+    /// the classic stack) the property levels below do *not* translate into
+    /// solvability — see the readability discussion on
+    /// [`rc_spec::types::Stack`].
+    pub readable: bool,
+    /// The search cap used for both properties.
+    pub cap: usize,
+    /// Maximum *n* for which the type is *n*-discerning.
+    pub max_discerning: Level,
+    /// Maximum *n* for which the type is *n*-recording.
+    pub max_recording: Level,
+}
+
+impl HierarchyReport {
+    /// `cons(T)` — exact for readable deterministic types (Theorem 3),
+    /// modulo the search cap. Returns `None` for non-readable types, whose
+    /// consensus number is not determined by the discerning level (the
+    /// classic stack is ∞-discerning yet has `cons = 2`).
+    pub fn cons(&self) -> Option<Level> {
+        self.readable.then_some(self.max_discerning)
+    }
+
+    /// The guaranteed lower bound on `rcons(T)`:
+    /// *n*-recording ⟹ `rcons ≥ n` for *readable* types (Theorem 8);
+    /// for non-readable types only the trivial bound 1 is available.
+    pub fn rcons_lower(&self) -> usize {
+        if self.readable {
+            self.max_recording.lower_bound()
+        } else {
+            1
+        }
+    }
+
+    /// The upper bound on `rcons(T)`, when the search resolved one.
+    ///
+    /// If the type is *r*-recording but not (*r*+1)-recording, Theorem 14
+    /// gives `rcons ≤ r + 1` — the theorem "is true even if the type is not
+    /// readable". For readable types this is combined with `rcons ≤ cons`
+    /// (every RC algorithm solves consensus) when `cons` is exact. Returns
+    /// `None` if the relevant searches saturated the cap.
+    pub fn rcons_upper(&self) -> Option<usize> {
+        let via_recording = self.max_recording.exact().map(|r| r + 1);
+        let via_cons = self.cons().and_then(|c| c.exact());
+        match (via_recording, via_cons) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Whether the computed intervals satisfy Corollary 17
+    /// (`cons − 2 ≤ rcons ≤ cons`, for readable types), used as a
+    /// self-check by the harness. Vacuously true for non-readable types.
+    pub fn satisfies_corollary_17(&self) -> bool {
+        let Some(cons) = self.cons() else {
+            return true;
+        };
+        let cons_lo = cons.lower_bound();
+        // rcons ≥ cons − 2 must be consistent with the intervals: the best
+        // rcons upper bound is ≥ cons_exact − 2.
+        let lower_ok = match self.rcons_upper() {
+            Some(hi) => hi + 2 >= cons_lo,
+            None => true,
+        };
+        let upper_ok = match (cons.exact(), self.rcons_upper()) {
+            (Some(c), Some(hi)) => hi <= c,
+            _ => true,
+        };
+        lower_ok && upper_ok
+    }
+}
+
+impl fmt::Display for HierarchyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rcons = match self.rcons_upper() {
+            Some(hi) if hi == self.rcons_lower() => format!("{hi}"),
+            Some(hi) => format!("[{}, {}]", self.rcons_lower(), hi),
+            None => format!("≥{}", self.rcons_lower()),
+        };
+        let cons = match self.cons() {
+            Some(c) => c.to_string(),
+            None => "n/a (not readable)".to_string(),
+        };
+        write!(
+            f,
+            "{}: discerning={}, recording={}, cons={}, rcons={}",
+            self.type_name, self.max_discerning, self.max_recording, cons, rcons
+        )
+    }
+}
+
+/// Locates `ty` in both hierarchies by exhaustive witness search up to
+/// `cap` processes.
+///
+/// # Panics
+///
+/// Panics if `cap < 2`.
+pub fn compute_hierarchy(ty: &dyn ObjectType, cap: usize) -> HierarchyReport {
+    assert!(cap >= 2, "cap must be at least 2");
+    HierarchyReport {
+        type_name: ty.name(),
+        readable: ty.is_readable(),
+        cap,
+        max_discerning: level_from_scan(max_discerning(ty, cap), cap),
+        max_recording: level_from_scan(max_recording(ty, cap), cap),
+    }
+}
+
+/// Theorem 22: for a non-empty set `T` of deterministic readable types with
+/// `n = max {rcons(T)}`, `n ≤ rcons(T) ≤ n + 1`.
+///
+/// Given per-type reports, returns `(lower, upper)` bounds for the set's RC
+/// number; `upper` is `None` when some member's upper bound is unresolved.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+pub fn set_rcons_bounds(reports: &[HierarchyReport]) -> (usize, Option<usize>) {
+    assert!(!reports.is_empty(), "Theorem 22 needs a non-empty set");
+    let lower = reports
+        .iter()
+        .map(HierarchyReport::rcons_lower)
+        .max()
+        .expect("non-empty");
+    let upper = reports
+        .iter()
+        .map(HierarchyReport::rcons_upper)
+        .collect::<Option<Vec<_>>>()
+        .map(|uppers| uppers.into_iter().max().expect("non-empty") + 1);
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_spec::types::{Cas, Register, Sn, Stack, TestAndSet, Tn};
+
+    #[test]
+    fn sn_report_is_exact() {
+        let r = compute_hierarchy(&Sn::new(3), 6);
+        assert_eq!(r.max_discerning, Level::Exactly(3));
+        assert_eq!(r.max_recording, Level::Exactly(3));
+        assert_eq!(r.rcons_lower(), 3);
+        assert_eq!(r.rcons_upper(), Some(3), "rcons(S_3) = 3 exactly");
+        assert_eq!(r.cons(), Some(Level::Exactly(3)));
+        assert!(r.satisfies_corollary_17());
+    }
+
+    #[test]
+    fn tn_report_shows_gap() {
+        let r = compute_hierarchy(&Tn::new(4), 6);
+        assert_eq!(r.max_discerning, Level::Exactly(4), "cons(T_4) = 4");
+        assert_eq!(r.max_recording, Level::Exactly(2));
+        assert_eq!(r.rcons_lower(), 2);
+        assert_eq!(r.rcons_upper(), Some(3), "rcons(T_4) ∈ {{2, 3}} < 4");
+        assert!(r.satisfies_corollary_17());
+    }
+
+    #[test]
+    fn stack_report_is_gated_on_readability() {
+        // The classic stack is NOT readable: its transition structure
+        // saturates both properties (the bottom element of a push-only
+        // execution records the first team forever), but without a Read
+        // operation neither Theorem 3 nor Theorem 8 applies, so no cons /
+        // rcons bounds may be derived. Appendix H settles them directly:
+        // cons = 2, rcons = 1.
+        let r = compute_hierarchy(&Stack::new(3, 2), 4);
+        assert!(!r.readable);
+        assert_eq!(r.max_discerning, Level::AtLeastCap(4));
+        assert_eq!(r.max_recording, Level::AtLeastCap(4));
+        assert_eq!(r.cons(), None, "cons not derivable for non-readable types");
+        assert_eq!(r.rcons_lower(), 1, "only the trivial lower bound");
+        assert_eq!(r.rcons_upper(), None);
+        assert!(r.satisfies_corollary_17(), "vacuous for non-readable");
+        assert!(r.to_string().contains("not readable"));
+    }
+
+    #[test]
+    fn register_report() {
+        let r = compute_hierarchy(&Register::new(2), 4);
+        assert_eq!(r.max_discerning, Level::One);
+        assert_eq!(r.max_recording, Level::One);
+        assert_eq!(r.cons(), Some(Level::One));
+        assert_eq!(r.rcons_upper(), Some(1), "rcons(register) = 1 exactly");
+    }
+
+    #[test]
+    fn cas_saturates_cap() {
+        let r = compute_hierarchy(&Cas::new(2), 4);
+        assert_eq!(r.max_discerning, Level::AtLeastCap(4));
+        assert_eq!(r.max_recording, Level::AtLeastCap(4));
+        assert_eq!(r.rcons_upper(), None);
+        assert_eq!(r.rcons_lower(), 4);
+    }
+
+    #[test]
+    fn theorem_22_bounds() {
+        let reports = vec![
+            compute_hierarchy(&Sn::new(3), 5),
+            compute_hierarchy(&TestAndSet::new(), 4),
+        ];
+        let (lo, hi) = set_rcons_bounds(&reports);
+        assert_eq!(lo, 3, "the set is at least as strong as S_3");
+        assert_eq!(hi, Some(4), "Theorem 22: at most max + 1");
+    }
+
+    #[test]
+    fn level_display() {
+        assert_eq!(Level::One.to_string(), "1");
+        assert_eq!(Level::Exactly(3).to_string(), "3");
+        assert_eq!(Level::AtLeastCap(5).to_string(), "≥5");
+    }
+
+    #[test]
+    fn report_display_mentions_interval() {
+        let r = compute_hierarchy(&Tn::new(4), 6);
+        let s = r.to_string();
+        assert!(s.contains("rcons=[2, 3]"), "got: {s}");
+    }
+}

@@ -1,0 +1,64 @@
+//! # rc-core — the paper's primary contribution
+//!
+//! This crate implements the central results of
+//! *“When Is Recoverable Consensus Harder Than Consensus?”*
+//! (Delporte-Gallet, Fatourou, Fauconnier, Ruppert — PODC 2022):
+//!
+//! * **Characterizations.** Exact decision procedures for Ruppert's
+//!   [*n*-discerning](check_discerning) property (Definition 2 —
+//!   characterizes readable types that solve ordinary *n*-process
+//!   consensus, Theorem 3) and the paper's new
+//!   [*n*-recording](check_recording) property (Definition 4 — sufficient
+//!   for *n*-process recoverable consensus, Theorem 8, and necessary at
+//!   level *n*−1, Theorem 14).
+//! * **Hierarchies.** [`compute_hierarchy`] locates any finite deterministic
+//!   type in both the consensus and the recoverable-consensus hierarchy,
+//!   producing the paper's headline intervals
+//!   `cons(T) − 2 ≤ rcons(T) ≤ cons(T)` (Corollary 17); [`set_rcons_bounds`]
+//!   implements the multi-type bound of Theorem 22.
+//! * **Structure analysis.** The commute/overwrite machinery of
+//!   [`analysis`] behind the Appendix D/E/H arguments
+//!   (e.g. `rcons(stack) = 1`).
+//! * **Algorithms.** Executable state machines (over the `rc-runtime`
+//!   crash–recovery simulator) for the paper's constructions: the Fig. 2
+//!   recoverable team consensus algorithm, the Appendix B tournament, the
+//!   Theorem 3 consensus algorithm, and the Fig. 4 simultaneous-crash
+//!   transformation — plus deliberately *broken* variants reproducing the
+//!   paper's counterexample scenarios. See [`algorithms`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rc_core::{compute_hierarchy, Level};
+//! use rc_spec::types::Tn;
+//!
+//! // T_6 (Fig. 5): consensus number 6, but max recording level 4 —
+//! // recoverable consensus is strictly harder (Corollary 20).
+//! let report = compute_hierarchy(&Tn::new(6), 8);
+//! assert_eq!(report.max_discerning, Level::Exactly(6));
+//! assert_eq!(report.max_recording, Level::Exactly(4));
+//! assert_eq!(report.rcons_upper(), Some(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod analysis;
+pub mod valency;
+
+mod discerning;
+mod hierarchy;
+mod recording;
+mod witness;
+
+pub use discerning::{
+    check_discerning, find_discerning_witness, is_discerning, max_discerning, r_set,
+    DiscerningViolation, DiscerningWitness,
+};
+pub use hierarchy::{compute_hierarchy, set_rcons_bounds, HierarchyReport, Level};
+pub use recording::{
+    check_recording, find_recording_witness, is_recording, max_recording, q_set,
+    RecordingViolation, RecordingWitness,
+};
+pub use witness::{Assignment, Team};

@@ -1,0 +1,428 @@
+//! The *n*-recording property (Definition 4) and its decision procedure.
+//!
+//! Fix a deterministic type `T`, a state `q0`, a partition of `n` processes
+//! into non-empty teams `A` and `B`, and operations `op_1, …, op_n`.
+//! For a team `X`, the set `Q_X(q0, op_1, …, op_n)` contains every state `q`
+//! reachable by applying the operations of *distinct* processes
+//! `i_1, …, i_α` (in that order) with `p_{i_1} ∈ X`, starting from `q0`.
+//!
+//! `T` is **n-recording** (Definition 4) if such a choice exists with:
+//!
+//! 1. `Q_A ∩ Q_B = ∅`,
+//! 2. `q0 ∉ Q_A` or `|B| = 1`,
+//! 3. `q0 ∉ Q_B` or `|A| = 1`.
+//!
+//! Because the process index sets are finite and the type is deterministic,
+//! `Q_X` is computed exactly by a breadth-first search over pairs
+//! *(object state, set of used processes)* — there are at most `|S| · 2^n`
+//! of them. Witness search enumerates candidate `q0`s, team sizes, and
+//! *multisets* of operations per team (processes on the same team are
+//! interchangeable in the definition, so enumerating multisets instead of
+//! functions loses nothing and is exponentially cheaper).
+
+use crate::witness::{Assignment, Team};
+use rc_spec::{ObjectType, Value};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// The derived data of a successful Definition-4 check: the assignment plus
+/// the exact sets `Q_A` and `Q_B`.
+///
+/// The Fig. 2 algorithm consumes this directly: its run-time tests
+/// "`q ∈ Q_A`" (paper lines 11 and 26) are membership queries on
+/// [`RecordingWitness::q_a`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordingWitness {
+    /// The witnessing assignment.
+    pub assignment: Assignment,
+    /// `Q_A(q0, op_1, …, op_n)`.
+    pub q_a: BTreeSet<Value>,
+    /// `Q_B(q0, op_1, …, op_n)`.
+    pub q_b: BTreeSet<Value>,
+}
+
+impl RecordingWitness {
+    /// Number of processes `n`.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the witness covers no processes (never true; see
+    /// [`Assignment::is_empty`]).
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Returns an equivalent witness in the normal form assumed by the
+    /// Fig. 2 code: `q0 ∉ Q_B`. (Condition 1 guarantees `q0` is in at most
+    /// one of the two sets; if it is in `Q_B`, the team names are swapped.)
+    pub fn normalized(&self) -> RecordingWitness {
+        if self.q_b.contains(&self.assignment.q0) {
+            RecordingWitness {
+                assignment: self.assignment.swap_teams(),
+                q_a: self.q_b.clone(),
+                q_b: self.q_a.clone(),
+            }
+        } else {
+            self.clone()
+        }
+    }
+}
+
+/// Why an assignment fails Definition 4.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordingViolation {
+    /// Condition 1 fails: the state is in both `Q_A` and `Q_B`.
+    Overlap {
+        /// A state in `Q_A ∩ Q_B`.
+        state: Value,
+    },
+    /// Condition 2 fails: `q0 ∈ Q_A` and `|B| > 1`.
+    ReturnsToInitialViaA,
+    /// Condition 3 fails: `q0 ∈ Q_B` and `|A| > 1`.
+    ReturnsToInitialViaB,
+}
+
+/// Computes `Q_X(q0, op_1, …, op_n)` for `team = X` (Definition 4's
+/// notation, Section 3 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use rc_core::{q_set, Assignment, Team};
+/// use rc_spec::types::{Sn, TEAM_A};
+/// use rc_spec::Value;
+///
+/// let s3 = Sn::new(3);
+/// let a = Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(), Sn::op_b()]);
+/// let q_a = q_set(&s3, &a, Team::A);
+/// // Every state reached by a team-A-first execution has winner = A.
+/// assert!(q_a.iter().all(|q| q.as_tuple().unwrap()[0] == Value::sym(TEAM_A)));
+/// ```
+pub fn q_set(ty: &dyn ObjectType, assignment: &Assignment, team: Team) -> BTreeSet<Value> {
+    let n = assignment.len();
+    assert!(n <= 31, "q_set supports at most 31 processes");
+    let mut states = BTreeSet::new();
+    let mut seen: HashSet<(Value, u32)> = HashSet::new();
+    let mut frontier = VecDeque::new();
+    for i in 0..n {
+        if assignment.teams[i] == team {
+            let t = ty.apply(&assignment.q0, &assignment.ops[i]);
+            let node = (t.next, 1u32 << i);
+            if seen.insert(node.clone()) {
+                states.insert(node.0.clone());
+                frontier.push_back(node);
+            }
+        }
+    }
+    while let Some((state, used)) = frontier.pop_front() {
+        for j in 0..n {
+            if used & (1 << j) == 0 {
+                let t = ty.apply(&state, &assignment.ops[j]);
+                let node = (t.next, used | (1 << j));
+                if seen.insert(node.clone()) {
+                    states.insert(node.0.clone());
+                    frontier.push_back(node);
+                }
+            }
+        }
+    }
+    states
+}
+
+/// Checks whether `assignment` satisfies Definition 4 for `ty`.
+///
+/// # Errors
+///
+/// Returns the first [`RecordingViolation`] encountered (conditions checked
+/// in the paper's order).
+pub fn check_recording(
+    ty: &dyn ObjectType,
+    assignment: &Assignment,
+) -> Result<RecordingWitness, RecordingViolation> {
+    let q_a = q_set(ty, assignment, Team::A);
+    let q_b = q_set(ty, assignment, Team::B);
+    if let Some(state) = q_a.intersection(&q_b).next() {
+        return Err(RecordingViolation::Overlap {
+            state: state.clone(),
+        });
+    }
+    if q_a.contains(&assignment.q0) && assignment.team_size(Team::B) != 1 {
+        return Err(RecordingViolation::ReturnsToInitialViaA);
+    }
+    if q_b.contains(&assignment.q0) && assignment.team_size(Team::A) != 1 {
+        return Err(RecordingViolation::ReturnsToInitialViaB);
+    }
+    Ok(RecordingWitness {
+        assignment: assignment.clone(),
+        q_a,
+        q_b,
+    })
+}
+
+/// Enumerates all non-decreasing index sequences of length `k` over
+/// `0..m` — i.e. all multisets of size `k` from `m` operations.
+pub(crate) fn multisets(m: usize, k: usize) -> Vec<Vec<usize>> {
+    fn rec(m: usize, k: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..m {
+            cur.push(i);
+            rec(m, k, i, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(m, k, 0, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Searches for an *n*-recording witness for `ty`.
+///
+/// The search is exhaustive over: candidate initial states
+/// ([`ObjectType::initial_states`]), team-A sizes `1..=n/2` (team names are
+/// symmetric), and multisets of operations per team (processes within a
+/// team are interchangeable). Returns the first witness found, or `None`
+/// if the type is **not** *n*-recording.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (Definition 4 requires two non-empty teams).
+pub fn find_recording_witness(ty: &dyn ObjectType, n: usize) -> Option<RecordingWitness> {
+    assert!(n >= 2, "n-recording is defined for n ≥ 2");
+    let ops = ty.operations();
+    let m = ops.len();
+    let mut q0s: Vec<Value> = ty.initial_states();
+    q0s.dedup();
+    for q0 in &q0s {
+        for size_a in 1..=n / 2 {
+            let size_b = n - size_a;
+            let ms_a = multisets(m, size_a);
+            let ms_b = multisets(m, size_b);
+            for a_ops in &ms_a {
+                for b_ops in &ms_b {
+                    // When the teams have equal size, (A, B) and (B, A) are
+                    // symmetric; skip the lexicographically larger order.
+                    if size_a == size_b && b_ops < a_ops {
+                        continue;
+                    }
+                    let assignment = Assignment::split(
+                        q0.clone(),
+                        a_ops.iter().map(|&i| ops[i].clone()).collect(),
+                        b_ops.iter().map(|&i| ops[i].clone()).collect(),
+                    );
+                    if let Ok(w) = check_recording(ty, &assignment) {
+                        return Some(w);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether `ty` is *n*-recording (Definition 4).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn is_recording(ty: &dyn ObjectType, n: usize) -> bool {
+    find_recording_witness(ty, n).is_some()
+}
+
+/// The largest `k` in `2..=cap` such that `ty` is `k`-recording, or `None`
+/// if `ty` is not even 2-recording.
+///
+/// By Observation 6 the property is downward closed for `k ≥ 3`, so the
+/// scan stops at the first failure. (The proptest suites verify the
+/// observation independently, without this shortcut.)
+pub fn max_recording(ty: &dyn ObjectType, cap: usize) -> Option<usize> {
+    let mut best = None;
+    for k in 2..=cap {
+        if is_recording(ty, k) {
+            best = Some(k);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_spec::types::{Cas, FetchAdd, Register, Sn, Stack, StickyRegister, TestAndSet, Tn};
+    use rc_spec::Operation;
+
+    #[test]
+    fn multiset_counts() {
+        // C(k + m − 1, m − 1): m = 3 ops, k = 2 slots → 6 multisets.
+        assert_eq!(multisets(3, 2).len(), 6);
+        assert_eq!(multisets(2, 4).len(), 5);
+        assert_eq!(multisets(1, 3), vec![vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn sn_is_n_recording_with_papers_witness() {
+        // Proposition 21: q0 = (B, 0), A = {p1} with opA, B = rest with opB.
+        for n in 2..=6 {
+            let sn = Sn::new(n);
+            let a = Assignment::split(
+                Sn::q0(),
+                vec![Sn::op_a()],
+                vec![Sn::op_b(); n - 1],
+            );
+            let w = check_recording(&sn, &a).expect("paper's witness must verify");
+            // Q_A = {(A, row)}, Q_B = {(B, row)} as computed in the proof.
+            assert_eq!(w.q_a.len(), n);
+            assert_eq!(w.q_b.len(), n);
+        }
+    }
+
+    #[test]
+    fn sn_is_not_n_plus_1_recording() {
+        for n in 2..=5 {
+            let sn = Sn::new(n);
+            assert!(
+                find_recording_witness(&sn, n + 1).is_none(),
+                "S_{n} must not be {}-recording",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn sn_max_recording_is_n() {
+        for n in 2..=5 {
+            assert_eq!(max_recording(&Sn::new(n), n + 2), Some(n));
+        }
+    }
+
+    #[test]
+    fn tn_is_not_n_minus_1_recording() {
+        // Proposition 19.
+        for n in 4..=7 {
+            let tn = Tn::new(n);
+            assert!(
+                find_recording_witness(&tn, n - 1).is_none(),
+                "T_{n} must not be {}-recording",
+                n - 1
+            );
+        }
+    }
+
+    #[test]
+    fn tn_is_n_minus_2_recording() {
+        // Theorem 16 (n-discerning ⇒ (n−2)-recording) applied to T_n.
+        for n in 4..=7 {
+            let tn = Tn::new(n);
+            assert!(
+                find_recording_witness(&tn, n - 2).is_some(),
+                "T_{n} must be {}-recording",
+                n - 2
+            );
+        }
+    }
+
+    #[test]
+    fn cas_and_sticky_record_at_high_levels() {
+        let cas = Cas::new(2);
+        assert!(is_recording(&cas, 6));
+        let sticky = StickyRegister::new(2);
+        assert!(is_recording(&sticky, 6));
+    }
+
+    #[test]
+    fn weak_types_are_not_2_recording() {
+        assert!(find_recording_witness(&Register::new(2), 2).is_none());
+        assert!(find_recording_witness(&TestAndSet::new(), 2).is_none());
+        assert!(find_recording_witness(&FetchAdd::new(8, &[1, 2]), 2).is_none());
+    }
+
+    #[test]
+    fn stack_records_at_every_level_but_is_not_readable() {
+        // Subtle and important: Definition 4 does not mention reads, and
+        // the classic stack satisfies it at every level — in a push-only
+        // execution the BOTTOM element permanently records the first
+        // team. The paper's rcons(stack) = 1 (Appendix H) is consistent
+        // because Theorem 8 turns n-recording into an RC algorithm only
+        // for READABLE types, and the stack's record can be consumed only
+        // destructively (by popping), which a crash can then not replay.
+        use rc_spec::ObjectType;
+        let stack = Stack::new(3, 2);
+        assert!(!stack.is_readable());
+        for n in 2..=4 {
+            assert!(is_recording(&stack, n), "stack must be {n}-recording");
+        }
+        // A push-only witness: bottoms differ between the teams.
+        let a = Assignment::split(
+            Value::empty_list(),
+            vec![Operation::new("push", Value::Int(0))],
+            vec![Operation::new("push", Value::Int(1)); 2],
+        );
+        let w = check_recording(&stack, &a).expect("push-only witness verifies");
+        for q in &w.q_a {
+            assert_eq!(q.as_list().and_then(|l| l.first()), Some(&Value::Int(0)));
+        }
+        for q in &w.q_b {
+            assert_eq!(q.as_list().and_then(|l| l.first()), Some(&Value::Int(1)));
+        }
+    }
+
+    #[test]
+    fn violation_reports_overlap_state() {
+        let tas = TestAndSet::new();
+        let a = Assignment::split(
+            Value::Bool(false),
+            vec![Operation::nullary("tas")],
+            vec![Operation::nullary("tas")],
+        );
+        match check_recording(&tas, &a) {
+            Err(RecordingViolation::Overlap { state }) => {
+                assert_eq!(state, Value::Bool(true));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalized_witness_has_q0_outside_q_b() {
+        // The paper's S_2 witness has q0 = (B, 0) ∈ Q_B (the sequence
+        // opB, opA returns to (B, 0)), which is legal because |A| = 1
+        // (condition 3). The Fig. 2 code however assumes q0 ∉ Q_B, so
+        // normalization must swap the teams.
+        let s2 = Sn::new(2);
+        let a = Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b()]);
+        let w = check_recording(&s2, &a).expect("witness");
+        assert!(
+            w.q_b.contains(&w.assignment.q0),
+            "opB then opA returns S_2 to (B, 0)"
+        );
+        let norm = w.normalized();
+        assert!(!norm.q_b.contains(&norm.assignment.q0));
+        assert_eq!(norm.assignment.teams, vec![Team::B, Team::A]);
+        assert!(!norm.is_empty());
+        assert_eq!(norm.len(), 2);
+        // Normalizing an already-normal witness is the identity.
+        assert_eq!(norm.normalized(), norm);
+    }
+
+    #[test]
+    fn q_set_on_sticky_is_team_constant() {
+        let sticky = StickyRegister::new(2);
+        let a = Assignment::split(
+            Value::Bottom,
+            vec![Operation::new("write", Value::Int(0))],
+            vec![Operation::new("write", Value::Int(1))],
+        );
+        assert_eq!(
+            q_set(&sticky, &a, Team::A),
+            std::iter::once(Value::Int(0)).collect()
+        );
+        assert_eq!(
+            q_set(&sticky, &a, Team::B),
+            std::iter::once(Value::Int(1)).collect()
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! The valency machinery behind the paper's impossibility proofs
+//! (Theorem 14, Appendix H / Fig. 8), made executable.
+//!
+//! A finite execution is **v-valent** if every completion decides `v`, and
+//! **multivalent** if different completions decide differently; a
+//! **critical** execution is a multivalent one whose every one-step
+//! extension is univalent (the paper constructs one inductively at the
+//! start of both proofs). This module computes valence sets exactly over
+//! *crash-free* completions — a simplification of the paper's `E_A`
+//! execution class (which also contains budgeted crashes of `p_1`); the
+//! crash moves of the Fig. 8 argument are then applied *at* the critical
+//! execution by the caller, which is exactly how the tests and E7 use it:
+//!
+//! 1. [`find_critical`] locates a critical execution of the 2-process
+//!    stack protocol;
+//! 2. the two one-step extensions commit to different values;
+//! 3. applying both poised operations in either order, then crashing
+//!    `p_1`, leaves states that `p_1`'s recovery run cannot distinguish
+//!    (Fig. 8(a): the pops commute) — so `p_1` decides the same value in
+//!    both branches, contradicting the committed valencies. For a
+//!    *correct* algorithm this is the paper's contradiction; for an actual
+//!    protocol it materializes as an agreement violation, which the tests
+//!    exhibit.
+
+use rc_runtime::{Memory, Pid, Program, Step};
+use rc_spec::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// A system snapshot the valency analysis walks over.
+#[derive(Clone)]
+pub struct System {
+    /// The shared memory.
+    pub mem: Memory,
+    /// The per-process programs.
+    pub programs: Vec<Box<dyn Program>>,
+    /// Which processes' current runs have decided.
+    pub decided: Vec<Option<Value>>,
+}
+
+impl System {
+    /// Wraps a freshly-built system.
+    pub fn new(mem: Memory, programs: Vec<Box<dyn Program>>) -> Self {
+        let n = programs.len();
+        System {
+            mem,
+            programs,
+            decided: vec![None; n],
+        }
+    }
+
+    /// Steps process `p`, recording its decision if the run returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` already decided (the valency tree never steps decided
+    /// processes).
+    pub fn step(&mut self, p: Pid) {
+        assert!(self.decided[p].is_none(), "stepping a decided process");
+        if let Step::Decided(v) = self.programs[p].step(&mut self.mem) {
+            self.decided[p] = Some(v);
+        }
+    }
+
+    /// Crashes process `p` (volatile state wiped, shared memory kept).
+    pub fn crash(&mut self, p: Pid) {
+        self.programs[p].on_crash();
+        self.decided[p] = None;
+    }
+
+    /// Runs process `p` alone until its current run decides, returning the
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` takes more than `max_steps` steps without deciding.
+    pub fn run_solo(&mut self, p: Pid, max_steps: usize) -> Value {
+        for _ in 0..max_steps {
+            if let Some(v) = &self.decided[p] {
+                return v.clone();
+            }
+            self.step(p);
+        }
+        self.decided[p]
+            .clone()
+            .unwrap_or_else(|| panic!("p{p} did not decide within {max_steps} steps"))
+    }
+
+    /// The first decision value, if any (executions of correct consensus
+    /// algorithms decide a single value; for broken protocols this is the
+    /// value the execution is committed to by its earliest decision).
+    pub fn first_decision(&self) -> Option<Value> {
+        self.decided.iter().flatten().next().cloned()
+    }
+
+    fn key(&self) -> (Vec<Value>, Vec<Value>, Vec<Option<Value>>) {
+        (
+            self.mem.state_key(),
+            self.programs.iter().map(|p| p.state_key()).collect(),
+            self.decided.clone(),
+        )
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("decided", &self.decided)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Computes the exact set of first-decision values over all crash-free
+/// completions of `sys` (memoized over system states).
+pub fn valence(sys: &System) -> BTreeSet<Value> {
+    fn rec(
+        sys: &System,
+        memo: &mut HashMap<(Vec<Value>, Vec<Value>, Vec<Option<Value>>), BTreeSet<Value>>,
+    ) -> BTreeSet<Value> {
+        if let Some(v) = sys.first_decision() {
+            return std::iter::once(v).collect();
+        }
+        let key = sys.key();
+        if let Some(cached) = memo.get(&key) {
+            return cached.clone();
+        }
+        let mut values = BTreeSet::new();
+        for p in 0..sys.programs.len() {
+            if sys.decided[p].is_some() {
+                continue;
+            }
+            let mut next = sys.clone();
+            next.step(p);
+            values.extend(rec(&next, memo));
+        }
+        memo.insert(key, values.clone());
+        values
+    }
+    rec(sys, &mut HashMap::new())
+}
+
+/// A critical execution: multivalent, with every enabled one-step
+/// extension univalent.
+#[derive(Clone, Debug)]
+pub struct Critical {
+    /// The schedule (process ids, in order) reaching the critical
+    /// execution from the initial system.
+    pub schedule: Vec<Pid>,
+    /// For each enabled process, the single value its next step commits
+    /// the execution to.
+    pub commitments: Vec<(Pid, Value)>,
+}
+
+/// Finds a critical execution of the system produced by `factory`, if one
+/// exists within the (finite) crash-free execution tree.
+///
+/// Mirrors the paper's construction: start from the initial (multivalent)
+/// execution and extend while staying multivalent; the first execution
+/// whose extensions are all univalent is critical.
+pub fn find_critical(factory: &dyn Fn() -> System) -> Option<Critical> {
+    let sys = factory();
+    if valence(&sys).len() < 2 {
+        return None;
+    }
+    let mut schedule = Vec::new();
+    let mut current = sys;
+    loop {
+        // Classify every enabled extension.
+        let mut commitments = Vec::new();
+        let mut multivalent_child: Option<(Pid, System)> = None;
+        for p in 0..current.programs.len() {
+            if current.decided[p].is_some() {
+                continue;
+            }
+            let mut next = current.clone();
+            next.step(p);
+            let vals = valence(&next);
+            if vals.len() == 1 {
+                commitments.push((p, vals.into_iter().next().expect("single")));
+            } else if multivalent_child.is_none() {
+                multivalent_child = Some((p, next));
+            }
+        }
+        match multivalent_child {
+            None => {
+                return Some(Critical {
+                    schedule,
+                    commitments,
+                });
+            }
+            Some((p, next)) => {
+                schedule.push(p);
+                current = next;
+                // Termination: the crash-free tree is finite (wait-free
+                // programs), so this loop reaches a critical node.
+            }
+        }
+    }
+}
+
+/// Replays a step schedule from a fresh system.
+pub fn replay(factory: &dyn Fn() -> System, schedule: &[Pid]) -> System {
+    let mut sys = factory();
+    for &p in schedule {
+        sys.step(p);
+    }
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_runtime::{Addr, MemOps};
+    use rc_spec::types::ConsensusObject;
+    use std::sync::Arc;
+
+    /// Propose-input program over an atomic consensus object.
+    #[derive(Clone, Debug)]
+    struct Propose {
+        obj: Addr,
+        input: i64,
+    }
+    impl Program for Propose {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            let v = mem.apply(
+                self.obj,
+                &rc_spec::Operation::new("propose", Value::Int(self.input)),
+            );
+            Step::Decided(v)
+        }
+        fn on_crash(&mut self) {}
+        fn state_key(&self) -> Value {
+            Value::Unit
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn consensus_system() -> System {
+        let mut mem = Memory::new();
+        let obj = mem.alloc_object(Arc::new(ConsensusObject::new(4)), Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = (0..2)
+            .map(|i| Box::new(Propose { obj, input: i }) as Box<dyn Program>)
+            .collect();
+        System::new(mem, programs)
+    }
+
+    #[test]
+    fn initial_execution_is_multivalent() {
+        let sys = consensus_system();
+        let vals = valence(&sys);
+        assert_eq!(vals.len(), 2, "either input can win: {vals:?}");
+    }
+
+    #[test]
+    fn consensus_object_critical_execution_is_empty() {
+        // For an atomic consensus object, the empty execution is already
+        // critical: each process's first step decides the outcome.
+        let critical = find_critical(&consensus_system).expect("critical exists");
+        assert!(critical.schedule.is_empty());
+        assert_eq!(critical.commitments.len(), 2);
+        let values: BTreeSet<&Value> =
+            critical.commitments.iter().map(|(_, v)| v).collect();
+        assert_eq!(values.len(), 2, "the two steps commit to different values");
+    }
+
+    #[test]
+    fn valence_after_commitment_is_singleton() {
+        let critical = find_critical(&consensus_system).expect("critical");
+        for (p, v) in &critical.commitments {
+            let mut sys = replay(&consensus_system, &critical.schedule);
+            sys.step(*p);
+            let vals = valence(&sys);
+            assert_eq!(vals.len(), 1);
+            assert_eq!(vals.into_iter().next().expect("single"), *v);
+        }
+    }
+
+    #[test]
+    fn run_solo_decides() {
+        let mut sys = consensus_system();
+        let v = sys.run_solo(0, 10);
+        assert_eq!(v, Value::Int(0));
+        // p1 now decides the same value.
+        let v1 = sys.run_solo(1, 10);
+        assert_eq!(v1, Value::Int(0));
+    }
+}

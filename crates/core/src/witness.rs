@@ -1,0 +1,190 @@
+//! Teams, operation assignments, and property witnesses.
+//!
+//! Both of the paper's characterizations (Definitions 2 and 4) quantify over
+//! the same data: an initial state `q0`, a partition of `n` processes into
+//! two non-empty teams `A` and `B`, and an operation `op_i` for each
+//! process. [`Assignment`] packages that data; the checkers in
+//! [`recording`](crate::recording) and [`discerning`](crate::discerning)
+//! decide whether an assignment satisfies the respective definition and, if
+//! so, produce a *witness* carrying the derived sets (`Q_X`, `R_{X,j}`)
+//! that the paper's algorithms consume at run time.
+
+use rc_spec::{Operation, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the two teams of Definitions 2 and 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Team {
+    /// Team A.
+    A,
+    /// Team B.
+    B,
+}
+
+impl Team {
+    /// The opposite team (written `X̄` in the paper).
+    pub fn opposite(self) -> Team {
+        match self {
+            Team::A => Team::B,
+            Team::B => Team::A,
+        }
+    }
+}
+
+impl fmt::Display for Team {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Team::A => write!(f, "A"),
+            Team::B => write!(f, "B"),
+        }
+    }
+}
+
+/// The data quantified over by Definitions 2 and 4: an initial state, a team
+/// partition, and one update operation per process.
+///
+/// Process `i`'s team is `teams[i]` and its operation is `ops[i]`
+/// (0-indexed; the paper's `p_{i+1}`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The initial state `q0`.
+    pub q0: Value,
+    /// `teams[i]` is process `i`'s team; both teams must be non-empty.
+    pub teams: Vec<Team>,
+    /// `ops[i]` is the update operation process `i` performs.
+    pub ops: Vec<Operation>,
+}
+
+impl Assignment {
+    /// Creates an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `teams` and `ops` have different lengths, fewer than two
+    /// processes are given, or either team is empty.
+    pub fn new(q0: Value, teams: Vec<Team>, ops: Vec<Operation>) -> Self {
+        assert_eq!(teams.len(), ops.len(), "teams/ops length mismatch");
+        assert!(teams.len() >= 2, "need at least two processes");
+        assert!(
+            teams.iter().any(|t| *t == Team::A) && teams.iter().any(|t| *t == Team::B),
+            "both teams must be non-empty"
+        );
+        Assignment { q0, teams, ops }
+    }
+
+    /// Convenience constructor: the first `size_a` processes form team A
+    /// with operations `ops_a`, the rest form team B with `ops_b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operation list is empty.
+    pub fn split(q0: Value, ops_a: Vec<Operation>, ops_b: Vec<Operation>) -> Self {
+        assert!(!ops_a.is_empty() && !ops_b.is_empty(), "teams must be non-empty");
+        let mut teams = vec![Team::A; ops_a.len()];
+        teams.extend(vec![Team::B; ops_b.len()]);
+        let mut ops = ops_a;
+        ops.extend(ops_b);
+        Assignment { q0, teams, ops }
+    }
+
+    /// Number of processes `n`.
+    pub fn len(&self) -> usize {
+        self.teams.len()
+    }
+
+    /// Whether the assignment has no processes (never true for a valid
+    /// assignment; provided for clippy-conventional completeness).
+    pub fn is_empty(&self) -> bool {
+        self.teams.is_empty()
+    }
+
+    /// Indices of the processes on `team`.
+    pub fn members(&self, team: Team) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.teams[i] == team).collect()
+    }
+
+    /// Size of `team`.
+    pub fn team_size(&self, team: Team) -> usize {
+        self.teams.iter().filter(|t| **t == team).count()
+    }
+
+    /// Returns the same assignment with the team names swapped.
+    ///
+    /// Both definitions are symmetric in the team names, so this preserves
+    /// the defined properties; the Fig. 2 algorithm uses it to normalize a
+    /// witness into its `q0 ∉ Q_B` form.
+    pub fn swap_teams(&self) -> Assignment {
+        Assignment {
+            q0: self.q0.clone(),
+            teams: self.teams.iter().map(|t| t.opposite()).collect(),
+            ops: self.ops.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q0={}; ", self.q0)?;
+        for i in 0..self.len() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "p{}∈{}:{}", i + 1, self.teams[i], self.ops[i])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &str) -> Operation {
+        Operation::nullary(name)
+    }
+
+    #[test]
+    fn split_builds_partition() {
+        let a = Assignment::split(
+            Value::Bottom,
+            vec![op("x")],
+            vec![op("y"), op("y")],
+        );
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.members(Team::A), vec![0]);
+        assert_eq!(a.members(Team::B), vec![1, 2]);
+        assert_eq!(a.team_size(Team::A), 1);
+        assert_eq!(a.team_size(Team::B), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn swap_teams_is_involutive() {
+        let a = Assignment::split(Value::Bottom, vec![op("x")], vec![op("y")]);
+        let swapped = a.swap_teams();
+        assert_eq!(swapped.teams, vec![Team::B, Team::A]);
+        assert_eq!(swapped.swap_teams(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "both teams")]
+    fn rejects_single_team() {
+        Assignment::new(Value::Bottom, vec![Team::A, Team::A], vec![op("x"), op("x")]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Assignment::split(Value::Bottom, vec![op("opA")], vec![op("opB")]);
+        let s = a.to_string();
+        assert!(s.contains("p1∈A:opA"));
+        assert!(s.contains("p2∈B:opB"));
+    }
+
+    #[test]
+    fn team_opposite() {
+        assert_eq!(Team::A.opposite(), Team::B);
+        assert_eq!(Team::B.opposite(), Team::A);
+        assert_eq!(Team::A.to_string(), "A");
+    }
+}

@@ -1,0 +1,266 @@
+//! The simulation loop.
+
+use crate::memory::Memory;
+use crate::program::{Program, Step};
+use crate::sched::{Action, SchedContext, Scheduler};
+use crate::trace::{Trace, TraceEvent};
+use rc_spec::Value;
+
+/// Options for [`run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Safety bound on the total number of scheduled actions (steps +
+    /// crashes). A recoverable wait-free algorithm with a finite crash
+    /// budget always terminates well below any sensible bound; hitting the
+    /// bound indicates a bug and is reported via
+    /// [`Execution::hit_step_limit`].
+    pub max_actions: usize,
+    /// Whether to record a [`Trace`] (on by default; turn off for
+    /// benchmarks).
+    pub record_trace: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_actions: 1_000_000,
+            record_trace: true,
+        }
+    }
+}
+
+/// The observable result of a simulated execution.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// `outputs[p]` — every output produced by process `p`, across all of
+    /// its runs (a process crashes after deciding and re-runs may decide
+    /// again; agreement quantifies over *all* of these, Section 1).
+    pub outputs: Vec<Vec<Value>>,
+    /// Total process steps executed.
+    pub steps: usize,
+    /// Total crash events injected.
+    pub crashes: usize,
+    /// Whether every process's final run decided.
+    pub all_decided: bool,
+    /// Whether the [`RunOptions::max_actions`] safety bound was hit.
+    pub hit_step_limit: bool,
+    /// The schedule that was executed (empty if trace recording was off).
+    pub trace: Trace,
+}
+
+impl Execution {
+    /// All outputs produced by any run of any process, flattened.
+    pub fn all_outputs(&self) -> Vec<Value> {
+        self.outputs.iter().flatten().cloned().collect()
+    }
+}
+
+/// Runs `programs` against `mem` under `sched` until the scheduler ends
+/// the execution or the safety bound trips.
+///
+/// Crash semantics (the paper's model, Section 1): a crash calls
+/// [`Program::on_crash`] — volatile state is reset, shared memory (`mem`)
+/// is untouched — and the process subsequently re-executes from the
+/// beginning. Crashing a process whose current run had already decided
+/// clears its decided flag, forcing a re-run whose output is *also*
+/// recorded (agreement must cover it).
+pub fn run(
+    mem: &mut Memory,
+    programs: &mut [Box<dyn Program>],
+    sched: &mut dyn Scheduler,
+    options: RunOptions,
+) -> Execution {
+    let n = programs.len();
+    let mut decided = vec![false; n];
+    let mut outputs: Vec<Vec<Value>> = vec![Vec::new(); n];
+    let mut trace = Trace::new();
+    let mut steps = 0usize;
+    let mut crashes = 0usize;
+    let mut actions = 0usize;
+    let mut hit_step_limit = false;
+
+    loop {
+        if actions >= options.max_actions {
+            hit_step_limit = true;
+            break;
+        }
+        let ctx = SchedContext {
+            n,
+            decided: &decided,
+            steps_taken: steps,
+            crashes_injected: crashes,
+        };
+        let Some(action) = sched.next_action(&ctx) else {
+            break;
+        };
+        actions += 1;
+        match action {
+            Action::Step(p) => {
+                assert!(p < n, "scheduler stepped unknown process {p}");
+                if decided[p] {
+                    // A decided run has terminated; stepping it is a no-op
+                    // (schedulers normally never do this).
+                    continue;
+                }
+                steps += 1;
+                if options.record_trace {
+                    trace.push(TraceEvent::Stepped(p));
+                }
+                if let Step::Decided(v) = programs[p].step(mem) {
+                    decided[p] = true;
+                    outputs[p].push(v.clone());
+                    if options.record_trace {
+                        trace.push(TraceEvent::Decided(p, v));
+                    }
+                }
+            }
+            Action::Crash(p) => {
+                assert!(p < n, "scheduler crashed unknown process {p}");
+                crashes += 1;
+                programs[p].on_crash();
+                decided[p] = false;
+                if options.record_trace {
+                    trace.push(TraceEvent::Crashed(p));
+                }
+            }
+            Action::CrashAll => {
+                crashes += 1;
+                for (p, prog) in programs.iter_mut().enumerate() {
+                    prog.on_crash();
+                    decided[p] = false;
+                }
+                if options.record_trace {
+                    trace.push(TraceEvent::CrashedAll);
+                }
+            }
+        }
+    }
+
+    Execution {
+        outputs,
+        steps,
+        crashes,
+        all_decided: decided.iter().all(|d| *d),
+        hit_step_limit,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{Addr, MemOps};
+    use crate::sched::{RoundRobin, ScriptedScheduler};
+
+    /// Writes its input, reads it back, decides what it read.
+    #[derive(Clone, Debug)]
+    struct WriteReadDecide {
+        addr: Addr,
+        input: Value,
+        pc: u8,
+    }
+
+    impl Program for WriteReadDecide {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            match self.pc {
+                0 => {
+                    mem.write_register(self.addr, self.input.clone());
+                    self.pc = 1;
+                    Step::Running
+                }
+                _ => Step::Decided(mem.read_register(self.addr)),
+            }
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
+        }
+        fn state_key(&self) -> Value {
+            Value::Int(i64::from(self.pc))
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn system(n: usize) -> (Memory, Vec<Box<dyn Program>>) {
+        let mut mem = Memory::new();
+        let addr = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = (0..n)
+            .map(|i| {
+                Box::new(WriteReadDecide {
+                    addr,
+                    input: Value::Int(i as i64),
+                    pc: 0,
+                }) as Box<dyn Program>
+            })
+            .collect();
+        (mem, programs)
+    }
+
+    #[test]
+    fn round_robin_run_decides_everyone() {
+        let (mut mem, mut programs) = system(3);
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+        );
+        assert!(exec.all_decided);
+        assert!(!exec.hit_step_limit);
+        assert_eq!(exec.steps, 6);
+        assert_eq!(exec.outputs.iter().map(Vec::len).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn crash_forces_rerun_and_both_outputs_recorded() {
+        let (mut mem, mut programs) = system(1);
+        use crate::sched::Action::*;
+        let mut sched = ScriptedScheduler::then_finish([
+            Step(0),
+            Step(0), // decides
+            Crash(0),
+            // then_finish re-runs p0 to a second decision
+        ]);
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        assert_eq!(exec.outputs[0].len(), 2, "one output per run");
+        assert_eq!(exec.outputs[0][0], exec.outputs[0][1]);
+        assert_eq!(exec.crashes, 1);
+        assert_eq!(exec.all_outputs().len(), 2);
+    }
+
+    #[test]
+    fn crash_all_resets_every_process() {
+        let (mut mem, mut programs) = system(2);
+        use crate::sched::Action::*;
+        let mut sched = ScriptedScheduler::then_finish([Step(0), Step(1), CrashAll]);
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        assert!(exec.all_decided);
+        assert_eq!(exec.crashes, 1);
+        assert_eq!(exec.trace.crash_count(), 1);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let (mut mem, mut programs) = system(2);
+        // A scheduler that loops forever crashing p0.
+        struct CrashLoop;
+        impl Scheduler for CrashLoop {
+            fn next_action(&mut self, _: &SchedContext<'_>) -> Option<Action> {
+                Some(Action::Crash(0))
+            }
+        }
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut CrashLoop,
+            RunOptions {
+                max_actions: 100,
+                record_trace: false,
+            },
+        );
+        assert!(exec.hit_step_limit);
+        assert!(!exec.all_decided);
+        assert!(exec.trace.is_empty());
+    }
+}

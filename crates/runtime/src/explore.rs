@@ -1,0 +1,496 @@
+//! Bounded-exhaustive model checking of crash–recovery executions.
+//!
+//! [`explore`] enumerates, by depth-first search, **every** execution of a
+//! system of [`Program`]s under the paper's adversary, up to a crash
+//! budget: at each point the adversary may step any undecided process, or
+//! (budget permitting) crash any process / all processes. Reached system
+//! states — shared memory contents, every process's volatile state, the
+//! decided flags, the remaining budget — are memoized *structurally*
+//! (full-fidelity keys, no hashing shortcuts), so the search visits each
+//! state once and the verdict is exact.
+//!
+//! The checked properties are the safety half of recoverable consensus
+//! (Section 1):
+//!
+//! * **agreement** — no two outputs (across processes *and* across re-runs
+//!   of one process) differ;
+//! * **validity** — every output is one of the declared inputs.
+//!
+//! Termination (recoverable wait-freedom) holds by construction for the
+//! paper's loop-free algorithms and is additionally guarded by a depth
+//! bound.
+
+use crate::memory::Memory;
+use crate::program::{Program, Step};
+use crate::sched::Action;
+use rc_spec::Value;
+use std::collections::HashSet;
+
+/// Configuration for [`explore`].
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Maximum number of crash events along any one execution.
+    pub crash_budget: usize,
+    /// If `true`, crashes are simultaneous (`CrashAll`); otherwise
+    /// individual (`Crash(p)`).
+    pub simultaneous: bool,
+    /// Whether the adversary may crash a process whose current run already
+    /// decided (forcing re-runs). Default `false` keeps the state space
+    /// small; the randomized tester covers post-decide crashes at scale.
+    pub crash_after_decide: bool,
+    /// The declared inputs, for the validity check. `None` skips validity.
+    pub inputs: Option<Vec<Value>>,
+    /// Safety cap on distinct states (the search reports truncation).
+    pub max_states: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            crash_budget: 1,
+            simultaneous: false,
+            crash_after_decide: false,
+            inputs: None,
+            max_states: 5_000_000,
+        }
+    }
+}
+
+/// The result of an exhaustive exploration.
+#[derive(Clone, Debug)]
+pub enum ExploreOutcome {
+    /// Every reachable execution satisfies agreement (and validity, if
+    /// inputs were declared).
+    Verified {
+        /// Number of distinct system states visited.
+        states: usize,
+        /// Number of complete executions (leaves) enumerated, counting
+        /// each memoized suffix once.
+        leaves: usize,
+    },
+    /// A safety violation was found; the action sequence reproduces it.
+    Violation {
+        /// What went wrong.
+        kind: ViolationKind,
+        /// The schedule that exhibits the violation, from the initial
+        /// state.
+        schedule: Vec<Action>,
+        /// The conflicting outputs observed on that schedule.
+        outputs: Vec<Value>,
+    },
+    /// The state cap was hit before the search completed.
+    Truncated {
+        /// Number of distinct system states visited before giving up.
+        states: usize,
+    },
+}
+
+impl ExploreOutcome {
+    /// Whether the outcome proves safety over the explored space.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, ExploreOutcome::Verified { .. })
+    }
+
+    /// Whether a violation was found.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, ExploreOutcome::Violation { .. })
+    }
+}
+
+/// Which safety property failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two outputs differ.
+    Agreement,
+    /// An output is not among the declared inputs.
+    Validity,
+}
+
+/// A factory producing the initial system; the model checker clones its
+/// output to branch the search.
+pub type SystemFactory<'a> = dyn Fn() -> (Memory, Vec<Box<dyn Program>>) + 'a;
+
+struct Search<'a> {
+    config: &'a ExploreConfig,
+    visited: HashSet<(Vec<Value>, Vec<Value>, Vec<bool>, usize, Option<Value>)>,
+    schedule: Vec<Action>,
+    leaves: usize,
+    truncated: bool,
+    violation: Option<(ViolationKind, Vec<Action>, Vec<Value>)>,
+}
+
+#[derive(Clone)]
+struct Node {
+    mem: Memory,
+    programs: Vec<Box<dyn Program>>,
+    decided: Vec<bool>,
+    crashes_used: usize,
+    decided_value: Option<Value>,
+}
+
+impl Node {
+    fn key(&self) -> (Vec<Value>, Vec<Value>, Vec<bool>, usize, Option<Value>) {
+        (
+            self.mem.state_key(),
+            self.programs.iter().map(|p| p.state_key()).collect(),
+            self.decided.clone(),
+            self.crashes_used,
+            self.decided_value.clone(),
+        )
+    }
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, node: Node) {
+        if self.violation.is_some() || self.truncated {
+            return;
+        }
+        if !self.visited.insert(node.key()) {
+            return;
+        }
+        if self.visited.len() > self.config.max_states {
+            self.truncated = true;
+            return;
+        }
+
+        let n = node.programs.len();
+        let mut any_action = false;
+
+        // Step actions for undecided processes.
+        for p in 0..n {
+            if node.decided[p] {
+                continue;
+            }
+            any_action = true;
+            let mut next = node.clone();
+            self.schedule.push(Action::Step(p));
+            let step = next.programs[p].step(&mut next.mem);
+            if let Step::Decided(v) = step {
+                next.decided[p] = true;
+                if let Some(kind) = self.check_output(&node.decided_value, &v) {
+                    self.violation = Some((
+                        kind,
+                        self.schedule.clone(),
+                        match &node.decided_value {
+                            Some(d) => vec![d.clone(), v.clone()],
+                            None => vec![v.clone()],
+                        },
+                    ));
+                    self.schedule.pop();
+                    return;
+                }
+                next.decided_value = Some(v);
+            }
+            self.dfs(next);
+            self.schedule.pop();
+            if self.violation.is_some() || self.truncated {
+                return;
+            }
+        }
+
+        // Crash actions, budget permitting.
+        if node.crashes_used < self.config.crash_budget {
+            if self.config.simultaneous {
+                any_action = true;
+                let mut next = node.clone();
+                self.schedule.push(Action::CrashAll);
+                for p in 0..n {
+                    next.programs[p].on_crash();
+                    next.decided[p] = false;
+                }
+                next.crashes_used += 1;
+                self.dfs(next);
+                self.schedule.pop();
+                if self.violation.is_some() || self.truncated {
+                    return;
+                }
+            } else {
+                for p in 0..n {
+                    if node.decided[p] && !self.config.crash_after_decide {
+                        continue;
+                    }
+                    any_action = true;
+                    let mut next = node.clone();
+                    self.schedule.push(Action::Crash(p));
+                    next.programs[p].on_crash();
+                    next.decided[p] = false;
+                    next.crashes_used += 1;
+                    self.dfs(next);
+                    self.schedule.pop();
+                    if self.violation.is_some() || self.truncated {
+                        return;
+                    }
+                }
+            }
+        }
+
+        if !any_action {
+            self.leaves += 1;
+        }
+    }
+
+    fn check_output(&self, decided: &Option<Value>, v: &Value) -> Option<ViolationKind> {
+        if let Some(d) = decided {
+            if d != v {
+                return Some(ViolationKind::Agreement);
+            }
+        }
+        if let Some(inputs) = &self.config.inputs {
+            if !inputs.contains(v) {
+                return Some(ViolationKind::Validity);
+            }
+        }
+        None
+    }
+}
+
+/// Exhaustively explores every execution of the system produced by
+/// `factory` under `config`'s adversary.
+pub fn explore(factory: &SystemFactory<'_>, config: &ExploreConfig) -> ExploreOutcome {
+    let (mem, programs) = factory();
+    let n = programs.len();
+    let mut search = Search {
+        config,
+        visited: HashSet::new(),
+        schedule: Vec::new(),
+        leaves: 0,
+        truncated: false,
+        violation: None,
+    };
+    search.dfs(Node {
+        mem,
+        programs,
+        decided: vec![false; n],
+        crashes_used: 0,
+        decided_value: None,
+    });
+    if let Some((kind, schedule, outputs)) = search.violation {
+        ExploreOutcome::Violation {
+            kind,
+            schedule,
+            outputs,
+        }
+    } else if search.truncated {
+        ExploreOutcome::Truncated {
+            states: search.visited.len(),
+        }
+    } else {
+        ExploreOutcome::Verified {
+            states: search.visited.len(),
+            leaves: search.leaves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{Addr, MemOps};
+
+    /// A correct 1-process program: decides its input.
+    #[derive(Clone, Debug)]
+    struct DecideInput {
+        input: Value,
+    }
+    impl Program for DecideInput {
+        fn step(&mut self, _: &mut dyn MemOps) -> Step {
+            Step::Decided(self.input.clone())
+        }
+        fn on_crash(&mut self) {}
+        fn state_key(&self) -> Value {
+            Value::Unit
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    /// A deliberately broken 2-process "consensus": each decides its own
+    /// input — agreement fails whenever inputs differ.
+    #[derive(Clone, Debug)]
+    struct DecideOwn {
+        input: Value,
+    }
+    impl Program for DecideOwn {
+        fn step(&mut self, _: &mut dyn MemOps) -> Step {
+            Step::Decided(self.input.clone())
+        }
+        fn on_crash(&mut self) {}
+        fn state_key(&self) -> Value {
+            Value::Unit
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    /// Writes 0 on the first run, and after a crash decides 1 — violating
+    /// agreement across re-runs of the *same* process when combined with
+    /// the first run's decision. Used to check post-decide crash handling.
+    #[derive(Clone, Debug)]
+    struct ForgetfulDecider {
+        addr: Addr,
+        pc: u8,
+    }
+    impl Program for ForgetfulDecider {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            match self.pc {
+                0 => {
+                    // First run: decide 0 and mark the memory.
+                    let seen = mem.read_register(self.addr);
+                    self.pc = 1;
+                    if seen.is_bottom() {
+                        Step::Running
+                    } else {
+                        // Recovery run: decide differently. BUG by design.
+                        Step::Decided(Value::Int(1))
+                    }
+                }
+                _ => {
+                    mem.write_register(self.addr, Value::Int(0));
+                    Step::Decided(Value::Int(0))
+                }
+            }
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
+        }
+        fn state_key(&self) -> Value {
+            Value::Int(i64::from(self.pc))
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn verifies_trivial_agreeing_system() {
+        let outcome = explore(
+            &|| {
+                let mem = Memory::new();
+                let programs: Vec<Box<dyn Program>> = vec![
+                    Box::new(DecideInput {
+                        input: Value::Int(3),
+                    }),
+                    Box::new(DecideInput {
+                        input: Value::Int(3),
+                    }),
+                ];
+                (mem, programs)
+            },
+            &ExploreConfig {
+                crash_budget: 2,
+                inputs: Some(vec![Value::Int(3)]),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_verified(), "{outcome:?}");
+    }
+
+    #[test]
+    fn finds_agreement_violation() {
+        let outcome = explore(
+            &|| {
+                let mem = Memory::new();
+                let programs: Vec<Box<dyn Program>> = vec![
+                    Box::new(DecideOwn {
+                        input: Value::Int(0),
+                    }),
+                    Box::new(DecideOwn {
+                        input: Value::Int(1),
+                    }),
+                ];
+                (mem, programs)
+            },
+            &ExploreConfig::default(),
+        );
+        match outcome {
+            ExploreOutcome::Violation {
+                kind, schedule, outputs, ..
+            } => {
+                assert_eq!(kind, ViolationKind::Agreement);
+                assert_eq!(schedule.len(), 2, "two steps suffice");
+                assert_eq!(outputs.len(), 2);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finds_validity_violation() {
+        let outcome = explore(
+            &|| {
+                let mem = Memory::new();
+                let programs: Vec<Box<dyn Program>> = vec![Box::new(DecideInput {
+                    input: Value::Int(9),
+                })];
+                (mem, programs)
+            },
+            &ExploreConfig {
+                inputs: Some(vec![Value::Int(0), Value::Int(1)]),
+                ..ExploreConfig::default()
+            },
+        );
+        match outcome {
+            ExploreOutcome::Violation { kind, .. } => {
+                assert_eq!(kind, ViolationKind::Validity)
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn post_decide_crashes_catch_rerun_disagreement() {
+        let factory = || {
+            let mut mem = Memory::new();
+            let addr = mem.alloc_register(Value::Bottom);
+            let programs: Vec<Box<dyn Program>> =
+                vec![Box::new(ForgetfulDecider { addr, pc: 0 })];
+            (mem, programs)
+        };
+        // Without post-decide crashes the bug is invisible…
+        let outcome = explore(
+            &factory,
+            &ExploreConfig {
+                crash_budget: 1,
+                crash_after_decide: false,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_verified(), "{outcome:?}");
+        // …with them, the model checker finds the re-run disagreement.
+        let outcome = explore(
+            &factory,
+            &ExploreConfig {
+                crash_budget: 1,
+                crash_after_decide: true,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_violation(), "{outcome:?}");
+    }
+
+    #[test]
+    fn simultaneous_mode_explores_crash_all() {
+        let outcome = explore(
+            &|| {
+                let mem = Memory::new();
+                let programs: Vec<Box<dyn Program>> = vec![
+                    Box::new(DecideInput {
+                        input: Value::Int(1),
+                    }),
+                    Box::new(DecideInput {
+                        input: Value::Int(1),
+                    }),
+                ];
+                (mem, programs)
+            },
+            &ExploreConfig {
+                crash_budget: 2,
+                simultaneous: true,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_verified());
+    }
+}

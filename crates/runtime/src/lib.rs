@@ -1,0 +1,85 @@
+//! # rc-runtime — crash–recovery shared-memory simulation substrate
+//!
+//! This crate implements the execution model of
+//! *“When Is Recoverable Consensus Harder Than Consensus?”* (PODC 2022):
+//! an asynchronous shared-memory system in which
+//!
+//! * **shared memory is non-volatile** — process crashes never affect it;
+//! * **process-local memory is volatile** — a crash reinitializes a
+//!   process's local state *including its program counter*, and on recovery
+//!   the process re-executes its code from the beginning;
+//! * crashes are **independent** (any single process, at any step boundary)
+//!   or **simultaneous** (all processes at once), per Section 1 and
+//!   Section 2 of the paper.
+//!
+//! ## Pieces
+//!
+//! * [`Memory`] — the non-volatile heap: registers and typed objects
+//!   (specified by `rc-spec`), each access atomic.
+//! * [`Program`] — algorithms as explicit state machines; each
+//!   [`Program::step`] performs **at most one** shared-memory access, so a
+//!   scheduler can interleave and crash programs at every point the paper's
+//!   adversary can. [`Program::on_crash`] wipes local state (the input
+//!   value is retained across runs, matching the paper's assumption; the
+//!   `rc-core` input-masking transformation removes even that).
+//! * [`sched`] — schedulers: seeded random (with crash injection),
+//!   round-robin, and fully scripted (for the paper's hand-crafted
+//!   adversarial scenarios).
+//! * [`run`] — the simulation loop, producing an [`Execution`] with every
+//!   decision from every run of every process plus a replayable [`Trace`].
+//! * [`explore`] — a bounded-exhaustive model checker: DFS over *all*
+//!   interleavings and crash placements (up to a crash budget) with full-
+//!   fidelity state memoization.
+//! * [`threaded`] — a real-thread executor (`parking_lot` mutex per object,
+//!   one OS thread per process) for wall-clock benchmarks.
+//! * [`verify`] — agreement/validity/termination checkers for consensus-
+//!   style outputs.
+//!
+//! ## Example: a trivial 1-step program under the simulator
+//!
+//! ```
+//! use rc_runtime::{run, Execution, MemOps, Memory, Program, RunOptions, Step};
+//! use rc_runtime::sched::RoundRobin;
+//! use rc_spec::Value;
+//!
+//! #[derive(Clone, Debug)]
+//! struct WriteAndDecide { addr: rc_runtime::Addr, input: Value }
+//!
+//! impl Program for WriteAndDecide {
+//!     fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+//!         mem.write_register(self.addr, self.input.clone());
+//!         Step::Decided(self.input.clone())
+//!     }
+//!     fn on_crash(&mut self) {}
+//!     fn state_key(&self) -> Value { Value::Unit }
+//!     fn boxed_clone(&self) -> Box<dyn Program> { Box::new(self.clone()) }
+//! }
+//!
+//! let mut mem = Memory::new();
+//! let addr = mem.alloc_register(Value::Bottom);
+//! let mut programs: Vec<Box<dyn Program>> = vec![
+//!     Box::new(WriteAndDecide { addr, input: Value::Int(7) }),
+//! ];
+//! let mut sched = RoundRobin::new();
+//! let exec: Execution = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+//! assert_eq!(exec.outputs[0], vec![Value::Int(7)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod explore;
+mod memory;
+mod program;
+mod trace;
+
+pub mod sched;
+pub mod threaded;
+pub mod verify;
+
+pub use exec::{run, Execution, RunOptions};
+pub use explore::{explore, ExploreConfig, ExploreOutcome, SystemFactory};
+pub use memory::{Addr, Cell, MemOps, Memory};
+pub use program::{Pid, Program, Step};
+pub use trace::{Trace, TraceEvent};

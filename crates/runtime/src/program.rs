@@ -1,0 +1,133 @@
+//! The [`Program`] trait: algorithms as crashable state machines.
+
+use crate::memory::MemOps;
+use rc_spec::Value;
+use std::fmt;
+
+/// A process identifier, `0..n`.
+pub type Pid = usize;
+
+/// The outcome of one program step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The program performed (at most) one shared-memory access and has
+    /// more work to do.
+    Running,
+    /// The program's current run returned this output value.
+    Decided(Value),
+}
+
+/// An algorithm for one process, written as an explicit state machine.
+///
+/// ## Contract
+///
+/// * Each call to [`step`](Program::step) performs **at most one**
+///   shared-memory access (one `MemOps` method call). This granularity is
+///   what makes the simulated executions *exactly* the executions of the
+///   paper's model — the scheduler can interleave processes and inject
+///   crashes between any two shared-memory accesses.
+/// * [`on_crash`](Program::on_crash) models a process crash: it must reset
+///   the program counter and all local variables to their initial values.
+///   The paper's model reinitializes everything local; only the *input* is
+///   assumed stable across runs ("we assume a process's input value does
+///   not change, even across multiple runs" — Section 1), so
+///   implementations keep their input and wipe the rest.
+///   (The `rc-core::algorithms::input_mask` transformation removes even
+///   the stable-input assumption, exactly as described in the paper.)
+/// * [`state_key`](Program::state_key) returns a *complete* structural
+///   encoding of the volatile state (program counter + locals). The model
+///   checker memoizes on it, so two programs with equal keys must behave
+///   identically forever; encoding less than the full state would make the
+///   exhaustive exploration unsound.
+pub trait Program: fmt::Debug + Send {
+    /// Executes one step (at most one shared-memory access).
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step;
+
+    /// Crashes the process: volatile state (program counter and locals) is
+    /// reset; the input, if any, is retained.
+    fn on_crash(&mut self);
+
+    /// Complete structural encoding of the volatile state, for exact
+    /// model-checker memoization.
+    fn state_key(&self) -> Value;
+
+    /// Clones the program as a boxed trait object (used by the model
+    /// checker to branch the search).
+    fn boxed_clone(&self) -> Box<dyn Program>;
+}
+
+impl Clone for Box<dyn Program> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{Addr, Memory};
+
+    /// A two-step program: write input, then decide it.
+    #[derive(Clone, Debug)]
+    struct TwoStep {
+        addr: Addr,
+        input: Value,
+        pc: u8,
+    }
+
+    impl Program for TwoStep {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            match self.pc {
+                0 => {
+                    mem.write_register(self.addr, self.input.clone());
+                    self.pc = 1;
+                    Step::Running
+                }
+                _ => Step::Decided(mem.read_register(self.addr)),
+            }
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
+        }
+        fn state_key(&self) -> Value {
+            Value::Int(i64::from(self.pc))
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn crash_resets_pc_but_keeps_input() {
+        let mut mem = Memory::new();
+        let addr = mem.alloc_register(Value::Bottom);
+        let mut p = TwoStep {
+            addr,
+            input: Value::Int(9),
+            pc: 0,
+        };
+        assert_eq!(p.step(&mut mem), Step::Running);
+        p.on_crash();
+        assert_eq!(p.state_key(), Value::Int(0));
+        // Shared memory survives the crash (non-volatile).
+        assert_eq!(mem.peek(addr), Value::Int(9));
+        // Re-run from the beginning.
+        assert_eq!(p.step(&mut mem), Step::Running);
+        assert_eq!(p.step(&mut mem), Step::Decided(Value::Int(9)));
+    }
+
+    #[test]
+    fn boxed_clone_is_independent() {
+        let mut mem = Memory::new();
+        let addr = mem.alloc_register(Value::Bottom);
+        let p: Box<dyn Program> = Box::new(TwoStep {
+            addr,
+            input: Value::Int(1),
+            pc: 0,
+        });
+        let mut q = p.clone();
+        q.step(&mut mem);
+        assert_eq!(p.state_key(), Value::Int(0));
+        assert_eq!(q.state_key(), Value::Int(1));
+    }
+}

@@ -1,0 +1,137 @@
+//! The `E_A` adversary of Theorem 14's valency argument.
+
+use super::{Action, SchedContext, Scheduler};
+use crate::program::Pid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduler producing executions in the paper's class `E_A`
+/// (Section 3.2): only the designated process (`p_1` in the paper) ever
+/// crashes, and *"in any prefix of the execution, the number of crashes of
+/// `p_1` is less than or equal to the total number of steps of
+/// `p_2, …, p_n`"*.
+///
+/// This is the execution class over which the Theorem 14 / Appendix H
+/// valency arguments define valence: it is permissive enough to contain
+/// the crash moves of Fig. 3/Fig. 8 (`p_1` can crash whenever someone else
+/// has taken a step) yet restrictive enough that a failure-free extension
+/// must decide — which is what makes valence well-defined.
+///
+/// The scheduler behaves like [`RandomScheduler`](super::RandomScheduler)
+/// otherwise: seeded, with a crash probability applied only when the
+/// `E_A` budget (steps of others minus crashes so far) is positive.
+#[derive(Clone, Debug)]
+pub struct BudgetedCrashScheduler {
+    crasher: Pid,
+    crash_prob: f64,
+    rng: StdRng,
+    steps_of_others: usize,
+    crashes_of_crasher: usize,
+}
+
+impl BudgetedCrashScheduler {
+    /// Creates an `E_A` scheduler in which only `crasher` may crash, with
+    /// the given per-decision crash probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crash_prob` is not in `[0, 1]`.
+    pub fn new(crasher: Pid, crash_prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&crash_prob),
+            "crash_prob must be a probability"
+        );
+        BudgetedCrashScheduler {
+            crasher,
+            crash_prob,
+            rng: StdRng::seed_from_u64(seed),
+            steps_of_others: 0,
+            crashes_of_crasher: 0,
+        }
+    }
+
+    /// The remaining `E_A` crash budget: steps taken by the non-crashing
+    /// processes minus crashes already injected.
+    pub fn crash_budget(&self) -> usize {
+        self.steps_of_others
+            .saturating_sub(self.crashes_of_crasher)
+    }
+}
+
+impl Scheduler for BudgetedCrashScheduler {
+    fn next_action(&mut self, ctx: &SchedContext<'_>) -> Option<Action> {
+        // E_A: p_1 may crash while the prefix constraint allows it —
+        // including after it decided (forcing re-runs).
+        if self.crash_budget() > 0 && self.rng.gen_bool(self.crash_prob) {
+            self.crashes_of_crasher += 1;
+            return Some(Action::Crash(self.crasher));
+        }
+        let undecided = ctx.undecided();
+        if undecided.is_empty() {
+            return None;
+        }
+        let p = undecided[self.rng.gen_range(0..undecided.len())];
+        if p != self.crasher {
+            self.steps_of_others += 1;
+        }
+        Some(Action::Step(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(decided: &'a [bool]) -> SchedContext<'a> {
+        SchedContext {
+            n: decided.len(),
+            decided,
+            steps_taken: 0,
+            crashes_injected: 0,
+        }
+    }
+
+    #[test]
+    fn never_crashes_before_others_step() {
+        // With probability 1 of crashing, the first action still cannot be
+        // a crash: the E_A budget starts at zero.
+        let mut s = BudgetedCrashScheduler::new(0, 1.0, 42);
+        let decided = vec![false, false];
+        let first = s.next_action(&ctx(&decided)).expect("an action");
+        assert!(matches!(first, Action::Step(_)), "got {first:?}");
+    }
+
+    #[test]
+    fn prefix_invariant_holds_along_any_run() {
+        let mut s = BudgetedCrashScheduler::new(0, 0.5, 7);
+        let decided = vec![false, false, false];
+        let mut others_steps = 0usize;
+        let mut crashes = 0usize;
+        for _ in 0..500 {
+            match s.next_action(&ctx(&decided)).expect("running") {
+                Action::Step(p) => {
+                    if p != 0 {
+                        others_steps += 1;
+                    }
+                }
+                Action::Crash(p) => {
+                    assert_eq!(p, 0, "only the designated process crashes");
+                    crashes += 1;
+                }
+                Action::CrashAll => panic!("E_A has no simultaneous crashes"),
+            }
+            assert!(
+                crashes <= others_steps,
+                "E_A prefix constraint violated: {crashes} > {others_steps}"
+            );
+        }
+        assert_eq!(s.crash_budget(), others_steps - crashes);
+    }
+
+    #[test]
+    fn stops_when_all_decided_and_coin_says_step() {
+        let mut s = BudgetedCrashScheduler::new(0, 0.0, 1);
+        let decided = vec![true, true];
+        assert_eq!(s.next_action(&ctx(&decided)), None);
+    }
+}

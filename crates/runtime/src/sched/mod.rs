@@ -1,0 +1,91 @@
+//! Schedulers: the adversary that orders steps and injects crashes.
+//!
+//! The paper's adversary controls (a) the interleaving of process steps and
+//! (b) when processes crash — individually in the *independent* model,
+//! collectively in the *simultaneous* model. A [`Scheduler`] makes exactly
+//! those choices, one [`Action`] at a time:
+//!
+//! * [`RandomScheduler`] — seeded pseudo-random interleavings with
+//!   configurable crash probability, crash budget, and crash model; the
+//!   workhorse of the randomized experiments.
+//! * [`RoundRobin`] — the simplest fair schedule (crash-free).
+//! * [`ScriptedScheduler`] — an exact, hand-written event list; used to
+//!   reproduce the paper's adversarial scenarios (Section 3.1's bad
+//!   scenarios, Fig. 8's stack executions) step by step.
+//!
+//! The bounded-*exhaustive* adversary lives in
+//! [`explore`](crate::explore), not here: it enumerates every schedule
+//! rather than choosing one.
+
+mod budgeted;
+mod random;
+mod round_robin;
+mod script;
+
+pub use budgeted::BudgetedCrashScheduler;
+pub use random::{RandomScheduler, RandomSchedulerConfig};
+pub use round_robin::RoundRobin;
+pub use script::ScriptedScheduler;
+
+use crate::program::Pid;
+
+/// One scheduling decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Let process `pid` execute one step.
+    Step(Pid),
+    /// Crash process `pid` (independent-crash model).
+    Crash(Pid),
+    /// Crash every process simultaneously (simultaneous-crash model).
+    CrashAll,
+}
+
+/// What a scheduler can see when making its next decision.
+#[derive(Clone, Debug)]
+pub struct SchedContext<'a> {
+    /// Number of processes.
+    pub n: usize,
+    /// `decided[p]` — whether process `p`'s *current run* has produced an
+    /// output (a later crash clears the flag and forces a re-run).
+    pub decided: &'a [bool],
+    /// Steps scheduled so far.
+    pub steps_taken: usize,
+    /// Crash events injected so far.
+    pub crashes_injected: usize,
+}
+
+impl SchedContext<'_> {
+    /// Indices of processes whose current run has not decided.
+    pub fn undecided(&self) -> Vec<Pid> {
+        (0..self.n).filter(|&p| !self.decided[p]).collect()
+    }
+
+    /// Whether every process's current run has decided.
+    pub fn all_decided(&self) -> bool {
+        self.decided.iter().all(|d| *d)
+    }
+}
+
+/// A source of scheduling decisions.
+pub trait Scheduler {
+    /// The next action, or `None` to end the execution.
+    fn next_action(&mut self, ctx: &SchedContext<'_>) -> Option<Action>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_helpers() {
+        let decided = vec![true, false, true];
+        let ctx = SchedContext {
+            n: 3,
+            decided: &decided,
+            steps_taken: 5,
+            crashes_injected: 1,
+        };
+        assert_eq!(ctx.undecided(), vec![1]);
+        assert!(!ctx.all_decided());
+    }
+}

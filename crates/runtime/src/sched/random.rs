@@ -1,0 +1,163 @@
+//! The seeded random scheduler with crash injection.
+
+use super::{Action, SchedContext, Scheduler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`RandomScheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomSchedulerConfig {
+    /// RNG seed — runs are fully reproducible from the seed.
+    pub seed: u64,
+    /// Probability that the next event is a crash (while budget remains).
+    pub crash_prob: f64,
+    /// Maximum number of crash events to inject.
+    pub max_crashes: usize,
+    /// If `true`, crashes are simultaneous ([`Action::CrashAll`], the
+    /// Section 2 model); otherwise they hit one random process
+    /// ([`Action::Crash`], the independent model of Section 3).
+    pub simultaneous: bool,
+    /// If `true`, a crash may also hit a process whose current run already
+    /// decided, forcing a *re-run* — this exercises the part of the
+    /// agreement property that spans "outputs of the same process when it
+    /// performs multiple runs" (Section 1).
+    pub crash_after_decide: bool,
+}
+
+impl Default for RandomSchedulerConfig {
+    fn default() -> Self {
+        RandomSchedulerConfig {
+            seed: 0,
+            crash_prob: 0.1,
+            max_crashes: 3,
+            simultaneous: false,
+            crash_after_decide: true,
+        }
+    }
+}
+
+/// A seeded pseudo-random scheduler: at each point, with probability
+/// [`crash_prob`](RandomSchedulerConfig::crash_prob) (budget permitting) it
+/// injects a crash, otherwise it steps a uniformly random undecided
+/// process. Ends the execution when every process has decided and either
+/// the budget is exhausted or the coin says stop.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    config: RandomSchedulerConfig,
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a configuration.
+    pub fn new(config: RandomSchedulerConfig) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// Convenience constructor: seed only, defaults elsewhere.
+    pub fn from_seed(seed: u64) -> Self {
+        RandomScheduler::new(RandomSchedulerConfig {
+            seed,
+            ..RandomSchedulerConfig::default()
+        })
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next_action(&mut self, ctx: &SchedContext<'_>) -> Option<Action> {
+        let budget_left = self.config.max_crashes.saturating_sub(ctx.crashes_injected);
+        let undecided = ctx.undecided();
+
+        let want_crash = budget_left > 0 && self.rng.gen_bool(self.config.crash_prob);
+        if want_crash {
+            if self.config.simultaneous {
+                return Some(Action::CrashAll);
+            }
+            let crashable: Vec<_> = if self.config.crash_after_decide {
+                (0..ctx.n).collect()
+            } else {
+                undecided.clone()
+            };
+            if !crashable.is_empty() {
+                let victim = crashable[self.rng.gen_range(0..crashable.len())];
+                return Some(Action::Crash(victim));
+            }
+        }
+
+        if undecided.is_empty() {
+            return None;
+        }
+        Some(Action::Step(
+            undecided[self.rng.gen_range(0..undecided.len())],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(decided: &'a [bool], crashes: usize) -> SchedContext<'a> {
+        SchedContext {
+            n: decided.len(),
+            decided,
+            steps_taken: 0,
+            crashes_injected: crashes,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let decided = vec![false; 4];
+        let mut a = RandomScheduler::from_seed(7);
+        let mut b = RandomScheduler::from_seed(7);
+        for _ in 0..50 {
+            assert_eq!(a.next_action(&ctx(&decided, 0)), b.next_action(&ctx(&decided, 0)));
+        }
+    }
+
+    #[test]
+    fn respects_crash_budget() {
+        let mut s = RandomScheduler::new(RandomSchedulerConfig {
+            seed: 3,
+            crash_prob: 1.0,
+            max_crashes: 2,
+            simultaneous: false,
+            crash_after_decide: true,
+        });
+        let decided = vec![false; 2];
+        // With crash_prob = 1, the first two actions are crashes, after
+        // which the budget is spent and only steps are produced.
+        assert!(matches!(s.next_action(&ctx(&decided, 0)), Some(Action::Crash(_))));
+        assert!(matches!(s.next_action(&ctx(&decided, 1)), Some(Action::Crash(_))));
+        assert!(matches!(s.next_action(&ctx(&decided, 2)), Some(Action::Step(_))));
+    }
+
+    #[test]
+    fn simultaneous_mode_emits_crash_all() {
+        let mut s = RandomScheduler::new(RandomSchedulerConfig {
+            seed: 3,
+            crash_prob: 1.0,
+            max_crashes: 1,
+            simultaneous: true,
+            crash_after_decide: false,
+        });
+        let decided = vec![false; 3];
+        assert_eq!(s.next_action(&ctx(&decided, 0)), Some(Action::CrashAll));
+    }
+
+    #[test]
+    fn terminates_when_all_decided_and_no_crash_budget() {
+        let mut s = RandomScheduler::new(RandomSchedulerConfig {
+            seed: 1,
+            crash_prob: 0.0,
+            max_crashes: 0,
+            simultaneous: false,
+            crash_after_decide: true,
+        });
+        let decided = vec![true, true];
+        assert_eq!(s.next_action(&ctx(&decided, 0)), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! The round-robin scheduler.
+
+use super::{Action, SchedContext, Scheduler};
+
+/// A crash-free scheduler that cycles through the undecided processes in
+/// index order. Useful as a deterministic baseline and for crash-free
+/// consensus runs (the halting-failure setting of Theorem 3).
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler starting at process 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next_action(&mut self, ctx: &SchedContext<'_>) -> Option<Action> {
+        if ctx.all_decided() {
+            return None;
+        }
+        for offset in 0..ctx.n {
+            let p = (self.cursor + offset) % ctx.n;
+            if !ctx.decided[p] {
+                self.cursor = (p + 1) % ctx.n;
+                return Some(Action::Step(p));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_skipping_decided() {
+        let mut rr = RoundRobin::new();
+        let decided = vec![false, true, false];
+        let ctx = SchedContext {
+            n: 3,
+            decided: &decided,
+            steps_taken: 0,
+            crashes_injected: 0,
+        };
+        assert_eq!(rr.next_action(&ctx), Some(Action::Step(0)));
+        assert_eq!(rr.next_action(&ctx), Some(Action::Step(2)));
+        assert_eq!(rr.next_action(&ctx), Some(Action::Step(0)));
+    }
+
+    #[test]
+    fn stops_when_all_decided() {
+        let mut rr = RoundRobin::new();
+        let decided = vec![true, true];
+        let ctx = SchedContext {
+            n: 2,
+            decided: &decided,
+            steps_taken: 4,
+            crashes_injected: 0,
+        };
+        assert_eq!(rr.next_action(&ctx), None);
+    }
+}

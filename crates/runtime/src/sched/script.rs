@@ -1,0 +1,100 @@
+//! The scripted scheduler: exact, hand-written adversarial schedules.
+
+use super::{Action, SchedContext, Scheduler};
+use std::collections::VecDeque;
+
+/// Replays a fixed list of [`Action`]s, then (optionally) finishes the
+/// execution round-robin.
+///
+/// This is how the paper's hand-crafted adversarial scenarios are
+/// reproduced exactly — e.g. Section 3.1's "process p₁ on team B begins,
+/// sees R_A = ⊥, and is poised to update O…" interleavings, or the Fig. 8
+/// stack executions. The script encodes the bad prefix; the round-robin
+/// tail lets every process finish so agreement can be checked.
+#[derive(Clone, Debug)]
+pub struct ScriptedScheduler {
+    script: VecDeque<Action>,
+    finish_round_robin: bool,
+    cursor: usize,
+}
+
+impl ScriptedScheduler {
+    /// A scheduler that replays `script` and then stops.
+    pub fn new(script: impl IntoIterator<Item = Action>) -> Self {
+        ScriptedScheduler {
+            script: script.into_iter().collect(),
+            finish_round_robin: false,
+            cursor: 0,
+        }
+    }
+
+    /// A scheduler that replays `script` and then runs every undecided
+    /// process round-robin until all have decided.
+    pub fn then_finish(script: impl IntoIterator<Item = Action>) -> Self {
+        ScriptedScheduler {
+            script: script.into_iter().collect(),
+            finish_round_robin: true,
+            cursor: 0,
+        }
+    }
+
+    /// Actions remaining in the scripted prefix.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn next_action(&mut self, ctx: &SchedContext<'_>) -> Option<Action> {
+        if let Some(action) = self.script.pop_front() {
+            return Some(action);
+        }
+        if !self.finish_round_robin || ctx.all_decided() {
+            return None;
+        }
+        for offset in 0..ctx.n {
+            let p = (self.cursor + offset) % ctx.n;
+            if !ctx.decided[p] {
+                self.cursor = (p + 1) % ctx.n;
+                return Some(Action::Step(p));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_script_then_stops() {
+        let mut s = ScriptedScheduler::new([Action::Step(1), Action::Crash(0)]);
+        let decided = vec![false, false];
+        let ctx = SchedContext {
+            n: 2,
+            decided: &decided,
+            steps_taken: 0,
+            crashes_injected: 0,
+        };
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.next_action(&ctx), Some(Action::Step(1)));
+        assert_eq!(s.next_action(&ctx), Some(Action::Crash(0)));
+        assert_eq!(s.next_action(&ctx), None);
+    }
+
+    #[test]
+    fn finishes_round_robin_when_requested() {
+        let mut s = ScriptedScheduler::then_finish([Action::Step(1)]);
+        let decided = vec![false, false];
+        let ctx = SchedContext {
+            n: 2,
+            decided: &decided,
+            steps_taken: 0,
+            crashes_injected: 0,
+        };
+        assert_eq!(s.next_action(&ctx), Some(Action::Step(1)));
+        assert_eq!(s.next_action(&ctx), Some(Action::Step(0)));
+        assert_eq!(s.next_action(&ctx), Some(Action::Step(1)));
+    }
+}

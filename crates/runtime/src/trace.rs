@@ -1,0 +1,146 @@
+//! Execution traces: a replayable record of scheduler decisions.
+
+use crate::program::Pid;
+use rc_spec::Value;
+use std::fmt;
+
+/// One event of an execution, in schedule order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Process `pid` executed one step.
+    Stepped(Pid),
+    /// Process `pid` crashed (independent-crash model); its volatile state
+    /// was wiped, shared memory untouched.
+    Crashed(Pid),
+    /// All processes crashed simultaneously (simultaneous-crash model).
+    CrashedAll,
+    /// Process `pid`'s current run decided `value`.
+    Decided(Pid, Value),
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Stepped(p) => write!(f, "p{} steps", p + 1),
+            TraceEvent::Crashed(p) => write!(f, "p{} CRASHES", p + 1),
+            TraceEvent::CrashedAll => write!(f, "ALL processes CRASH"),
+            TraceEvent::Decided(p, v) => write!(f, "p{} decides {v}", p + 1),
+        }
+    }
+}
+
+/// An ordered list of [`TraceEvent`]s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of crash events (of either kind).
+    pub fn crash_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Crashed(_) | TraceEvent::CrashedAll))
+            .count()
+    }
+
+    /// All decision events, in order.
+    pub fn decisions(&self) -> Vec<(Pid, Value)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Decided(p, v) => Some((*p, v.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Converts the trace back into the scheduler actions that produced it
+    /// (decision events carry no scheduling choice and are skipped). A
+    /// [`ScriptedScheduler`](crate::sched::ScriptedScheduler) replaying
+    /// these actions against a fresh copy of the same system reproduces
+    /// the execution exactly — the simulator is deterministic given the
+    /// schedule.
+    pub fn to_actions(&self) -> Vec<crate::sched::Action> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Stepped(p) => Some(crate::sched::Action::Step(*p)),
+                TraceEvent::Crashed(p) => Some(crate::sched::Action::Crash(*p)),
+                TraceEvent::CrashedAll => Some(crate::sched::Action::CrashAll),
+                TraceEvent::Decided(..) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            writeln!(f, "{i:>4}. {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(TraceEvent::Stepped(0));
+        t.push(TraceEvent::Crashed(0));
+        t.push(TraceEvent::Stepped(1));
+        t.push(TraceEvent::Decided(1, Value::Int(5)));
+        t.push(TraceEvent::CrashedAll);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.crash_count(), 2);
+        assert_eq!(t.decisions(), vec![(1, Value::Int(5))]);
+    }
+
+    #[test]
+    fn display_is_one_indexed_like_the_paper() {
+        let t: Trace = [TraceEvent::Stepped(0), TraceEvent::Decided(0, Value::Int(1))]
+            .into_iter()
+            .collect();
+        let s = t.to_string();
+        assert!(s.contains("p1 steps"));
+        assert!(s.contains("p1 decides 1"));
+    }
+}

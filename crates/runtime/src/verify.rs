@@ -1,0 +1,171 @@
+//! Agreement / validity / termination checking for consensus-style outputs.
+//!
+//! Recoverable consensus (Section 1 of the paper) requires:
+//!
+//! * **Agreement** — no two output values produced are different, including
+//!   outputs by different processes *and* outputs of the same process
+//!   across multiple runs;
+//! * **Validity** — each output value is the input value of some process;
+//! * **Recoverable wait-freedom** — a run that is not interrupted by a
+//!   crash outputs after finitely many of its own steps (checked here as
+//!   "every process decided and no step-limit trip").
+
+use crate::exec::Execution;
+use rc_spec::Value;
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the recoverable-consensus safety/termination properties.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RcViolation {
+    /// Two outputs differ.
+    Agreement {
+        /// First output observed.
+        first: Value,
+        /// A conflicting output.
+        second: Value,
+    },
+    /// An output is not any process's input.
+    Validity {
+        /// The offending output.
+        output: Value,
+    },
+    /// Some process never decided (or the safety step bound tripped).
+    Termination,
+}
+
+impl fmt::Display for RcViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RcViolation::Agreement { first, second } => {
+                write!(f, "agreement violated: saw both {first} and {second}")
+            }
+            RcViolation::Validity { output } => {
+                write!(f, "validity violated: output {output} is no process's input")
+            }
+            RcViolation::Termination => write!(f, "termination violated: not all runs decided"),
+        }
+    }
+}
+
+impl Error for RcViolation {}
+
+/// Checks agreement over a flattened list of outputs, returning the common
+/// value (or `None` for an empty list).
+///
+/// # Errors
+///
+/// Returns [`RcViolation::Agreement`] with the first conflicting pair.
+pub fn check_agreement(outputs: &[Value]) -> Result<Option<Value>, RcViolation> {
+    let mut iter = outputs.iter();
+    let Some(first) = iter.next() else {
+        return Ok(None);
+    };
+    for v in iter {
+        if v != first {
+            return Err(RcViolation::Agreement {
+                first: first.clone(),
+                second: v.clone(),
+            });
+        }
+    }
+    Ok(Some(first.clone()))
+}
+
+/// Checks validity: every output must be some process's input.
+///
+/// # Errors
+///
+/// Returns [`RcViolation::Validity`] with the first out-of-range output.
+pub fn check_validity(outputs: &[Value], inputs: &[Value]) -> Result<(), RcViolation> {
+    for v in outputs {
+        if !inputs.contains(v) {
+            return Err(RcViolation::Validity { output: v.clone() });
+        }
+    }
+    Ok(())
+}
+
+/// Checks the full recoverable-consensus contract over an [`Execution`].
+///
+/// # Errors
+///
+/// Returns the first violated property, in the order agreement, validity,
+/// termination.
+pub fn check_consensus_execution(
+    exec: &Execution,
+    inputs: &[Value],
+) -> Result<Option<Value>, RcViolation> {
+    let outputs = exec.all_outputs();
+    let decision = check_agreement(&outputs)?;
+    check_validity(&outputs, inputs)?;
+    if !exec.all_decided || exec.hit_step_limit {
+        return Err(RcViolation::Termination);
+    }
+    Ok(decision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn exec_with(outputs: Vec<Vec<Value>>, all_decided: bool) -> Execution {
+        Execution {
+            outputs,
+            steps: 0,
+            crashes: 0,
+            all_decided,
+            hit_step_limit: false,
+            trace: Trace::new(),
+        }
+    }
+
+    #[test]
+    fn agreement_accepts_uniform_outputs() {
+        let v = vec![Value::Int(2), Value::Int(2), Value::Int(2)];
+        assert_eq!(check_agreement(&v), Ok(Some(Value::Int(2))));
+        assert_eq!(check_agreement(&[]), Ok(None));
+    }
+
+    #[test]
+    fn agreement_rejects_conflict() {
+        let v = vec![Value::Int(2), Value::Int(3)];
+        let err = check_agreement(&v).unwrap_err();
+        assert!(matches!(err, RcViolation::Agreement { .. }));
+        assert!(err.to_string().contains("agreement"));
+    }
+
+    #[test]
+    fn validity_checks_membership() {
+        let inputs = vec![Value::Int(0), Value::Int(1)];
+        assert!(check_validity(&[Value::Int(1)], &inputs).is_ok());
+        let err = check_validity(&[Value::Int(7)], &inputs).unwrap_err();
+        assert!(matches!(err, RcViolation::Validity { .. }));
+    }
+
+    #[test]
+    fn full_check_includes_termination() {
+        let inputs = vec![Value::Int(0)];
+        let good = exec_with(vec![vec![Value::Int(0)], vec![Value::Int(0)]], true);
+        assert_eq!(
+            check_consensus_execution(&good, &inputs),
+            Ok(Some(Value::Int(0)))
+        );
+        let hung = exec_with(vec![vec![Value::Int(0)], vec![]], false);
+        assert_eq!(
+            check_consensus_execution(&hung, &inputs),
+            Err(RcViolation::Termination)
+        );
+    }
+
+    #[test]
+    fn rerun_outputs_are_covered_by_agreement() {
+        // One process, two runs, different outputs: must be caught.
+        let bad = exec_with(vec![vec![Value::Int(0), Value::Int(1)]], true);
+        assert!(matches!(
+            check_consensus_execution(&bad, &[Value::Int(0), Value::Int(1)]),
+            Err(RcViolation::Agreement { .. })
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the simulation substrate itself.
+
+use proptest::prelude::*;
+use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
+use rc_runtime::{explore, run, ExploreConfig, MemOps, Memory, Program, RunOptions, Step};
+use rc_spec::Value;
+
+/// A little test program: performs `work` register writes, then decides
+/// its input.
+#[derive(Clone, Debug)]
+struct Worker {
+    scratch: rc_runtime::Addr,
+    input: Value,
+    work: u8,
+    pc: u8,
+}
+
+impl Program for Worker {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        if self.pc < self.work {
+            mem.write_register(self.scratch, Value::Int(i64::from(self.pc)));
+            self.pc += 1;
+            Step::Running
+        } else {
+            Step::Decided(self.input.clone())
+        }
+    }
+    fn on_crash(&mut self) {
+        self.pc = 0;
+    }
+    fn state_key(&self) -> Value {
+        Value::Int(i64::from(self.pc))
+    }
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+fn system(n: usize, work: u8, same_input: bool) -> (Memory, Vec<Box<dyn Program>>) {
+    let mut mem = Memory::new();
+    let scratch = mem.alloc_register(Value::Bottom);
+    let programs: Vec<Box<dyn Program>> = (0..n)
+        .map(|i| {
+            Box::new(Worker {
+                scratch,
+                input: Value::Int(if same_input { 7 } else { i as i64 }),
+                work,
+                pc: 0,
+            }) as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The random scheduler is fully deterministic in its seed: identical
+    /// traces, step counts and outputs.
+    #[test]
+    fn random_scheduler_is_deterministic(
+        seed in any::<u64>(),
+        n in 1usize..5,
+        work in 0u8..5,
+    ) {
+        let config = RandomSchedulerConfig {
+            seed,
+            crash_prob: 0.2,
+            max_crashes: 3,
+            simultaneous: false,
+            crash_after_decide: true,
+        };
+        let run_once = || {
+            let (mut mem, mut programs) = system(n, work, false);
+            let mut sched = RandomScheduler::new(config);
+            run(&mut mem, &mut programs, &mut sched, RunOptions::default())
+        };
+        let a = run_once();
+        let b = run_once();
+        prop_assert_eq!(a.trace, b.trace);
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.crashes, b.crashes);
+    }
+
+    /// Every decision in the trace appears in the outputs and vice versa.
+    #[test]
+    fn trace_decisions_match_outputs(
+        seed in any::<u64>(),
+        n in 1usize..5,
+        work in 0u8..4,
+    ) {
+        let (mut mem, mut programs) = system(n, work, false);
+        let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+            seed,
+            crash_prob: 0.15,
+            max_crashes: 2,
+            simultaneous: false,
+            crash_after_decide: true,
+        });
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        let mut from_trace: Vec<Vec<Value>> = vec![Vec::new(); n];
+        for (pid, v) in exec.trace.decisions() {
+            from_trace[pid].push(v);
+        }
+        prop_assert_eq!(from_trace, exec.outputs);
+    }
+
+    /// Crash-free round-robin executes exactly (work + 1) steps per
+    /// process.
+    #[test]
+    fn round_robin_step_count(n in 1usize..6, work in 0u8..6) {
+        let (mut mem, mut programs) = system(n, work, true);
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+        );
+        prop_assert!(exec.all_decided);
+        prop_assert_eq!(exec.steps, n * (usize::from(work) + 1));
+        prop_assert_eq!(exec.crashes, 0);
+    }
+
+    /// The model checker verifies agreeing systems and refutes
+    /// disagreeing ones, for every crash budget.
+    #[test]
+    fn explorer_verdicts(
+        work in 0u8..3,
+        budget in 0usize..3,
+        same_input in any::<bool>(),
+    ) {
+        let outcome = explore(
+            &|| system(2, work, same_input),
+            &ExploreConfig {
+                crash_budget: budget,
+                inputs: None,
+                ..ExploreConfig::default()
+            },
+        );
+        if same_input {
+            prop_assert!(outcome.is_verified(), "{outcome:?}");
+        } else {
+            prop_assert!(outcome.is_violation(), "{outcome:?}");
+        }
+    }
+
+    /// Memory state keys change exactly when contents change.
+    #[test]
+    fn state_key_tracks_contents(values in proptest::collection::vec(0i64..50, 1..8)) {
+        let mut mem = Memory::new();
+        let addr = mem.alloc_register(Value::Bottom);
+        let mut last = mem.state_key();
+        for v in values {
+            let before = mem.read_register(addr);
+            mem.write_register(addr, Value::Int(v));
+            let now = mem.state_key();
+            if before == Value::Int(v) {
+                prop_assert_eq!(&now, &last);
+            } else {
+                prop_assert_ne!(&now, &last);
+            }
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The named type catalog with known consensus numbers from the literature.
+//!
+//! The experiment harness (`rc-bench`) walks this catalog to regenerate the
+//! paper's hierarchy comparisons: for each type it runs the `rc-core`
+//! checkers and cross-checks the computed `cons`/`rcons` bounds against the
+//! published values recorded here.
+
+use crate::types::{
+    Cas, ConsensusObject, Counter, FetchAdd, FetchAndCons, MaxRegister, Queue, ReadableStack,
+    Register, Sn, Stack, StickyRegister, Swap, TestAndSet, Tn,
+};
+use crate::TypeHandle;
+use std::fmt;
+use std::sync::Arc;
+
+/// A consensus number: finite or ∞.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConsensusNumber {
+    /// A finite level of the hierarchy.
+    Finite(usize),
+    /// The top of the hierarchy (e.g. compare-and-swap).
+    Infinite,
+}
+
+impl ConsensusNumber {
+    /// Returns the finite level, if any.
+    pub fn as_finite(&self) -> Option<usize> {
+        match self {
+            ConsensusNumber::Finite(n) => Some(*n),
+            ConsensusNumber::Infinite => None,
+        }
+    }
+}
+
+impl fmt::Display for ConsensusNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusNumber::Finite(n) => write!(f, "{n}"),
+            ConsensusNumber::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// An inclusive range of possible values for an RC number.
+///
+/// The paper's machinery often pins `rcons` only to an interval (e.g.
+/// `rcons(T) ∈ {n, n+1}` when `T` is *n*-recording but not
+/// (*n*+1)-recording); this type records published knowledge the same way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RcBounds {
+    /// Smallest possible value.
+    pub lo: ConsensusNumber,
+    /// Largest possible value.
+    pub hi: ConsensusNumber,
+}
+
+impl RcBounds {
+    /// An exactly-known RC number.
+    pub fn exact(n: ConsensusNumber) -> Self {
+        RcBounds { lo: n, hi: n }
+    }
+
+    /// A finite interval `[lo, hi]`.
+    pub fn range(lo: usize, hi: usize) -> Self {
+        RcBounds {
+            lo: ConsensusNumber::Finite(lo),
+            hi: ConsensusNumber::Finite(hi),
+        }
+    }
+
+    /// Whether the bounds pin a single value.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl fmt::Display for RcBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_exact() {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// A catalog entry: a type plus its published hierarchy positions.
+#[derive(Clone)]
+pub struct CatalogEntry {
+    /// Short identifier used in tables.
+    pub id: &'static str,
+    /// The object type.
+    pub object: TypeHandle,
+    /// Published consensus number (Herlihy 1991, Ruppert 2000, or this
+    /// paper).
+    pub known_cons: ConsensusNumber,
+    /// Published (or paper-derived) recoverable consensus number bounds for
+    /// the independent-crash model.
+    pub known_rcons: RcBounds,
+    /// Where the published numbers come from.
+    pub provenance: &'static str,
+}
+
+impl fmt::Debug for CatalogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CatalogEntry")
+            .field("id", &self.id)
+            .field("known_cons", &self.known_cons)
+            .field("known_rcons", &self.known_rcons)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The standard catalog used by the experiments.
+///
+/// Domain/capacity parameters are chosen so that exhaustive property
+/// checking up to `n = 4` processes stays fast while remaining faithful
+/// (see DESIGN.md §4).
+pub fn catalog() -> Vec<CatalogEntry> {
+    use ConsensusNumber::{Finite, Infinite};
+    vec![
+        CatalogEntry {
+            id: "register",
+            object: Arc::new(Register::new(2)),
+            known_cons: Finite(1),
+            known_rcons: RcBounds::exact(Finite(1)),
+            provenance: "Herlihy 1991 (cons); trivial (rcons)",
+        },
+        CatalogEntry {
+            id: "counter",
+            object: Arc::new(Counter::new(4)),
+            known_cons: Finite(1),
+            known_rcons: RcBounds::exact(Finite(1)),
+            provenance: "commuting updates (Herlihy 1991)",
+        },
+        CatalogEntry {
+            id: "max-register",
+            object: Arc::new(MaxRegister::new(3)),
+            known_cons: Finite(1),
+            known_rcons: RcBounds::exact(Finite(1)),
+            provenance: "commuting/overwriting updates",
+        },
+        CatalogEntry {
+            id: "test-and-set",
+            object: Arc::new(TestAndSet::new()),
+            known_cons: Finite(2),
+            known_rcons: RcBounds::range(1, 2),
+            provenance: "Herlihy 1991 (cons); paper §5 open question (rcons)",
+        },
+        CatalogEntry {
+            id: "fetch-add",
+            object: Arc::new(FetchAdd::new(8, &[1, 2])),
+            known_cons: Finite(2),
+            known_rcons: RcBounds::range(1, 2),
+            provenance: "Herlihy 1991 (cons); not 2-recording (this paper's machinery)",
+        },
+        CatalogEntry {
+            id: "swap",
+            object: Arc::new(Swap::new(2)),
+            known_cons: Finite(2),
+            known_rcons: RcBounds::range(1, 2),
+            provenance: "Herlihy 1991 (cons); not 2-recording",
+        },
+        CatalogEntry {
+            id: "stack",
+            object: Arc::new(Stack::new(3, 2)),
+            known_cons: Finite(2),
+            known_rcons: RcBounds::exact(Finite(1)),
+            provenance: "Herlihy 1991 (cons); paper Appendix H (rcons = 1)",
+        },
+        CatalogEntry {
+            id: "queue",
+            object: Arc::new(Queue::new(3, 2)),
+            known_cons: Finite(2),
+            known_rcons: RcBounds::exact(Finite(1)),
+            provenance: "Herlihy 1991 (cons); paper Appendix H remark (rcons = 1)",
+        },
+        CatalogEntry {
+            id: "readable-stack",
+            object: Arc::new(ReadableStack::new(3, 2)),
+            known_cons: Infinite,
+            known_rcons: RcBounds::exact(Infinite),
+            provenance: "adding Read makes the push-log observable: a write-once log",
+        },
+        CatalogEntry {
+            id: "fetch-cons",
+            object: Arc::new(FetchAndCons::new(3, 2)),
+            known_cons: Infinite,
+            known_rcons: RcBounds::exact(Infinite),
+            provenance: "Herlihy 1991 (cons); the list is a durable history (rcons)",
+        },
+        CatalogEntry {
+            id: "cas",
+            object: Arc::new(Cas::new(2)),
+            known_cons: Infinite,
+            known_rcons: RcBounds::exact(Infinite),
+            provenance: "Herlihy 1991 (cons); n-recording for all n",
+        },
+        CatalogEntry {
+            id: "sticky",
+            object: Arc::new(StickyRegister::new(2)),
+            known_cons: Infinite,
+            known_rcons: RcBounds::exact(Infinite),
+            provenance: "Plotkin 1989 (cons); n-recording for all n",
+        },
+        CatalogEntry {
+            id: "consensus-object",
+            object: Arc::new(ConsensusObject::new(2)),
+            known_cons: Infinite,
+            known_rcons: RcBounds::exact(Infinite),
+            provenance: "by definition; n-recording for all n",
+        },
+        CatalogEntry {
+            id: "T_4",
+            object: Arc::new(Tn::new(4)),
+            known_cons: Finite(4),
+            known_rcons: RcBounds::range(2, 3),
+            provenance: "this paper, Prop. 19 / Cor. 20",
+        },
+        CatalogEntry {
+            id: "T_5",
+            object: Arc::new(Tn::new(5)),
+            known_cons: Finite(5),
+            known_rcons: RcBounds::range(3, 4),
+            provenance: "this paper, Prop. 19 / Cor. 20",
+        },
+        CatalogEntry {
+            id: "T_6",
+            object: Arc::new(Tn::new(6)),
+            known_cons: Finite(6),
+            known_rcons: RcBounds::range(4, 5),
+            provenance: "this paper, Prop. 19 / Cor. 20",
+        },
+        CatalogEntry {
+            id: "S_2",
+            object: Arc::new(Sn::new(2)),
+            known_cons: Finite(2),
+            known_rcons: RcBounds::exact(Finite(2)),
+            provenance: "this paper, Prop. 21",
+        },
+        CatalogEntry {
+            id: "S_3",
+            object: Arc::new(Sn::new(3)),
+            known_cons: Finite(3),
+            known_rcons: RcBounds::exact(Finite(3)),
+            provenance: "this paper, Prop. 21",
+        },
+        CatalogEntry {
+            id: "S_4",
+            object: Arc::new(Sn::new(4)),
+            known_cons: Finite(4),
+            known_rcons: RcBounds::exact(Finite(4)),
+            provenance: "this paper, Prop. 21",
+        },
+        CatalogEntry {
+            id: "S_5",
+            object: Arc::new(Sn::new(5)),
+            known_cons: Finite(5),
+            known_rcons: RcBounds::exact(Finite(5)),
+            provenance: "this paper, Prop. 21",
+        },
+    ]
+}
+
+/// Looks up a catalog entry by id.
+pub fn find(id: &str) -> Option<CatalogEntry> {
+    catalog().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjectType;
+
+    #[test]
+    fn catalog_is_well_formed() {
+        let entries = catalog();
+        assert!(entries.len() >= 15);
+        for e in &entries {
+            assert!(!e.object.operations().is_empty(), "{}", e.id);
+            assert!(!e.object.initial_states().is_empty(), "{}", e.id);
+            // rcons ≤ cons must hold for the published values (Cor. 17).
+            match (e.known_rcons.hi, e.known_cons) {
+                (ConsensusNumber::Finite(hi), ConsensusNumber::Finite(c)) => {
+                    assert!(hi <= c, "{}: rcons hi > cons", e.id)
+                }
+                (ConsensusNumber::Infinite, ConsensusNumber::Finite(_)) => {
+                    panic!("{}: rcons ∞ but cons finite", e.id)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let entries = catalog();
+        let mut ids: Vec<_> = entries.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), entries.len());
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find("stack").is_some());
+        assert!(find("warp-drive").is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ConsensusNumber::Infinite.to_string(), "∞");
+        assert_eq!(ConsensusNumber::Finite(3).to_string(), "3");
+        assert_eq!(RcBounds::range(1, 2).to_string(), "[1, 2]");
+        assert_eq!(
+            RcBounds::exact(ConsensusNumber::Finite(4)).to_string(),
+            "4"
+        );
+    }
+}

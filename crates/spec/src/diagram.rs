@@ -1,0 +1,103 @@
+//! Textual transition diagrams — the printable form of the paper's Fig. 5
+//! (`T_n`) and Fig. 6 (`S_n`) state diagrams, for any small finite type.
+
+use crate::{ObjectType, Value};
+
+/// Renders the transition table of `ty` over the states reachable from
+/// `q0`: one row per state, one column per update operation, each cell
+/// showing `next-state / response`.
+///
+/// # Example
+///
+/// ```
+/// use rc_spec::diagram::render_transitions;
+/// use rc_spec::types::Sn;
+///
+/// let s2 = Sn::new(2);
+/// let diagram = render_transitions(&s2, &Sn::q0());
+/// assert!(diagram.contains("(B, 0)"));
+/// assert!(diagram.contains("opA"));
+/// ```
+pub fn render_transitions(ty: &dyn ObjectType, q0: &Value) -> String {
+    let ops = ty.operations();
+    let states: Vec<Value> = ty.reachable_states(q0).into_iter().collect();
+
+    let mut header: Vec<String> = vec!["state".to_string()];
+    header.extend(ops.iter().map(|op| op.to_string()));
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(states.len());
+    for state in &states {
+        let mut row = vec![if state == q0 {
+            format!("{state} (q0)")
+        } else {
+            state.to_string()
+        }];
+        for op in &ops {
+            let t = ty.apply(state, op);
+            row.push(format!("{} / {}", t.next, t.response));
+        }
+        rows.push(row);
+    }
+
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            line.push_str(cell);
+            line.push_str(&" ".repeat(pad));
+            if i + 1 < cells.len() {
+                line.push_str("  ");
+            }
+        }
+        line
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!("{} transitions from {q0}:\n", ty.name()));
+    out.push_str(&render_row(&header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Sn, TestAndSet, Tn};
+
+    #[test]
+    fn renders_sn_diagram() {
+        let s3 = Sn::new(3);
+        let d = render_transitions(&s3, &Sn::q0());
+        // 2n = 6 states + header + separator + title.
+        assert_eq!(d.lines().count(), 9);
+        assert!(d.contains("(q0)"));
+        assert!(d.contains("opB"));
+    }
+
+    #[test]
+    fn renders_tn_diagram_with_forget_state() {
+        let t4 = Tn::new(4);
+        let d = render_transitions(&t4, &Tn::forget_state());
+        assert!(d.contains("(⊥, 0, 0) (q0)"));
+        // opA from q0 returns A.
+        assert!(d.contains("/ A"));
+    }
+
+    #[test]
+    fn renders_tas() {
+        let d = render_transitions(&TestAndSet::new(), &Value::Bool(false));
+        assert!(d.contains("true / false") || d.contains("true / true"));
+    }
+}

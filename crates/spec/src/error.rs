@@ -1,0 +1,84 @@
+//! Error types for the specification crate.
+
+use crate::{Operation, Value};
+use std::error::Error;
+use std::fmt;
+
+/// An error raised when a sequential specification is misused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The operation is not part of the type's operation universe.
+    UnknownOperation {
+        /// Name of the object type.
+        type_name: String,
+        /// The offending operation.
+        op: Operation,
+    },
+    /// The state is not a valid state of the type.
+    InvalidState {
+        /// Name of the object type.
+        type_name: String,
+        /// The offending state.
+        state: Value,
+    },
+    /// A construction parameter was out of range (e.g. `Tn::new(3)` — the
+    /// paper defines `T_n` only for n ≥ 4).
+    InvalidParameter {
+        /// Name of the object type.
+        type_name: String,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownOperation { type_name, op } => {
+                write!(f, "unknown operation {op} for type {type_name}")
+            }
+            SpecError::InvalidState { type_name, state } => {
+                write!(f, "invalid state {state} for type {type_name}")
+            }
+            SpecError::InvalidParameter { type_name, message } => {
+                write!(f, "invalid parameter for type {type_name}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpecError::UnknownOperation {
+            type_name: "stack".into(),
+            op: Operation::nullary("launch_missiles"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("launch_missiles"));
+        assert!(s.contains("stack"));
+
+        let e = SpecError::InvalidState {
+            type_name: "tas".into(),
+            state: Value::Int(7),
+        };
+        assert!(e.to_string().contains('7'));
+
+        let e = SpecError::InvalidParameter {
+            type_name: "T_n".into(),
+            message: "n must be at least 4".into(),
+        };
+        assert!(e.to_string().contains("at least 4"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SpecError>();
+    }
+}

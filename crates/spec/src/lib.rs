@@ -1,0 +1,74 @@
+//! # rc-spec — deterministic sequential object-type specifications
+//!
+//! This crate is the *specification substrate* for the reproduction of
+//! *“When Is Recoverable Consensus Harder Than Consensus?”*
+//! (Delporte-Gallet, Fatourou, Fauconnier, Ruppert — PODC 2022).
+//!
+//! The paper studies **deterministic** shared object types: a sequential
+//! specification gives, for each (state, operation) pair, a unique response
+//! and successor state. A type is **readable** if it additionally supports a
+//! `Read` operation returning the entire state without changing it.
+//!
+//! Everything in the paper — the [*n*-discerning] and [*n*-recording]
+//! properties, the consensus and recoverable-consensus hierarchies — is a
+//! statement about such specifications, so this crate makes them first-class
+//! values:
+//!
+//! * [`Value`] — a small dynamic value algebra used for object states,
+//!   operation arguments and responses.
+//! * [`Operation`] — an operation name plus argument (e.g. `Write(42)`).
+//! * [`ObjectType`] — the object-safe trait every type implements; it
+//!   enumerates the (finite) update-operation universe and provides the
+//!   deterministic transition function.
+//! * [`types`] — the catalog: registers, stacks, queues, test-and-set,
+//!   compare-and-swap, fetch-and-add, swap, sticky registers, counters,
+//!   max-registers, consensus objects, and the paper's bespoke types
+//!   [`types::Tn`] (Fig. 5, Proposition 19) and [`types::Sn`]
+//!   (Fig. 6, Proposition 21).
+//! * [`TableType`] — an explicit finite transition table, used to generate
+//!   *random* deterministic types for property-based validation of the
+//!   paper's implication diagram (Fig. 1).
+//! * [`catalog`] — named catalog entries with the known consensus numbers
+//!   from the literature, used by the experiment harness.
+//!
+//! The decision procedures for *n*-discerning / *n*-recording live in the
+//! `rc-core` crate; the crash–recovery execution substrate lives in
+//! `rc-runtime`.
+//!
+//! [*n*-discerning]: https://doi.org/10.1137/S0097539797329439
+//! [*n*-recording]: https://arxiv.org/abs/2205.14213
+//!
+//! ## Example
+//!
+//! ```
+//! use rc_spec::{ObjectType, Operation, Value};
+//! use rc_spec::types::TestAndSet;
+//!
+//! let tas = TestAndSet::new();
+//! let q0 = Value::Bool(false);
+//! let op = Operation::nullary("tas");
+//! let t = tas.apply(&q0, &op);
+//! assert_eq!(t.response, Value::Bool(false)); // first caller wins
+//! assert_eq!(t.next, Value::Bool(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod object;
+mod table;
+mod value;
+
+pub mod catalog;
+pub mod diagram;
+pub mod random;
+pub mod types;
+
+pub use error::SpecError;
+pub use object::{ObjectType, Operation, Transition};
+pub use table::TableType;
+pub use value::Value;
+
+/// Convenient alias: a shared, dynamically-typed object specification.
+pub type TypeHandle = std::sync::Arc<dyn ObjectType>;

@@ -1,0 +1,244 @@
+//! The [`ObjectType`] trait: deterministic sequential specifications.
+
+use crate::{SpecError, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// An update operation: a name plus an argument value.
+///
+/// Following the paper (Definitions 2 and 4), "an operation `op_i` includes
+/// the name of the operation and any arguments to it. For example,
+/// `Write(42)` is an operation on a read/write register."
+///
+/// The implicit `Read` operation of readable types is *not* part of the
+/// update-operation universe returned by [`ObjectType::operations`]; reads
+/// are modelled separately by the runtime because they never change state.
+///
+/// # Example
+///
+/// ```
+/// use rc_spec::{Operation, Value};
+///
+/// let w = Operation::new("write", Value::Int(42));
+/// assert_eq!(w.to_string(), "write(42)");
+/// let p = Operation::nullary("pop");
+/// assert_eq!(p.to_string(), "pop");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Operation {
+    /// The operation name, e.g. `"write"`.
+    pub name: String,
+    /// The operation argument; [`Value::Unit`] for nullary operations.
+    pub arg: Value,
+}
+
+impl Operation {
+    /// Creates an operation with an argument.
+    pub fn new(name: impl Into<String>, arg: Value) -> Self {
+        Operation {
+            name: name.into(),
+            arg,
+        }
+    }
+
+    /// Creates an operation without an argument.
+    pub fn nullary(name: impl Into<String>) -> Self {
+        Operation {
+            name: name.into(),
+            arg: Value::Unit,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.arg == Value::Unit {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}({})", self.name, self.arg)
+        }
+    }
+}
+
+/// The result of applying an operation: the successor state and the response.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transition {
+    /// The state after the operation.
+    pub next: Value,
+    /// The response returned to the caller.
+    pub response: Value,
+}
+
+impl Transition {
+    /// Creates a transition.
+    pub fn new(next: Value, response: Value) -> Self {
+        Transition { next, response }
+    }
+}
+
+/// A deterministic sequential object-type specification.
+///
+/// This is the paper's notion of a shared object type: "a sequential
+/// specification, which specifies the set of possible states of the object,
+/// the operations that can be performed on it, and how the object changes
+/// state and returns a response when an operation is applied on it"
+/// (Section 1). A *deterministic* type has a unique response and successor
+/// for each (state, operation) pair — which is exactly what
+/// [`try_apply`](ObjectType::try_apply) computes.
+///
+/// A type is **readable** ([`is_readable`](ObjectType::is_readable)) if it
+/// supports a `Read` operation returning the entire state without changing
+/// it. All of the paper's positive results (Theorems 3 and 8) are for
+/// readable types; the runtime exposes reads directly from the stored state.
+///
+/// Implementations must be *total* over the states reachable from any state
+/// in [`initial_states`](ObjectType::initial_states) using operations from
+/// [`operations`](ObjectType::operations).
+pub trait ObjectType: fmt::Debug + Send + Sync {
+    /// A short human-readable name, e.g. `"stack(cap=4, vals=2)"`.
+    fn name(&self) -> String;
+
+    /// The finite universe of update operations used by the property
+    /// checkers when searching for witnesses.
+    fn operations(&self) -> Vec<Operation>;
+
+    /// Candidate initial states `q0` for witness search. For most types this
+    /// is the full (finite) state space or a designated subset containing
+    /// the states the paper's constructions start from.
+    fn initial_states(&self) -> Vec<Value>;
+
+    /// Applies `op` to `state`, returning the transition, or an error if
+    /// `op`/`state` are not part of the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownOperation`] or [`SpecError::InvalidState`]
+    /// when `op` or `state` fall outside the specification.
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError>;
+
+    /// Whether the type is readable (has a `Read` operation that returns the
+    /// entire state without changing it). Defaults to `true`; every type in
+    /// this crate is readable.
+    fn is_readable(&self) -> bool {
+        true
+    }
+
+    /// Applies `op` to `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not in the operation universe or `state` is not a
+    /// valid state — both indicate programmer error. Use
+    /// [`try_apply`](ObjectType::try_apply) for a fallible variant.
+    fn apply(&self, state: &Value, op: &Operation) -> Transition {
+        match self.try_apply(state, op) {
+            Ok(t) => t,
+            Err(e) => panic!("specification misuse: {e}"),
+        }
+    }
+
+    /// All states reachable from `q0` by applying update operations
+    /// (breadth-first closure). Used by the checkers and by diagram printers.
+    fn reachable_states(&self, q0: &Value) -> BTreeSet<Value> {
+        let ops = self.operations();
+        let mut seen = BTreeSet::new();
+        let mut frontier = VecDeque::new();
+        seen.insert(q0.clone());
+        frontier.push_back(q0.clone());
+        while let Some(state) = frontier.pop_front() {
+            for op in &ops {
+                let t = self.apply(&state, op);
+                if seen.insert(t.next.clone()) {
+                    frontier.push_back(t.next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Applies a sequence of operations starting at `q0`, returning the final
+    /// state and each operation's response (a convenience for tests and for
+    /// the commute/overwrite analysis of Appendix D/H).
+    fn apply_all(&self, q0: &Value, ops: &[Operation]) -> (Value, Vec<Value>) {
+        let mut state = q0.clone();
+        let mut responses = Vec::with_capacity(ops.len());
+        for op in ops {
+            let t = self.apply(&state, op);
+            state = t.next;
+            responses.push(t.response);
+        }
+        (state, responses)
+    }
+}
+
+impl ObjectType for std::sync::Arc<dyn ObjectType> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn operations(&self) -> Vec<Operation> {
+        (**self).operations()
+    }
+    fn initial_states(&self) -> Vec<Value> {
+        (**self).initial_states()
+    }
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        (**self).try_apply(state, op)
+    }
+    fn is_readable(&self) -> bool {
+        (**self).is_readable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TestAndSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn operation_display() {
+        assert_eq!(Operation::nullary("tas").to_string(), "tas");
+        assert_eq!(
+            Operation::new("push", Value::Int(1)).to_string(),
+            "push(1)"
+        );
+    }
+
+    #[test]
+    fn reachable_states_of_tas() {
+        let tas = TestAndSet::new();
+        let reach = tas.reachable_states(&Value::Bool(false));
+        assert_eq!(reach.len(), 2);
+        assert!(reach.contains(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn apply_all_collects_responses() {
+        let tas = TestAndSet::new();
+        let op = Operation::nullary("tas");
+        let (state, resps) = tas.apply_all(&Value::Bool(false), &[op.clone(), op]);
+        assert_eq!(state, Value::Bool(true));
+        assert_eq!(resps, vec![Value::Bool(false), Value::Bool(true)]);
+    }
+
+    #[test]
+    fn arc_forwarding() {
+        let tas: Arc<dyn ObjectType> = Arc::new(TestAndSet::new());
+        assert_eq!(tas.name(), "test-and-set");
+        assert!(tas.is_readable());
+        assert_eq!(tas.operations().len(), 1);
+        assert_eq!(tas.initial_states().len(), 2);
+        let t = tas.apply(&Value::Bool(false), &Operation::nullary("tas"));
+        assert_eq!(t.next, Value::Bool(true));
+    }
+
+    #[test]
+    fn apply_panics_on_unknown_op() {
+        let tas = TestAndSet::new();
+        let result = std::panic::catch_unwind(|| {
+            tas.apply(&Value::Bool(false), &Operation::nullary("nope"))
+        });
+        assert!(result.is_err());
+    }
+}

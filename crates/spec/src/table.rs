@@ -1,0 +1,248 @@
+//! Explicit finite transition tables — the "anonymous" deterministic types
+//! used for randomized validation of the paper's implication diagram.
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic type given by an explicit transition table.
+///
+/// States are `0..num_states` (encoded as [`Value::Int`]) and operations are
+/// `op0..op{k−1}`. Entry `table[op][state]` is `(next_state, response)`.
+///
+/// This is the workhorse of the property-based experiments: `rc-core`'s
+/// proptest suites generate thousands of random `TableType`s and check that
+/// every implication of the paper's Figure 1 holds on each of them —
+/// *n*-recording ⟹ *n*-discerning (Observation 5), *n*-recording ⟹
+/// (*n*−1)-recording (Observation 6), *n*-discerning ⟹ (*n*−2)-recording
+/// (Theorem 16), and that the Fig. 2 algorithm run on any discovered
+/// *n*-recording witness never violates agreement under crashes.
+///
+/// # Example
+///
+/// ```
+/// use rc_spec::{ObjectType, TableType, Value};
+///
+/// // A 2-state toggle: op0 flips the state and returns the old state.
+/// let toggle = TableType::new(
+///     "toggle",
+///     2,
+///     1,
+///     vec![vec![(1, Value::Int(0)), (0, Value::Int(1))]],
+/// )?;
+/// let t = toggle.apply(&Value::Int(0), &toggle.operations()[0]);
+/// assert_eq!(t.next, Value::Int(1));
+/// # Ok::<(), rc_spec::SpecError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableType {
+    name: String,
+    num_states: usize,
+    num_ops: usize,
+    /// `table[op][state] = (next_state, response)`.
+    table: Vec<Vec<(usize, Value)>>,
+}
+
+impl TableType {
+    /// Creates a table type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidParameter`] if the table dimensions do
+    /// not match `num_ops × num_states` or any successor state is out of
+    /// range.
+    pub fn new(
+        name: impl Into<String>,
+        num_states: usize,
+        num_ops: usize,
+        table: Vec<Vec<(usize, Value)>>,
+    ) -> Result<Self, SpecError> {
+        let name = name.into();
+        let invalid = |message: String| SpecError::InvalidParameter {
+            type_name: name.clone(),
+            message,
+        };
+        if num_states == 0 {
+            return Err(invalid("need at least one state".into()));
+        }
+        if table.len() != num_ops {
+            return Err(invalid(format!(
+                "table has {} op rows, expected {}",
+                table.len(),
+                num_ops
+            )));
+        }
+        for (op, row) in table.iter().enumerate() {
+            if row.len() != num_states {
+                return Err(invalid(format!(
+                    "op {op} row has {} entries, expected {}",
+                    row.len(),
+                    num_states
+                )));
+            }
+            for (state, (next, _)) in row.iter().enumerate() {
+                if *next >= num_states {
+                    return Err(invalid(format!(
+                        "transition ({op}, {state}) -> {next} is out of range"
+                    )));
+                }
+            }
+        }
+        Ok(TableType {
+            name,
+            num_states,
+            num_ops,
+            table,
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of update operations.
+    pub fn num_ops(&self) -> usize {
+        self.num_ops
+    }
+
+    /// The state value for state index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_states`.
+    pub fn state(&self, i: usize) -> Value {
+        assert!(i < self.num_states, "state index out of range");
+        Value::Int(i as i64)
+    }
+
+    /// The operation value for operation index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_ops`.
+    pub fn op(&self, i: usize) -> Operation {
+        assert!(i < self.num_ops, "op index out of range");
+        Operation::nullary(format!("op{i}"))
+    }
+}
+
+impl ObjectType for TableType {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        (0..self.num_ops).map(|i| self.op(i)).collect()
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        (0..self.num_states).map(|i| self.state(i)).collect()
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let s = state
+            .as_int()
+            .filter(|i| (0..self.num_states as i64).contains(i))
+            .ok_or_else(|| SpecError::InvalidState {
+                type_name: self.name(),
+                state: state.clone(),
+            })? as usize;
+        let idx = op
+            .name
+            .strip_prefix("op")
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|i| *i < self.num_ops && op.arg == Value::Unit)
+            .ok_or_else(|| SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            })?;
+        let (next, resp) = &self.table[idx][s];
+        Ok(Transition::new(Value::Int(*next as i64), resp.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle() -> TableType {
+        TableType::new(
+            "toggle",
+            2,
+            1,
+            vec![vec![(1, Value::Int(0)), (0, Value::Int(1))]],
+        )
+        .expect("valid table")
+    }
+
+    #[test]
+    fn applies_table() {
+        let t = toggle();
+        let op = t.op(0);
+        let (state, resps) = t.apply_all(&t.state(0), &[op.clone(), op]);
+        assert_eq!(state, t.state(0));
+        assert_eq!(resps, vec![Value::Int(0), Value::Int(1)]);
+    }
+
+    #[test]
+    fn validates_dimensions() {
+        assert!(TableType::new("bad", 2, 1, vec![]).is_err());
+        assert!(TableType::new("bad", 2, 1, vec![vec![(0, Value::Unit)]]).is_err());
+        assert!(TableType::new(
+            "bad",
+            2,
+            1,
+            vec![vec![(0, Value::Unit), (5, Value::Unit)]]
+        )
+        .is_err());
+        assert!(TableType::new("bad", 0, 0, vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let t = toggle();
+        assert!(t.try_apply(&Value::Int(9), &t.op(0)).is_err());
+        assert!(t
+            .try_apply(&t.state(0), &Operation::nullary("op7"))
+            .is_err());
+        assert!(t
+            .try_apply(&t.state(0), &Operation::new("op0", Value::Int(1)))
+            .is_err());
+    }
+
+    #[test]
+    fn sticky_as_table_matches_sticky_type() {
+        // Encode a 1-bit sticky register as a table and compare with the
+        // native type on all sequences of length ≤ 3.
+        use crate::types::StickyRegister;
+        // States: 0 = ⊥, 1 = holds 0, 2 = holds 1. Ops: write(0), write(1).
+        let table = TableType::new(
+            "sticky-table",
+            3,
+            2,
+            vec![
+                vec![(1, Value::Unit), (1, Value::Unit), (2, Value::Unit)],
+                vec![(2, Value::Unit), (1, Value::Unit), (2, Value::Unit)],
+            ],
+        )
+        .expect("valid");
+        let native = StickyRegister::new(2);
+        let encode = |v: &Value| match v {
+            Value::Bottom => Value::Int(0),
+            Value::Int(i) => Value::Int(i + 1),
+            _ => unreachable!(),
+        };
+        let nat_ops = native.operations();
+        let tab_ops = table.operations();
+        for seq_len in 0..=3usize {
+            for mask in 0..(2usize.pow(seq_len as u32)) {
+                let idxs: Vec<usize> = (0..seq_len).map(|b| (mask >> b) & 1).collect();
+                let nat_seq: Vec<_> = idxs.iter().map(|&i| nat_ops[i].clone()).collect();
+                let tab_seq: Vec<_> = idxs.iter().map(|&i| tab_ops[i].clone()).collect();
+                let (ns, _) = native.apply_all(&Value::Bottom, &nat_seq);
+                let (ts, _) = table.apply_all(&Value::Int(0), &tab_seq);
+                assert_eq!(encode(&ns), ts);
+            }
+        }
+    }
+}

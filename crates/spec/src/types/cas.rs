@@ -1,0 +1,150 @@
+//! Compare-and-swap register (`cons = ∞`).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A compare-and-swap register over `{⊥, 0, …, domain−1}`, initially ⊥.
+///
+/// `cas(exp, new)` atomically replaces the state with `new` iff it equals
+/// `exp`, returning `true` on success. With `q0 = ⊥` and each process
+/// assigned `cas(⊥, team)` the state permanently records which team updated
+/// first, so CAS is *n*-recording for every *n* and `rcons(CAS) = ∞`
+/// (matching `cons(CAS) = ∞`, Herlihy 1991). Section 5 of the paper notes
+/// that recoverable CAS implementations make whole algorithm classes
+/// recoverable — CAS is the "easy" end of the RC hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cas {
+    domain: i64,
+}
+
+impl Cas {
+    /// Creates a CAS register over `{⊥, 0, …, domain−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn new(domain: u32) -> Self {
+        assert!(domain > 0, "cas domain must be non-empty");
+        Cas {
+            domain: i64::from(domain),
+        }
+    }
+
+    fn valid_state(&self, v: &Value) -> bool {
+        v.is_bottom() || matches!(v.as_int(), Some(i) if (0..self.domain).contains(&i))
+    }
+}
+
+impl ObjectType for Cas {
+    fn name(&self) -> String {
+        format!("cas(d={})", self.domain)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        // cas(exp, new) for exp ∈ {⊥} ∪ domain, new ∈ domain.
+        let mut expected = vec![Value::Bottom];
+        expected.extend((0..self.domain).map(Value::Int));
+        let mut ops = Vec::new();
+        for exp in &expected {
+            for new in 0..self.domain {
+                ops.push(Operation::new(
+                    "cas",
+                    Value::pair(exp.clone(), Value::Int(new)),
+                ));
+            }
+        }
+        ops
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        let mut states = vec![Value::Bottom];
+        states.extend((0..self.domain).map(Value::Int));
+        states
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        if !self.valid_state(state) {
+            return Err(SpecError::InvalidState {
+                type_name: self.name(),
+                state: state.clone(),
+            });
+        }
+        if op.name != "cas" {
+            return Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            });
+        }
+        let parts = op.arg.as_tuple().filter(|p| p.len() == 2);
+        let parts = parts.ok_or_else(|| SpecError::UnknownOperation {
+            type_name: self.name(),
+            op: op.clone(),
+        })?;
+        let (exp, new) = (&parts[0], &parts[1]);
+        if !self.valid_state(exp) || !matches!(new.as_int(), Some(i) if (0..self.domain).contains(&i))
+        {
+            return Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            });
+        }
+        if state == exp {
+            Ok(Transition::new(new.clone(), Value::Bool(true)))
+        } else {
+            Ok(Transition::new(state.clone(), Value::Bool(false)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cas(exp: Value, new: i64) -> Operation {
+        Operation::new("cas", Value::pair(exp, Value::Int(new)))
+    }
+
+    #[test]
+    fn first_cas_from_bottom_wins() {
+        let c = Cas::new(2);
+        let (state, resps) = c.apply_all(
+            &Value::Bottom,
+            &[cas(Value::Bottom, 0), cas(Value::Bottom, 1)],
+        );
+        assert_eq!(state, Value::Int(0));
+        assert_eq!(resps, vec![Value::Bool(true), Value::Bool(false)]);
+    }
+
+    #[test]
+    fn state_records_winner_permanently() {
+        let c = Cas::new(2);
+        // No sequence of cas(⊥, ·) operations can move the state back to ⊥
+        // or flip it between teams.
+        let reach = c.reachable_states(&Value::Int(0));
+        assert!(!reach.contains(&Value::Bottom));
+    }
+
+    #[test]
+    fn successful_chain() {
+        let c = Cas::new(3);
+        let (state, resps) =
+            c.apply_all(&Value::Bottom, &[cas(Value::Bottom, 1), cas(Value::Int(1), 2)]);
+        assert_eq!(state, Value::Int(2));
+        assert_eq!(resps, vec![Value::Bool(true), Value::Bool(true)]);
+    }
+
+    #[test]
+    fn op_universe_size() {
+        // (domain + 1) choices of expected × domain choices of new.
+        assert_eq!(Cas::new(2).operations().len(), 6);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let c = Cas::new(2);
+        assert!(c.try_apply(&Value::sym("x"), &cas(Value::Bottom, 0)).is_err());
+        assert!(c
+            .try_apply(&Value::Bottom, &Operation::new("cas", Value::Int(0)))
+            .is_err());
+        assert!(c.try_apply(&Value::Bottom, &cas(Value::Int(5), 0)).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Consensus object (`cons = ∞`), used as the Fig. 4 base object.
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A consensus object over `{⊥, 0, …, domain−1}`, initially ⊥.
+///
+/// `propose(v)` sets the state to `v` if it is still ⊥ and returns the
+/// decided value (the state after the operation). Like the sticky register,
+/// the state durably records the first proposal, so the type is
+/// *n*-recording for every *n* and `rcons = cons = ∞`. The Fig. 4
+/// simultaneous-crash transformation uses instances of this type as its
+/// black-box consensus base objects in tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsensusObject {
+    domain: i64,
+}
+
+impl ConsensusObject {
+    /// Creates a consensus object over `{⊥, 0, …, domain−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn new(domain: u32) -> Self {
+        assert!(domain > 0, "consensus domain must be non-empty");
+        ConsensusObject {
+            domain: i64::from(domain),
+        }
+    }
+
+    fn valid_state(&self, v: &Value) -> bool {
+        v.is_bottom() || matches!(v.as_int(), Some(i) if (0..self.domain).contains(&i))
+    }
+}
+
+impl ObjectType for ConsensusObject {
+    fn name(&self) -> String {
+        format!("consensus(d={})", self.domain)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        (0..self.domain)
+            .map(|v| Operation::new("propose", Value::Int(v)))
+            .collect()
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        let mut states = vec![Value::Bottom];
+        states.extend((0..self.domain).map(Value::Int));
+        states
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        if !self.valid_state(state) {
+            return Err(SpecError::InvalidState {
+                type_name: self.name(),
+                state: state.clone(),
+            });
+        }
+        let v = op.arg.as_int().filter(|i| (0..self.domain).contains(i));
+        match (op.name.as_str(), v) {
+            ("propose", Some(v)) => {
+                let decided = if state.is_bottom() {
+                    Value::Int(v)
+                } else {
+                    state.clone()
+                };
+                Ok(Transition::new(decided.clone(), decided))
+            }
+            _ => Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn propose(v: i64) -> Operation {
+        Operation::new("propose", Value::Int(v))
+    }
+
+    #[test]
+    fn agreement_and_validity() {
+        let c = ConsensusObject::new(3);
+        let (state, resps) = c.apply_all(&Value::Bottom, &[propose(2), propose(0), propose(1)]);
+        assert_eq!(state, Value::Int(2));
+        assert!(resps.iter().all(|r| *r == Value::Int(2)));
+    }
+
+    #[test]
+    fn first_proposal_decides() {
+        let c = ConsensusObject::new(2);
+        let t = c.apply(&Value::Bottom, &propose(1));
+        assert_eq!(t.response, Value::Int(1));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let c = ConsensusObject::new(2);
+        assert!(c.try_apply(&Value::sym("?"), &propose(0)).is_err());
+        assert!(c.try_apply(&Value::Bottom, &propose(5)).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Increment-only counter (`cons = 1`).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// An increment-only counter over `Z_modulus`, initially 0.
+///
+/// `inc` adds one (mod `modulus`) and returns `ack`. All operations commute
+/// and responses carry no information, so the counter cannot distinguish
+/// orderings at all: `cons(counter) = rcons(counter) = 1`. A useful
+/// weakest-level baseline for the hierarchy survey.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counter {
+    modulus: i64,
+}
+
+impl Counter {
+    /// Creates a counter over `Z_modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus == 0`.
+    pub fn new(modulus: u32) -> Self {
+        assert!(modulus > 0, "modulus must be positive");
+        Counter {
+            modulus: i64::from(modulus),
+        }
+    }
+}
+
+impl ObjectType for Counter {
+    fn name(&self) -> String {
+        format!("counter(m={})", self.modulus)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        vec![Operation::nullary("inc")]
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        (0..self.modulus).map(Value::Int).collect()
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let old = state
+            .as_int()
+            .filter(|i| (0..self.modulus).contains(i))
+            .ok_or_else(|| SpecError::InvalidState {
+                type_name: self.name(),
+                state: state.clone(),
+            })?;
+        if op.name == "inc" {
+            Ok(Transition::new(
+                Value::Int((old + 1).rem_euclid(self.modulus)),
+                Value::Unit,
+            ))
+        } else {
+            Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_and_wraps() {
+        let c = Counter::new(3);
+        let inc = Operation::nullary("inc");
+        let (state, resps) = c.apply_all(&Value::Int(0), &[inc.clone(), inc.clone(), inc]);
+        assert_eq!(state, Value::Int(0));
+        assert!(resps.iter().all(|r| *r == Value::Unit));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let c = Counter::new(3);
+        assert!(c.try_apply(&Value::Int(5), &Operation::nullary("inc")).is_err());
+        assert!(c.try_apply(&Value::Int(0), &Operation::nullary("dec")).is_err());
+    }
+}

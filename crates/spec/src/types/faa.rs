@@ -1,0 +1,126 @@
+//! Fetch-and-add over a bounded counter (`cons = 2`).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A fetch-and-add register over `Z_modulus`, initially 0.
+///
+/// `add(k)` returns the old value and adds `k` (mod `modulus`). The responses
+/// distinguish who went first among two processes (`cons(FAA) = 2`), but the
+/// *state* is the order-independent sum, so no assignment of add operations
+/// can make the final state depend on which team went first: FAA is never
+/// 2-recording and the paper's machinery yields `rcons(FAA) ∈ {1, 2}`.
+///
+/// The modulus is a finiteness device for exact checking; for every analyzed
+/// execution length `L` with increments from `increments`, choosing
+/// `modulus > L · max(increments)` makes the bounded object behave exactly
+/// like the unbounded one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchAdd {
+    modulus: i64,
+    increments: Vec<i64>,
+}
+
+impl FetchAdd {
+    /// Creates a fetch-and-add object over `Z_modulus` with the given
+    /// available increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus == 0` or `increments` is empty.
+    pub fn new(modulus: u32, increments: &[i64]) -> Self {
+        assert!(modulus > 0, "modulus must be positive");
+        assert!(!increments.is_empty(), "need at least one increment");
+        FetchAdd {
+            modulus: i64::from(modulus),
+            increments: increments.to_vec(),
+        }
+    }
+}
+
+impl ObjectType for FetchAdd {
+    fn name(&self) -> String {
+        format!("fetch-add(m={}, incs={:?})", self.modulus, self.increments)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        self.increments
+            .iter()
+            .map(|k| Operation::new("add", Value::Int(*k)))
+            .collect()
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        (0..self.modulus).map(Value::Int).collect()
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let old = state
+            .as_int()
+            .filter(|i| (0..self.modulus).contains(i))
+            .ok_or_else(|| SpecError::InvalidState {
+                type_name: self.name(),
+                state: state.clone(),
+            })?;
+        if op.name != "add" {
+            return Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            });
+        }
+        let k = op
+            .arg
+            .as_int()
+            .filter(|k| self.increments.contains(k))
+            .ok_or_else(|| SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            })?;
+        let next = (old + k).rem_euclid(self.modulus);
+        Ok(Transition::new(Value::Int(next), Value::Int(old)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(k: i64) -> Operation {
+        Operation::new("add", Value::Int(k))
+    }
+
+    #[test]
+    fn responses_reveal_order() {
+        let f = FetchAdd::new(100, &[1, 2]);
+        let (_, r1) = f.apply_all(&Value::Int(0), &[add(1), add(2)]);
+        let (_, r2) = f.apply_all(&Value::Int(0), &[add(2), add(1)]);
+        assert_eq!(r1, vec![Value::Int(0), Value::Int(1)]);
+        assert_eq!(r2, vec![Value::Int(0), Value::Int(2)]);
+    }
+
+    #[test]
+    fn state_is_order_independent() {
+        // add(a); add(b) and add(b); add(a) commute on the state — the
+        // structural reason FAA is never 2-recording.
+        let f = FetchAdd::new(100, &[1, 2]);
+        let (a, _) = f.apply_all(&Value::Int(0), &[add(1), add(2)]);
+        let (b, _) = f.apply_all(&Value::Int(0), &[add(2), add(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wraps_mod_m() {
+        let f = FetchAdd::new(3, &[2]);
+        let (state, _) = f.apply_all(&Value::Int(0), &[add(2), add(2)]);
+        assert_eq!(state, Value::Int(1));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let f = FetchAdd::new(3, &[1]);
+        assert!(f.try_apply(&Value::Int(7), &add(1)).is_err());
+        assert!(f.try_apply(&Value::Int(0), &add(9)).is_err());
+        assert!(f
+            .try_apply(&Value::Int(0), &Operation::nullary("sub"))
+            .is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Fetch-and-cons: atomically prepend and return the old list
+//! (`cons = ∞`, Herlihy 1991).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A fetch-and-cons object over `{0, …, values−1}` with list length
+/// bounded by `capacity` (a finiteness device; prepends beyond the bound
+/// return `full` and leave the state unchanged).
+///
+/// `fetch_cons(v)` prepends `v` and returns the *old* list. Herlihy (1991)
+/// showed `cons(fetch&cons) = ∞`: the returned list tells a process
+/// everything that happened before its operation. The *state* equally
+/// records the entire history (the last element is the first prepended
+/// value), the state never returns to a previous value, and the type is
+/// readable here — so it is *n*-recording for every `n` and
+/// `rcons = cons = ∞`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchAndCons {
+    capacity: usize,
+    values: i64,
+}
+
+impl FetchAndCons {
+    /// Creates a fetch-and-cons object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `values == 0`.
+    pub fn new(capacity: usize, values: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(values > 0, "value domain must be non-empty");
+        FetchAndCons {
+            capacity,
+            values: i64::from(values),
+        }
+    }
+
+    fn all_states(&self) -> Vec<Value> {
+        let mut states = vec![Vec::new()];
+        let mut frontier = vec![Vec::new()];
+        for _ in 0..self.capacity {
+            let mut next = Vec::new();
+            for st in &frontier {
+                for v in 0..self.values {
+                    let mut s = vec![Value::Int(v)];
+                    s.extend(st.iter().cloned());
+                    next.push(s);
+                }
+            }
+            states.extend(next.iter().cloned());
+            frontier = next;
+        }
+        states.into_iter().map(Value::List).collect()
+    }
+}
+
+impl ObjectType for FetchAndCons {
+    fn name(&self) -> String {
+        format!("fetch-cons(cap={}, vals={})", self.capacity, self.values)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        (0..self.values)
+            .map(|v| Operation::new("fetch_cons", Value::Int(v)))
+            .collect()
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        self.all_states()
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let items = state.as_list().ok_or_else(|| SpecError::InvalidState {
+            type_name: self.name(),
+            state: state.clone(),
+        })?;
+        let v = op
+            .arg
+            .as_int()
+            .filter(|i| (0..self.values).contains(i) && op.name == "fetch_cons")
+            .ok_or_else(|| SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            })?;
+        if items.len() >= self.capacity {
+            return Ok(Transition::new(state.clone(), Value::sym("full")));
+        }
+        let mut next = vec![Value::Int(v)];
+        next.extend(items.iter().cloned());
+        Ok(Transition::new(Value::List(next), state.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fc(v: i64) -> Operation {
+        Operation::new("fetch_cons", Value::Int(v))
+    }
+
+    #[test]
+    fn prepends_and_returns_old_list() {
+        let f = FetchAndCons::new(4, 2);
+        let (state, resps) = f.apply_all(&Value::empty_list(), &[fc(0), fc(1)]);
+        assert_eq!(
+            state,
+            Value::List(vec![Value::Int(1), Value::Int(0)])
+        );
+        assert_eq!(resps[0], Value::empty_list());
+        assert_eq!(resps[1], Value::List(vec![Value::Int(0)]));
+    }
+
+    #[test]
+    fn state_records_full_history() {
+        // The LAST element is the first prepended value — a durable record
+        // of who went first, never erased by later operations.
+        let f = FetchAndCons::new(4, 2);
+        let (a, _) = f.apply_all(&Value::empty_list(), &[fc(0), fc(1), fc(1)]);
+        let (b, _) = f.apply_all(&Value::empty_list(), &[fc(1), fc(0), fc(1)]);
+        assert_ne!(a, b);
+        assert_eq!(a.as_list().and_then(|l| l.last()), Some(&Value::Int(0)));
+        assert_eq!(b.as_list().and_then(|l| l.last()), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn full_is_a_no_op() {
+        let f = FetchAndCons::new(1, 2);
+        let q = Value::List(vec![Value::Int(0)]);
+        let t = f.apply(&q, &fc(1));
+        assert_eq!(t.next, q);
+        assert_eq!(t.response, Value::sym("full"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let f = FetchAndCons::new(2, 2);
+        assert!(f.try_apply(&Value::Int(0), &fc(0)).is_err());
+        assert!(f.try_apply(&Value::empty_list(), &fc(9)).is_err());
+        assert!(f
+            .try_apply(&Value::empty_list(), &Operation::nullary("pop"))
+            .is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Max-register (`cons = 1`).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A max-register over `{0, …, bound−1}`, initially 0.
+///
+/// `write_max(v)` replaces the state with `max(state, v)` and returns `ack`.
+/// Any two `write_max` operations either commute or one overwrites the
+/// other, so `cons(max-register) = rcons(max-register) = 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaxRegister {
+    bound: i64,
+}
+
+impl MaxRegister {
+    /// Creates a max-register over `{0, …, bound−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn new(bound: u32) -> Self {
+        assert!(bound > 0, "bound must be positive");
+        MaxRegister {
+            bound: i64::from(bound),
+        }
+    }
+}
+
+impl ObjectType for MaxRegister {
+    fn name(&self) -> String {
+        format!("max-register(b={})", self.bound)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        (0..self.bound)
+            .map(|v| Operation::new("write_max", Value::Int(v)))
+            .collect()
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        (0..self.bound).map(Value::Int).collect()
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let cur = state
+            .as_int()
+            .filter(|i| (0..self.bound).contains(i))
+            .ok_or_else(|| SpecError::InvalidState {
+                type_name: self.name(),
+                state: state.clone(),
+            })?;
+        let v = op.arg.as_int().filter(|i| (0..self.bound).contains(i));
+        match (op.name.as_str(), v) {
+            ("write_max", Some(v)) => {
+                Ok(Transition::new(Value::Int(cur.max(v)), Value::Unit))
+            }
+            _ => Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wmax(v: i64) -> Operation {
+        Operation::new("write_max", Value::Int(v))
+    }
+
+    #[test]
+    fn keeps_maximum() {
+        let m = MaxRegister::new(5);
+        let (state, _) = m.apply_all(&Value::Int(0), &[wmax(3), wmax(1), wmax(2)]);
+        assert_eq!(state, Value::Int(3));
+    }
+
+    #[test]
+    fn writes_commute() {
+        let m = MaxRegister::new(5);
+        let (a, _) = m.apply_all(&Value::Int(0), &[wmax(3), wmax(4)]);
+        let (b, _) = m.apply_all(&Value::Int(0), &[wmax(4), wmax(3)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let m = MaxRegister::new(2);
+        assert!(m.try_apply(&Value::Int(9), &wmax(0)).is_err());
+        assert!(m.try_apply(&Value::Int(0), &wmax(9)).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! The catalog of concrete deterministic, readable object types.
+//!
+//! Every type the paper mentions (plus a few standard ones useful as
+//! baselines) is implemented here as an [`ObjectType`](crate::ObjectType):
+//!
+//! | Type | Known `cons` | Paper reference |
+//! |------|--------------|-----------------|
+//! | [`Register`] | 1 | Section 1 (base objects) |
+//! | [`Counter`] (inc-only) | 1 | baseline (commuting ops) |
+//! | [`MaxRegister`] | 1 | baseline (overwriting/commuting ops) |
+//! | [`TestAndSet`] | 2 | Section 5 (Attiya et al. discussion) |
+//! | [`FetchAdd`] | 2 | baseline |
+//! | [`Swap`] | 2 | baseline |
+//! | [`Stack`] | 2 | Appendix H: `rcons(stack) = 1` |
+//! | [`Queue`] | 2 | Appendix H remark: `rcons(queue) = 1` |
+//! | [`Cas`] | ∞ | Section 5 (recoverable CAS discussion) |
+//! | [`StickyRegister`] | ∞ | classic universal type |
+//! | [`ConsensusObject`] | ∞ | used as the Fig. 4 base object |
+//! | [`Tn`] | n | Fig. 5 / Proposition 19: n-discerning, not (n−1)-recording |
+//! | [`Sn`] | n | Fig. 6 / Proposition 21: `rcons = cons = n` |
+
+mod cas;
+mod consensus_obj;
+mod counter;
+mod faa;
+mod fetch_cons;
+mod max_register;
+mod queue;
+mod readable_stack;
+mod register;
+mod sn;
+mod stack;
+mod sticky;
+mod swap;
+mod tas;
+mod tn;
+
+pub use cas::Cas;
+pub use consensus_obj::ConsensusObject;
+pub use counter::Counter;
+pub use faa::FetchAdd;
+pub use fetch_cons::FetchAndCons;
+pub use max_register::MaxRegister;
+pub use queue::Queue;
+pub use readable_stack::ReadableStack;
+pub use register::Register;
+pub use sn::Sn;
+pub use stack::Stack;
+pub use sticky::StickyRegister;
+pub use swap::Swap;
+pub use tas::TestAndSet;
+pub use tn::Tn;
+
+/// The symbol used for team A in the paper's types.
+pub const TEAM_A: &str = "A";
+/// The symbol used for team B in the paper's types.
+pub const TEAM_B: &str = "B";

@@ -1,0 +1,188 @@
+//! Bounded FIFO queue (Appendix H remark: `rcons(queue) = 1`).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A FIFO queue bounded to `capacity` elements over `{0, …, values−1}` —
+/// **not readable**, like the classic queue of the paper's Appendix H.
+///
+/// The state is a [`Value::List`] with the *front* of the queue first.
+/// `Deq` on an empty queue returns ⊥; `Enq` on a full queue leaves the
+/// state unchanged and returns `full` (a finiteness device, as for
+/// [`Stack`](crate::types::Stack)).
+///
+/// `cons(queue) = 2` (Herlihy 1991). The final remark of Appendix H states
+/// that an argument similar to the stack's shows `rcons(queue) = 1`.
+/// As with the stack, the queue's transition structure satisfies the
+/// discerning/recording definitions at every level (the *front* element of
+/// an enq-only execution records the first team), but without a `Read`
+/// operation the record can only be consumed destructively, so the paper's
+/// positive theorems do not apply — see the readability discussion on
+/// [`Stack`](crate::types::Stack).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Queue {
+    capacity: usize,
+    values: i64,
+}
+
+impl Queue {
+    /// Creates a queue with the given capacity and value-domain size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `values == 0`.
+    pub fn new(capacity: usize, values: u32) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        assert!(values > 0, "queue value domain must be non-empty");
+        Queue {
+            capacity,
+            values: i64::from(values),
+        }
+    }
+
+    fn all_states(&self) -> Vec<Value> {
+        let mut states = vec![Vec::new()];
+        let mut frontier = vec![Vec::new()];
+        for _ in 0..self.capacity {
+            let mut next = Vec::new();
+            for st in &frontier {
+                for v in 0..self.values {
+                    let mut s = st.clone();
+                    s.push(Value::Int(v));
+                    next.push(s);
+                }
+            }
+            states.extend(next.iter().cloned());
+            frontier = next;
+        }
+        states.into_iter().map(Value::List).collect()
+    }
+}
+
+impl ObjectType for Queue {
+    fn name(&self) -> String {
+        format!("queue(cap={}, vals={})", self.capacity, self.values)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        let mut ops: Vec<Operation> = (0..self.values)
+            .map(|v| Operation::new("enq", Value::Int(v)))
+            .collect();
+        ops.push(Operation::nullary("deq"));
+        ops
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        self.all_states()
+    }
+
+    fn is_readable(&self) -> bool {
+        false
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let items = state.as_list().ok_or_else(|| SpecError::InvalidState {
+            type_name: self.name(),
+            state: state.clone(),
+        })?;
+        match op.name.as_str() {
+            "enq" => {
+                let v = op.arg.as_int().filter(|i| (0..self.values).contains(i));
+                let v = v.ok_or_else(|| SpecError::UnknownOperation {
+                    type_name: self.name(),
+                    op: op.clone(),
+                })?;
+                if items.len() >= self.capacity {
+                    return Ok(Transition::new(state.clone(), Value::sym("full")));
+                }
+                let mut next = items.to_vec();
+                next.push(Value::Int(v));
+                Ok(Transition::new(Value::List(next), Value::Unit))
+            }
+            "deq" => {
+                if items.is_empty() {
+                    Ok(Transition::new(state.clone(), Value::Bottom))
+                } else {
+                    let mut next = items.to_vec();
+                    let front = next.remove(0);
+                    Ok(Transition::new(Value::List(next), front))
+                }
+            }
+            _ => Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enq(v: i64) -> Operation {
+        Operation::new("enq", Value::Int(v))
+    }
+    fn deq() -> Operation {
+        Operation::nullary("deq")
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = Queue::new(4, 2);
+        let (state, resps) =
+            q.apply_all(&Value::empty_list(), &[enq(0), enq(1), deq(), deq(), deq()]);
+        assert_eq!(state, Value::empty_list());
+        assert_eq!(
+            resps,
+            vec![
+                Value::Unit,
+                Value::Unit,
+                Value::Int(0),
+                Value::Int(1),
+                Value::Bottom
+            ]
+        );
+    }
+
+    #[test]
+    fn deq_on_empty_is_identity() {
+        let q = Queue::new(2, 2);
+        let t = q.apply(&Value::empty_list(), &deq());
+        assert_eq!(t.next, Value::empty_list());
+        assert_eq!(t.response, Value::Bottom);
+    }
+
+    #[test]
+    fn full_queue_rejects_enq() {
+        let q = Queue::new(1, 2);
+        let q0 = Value::List(vec![Value::Int(0)]);
+        let t = q.apply(&q0, &enq(1));
+        assert_eq!(t.next, q0);
+        assert_eq!(t.response, Value::sym("full"));
+    }
+
+    #[test]
+    fn enqueues_do_not_commute_on_state() {
+        // [enq(0), enq(1)] vs [enq(1), enq(0)] differ — the 2-process
+        // consensus protocol for queues relies on this.
+        let q = Queue::new(4, 2);
+        let (a, _) = q.apply_all(&Value::empty_list(), &[enq(0), enq(1)]);
+        let (b, _) = q.apply_all(&Value::empty_list(), &[enq(1), enq(0)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn state_enumeration_counts() {
+        let q = Queue::new(2, 2);
+        assert_eq!(q.initial_states().len(), 7);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let q = Queue::new(2, 2);
+        assert!(q.try_apply(&Value::Bool(true), &deq()).is_err());
+        assert!(q
+            .try_apply(&Value::empty_list(), &Operation::nullary("peek"))
+            .is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! A stack **with** a `Read` operation — the foil to the classic stack.
+
+use crate::types::Stack;
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A bounded stack equipped with the `Read` operation of the paper's
+/// readable types (footnote 3): the entire content can be read without
+/// popping.
+///
+/// This type exists to demonstrate that **readability is the load-bearing
+/// hypothesis** in the paper's stack results. The classic (non-readable)
+/// stack has `cons = 2` and `rcons = 1` (Appendix H); but the moment a
+/// `Read` operation is added, the stack's push-only recording structure —
+/// the bottom element permanently records which team pushed first —
+/// becomes *observable without destruction*, and Theorems 3 and 8 apply:
+/// the readable stack is *n*-discerning and *n*-recording for every `n`
+/// (up to its capacity), i.e. `rcons(readable stack) = cons(readable
+/// stack) = ∞`. A readable stack is essentially a write-once log, the
+/// classic universal object.
+///
+/// # Example
+///
+/// ```
+/// use rc_spec::types::ReadableStack;
+/// use rc_spec::ObjectType;
+///
+/// let s = ReadableStack::new(3, 2);
+/// assert!(s.is_readable());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadableStack {
+    inner: Stack,
+}
+
+impl ReadableStack {
+    /// Creates a readable stack with the given capacity and value-domain
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `values == 0`.
+    pub fn new(capacity: usize, values: u32) -> Self {
+        ReadableStack {
+            inner: Stack::new(capacity, values),
+        }
+    }
+}
+
+impl ObjectType for ReadableStack {
+    fn name(&self) -> String {
+        format!("readable-{}", self.inner.name())
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        self.inner.operations()
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        self.inner.initial_states()
+    }
+
+    fn is_readable(&self) -> bool {
+        true
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        self.inner.try_apply(state, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_transitions_as_the_classic_stack() {
+        let readable = ReadableStack::new(3, 2);
+        let classic = Stack::new(3, 2);
+        for q in classic.initial_states() {
+            for op in classic.operations() {
+                assert_eq!(readable.apply(&q, &op), classic.apply(&q, &op));
+            }
+        }
+    }
+
+    #[test]
+    fn readability_is_the_only_difference() {
+        let readable = ReadableStack::new(3, 2);
+        let classic = Stack::new(3, 2);
+        assert!(readable.is_readable());
+        assert!(!classic.is_readable());
+        assert_eq!(readable.operations(), classic.operations());
+    }
+}

@@ -1,0 +1,122 @@
+//! Read/write register over a finite value domain.
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A read/write register over the integer domain `{0, …, domain−1}`,
+/// initialized to ⊥.
+///
+/// `Write(v)` overwrites any previous value, so any two writes overwrite
+/// each other and the register has consensus number 1 (Herlihy 1991); it is
+/// neither 2-discerning nor 2-recording, which the checkers in `rc-core`
+/// verify.
+///
+/// # Example
+///
+/// ```
+/// use rc_spec::{ObjectType, Operation, Value};
+/// use rc_spec::types::Register;
+///
+/// let r = Register::new(3);
+/// let t = r.apply(&Value::Bottom, &Operation::new("write", Value::Int(2)));
+/// assert_eq!(t.next, Value::Int(2));
+/// assert_eq!(t.response, Value::Unit);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Register {
+    domain: i64,
+}
+
+impl Register {
+    /// Creates a register over `{0, …, domain−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn new(domain: u32) -> Self {
+        assert!(domain > 0, "register domain must be non-empty");
+        Register {
+            domain: i64::from(domain),
+        }
+    }
+
+    fn in_domain(&self, v: &Value) -> bool {
+        matches!(v.as_int(), Some(i) if (0..self.domain).contains(&i))
+    }
+}
+
+impl ObjectType for Register {
+    fn name(&self) -> String {
+        format!("register(d={})", self.domain)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        (0..self.domain)
+            .map(|v| Operation::new("write", Value::Int(v)))
+            .collect()
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        let mut states = vec![Value::Bottom];
+        states.extend((0..self.domain).map(Value::Int));
+        states
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        if !state.is_bottom() && !self.in_domain(state) {
+            return Err(SpecError::InvalidState {
+                type_name: self.name(),
+                state: state.clone(),
+            });
+        }
+        if op.name == "write" && self.in_domain(&op.arg) {
+            Ok(Transition::new(op.arg.clone(), Value::Unit))
+        } else {
+            Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_overwrite() {
+        let r = Register::new(2);
+        let w0 = Operation::new("write", Value::Int(0));
+        let w1 = Operation::new("write", Value::Int(1));
+        let (s, _) = r.apply_all(&Value::Bottom, &[w0, w1.clone()]);
+        let (s2, _) = r.apply_all(&Value::Bottom, &[w1]);
+        assert_eq!(s, s2, "later write erases all evidence of earlier writes");
+    }
+
+    #[test]
+    fn op_universe_size() {
+        assert_eq!(Register::new(5).operations().len(), 5);
+    }
+
+    #[test]
+    fn rejects_out_of_domain_write() {
+        let r = Register::new(2);
+        let bad = Operation::new("write", Value::Int(7));
+        assert!(r.try_apply(&Value::Bottom, &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_state() {
+        let r = Register::new(2);
+        let w = Operation::new("write", Value::Int(0));
+        assert!(r.try_apply(&Value::sym("junk"), &w).is_err());
+    }
+
+    #[test]
+    fn reachable_space() {
+        let r = Register::new(3);
+        // ⊥ is not reachable again after a write, but from ⊥ we reach all 3.
+        let reach = r.reachable_states(&Value::Bottom);
+        assert_eq!(reach.len(), 4);
+    }
+}

@@ -1,0 +1,242 @@
+//! The paper's type `S_n` (Fig. 6, Proposition 21): `rcons = cons = n`.
+
+use crate::types::{TEAM_A, TEAM_B};
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// The type `S_n` from Proposition 21 of the paper (behaviour in Fig. 6).
+///
+/// States are `(winner, row)` with `winner ∈ {A, B}` and `0 ≤ row < n`.
+/// Both update operations return `ack`; all information flows through the
+/// readable state. Executing the paper's lines 81–96 atomically:
+///
+/// * `opA` on `(B, 0)` installs `winner = A`; on any other state it resets
+///   to `(B, 0)` — performing `opA` more than once destroys the record;
+/// * `opB` increments `row` mod `n` and re-installs `winner = B` when the
+///   row wraps — performing `opB` more than `n−1` times destroys the record.
+///
+/// With `q0 = (B, 0)`, team A = one process running `opA`, and team B =
+/// `n−1` processes running `opB`, the `winner` component durably records
+/// which team updated first for any execution by distinct processes, so
+/// `S_n` is *n*-recording and `rcons(S_n) ≥ n` (Theorem 8). It is not
+/// (*n*+1)-discerning, so `cons(S_n) ≤ n`, giving
+/// `rcons(S_n) = cons(S_n) = n`: every level of the RC hierarchy is
+/// populated.
+///
+/// # Example
+///
+/// ```
+/// use rc_spec::{ObjectType, Value};
+/// use rc_spec::types::Sn;
+///
+/// let s4 = Sn::new(4);
+/// let t = s4.apply(&Sn::q0(), &Sn::op_a());
+/// assert_eq!(t.next, Value::pair(Value::sym("A"), Value::Int(0)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sn {
+    n: usize,
+}
+
+impl Sn {
+    /// Creates `S_n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`; the paper defines the interesting `S_n` for n ≥ 2
+    /// (for n = 1 it uses a read-only type). Use [`Sn::try_new`] for a
+    /// fallible constructor.
+    pub fn new(n: usize) -> Self {
+        Self::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidParameter`] if `n < 2`.
+    pub fn try_new(n: usize) -> Result<Self, SpecError> {
+        if n < 2 {
+            return Err(SpecError::InvalidParameter {
+                type_name: "S_n".into(),
+                message: format!("n must be at least 2, got {n}"),
+            });
+        }
+        Ok(Sn { n })
+    }
+
+    /// The parameter `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The canonical initial state `(B, 0)` used by Proposition 21.
+    pub fn q0() -> Value {
+        Value::pair(Value::sym(TEAM_B), Value::Int(0))
+    }
+
+    /// The `opA` operation.
+    pub fn op_a() -> Operation {
+        Operation::nullary("opA")
+    }
+
+    /// The `opB` operation.
+    pub fn op_b() -> Operation {
+        Operation::nullary("opB")
+    }
+
+    fn decode(&self, state: &Value) -> Option<(String, i64)> {
+        let parts = state.as_tuple()?;
+        if parts.len() != 2 {
+            return None;
+        }
+        let winner = parts[0].as_sym()?.to_string();
+        let row = parts[1].as_int()?;
+        if (winner != TEAM_A && winner != TEAM_B) || !(0..self.n as i64).contains(&row) {
+            return None;
+        }
+        Some((winner, row))
+    }
+}
+
+impl ObjectType for Sn {
+    fn name(&self) -> String {
+        format!("S_{}", self.n)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        vec![Sn::op_a(), Sn::op_b()]
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        let mut states = Vec::new();
+        for winner in [TEAM_A, TEAM_B] {
+            for row in 0..self.n as i64 {
+                states.push(Value::pair(Value::sym(winner), Value::Int(row)));
+            }
+        }
+        states
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let (winner, row) = self.decode(state).ok_or_else(|| SpecError::InvalidState {
+            type_name: self.name(),
+            state: state.clone(),
+        })?;
+        match op.name.as_str() {
+            // Lines 81–89 of the paper.
+            "opA" => {
+                let next = if winner == TEAM_B && row == 0 {
+                    Value::pair(Value::sym(TEAM_A), Value::Int(0))
+                } else {
+                    Value::pair(Value::sym(TEAM_B), Value::Int(0))
+                };
+                Ok(Transition::new(next, Value::Unit))
+            }
+            // Lines 90–96 of the paper.
+            "opB" => {
+                let row = (row + 1).rem_euclid(self.n as i64);
+                let winner = if row == 0 {
+                    TEAM_B.to_string()
+                } else {
+                    winner
+                };
+                Ok(Transition::new(
+                    Value::pair(Value::sym(winner), Value::Int(row)),
+                    Value::Unit,
+                ))
+            }
+            _ => Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_small_n() {
+        assert!(Sn::try_new(1).is_err());
+        assert!(Sn::try_new(2).is_ok());
+    }
+
+    #[test]
+    fn op_a_first_installs_a_durably() {
+        let s = Sn::new(4);
+        // opA then up to n−1 opB's: winner stays A.
+        let (state, _) = s.apply_all(
+            &Sn::q0(),
+            &[Sn::op_a(), Sn::op_b(), Sn::op_b(), Sn::op_b()],
+        );
+        assert_eq!(
+            state,
+            Value::pair(Value::sym("A"), Value::Int(3)),
+            "winner A survives n−1 opB's"
+        );
+    }
+
+    #[test]
+    fn op_b_first_keeps_b_winner() {
+        let s = Sn::new(4);
+        let (state, _) = s.apply_all(&Sn::q0(), &[Sn::op_b(), Sn::op_a()]);
+        // opA applied to (B, 1) resets to (B, 0): winner stays B.
+        assert_eq!(state, Sn::q0());
+    }
+
+    #[test]
+    fn double_op_a_forgets() {
+        // Proposition 21: opA performed more than once destroys the record:
+        // [opA, opA, opB] and [opB] both reach (B, 1).
+        let s = Sn::new(4);
+        let (a, _) = s.apply_all(&Sn::q0(), &[Sn::op_a(), Sn::op_a(), Sn::op_b()]);
+        let (b, _) = s.apply_all(&Sn::q0(), &[Sn::op_b()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn n_op_bs_then_op_a_looks_fresh() {
+        // Proposition 21's (n+1)-discerning refutation: all of team B
+        // (n processes) doing opB, then opA, reaches (A, 0) — exactly as if
+        // opA ran alone.
+        let n = 4;
+        let s = Sn::new(n);
+        let mut ops = vec![Sn::op_b(); n];
+        ops.push(Sn::op_a());
+        let (a, _) = s.apply_all(&Sn::q0(), &ops);
+        let (b, _) = s.apply_all(&Sn::q0(), &[Sn::op_a()]);
+        assert_eq!(a, b);
+        assert_eq!(a, Value::pair(Value::sym("A"), Value::Int(0)));
+    }
+
+    #[test]
+    fn state_space_size_matches_fig6() {
+        let s = Sn::new(5);
+        assert_eq!(s.initial_states().len(), 2 * 5);
+    }
+
+    #[test]
+    fn all_responses_are_ack() {
+        let s = Sn::new(3);
+        for q in s.initial_states() {
+            for op in s.operations() {
+                assert_eq!(s.apply(&q, &op).response, Value::Unit);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let s = Sn::new(3);
+        assert!(s.try_apply(&Value::Int(0), &Sn::op_a()).is_err());
+        assert!(s
+            .try_apply(&Value::pair(Value::sym("C"), Value::Int(0)), &Sn::op_a())
+            .is_err());
+        assert!(s
+            .try_apply(&Value::pair(Value::sym("A"), Value::Int(9)), &Sn::op_a())
+            .is_err());
+        assert!(s.try_apply(&Sn::q0(), &Operation::nullary("opC")).is_err());
+    }
+}

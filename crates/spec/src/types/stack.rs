@@ -1,0 +1,214 @@
+//! Bounded stack (Appendix H: `cons(stack) = 2`, `rcons(stack) = 1`).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A LIFO stack bounded to `capacity` elements over the value domain
+/// `{0, …, values−1}` — **not readable**, like the classic stack of the
+/// paper's Appendix H.
+///
+/// The state is a [`Value::List`] with the bottom of the stack first.
+/// `Pop` on an empty stack returns ⊥ (the standard convention, used in the
+/// paper's Fig. 8 case (e): "run p₂ until it Pops ⊥"). `Push` on a full
+/// stack leaves the state unchanged and returns the symbol `full`; the
+/// capacity is a *finiteness device* for the exact property checkers — all
+/// experiments choose `capacity` at least as large as the number of
+/// processes, so the bound is never hit on the analyzed executions and the
+/// bounded type behaves exactly like the unbounded one.
+///
+/// Herlihy (1991) showed `cons(stack) = 2`; Appendix H of the paper shows
+/// `rcons(stack) = 1`, i.e. a stack cannot solve even 2-process recoverable
+/// consensus.
+///
+/// # Readability is the whole story here
+///
+/// Definitions 2 and 4 (discerning/recording) are statements about a
+/// type's *transition structure* and do not mention reads; by their letter
+/// the stack satisfies both at **every** level — in a push-only execution
+/// the element at the *bottom* of the stack permanently records which team
+/// pushed first. But the paper's positive results (Theorems 3 and 8) turn
+/// those properties into consensus algorithms **only for readable types**,
+/// and the classic stack has no `Read` operation: a process can learn the
+/// recorded winner only by popping the stack down, which *destroys* the
+/// record and cannot be retried after a crash. That destruction is exactly
+/// what the Appendix H valency argument (Fig. 8) exploits. Accordingly
+/// [`ObjectType::is_readable`] returns `false` for this type, and the
+/// hierarchy harness refuses to derive `cons`/`rcons` bounds from the
+/// property levels (it reports the literature values instead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stack {
+    capacity: usize,
+    values: i64,
+}
+
+impl Stack {
+    /// Creates a stack with the given capacity and value-domain size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `values == 0`.
+    pub fn new(capacity: usize, values: u32) -> Self {
+        assert!(capacity > 0, "stack capacity must be positive");
+        assert!(values > 0, "stack value domain must be non-empty");
+        Stack {
+            capacity,
+            values: i64::from(values),
+        }
+    }
+
+    /// Enumerates every stack content of length ≤ capacity (used as the
+    /// candidate `q0` set for exhaustive witness search).
+    fn all_states(&self) -> Vec<Value> {
+        let mut states = vec![Vec::new()];
+        let mut frontier = vec![Vec::new()];
+        for _ in 0..self.capacity {
+            let mut next = Vec::new();
+            for st in &frontier {
+                for v in 0..self.values {
+                    let mut s = st.clone();
+                    s.push(Value::Int(v));
+                    next.push(s);
+                }
+            }
+            states.extend(next.iter().cloned());
+            frontier = next;
+        }
+        states.into_iter().map(Value::List).collect()
+    }
+}
+
+impl ObjectType for Stack {
+    fn name(&self) -> String {
+        format!("stack(cap={}, vals={})", self.capacity, self.values)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        let mut ops: Vec<Operation> = (0..self.values)
+            .map(|v| Operation::new("push", Value::Int(v)))
+            .collect();
+        ops.push(Operation::nullary("pop"));
+        ops
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        self.all_states()
+    }
+
+    fn is_readable(&self) -> bool {
+        false
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let items = state.as_list().ok_or_else(|| SpecError::InvalidState {
+            type_name: self.name(),
+            state: state.clone(),
+        })?;
+        match op.name.as_str() {
+            "push" => {
+                let v = op.arg.as_int().filter(|i| (0..self.values).contains(i));
+                let v = v.ok_or_else(|| SpecError::UnknownOperation {
+                    type_name: self.name(),
+                    op: op.clone(),
+                })?;
+                if items.len() >= self.capacity {
+                    return Ok(Transition::new(state.clone(), Value::sym("full")));
+                }
+                let mut next = items.to_vec();
+                next.push(Value::Int(v));
+                Ok(Transition::new(Value::List(next), Value::Unit))
+            }
+            "pop" => {
+                if items.is_empty() {
+                    Ok(Transition::new(state.clone(), Value::Bottom))
+                } else {
+                    let mut next = items.to_vec();
+                    let top = next.pop().expect("non-empty");
+                    Ok(Transition::new(Value::List(next), top))
+                }
+            }
+            _ => Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push(v: i64) -> Operation {
+        Operation::new("push", Value::Int(v))
+    }
+    fn pop() -> Operation {
+        Operation::nullary("pop")
+    }
+
+    #[test]
+    fn lifo_order() {
+        let s = Stack::new(4, 2);
+        let (state, resps) =
+            s.apply_all(&Value::empty_list(), &[push(0), push(1), pop(), pop(), pop()]);
+        assert_eq!(state, Value::empty_list());
+        assert_eq!(
+            resps,
+            vec![
+                Value::Unit,
+                Value::Unit,
+                Value::Int(1),
+                Value::Int(0),
+                Value::Bottom
+            ]
+        );
+    }
+
+    #[test]
+    fn pops_commute_fig8a() {
+        // Fig. 8(a): two Pops commute (up to responses seen by a crashed
+        // process) — here we check the *state* outcome is identical.
+        let s = Stack::new(4, 2);
+        let q0 = Value::List(vec![Value::Int(0), Value::Int(1)]);
+        let (a, _) = s.apply_all(&q0, &[pop(), pop()]);
+        let (b, _) = s.apply_all(&q0, &[pop(), pop()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn push_overwrites_pop_on_empty_fig8b() {
+        // Fig. 8(b): on the empty stack, Push(v) overwrites Pop:
+        // [Pop, Push(v)] and [Push(v)] leave the same state.
+        let s = Stack::new(4, 2);
+        let q0 = Value::empty_list();
+        let (a, _) = s.apply_all(&q0, &[pop(), push(1)]);
+        let (b, _) = s.apply_all(&q0, &[push(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_stack_rejects_push_without_state_change() {
+        let s = Stack::new(1, 2);
+        let q0 = Value::List(vec![Value::Int(0)]);
+        let t = s.apply(&q0, &push(1));
+        assert_eq!(t.next, q0);
+        assert_eq!(t.response, Value::sym("full"));
+    }
+
+    #[test]
+    fn state_enumeration_counts() {
+        // capacity 2, 2 values: ε, 0, 1, 00, 01, 10, 11 → 7 states.
+        let s = Stack::new(2, 2);
+        assert_eq!(s.initial_states().len(), 7);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let s = Stack::new(2, 2);
+        assert!(s.try_apply(&Value::Int(3), &pop()).is_err());
+        assert!(s
+            .try_apply(&Value::empty_list(), &Operation::nullary("peek"))
+            .is_err());
+        assert!(s
+            .try_apply(&Value::empty_list(), &Operation::new("push", Value::Int(9)))
+            .is_err());
+    }
+}

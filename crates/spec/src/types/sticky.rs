@@ -1,0 +1,103 @@
+//! Sticky register (`cons = ∞`).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A sticky (write-once) register over `{⊥, 0, …, domain−1}`, initially ⊥.
+///
+/// The first `write(v)` sets the value permanently; later writes are
+/// ignored. Since the state durably records the first update and can never
+/// return to ⊥, the sticky register is *n*-recording for every *n*:
+/// `rcons(sticky) = cons(sticky) = ∞`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StickyRegister {
+    domain: i64,
+}
+
+impl StickyRegister {
+    /// Creates a sticky register over `{⊥, 0, …, domain−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn new(domain: u32) -> Self {
+        assert!(domain > 0, "sticky domain must be non-empty");
+        StickyRegister {
+            domain: i64::from(domain),
+        }
+    }
+
+    fn valid_state(&self, v: &Value) -> bool {
+        v.is_bottom() || matches!(v.as_int(), Some(i) if (0..self.domain).contains(&i))
+    }
+}
+
+impl ObjectType for StickyRegister {
+    fn name(&self) -> String {
+        format!("sticky(d={})", self.domain)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        (0..self.domain)
+            .map(|v| Operation::new("write", Value::Int(v)))
+            .collect()
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        let mut states = vec![Value::Bottom];
+        states.extend((0..self.domain).map(Value::Int));
+        states
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        if !self.valid_state(state) {
+            return Err(SpecError::InvalidState {
+                type_name: self.name(),
+                state: state.clone(),
+            });
+        }
+        let v = op.arg.as_int().filter(|i| (0..self.domain).contains(i));
+        match (op.name.as_str(), v) {
+            ("write", Some(v)) => {
+                if state.is_bottom() {
+                    Ok(Transition::new(Value::Int(v), Value::Unit))
+                } else {
+                    Ok(Transition::new(state.clone(), Value::Unit))
+                }
+            }
+            _ => Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(v: i64) -> Operation {
+        Operation::new("write", Value::Int(v))
+    }
+
+    #[test]
+    fn first_write_sticks() {
+        let s = StickyRegister::new(3);
+        let (state, _) = s.apply_all(&Value::Bottom, &[write(1), write(2), write(0)]);
+        assert_eq!(state, Value::Int(1));
+    }
+
+    #[test]
+    fn never_returns_to_bottom() {
+        let s = StickyRegister::new(2);
+        let reach = s.reachable_states(&Value::Int(0));
+        assert_eq!(reach.len(), 1, "a stuck sticky register never changes");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let s = StickyRegister::new(2);
+        assert!(s.try_apply(&Value::Bool(true), &write(0)).is_err());
+        assert!(s.try_apply(&Value::Bottom, &write(7)).is_err());
+    }
+}

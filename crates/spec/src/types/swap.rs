@@ -1,0 +1,101 @@
+//! Swap register (`cons = 2`).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A swap register over `{⊥, 0, …, domain−1}`, initially ⊥.
+///
+/// `swap(v)` stores `v` and returns the previous value. Responses let two
+/// processes order themselves (`cons(swap) = 2`), but the state remembers
+/// only the *last* writer — a later swap overwrites all evidence of the
+/// first — so swap is never 2-recording and `rcons(swap) ∈ {1, 2}` by the
+/// paper's machinery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Swap {
+    domain: i64,
+}
+
+impl Swap {
+    /// Creates a swap register over `{⊥, 0, …, domain−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn new(domain: u32) -> Self {
+        assert!(domain > 0, "swap domain must be non-empty");
+        Swap {
+            domain: i64::from(domain),
+        }
+    }
+
+    fn valid_state(&self, v: &Value) -> bool {
+        v.is_bottom() || matches!(v.as_int(), Some(i) if (0..self.domain).contains(&i))
+    }
+}
+
+impl ObjectType for Swap {
+    fn name(&self) -> String {
+        format!("swap(d={})", self.domain)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        (0..self.domain)
+            .map(|v| Operation::new("swap", Value::Int(v)))
+            .collect()
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        let mut states = vec![Value::Bottom];
+        states.extend((0..self.domain).map(Value::Int));
+        states
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        if !self.valid_state(state) {
+            return Err(SpecError::InvalidState {
+                type_name: self.name(),
+                state: state.clone(),
+            });
+        }
+        let v = op.arg.as_int().filter(|i| (0..self.domain).contains(i));
+        match (op.name.as_str(), v) {
+            ("swap", Some(v)) => Ok(Transition::new(Value::Int(v), state.clone())),
+            _ => Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn swap(v: i64) -> Operation {
+        Operation::new("swap", Value::Int(v))
+    }
+
+    #[test]
+    fn returns_previous_value() {
+        let s = Swap::new(3);
+        let (state, resps) = s.apply_all(&Value::Bottom, &[swap(1), swap(2)]);
+        assert_eq!(state, Value::Int(2));
+        assert_eq!(resps, vec![Value::Bottom, Value::Int(1)]);
+    }
+
+    #[test]
+    fn later_swap_overwrites() {
+        // [swap(a), swap(b)] and [swap(b)] end in the same state.
+        let s = Swap::new(3);
+        let (a, _) = s.apply_all(&Value::Bottom, &[swap(1), swap(2)]);
+        let (b, _) = s.apply_all(&Value::Bottom, &[swap(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let s = Swap::new(2);
+        assert!(s.try_apply(&Value::sym("x"), &swap(0)).is_err());
+        assert!(s.try_apply(&Value::Bottom, &swap(9)).is_err());
+    }
+}

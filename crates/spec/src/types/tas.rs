@@ -1,0 +1,88 @@
+//! Test-and-set bit (`cons = 2`).
+
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// A test-and-set bit: state is a [`Value::Bool`], initially `false`.
+///
+/// The single update operation `tas` sets the bit and returns the previous
+/// value, so exactly one caller ever sees `false`. This solves 2-process
+/// consensus (`cons(TAS) = 2`) but the *state* after any number of `tas`
+/// operations is always `true`, so the object records nothing about *who*
+/// set it first: `Q_A = Q_B = {true}` and the type is not 2-recording.
+/// Consequently the paper's machinery bounds `rcons(TAS)` to `{1, 2}`
+/// (the n = 2 gap is an open question in Section 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TestAndSet;
+
+impl TestAndSet {
+    /// Creates a test-and-set bit.
+    pub fn new() -> Self {
+        TestAndSet
+    }
+}
+
+impl ObjectType for TestAndSet {
+    fn name(&self) -> String {
+        "test-and-set".to_string()
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        vec![Operation::nullary("tas")]
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        vec![Value::Bool(false), Value::Bool(true)]
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let old = state.as_bool().ok_or_else(|| SpecError::InvalidState {
+            type_name: self.name(),
+            state: state.clone(),
+        })?;
+        if op.name == "tas" {
+            Ok(Transition::new(Value::Bool(true), Value::Bool(old)))
+        } else {
+            Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_first_caller_sees_false() {
+        let tas = TestAndSet::new();
+        let op = Operation::nullary("tas");
+        let (state, resps) = tas.apply_all(&Value::Bool(false), &[op.clone(), op.clone(), op]);
+        assert_eq!(state, Value::Bool(true));
+        assert_eq!(
+            resps,
+            vec![Value::Bool(false), Value::Bool(true), Value::Bool(true)]
+        );
+    }
+
+    #[test]
+    fn state_forgets_the_winner() {
+        // Both orders of two tas ops produce the same final state — the
+        // structural reason TAS is not 2-recording.
+        let tas = TestAndSet::new();
+        let op = Operation::nullary("tas");
+        let (a, _) = tas.apply_all(&Value::Bool(false), &[op.clone()]);
+        let (b, _) = tas.apply_all(&Value::Bool(false), &[op.clone(), op]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let tas = TestAndSet::new();
+        assert!(tas.try_apply(&Value::Int(0), &Operation::nullary("tas")).is_err());
+        assert!(tas
+            .try_apply(&Value::Bool(false), &Operation::nullary("reset"))
+            .is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! The paper's type `T_n` (Fig. 5, Proposition 19): *n*-discerning but not
+//! (*n*−1)-recording.
+
+use crate::types::{TEAM_A, TEAM_B};
+use crate::{ObjectType, Operation, SpecError, Transition, Value};
+
+/// The type `T_n` from Proposition 19 of the paper (behaviour in Fig. 5).
+///
+/// States are `(winner, row, col)` with `winner ∈ {⊥, A, B}`,
+/// `0 ≤ row < ⌈n/2⌉`, `0 ≤ col < ⌊n/2⌋`, plus the forget state `(⊥, 0, 0)`.
+/// The two update operations `opA` and `opB` execute the paper's lines
+/// 53–80 atomically:
+///
+/// * on `winner = ⊥`, the operation installs its own team as the winner and
+///   returns that team's name;
+/// * otherwise it returns the current winner, advances its team's counter
+///   (`col` for `opA`, `row` for `opB`), and if the counter wraps
+///   (`⌊n/2⌋` `opA`s or `⌈n/2⌉` `opB`s past the first update) the object
+///   **forgets** everything by returning to `(⊥, 0, 0)`.
+///
+/// `T_n` is *n*-discerning — one object solves *n*-process team consensus —
+/// so `cons(T_n) = n`. But it is **not** (*n*−1)-recording: after a single
+/// `opB`, the ⌊n/2⌋ processes of team A can drive the state back to
+/// `(⊥, 0, 0)`, erasing the evidence a crashed process would need. Hence
+/// `rcons(T_n) < cons(T_n)` (Corollary 20) — the paper's witness that
+/// recoverable consensus is strictly harder than consensus.
+///
+/// # Example
+///
+/// ```
+/// use rc_spec::{ObjectType, Value};
+/// use rc_spec::types::Tn;
+///
+/// let t6 = Tn::new(6);
+/// let q0 = Tn::forget_state();
+/// let (state, resps) = t6.apply_all(&q0, &[Tn::op_b(), Tn::op_a(), Tn::op_a(), Tn::op_a()]);
+/// // One opB then ⌊6/2⌋ = 3 opA's: the object has forgotten everything.
+/// assert_eq!(state, q0);
+/// assert_eq!(resps[0], Value::sym("B"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tn {
+    n: usize,
+}
+
+impl Tn {
+    /// Creates `T_n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`; the paper defines `T_n` for n ≥ 4
+    /// (Proposition 19). Use [`Tn::try_new`] for a fallible constructor.
+    pub fn new(n: usize) -> Self {
+        Self::try_new(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidParameter`] if `n < 4`.
+    pub fn try_new(n: usize) -> Result<Self, SpecError> {
+        if n < 4 {
+            return Err(SpecError::InvalidParameter {
+                type_name: "T_n".into(),
+                message: format!("n must be at least 4, got {n}"),
+            });
+        }
+        Ok(Tn { n })
+    }
+
+    /// The parameter `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `⌊n/2⌋`, the column modulus (team A's counter).
+    pub fn cols(&self) -> i64 {
+        (self.n / 2) as i64
+    }
+
+    /// `⌈n/2⌉`, the row modulus (team B's counter).
+    pub fn rows(&self) -> i64 {
+        self.n.div_ceil(2) as i64
+    }
+
+    /// The forget state `(⊥, 0, 0)` — the `q0` of all the paper's arguments.
+    pub fn forget_state() -> Value {
+        Value::triple(Value::Bottom, Value::Int(0), Value::Int(0))
+    }
+
+    /// The `opA` operation.
+    pub fn op_a() -> Operation {
+        Operation::nullary("opA")
+    }
+
+    /// The `opB` operation.
+    pub fn op_b() -> Operation {
+        Operation::nullary("opB")
+    }
+
+    fn decode(&self, state: &Value) -> Option<(Value, i64, i64)> {
+        let parts = state.as_tuple()?;
+        if parts.len() != 3 {
+            return None;
+        }
+        let winner = parts[0].clone();
+        let row = parts[1].as_int()?;
+        let col = parts[2].as_int()?;
+        let winner_ok = match &winner {
+            Value::Bottom => row == 0 && col == 0,
+            Value::Sym(s) => s == TEAM_A || s == TEAM_B,
+            _ => false,
+        };
+        if !winner_ok || !(0..self.rows()).contains(&row) || !(0..self.cols()).contains(&col) {
+            return None;
+        }
+        Some((winner, row, col))
+    }
+}
+
+impl ObjectType for Tn {
+    fn name(&self) -> String {
+        format!("T_{}", self.n)
+    }
+
+    fn operations(&self) -> Vec<Operation> {
+        vec![Tn::op_a(), Tn::op_b()]
+    }
+
+    fn initial_states(&self) -> Vec<Value> {
+        // Full state space: (⊥,0,0) plus (winner, row, col).
+        let mut states = vec![Tn::forget_state()];
+        for winner in [TEAM_A, TEAM_B] {
+            for row in 0..self.rows() {
+                for col in 0..self.cols() {
+                    states.push(Value::triple(
+                        Value::sym(winner),
+                        Value::Int(row),
+                        Value::Int(col),
+                    ));
+                }
+            }
+        }
+        states
+    }
+
+    fn try_apply(&self, state: &Value, op: &Operation) -> Result<Transition, SpecError> {
+        let (winner, row, col) = self.decode(state).ok_or_else(|| SpecError::InvalidState {
+            type_name: self.name(),
+            state: state.clone(),
+        })?;
+        match op.name.as_str() {
+            // Lines 53–66 of the paper.
+            "opA" => {
+                if winner.is_bottom() {
+                    Ok(Transition::new(
+                        Value::triple(Value::sym(TEAM_A), Value::Int(row), Value::Int(col)),
+                        Value::sym(TEAM_A),
+                    ))
+                } else {
+                    let result = winner.clone();
+                    let col = (col + 1).rem_euclid(self.cols());
+                    let next = if col == 0 {
+                        Tn::forget_state()
+                    } else {
+                        Value::triple(winner, Value::Int(row), Value::Int(col))
+                    };
+                    Ok(Transition::new(next, result))
+                }
+            }
+            // Lines 67–80 of the paper.
+            "opB" => {
+                if winner.is_bottom() {
+                    Ok(Transition::new(
+                        Value::triple(Value::sym(TEAM_B), Value::Int(row), Value::Int(col)),
+                        Value::sym(TEAM_B),
+                    ))
+                } else {
+                    let result = winner.clone();
+                    let row = (row + 1).rem_euclid(self.rows());
+                    let next = if row == 0 {
+                        Tn::forget_state()
+                    } else {
+                        Value::triple(winner, Value::Int(row), Value::Int(col))
+                    };
+                    Ok(Transition::new(next, result))
+                }
+            }
+            _ => Err(SpecError::UnknownOperation {
+                type_name: self.name(),
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_small_n() {
+        assert!(Tn::try_new(3).is_err());
+        assert!(Tn::try_new(4).is_ok());
+    }
+
+    #[test]
+    fn first_update_installs_winner() {
+        let t = Tn::new(6);
+        let ta = t.apply(&Tn::forget_state(), &Tn::op_a());
+        assert_eq!(ta.response, Value::sym("A"));
+        assert_eq!(
+            ta.next,
+            Value::triple(Value::sym("A"), Value::Int(0), Value::Int(0))
+        );
+        let tb = t.apply(&Tn::forget_state(), &Tn::op_b());
+        assert_eq!(tb.response, Value::sym("B"));
+    }
+
+    #[test]
+    fn every_response_names_first_team_while_remembered() {
+        // From q0, any sequence of ≤ min(⌊n/2⌋, ⌈n/2⌉) distinct-process
+        // operations returns the name of the first team.
+        let t = Tn::new(6);
+        let (state, resps) = t.apply_all(
+            &Tn::forget_state(),
+            &[Tn::op_b(), Tn::op_a(), Tn::op_b(), Tn::op_a()],
+        );
+        assert!(resps.iter().all(|r| *r == Value::sym("B")));
+        assert_ne!(state, Tn::forget_state());
+    }
+
+    #[test]
+    fn forgets_after_floor_n_half_op_a() {
+        // Fig. 5 / Proposition 19: one opB then ⌊n/2⌋ opA's return to q0.
+        for n in 4..=9 {
+            let t = Tn::new(n);
+            let mut ops = vec![Tn::op_b()];
+            ops.extend(std::iter::repeat(Tn::op_a()).take(n / 2));
+            let (state, _) = t.apply_all(&Tn::forget_state(), &ops);
+            assert_eq!(state, Tn::forget_state(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn forgets_after_ceil_n_half_op_b() {
+        for n in 4..=9 {
+            let t = Tn::new(n);
+            let mut ops = vec![Tn::op_a()];
+            ops.extend(std::iter::repeat(Tn::op_b()).take(n.div_ceil(2)));
+            let (state, _) = t.apply_all(&Tn::forget_state(), &ops);
+            assert_eq!(state, Tn::forget_state(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn does_not_forget_one_step_early() {
+        let n = 6;
+        let t = Tn::new(n);
+        let mut ops = vec![Tn::op_b()];
+        ops.extend(std::iter::repeat(Tn::op_a()).take(n / 2 - 1));
+        let (state, _) = t.apply_all(&Tn::forget_state(), &ops);
+        assert_ne!(state, Tn::forget_state());
+    }
+
+    #[test]
+    fn state_space_size_matches_fig5() {
+        // 2 · ⌈n/2⌉ · ⌊n/2⌋ + 1 states.
+        let t = Tn::new(6);
+        assert_eq!(t.initial_states().len(), 2 * 3 * 3 + 1);
+        let reach = t.reachable_states(&Tn::forget_state());
+        assert!(reach.len() <= t.initial_states().len());
+        assert!(reach.contains(&Tn::forget_state()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let t = Tn::new(4);
+        assert!(t.try_apply(&Value::Int(0), &Tn::op_a()).is_err());
+        assert!(t
+            .try_apply(
+                &Value::triple(Value::sym("C"), Value::Int(0), Value::Int(0)),
+                &Tn::op_a()
+            )
+            .is_err());
+        assert!(t
+            .try_apply(
+                // (⊥, row, col) with nonzero counters is not a state.
+                &Value::triple(Value::Bottom, Value::Int(1), Value::Int(0)),
+                &Tn::op_a()
+            )
+            .is_err());
+        assert!(t
+            .try_apply(&Tn::forget_state(), &Operation::nullary("opC"))
+            .is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the specification substrate: model-based testing of
+//! the catalog types against reference implementations, and closure
+//! properties of the reachability helpers.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rc_spec::random::{random_table_type, RandomTypeConfig};
+use rc_spec::types::{Queue, Stack};
+use rc_spec::{ObjectType, Operation, Value};
+
+/// Reference stack semantics over a plain Vec.
+fn reference_stack(capacity: usize, script: &[Option<i64>]) -> (Vec<i64>, Vec<Value>) {
+    let mut stack = Vec::new();
+    let mut resps = Vec::new();
+    for op in script {
+        match op {
+            Some(v) => {
+                if stack.len() >= capacity {
+                    resps.push(Value::sym("full"));
+                } else {
+                    stack.push(*v);
+                    resps.push(Value::Unit);
+                }
+            }
+            None => match stack.pop() {
+                Some(v) => resps.push(Value::Int(v)),
+                None => resps.push(Value::Bottom),
+            },
+        }
+    }
+    (stack, resps)
+}
+
+/// Reference queue semantics over a plain VecDeque.
+fn reference_queue(capacity: usize, script: &[Option<i64>]) -> (Vec<i64>, Vec<Value>) {
+    let mut queue = std::collections::VecDeque::new();
+    let mut resps = Vec::new();
+    for op in script {
+        match op {
+            Some(v) => {
+                if queue.len() >= capacity {
+                    resps.push(Value::sym("full"));
+                } else {
+                    queue.push_back(*v);
+                    resps.push(Value::Unit);
+                }
+            }
+            None => match queue.pop_front() {
+                Some(v) => resps.push(Value::Int(v)),
+                None => resps.push(Value::Bottom),
+            },
+        }
+    }
+    (queue.into_iter().collect(), resps)
+}
+
+fn script_strategy() -> impl Strategy<Value = Vec<Option<i64>>> {
+    proptest::collection::vec(
+        prop_oneof![Just(None), (0i64..2).prop_map(Some)],
+        0..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The bounded Stack type matches the reference implementation on
+    /// arbitrary operation scripts.
+    #[test]
+    fn stack_matches_reference(script in script_strategy()) {
+        let capacity = 4;
+        let stack = Stack::new(capacity, 2);
+        let ops: Vec<Operation> = script
+            .iter()
+            .map(|op| match op {
+                Some(v) => Operation::new("push", Value::Int(*v)),
+                None => Operation::nullary("pop"),
+            })
+            .collect();
+        let (state, resps) = stack.apply_all(&Value::empty_list(), &ops);
+        let (ref_state, ref_resps) = reference_stack(capacity, &script);
+        let expected = Value::List(ref_state.into_iter().map(Value::Int).collect());
+        prop_assert_eq!(state, expected);
+        prop_assert_eq!(resps, ref_resps);
+    }
+
+    /// The bounded Queue type matches the reference implementation.
+    #[test]
+    fn queue_matches_reference(script in script_strategy()) {
+        let capacity = 4;
+        let queue = Queue::new(capacity, 2);
+        let ops: Vec<Operation> = script
+            .iter()
+            .map(|op| match op {
+                Some(v) => Operation::new("enq", Value::Int(*v)),
+                None => Operation::nullary("deq"),
+            })
+            .collect();
+        let (state, resps) = queue.apply_all(&Value::empty_list(), &ops);
+        let (ref_state, ref_resps) = reference_queue(capacity, &script);
+        let expected = Value::List(ref_state.into_iter().map(Value::Int).collect());
+        prop_assert_eq!(state, expected);
+        prop_assert_eq!(resps, ref_resps);
+    }
+
+    /// `reachable_states` is a closure: applying any operation to any
+    /// reachable state stays inside the set, and the start state is in it.
+    #[test]
+    fn reachability_is_closed(seed in any::<u64>()) {
+        let ty = random_table_type(
+            &mut StdRng::seed_from_u64(seed),
+            RandomTypeConfig {
+                num_states: 5,
+                num_ops: 2,
+                num_responses: 2,
+            },
+        );
+        let q0 = ty.state(0);
+        let reach = ty.reachable_states(&q0);
+        prop_assert!(reach.contains(&q0));
+        for q in &reach {
+            for op in ty.operations() {
+                prop_assert!(reach.contains(&ty.apply(q, &op).next));
+            }
+        }
+    }
+
+    /// Determinism: applying the same operation to the same state twice
+    /// gives identical transitions (a tautology for our implementations,
+    /// but it guards against interior mutability sneaking in).
+    #[test]
+    fn transitions_are_deterministic(seed in any::<u64>(), s in 0usize..5, o in 0usize..2) {
+        let ty = random_table_type(
+            &mut StdRng::seed_from_u64(seed),
+            RandomTypeConfig {
+                num_states: 5,
+                num_ops: 2,
+                num_responses: 3,
+            },
+        );
+        let q = ty.state(s);
+        let op = ty.op(o);
+        prop_assert_eq!(ty.apply(&q, &op), ty.apply(&q, &op));
+    }
+
+    /// `apply_all` is the fold of `apply`.
+    #[test]
+    fn apply_all_is_a_fold(seed in any::<u64>(), ops in proptest::collection::vec(0usize..2, 0..10)) {
+        let ty = random_table_type(
+            &mut StdRng::seed_from_u64(seed),
+            RandomTypeConfig {
+                num_states: 4,
+                num_ops: 2,
+                num_responses: 2,
+            },
+        );
+        let ops: Vec<Operation> = ops.into_iter().map(|o| ty.op(o)).collect();
+        let (state, resps) = ty.apply_all(&ty.state(0), &ops);
+        let mut q = ty.state(0);
+        let mut expected_resps = Vec::new();
+        for op in &ops {
+            let t = ty.apply(&q, op);
+            q = t.next;
+            expected_resps.push(t.response);
+        }
+        prop_assert_eq!(state, q);
+        prop_assert_eq!(resps, expected_resps);
+    }
+}

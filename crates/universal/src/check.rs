@@ -1,0 +1,267 @@
+//! Replay auditing of universal-construction histories.
+//!
+//! The operation list *is* the linearization (Section 4: "it creates a
+//! linked list of all operations performed on the implemented object, and
+//! this list defines the linearization ordering"). Auditing therefore
+//! reduces to: collect every appended node, order by `seq`, and replay the
+//! operations sequentially from the initial state — every node's stored
+//! `newState` and `response` must match the replay exactly, and the `seq`
+//! values must be the contiguous range `2..=k+1` with no duplicates.
+
+use crate::layout::{decode_op, UniversalLayout};
+use rc_runtime::Memory;
+use rc_spec::{ObjectType, Value};
+use std::error::Error;
+use std::fmt;
+
+/// A successful audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistoryReport {
+    /// Node ids in linearization order (the dummy excluded).
+    pub order: Vec<usize>,
+    /// Number of appended nodes owned by each process.
+    pub applied_per_pid: Vec<usize>,
+    /// The implemented object's state after the whole history.
+    pub final_state: Value,
+}
+
+/// Why an audit failed — any of these indicates a broken construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditError {
+    /// Two appended nodes share a `seq` value.
+    DuplicateSeq {
+        /// The duplicated sequence number.
+        seq: i64,
+    },
+    /// The `seq` values do not form a contiguous range starting at 2.
+    NonContiguousSeq {
+        /// The missing sequence number.
+        missing: i64,
+    },
+    /// A node's stored `newState` disagrees with the sequential replay.
+    StateMismatch {
+        /// The offending node.
+        node: usize,
+        /// What the replay computed.
+        expected: Value,
+        /// What the node stores.
+        stored: Value,
+    },
+    /// A node's stored `response` disagrees with the sequential replay.
+    ResponseMismatch {
+        /// The offending node.
+        node: usize,
+        /// What the replay computed.
+        expected: Value,
+        /// What the node stores.
+        stored: Value,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::DuplicateSeq { seq } => {
+                write!(f, "two nodes claim list position {seq}")
+            }
+            AuditError::NonContiguousSeq { missing } => {
+                write!(f, "no node claims list position {missing}")
+            }
+            AuditError::StateMismatch {
+                node,
+                expected,
+                stored,
+            } => write!(
+                f,
+                "node {node}: stored state {stored} but replay gives {expected}"
+            ),
+            AuditError::ResponseMismatch {
+                node,
+                expected,
+                stored,
+            } => write!(
+                f,
+                "node {node}: stored response {stored} but replay gives {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for AuditError {}
+
+/// Audits the history recorded in `mem` for `layout`; see the module docs.
+///
+/// # Errors
+///
+/// Returns the first [`AuditError`] found, scanning in linearization
+/// order.
+pub fn audit_history(
+    mem: &Memory,
+    layout: &UniversalLayout,
+) -> Result<HistoryReport, AuditError> {
+    // Collect appended nodes (seq > 1; the dummy holds seq = 1).
+    let mut appended: Vec<(i64, usize)> = Vec::new();
+    for (id, node) in layout.nodes.iter().enumerate().skip(1) {
+        let seq = mem
+            .peek(node.seq)
+            .as_int()
+            .expect("seq registers hold ints");
+        if seq != 0 {
+            appended.push((seq, id));
+        }
+    }
+    appended.sort_unstable();
+    for pair in appended.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(AuditError::DuplicateSeq { seq: pair[0].0 });
+        }
+    }
+    for (i, (seq, _)) in appended.iter().enumerate() {
+        let expected = i as i64 + 2;
+        if *seq != expected {
+            return Err(AuditError::NonContiguousSeq { missing: expected });
+        }
+    }
+
+    // Sequential replay.
+    let mut state = layout.initial_state.clone();
+    let mut applied_per_pid = vec![0usize; layout.n];
+    let mut order = Vec::with_capacity(appended.len());
+    for (_, id) in &appended {
+        let node = &layout.nodes[*id];
+        let op = decode_op(&mem.peek(node.op));
+        let t = layout.ty.apply(&state, &op);
+        let stored_state = mem.peek(node.new_state);
+        if stored_state != t.next {
+            return Err(AuditError::StateMismatch {
+                node: *id,
+                expected: t.next,
+                stored: stored_state,
+            });
+        }
+        let stored_resp = mem.peek(node.response);
+        if stored_resp != t.response {
+            return Err(AuditError::ResponseMismatch {
+                node: *id,
+                expected: t.response,
+                stored: stored_resp,
+            });
+        }
+        state = t.next;
+        if let Some((pid, _)) = layout.owner_of(*id) {
+            applied_per_pid[pid] += 1;
+        }
+        order.push(*id);
+    }
+
+    Ok(HistoryReport {
+        order,
+        applied_per_pid,
+        final_state: state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::encode_op;
+    use rc_core::algorithms::ConsensusObjectFactory;
+    use rc_runtime::MemOps;
+    use rc_spec::types::Counter;
+    use rc_spec::Operation;
+    use std::sync::Arc;
+
+    fn tiny_layout(mem: &mut Memory) -> Arc<UniversalLayout> {
+        UniversalLayout::alloc(
+            mem,
+            Arc::new(Counter::new(64)),
+            Value::Int(0),
+            2,
+            2,
+            &ConsensusObjectFactory { domain: 8 },
+        )
+    }
+
+    /// Hand-writes a well-formed two-node history.
+    fn write_history(mem: &mut Memory, layout: &UniversalLayout) {
+        let inc = Operation::nullary("inc");
+        for (pos, (pid, slot)) in [(0usize, 0usize), (1, 0)].iter().enumerate() {
+            let id = layout.node_id(*pid, *slot);
+            let node = &layout.nodes[id];
+            mem.write_register(node.op, encode_op(&inc));
+            mem.write_register(node.new_state, Value::Int(pos as i64 + 1));
+            mem.write_register(node.response, Value::Unit);
+            mem.write_register(node.seq, Value::Int(pos as i64 + 2));
+        }
+    }
+
+    #[test]
+    fn audits_clean_history() {
+        let mut mem = Memory::new();
+        let layout = tiny_layout(&mut mem);
+        write_history(&mut mem, &layout);
+        let report = audit_history(&mem, &layout).expect("clean");
+        assert_eq!(report.order.len(), 2);
+        assert_eq!(report.final_state, Value::Int(2));
+        assert_eq!(report.applied_per_pid, vec![1, 1]);
+    }
+
+    #[test]
+    fn detects_duplicate_seq() {
+        let mut mem = Memory::new();
+        let layout = tiny_layout(&mut mem);
+        write_history(&mut mem, &layout);
+        // Clone position 2 onto another node.
+        let id = layout.node_id(0, 1);
+        mem.write_register(layout.nodes[id].op, encode_op(&Operation::nullary("inc")));
+        mem.write_register(layout.nodes[id].seq, Value::Int(2));
+        assert_eq!(
+            audit_history(&mem, &layout),
+            Err(AuditError::DuplicateSeq { seq: 2 })
+        );
+    }
+
+    #[test]
+    fn detects_gap_in_seq() {
+        let mut mem = Memory::new();
+        let layout = tiny_layout(&mut mem);
+        write_history(&mut mem, &layout);
+        let id = layout.node_id(1, 0);
+        mem.write_register(layout.nodes[id].seq, Value::Int(5));
+        assert_eq!(
+            audit_history(&mem, &layout),
+            Err(AuditError::NonContiguousSeq { missing: 3 })
+        );
+    }
+
+    #[test]
+    fn detects_state_and_response_mismatches() {
+        let mut mem = Memory::new();
+        let layout = tiny_layout(&mut mem);
+        write_history(&mut mem, &layout);
+        let id = layout.node_id(1, 0);
+        mem.write_register(layout.nodes[id].new_state, Value::Int(9));
+        assert!(matches!(
+            audit_history(&mem, &layout),
+            Err(AuditError::StateMismatch { .. })
+        ));
+        mem.write_register(layout.nodes[id].new_state, Value::Int(2));
+        mem.write_register(layout.nodes[id].response, Value::Int(1));
+        assert!(matches!(
+            audit_history(&mem, &layout),
+            Err(AuditError::ResponseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = AuditError::DuplicateSeq { seq: 3 };
+        assert!(e.to_string().contains("position 3"));
+        let e = AuditError::StateMismatch {
+            node: 4,
+            expected: Value::Int(1),
+            stored: Value::Int(2),
+        };
+        assert!(e.to_string().contains("node 4"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The non-volatile data layout of the universal construction (Fig. 7,
+//! lines 97–99 and the list-node description of Appendix F).
+
+use rc_core::algorithms::{ConsensusFactory, InstanceMaker};
+use rc_runtime::{Addr, Memory};
+use rc_spec::{Operation, TypeHandle, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Encodes an [`Operation`] as a [`Value`] for storage in a node's `op`
+/// register.
+pub fn encode_op(op: &Operation) -> Value {
+    Value::pair(Value::sym(op.name.clone()), op.arg.clone())
+}
+
+/// Decodes a node's `op` register back into an [`Operation`].
+///
+/// # Panics
+///
+/// Panics if `value` was not produced by [`encode_op`] — indicates memory
+/// corruption, which the simulator cannot produce.
+pub fn decode_op(value: &Value) -> Operation {
+    let parts = value
+        .as_tuple()
+        .filter(|p| p.len() == 2)
+        .unwrap_or_else(|| panic!("not an encoded operation: {value}"));
+    let name = parts[0]
+        .as_sym()
+        .unwrap_or_else(|| panic!("not an encoded operation: {value}"));
+    Operation::new(name, parts[1].clone())
+}
+
+/// The shared cells of one list node (Appendix F):
+/// `seq` (0 until appended, then the node's list position), `op`,
+/// `newState`, `response`, and the RC instance deciding `next`.
+#[derive(Clone)]
+pub struct NodeCells {
+    /// The node's position in the list; 0 while unappended. The dummy node
+    /// has `seq = 1`.
+    pub seq: Addr,
+    /// The encoded operation ([`encode_op`]).
+    pub op: Addr,
+    /// State of the implemented object after applying the list prefix up
+    /// to and including this node.
+    pub new_state: Addr,
+    /// The operation's response.
+    pub response: Addr,
+    /// Builds a process's routine for this node's `next`-pointer RC
+    /// instance; proposals and decisions are node ids as [`Value::Int`].
+    pub next: InstanceMaker,
+}
+
+impl fmt::Debug for NodeCells {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeCells")
+            .field("seq", &self.seq)
+            .field("op", &self.op)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The complete non-volatile layout of one universal object.
+pub struct UniversalLayout {
+    /// The implemented object's sequential specification.
+    pub ty: TypeHandle,
+    /// The implemented object's initial state (stored in the dummy node's
+    /// `newState`).
+    pub initial_state: Value,
+    /// Number of processes.
+    pub n: usize,
+    /// Node 0 is the dummy; process `p`'s invocation `k` uses node
+    /// `1 + p·slots_per_process + k`.
+    pub nodes: Vec<NodeCells>,
+    /// Nodes available to each process.
+    pub slots_per_process: usize,
+    /// `Announce[0..n]`, each initially the dummy node id 0.
+    pub announce: Vec<Addr>,
+    /// `Head[0..n]`, each initially the dummy node id 0.
+    pub head: Vec<Addr>,
+}
+
+impl fmt::Debug for UniversalLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UniversalLayout")
+            .field("ty", &self.ty.name())
+            .field("n", &self.n)
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl UniversalLayout {
+    /// Allocates the layout: a dummy-headed node pool with
+    /// `slots_per_process` nodes per process, announce/head arrays, and
+    /// one RC instance per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `slots_per_process == 0`.
+    pub fn alloc(
+        mem: &mut Memory,
+        ty: TypeHandle,
+        initial_state: Value,
+        n: usize,
+        slots_per_process: usize,
+        rc_factory: &dyn ConsensusFactory,
+    ) -> Arc<Self> {
+        assert!(n > 0, "need at least one process");
+        assert!(slots_per_process > 0, "need at least one slot per process");
+        let pool = 1 + n * slots_per_process;
+        let mut nodes = Vec::with_capacity(pool);
+        for id in 0..pool {
+            let seq = mem.alloc_register(Value::Int(i64::from(id == 0)));
+            let op = mem.alloc_register(Value::Bottom);
+            let new_state = mem.alloc_register(if id == 0 {
+                initial_state.clone()
+            } else {
+                Value::Bottom
+            });
+            let response = mem.alloc_register(Value::Bottom);
+            let next = rc_factory.alloc_instance(mem);
+            nodes.push(NodeCells {
+                seq,
+                op,
+                new_state,
+                response,
+                next,
+            });
+        }
+        let announce = (0..n).map(|_| mem.alloc_register(Value::Int(0))).collect();
+        let head = (0..n).map(|_| mem.alloc_register(Value::Int(0))).collect();
+        Arc::new(UniversalLayout {
+            ty,
+            initial_state,
+            n,
+            nodes,
+            slots_per_process,
+            announce,
+            head,
+        })
+    }
+
+    /// The node id for process `pid`'s invocation `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` or `slot` is out of range.
+    pub fn node_id(&self, pid: usize, slot: usize) -> usize {
+        assert!(pid < self.n, "pid out of range");
+        assert!(slot < self.slots_per_process, "slot out of range");
+        1 + pid * self.slots_per_process + slot
+    }
+
+    /// The owner `(pid, slot)` of a node id (the dummy has no owner).
+    pub fn owner_of(&self, node_id: usize) -> Option<(usize, usize)> {
+        if node_id == 0 || node_id >= self.nodes.len() {
+            return None;
+        }
+        let idx = node_id - 1;
+        Some((idx / self.slots_per_process, idx % self.slots_per_process))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_core::algorithms::ConsensusObjectFactory;
+    use rc_spec::types::Counter;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let op = Operation::new("enq", Value::Int(3));
+        assert_eq!(decode_op(&encode_op(&op)), op);
+        let nullary = Operation::nullary("deq");
+        assert_eq!(decode_op(&encode_op(&nullary)), nullary);
+    }
+
+    #[test]
+    fn layout_ids_are_consistent() {
+        let mut mem = Memory::new();
+        let layout = UniversalLayout::alloc(
+            &mut mem,
+            Arc::new(Counter::new(16)),
+            Value::Int(0),
+            3,
+            4,
+            &ConsensusObjectFactory { domain: 16 },
+        );
+        assert_eq!(layout.nodes.len(), 13);
+        for pid in 0..3 {
+            for slot in 0..4 {
+                let id = layout.node_id(pid, slot);
+                assert_eq!(layout.owner_of(id), Some((pid, slot)));
+            }
+        }
+        assert_eq!(layout.owner_of(0), None);
+        assert_eq!(layout.owner_of(99), None);
+        // Dummy node: seq = 1, newState = initial state.
+        assert_eq!(mem.peek(layout.nodes[0].seq), Value::Int(1));
+        assert_eq!(mem.peek(layout.nodes[0].new_state), Value::Int(0));
+        // Fresh node: seq = 0.
+        assert_eq!(mem.peek(layout.nodes[1].seq), Value::Int(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an encoded operation")]
+    fn decode_rejects_garbage() {
+        decode_op(&Value::Int(3));
+    }
+}

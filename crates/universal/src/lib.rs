@@ -1,0 +1,55 @@
+//! # rc-universal — the recoverable universal construction (Section 4)
+//!
+//! Herlihy's universality theorem says consensus plus registers suffices to
+//! build a wait-free linearizable implementation of *any* object type.
+//! Section 4 of *“When Is Recoverable Consensus Harder Than Consensus?”*
+//! (PODC 2022) carries this over to non-volatile memory with independent
+//! crashes: place the operation list in non-volatile memory, use
+//! **recoverable consensus** to agree on each `next` pointer, and add a
+//! recovery function that re-drives the last announced operation
+//! (`RUniversal`, the paper's Fig. 7, lines 97–130).
+//!
+//! This crate implements:
+//!
+//! * [`UniversalLayout`] — the non-volatile data: the dummy-headed
+//!   operation list (a preallocated node pool), `Announce[1..n]`,
+//!   `Head[1..n]`, and one pluggable RC instance per node for its `next`
+//!   pointer.
+//! * [`UniversalMachine`] — the `Universal(op)` + `ApplyOperation`
+//!   routines as a crashable state machine (one shared-memory access per
+//!   step), including the round-robin helping that makes the construction
+//!   wait-free.
+//! * [`RUniversalWorker`] — a process performing a sequence of operations
+//!   with the paper's recovery function: on a crash it consults
+//!   `Announce[i]` and re-drives the last announced node, so every
+//!   operation is applied **exactly once** (the detectability property of
+//!   nesting-safe recoverable linearizability).
+//! * [`HerlihyWorker`] — the same construction driven *without* a recovery
+//!   function (the pre-NVM baseline): a crashed client retries with a
+//!   fresh node, so crashes can apply an operation **twice** — the failure
+//!   mode the recovery function exists to prevent, demonstrated in the E6
+//!   experiment.
+//! * [`audit_history`] — a replay checker: the `seq` fields define the
+//!   linearization; every node's stored state/response must match a
+//!   sequential replay, and each announced invocation must be applied at
+//!   most/exactly once.
+//!
+//! The per-node RC instances are pluggable via
+//! [`rc_core::algorithms::ConsensusFactory`]; experiments use atomic
+//! consensus objects for scale and the Fig. 2 tournament over `S_n` to
+//! demonstrate end-to-end universality from a *weak* recording type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod layout;
+mod machine;
+mod robj;
+mod workers;
+
+pub use check::{audit_history, AuditError, HistoryReport};
+pub use layout::{decode_op, encode_op, NodeCells, UniversalLayout};
+pub use machine::UniversalMachine;
+pub use robj::{run_workload, Workload, WorkloadOutcome};
+pub use workers::{HerlihyWorker, RUniversalWorker};

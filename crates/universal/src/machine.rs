@@ -1,0 +1,479 @@
+//! `Universal(op)` and `ApplyOperation` (Fig. 7, lines 100–127) as a
+//! crashable state machine.
+
+use crate::layout::{decode_op, encode_op, UniversalLayout};
+use rc_runtime::{MemOps, Program, Step};
+use rc_spec::{ObjectType, Operation, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Program counter of [`UniversalMachine`]; paper line numbers in comments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pc {
+    // ---- Universal(op), lines 117–120 ----
+    /// Line 118: nd→op ← op.
+    WriteNodeOp,
+    /// Line 120: Announce[i] ← nd.
+    WriteAnnounce,
+    // ---- lines 121–125: freshen Head[i] ----
+    /// Read `Head[j]` (then its seq).
+    ScanHead { j: usize },
+    /// Read `nodes[candidate].seq`, update the running max.
+    ScanSeq { j: usize, candidate: usize },
+    /// Line 123 (folded): Head[i] ← argmax.
+    WriteHeadBest,
+    // ---- ApplyOperation, lines 100–114 ----
+    /// Line 101: read own node's seq; exit the loop when ≠ 0.
+    ReadOwnSeq,
+    /// Line 114: read own node's response and decide.
+    ReadResponse,
+    /// Read `Head[i]`.
+    ReadHead,
+    /// Read `nodes[head].seq` (for line 102's priority and line 111).
+    ReadHeadSeq { head: usize },
+    /// Line 103–104: read `Announce[priority]`.
+    ReadPriorityAnnounce { head: usize, head_seq: i64 },
+    /// Line 103: read the announced node's seq to see if it needs help.
+    ReadPrioritySeq {
+        head: usize,
+        head_seq: i64,
+        announced: usize,
+    },
+    /// Line 108: drive the RC instance of `nodes[head].next`.
+    RunRc {
+        head: usize,
+        head_seq: i64,
+        pointer: usize,
+    },
+    /// Line 110 (first half): read the winner's op.
+    ReadWinnerOp {
+        head: usize,
+        head_seq: i64,
+        winner: usize,
+    },
+    /// Line 110 (second half): read `Head[i]→newState`, apply
+    /// sequentially, write `winner→newState`.
+    ReadHeadState {
+        head: usize,
+        head_seq: i64,
+        winner: usize,
+        winner_op: Operation,
+    },
+    /// Line 110: write `winner→newState`.
+    WriteWinnerState {
+        head_seq: i64,
+        winner: usize,
+        new_state: Value,
+        response: Value,
+    },
+    /// Line 110: write `winner→response`.
+    WriteWinnerResponse {
+        head_seq: i64,
+        winner: usize,
+        response: Value,
+    },
+    /// Line 111: `winner→seq ← Head[i]→seq + 1`.
+    WriteWinnerSeq { head_seq: i64, winner: usize },
+    /// Line 112: `Head[i] ← winner`.
+    AdvanceHead { winner: usize },
+}
+
+/// One `Universal(op)` invocation for one process, bound to a fixed node
+/// id — the paper's `nd`. Restarting the machine from the beginning after
+/// a crash is safe because the node id is stable and every prefix write
+/// (`nd→op`, `Announce[i]`) is idempotent.
+///
+/// The machine can also be started in *recovery mode*
+/// ([`UniversalMachine::recover`]): it skips the announce prefix and runs
+/// `ApplyOperation` directly — exactly the paper's `Recover` routine
+/// (lines 128–130).
+pub struct UniversalMachine {
+    layout: Arc<UniversalLayout>,
+    pid: usize,
+    node_id: usize,
+    op: Operation,
+    pc: Pc,
+    /// Running maximum for the Head freshening scan.
+    best: (usize, i64),
+    inner: Option<Box<dyn Program>>,
+}
+
+impl Clone for UniversalMachine {
+    fn clone(&self) -> Self {
+        UniversalMachine {
+            layout: self.layout.clone(),
+            pid: self.pid,
+            node_id: self.node_id,
+            op: self.op.clone(),
+            pc: self.pc.clone(),
+            best: self.best,
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for UniversalMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UniversalMachine")
+            .field("pid", &self.pid)
+            .field("node_id", &self.node_id)
+            .field("op", &self.op)
+            .field("pc", &self.pc)
+            .finish_non_exhaustive()
+    }
+}
+
+impl UniversalMachine {
+    /// Starts a fresh invocation (`Universal(op)`, line 116).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` or `node_id` is out of range for the layout.
+    pub fn new(layout: Arc<UniversalLayout>, pid: usize, node_id: usize, op: Operation) -> Self {
+        assert!(pid < layout.n, "pid out of range");
+        assert!(
+            node_id > 0 && node_id < layout.nodes.len(),
+            "node id out of range"
+        );
+        UniversalMachine {
+            layout,
+            pid,
+            node_id,
+            op,
+            pc: Pc::WriteNodeOp,
+            best: (0, 0),
+            inner: None,
+        }
+    }
+
+    /// Starts in recovery mode (`Recover`, lines 128–130): runs
+    /// `ApplyOperation` for the already-announced `node_id` without
+    /// re-announcing.
+    pub fn recover(
+        layout: Arc<UniversalLayout>,
+        pid: usize,
+        node_id: usize,
+        op: Operation,
+    ) -> Self {
+        let mut m = UniversalMachine::new(layout, pid, node_id, op);
+        m.pc = Pc::ReadOwnSeq;
+        m
+    }
+
+    fn node(&self, id: usize) -> &crate::layout::NodeCells {
+        &self.layout.nodes[id]
+    }
+
+    fn seq_of(v: &Value) -> i64 {
+        v.as_int().expect("seq registers hold ints")
+    }
+
+    fn ptr_of(v: &Value) -> usize {
+        usize::try_from(v.as_int().expect("pointer registers hold ints"))
+            .expect("pointers are non-negative")
+    }
+}
+
+impl Program for UniversalMachine {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        match self.pc.clone() {
+            Pc::WriteNodeOp => {
+                mem.write_register(self.node(self.node_id).op, encode_op(&self.op));
+                self.pc = Pc::WriteAnnounce;
+                Step::Running
+            }
+            Pc::WriteAnnounce => {
+                mem.write_register(
+                    self.layout.announce[self.pid],
+                    Value::Int(self.node_id as i64),
+                );
+                self.best = (0, 0);
+                self.pc = Pc::ScanHead { j: 0 };
+                Step::Running
+            }
+            Pc::ScanHead { j } => {
+                if j >= self.layout.n {
+                    self.pc = Pc::WriteHeadBest;
+                    return Step::Running;
+                }
+                let candidate = Self::ptr_of(&mem.read_register(self.layout.head[j]));
+                self.pc = Pc::ScanSeq { j, candidate };
+                Step::Running
+            }
+            Pc::ScanSeq { j, candidate } => {
+                let seq = Self::seq_of(&mem.read_register(self.node(candidate).seq));
+                if seq > self.best.1 {
+                    self.best = (candidate, seq);
+                }
+                self.pc = Pc::ScanHead { j: j + 1 };
+                Step::Running
+            }
+            Pc::WriteHeadBest => {
+                mem.write_register(self.layout.head[self.pid], Value::Int(self.best.0 as i64));
+                self.pc = Pc::ReadOwnSeq;
+                Step::Running
+            }
+            Pc::ReadOwnSeq => {
+                // Line 101: while Announce[i]→seq = 0.
+                let seq = Self::seq_of(&mem.read_register(self.node(self.node_id).seq));
+                self.pc = if seq == 0 {
+                    Pc::ReadHead
+                } else {
+                    Pc::ReadResponse
+                };
+                Step::Running
+            }
+            Pc::ReadResponse => {
+                // Line 114.
+                Step::Decided(mem.read_register(self.node(self.node_id).response))
+            }
+            Pc::ReadHead => {
+                let head = Self::ptr_of(&mem.read_register(self.layout.head[self.pid]));
+                self.pc = Pc::ReadHeadSeq { head };
+                Step::Running
+            }
+            Pc::ReadHeadSeq { head } => {
+                let head_seq = Self::seq_of(&mem.read_register(self.node(head).seq));
+                self.pc = Pc::ReadPriorityAnnounce { head, head_seq };
+                Step::Running
+            }
+            Pc::ReadPriorityAnnounce { head, head_seq } => {
+                // Line 102: priority = (Head[i]→seq + 1) mod n.
+                let priority = ((head_seq + 1) % self.layout.n as i64) as usize;
+                let announced =
+                    Self::ptr_of(&mem.read_register(self.layout.announce[priority]));
+                self.pc = Pc::ReadPrioritySeq {
+                    head,
+                    head_seq,
+                    announced,
+                };
+                Step::Running
+            }
+            Pc::ReadPrioritySeq {
+                head,
+                head_seq,
+                announced,
+            } => {
+                // Lines 103–107.
+                let seq = Self::seq_of(&mem.read_register(self.node(announced).seq));
+                let pointer = if seq == 0 { announced } else { self.node_id };
+                self.pc = Pc::RunRc {
+                    head,
+                    head_seq,
+                    pointer,
+                };
+                Step::Running
+            }
+            Pc::RunRc {
+                head,
+                head_seq,
+                pointer,
+            } => {
+                // Line 108: winner ← Decide(Head[i]→next, pointer).
+                if self.inner.is_none() {
+                    self.inner =
+                        Some((self.node(head).next)(self.pid, Value::Int(pointer as i64)));
+                }
+                match self.inner.as_mut().expect("just created").step(mem) {
+                    Step::Running => Step::Running,
+                    Step::Decided(v) => {
+                        self.inner = None;
+                        self.pc = Pc::ReadWinnerOp {
+                            head,
+                            head_seq,
+                            winner: Self::ptr_of(&v),
+                        };
+                        Step::Running
+                    }
+                }
+            }
+            Pc::ReadWinnerOp {
+                head,
+                head_seq,
+                winner,
+            } => {
+                let winner_op = decode_op(&mem.read_register(self.node(winner).op));
+                self.pc = Pc::ReadHeadState {
+                    head,
+                    head_seq,
+                    winner,
+                    winner_op,
+                };
+                Step::Running
+            }
+            Pc::ReadHeadState {
+                head,
+                head_seq,
+                winner,
+                winner_op,
+            } => {
+                // Line 110: sequential application — deterministic, so
+                // concurrent helpers write identical values.
+                let state = mem.read_register(self.node(head).new_state);
+                let t = self.layout.ty.apply(&state, &winner_op);
+                self.pc = Pc::WriteWinnerState {
+                    head_seq,
+                    winner,
+                    new_state: t.next,
+                    response: t.response,
+                };
+                Step::Running
+            }
+            Pc::WriteWinnerState {
+                head_seq,
+                winner,
+                new_state,
+                response,
+            } => {
+                mem.write_register(self.node(winner).new_state, new_state);
+                self.pc = Pc::WriteWinnerResponse {
+                    head_seq,
+                    winner,
+                    response,
+                };
+                Step::Running
+            }
+            Pc::WriteWinnerResponse {
+                head_seq,
+                winner,
+                response,
+            } => {
+                mem.write_register(self.node(winner).response, response);
+                self.pc = Pc::WriteWinnerSeq { head_seq, winner };
+                Step::Running
+            }
+            Pc::WriteWinnerSeq { head_seq, winner } => {
+                // Line 111.
+                mem.write_register(self.node(winner).seq, Value::Int(head_seq + 1));
+                self.pc = Pc::AdvanceHead { winner };
+                Step::Running
+            }
+            Pc::AdvanceHead { winner } => {
+                // Line 112, then back to the line-101 test.
+                mem.write_register(self.layout.head[self.pid], Value::Int(winner as i64));
+                self.pc = Pc::ReadOwnSeq;
+                Step::Running
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // A worker decides crash policy (fresh node vs recovery); the bare
+        // machine restarts its own invocation from the beginning, which is
+        // idempotent for a fixed node id.
+        self.pc = Pc::WriteNodeOp;
+        self.best = (0, 0);
+        self.inner = None;
+    }
+
+    fn state_key(&self) -> Value {
+        // The Pc enum carries all volatile locals; encode it structurally.
+        let pc = format!("{:?}", self.pc);
+        Value::Tuple(vec![
+            Value::Sym(pc),
+            Value::Int(self.best.0 as i64),
+            Value::Int(self.best.1),
+            self.inner
+                .as_ref()
+                .map_or(Value::Bottom, |p| p.state_key()),
+        ])
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_core::algorithms::ConsensusObjectFactory;
+    use rc_runtime::sched::RoundRobin;
+    use rc_runtime::{run, Memory, RunOptions};
+    use rc_spec::types::Counter;
+
+    fn counter_layout(mem: &mut Memory, n: usize, slots: usize) -> Arc<UniversalLayout> {
+        let pool = 1 + n * slots;
+        UniversalLayout::alloc(
+            mem,
+            Arc::new(Counter::new(64)),
+            Value::Int(0),
+            n,
+            slots,
+            &ConsensusObjectFactory {
+                domain: pool as u32,
+            },
+        )
+    }
+
+    #[test]
+    fn single_process_single_op() {
+        let mut mem = Memory::new();
+        let layout = counter_layout(&mut mem, 1, 1);
+        let node = layout.node_id(0, 0);
+        let mut programs: Vec<Box<dyn Program>> = vec![Box::new(UniversalMachine::new(
+            layout.clone(),
+            0,
+            node,
+            Operation::nullary("inc"),
+        ))];
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+        );
+        assert!(exec.all_decided);
+        assert_eq!(exec.outputs[0], vec![Value::Unit]);
+        // The node was appended at position 2 and the state advanced.
+        assert_eq!(mem.peek(layout.nodes[node].seq), Value::Int(2));
+        assert_eq!(mem.peek(layout.nodes[node].new_state), Value::Int(1));
+    }
+
+    #[test]
+    fn three_processes_each_increment_once() {
+        let mut mem = Memory::new();
+        let layout = counter_layout(&mut mem, 3, 1);
+        let mut programs: Vec<Box<dyn Program>> = (0..3)
+            .map(|pid| {
+                Box::new(UniversalMachine::new(
+                    layout.clone(),
+                    pid,
+                    layout.node_id(pid, 0),
+                    Operation::nullary("inc"),
+                )) as Box<dyn Program>
+            })
+            .collect();
+        let exec = run(
+            &mut mem,
+            &mut programs,
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+        );
+        assert!(exec.all_decided);
+        // All three increments applied: some node holds state 3 at seq 4.
+        let final_state: Vec<i64> = (1..4)
+            .map(|id| {
+                mem.peek(layout.nodes[layout.node_id(id - 1, 0)].new_state)
+                    .as_int()
+                    .expect("int state")
+            })
+            .collect();
+        assert!(final_state.contains(&3), "states: {final_state:?}");
+    }
+
+    #[test]
+    fn recovery_mode_skips_announce() {
+        let mut mem = Memory::new();
+        let layout = counter_layout(&mut mem, 1, 1);
+        let node = layout.node_id(0, 0);
+        let m = UniversalMachine::recover(
+            layout.clone(),
+            0,
+            node,
+            Operation::nullary("inc"),
+        );
+        // Recovery starts at the ApplyOperation loop, not the announce.
+        assert!(format!("{m:?}").contains("ReadOwnSeq"));
+    }
+}

@@ -1,0 +1,148 @@
+//! The paper's counterexample scenarios, executed:
+//!
+//! 1. **Section 3.1's bad scenario** — drop the `|B| = 1` test from the
+//!    Fig. 2 algorithm and agreement breaks on the paper's exact
+//!    interleaving (no crashes needed!).
+//! 2. **Why consensus algorithms are not recoverable** — Theorem 3's
+//!    algorithm on `T_4` is correct under halting failures, but a single
+//!    crash lets a re-run apply a second update, the object "forgets" the
+//!    winner, and agreement breaks (the executable core of Corollary 20).
+//!
+//! ```sh
+//! cargo run --example adversary
+//! ```
+
+use recoverable_consensus::core::algorithms::{
+    alloc_team_rc, build_team_consensus_system, BrokenTeamRc, TeamRcConfig,
+};
+use recoverable_consensus::core::{
+    check_discerning, find_recording_witness, Assignment, RecordingWitness, Team,
+};
+use recoverable_consensus::runtime::sched::{Action, ScriptedScheduler};
+use recoverable_consensus::runtime::verify::check_consensus_execution;
+use recoverable_consensus::runtime::{run, Memory, Program, RunOptions};
+use recoverable_consensus::spec::types::{Cas, Tn};
+use recoverable_consensus::spec::{TypeHandle, Value};
+use std::sync::Arc;
+
+fn main() {
+    broken_guard_scenario();
+    println!();
+    crash_breaks_consensus_scenario();
+}
+
+/// Scenario 1: the missing `|B| = 1` guard (Section 3.1).
+fn broken_guard_scenario() {
+    println!("── Scenario 1: Fig. 2 without the |B| = 1 test ──");
+    let cas: TypeHandle = Arc::new(Cas::new(2));
+    let w = find_recording_witness(&cas, 3)
+        .expect("CAS is 3-recording")
+        .normalized();
+    // Orient so B is the two-process team (the scenario's requirement).
+    let w = if w.assignment.team_size(Team::B) >= 2 {
+        w
+    } else {
+        RecordingWitness {
+            assignment: w.assignment.swap_teams(),
+            q_a: w.q_b.clone(),
+            q_b: w.q_a.clone(),
+        }
+    };
+    let config = TeamRcConfig::new(cas, &w);
+    let inputs: Vec<Value> = w
+        .assignment
+        .teams
+        .iter()
+        .map(|t| match t {
+            Team::A => Value::Int(0),
+            Team::B => Value::Int(1),
+        })
+        .collect();
+    let b = w.assignment.members(Team::B);
+    let a = w.assignment.members(Team::A);
+    let (b1, b2, a1) = (b[0], b[1], a[0]);
+
+    let mut mem = Memory::new();
+    let shared = alloc_team_rc(&mut mem, &config);
+    let mut programs: Vec<Box<dyn Program>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(slot, input)| {
+            Box::new(BrokenTeamRc::new(config.clone(), shared, slot, input.clone()))
+                as Box<dyn Program>
+        })
+        .collect();
+
+    // The paper's interleaving, verbatim.
+    let schedule = [
+        Action::Step(b1), // b1 writes R_B
+        Action::Step(b1), // b1 reads O = q0
+        Action::Step(b1), // b1 passes the (broken) guard: R_A = ⊥
+        Action::Step(a1), // a1 writes R_A
+        Action::Step(b2), // b2 writes R_B
+        Action::Step(b2), // b2 reads O = q0
+        Action::Step(b2), // b2 hits the guard: R_A ≠ ⊥ → defers to team A
+        Action::Step(b1), // b1 performs the FIRST update on O (team B!)
+        Action::Step(b1), // b1 re-reads O: a Q_B state
+        Action::Step(b1), // b1 decides team B's value
+    ];
+    let mut sched = ScriptedScheduler::then_finish(schedule);
+    let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+    print!("{}", exec.trace);
+    match check_consensus_execution(&exec, &inputs) {
+        Err(e) => println!("⇒ {e}  (exactly as Section 3.1 predicts)"),
+        Ok(_) => unreachable!("the broken variant must fail here"),
+    }
+}
+
+/// Scenario 2: one crash defeats Theorem 3's consensus algorithm on T_4.
+fn crash_breaks_consensus_scenario() {
+    println!("── Scenario 2: Theorem 3 on T_4 vs one crash ──");
+    let n = 4;
+    let tn = Tn::new(n);
+    let w = check_discerning(
+        &tn,
+        &Assignment::split(
+            Tn::forget_state(),
+            vec![Tn::op_a(); n / 2],
+            vec![Tn::op_b(); n.div_ceil(2)],
+        ),
+    )
+    .expect("T_n is n-discerning (Proposition 19)");
+    let inputs = vec![
+        Value::Int(0),
+        Value::Int(0),
+        Value::Int(1),
+        Value::Int(1),
+    ];
+    let (mut mem, mut programs) =
+        build_team_consensus_system(Arc::new(Tn::new(n)), &w, &inputs);
+    let schedule = [
+        Action::Step(1),  // p2 (team A) writes R_A
+        Action::Step(1),  // p2 applies opA — winner = A recorded
+        Action::Step(1),  // p2 reads the state
+        Action::Step(1),  // p2 DECIDES team A's value (0)
+        Action::Step(0),  // p1 (team A) writes R_A
+        Action::Step(0),  // p1 applies opA — col = 1
+        Action::Crash(0), // p1 crashes: loses its response AND its pc
+        Action::Step(0),  // p1 re-runs: writes R_A again
+        Action::Step(0),  // p1 re-applies opA — col wraps: T_4 FORGETS
+        Action::Step(3),  // p4 (team B) writes R_B
+        Action::Step(3),  // p4 applies opB — looks like the first update!
+        Action::Step(3),  // p4 reads the state: winner = B
+        Action::Step(3),  // p4 DECIDES team B's value (1)
+    ];
+    let mut sched = ScriptedScheduler::then_finish(schedule);
+    let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+    print!("{}", exec.trace);
+    match check_consensus_execution(&exec, &inputs) {
+        Err(e) => {
+            println!("⇒ {e}");
+            println!(
+                "⇒ cons(T_4) = 4, yet ONE crash breaks the consensus algorithm: \
+                 rcons(T_4) < cons(T_4) — recoverable consensus is harder."
+            );
+        }
+        Ok(_) => unreachable!("the crash scenario must violate agreement"),
+    }
+}

@@ -1,0 +1,159 @@
+//! Exhaustive model checking of the paper's algorithms: every
+//! interleaving, every crash placement (up to a budget), full-fidelity
+//! state memoization.
+//!
+//! Verifies the Fig. 2 algorithm for S_2/S_3 and lets the checker
+//! *discover* (not just replay) the Section 3.1 violation in the broken
+//! variant and the one-crash defeat of Theorem 3 on T_4.
+//!
+//! ```sh
+//! cargo run --release --example model_checking
+//! ```
+
+use recoverable_consensus::core::algorithms::{
+    alloc_team_rc, build_team_consensus_system, build_team_rc_system, BrokenTeamRc,
+    TeamRcConfig,
+};
+use recoverable_consensus::core::{
+    check_discerning, check_recording, find_recording_witness, Assignment, RecordingWitness,
+    Team,
+};
+use recoverable_consensus::runtime::{explore, ExploreConfig, ExploreOutcome, Memory, Program};
+use recoverable_consensus::spec::types::{Cas, Sn, Tn};
+use recoverable_consensus::spec::{TypeHandle, Value};
+use std::sync::Arc;
+
+fn main() {
+    verify_fig2();
+    println!();
+    discover_broken_guard();
+    println!();
+    discover_crash_break_on_t4();
+}
+
+fn describe(outcome: &ExploreOutcome) -> String {
+    match outcome {
+        ExploreOutcome::Verified { states, leaves } => {
+            format!("VERIFIED — {states} states, {leaves} maximal executions")
+        }
+        ExploreOutcome::Violation {
+            kind, schedule, ..
+        } => format!("VIOLATION ({kind:?}) — schedule of {} actions", schedule.len()),
+        ExploreOutcome::Truncated { states } => format!("TRUNCATED at {states} states"),
+    }
+}
+
+fn verify_fig2() {
+    println!("── Exhaustive verification of Fig. 2 (Theorem 8) ──");
+    for n in [2usize, 3] {
+        let sn = Sn::new(n);
+        let w = check_recording(
+            &sn,
+            &Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]),
+        )
+        .expect("S_n witness");
+        let ty: TypeHandle = Arc::new(sn);
+        let mut inputs = vec![Value::Int(0)];
+        inputs.extend(vec![Value::Int(1); n - 1]);
+        for budget in 0..=2 {
+            let outcome = explore(
+                &|| build_team_rc_system(ty.clone(), &w, &inputs),
+                &ExploreConfig {
+                    crash_budget: budget,
+                    crash_after_decide: true,
+                    inputs: Some(inputs.clone()),
+                    ..ExploreConfig::default()
+                },
+            );
+            println!("S_{n}, crash budget {budget}: {}", describe(&outcome));
+            assert!(outcome.is_verified());
+        }
+    }
+}
+
+fn discover_broken_guard() {
+    println!("── The checker DISCOVERS the Section 3.1 scenario ──");
+    let cas: TypeHandle = Arc::new(Cas::new(2));
+    let w = find_recording_witness(&cas, 3)
+        .expect("CAS witness")
+        .normalized();
+    let w = if w.assignment.team_size(Team::B) >= 2 {
+        w
+    } else {
+        RecordingWitness {
+            assignment: w.assignment.swap_teams(),
+            q_a: w.q_b.clone(),
+            q_b: w.q_a.clone(),
+        }
+    };
+    let config = TeamRcConfig::new(cas, &w);
+    let inputs: Vec<Value> = w
+        .assignment
+        .teams
+        .iter()
+        .map(|t| match t {
+            Team::A => Value::Int(0),
+            Team::B => Value::Int(1),
+        })
+        .collect();
+    let outcome = explore(
+        &|| {
+            let mut mem = Memory::new();
+            let shared = alloc_team_rc(&mut mem, &config);
+            let programs: Vec<Box<dyn Program>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(slot, input)| {
+                    Box::new(BrokenTeamRc::new(config.clone(), shared, slot, input.clone()))
+                        as Box<dyn Program>
+                })
+                .collect();
+            (mem, programs)
+        },
+        &ExploreConfig {
+            crash_budget: 0,
+            inputs: Some(inputs.clone()),
+            ..ExploreConfig::default()
+        },
+    );
+    println!("Fig. 2 without the |B| = 1 guard: {}", describe(&outcome));
+    if let ExploreOutcome::Violation { schedule, outputs, .. } = &outcome {
+        println!("  conflicting outputs: {outputs:?}");
+        println!("  discovered schedule: {schedule:?}");
+    }
+    assert!(outcome.is_violation());
+}
+
+fn discover_crash_break_on_t4() {
+    println!("── The checker DISCOVERS the one-crash defeat of Theorem 3 on T_4 ──");
+    let n = 4;
+    let tn = Tn::new(n);
+    let w = check_discerning(
+        &tn,
+        &Assignment::split(
+            Tn::forget_state(),
+            vec![Tn::op_a(); n / 2],
+            vec![Tn::op_b(); n.div_ceil(2)],
+        ),
+    )
+    .expect("T_4 witness");
+    let ty: TypeHandle = Arc::new(tn);
+    let inputs = vec![Value::Int(0), Value::Int(0), Value::Int(1), Value::Int(1)];
+    for budget in [0usize, 1] {
+        let outcome = explore(
+            &|| build_team_consensus_system(ty.clone(), &w, &inputs),
+            &ExploreConfig {
+                crash_budget: budget,
+                inputs: Some(inputs.clone()),
+                max_states: 3_000_000,
+                ..ExploreConfig::default()
+            },
+        );
+        println!("Theorem 3 on T_4, crash budget {budget}: {}", describe(&outcome));
+        if budget == 0 {
+            assert!(outcome.is_verified(), "correct under halting failures");
+        } else {
+            assert!(outcome.is_violation(), "one crash breaks it");
+        }
+    }
+}

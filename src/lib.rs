@@ -1,0 +1,68 @@
+//! # recoverable-consensus
+//!
+//! A comprehensive Rust reproduction of
+//! *“When Is Recoverable Consensus Harder Than Consensus?”*
+//! by Delporte-Gallet, Fatourou, Fauconnier and Ruppert (PODC 2022,
+//! [arXiv:2205.14213](https://arxiv.org/abs/2205.14213)).
+//!
+//! The paper characterizes which deterministic, **readable** shared-object
+//! types solve **recoverable consensus** (RC) — consensus where processes
+//! may crash, lose all local state, and re-run their code against
+//! non-volatile shared memory — and compares the recoverable hierarchy to
+//! Herlihy's classic consensus hierarchy. Headline: for readable types,
+//! `cons(T) − 2 ≤ rcons(T) ≤ cons(T)`, and both the gap (type `T_n`) and
+//! its absence (type `S_n`) are realized.
+//!
+//! This facade re-exports the four member crates:
+//!
+//! * [`spec`] (`rc-spec`) — sequential object specifications and the type
+//!   catalog, including the paper's `T_n` (Fig. 5) and `S_n` (Fig. 6).
+//! * [`core`] (`rc-core`) — the *n*-discerning / *n*-recording decision
+//!   procedures, hierarchy bounds, and the paper's algorithms (Fig. 2
+//!   recoverable team consensus, the Appendix B tournament, Theorem 3
+//!   consensus, the Fig. 4 simultaneous-crash transformation).
+//! * [`runtime`] (`rc-runtime`) — the crash–recovery simulator: the
+//!   non-volatile memory, crashable program state machines, random /
+//!   scripted / bounded-exhaustive schedulers, and a real-thread executor.
+//! * [`universal`] (`rc-universal`) — the Section 4 recoverable universal
+//!   construction (`RUniversal`, Fig. 7) with replay auditing.
+//!
+//! ## Quick start
+//!
+//! Solve recoverable consensus among 4 processes using the paper's type
+//! `S_4` under a crashing adversary:
+//!
+//! ```
+//! use recoverable_consensus::core::algorithms::build_tournament_rc;
+//! use recoverable_consensus::core::{check_recording, Assignment};
+//! use recoverable_consensus::runtime::sched::RandomScheduler;
+//! use recoverable_consensus::runtime::verify::check_consensus_execution;
+//! use recoverable_consensus::runtime::{run, RunOptions};
+//! use recoverable_consensus::spec::types::Sn;
+//! use recoverable_consensus::spec::Value;
+//! use std::sync::Arc;
+//!
+//! let n = 4;
+//! // The Proposition 21 witness: team A = {opA}, team B = opB × (n−1).
+//! let witness = check_recording(
+//!     &Sn::new(n),
+//!     &Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]),
+//! )
+//! .expect("S_n is n-recording");
+//!
+//! let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+//! let (mut mem, mut programs) =
+//!     build_tournament_rc(Arc::new(Sn::new(n)), &witness, &inputs);
+//! let mut sched = RandomScheduler::from_seed(7); // injects crashes
+//! let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+//! let decision = check_consensus_execution(&exec, &inputs).expect("RC holds");
+//! assert!(decision.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rc_core as core;
+pub use rc_runtime as runtime;
+pub use rc_spec as spec;
+pub use rc_universal as universal;

@@ -1,0 +1,123 @@
+//! End-to-end sweep over the type catalog: the computed hierarchy bounds
+//! must contain the published values, and every type whose recording level
+//! admits it must actually *solve* recoverable consensus in execution.
+
+use rc_core::algorithms::build_tournament_rc;
+use rc_core::{compute_hierarchy, find_recording_witness, Level};
+use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
+use rc_runtime::verify::check_consensus_execution;
+use rc_runtime::{run, RunOptions};
+use rc_spec::catalog::{catalog, ConsensusNumber};
+use rc_spec::Value;
+
+/// The computed interval for `rcons` must contain the published value.
+#[test]
+fn computed_bounds_contain_published_rcons() {
+    for entry in catalog() {
+        let cap = match entry.known_cons {
+            ConsensusNumber::Finite(n) => (n + 2).min(7),
+            ConsensusNumber::Infinite => 4,
+        };
+        let report = compute_hierarchy(&entry.object, cap);
+        if !report.readable {
+            // Stack/queue: bounds are not derivable from the machinery.
+            continue;
+        }
+        let lo = report.rcons_lower();
+        let hi = report.rcons_upper();
+        match entry.known_rcons.lo {
+            ConsensusNumber::Finite(known_lo) => {
+                assert!(
+                    lo <= known_lo,
+                    "{}: computed lower bound {lo} exceeds published {known_lo}",
+                    entry.id
+                );
+            }
+            ConsensusNumber::Infinite => {
+                assert_eq!(hi, None, "{}: rcons is ∞ but search bounded it", entry.id);
+            }
+        }
+        if let (Some(hi), ConsensusNumber::Finite(known_hi)) = (hi, entry.known_rcons.hi) {
+            assert!(
+                hi >= known_hi,
+                "{}: computed upper bound {hi} below published {known_hi}",
+                entry.id
+            );
+        }
+        assert!(report.satisfies_corollary_17(), "{}", entry.id);
+    }
+}
+
+/// The computed consensus level must match the published cons for
+/// readable types (Theorem 3 is exact).
+#[test]
+fn computed_cons_matches_published_for_readable_types() {
+    for entry in catalog() {
+        let cap = match entry.known_cons {
+            ConsensusNumber::Finite(n) => (n + 2).min(7),
+            ConsensusNumber::Infinite => 4,
+        };
+        let report = compute_hierarchy(&entry.object, cap);
+        let Some(level) = report.cons() else {
+            continue; // non-readable
+        };
+        match (entry.known_cons, level) {
+            (ConsensusNumber::Finite(known), Level::One) => {
+                assert_eq!(known, 1, "{}", entry.id)
+            }
+            (ConsensusNumber::Finite(known), Level::Exactly(got)) => {
+                assert_eq!(known, got, "{}", entry.id)
+            }
+            (ConsensusNumber::Finite(known), Level::AtLeastCap(cap)) => {
+                assert!(known >= cap, "{}", entry.id)
+            }
+            (ConsensusNumber::Infinite, Level::AtLeastCap(_)) => {}
+            (ConsensusNumber::Infinite, other) => {
+                panic!("{}: cons is ∞ but search found {other:?}", entry.id)
+            }
+        }
+    }
+}
+
+/// Every readable type with a k-recording witness (k ≥ 2) must actually
+/// solve k-process RC in execution under crashing adversaries.
+#[test]
+fn every_recording_type_solves_rc_in_execution() {
+    for entry in catalog() {
+        if !entry.object.is_readable() {
+            continue;
+        }
+        // Cap the per-type search to keep the sweep fast.
+        let k = {
+            let mut best = None;
+            for k in 2..=4usize {
+                if find_recording_witness(&entry.object, k).is_some() {
+                    best = Some(k);
+                } else {
+                    break;
+                }
+            }
+            best
+        };
+        let Some(k) = k else { continue };
+        let witness = find_recording_witness(&entry.object, k).expect("just found");
+        let inputs: Vec<Value> = (0..k as i64).map(Value::Int).collect();
+        for seed in 0..30 {
+            let (mut mem, mut programs) =
+                build_tournament_rc(entry.object.clone(), &witness, &inputs);
+            let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                seed,
+                crash_prob: 0.2,
+                max_crashes: 4,
+                simultaneous: false,
+                crash_after_decide: true,
+            });
+            let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+            check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| {
+                panic!("{} (k = {k}, seed = {seed}): {e}", entry.id)
+            });
+        }
+    }
+}
+
+use rc_spec::ObjectType;

@@ -1,0 +1,160 @@
+//! The mechanics of the Fig. 8 / Appendix H impossibility argument,
+//! executed on the classic 2-process stack consensus protocol:
+//!
+//! 1. find a **critical execution** (multivalent; every next step commits);
+//! 2. the two poised operations **commute** on the object state
+//!    (Fig. 8(a): both are pops);
+//! 3. apply them in either order and **crash p1**: the two resulting
+//!    system states are indistinguishable to p1's recovery run, so p1
+//!    decides the *same* value in both branches — contradicting the
+//!    different committed valencies. For a correct RC algorithm this is
+//!    the paper's contradiction; for the real protocol it materializes as
+//!    an agreement violation, exhibited below.
+
+use rc_core::valency::{find_critical, replay, valence, System};
+use rc_runtime::{MemOps, Memory, Program, Step};
+use rc_spec::types::Stack;
+use rc_spec::{Operation, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const LOSER: i64 = 0;
+const WINNER: i64 = 1;
+
+/// The classic protocol: write own register, pop; winner token → own
+/// input, loser token → other's register; ⊥ → treat as lost.
+#[derive(Clone, Debug)]
+struct StackConsensus {
+    stack: rc_runtime::Addr,
+    my_reg: rc_runtime::Addr,
+    other_reg: rc_runtime::Addr,
+    input: Value,
+    pc: u8,
+}
+
+impl Program for StackConsensus {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        match self.pc {
+            0 => {
+                mem.write_register(self.my_reg, self.input.clone());
+                self.pc = 1;
+                Step::Running
+            }
+            1 => {
+                let popped = mem.apply(self.stack, &Operation::nullary("pop"));
+                self.pc = if popped == Value::Int(WINNER) { 2 } else { 3 };
+                Step::Running
+            }
+            2 => Step::Decided(self.input.clone()),
+            _ => Step::Decided(mem.read_register(self.other_reg)),
+        }
+    }
+    fn on_crash(&mut self) {
+        self.pc = 0;
+    }
+    fn state_key(&self) -> Value {
+        Value::Int(i64::from(self.pc))
+    }
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+fn stack_system() -> System {
+    let mut mem = Memory::new();
+    let stack = mem.alloc_object(
+        Arc::new(Stack::new(4, 2)),
+        Value::List(vec![Value::Int(LOSER), Value::Int(WINNER)]),
+    );
+    let regs = [
+        mem.alloc_register(Value::Bottom),
+        mem.alloc_register(Value::Bottom),
+    ];
+    let programs: Vec<Box<dyn Program>> = (0..2)
+        .map(|i| {
+            Box::new(StackConsensus {
+                stack,
+                my_reg: regs[i],
+                other_reg: regs[1 - i],
+                input: Value::Int(i as i64 + 10),
+                pc: 0,
+            }) as Box<dyn Program>
+        })
+        .collect();
+    System::new(mem, programs)
+}
+
+#[test]
+fn fig8_critical_execution_and_crash_indistinguishability() {
+    // 1. The initial execution is multivalent and a critical execution
+    //    exists.
+    let initial = stack_system();
+    assert_eq!(valence(&initial).len(), 2);
+    let critical = find_critical(&stack_system).expect("critical execution exists");
+    assert_eq!(
+        critical.commitments.len(),
+        2,
+        "both processes enabled at criticality"
+    );
+    let committed: BTreeSet<&Value> = critical.commitments.iter().map(|(_, v)| v).collect();
+    assert_eq!(committed.len(), 2, "the two steps commit to different values");
+
+    // 2. At the critical execution both processes are poised to POP
+    //    (pc = 1): the register writes are already done — exactly the
+    //    paper's "both poised on the same object" situation.
+    let at_critical = replay(&stack_system, &critical.schedule);
+    for p in 0..2 {
+        assert_eq!(
+            at_critical.programs[p].state_key(),
+            Value::Int(1),
+            "p{p} is poised to pop"
+        );
+    }
+
+    // 3. Fig. 8(a): the poised pops commute on the object state. Apply in
+    //    both orders, crash p1, and compare what p1's recovery run can
+    //    see: shared memory is identical.
+    let mut branch_a = at_critical.clone(); // p1's pop first
+    branch_a.step(0);
+    branch_a.step(1);
+    let mut branch_b = at_critical.clone(); // p2's pop first
+    branch_b.step(1);
+    branch_b.step(0);
+    assert_eq!(
+        branch_a.mem.state_key(),
+        branch_b.mem.state_key(),
+        "the two pops commute on shared state"
+    );
+    branch_a.crash(0);
+    branch_b.crash(0);
+
+    // 4. p1's recovery run decides the same value in both branches —
+    //    it cannot distinguish them (same shared memory, same wiped local
+    //    state).
+    let x_a = branch_a.run_solo(0, 100);
+    let x_b = branch_b.run_solo(0, 100);
+    assert_eq!(x_a, x_b, "p1 cannot distinguish the branches (Lemma 15)");
+
+    // 5. The contradiction materialized: one branch was committed to a
+    //    different value than x. Finish that branch and observe the
+    //    agreement violation the paper's argument predicts for any
+    //    "correct" stack RC protocol.
+    let mut violations = 0;
+    for (branch, first_step) in [(&mut branch_a, 0usize), (&mut branch_b, 1usize)] {
+        let committed_value = critical
+            .commitments
+            .iter()
+            .find(|(p, _)| *p == first_step)
+            .map(|(_, v)| v.clone())
+            .expect("commitment recorded");
+        let y = branch.run_solo(1, 100); // p2 finishes its run
+        let outputs = [branch.decided[0].clone().expect("p1 decided"), y.clone()];
+        if outputs[0] != outputs[1] || outputs[0] != committed_value {
+            violations += 1;
+        }
+    }
+    assert!(
+        violations > 0,
+        "the crash must force a violation in at least one branch"
+    );
+}

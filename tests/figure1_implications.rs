@@ -1,0 +1,149 @@
+//! Property-based validation of the paper's Figure 1 on *random*
+//! deterministic types.
+//!
+//! Figure 1's implications are theorems quantified over all deterministic
+//! (readable) types; the strongest empirical check short of the proofs is
+//! to sample the space of finite deterministic types uniformly and test
+//! every implication on each sample:
+//!
+//! * Observation 5: *n*-recording ⟹ *n*-discerning;
+//! * Observation 6: *n*-recording ⟹ (*n*−1)-recording (n ≥ 3);
+//! * Theorem 16:    *n*-discerning ⟹ (*n*−2)-recording (n ≥ 4);
+//! * Proposition 18: 3-discerning ⟹ 2-recording;
+//! * Theorems 8 + Prop. 30: an *n*-recording witness yields an RC
+//!   algorithm — executed and checked under crashing schedules.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rc_core::algorithms::build_tournament_rc;
+use rc_core::{find_recording_witness, is_discerning, is_recording};
+use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
+use rc_runtime::verify::check_consensus_execution;
+use rc_runtime::{run, RunOptions};
+use rc_spec::random::{random_table_type, RandomTypeConfig};
+use rc_spec::{TableType, Value};
+use std::sync::Arc;
+
+fn sample_type(seed: u64, states: usize, ops: usize, resps: usize) -> TableType {
+    random_table_type(
+        &mut StdRng::seed_from_u64(seed),
+        RandomTypeConfig {
+            num_states: states,
+            num_ops: ops,
+            num_responses: resps,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Observation 5: n-recording ⟹ n-discerning, for n = 2, 3, 4.
+    #[test]
+    fn recording_implies_discerning(
+        seed in any::<u64>(),
+        states in 2usize..5,
+        ops in 1usize..3,
+        resps in 1usize..3,
+    ) {
+        let ty = sample_type(seed, states, ops, resps);
+        for n in 2..=4usize {
+            if is_recording(&ty, n) {
+                prop_assert!(
+                    is_discerning(&ty, n),
+                    "{}-recording type must be {n}-discerning", n
+                );
+            }
+        }
+    }
+
+    /// Observation 6: n-recording ⟹ (n−1)-recording for n ≥ 3
+    /// (checked without the monotone-scan shortcut).
+    #[test]
+    fn recording_is_downward_closed(
+        seed in any::<u64>(),
+        states in 2usize..5,
+        ops in 1usize..3,
+        resps in 1usize..3,
+    ) {
+        let ty = sample_type(seed, states, ops, resps);
+        for n in 3..=4usize {
+            if is_recording(&ty, n) {
+                prop_assert!(is_recording(&ty, n - 1));
+            }
+        }
+    }
+
+    /// Theorem 16: n-discerning ⟹ (n−2)-recording for n ≥ 4, and
+    /// Proposition 18: 3-discerning ⟹ 2-recording.
+    #[test]
+    fn discerning_implies_recording_two_below(
+        seed in any::<u64>(),
+        states in 2usize..5,
+        ops in 1usize..3,
+        resps in 1usize..3,
+    ) {
+        let ty = sample_type(seed, states, ops, resps);
+        if is_discerning(&ty, 4) {
+            prop_assert!(is_recording(&ty, 2), "Theorem 16 at n = 4");
+        }
+        if is_discerning(&ty, 3) {
+            prop_assert!(is_recording(&ty, 2), "Proposition 18");
+        }
+    }
+
+    /// Discerning is downward closed as well (the analogue of Obs. 6).
+    #[test]
+    fn discerning_is_downward_closed(
+        seed in any::<u64>(),
+        states in 2usize..5,
+        ops in 1usize..3,
+        resps in 1usize..3,
+    ) {
+        let ty = sample_type(seed, states, ops, resps);
+        for n in 3..=4usize {
+            if is_discerning(&ty, n) {
+                prop_assert!(is_discerning(&ty, n - 1));
+            }
+        }
+    }
+
+    /// Theorem 8 + Proposition 30, executed: whenever a random type has a
+    /// 2- or 3-recording witness, the Fig. 2 tournament built from that
+    /// witness solves RC on crashing schedules.
+    #[test]
+    fn recording_witnesses_actually_solve_rc(
+        seed in any::<u64>(),
+        states in 2usize..5,
+        ops in 1usize..3,
+    ) {
+        let ty = sample_type(seed, states, ops, 2);
+        for n in 2..=3usize {
+            let Some(witness) = find_recording_witness(&ty, n) else {
+                continue;
+            };
+            let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+            for sched_seed in 0..20u64 {
+                let (mut mem, mut programs) =
+                    build_tournament_rc(Arc::new(ty.clone()), &witness, &inputs);
+                let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+                    seed: sched_seed,
+                    crash_prob: 0.25,
+                    max_crashes: 3,
+                    simultaneous: false,
+                    crash_after_decide: true,
+                });
+                let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+                let verdict = check_consensus_execution(&exec, &inputs);
+                prop_assert!(
+                    verdict.is_ok(),
+                    "type {:?} witness {} violated RC: {:?}",
+                    ty,
+                    witness.assignment,
+                    verdict
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The introduction's input-register transformation, applied to a whole RC
+//! algorithm: even if a process's nominal input *changes* between runs
+//! (which the paper's stable-input assumption forbids), the masked
+//! algorithm still satisfies agreement and validity with respect to
+//! first-run inputs.
+
+use rc_core::algorithms::{
+    alloc_team_rc, InnerMaker, InputMasked, TeamRc, TeamRcConfig,
+};
+use rc_core::{check_recording, Assignment};
+use rc_runtime::sched::{Action, Scheduler};
+use rc_runtime::{Memory, Program, Step};
+use rc_spec::types::Sn;
+use rc_spec::{TypeHandle, Value};
+use std::sync::Arc;
+
+/// Drives a system manually so that crashed processes can be rebuilt with
+/// *different* nominal inputs — the hazard the masking defends against.
+fn run_with_changing_inputs(seed: u64) -> Vec<Value> {
+    let n = 3;
+    let sn: TypeHandle = Arc::new(Sn::new(n));
+    let witness = check_recording(
+        &sn,
+        &Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]),
+    )
+    .expect("S_3 witness");
+    let config = TeamRcConfig::new(sn, &witness);
+
+    let mut mem = Memory::new();
+    let shared = alloc_team_rc(&mut mem, &config);
+    let mask_regs: Vec<_> = (0..n).map(|_| InputMasked::alloc_register(&mut mem)).collect();
+
+    // Teams: slot 0 = A, slots 1–2 = B. Team consensus precondition holds
+    // for the FIRST-run inputs (A: 100; B: 200); later nominal inputs are
+    // garbage that masking must suppress.
+    let first_inputs = [Value::Int(100), Value::Int(200), Value::Int(200)];
+    let make = |slot: usize, nominal: Value| -> Box<dyn Program> {
+        let config = config.clone();
+        let inner: InnerMaker = Arc::new(move |masked| {
+            Box::new(TeamRc::new(config.clone(), shared, slot, masked)) as Box<dyn Program>
+        });
+        Box::new(InputMasked::new(mask_regs[slot], nominal, inner))
+    };
+
+    let mut programs: Vec<Box<dyn Program>> =
+        (0..n).map(|slot| make(slot, first_inputs[slot].clone())).collect();
+
+    let mut sched = rc_runtime::sched::RandomScheduler::new(
+        rc_runtime::sched::RandomSchedulerConfig {
+            seed,
+            crash_prob: 0.25,
+            max_crashes: 4,
+            simultaneous: false,
+            crash_after_decide: true,
+        },
+    );
+    let mut decided: Vec<Option<Value>> = vec![None; n];
+    let mut outputs = Vec::new();
+    let mut steps = 0usize;
+    let mut crashes = 0usize;
+    loop {
+        let flags: Vec<bool> = decided.iter().map(Option::is_some).collect();
+        let ctx = rc_runtime::sched::SchedContext {
+            n,
+            decided: &flags,
+            steps_taken: steps,
+            crashes_injected: crashes,
+        };
+        let Some(action) = sched.next_action(&ctx) else {
+            break;
+        };
+        match action {
+            Action::Step(p) => {
+                if decided[p].is_some() {
+                    continue;
+                }
+                steps += 1;
+                if let Step::Decided(v) = programs[p].step(&mut mem) {
+                    outputs.push(v.clone());
+                    decided[p] = Some(v);
+                }
+            }
+            Action::Crash(p) => {
+                crashes += 1;
+                decided[p] = None;
+                // If the process already persisted its masked input, the
+                // environment hands the recovered process GARBAGE — the
+                // masking register must override it. (If it crashed before
+                // persisting, the environment re-supplies the real input:
+                // the transformation defines the effective input as the
+                // first persisted value, and the team-consensus
+                // precondition is about effective inputs.)
+                let nominal = if mem.peek(mask_regs[p]).is_bottom() {
+                    first_inputs[p].clone()
+                } else {
+                    Value::Int(999)
+                };
+                programs[p] = make(p, nominal);
+            }
+            Action::CrashAll => {}
+        }
+        assert!(steps < 100_000, "runaway execution");
+    }
+    outputs
+}
+
+#[test]
+fn masking_preserves_rc_despite_changing_inputs() {
+    for seed in 0..80 {
+        let outputs = run_with_changing_inputs(seed);
+        assert!(!outputs.is_empty());
+        let first = &outputs[0];
+        assert!(
+            outputs.iter().all(|v| v == first),
+            "seed {seed}: agreement violated: {outputs:?}"
+        );
+        // Validity w.r.t. effective (first-persisted) inputs: the garbage
+        // nominal value 999 is only ever supplied to processes whose mask
+        // is already persisted, so it must NEVER leak into an output.
+        assert!(
+            [Value::Int(100), Value::Int(200)].contains(first),
+            "seed {seed}: garbage input leaked: {first}"
+        );
+    }
+}

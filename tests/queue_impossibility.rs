@@ -1,0 +1,160 @@
+//! Appendix H's closing remark, executed: *"A similar argument could be
+//! used to show that rcons(queue) = 1."*
+//!
+//! Mirrors `stack_impossibility.rs` for the FIFO queue: the classic
+//! 2-process queue consensus protocol (queue preloaded with a winner token
+//! in front of a loser token; whoever dequeues the winner token wins) is
+//! exhaustively correct under halting failures, and its recoverable
+//! extensions are defeated by the crash adversary — a crashed process
+//! loses its dequeue response and re-dequeuing destroys the record.
+//! The `E_A` adversary of Theorem 14 (only `p_1` crashes, crashes bounded
+//! by others' steps) is enough: the violations below live inside `E_A`.
+
+use rc_runtime::sched::BudgetedCrashScheduler;
+use rc_runtime::{explore, run, ExploreConfig, MemOps, Memory, Program, RunOptions, Step};
+use rc_spec::types::Queue;
+use rc_spec::{Operation, Value};
+use std::sync::Arc;
+
+const WINNER: i64 = 1;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BottomMeans {
+    Won,
+    Lost,
+}
+
+#[derive(Clone, Debug)]
+struct QueueConsensus {
+    queue: rc_runtime::Addr,
+    my_reg: rc_runtime::Addr,
+    other_reg: rc_runtime::Addr,
+    input: Value,
+    policy: BottomMeans,
+    pc: u8,
+}
+
+impl Program for QueueConsensus {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        match self.pc {
+            0 => {
+                mem.write_register(self.my_reg, self.input.clone());
+                self.pc = 1;
+                Step::Running
+            }
+            1 => {
+                let got = mem.apply(self.queue, &Operation::nullary("deq"));
+                let won = match got {
+                    Value::Int(WINNER) => true,
+                    Value::Int(_) => false,
+                    Value::Bottom => self.policy == BottomMeans::Won,
+                    other => panic!("unexpected queue content {other}"),
+                };
+                self.pc = if won { 2 } else { 3 };
+                Step::Running
+            }
+            2 => Step::Decided(self.input.clone()),
+            _ => Step::Decided(mem.read_register(self.other_reg)),
+        }
+    }
+    fn on_crash(&mut self) {
+        self.pc = 0;
+    }
+    fn state_key(&self) -> Value {
+        Value::Int(i64::from(self.pc))
+    }
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+fn system(policy: BottomMeans) -> (Memory, Vec<Box<dyn Program>>) {
+    let mut mem = Memory::new();
+    // Queue preloaded [winner, loser] (winner at the FRONT — dequeued
+    // first, unlike the stack where the winner sits on top).
+    let queue = mem.alloc_object(
+        Arc::new(Queue::new(4, 2)),
+        Value::List(vec![Value::Int(WINNER), Value::Int(0)]),
+    );
+    let regs = [
+        mem.alloc_register(Value::Bottom),
+        mem.alloc_register(Value::Bottom),
+    ];
+    let programs: Vec<Box<dyn Program>> = (0..2)
+        .map(|i| {
+            Box::new(QueueConsensus {
+                queue,
+                my_reg: regs[i],
+                other_reg: regs[1 - i],
+                input: Value::Int(i as i64 + 20),
+                policy,
+                pc: 0,
+            }) as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs)
+}
+
+fn inputs() -> Vec<Value> {
+    vec![Value::Int(20), Value::Int(21)]
+}
+
+#[test]
+fn queue_consensus_is_correct_under_halting_failures() {
+    for policy in [BottomMeans::Won, BottomMeans::Lost] {
+        let outcome = explore(
+            &|| system(policy),
+            &ExploreConfig {
+                crash_budget: 0,
+                inputs: Some(inputs()),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_verified(), "{policy:?}: {outcome:?}");
+    }
+}
+
+#[test]
+fn crash_adversary_defeats_both_queue_policies() {
+    for (policy, budget) in [(BottomMeans::Lost, 1), (BottomMeans::Won, 2)] {
+        let outcome = explore(
+            &|| system(policy),
+            &ExploreConfig {
+                crash_budget: budget,
+                inputs: Some(inputs()),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(
+            outcome.is_violation(),
+            "{policy:?} must break with {budget} crash(es): {outcome:?}"
+        );
+    }
+}
+
+/// The violations live inside the paper's execution class `E_A`: random
+/// `E_A` schedules (only p1 crashes, prefix-bounded) find them too.
+#[test]
+fn violations_found_inside_e_a() {
+    let mut found = 0usize;
+    for seed in 0..400u64 {
+        let (mut mem, mut programs) = system(BottomMeans::Lost);
+        let mut sched = BudgetedCrashScheduler::new(0, 0.3, seed);
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        if !exec.all_decided {
+            continue;
+        }
+        let outputs = exec.all_outputs();
+        let disagree = outputs.windows(2).any(|w| w[0] != w[1]);
+        let invalid = outputs.iter().any(|v| !inputs().contains(v));
+        if disagree || invalid {
+            found += 1;
+        }
+    }
+    assert!(
+        found > 0,
+        "the E_A adversary must stumble on a violation within 400 seeds"
+    );
+    // Sanity: the budget invariant held throughout (checked inside the
+    // scheduler's own tests; here we just confirm the run used crashes).
+}

@@ -1,0 +1,256 @@
+//! Appendix H, executed: `rcons(stack) = 1` while `cons(stack) = 2`.
+//!
+//! The impossibility proof (Fig. 8) is a valency argument over *all*
+//! possible algorithms; what can be executed is its two constructive
+//! ingredients:
+//!
+//! 1. the classic 2-process stack consensus protocol works under halting
+//!    failures (so `cons(stack) ≥ 2` — Herlihy), verified exhaustively;
+//! 2. the natural recoverable extensions of that protocol are broken by
+//!    the crash adversary: the model checker finds agreement/validity
+//!    violations for *both* ways of interpreting a ⊥-pop, exactly in the
+//!    spirit of the Fig. 8 case analysis (a crashed process's lost pop
+//!    response cannot be recovered, and re-popping destroys the record).
+
+use rc_runtime::{explore, ExploreConfig, MemOps, Memory, Program, Step};
+use rc_spec::types::Stack;
+use rc_spec::{Operation, Value};
+use std::sync::Arc;
+
+/// What a process concludes when its pop returns ⊥ (empty stack) — a case
+/// the crash-free protocol never hits, so any recoverable extension must
+/// pick an interpretation. Fig. 8 shows every choice loses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BottomMeans {
+    /// Treat ⊥ as "I won": decide own input.
+    Won,
+    /// Treat ⊥ as "I lost": decide the other process's input.
+    Lost,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pc {
+    WriteOwnReg,
+    Pop,
+    ReadOtherReg,
+    DecideOwn,
+}
+
+/// The classic 2-process stack consensus protocol (stack preloaded with a
+/// loser token below a winner token; whoever pops the winner token wins),
+/// naively re-run after crashes.
+#[derive(Clone, Debug)]
+struct StackConsensus {
+    stack: rc_runtime::Addr,
+    my_reg: rc_runtime::Addr,
+    other_reg: rc_runtime::Addr,
+    input: Value,
+    policy: BottomMeans,
+    pc: Pc,
+}
+
+const LOSER: i64 = 0;
+const WINNER: i64 = 1;
+
+impl Program for StackConsensus {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        match self.pc {
+            Pc::WriteOwnReg => {
+                mem.write_register(self.my_reg, self.input.clone());
+                self.pc = Pc::Pop;
+                Step::Running
+            }
+            Pc::Pop => {
+                let popped = mem.apply(self.stack, &Operation::nullary("pop"));
+                match popped {
+                    Value::Int(WINNER) => {
+                        self.pc = Pc::DecideOwn;
+                        Step::Running
+                    }
+                    Value::Int(LOSER) => {
+                        self.pc = Pc::ReadOtherReg;
+                        Step::Running
+                    }
+                    Value::Bottom => match self.policy {
+                        BottomMeans::Won => {
+                            self.pc = Pc::DecideOwn;
+                            Step::Running
+                        }
+                        BottomMeans::Lost => {
+                            self.pc = Pc::ReadOtherReg;
+                            Step::Running
+                        }
+                    },
+                    other => panic!("unexpected stack content {other}"),
+                }
+            }
+            Pc::ReadOtherReg => Step::Decided(mem.read_register(self.other_reg)),
+            Pc::DecideOwn => Step::Decided(self.input.clone()),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.pc = Pc::WriteOwnReg;
+    }
+
+    fn state_key(&self) -> Value {
+        Value::Int(match self.pc {
+            Pc::WriteOwnReg => 0,
+            Pc::Pop => 1,
+            Pc::ReadOtherReg => 2,
+            Pc::DecideOwn => 3,
+        })
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+fn system(policy: BottomMeans) -> (Memory, Vec<Box<dyn Program>>) {
+    let mut mem = Memory::new();
+    // Stack preloaded [loser, winner] (winner on top).
+    let stack = mem.alloc_object(
+        Arc::new(Stack::new(4, 2)),
+        Value::List(vec![Value::Int(LOSER), Value::Int(WINNER)]),
+    );
+    let regs = [
+        mem.alloc_register(Value::Bottom),
+        mem.alloc_register(Value::Bottom),
+    ];
+    let programs: Vec<Box<dyn Program>> = (0..2)
+        .map(|i| {
+            Box::new(StackConsensus {
+                stack,
+                my_reg: regs[i],
+                other_reg: regs[1 - i],
+                input: Value::Int(i as i64 + 10),
+                policy,
+                pc: Pc::WriteOwnReg,
+            }) as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs)
+}
+
+fn inputs() -> Vec<Value> {
+    vec![Value::Int(10), Value::Int(11)]
+}
+
+#[test]
+fn stack_consensus_is_correct_under_halting_failures() {
+    // cons(stack) ≥ 2: exhaustively verified with zero crashes. (Halting
+    // is subsumed: every prefix where a process stops is explored.)
+    for policy in [BottomMeans::Won, BottomMeans::Lost] {
+        let outcome = explore(
+            &|| system(policy),
+            &ExploreConfig {
+                crash_budget: 0,
+                inputs: Some(inputs()),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_verified(), "{policy:?}: {outcome:?}");
+    }
+}
+
+#[test]
+fn crash_adversary_defeats_bottom_means_lost() {
+    // One crash suffices: p1 pops the winner token, crashes (losing the
+    // response), re-runs and pops the loser token — while nobody else took
+    // a step — and decides the other's unwritten register (⊥) or, once the
+    // other writes, the other's value while the other also claims victory.
+    let outcome = explore(
+        &|| system(BottomMeans::Lost),
+        &ExploreConfig {
+            crash_budget: 1,
+            inputs: Some(inputs()),
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(
+        outcome.is_violation(),
+        "Fig. 8: the lost pop response cannot be recovered: {outcome:?}"
+    );
+}
+
+#[test]
+fn crash_adversary_defeats_bottom_means_won() {
+    // The other interpretation needs two crashes: p1 pops both tokens
+    // across two crashed runs; both processes then see ⊥ and both decide
+    // their own input.
+    let outcome = explore(
+        &|| system(BottomMeans::Won),
+        &ExploreConfig {
+            crash_budget: 2,
+            inputs: Some(inputs()),
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(
+        outcome.is_violation(),
+        "Fig. 8: re-popping destroys the record: {outcome:?}"
+    );
+}
+
+#[test]
+fn fig8_case_analysis_on_the_bounded_stack() {
+    // The commute/overwrite structure used by the Fig. 8 cases.
+    use rc_core::analysis::{commutes, overwrites};
+    let s = Stack::new(4, 2);
+    let pop = Operation::nullary("pop");
+    let push = |v: i64| Operation::new("push", Value::Int(v));
+    // (a) two Pops commute.
+    let q = Value::List(vec![Value::Int(0), Value::Int(1)]);
+    assert!(commutes(&s, &q, &pop, &pop));
+    // (b) Push overwrites Pop on the empty stack.
+    assert!(overwrites(&s, &Value::empty_list(), &push(1), &pop));
+    // (c)–(f) involve crashes of p1 plus solo runs; their executable form
+    // is the crash_adversary tests above.
+}
+
+#[test]
+fn stack_is_structurally_recording_but_not_readable() {
+    // The resolution of the apparent paradox (see rc-spec's Stack docs):
+    // Definition 4 holds for the stack at every level, but without a Read
+    // operation Theorem 8 cannot convert the witness into an algorithm.
+    use rc_core::is_recording;
+    use rc_spec::ObjectType;
+    let s = Stack::new(3, 2);
+    assert!(!s.is_readable());
+    assert!(is_recording(&s, 2));
+    assert!(is_recording(&s, 3));
+}
+
+#[test]
+fn adding_read_turns_the_stack_into_a_universal_object() {
+    // The foil: a stack WITH a Read operation is a write-once log — the
+    // push-only recording witness becomes observable without destruction,
+    // Theorem 8 applies, and the readable stack solves RC at (up to
+    // capacity) any level. Executed: 3-process RC under crashes.
+    use rc_core::algorithms::build_tournament_rc;
+    use rc_core::find_recording_witness;
+    use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
+    use rc_runtime::verify::check_consensus_execution;
+    use rc_runtime::{run, RunOptions};
+    use rc_spec::types::ReadableStack;
+    use rc_spec::{ObjectType, TypeHandle};
+
+    let rs: TypeHandle = Arc::new(ReadableStack::new(4, 2));
+    assert!(rs.is_readable());
+    let witness = find_recording_witness(&rs, 3).expect("push-only witness");
+    let inputs = vec![Value::Int(10), Value::Int(11), Value::Int(12)];
+    for seed in 0..50 {
+        let (mut mem, mut programs) = build_tournament_rc(rs.clone(), &witness, &inputs);
+        let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+            seed,
+            crash_prob: 0.2,
+            max_crashes: 4,
+            simultaneous: false,
+            crash_after_decide: true,
+        });
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        check_consensus_execution(&exec, &inputs)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Theorem 1, executed: with **simultaneous** crashes, recoverable
+//! consensus is exactly as hard as consensus — the Fig. 4 transformation
+//! turns *any* consensus algorithm into a simultaneous-crash RC algorithm.
+//!
+//! The headline composition: `T_4` cannot solve 4-process RC under
+//! *independent* crashes (Corollary 20), yet Fig. 4 over Theorem 3's
+//! `T_4` consensus solves 4-process RC under *simultaneous* crashes —
+//! the two crash models genuinely differ.
+
+use rc_core::algorithms::{
+    build_simultaneous_rc_system, discerning_consensus_factory, ConsensusObjectFactory,
+};
+use rc_core::{check_discerning, Assignment};
+use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
+use rc_runtime::verify::check_consensus_execution;
+use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+use rc_spec::types::Tn;
+use rc_spec::Value;
+
+fn inputs(n: usize) -> Vec<Value> {
+    (0..n as i64).map(Value::Int).collect()
+}
+
+#[test]
+fn fig4_on_consensus_objects_survives_simultaneous_crashes() {
+    let factory = ConsensusObjectFactory { domain: 8 };
+    let inputs = inputs(5);
+    for seed in 0..200 {
+        let (mut mem, mut programs) = build_simultaneous_rc_system(&factory, &inputs, 10);
+        let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+            seed,
+            crash_prob: 0.04,
+            max_crashes: 6,
+            simultaneous: true,
+            crash_after_decide: true,
+        });
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        check_consensus_execution(&exec, &inputs)
+            .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+    }
+}
+
+#[test]
+fn fig4_over_t4_consensus_solves_simultaneous_rc() {
+    // The Theorem 1 ⇐ direction for a concrete type at its full level:
+    // cons(T_4) = 4, so 4-process RC is solvable under simultaneous
+    // crashes using T_4 — even though rcons(T_4) ≤ 3 for independent
+    // crashes.
+    let n = 4;
+    let tn = Tn::new(n);
+    let witness = check_discerning(
+        &tn,
+        &Assignment::split(
+            Tn::forget_state(),
+            vec![Tn::op_a(); n / 2],
+            vec![Tn::op_b(); n.div_ceil(2)],
+        ),
+    )
+    .expect("T_n is n-discerning");
+    let factory = discerning_consensus_factory(std::sync::Arc::new(tn), witness);
+    let inputs = inputs(n);
+    for seed in 0..100 {
+        let (mut mem, mut programs) = build_simultaneous_rc_system(&factory, &inputs, 8);
+        let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+            seed,
+            crash_prob: 0.02,
+            max_crashes: 4,
+            simultaneous: true,
+            crash_after_decide: true,
+        });
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        check_consensus_execution(&exec, &inputs)
+            .unwrap_or_else(|e| panic!("seed={seed}: {e}\ntrace:\n{}", exec.trace));
+    }
+}
+
+#[test]
+fn fig4_model_checked_with_two_processes() {
+    let factory = ConsensusObjectFactory { domain: 4 };
+    let inputs = inputs(2);
+    let outcome = explore(
+        &|| build_simultaneous_rc_system(&factory, &inputs, 5),
+        &ExploreConfig {
+            crash_budget: 2,
+            simultaneous: true,
+            crash_after_decide: true,
+            inputs: Some(inputs.clone()),
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(outcome.is_verified(), "{outcome:?}");
+}
+
+/// The independent-crash hunt (E3 ablation), part 1: *safety*.
+///
+/// Theory (Theorem 14 + Proposition 19) guarantees that no algorithm —
+/// including Fig. 4 over T_4 consensus — solves 4-process RC under
+/// independent crashes. Interestingly, the property Fig. 4 loses under
+/// independent crashes is **not** agreement or validity: the `Round[j]`
+/// guard (Lemma 27) ensures each consensus instance sees every process at
+/// most once even across independent crash/recoveries, and the
+/// write-D-then-scan-Round handshake of Lemma 29 does not use
+/// simultaneity, so safety carries over. This randomized hunt documents
+/// that: zero safety violations are expected (and found).
+///
+/// What breaks is *recoverable wait-freedom* — see
+/// [`independent_adversary_starves_a_run`], part 2 of this experiment.
+#[test]
+fn fig4_over_t4_under_independent_crashes_hunt() {
+    let n = 4;
+    let tn = Tn::new(n);
+    let witness = check_discerning(
+        &tn,
+        &Assignment::split(
+            Tn::forget_state(),
+            vec![Tn::op_a(); n / 2],
+            vec![Tn::op_b(); n.div_ceil(2)],
+        ),
+    )
+    .expect("T_n is n-discerning");
+    let factory = discerning_consensus_factory(std::sync::Arc::new(tn), witness);
+    let inputs = inputs(n);
+    let mut violations = 0usize;
+    for seed in 0..100 {
+        let (mut mem, mut programs) = build_simultaneous_rc_system(&factory, &inputs, 10);
+        let mut sched = RandomScheduler::new(RandomSchedulerConfig {
+            seed,
+            crash_prob: 0.05,
+            max_crashes: 6,
+            simultaneous: false, // independent crashes!
+            crash_after_decide: true,
+        });
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        if check_consensus_execution(&exec, &inputs).is_err() {
+            violations += 1;
+        }
+    }
+    // Safety genuinely holds (see the doc comment); record the zero.
+    println!("independent-crash hunt: {violations}/100 random schedules violated RC");
+    assert_eq!(violations, 0, "Fig. 4's safety survives independent crashes");
+}
+
+/// The independent-crash hunt, part 2: *liveness* is what breaks.
+///
+/// Under independent crashes the adversary can crash one process over and
+/// over; each recovery climbs one round higher (its `Round[j]` entry only
+/// grows), and a process that never crashes keeps failing the line-44
+/// scan and is dragged through round after round without ever deciding —
+/// an arbitrarily long crash-free run, violating recoverable wait-freedom
+/// in the limit. Under **simultaneous** crashes this adversary does not
+/// exist: every crash also ends the chaser's run (it "crashes" rather
+/// than running forever), which is exactly why Theorem 1 holds there.
+///
+/// This test builds the chase for a concrete budget: every crash of p0
+/// forces p1 at least one round higher, with p1 never crashing and never
+/// deciding. Once the crashes stop, everyone terminates (Lemma 25).
+#[test]
+fn independent_adversary_starves_a_run() {
+    use rc_core::algorithms::{alloc_simultaneous_rc, SimultaneousRc};
+    use rc_runtime::{Memory, Program, Step};
+
+    let n = 2;
+    let crash_budget = 12;
+    let factory = ConsensusObjectFactory { domain: 4 };
+    let mut mem = Memory::new();
+    let shared = alloc_simultaneous_rc(&mut mem, &factory, n, crash_budget + 4);
+    let round_reg_p0 = shared.round_regs[0];
+    let mut p0 = SimultaneousRc::new(shared.clone(), 0, n, Value::Int(0));
+    let mut p1 = SimultaneousRc::new(shared.clone(), 1, n, Value::Int(1));
+
+    let mut p0_outputs: Vec<Value> = Vec::new();
+    let mut crashes_used = 0usize;
+    while crashes_used < crash_budget {
+        // Adversary phase 1: run p0 (crashing it whenever its current run
+        // decides) until its Round entry is strictly ahead of p1's round.
+        // Each extra round costs the adversary exactly one crash.
+        let mut guard = 0;
+        while mem.peek(round_reg_p0).as_int().expect("int") <= p1.current_round() as i64 {
+            if let Step::Decided(v) = p0.step(&mut mem) {
+                p0_outputs.push(v);
+                p0.on_crash();
+                crashes_used += 1;
+                if crashes_used >= crash_budget {
+                    break;
+                }
+            }
+            guard += 1;
+            assert!(guard < 100_000, "p0 failed to advance its round");
+        }
+        if crashes_used >= crash_budget {
+            break;
+        }
+
+        // Adversary phase 2: p1 runs alone and crash-free. Its line-44
+        // scan reads Round[0] first, sees p0 ahead, and climbs — it can
+        // never decide while the adversary keeps p0 in front.
+        let target = p1.current_round() + 1;
+        let mut guard = 0;
+        while p1.current_round() < target {
+            match p1.step(&mut mem) {
+                Step::Decided(_) => {
+                    panic!("p1 decided although p0's Round was ahead")
+                }
+                Step::Running => {}
+            }
+            guard += 1;
+            assert!(guard < 100_000, "p1 stopped making progress");
+        }
+    }
+    assert!(
+        p1.current_round() + 2 >= crash_budget,
+        "each crash of p0 drags the never-crashing p1 about one round \
+         higher: p1 reached round {} after {crash_budget} crashes",
+        p1.current_round()
+    );
+
+    // The adversary stops: both processes now terminate (Lemma 25) and
+    // every output — including p0's earlier per-run outputs — agrees.
+    let mut outputs = p0_outputs;
+    for p in [&mut p0, &mut p1] {
+        let mut guard = 0;
+        loop {
+            if let Step::Decided(v) = p.step(&mut mem) {
+                outputs.push(v);
+                break;
+            }
+            guard += 1;
+            assert!(guard < 100_000, "no decision after crashes stopped");
+        }
+    }
+    let first = outputs[0].clone();
+    assert!(
+        outputs.iter().all(|v| *v == first),
+        "agreement across all runs once crashes stop: {outputs:?}"
+    );
+}

@@ -1,0 +1,66 @@
+//! The same algorithm state machines on real OS threads with real locks:
+//! a sanity check that correctness does not depend on the deterministic
+//! simulator's scheduling.
+
+use rc_core::algorithms::build_tournament_rc;
+use rc_core::find_recording_witness;
+use rc_runtime::threaded::{run_threaded, SharedMemory, ThreadedCrashPlan};
+use rc_spec::types::Cas;
+use rc_spec::{TypeHandle, Value};
+use std::sync::Arc;
+
+#[test]
+fn tournament_rc_on_cas_across_real_threads() {
+    let cas: TypeHandle = Arc::new(Cas::new(2));
+    let witness = find_recording_witness(&cas, 6).expect("CAS records at level 6");
+    let inputs: Vec<Value> = (0..6).map(|i| Value::Int(i64::from(i % 2))).collect();
+    for round in 0..10 {
+        let (mem, programs) = build_tournament_rc(cas.clone(), &witness, &inputs);
+        let shared = SharedMemory::from_memory(&mem);
+        let reports = run_threaded(
+            &shared,
+            programs,
+            ThreadedCrashPlan {
+                seed: round,
+                crash_prob: 0.1,
+                max_crashes_per_thread: 3,
+            },
+            100_000,
+        );
+        let first = &reports[0].output;
+        for r in &reports {
+            assert_eq!(
+                r.output, *first,
+                "round {round}: threads disagreed (p{} after {} crashes)",
+                r.pid, r.crashes
+            );
+        }
+        assert!(
+            inputs.contains(first),
+            "round {round}: decision {first} is not an input"
+        );
+    }
+}
+
+#[test]
+fn threaded_crash_injection_actually_crashes() {
+    let cas: TypeHandle = Arc::new(Cas::new(2));
+    let witness = find_recording_witness(&cas, 4).expect("witness");
+    let inputs: Vec<Value> = (0..4).map(|i| Value::Int(i64::from(i % 2))).collect();
+    let (mem, programs) = build_tournament_rc(cas.clone(), &witness, &inputs);
+    let shared = SharedMemory::from_memory(&mem);
+    let reports = run_threaded(
+        &shared,
+        programs,
+        ThreadedCrashPlan {
+            seed: 424242,
+            crash_prob: 0.8,
+            max_crashes_per_thread: 5,
+        },
+        100_000,
+    );
+    let total_crashes: usize = reports.iter().map(|r| r.crashes).sum();
+    assert!(total_crashes > 0, "the crash plan must fire at this rate");
+    let first = &reports[0].output;
+    assert!(reports.iter().all(|r| r.output == *first));
+}
