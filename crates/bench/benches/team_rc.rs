@@ -29,8 +29,7 @@ fn bench_team_rc(c: &mut Criterion) {
         let (ty, w, inputs) = witness(n);
         group.bench_with_input(BenchmarkId::new("crash_free", n), &n, |b, _| {
             b.iter(|| {
-                let (mut mem, mut programs) =
-                    build_team_rc_system(ty.clone(), &w, &inputs);
+                let (mut mem, mut programs) = build_team_rc_system(ty.clone(), &w, &inputs);
                 let exec = run(&mut mem, &mut programs, &mut RoundRobin::new(), opts);
                 assert!(exec.all_decided);
             })
@@ -39,8 +38,7 @@ fn bench_team_rc(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let (mut mem, mut programs) =
-                    build_team_rc_system(ty.clone(), &w, &inputs);
+                let (mut mem, mut programs) = build_team_rc_system(ty.clone(), &w, &inputs);
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed,
                     crash_prob: 0.2,

@@ -19,13 +19,14 @@ fn bench_tournament(c: &mut Criterion) {
     for n in [2usize, 4, 6, 8] {
         let cas: TypeHandle = Arc::new(Cas::new(2));
         let w = find_recording_witness(&cas, n).expect("CAS records at any level");
-        let inputs: Vec<Value> = (0..n).map(|i| Value::Int(i64::from(i as u32 % 2))).collect();
+        let inputs: Vec<Value> = (0..n)
+            .map(|i| Value::Int(i64::from(i as u32 % 2)))
+            .collect();
         group.bench_with_input(BenchmarkId::new("cas_with_crashes", n), &n, |b, _| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let (mut mem, mut programs) =
-                    build_tournament_rc(cas.clone(), &w, &inputs);
+                let (mut mem, mut programs) = build_tournament_rc(cas.clone(), &w, &inputs);
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed,
                     crash_prob: 0.1,

@@ -60,12 +60,8 @@ fn bench_universal(c: &mut Criterion) {
             b.iter(|| {
                 let (mem, _layout, programs) = build(n, ops_per);
                 let shared = SharedMemory::from_memory(&mem);
-                let reports = run_threaded(
-                    &shared,
-                    programs,
-                    ThreadedCrashPlan::default(),
-                    1_000_000,
-                );
+                let reports =
+                    run_threaded(&shared, programs, ThreadedCrashPlan::default(), 1_000_000);
                 assert_eq!(reports.len(), n);
             })
         });

@@ -8,8 +8,8 @@ use rc_core::algorithms::{
     BrokenTeamRc, ConsensusObjectFactory, TeamRcConfig,
 };
 use rc_core::{
-    check_discerning, check_recording, compute_hierarchy, find_recording_witness,
-    is_discerning, is_recording, set_rcons_bounds, Assignment, RecordingWitness, Team,
+    check_discerning, check_recording, compute_hierarchy, find_recording_witness, is_discerning,
+    is_recording, set_rcons_bounds, Assignment, RecordingWitness, Team,
 };
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
 use rc_runtime::verify::check_consensus_execution;
@@ -150,7 +150,9 @@ pub fn e2_team_rc(seeds: u64) -> String {
     }
     // The broken variant (guard removed) must violate agreement.
     let cas: TypeHandle = Arc::new(Cas::new(2));
-    let w = find_recording_witness(&cas, 3).expect("CAS witness").normalized();
+    let w = find_recording_witness(&cas, 3)
+        .expect("CAS witness")
+        .normalized();
     let w = if w.assignment.team_size(Team::B) >= 2 {
         w
     } else {
@@ -170,8 +172,12 @@ pub fn e2_team_rc(seeds: u64) -> String {
                 .iter()
                 .enumerate()
                 .map(|(slot, input)| {
-                    Box::new(BrokenTeamRc::new(config.clone(), shared, slot, input.clone()))
-                        as Box<dyn Program>
+                    Box::new(BrokenTeamRc::new(
+                        config.clone(),
+                        shared,
+                        slot,
+                        input.clone(),
+                    )) as Box<dyn Program>
                 })
                 .collect();
             (mem, programs)
@@ -485,8 +491,7 @@ pub fn e6_universal(seeds: u64) -> String {
         let sn: TypeHandle = Arc::new(Sn::new(3));
         let witness = find_recording_witness(&sn, 3).expect("S_3 records");
         let factory = rc_core::algorithms::tournament_rc_factory(sn, witness);
-        let workload =
-            rc_universal::Workload::uniform(3, vec![Operation::nullary("inc"); 2]);
+        let workload = rc_universal::Workload::uniform(3, vec![Operation::nullary("inc"); 2]);
         let mut ok = 0usize;
         let runs = seeds.min(25);
         for seed in 0..runs {
@@ -550,7 +555,10 @@ pub fn e7_stack() -> String {
     t.row(&["commute (Fig. 8a)".into(), commute.to_string()]);
     t.row(&["overwrite (Fig. 8b)".into(), overwrite.to_string()]);
     t.row(&["identical effect".into(), same.to_string()]);
-    t.row(&["conflict-free (recording witnesses)".into(), clean.to_string()]);
+    t.row(&[
+        "conflict-free (recording witnesses)".into(),
+        clean.to_string(),
+    ]);
     format!(
         "E7 — the stack (Appendix H): cons(stack) = 2, rcons(stack) = 1.\n{}\
          The conflict-free pairs are push-only witnesses: the stack IS \
@@ -656,7 +664,11 @@ fn e7_valency_summary() -> String {
             .collect::<Vec<_>>()
     )
     .replace("decides Int(", "decides (")
-    + if x_a == x_b { "" } else { "(branches distinguishable?!)" }
+        + if x_a == x_b {
+            ""
+        } else {
+            "(branches distinguishable?!)"
+        }
 }
 
 /// E8 (Corollary 17): the full catalog survey.
@@ -721,7 +733,11 @@ pub fn e9_sets() -> String {
     ];
     for (name, types) in pairs {
         let reports: Vec<_> = types.iter().map(|ty| compute_hierarchy(ty, 6)).collect();
-        let max_lo = reports.iter().map(|r| r.rcons_lower()).max().expect("nonempty");
+        let max_lo = reports
+            .iter()
+            .map(|r| r.rcons_lower())
+            .max()
+            .expect("nonempty");
         let (lo, hi) = set_rcons_bounds(&reports);
         let hi = hi.map_or("∞?".into(), |h| h.to_string());
         t.row(&[name.into(), max_lo.to_string(), format!("[{lo}, {hi}]")]);

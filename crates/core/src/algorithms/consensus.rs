@@ -66,14 +66,8 @@ impl TeamConsensusConfig {
 }
 
 /// Allocates the shared cells for one instance.
-pub fn alloc_team_consensus(
-    mem: &mut Memory,
-    config: &TeamConsensusConfig,
-) -> TeamConsensusShared {
-    let obj = mem.alloc_object(
-        config.ty.clone(),
-        config.witness.assignment.q0.clone(),
-    );
+pub fn alloc_team_consensus(mem: &mut Memory, config: &TeamConsensusConfig) -> TeamConsensusShared {
+    let obj = mem.alloc_object(config.ty.clone(), config.witness.assignment.q0.clone());
     let reg_a = mem.alloc_register(Value::Bottom);
     let reg_b = mem.alloc_register(Value::Bottom);
     TeamConsensusShared { obj, reg_a, reg_b }
@@ -403,9 +397,8 @@ mod tests {
             vec![Operation::new("push", Value::Int(1))],
         );
         let w = check_discerning(&stack, &a).expect("structurally discerning");
-        let result = std::panic::catch_unwind(|| {
-            TeamConsensusConfig::new(Arc::new(Stack::new(3, 2)), w)
-        });
+        let result =
+            std::panic::catch_unwind(|| TeamConsensusConfig::new(Arc::new(Stack::new(3, 2)), w));
         assert!(
             result.is_err(),
             "Theorem 3 must refuse non-readable types like the stack"

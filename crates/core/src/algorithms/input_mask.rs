@@ -106,9 +106,7 @@ impl Program for InputMasked {
             }
             Pc::Run => {
                 let masked = self.masked.clone().expect("set before Run");
-                let inner = self
-                    .inner
-                    .get_or_insert_with(|| (self.make_inner)(masked));
+                let inner = self.inner.get_or_insert_with(|| (self.make_inner)(masked));
                 inner.step(mem)
             }
         }
@@ -129,9 +127,7 @@ impl Program for InputMasked {
         Value::triple(
             Value::Int(pc),
             self.masked.clone().unwrap_or(Value::Bottom),
-            self.inner
-                .as_ref()
-                .map_or(Value::Bottom, |p| p.state_key()),
+            self.inner.as_ref().map_or(Value::Bottom, |p| p.state_key()),
         )
     }
 
@@ -223,18 +219,10 @@ mod tests {
                 pc: 0,
             }) as Box<dyn Program>
         });
-        let mut programs: Vec<Box<dyn Program>> = vec![Box::new(InputMasked::new(
-            reg,
-            Value::Int(7),
-            make_inner,
-        ))];
+        let mut programs: Vec<Box<dyn Program>> =
+            vec![Box::new(InputMasked::new(reg, Value::Int(7), make_inner))];
         let mut sched = ScriptedScheduler::then_finish([Action::Step(0)]);
-        let exec = run(
-            &mut mem,
-            &mut programs,
-            &mut sched,
-            RunOptions::default(),
-        );
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
         assert_eq!(exec.outputs[0], vec![Value::Int(7)]);
     }
 }

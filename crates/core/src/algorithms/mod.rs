@@ -31,6 +31,4 @@ pub use simultaneous::{
 pub use team_rc::{
     alloc_team_rc, build_team_rc_system, BrokenTeamRc, TeamRc, TeamRcConfig, TeamRcShared,
 };
-pub use tournament::{
-    build_tournament_consensus, build_tournament_rc, StageMaker, StagedProgram,
-};
+pub use tournament::{build_tournament_consensus, build_tournament_rc, StageMaker, StagedProgram};

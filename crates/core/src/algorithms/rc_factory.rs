@@ -44,10 +44,7 @@ use std::sync::Arc;
 /// Panics (at instance-allocation time) if a sub-assignment of the witness
 /// fails to verify — impossible for a witness produced by
 /// [`check_recording`].
-pub fn tournament_rc_factory(
-    ty: TypeHandle,
-    witness: RecordingWitness,
-) -> impl ConsensusFactory {
+pub fn tournament_rc_factory(ty: TypeHandle, witness: RecordingWitness) -> impl ConsensusFactory {
     FnConsensusFactory(move |mem: &mut Memory| {
         let n = witness.len();
         let mut stages: Vec<Vec<StageMaker>> = vec![Vec::new(); n];
@@ -228,8 +225,9 @@ mod tests {
         let factory = consensus_object_rc_factory(8);
         let mut mem = Memory::new();
         let maker = factory.alloc_instance(&mut mem);
-        let mut programs: Vec<Box<dyn Program>> =
-            (0..4).map(|pid| maker(pid, Value::Int(pid as i64))).collect();
+        let mut programs: Vec<Box<dyn Program>> = (0..4)
+            .map(|pid| maker(pid, Value::Int(pid as i64)))
+            .collect();
         let mut sched = RandomScheduler::from_seed(3);
         let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
         let inputs: Vec<Value> = (0..4).map(Value::Int).collect();

@@ -198,11 +198,9 @@ impl SimultaneousRc {
     }
 
     fn d_reg(&self, round: usize) -> Addr {
-        *self
-            .shared
-            .d_regs
-            .get(round - 1)
-            .unwrap_or_else(|| panic!("round horizon exceeded: round {round} was never preallocated; raise max_rounds"))
+        *self.shared.d_regs.get(round - 1).unwrap_or_else(|| {
+            panic!("round horizon exceeded: round {round} was never preallocated; raise max_rounds")
+        })
     }
 }
 
@@ -233,10 +231,7 @@ impl Program for SimultaneousRc {
             }
             Pc::WriteRound => {
                 // Line 38.
-                mem.write_register(
-                    self.shared.round_regs[self.pid],
-                    Value::Int(self.r as i64),
-                );
+                mem.write_register(self.shared.round_regs[self.pid], Value::Int(self.r as i64));
                 self.pc = Pc::ReadPrevThen;
                 Step::Running
             }
@@ -336,9 +331,7 @@ impl Program for SimultaneousRc {
             pc,
             Value::Int(self.r as i64),
             self.pref.clone(),
-            self.inner
-                .as_ref()
-                .map_or(Value::Bottom, |p| p.state_key()),
+            self.inner.as_ref().map_or(Value::Bottom, |p| p.state_key()),
         ])
     }
 
@@ -369,8 +362,7 @@ pub fn build_simultaneous_rc_system(
         .iter()
         .enumerate()
         .map(|(pid, input)| {
-            Box::new(SimultaneousRc::new(shared.clone(), pid, n, input.clone()))
-                as Box<dyn Program>
+            Box::new(SimultaneousRc::new(shared.clone(), pid, n, input.clone())) as Box<dyn Program>
         })
         .collect();
     (mem, programs)
@@ -430,8 +422,7 @@ mod tests {
         let factory = ConsensusObjectFactory { domain: 8 };
         let inputs = inputs(4);
         for seed in 0..300 {
-            let (mut mem, mut programs) =
-                build_simultaneous_rc_system(&factory, &inputs, 8);
+            let (mut mem, mut programs) = build_simultaneous_rc_system(&factory, &inputs, 8);
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.05,
@@ -472,9 +463,7 @@ mod tests {
         // Force an out-of-horizon round access.
         p.r = 2;
         p.pc = Pc::WriteD;
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            p.step(&mut mem)
-        }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.step(&mut mem)));
         assert!(result.is_err());
     }
 }

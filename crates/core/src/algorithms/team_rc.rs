@@ -130,12 +130,7 @@ impl TeamRc {
     /// # Panics
     ///
     /// Panics if `slot` is out of range for the witness.
-    pub fn new(
-        config: Arc<TeamRcConfig>,
-        shared: TeamRcShared,
-        slot: usize,
-        input: Value,
-    ) -> Self {
+    pub fn new(config: Arc<TeamRcConfig>, shared: TeamRcShared, slot: usize, input: Value) -> Self {
         assert!(slot < config.witness.len(), "slot out of range");
         TeamRc {
             config,
@@ -272,12 +267,7 @@ pub struct BrokenTeamRc(pub TeamRc);
 
 impl BrokenTeamRc {
     /// Creates the broken routine for witness row `slot`.
-    pub fn new(
-        config: Arc<TeamRcConfig>,
-        shared: TeamRcShared,
-        slot: usize,
-        input: Value,
-    ) -> Self {
+    pub fn new(config: Arc<TeamRcConfig>, shared: TeamRcShared, slot: usize, input: Value) -> Self {
         let mut inner = TeamRc::new(config, shared, slot, input);
         inner.skip_singleton_test = true;
         BrokenTeamRc(inner)
@@ -325,8 +315,7 @@ pub fn build_team_rc_system(
         .iter()
         .enumerate()
         .map(|(slot, input)| {
-            Box::new(TeamRc::new(config.clone(), shared, slot, input.clone()))
-                as Box<dyn Program>
+            Box::new(TeamRc::new(config.clone(), shared, slot, input.clone())) as Box<dyn Program>
         })
         .collect();
     (mem, programs)
@@ -377,8 +366,7 @@ mod tests {
             let (ty, w) = sn_witness(n);
             let inputs = team_inputs(n);
             for seed in 0..200 {
-                let (mut mem, mut programs) =
-                    build_team_rc_system(ty.clone(), &w, &inputs);
+                let (mut mem, mut programs) = build_team_rc_system(ty.clone(), &w, &inputs);
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed,
                     crash_prob: 0.25,
@@ -387,9 +375,8 @@ mod tests {
                     crash_after_decide: true,
                 });
                 let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
-                check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| {
-                    panic!("n={n}, seed={seed}: {e}\ntrace:\n{}", exec.trace)
-                });
+                check_consensus_execution(&exec, &inputs)
+                    .unwrap_or_else(|e| panic!("n={n}, seed={seed}: {e}\ntrace:\n{}", exec.trace));
             }
         }
     }
@@ -430,8 +417,7 @@ mod tests {
                 })
                 .collect();
             for seed in 0..100 {
-                let (mut mem, mut programs) =
-                    build_team_rc_system(ty.clone(), &w, &inputs);
+                let (mut mem, mut programs) = build_team_rc_system(ty.clone(), &w, &inputs);
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed,
                     crash_prob: 0.2,

@@ -20,9 +20,7 @@
 //! The same combinator builds the (non-recoverable) consensus tournament
 //! of Theorem 3 from [`TeamConsensus`](super::TeamConsensus) stages.
 
-use crate::algorithms::consensus::{
-    alloc_team_consensus, TeamConsensus, TeamConsensusConfig,
-};
+use crate::algorithms::consensus::{alloc_team_consensus, TeamConsensus, TeamConsensusConfig};
 use crate::algorithms::team_rc::{alloc_team_rc, TeamRc, TeamRcConfig};
 use crate::discerning::{check_discerning, DiscerningWitness};
 use crate::recording::{check_recording, RecordingWitness};
@@ -134,11 +132,7 @@ fn split_sizes(k: usize, a: usize, b: usize) -> (usize, usize) {
 /// Builds the sub-assignment of `witness_assignment` for `a'` team-A rows
 /// and `b'` team-B rows, returning the row indices used and the new
 /// assignment (A rows first).
-fn sub_assignment(
-    assignment: &Assignment,
-    a_prime: usize,
-    b_prime: usize,
-) -> Assignment {
+fn sub_assignment(assignment: &Assignment, a_prime: usize, b_prime: usize) -> Assignment {
     let a_rows = assignment.members(Team::A);
     let b_rows = assignment.members(Team::B);
     assert!(a_prime <= a_rows.len() && b_prime <= b_rows.len());
@@ -349,8 +343,7 @@ mod tests {
                 &mut RoundRobin::new(),
                 RunOptions::default(),
             );
-            check_consensus_execution(&exec, &inputs)
-                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 
@@ -369,9 +362,8 @@ mod tests {
                     crash_after_decide: true,
                 });
                 let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
-                check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| {
-                    panic!("n={n}, seed={seed}: {e}\ntrace:\n{}", exec.trace)
-                });
+                check_consensus_execution(&exec, &inputs)
+                    .unwrap_or_else(|e| panic!("n={n}, seed={seed}: {e}\ntrace:\n{}", exec.trace));
             }
         }
     }
@@ -415,11 +407,7 @@ mod tests {
     #[test]
     fn tournament_consensus_crash_free_on_tn() {
         let tn = Tn::new(6);
-        let a = Assignment::split(
-            Tn::forget_state(),
-            vec![Tn::op_a(); 3],
-            vec![Tn::op_b(); 3],
-        );
+        let a = Assignment::split(Tn::forget_state(), vec![Tn::op_a(); 3], vec![Tn::op_b(); 3]);
         let w = check_discerning(&tn, &a).expect("T_6 witness");
         let ty: TypeHandle = Arc::new(tn);
         let inputs: Vec<Value> = (0..6).map(|i| Value::Int(i as i64)).collect();

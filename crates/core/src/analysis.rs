@@ -29,7 +29,7 @@ pub fn commutes(ty: &dyn ObjectType, q0: &Value, op_i: &Operation, op_j: &Operat
 /// Whether `op_i` overwrites `op_j` from `q0`: `[op_i]` and `[op_j, op_i]`
 /// take the object from `q0` to the same state.
 pub fn overwrites(ty: &dyn ObjectType, q0: &Value, op_i: &Operation, op_j: &Operation) -> bool {
-    let (s_i, _) = ty.apply_all(q0, &[op_i.clone()]);
+    let (s_i, _) = ty.apply_all(q0, std::slice::from_ref(op_i));
     let (s_ji, _) = ty.apply_all(q0, &[op_j.clone(), op_i.clone()]);
     s_i == s_ji
 }
@@ -73,9 +73,9 @@ pub fn pair_conflicts(
     op_1: &Operation,
     op_2: &Operation,
 ) -> Vec<PairConflict> {
-    let (a1, _) = ty.apply_all(q0, &[op_1.clone()]);
+    let (a1, _) = ty.apply_all(q0, std::slice::from_ref(op_1));
     let (a12, _) = ty.apply_all(q0, &[op_1.clone(), op_2.clone()]);
-    let (b2, _) = ty.apply_all(q0, &[op_2.clone()]);
+    let (b2, _) = ty.apply_all(q0, std::slice::from_ref(op_2));
     let (b21, _) = ty.apply_all(q0, &[op_2.clone(), op_1.clone()]);
     let mut conflicts = Vec::new();
     if a12 == b21 {
@@ -134,7 +134,9 @@ pub fn analyze_pairs(ty: &dyn ObjectType) -> Vec<PairReport> {
 /// initial state — a sufficient condition for `ty` **not** being
 /// 2-recording, and hence (by Theorem 14) for `rcons(ty) ≤ 2`.
 pub fn all_pairs_conflict(ty: &dyn ObjectType) -> bool {
-    analyze_pairs(ty).iter().all(|row| !row.conflicts.is_empty())
+    analyze_pairs(ty)
+        .iter()
+        .all(|row| !row.conflicts.is_empty())
 }
 
 #[cfg(test)]
@@ -216,8 +218,7 @@ mod tests {
         let s = Stack::new(3, 2);
         // Fig. 8(a): Pop/Pop commute from a non-empty stack.
         let q_nonempty = Value::List(vec![Value::Int(0)]);
-        assert!(pair_conflicts(&s, &q_nonempty, &pop(), &pop())
-            .contains(&PairConflict::Commute));
+        assert!(pair_conflicts(&s, &q_nonempty, &pop(), &pop()).contains(&PairConflict::Commute));
         // Fig. 8(b): Push overwrites Pop from the empty stack.
         let cs = pair_conflicts(&s, &Value::empty_list(), &push(0), &pop());
         assert!(cs.contains(&PairConflict::FirstOverwritesSecond));
@@ -229,9 +230,6 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(PairConflict::Commute.to_string(), "commute");
-        assert_eq!(
-            PairConflict::SameEffect.to_string(),
-            "same effect"
-        );
+        assert_eq!(PairConflict::SameEffect.to_string(), "same effect");
     }
 }

@@ -268,11 +268,7 @@ mod tests {
         // Proposition 21: q0 = (B, 0), A = {p1} with opA, B = rest with opB.
         for n in 2..=6 {
             let sn = Sn::new(n);
-            let a = Assignment::split(
-                Sn::q0(),
-                vec![Sn::op_a()],
-                vec![Sn::op_b(); n - 1],
-            );
+            let a = Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]);
             let w = check_recording(&sn, &a).expect("paper's witness must verify");
             // Q_A = {(A, row)}, Q_B = {(B, row)} as computed in the proof.
             assert_eq!(w.q_a.len(), n);

@@ -112,10 +112,10 @@ impl std::fmt::Debug for System {
 /// Computes the exact set of first-decision values over all crash-free
 /// completions of `sys` (memoized over system states).
 pub fn valence(sys: &System) -> BTreeSet<Value> {
-    fn rec(
-        sys: &System,
-        memo: &mut HashMap<(Vec<Value>, Vec<Value>, Vec<Option<Value>>), BTreeSet<Value>>,
-    ) -> BTreeSet<Value> {
+    /// Memo key: shared-memory contents, program states, decided values.
+    type SystemKey = (Vec<Value>, Vec<Value>, Vec<Option<Value>>);
+
+    fn rec(sys: &System, memo: &mut HashMap<SystemKey, BTreeSet<Value>>) -> BTreeSet<Value> {
         if let Some(v) = sys.first_decision() {
             return std::iter::once(v).collect();
         }
@@ -259,8 +259,7 @@ mod tests {
         let critical = find_critical(&consensus_system).expect("critical exists");
         assert!(critical.schedule.is_empty());
         assert_eq!(critical.commitments.len(), 2);
-        let values: BTreeSet<&Value> =
-            critical.commitments.iter().map(|(_, v)| v).collect();
+        let values: BTreeSet<&Value> = critical.commitments.iter().map(|(_, v)| v).collect();
         assert_eq!(values.len(), 2, "the two steps commit to different values");
     }
 

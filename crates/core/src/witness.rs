@@ -67,7 +67,7 @@ impl Assignment {
         assert_eq!(teams.len(), ops.len(), "teams/ops length mismatch");
         assert!(teams.len() >= 2, "need at least two processes");
         assert!(
-            teams.iter().any(|t| *t == Team::A) && teams.iter().any(|t| *t == Team::B),
+            teams.contains(&Team::A) && teams.contains(&Team::B),
             "both teams must be non-empty"
         );
         Assignment { q0, teams, ops }
@@ -80,7 +80,10 @@ impl Assignment {
     ///
     /// Panics if either operation list is empty.
     pub fn split(q0: Value, ops_a: Vec<Operation>, ops_b: Vec<Operation>) -> Self {
-        assert!(!ops_a.is_empty() && !ops_b.is_empty(), "teams must be non-empty");
+        assert!(
+            !ops_a.is_empty() && !ops_b.is_empty(),
+            "teams must be non-empty"
+        );
         let mut teams = vec![Team::A; ops_a.len()];
         teams.extend(vec![Team::B; ops_b.len()]);
         let mut ops = ops_a;
@@ -146,11 +149,7 @@ mod tests {
 
     #[test]
     fn split_builds_partition() {
-        let a = Assignment::split(
-            Value::Bottom,
-            vec![op("x")],
-            vec![op("y"), op("y")],
-        );
+        let a = Assignment::split(Value::Bottom, vec![op("x")], vec![op("y"), op("y")]);
         assert_eq!(a.len(), 3);
         assert_eq!(a.members(Team::A), vec![0]);
         assert_eq!(a.members(Team::B), vec![1, 2]);
@@ -170,7 +169,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "both teams")]
     fn rejects_single_team() {
-        Assignment::new(Value::Bottom, vec![Team::A, Team::A], vec![op("x"), op("x")]);
+        Assignment::new(
+            Value::Bottom,
+            vec![Team::A, Team::A],
+            vec![op("x"), op("x")],
+        );
     }
 
     #[test]

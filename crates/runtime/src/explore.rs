@@ -110,9 +110,14 @@ pub enum ViolationKind {
 /// output to branch the search.
 pub type SystemFactory<'a> = dyn Fn() -> (Memory, Vec<Box<dyn Program>>) + 'a;
 
+/// Full-fidelity memoization key for a system state: shared-memory
+/// contents, each process's volatile state, the decided flags, crashes
+/// used so far, and the first decided value (if any).
+type StateKey = (Vec<Value>, Vec<Value>, Vec<bool>, usize, Option<Value>);
+
 struct Search<'a> {
     config: &'a ExploreConfig,
-    visited: HashSet<(Vec<Value>, Vec<Value>, Vec<bool>, usize, Option<Value>)>,
+    visited: HashSet<StateKey>,
     schedule: Vec<Action>,
     leaves: usize,
     truncated: bool,
@@ -129,7 +134,7 @@ struct Node {
 }
 
 impl Node {
-    fn key(&self) -> (Vec<Value>, Vec<Value>, Vec<bool>, usize, Option<Value>) {
+    fn key(&self) -> StateKey {
         (
             self.mem.state_key(),
             self.programs.iter().map(|p| p.state_key()).collect(),
@@ -406,7 +411,10 @@ mod tests {
         );
         match outcome {
             ExploreOutcome::Violation {
-                kind, schedule, outputs, ..
+                kind,
+                schedule,
+                outputs,
+                ..
             } => {
                 assert_eq!(kind, ViolationKind::Agreement);
                 assert_eq!(schedule.len(), 2, "two steps suffice");
@@ -444,8 +452,7 @@ mod tests {
         let factory = || {
             let mut mem = Memory::new();
             let addr = mem.alloc_register(Value::Bottom);
-            let programs: Vec<Box<dyn Program>> =
-                vec![Box::new(ForgetfulDecider { addr, pc: 0 })];
+            let programs: Vec<Box<dyn Program>> = vec![Box::new(ForgetfulDecider { addr, pc: 0 })];
             (mem, programs)
         };
         // Without post-decide crashes the bug is invisible…

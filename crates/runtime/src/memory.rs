@@ -229,9 +229,8 @@ mod tests {
     fn reading_non_readable_object_panics() {
         let mut mem = Memory::new();
         let stack = mem.alloc_object(Arc::new(Stack::new(3, 2)), Value::empty_list());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            mem.read_object(stack)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mem.read_object(stack)));
         assert!(result.is_err(), "the classic stack has no Read operation");
     }
 
@@ -252,9 +251,7 @@ mod tests {
     fn type_confusion_panics() {
         let mut mem = Memory::new();
         let r = mem.alloc_register(Value::Bottom);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            mem.read_object(r)
-        }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mem.read_object(r)));
         assert!(result.is_err());
     }
 

@@ -53,8 +53,7 @@ impl BudgetedCrashScheduler {
     /// The remaining `E_A` crash budget: steps taken by the non-crashing
     /// processes minus crashes already injected.
     pub fn crash_budget(&self) -> usize {
-        self.steps_of_others
-            .saturating_sub(self.crashes_of_crasher)
+        self.steps_of_others.saturating_sub(self.crashes_of_crasher)
     }
 }
 

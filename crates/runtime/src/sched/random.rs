@@ -114,7 +114,10 @@ mod tests {
         let mut a = RandomScheduler::from_seed(7);
         let mut b = RandomScheduler::from_seed(7);
         for _ in 0..50 {
-            assert_eq!(a.next_action(&ctx(&decided, 0)), b.next_action(&ctx(&decided, 0)));
+            assert_eq!(
+                a.next_action(&ctx(&decided, 0)),
+                b.next_action(&ctx(&decided, 0))
+            );
         }
     }
 
@@ -130,9 +133,18 @@ mod tests {
         let decided = vec![false; 2];
         // With crash_prob = 1, the first two actions are crashes, after
         // which the budget is spent and only steps are produced.
-        assert!(matches!(s.next_action(&ctx(&decided, 0)), Some(Action::Crash(_))));
-        assert!(matches!(s.next_action(&ctx(&decided, 1)), Some(Action::Crash(_))));
-        assert!(matches!(s.next_action(&ctx(&decided, 2)), Some(Action::Step(_))));
+        assert!(matches!(
+            s.next_action(&ctx(&decided, 0)),
+            Some(Action::Crash(_))
+        ));
+        assert!(matches!(
+            s.next_action(&ctx(&decided, 1)),
+            Some(Action::Crash(_))
+        ));
+        assert!(matches!(
+            s.next_action(&ctx(&decided, 2)),
+            Some(Action::Step(_))
+        ));
     }
 
     #[test]

@@ -57,9 +57,7 @@ impl SharedMemory {
 
     /// A per-thread handle implementing [`MemOps`].
     pub fn handle(&self) -> SharedMemoryHandle {
-        SharedMemoryHandle {
-            mem: self.clone(),
-        }
+        SharedMemoryHandle { mem: self.clone() }
     }
 
     /// Inspection-only view of a cell's current content.

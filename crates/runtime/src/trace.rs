@@ -136,9 +136,12 @@ mod tests {
 
     #[test]
     fn display_is_one_indexed_like_the_paper() {
-        let t: Trace = [TraceEvent::Stepped(0), TraceEvent::Decided(0, Value::Int(1))]
-            .into_iter()
-            .collect();
+        let t: Trace = [
+            TraceEvent::Stepped(0),
+            TraceEvent::Decided(0, Value::Int(1)),
+        ]
+        .into_iter()
+        .collect();
         let s = t.to_string();
         assert!(s.contains("p1 steps"));
         assert!(s.contains("p1 decides 1"));

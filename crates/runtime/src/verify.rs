@@ -41,7 +41,10 @@ impl fmt::Display for RcViolation {
                 write!(f, "agreement violated: saw both {first} and {second}")
             }
             RcViolation::Validity { output } => {
-                write!(f, "validity violated: output {output} is no process's input")
+                write!(
+                    f,
+                    "validity violated: output {output} is no process's input"
+                )
             }
             RcViolation::Termination => write!(f, "termination violated: not all runs decided"),
         }

@@ -20,8 +20,7 @@ impl Program for Propose {
     fn step(&mut self, mem: &mut dyn MemOps) -> Step {
         if self.pc == 0 {
             self.pc = 1;
-            let decided =
-                mem.apply(self.obj, &Operation::new("propose", Value::Int(self.input)));
+            let decided = mem.apply(self.obj, &Operation::new("propose", Value::Int(self.input)));
             Step::Decided(decided)
         } else {
             Step::Decided(mem.read_object(self.obj))
@@ -69,7 +68,12 @@ fn traces_replay_exactly() {
         // Replay the recorded schedule against a fresh system.
         let (mut mem2, mut programs2) = system(4);
         let mut replayer = ScriptedScheduler::new(original.trace.to_actions());
-        let replayed = run(&mut mem2, &mut programs2, &mut replayer, RunOptions::default());
+        let replayed = run(
+            &mut mem2,
+            &mut programs2,
+            &mut replayer,
+            RunOptions::default(),
+        );
 
         assert_eq!(original.trace, replayed.trace, "seed {seed}");
         assert_eq!(original.outputs, replayed.outputs, "seed {seed}");

@@ -312,9 +312,6 @@ mod tests {
         assert_eq!(ConsensusNumber::Infinite.to_string(), "∞");
         assert_eq!(ConsensusNumber::Finite(3).to_string(), "3");
         assert_eq!(RcBounds::range(1, 2).to_string(), "[1, 2]");
-        assert_eq!(
-            RcBounds::exact(ConsensusNumber::Finite(4)).to_string(),
-            "4"
-        );
+        assert_eq!(RcBounds::exact(ConsensusNumber::Finite(4)).to_string(), "4");
     }
 }

@@ -199,10 +199,7 @@ mod tests {
     #[test]
     fn operation_display() {
         assert_eq!(Operation::nullary("tas").to_string(), "tas");
-        assert_eq!(
-            Operation::new("push", Value::Int(1)).to_string(),
-            "push(1)"
-        );
+        assert_eq!(Operation::new("push", Value::Int(1)).to_string(), "push(1)");
     }
 
     #[test]

@@ -188,13 +188,9 @@ mod tests {
     fn validates_dimensions() {
         assert!(TableType::new("bad", 2, 1, vec![]).is_err());
         assert!(TableType::new("bad", 2, 1, vec![vec![(0, Value::Unit)]]).is_err());
-        assert!(TableType::new(
-            "bad",
-            2,
-            1,
-            vec![vec![(0, Value::Unit), (5, Value::Unit)]]
-        )
-        .is_err());
+        assert!(
+            TableType::new("bad", 2, 1, vec![vec![(0, Value::Unit), (5, Value::Unit)]]).is_err()
+        );
         assert!(TableType::new("bad", 0, 0, vec![]).is_err());
     }
 

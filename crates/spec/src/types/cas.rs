@@ -80,7 +80,8 @@ impl ObjectType for Cas {
             op: op.clone(),
         })?;
         let (exp, new) = (&parts[0], &parts[1]);
-        if !self.valid_state(exp) || !matches!(new.as_int(), Some(i) if (0..self.domain).contains(&i))
+        if !self.valid_state(exp)
+            || !matches!(new.as_int(), Some(i) if (0..self.domain).contains(&i))
         {
             return Err(SpecError::UnknownOperation {
                 type_name: self.name(),
@@ -126,8 +127,10 @@ mod tests {
     #[test]
     fn successful_chain() {
         let c = Cas::new(3);
-        let (state, resps) =
-            c.apply_all(&Value::Bottom, &[cas(Value::Bottom, 1), cas(Value::Int(1), 2)]);
+        let (state, resps) = c.apply_all(
+            &Value::Bottom,
+            &[cas(Value::Bottom, 1), cas(Value::Int(1), 2)],
+        );
         assert_eq!(state, Value::Int(2));
         assert_eq!(resps, vec![Value::Bool(true), Value::Bool(true)]);
     }
@@ -141,7 +144,9 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         let c = Cas::new(2);
-        assert!(c.try_apply(&Value::sym("x"), &cas(Value::Bottom, 0)).is_err());
+        assert!(c
+            .try_apply(&Value::sym("x"), &cas(Value::Bottom, 0))
+            .is_err());
         assert!(c
             .try_apply(&Value::Bottom, &Operation::new("cas", Value::Int(0)))
             .is_err());

@@ -78,7 +78,11 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         let c = Counter::new(3);
-        assert!(c.try_apply(&Value::Int(5), &Operation::nullary("inc")).is_err());
-        assert!(c.try_apply(&Value::Int(0), &Operation::nullary("dec")).is_err());
+        assert!(c
+            .try_apply(&Value::Int(5), &Operation::nullary("inc"))
+            .is_err());
+        assert!(c
+            .try_apply(&Value::Int(0), &Operation::nullary("dec"))
+            .is_err());
     }
 }

@@ -103,10 +103,7 @@ mod tests {
     fn prepends_and_returns_old_list() {
         let f = FetchAndCons::new(4, 2);
         let (state, resps) = f.apply_all(&Value::empty_list(), &[fc(0), fc(1)]);
-        assert_eq!(
-            state,
-            Value::List(vec![Value::Int(1), Value::Int(0)])
-        );
+        assert_eq!(state, Value::List(vec![Value::Int(1), Value::Int(0)]));
         assert_eq!(resps[0], Value::empty_list());
         assert_eq!(resps[1], Value::List(vec![Value::Int(0)]));
     }

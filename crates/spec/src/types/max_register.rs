@@ -51,9 +51,7 @@ impl ObjectType for MaxRegister {
             })?;
         let v = op.arg.as_int().filter(|i| (0..self.bound).contains(i));
         match (op.name.as_str(), v) {
-            ("write_max", Some(v)) => {
-                Ok(Transition::new(Value::Int(cur.max(v)), Value::Unit))
-            }
+            ("write_max", Some(v)) => Ok(Transition::new(Value::Int(cur.max(v)), Value::Unit)),
             _ => Err(SpecError::UnknownOperation {
                 type_name: self.name(),
                 op: op.clone(),

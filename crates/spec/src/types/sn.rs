@@ -135,11 +135,7 @@ impl ObjectType for Sn {
             // Lines 90–96 of the paper.
             "opB" => {
                 let row = (row + 1).rem_euclid(self.n as i64);
-                let winner = if row == 0 {
-                    TEAM_B.to_string()
-                } else {
-                    winner
-                };
+                let winner = if row == 0 { TEAM_B.to_string() } else { winner };
                 Ok(Transition::new(
                     Value::pair(Value::sym(winner), Value::Int(row)),
                     Value::Unit,
@@ -167,10 +163,7 @@ mod tests {
     fn op_a_first_installs_a_durably() {
         let s = Sn::new(4);
         // opA then up to n−1 opB's: winner stays A.
-        let (state, _) = s.apply_all(
-            &Sn::q0(),
-            &[Sn::op_a(), Sn::op_b(), Sn::op_b(), Sn::op_b()],
-        );
+        let (state, _) = s.apply_all(&Sn::q0(), &[Sn::op_a(), Sn::op_b(), Sn::op_b(), Sn::op_b()]);
         assert_eq!(
             state,
             Value::pair(Value::sym("A"), Value::Int(3)),

@@ -147,8 +147,10 @@ mod tests {
     #[test]
     fn lifo_order() {
         let s = Stack::new(4, 2);
-        let (state, resps) =
-            s.apply_all(&Value::empty_list(), &[push(0), push(1), pop(), pop(), pop()]);
+        let (state, resps) = s.apply_all(
+            &Value::empty_list(),
+            &[push(0), push(1), pop(), pop(), pop()],
+        );
         assert_eq!(state, Value::empty_list());
         assert_eq!(
             resps,

@@ -72,7 +72,7 @@ mod tests {
         // structural reason TAS is not 2-recording.
         let tas = TestAndSet::new();
         let op = Operation::nullary("tas");
-        let (a, _) = tas.apply_all(&Value::Bool(false), &[op.clone()]);
+        let (a, _) = tas.apply_all(&Value::Bool(false), std::slice::from_ref(&op));
         let (b, _) = tas.apply_all(&Value::Bool(false), &[op.clone(), op]);
         assert_eq!(a, b);
     }
@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         let tas = TestAndSet::new();
-        assert!(tas.try_apply(&Value::Int(0), &Operation::nullary("tas")).is_err());
+        assert!(tas
+            .try_apply(&Value::Int(0), &Operation::nullary("tas"))
+            .is_err());
         assert!(tas
             .try_apply(&Value::Bool(false), &Operation::nullary("reset"))
             .is_err());

@@ -56,10 +56,7 @@ fn reference_queue(capacity: usize, script: &[Option<i64>]) -> (Vec<i64>, Vec<Va
 }
 
 fn script_strategy() -> impl Strategy<Value = Vec<Option<i64>>> {
-    proptest::collection::vec(
-        prop_oneof![Just(None), (0i64..2).prop_map(Some)],
-        0..20,
-    )
+    proptest::collection::vec(prop_oneof![Just(None), (0i64..2).prop_map(Some)], 0..20)
 }
 
 proptest! {

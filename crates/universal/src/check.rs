@@ -95,10 +95,7 @@ impl Error for AuditError {}
 ///
 /// Returns the first [`AuditError`] found, scanning in linearization
 /// order.
-pub fn audit_history(
-    mem: &Memory,
-    layout: &UniversalLayout,
-) -> Result<HistoryReport, AuditError> {
+pub fn audit_history(mem: &Memory, layout: &UniversalLayout) -> Result<HistoryReport, AuditError> {
     // Collect appended nodes (seq > 1; the dummy holds seq = 1).
     let mut appended: Vec<(i64, usize)> = Vec::new();
     for (id, node) in layout.nodes.iter().enumerate().skip(1) {

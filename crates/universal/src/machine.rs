@@ -240,8 +240,7 @@ impl Program for UniversalMachine {
             Pc::ReadPriorityAnnounce { head, head_seq } => {
                 // Line 102: priority = (Head[i]→seq + 1) mod n.
                 let priority = ((head_seq + 1) % self.layout.n as i64) as usize;
-                let announced =
-                    Self::ptr_of(&mem.read_register(self.layout.announce[priority]));
+                let announced = Self::ptr_of(&mem.read_register(self.layout.announce[priority]));
                 self.pc = Pc::ReadPrioritySeq {
                     head,
                     head_seq,
@@ -271,8 +270,7 @@ impl Program for UniversalMachine {
             } => {
                 // Line 108: winner ← Decide(Head[i]→next, pointer).
                 if self.inner.is_none() {
-                    self.inner =
-                        Some((self.node(head).next)(self.pid, Value::Int(pointer as i64)));
+                    self.inner = Some((self.node(head).next)(self.pid, Value::Int(pointer as i64)));
                 }
                 match self.inner.as_mut().expect("just created").step(mem) {
                     Step::Running => Step::Running,
@@ -373,9 +371,7 @@ impl Program for UniversalMachine {
             Value::Sym(pc),
             Value::Int(self.best.0 as i64),
             Value::Int(self.best.1),
-            self.inner
-                .as_ref()
-                .map_or(Value::Bottom, |p| p.state_key()),
+            self.inner.as_ref().map_or(Value::Bottom, |p| p.state_key()),
         ])
     }
 
@@ -467,12 +463,7 @@ mod tests {
         let mut mem = Memory::new();
         let layout = counter_layout(&mut mem, 1, 1);
         let node = layout.node_id(0, 0);
-        let m = UniversalMachine::recover(
-            layout.clone(),
-            0,
-            node,
-            Operation::nullary("inc"),
-        );
+        let m = UniversalMachine::recover(layout.clone(), 0, node, Operation::nullary("inc"));
         // Recovery starts at the ApplyOperation loop, not the announce.
         assert!(format!("{m:?}").contains("ReadOwnSeq"));
     }

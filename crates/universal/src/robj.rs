@@ -23,9 +23,7 @@ pub struct Workload {
 impl Workload {
     /// A workload where every one of `n` processes performs `ops`.
     pub fn uniform(n: usize, ops: Vec<Operation>) -> Self {
-        Workload {
-            ops: vec![ops; n],
-        }
+        Workload { ops: vec![ops; n] }
     }
 
     /// `producers` processes enqueue distinct values; `consumers`
@@ -94,8 +92,7 @@ pub fn run_workload(
         .iter()
         .enumerate()
         .map(|(pid, ops)| {
-            Box::new(RUniversalWorker::new(layout.clone(), pid, ops.clone()))
-                as Box<dyn Program>
+            Box::new(RUniversalWorker::new(layout.clone(), pid, ops.clone())) as Box<dyn Program>
         })
         .collect();
     let execution = run(&mut mem, &mut programs, sched, RunOptions::default());

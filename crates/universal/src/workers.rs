@@ -311,10 +311,7 @@ mod tests {
     use rc_runtime::{run, Memory, RunOptions};
     use rc_spec::types::{Counter, Queue};
 
-    fn counter_system(
-        n: usize,
-        slots: usize,
-    ) -> (Memory, Arc<UniversalLayout>) {
+    fn counter_system(n: usize, slots: usize) -> (Memory, Arc<UniversalLayout>) {
         let mut mem = Memory::new();
         let pool = 1 + n * slots;
         let layout = UniversalLayout::alloc(
@@ -385,8 +382,8 @@ mod tests {
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             assert!(exec.all_decided, "seed={seed}");
-            let report = audit_history(&mem, &layout)
-                .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+            let report =
+                audit_history(&mem, &layout).unwrap_or_else(|e| panic!("seed={seed}: {e}"));
             assert_eq!(
                 report.order.len(),
                 n * ops_per,

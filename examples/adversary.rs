@@ -68,8 +68,12 @@ fn broken_guard_scenario() {
         .iter()
         .enumerate()
         .map(|(slot, input)| {
-            Box::new(BrokenTeamRc::new(config.clone(), shared, slot, input.clone()))
-                as Box<dyn Program>
+            Box::new(BrokenTeamRc::new(
+                config.clone(),
+                shared,
+                slot,
+                input.clone(),
+            )) as Box<dyn Program>
         })
         .collect();
 
@@ -109,14 +113,8 @@ fn crash_breaks_consensus_scenario() {
         ),
     )
     .expect("T_n is n-discerning (Proposition 19)");
-    let inputs = vec![
-        Value::Int(0),
-        Value::Int(0),
-        Value::Int(1),
-        Value::Int(1),
-    ];
-    let (mut mem, mut programs) =
-        build_team_consensus_system(Arc::new(Tn::new(n)), &w, &inputs);
+    let inputs = vec![Value::Int(0), Value::Int(0), Value::Int(1), Value::Int(1)];
+    let (mut mem, mut programs) = build_team_consensus_system(Arc::new(Tn::new(n)), &w, &inputs);
     let schedule = [
         Action::Step(1),  // p2 (team A) writes R_A
         Action::Step(1),  // p2 applies opA — winner = A recorded

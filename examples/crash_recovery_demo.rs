@@ -25,8 +25,22 @@ fn main() {
     )
     .expect("S_3 is 3-recording");
     println!("witness: {}", witness.assignment);
-    println!("Q_A = {:?}", witness.q_a.iter().map(|v| v.to_string()).collect::<Vec<_>>());
-    println!("Q_B = {:?}", witness.q_b.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+    println!(
+        "Q_A = {:?}",
+        witness
+            .q_a
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "Q_B = {:?}",
+        witness
+            .q_b
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
     println!();
 
     // Team A (p1) proposes 100, team B (p2, p3) proposes 200.
@@ -35,23 +49,22 @@ fn main() {
     // Schedule: p2 starts updating the object, p1 crashes mid-run twice,
     // and everyone still agrees.
     let schedule = [
-        Action::Step(0), // p1 writes R_A
-        Action::Step(0), // p1 reads O = q0
+        Action::Step(0),  // p1 writes R_A
+        Action::Step(0),  // p1 reads O = q0
         Action::Crash(0), // p1 CRASHES — loses its program counter
-        Action::Step(1), // p2 writes R_B
-        Action::Step(1), // p2 reads O = q0
-        Action::Step(1), // p2 applies opB — the first update: team B wins
-        Action::Step(0), // p1 re-runs: writes R_A again
+        Action::Step(1),  // p2 writes R_B
+        Action::Step(1),  // p2 reads O = q0
+        Action::Step(1),  // p2 applies opB — the first update: team B wins
+        Action::Step(0),  // p1 re-runs: writes R_A again
         Action::Crash(0), // p1 CRASHES again
-        Action::Step(1), // p2 re-reads O — sees a Q_B state
-        Action::Step(1), // p2 decides R_B
-        Action::Step(0), // p1 re-runs once more: writes R_A
-        Action::Step(0), // p1 reads O — no longer q0, skips its update
-        Action::Step(0), // p1 decides from the recorded state: R_B
+        Action::Step(1),  // p2 re-reads O — sees a Q_B state
+        Action::Step(1),  // p2 decides R_B
+        Action::Step(0),  // p1 re-runs once more: writes R_A
+        Action::Step(0),  // p1 reads O — no longer q0, skips its update
+        Action::Step(0),  // p1 decides from the recorded state: R_B
     ];
 
-    let (mut mem, mut programs) =
-        build_team_rc_system(Arc::new(Sn::new(n)), &witness, &inputs);
+    let (mut mem, mut programs) = build_team_rc_system(Arc::new(Sn::new(n)), &witness, &inputs);
     let mut sched = ScriptedScheduler::then_finish(schedule);
     let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
 

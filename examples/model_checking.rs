@@ -11,12 +11,10 @@
 //! ```
 
 use recoverable_consensus::core::algorithms::{
-    alloc_team_rc, build_team_consensus_system, build_team_rc_system, BrokenTeamRc,
-    TeamRcConfig,
+    alloc_team_rc, build_team_consensus_system, build_team_rc_system, BrokenTeamRc, TeamRcConfig,
 };
 use recoverable_consensus::core::{
-    check_discerning, check_recording, find_recording_witness, Assignment, RecordingWitness,
-    Team,
+    check_discerning, check_recording, find_recording_witness, Assignment, RecordingWitness, Team,
 };
 use recoverable_consensus::runtime::{explore, ExploreConfig, ExploreOutcome, Memory, Program};
 use recoverable_consensus::spec::types::{Cas, Sn, Tn};
@@ -36,9 +34,10 @@ fn describe(outcome: &ExploreOutcome) -> String {
         ExploreOutcome::Verified { states, leaves } => {
             format!("VERIFIED — {states} states, {leaves} maximal executions")
         }
-        ExploreOutcome::Violation {
-            kind, schedule, ..
-        } => format!("VIOLATION ({kind:?}) — schedule of {} actions", schedule.len()),
+        ExploreOutcome::Violation { kind, schedule, .. } => format!(
+            "VIOLATION ({kind:?}) — schedule of {} actions",
+            schedule.len()
+        ),
         ExploreOutcome::Truncated { states } => format!("TRUNCATED at {states} states"),
     }
 }
@@ -104,8 +103,12 @@ fn discover_broken_guard() {
                 .iter()
                 .enumerate()
                 .map(|(slot, input)| {
-                    Box::new(BrokenTeamRc::new(config.clone(), shared, slot, input.clone()))
-                        as Box<dyn Program>
+                    Box::new(BrokenTeamRc::new(
+                        config.clone(),
+                        shared,
+                        slot,
+                        input.clone(),
+                    )) as Box<dyn Program>
                 })
                 .collect();
             (mem, programs)
@@ -117,7 +120,10 @@ fn discover_broken_guard() {
         },
     );
     println!("Fig. 2 without the |B| = 1 guard: {}", describe(&outcome));
-    if let ExploreOutcome::Violation { schedule, outputs, .. } = &outcome {
+    if let ExploreOutcome::Violation {
+        schedule, outputs, ..
+    } = &outcome
+    {
         println!("  conflicting outputs: {outputs:?}");
         println!("  discovered schedule: {schedule:?}");
     }
@@ -149,7 +155,10 @@ fn discover_crash_break_on_t4() {
                 ..ExploreConfig::default()
             },
         );
-        println!("Theorem 3 on T_4, crash budget {budget}: {}", describe(&outcome));
+        println!(
+            "Theorem 3 on T_4, crash budget {budget}: {}",
+            describe(&outcome)
+        );
         if budget == 0 {
             assert!(outcome.is_verified(), "correct under halting failures");
         } else {

@@ -38,8 +38,7 @@ fn main() {
     let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
     let mut total_crashes = 0;
     for seed in 0..100 {
-        let (mut mem, mut programs) =
-            build_tournament_rc(Arc::new(Sn::new(n)), &witness, &inputs);
+        let (mut mem, mut programs) = build_tournament_rc(Arc::new(Sn::new(n)), &witness, &inputs);
         let mut sched = RandomScheduler::new(RandomSchedulerConfig {
             seed,
             crash_prob: 0.2,

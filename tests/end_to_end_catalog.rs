@@ -113,9 +113,8 @@ fn every_recording_type_solves_rc_in_execution() {
                 crash_after_decide: true,
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
-            check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| {
-                panic!("{} (k = {k}, seed = {seed}): {e}", entry.id)
-            });
+            check_consensus_execution(&exec, &inputs)
+                .unwrap_or_else(|e| panic!("{} (k = {k}, seed = {seed}): {e}", entry.id));
         }
     }
 }

@@ -97,7 +97,11 @@ fn fig8_critical_execution_and_crash_indistinguishability() {
         "both processes enabled at criticality"
     );
     let committed: BTreeSet<&Value> = critical.commitments.iter().map(|(_, v)| v).collect();
-    assert_eq!(committed.len(), 2, "the two steps commit to different values");
+    assert_eq!(
+        committed.len(),
+        2,
+        "the two steps commit to different values"
+    );
 
     // 2. At the critical execution both processes are poised to POP
     //    (pc = 1): the register writes are already done — exactly the

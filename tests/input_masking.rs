@@ -4,9 +4,7 @@
 //! algorithm still satisfies agreement and validity with respect to
 //! first-run inputs.
 
-use rc_core::algorithms::{
-    alloc_team_rc, InnerMaker, InputMasked, TeamRc, TeamRcConfig,
-};
+use rc_core::algorithms::{alloc_team_rc, InnerMaker, InputMasked, TeamRc, TeamRcConfig};
 use rc_core::{check_recording, Assignment};
 use rc_runtime::sched::{Action, Scheduler};
 use rc_runtime::{Memory, Program, Step};
@@ -28,7 +26,9 @@ fn run_with_changing_inputs(seed: u64) -> Vec<Value> {
 
     let mut mem = Memory::new();
     let shared = alloc_team_rc(&mut mem, &config);
-    let mask_regs: Vec<_> = (0..n).map(|_| InputMasked::alloc_register(&mut mem)).collect();
+    let mask_regs: Vec<_> = (0..n)
+        .map(|_| InputMasked::alloc_register(&mut mem))
+        .collect();
 
     // Teams: slot 0 = A, slots 1–2 = B. Team consensus precondition holds
     // for the FIRST-run inputs (A: 100; B: 200); later nominal inputs are
@@ -42,18 +42,18 @@ fn run_with_changing_inputs(seed: u64) -> Vec<Value> {
         Box::new(InputMasked::new(mask_regs[slot], nominal, inner))
     };
 
-    let mut programs: Vec<Box<dyn Program>> =
-        (0..n).map(|slot| make(slot, first_inputs[slot].clone())).collect();
+    let mut programs: Vec<Box<dyn Program>> = (0..n)
+        .map(|slot| make(slot, first_inputs[slot].clone()))
+        .collect();
 
-    let mut sched = rc_runtime::sched::RandomScheduler::new(
-        rc_runtime::sched::RandomSchedulerConfig {
+    let mut sched =
+        rc_runtime::sched::RandomScheduler::new(rc_runtime::sched::RandomSchedulerConfig {
             seed,
             crash_prob: 0.25,
             max_crashes: 4,
             simultaneous: false,
             crash_after_decide: true,
-        },
-    );
+        });
     let mut decided: Vec<Option<Value>> = vec![None; n];
     let mut outputs = Vec::new();
     let mut steps = 0usize;

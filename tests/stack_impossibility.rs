@@ -250,7 +250,6 @@ fn adding_read_turns_the_stack_into_a_universal_object() {
             crash_after_decide: true,
         });
         let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
-        check_consensus_execution(&exec, &inputs)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }

@@ -35,8 +35,7 @@ fn fig4_on_consensus_objects_survives_simultaneous_crashes() {
             crash_after_decide: true,
         });
         let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
-        check_consensus_execution(&exec, &inputs)
-            .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+        check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| panic!("seed={seed}: {e}"));
     }
 }
 
@@ -137,7 +136,10 @@ fn fig4_over_t4_under_independent_crashes_hunt() {
     }
     // Safety genuinely holds (see the doc comment); record the zero.
     println!("independent-crash hunt: {violations}/100 random schedules violated RC");
-    assert_eq!(violations, 0, "Fig. 4's safety survives independent crashes");
+    assert_eq!(
+        violations, 0,
+        "Fig. 4's safety survives independent crashes"
+    );
 }
 
 /// The independent-crash hunt, part 2: *liveness* is what breaks.

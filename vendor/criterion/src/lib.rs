@@ -1,0 +1,207 @@
+//! Offline micro-implementation of the slice of
+//! [`criterion`](https://crates.io/crates/criterion) this workspace's
+//! `benches/` use: `Criterion::benchmark_group`, `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. Call sites are source-compatible; swap the path dependency in
+//! the root `Cargo.toml` for the real crate to get statistics, plots and
+//! HTML reports. Behaviour here: each benchmark is timed over a small fixed
+//! number of wall-clock iterations and reported as a plain-text line. Like
+//! real criterion, when the binary is invoked without `--bench` (as
+//! `cargo test` does for `harness = false` targets) every benchmark body
+//! runs exactly once as a smoke test, so `cargo test` stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo runs `harness = false` bench targets as plain executables:
+        // `cargo bench` passes `--bench`, `cargo test` does not.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Registers a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, name, None, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to report per-element rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `f` against `input` under the given id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            self.criterion.bench_mode,
+            &label,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (report lines are already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"name/parameter"`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Units for rate reporting, mirroring `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; times the hot loop.
+pub struct Bencher {
+    bench_mode: bool,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly (once in test mode) and records the mean
+    /// wall-clock time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // One warm-up, then a small fixed sample: this stub favours
+        // predictable runtime over statistical confidence.
+        std::hint::black_box(routine());
+        const SAMPLES: u32 = 10;
+        let start = Instant::now();
+        for _ in 0..SAMPLES {
+            std::hint::black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / f64::from(SAMPLES);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    bench_mode: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        bench_mode,
+        nanos_per_iter: 0.0,
+    };
+    f(&mut bencher);
+    if !bench_mode {
+        println!("test-mode {label}: ok (1 iteration)");
+        return;
+    }
+    let mut line = format!("bench {label}: {}", human_time(bencher.nanos_per_iter));
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if bencher.nanos_per_iter > 0.0 {
+            let rate = count as f64 / (bencher.nanos_per_iter / 1e9);
+            let _ = write!(line, " ({rate:.0} {unit}/s)");
+        }
+    }
+    println!("{line}");
+}
+
+fn human_time(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s/iter", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms/iter", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs/iter", nanos / 1e3)
+    } else {
+        format!("{nanos:.0} ns/iter")
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,151 @@
+//! Offline stub of the tiny slice of the [`rand`](https://crates.io/crates/rand)
+//! API this workspace uses: `Rng::{gen_range, gen_bool}`,
+//! `SeedableRng::seed_from_u64`, and `rngs::StdRng`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched; this path dependency keeps the public call sites identical so the
+//! stub can be swapped for the real crate by editing one line of the root
+//! `Cargo.toml`. `StdRng` here is a `splitmix64`-seeded `xoshiro256**`
+//! (the same construction `rand_xorshift`-style seeding uses): deterministic
+//! per seed, which is all the simulators and property tests require —
+//! statistical quality beyond that is not load-bearing.
+
+#![forbid(unsafe_code)]
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open, must be non-empty).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the standard f64-in-[0,1) construction.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Half-open ranges that know how to sample themselves.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift bounded sampling; the modulo bias over a
+                // 64-bit draw is immaterial for simulation workloads.
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`:
+    /// `xoshiro256**` seeded via `splitmix64`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_per_seed() {
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            for _ in 0..64 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn range_sampling_in_bounds() {
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..1000 {
+                let x: usize = rng.gen_range(3..17);
+                assert!((3..17).contains(&x));
+                let y: i64 = rng.gen_range(-5i64..5);
+                assert!((-5..5).contains(&y));
+            }
+        }
+
+        #[test]
+        fn gen_bool_extremes() {
+            let mut rng = StdRng::seed_from_u64(2);
+            for _ in 0..100 {
+                assert!(!rng.gen_bool(0.0));
+                assert!(rng.gen_bool(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stub of the slice of [`serde`](https://serde.rs) this workspace
+//! uses: the `Serialize` / `Deserialize` traits and their derive macros.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. The workspace derives the traits on its data types for
+//! downstream consumers but never invokes a serializer itself (there is no
+//! `serde_json` in the dependency tree), so marker traits plus no-op derives
+//! preserve every call site; swap this path dependency for the real crate in
+//! the root `Cargo.toml` to get real serialization.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

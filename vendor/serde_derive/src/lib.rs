@@ -1,0 +1,52 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde stub.
+//!
+//! For a non-generic `struct`/`enum` the derive emits a marker-trait impl;
+//! for anything it cannot parse without `syn` (the workspace has no generic
+//! serde types) it emits nothing, which is still sufficient because the
+//! traits are never used as bounds here.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name of a non-generic `struct`/`enum` item, if any.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // A `<` right after the name means generics: bail out.
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Stub `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Stub `#[derive(Deserialize)]`: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
