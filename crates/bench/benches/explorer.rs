@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rc_core::algorithms::build_team_rc_system;
 use rc_core::{check_recording, Assignment};
-use rc_runtime::{explore, ExploreConfig};
+use rc_runtime::{explore, CrashModel, ExploreConfig};
 use rc_spec::types::Sn;
 use rc_spec::{TypeHandle, Value};
 use std::sync::Arc;
@@ -31,8 +31,7 @@ fn bench_explorer(c: &mut Criterion) {
                     let outcome = explore(
                         &|| build_team_rc_system(ty.clone(), &w, &inputs),
                         &ExploreConfig {
-                            crash_budget: budget,
-                            crash_after_decide: true,
+                            crash: CrashModel::independent(budget).after_decide(true),
                             inputs: Some(inputs.clone()),
                             ..ExploreConfig::default()
                         },

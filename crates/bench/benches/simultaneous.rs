@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rc_core::algorithms::{build_simultaneous_rc_system, ConsensusObjectFactory};
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
-use rc_runtime::{run, RunOptions};
+use rc_runtime::{run, CrashModel, RunOptions};
 use rc_spec::Value;
 
 fn bench_simultaneous(c: &mut Criterion) {
@@ -29,9 +29,7 @@ fn bench_simultaneous(c: &mut Criterion) {
                     let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                         seed,
                         crash_prob: 0.05,
-                        max_crashes: crashes,
-                        simultaneous: true,
-                        crash_after_decide: true,
+                        crash: CrashModel::simultaneous(crashes).after_decide(true),
                     });
                     let exec = run(&mut mem, &mut programs, &mut sched, opts);
                     assert!(exec.all_decided);

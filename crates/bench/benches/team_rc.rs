@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rc_core::algorithms::build_team_rc_system;
 use rc_core::{check_recording, Assignment, RecordingWitness};
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
-use rc_runtime::{run, RunOptions};
+use rc_runtime::{run, CrashModel, RunOptions};
 use rc_spec::types::Sn;
 use rc_spec::{TypeHandle, Value};
 use std::sync::Arc;
@@ -42,9 +42,7 @@ fn bench_team_rc(c: &mut Criterion) {
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed,
                     crash_prob: 0.2,
-                    max_crashes: 4,
-                    simultaneous: false,
-                    crash_after_decide: false,
+                    crash: CrashModel::independent(4),
                 });
                 let exec = run(&mut mem, &mut programs, &mut sched, opts);
                 assert!(exec.all_decided);

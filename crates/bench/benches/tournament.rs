@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rc_core::algorithms::build_tournament_rc;
 use rc_core::find_recording_witness;
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
-use rc_runtime::{run, RunOptions};
+use rc_runtime::{run, CrashModel, RunOptions};
 use rc_spec::types::Cas;
 use rc_spec::{TypeHandle, Value};
 use std::sync::Arc;
@@ -30,9 +30,7 @@ fn bench_tournament(c: &mut Criterion) {
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed,
                     crash_prob: 0.1,
-                    max_crashes: 4,
-                    simultaneous: false,
-                    crash_after_decide: false,
+                    crash: CrashModel::independent(4),
                 });
                 let exec = run(&mut mem, &mut programs, &mut sched, opts);
                 assert!(exec.all_decided);

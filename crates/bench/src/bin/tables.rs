@@ -1,22 +1,28 @@
-//! Prints every experiment table (E1–E10); pass experiment ids to select
-//! a subset, and `--fast` for smaller sample counts:
+//! Prints every experiment table (E1–E11); pass experiment ids to select
+//! a subset, `--fast` for smaller sample counts, and `--snapshot` (with
+//! e11) to refresh `BENCH_explore.json`:
 //!
 //! ```sh
 //! cargo run -p rc-bench --release --bin tables           # everything
 //! cargo run -p rc-bench --release --bin tables -- e4 e5  # a subset
+//! cargo run -p rc-bench --release --bin tables -- e11 --fast --snapshot
 //! ```
+//!
+//! Unknown experiment ids and flags exit non-zero with the list of valid
+//! ids.
 
-use rc_bench::exp;
+use rc_bench::{cli, exp};
+use std::path::Path;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
-    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+    let args = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("tables: {message}");
+            std::process::exit(2);
+        }
+    };
+    let fast = args.fast;
 
     let (samples, seeds) = if fast { (50, 50) } else { (400, 300) };
 
@@ -25,34 +31,53 @@ fn main() {
     println!(" experiment tables — see EXPERIMENTS.md for the paper-vs-measured log");
     println!("════════════════════════════════════════════════════════════════\n");
 
-    if want("e1") {
+    if args.wants("e1") {
         println!("{}", exp::e1_figure1(samples));
     }
-    if want("e2") {
+    if args.wants("e2") {
         println!("{}", exp::e2_team_rc(seeds));
     }
-    if want("e3") {
+    if args.wants("e3") {
         println!("{}", exp::e3_simultaneous(seeds));
     }
-    if want("e4") {
+    if args.wants("e4") {
         println!("{}", exp::e4_tn(if fast { 7 } else { 10 }));
     }
-    if want("e5") {
+    if args.wants("e5") {
         println!("{}", exp::e5_sn(if fast { 6 } else { 9 }));
     }
-    if want("e6") {
+    if args.wants("e6") {
         println!("{}", exp::e6_universal(seeds));
     }
-    if want("e7") {
+    if args.wants("e7") {
         println!("{}", exp::e7_stack());
     }
-    if want("e8") {
+    if args.wants("e8") {
         println!("{}", exp::e8_catalog());
     }
-    if want("e9") {
+    if args.wants("e9") {
         println!("{}", exp::e9_sets());
     }
-    if want("e10") {
+    if args.wants("e10") {
         println!("{}", exp::e10_headline(seeds.min(100)));
+    }
+    if args.wants("e11") {
+        let (report, rows) = exp::e11_explore_scaling(fast);
+        println!("{report}");
+        if args.snapshot {
+            // The workspace root, resolved from this crate's manifest so
+            // the snapshot lands in the same place regardless of cwd.
+            let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_explore.json");
+            let json = exp::e11_snapshot_json(&rows);
+            match std::fs::write(&path, json) {
+                Ok(()) => println!("snapshot written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("tables: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,128 @@
+//! Argument parsing for the `tables` binary.
+//!
+//! Split out of the binary so the parsing rules are unit-testable — in
+//! particular the rejection of unknown experiment ids: `tables -- e12`
+//! used to exit 0 having silently printed nothing, which made typos look
+//! like passing runs.
+
+/// Every valid experiment id, in printing order.
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
+
+/// Parsed `tables` arguments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TablesArgs {
+    /// Smaller sample counts (`--fast`).
+    pub fast: bool,
+    /// Write the `BENCH_explore.json` snapshot after E11 (`--snapshot`).
+    pub snapshot: bool,
+    /// Lower-cased experiment ids to print; empty means all.
+    pub selected: Vec<String>,
+}
+
+impl TablesArgs {
+    /// Whether experiment `id` should be printed.
+    pub fn wants(&self, id: &str) -> bool {
+        self.selected.is_empty() || self.selected.iter().any(|s| s == id)
+    }
+}
+
+/// Parses the `tables` command line (everything after the binary name).
+///
+/// # Errors
+///
+/// Returns a usage message naming the offending argument and listing the
+/// valid experiment ids — unknown ids and unknown flags are errors, not
+/// silent no-ops.
+pub fn parse_args<I, S>(args: I) -> Result<TablesArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut parsed = TablesArgs::default();
+    for arg in args {
+        let arg = arg.as_ref();
+        match arg {
+            "--fast" => parsed.fast = true,
+            "--snapshot" => parsed.snapshot = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unknown flag `{flag}`; valid flags: --fast, --snapshot"
+                ));
+            }
+            id => {
+                let id = id.to_lowercase();
+                if !EXPERIMENT_IDS.contains(&id.as_str()) {
+                    return Err(format!(
+                        "unknown experiment id `{id}`; valid ids: {}",
+                        EXPERIMENT_IDS.join(", ")
+                    ));
+                }
+                parsed.selected.push(id);
+            }
+        }
+    }
+    if parsed.snapshot && !parsed.wants("e11") {
+        return Err(
+            "--snapshot records the E11 engine sweep, but e11 is not among the selected \
+             experiment ids"
+                .into(),
+        );
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_selects_everything() {
+        let args = parse_args(Vec::<&str>::new()).expect("valid");
+        assert!(!args.fast);
+        assert!(!args.snapshot);
+        for id in EXPERIMENT_IDS {
+            assert!(args.wants(id));
+        }
+    }
+
+    #[test]
+    fn subset_and_flags() {
+        let args = parse_args(["E4", "e11", "--fast", "--snapshot"]).expect("valid");
+        assert!(args.fast && args.snapshot);
+        assert!(args.wants("e4") && args.wants("e11"));
+        assert!(!args.wants("e1"));
+    }
+
+    /// Regression: an unknown id must be an error carrying the full list
+    /// of valid ids, not a silent empty run.
+    #[test]
+    fn unknown_id_is_rejected_with_the_valid_list() {
+        let err = parse_args(["e12"]).expect_err("must reject");
+        assert!(err.contains("e12"), "{err}");
+        for id in EXPERIMENT_IDS {
+            assert!(err.contains(id), "{err} should list {id}");
+        }
+    }
+
+    /// `--snapshot` without e11 in the selection would silently skip the
+    /// snapshot write — the same silent-no-op shape as the unknown-id
+    /// bug, so it is rejected too.
+    #[test]
+    fn snapshot_requires_e11_in_the_selection() {
+        let err = parse_args(["e4", "--snapshot"]).expect_err("must reject");
+        assert!(err.contains("e11"), "{err}");
+        assert!(parse_args(["e4", "e11", "--snapshot"]).is_ok());
+        assert!(
+            parse_args(["--snapshot"]).is_ok(),
+            "empty selection runs e11"
+        );
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse_args(["--frobnicate"]).expect_err("must reject");
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+}

@@ -1,4 +1,4 @@
-//! The ten experiments; each returns a rendered report.
+//! The experiments (E1–E11); each returns a rendered report.
 
 use crate::table::Table;
 use rand::rngs::StdRng;
@@ -13,7 +13,7 @@ use rc_core::{
 };
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
 use rc_runtime::verify::check_consensus_execution;
-use rc_runtime::{explore, run, ExploreConfig, Memory, Program, RunOptions};
+use rc_runtime::{explore, run, CrashModel, ExploreConfig, Memory, Program, RunOptions};
 use rc_spec::catalog::{catalog, ConsensusNumber};
 use rc_spec::random::{random_table_type, RandomTypeConfig};
 use rc_spec::types::{Cas, Sn, Stack, Tn};
@@ -112,8 +112,7 @@ pub fn e2_team_rc(seeds: u64) -> String {
         let outcome = explore(
             &|| build_team_rc_system(ty.clone(), &w, &inputs),
             &ExploreConfig {
-                crash_budget: 2,
-                crash_after_decide: true,
+                crash: CrashModel::independent(2).after_decide(true),
                 inputs: Some(inputs.clone()),
                 ..ExploreConfig::default()
             },
@@ -129,9 +128,7 @@ pub fn e2_team_rc(seeds: u64) -> String {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.25,
-                max_crashes: 5,
-                simultaneous: false,
-                crash_after_decide: true,
+                crash: CrashModel::independent(5).after_decide(true),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             crashes += exec.crashes;
@@ -183,7 +180,7 @@ pub fn e2_team_rc(seeds: u64) -> String {
             (mem, programs)
         },
         &ExploreConfig {
-            crash_budget: 0,
+            crash: CrashModel::independent(0),
             inputs: Some(inputs.clone()),
             ..ExploreConfig::default()
         },
@@ -240,9 +237,7 @@ pub fn e3_simultaneous(seeds: u64) -> String {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.05,
-                max_crashes: budget,
-                simultaneous: true,
-                crash_after_decide: true,
+                crash: CrashModel::simultaneous(budget).after_decide(true),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             steps += exec.steps;
@@ -409,9 +404,7 @@ pub fn e6_universal(seeds: u64) -> String {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob,
-                max_crashes: 5,
-                simultaneous: false,
-                crash_after_decide: false,
+                crash: CrashModel::independent(5),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             crashes += exec.crashes;
@@ -463,9 +456,7 @@ pub fn e6_universal(seeds: u64) -> String {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob,
-                max_crashes: 5,
-                simultaneous: false,
-                crash_after_decide: false,
+                crash: CrashModel::independent(5),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             if !exec.all_decided {
@@ -498,9 +489,7 @@ pub fn e6_universal(seeds: u64) -> String {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.01,
-                max_crashes: 3,
-                simultaneous: false,
-                crash_after_decide: false,
+                crash: CrashModel::independent(3),
             });
             let outcome = rc_universal::run_workload(
                 Arc::new(rc_spec::types::Counter::new(256)),
@@ -790,9 +779,7 @@ pub fn e10_headline(seeds: u64) -> String {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.2,
-                max_crashes: 4,
-                simultaneous: false,
-                crash_after_decide: true,
+                crash: CrashModel::independent(4).after_decide(true),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             if check_consensus_execution(&exec, &rc_inputs).is_err() {
@@ -817,9 +804,7 @@ pub fn e10_headline(seeds: u64) -> String {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.2,
-                max_crashes: 4,
-                simultaneous: false,
-                crash_after_decide: true,
+                crash: CrashModel::independent(4).after_decide(true),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             if check_consensus_execution(&exec, &inputs).is_err() {
@@ -840,6 +825,224 @@ pub fn e10_headline(seeds: u64) -> String {
          For T_n: strictly harder (gap ≥ 1 level); for S_n: not harder.\n{}",
         t.render()
     )
+}
+
+/// One measured configuration of the E11 engine sweep.
+#[derive(Clone, Debug)]
+pub struct E11Row {
+    /// System under check, e.g. `"S_3"` (the Fig. 2 team-RC algorithm
+    /// over that type, as in E2).
+    pub system: String,
+    /// Crash budget of the (independent, post-decide) adversary.
+    pub crash_budget: usize,
+    /// Engine: `"iterative"`, `"parallel"` or `"legacy"` (the seed
+    /// recursive engine, kept as the baseline).
+    pub engine: &'static str,
+    /// `Verified` / `Truncated` (any violation would panic the sweep).
+    pub verdict: String,
+    /// Distinct states visited — the peak state count of the search.
+    pub states: usize,
+    /// Complete executions enumerated (memoized suffixes counted once).
+    pub leaves: usize,
+    /// Wall-clock milliseconds (machine-dependent).
+    pub millis: f64,
+    /// `states / seconds` (machine-dependent).
+    pub states_per_sec: f64,
+}
+
+fn e11_measure(
+    engine: &'static str,
+    system: &str,
+    budget: usize,
+    factory: &rc_runtime::SystemFactory<'_>,
+    config: &ExploreConfig,
+) -> E11Row {
+    use rc_runtime::ExploreOutcome;
+    use std::time::{Duration, Instant};
+    let run_once = || match engine {
+        "iterative" => explore(factory, config),
+        "parallel" => rc_runtime::explore_parallel(factory, config),
+        "legacy" => rc_runtime::explore_legacy(factory, config),
+        other => panic!("unknown engine {other}"),
+    };
+    // Single runs of small instances are milliseconds — far below timer
+    // noise. Repeat until a time floor is reached (minimum three runs,
+    // first discarded as warm-up) and report the best run, the standard
+    // throughput methodology.
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut outcome = run_once(); // warm-up, also the reported verdict
+    let mut runs = 0u32;
+    while runs < 3 || (total < Duration::from_millis(200) && runs < 50) {
+        let start = Instant::now();
+        outcome = run_once();
+        let elapsed = start.elapsed();
+        total += elapsed;
+        best = best.min(elapsed);
+        runs += 1;
+    }
+    let (verdict, states, leaves) = match outcome {
+        ExploreOutcome::Verified { states, leaves } => ("Verified".to_string(), states, leaves),
+        ExploreOutcome::Truncated { states } => ("Truncated".to_string(), states, 0),
+        ExploreOutcome::Violation { schedule, .. } => {
+            panic!(
+                "E11 systems are correct; violation after {} actions",
+                schedule.len()
+            )
+        }
+    };
+    E11Row {
+        system: system.to_string(),
+        crash_budget: budget,
+        engine,
+        verdict,
+        states,
+        leaves,
+        millis: best.as_secs_f64() * 1e3,
+        states_per_sec: states as f64 / best.as_secs_f64().max(1e-9),
+    }
+}
+
+/// E11: model-checker engine scaling — states/sec and peak state counts
+/// on the Fig. 2 team-RC workload (the E2 systems), `S_2..S_5` × crash
+/// budgets, iterative vs parallel vs the seed recursive engine.
+///
+/// The adversary matches E2: independent crashes, post-decide crashes
+/// enabled, validity inputs declared. State and leaf counts are
+/// deterministic and must agree across all three engines; wall-clock
+/// figures are machine-dependent (`BENCH_explore.json` tracks them
+/// across PRs on the reference machine).
+pub fn e11_explore_scaling(fast: bool) -> (String, Vec<E11Row>) {
+    // (n, crash budgets): bigger systems get smaller budgets to keep the
+    // exact search inside the default state cap.
+    let sweep: &[(usize, &[usize])] = if fast {
+        &[(2, &[0, 1, 2]), (3, &[0, 1, 2]), (4, &[0, 1])]
+    } else {
+        &[
+            (2, &[0, 1, 2]),
+            (3, &[0, 1, 2]),
+            (4, &[0, 1, 2]),
+            (5, &[0, 1]),
+        ]
+    };
+    // The legacy baseline is only re-measured where it is fast enough to
+    // not dominate the sweep; its numbers on larger instances are in
+    // EXPERIMENTS.md.
+    let legacy_cap_n = 3;
+    let mut rows = Vec::new();
+    for &(n, budgets) in sweep {
+        let (ty, w) = sn_witness(n);
+        let inputs = team_inputs(&w.assignment);
+        let system = format!("S_{n}");
+        let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
+        for &budget in budgets {
+            let config = ExploreConfig {
+                crash: CrashModel::independent(budget).after_decide(true),
+                inputs: Some(inputs.clone()),
+                ..ExploreConfig::default()
+            };
+            let new = e11_measure("iterative", &system, budget, &factory, &config);
+            let parallel = e11_measure(
+                "parallel",
+                &system,
+                budget,
+                &factory,
+                &ExploreConfig {
+                    threads: std::thread::available_parallelism().map_or(2, |p| p.get()),
+                    ..config.clone()
+                },
+            );
+            assert_eq!(new.states, parallel.states, "engines must agree");
+            assert_eq!(new.leaves, parallel.leaves, "engines must agree");
+            if n <= legacy_cap_n {
+                let legacy = e11_measure("legacy", &system, budget, &factory, &config);
+                assert_eq!(new.states, legacy.states, "engines must agree");
+                assert_eq!(new.leaves, legacy.leaves, "engines must agree");
+                rows.push(legacy);
+            }
+            rows.push(new);
+            rows.push(parallel);
+        }
+    }
+    let mut t = Table::new(&[
+        "system",
+        "crash budget",
+        "engine",
+        "verdict",
+        "states",
+        "leaves",
+        "ms",
+        "states/sec",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.system.clone(),
+            r.crash_budget.to_string(),
+            r.engine.to_string(),
+            r.verdict.clone(),
+            r.states.to_string(),
+            r.leaves.to_string(),
+            format!("{:.1}", r.millis),
+            format!("{:.0}", r.states_per_sec),
+        ]);
+    }
+    // The headline ratio: new vs seed engine on the E2 S_3 instance
+    // (budget 2), the configuration the acceptance criterion names.
+    let speedup = {
+        let pick = |engine: &str| {
+            rows.iter()
+                .find(|r| r.system == "S_3" && r.crash_budget == 2 && r.engine == engine)
+                .map(|r| r.states_per_sec)
+        };
+        match (pick("iterative"), pick("legacy")) {
+            (Some(new), Some(old)) if old > 0.0 => {
+                format!(
+                    "{:.1}× states/sec over the seed engine on S_3 (budget 2)",
+                    new / old
+                )
+            }
+            _ => "n/a (S_3 budget 2 not in sweep)".to_string(),
+        }
+    };
+    let report = format!(
+        "E11 — model-checker engine scaling (Fig. 2 team-RC workload, \
+         independent crashes, post-decide enabled):\n{}\niterative engine: \
+         {speedup}; states/leaves are deterministic and identical across \
+         engines (asserted), wall-clock is machine-dependent.\n",
+        t.render()
+    );
+    (report, rows)
+}
+
+/// Renders the E11 rows as the `BENCH_explore.json` snapshot: a stable,
+/// diff-friendly record of the engine trajectory across PRs.
+pub fn e11_snapshot_json(rows: &[E11Row]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"E11\",\n");
+    out.push_str(
+        "  \"regenerate\": \"cargo run -p rc-bench --release --bin tables -- e11 --snapshot\",\n",
+    );
+    out.push_str(
+        "  \"note\": \"states and leaves are deterministic; millis and states_per_sec are machine-dependent\",\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"crash_budget\": {}, \"engine\": \"{}\", \
+             \"verdict\": \"{}\", \"states\": {}, \"leaves\": {}, \"millis\": {:.1}, \
+             \"states_per_sec\": {:.0}}}{}\n",
+            r.system,
+            r.crash_budget,
+            r.engine,
+            r.verdict,
+            r.states,
+            r.leaves,
+            r.millis,
+            r.states_per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]

@@ -15,10 +15,14 @@
 //! | E8 | Corollary 17 hierarchy survey | [`exp::e8_catalog`] |
 //! | E9 | Theorem 22 multi-type bound | [`exp::e9_sets`] |
 //! | E10 | headline: when is RC harder? | [`exp::e10_headline`] |
+//! | E11 | model-checker engine scaling (states/sec, old vs new) | [`exp::e11_explore_scaling`] |
 //!
 //! Run `cargo run -p rc-bench --release --bin tables` for all tables, or
-//! `--bin tables -- e4 e5` for a subset. Criterion timing benches live in
-//! `benches/`.
+//! `--bin tables -- e4 e5` for a subset (unknown ids exit non-zero with
+//! the valid list). Criterion timing benches live in `benches/`; the E11
+//! engine trajectory is snapshotted in `BENCH_explore.json` via
+//! `--bin tables -- e11 --snapshot`.
 
+pub mod cli;
 pub mod exp;
 pub mod table;

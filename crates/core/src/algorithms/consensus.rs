@@ -235,7 +235,7 @@ mod tests {
     use crate::witness::Assignment;
     use rc_runtime::sched::{Action, RoundRobin, ScriptedScheduler};
     use rc_runtime::verify::check_consensus_execution;
-    use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+    use rc_runtime::{explore, run, CrashModel, ExploreConfig, RunOptions};
     use rc_spec::types::{Sn, TestAndSet, Tn};
     use rc_spec::Operation;
 
@@ -284,7 +284,7 @@ mod tests {
         let outcome = explore(
             &|| build_team_consensus_system(ty.clone(), &w, &inputs),
             &ExploreConfig {
-                crash_budget: 0,
+                crash: CrashModel::independent(0),
                 inputs: Some(inputs.clone()),
                 ..ExploreConfig::default()
             },
@@ -337,7 +337,7 @@ mod tests {
         let outcome = explore(
             &|| build_team_consensus_system(ty.clone(), &w, &inputs),
             &ExploreConfig {
-                crash_budget: 1,
+                crash: CrashModel::independent(1),
                 inputs: Some(inputs.clone()),
                 max_states: 2_000_000,
                 ..ExploreConfig::default()
@@ -362,7 +362,7 @@ mod tests {
         let outcome = explore(
             &|| build_team_consensus_system(tas.clone(), &w, &inputs),
             &ExploreConfig {
-                crash_budget: 0,
+                crash: CrashModel::independent(0),
                 inputs: Some(inputs.clone()),
                 ..ExploreConfig::default()
             },

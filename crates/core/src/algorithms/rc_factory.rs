@@ -135,7 +135,7 @@ mod tests {
     use crate::find_recording_witness;
     use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
     use rc_runtime::verify::check_consensus_execution;
-    use rc_runtime::{run, RunOptions, Step};
+    use rc_runtime::{run, CrashModel, RunOptions, Step};
     use rc_spec::types::Sn;
 
     /// The masked tournament-RC instances must satisfy RC even when every
@@ -157,9 +157,7 @@ mod tests {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.2,
-                max_crashes: 3,
-                simultaneous: false,
-                crash_after_decide: true,
+                crash: CrashModel::independent(3).after_decide(true),
             });
             // Run manually so we can change p0's nominal input on crash.
             let mut decided: Vec<Option<Value>> = vec![None; 3];

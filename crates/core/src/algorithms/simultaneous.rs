@@ -397,7 +397,7 @@ mod tests {
     use super::*;
     use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
     use rc_runtime::verify::check_consensus_execution;
-    use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+    use rc_runtime::{explore, run, CrashModel, ExploreConfig, RunOptions};
 
     fn inputs(n: usize) -> Vec<Value> {
         (0..n).map(|i| Value::Int(i as i64)).collect()
@@ -426,9 +426,7 @@ mod tests {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.05,
-                max_crashes: 4,
-                simultaneous: true,
-                crash_after_decide: true,
+                crash: CrashModel::simultaneous(4).after_decide(true),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             check_consensus_execution(&exec, &inputs)
@@ -443,9 +441,7 @@ mod tests {
         let outcome = explore(
             &|| build_simultaneous_rc_system(&factory, &inputs, 5),
             &ExploreConfig {
-                crash_budget: 2,
-                simultaneous: true,
-                crash_after_decide: true,
+                crash: CrashModel::simultaneous(2).after_decide(true),
                 inputs: Some(inputs.clone()),
                 ..ExploreConfig::default()
             },

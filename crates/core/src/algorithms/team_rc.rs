@@ -328,7 +328,7 @@ mod tests {
     use crate::witness::Assignment;
     use rc_runtime::sched::{Action, RandomScheduler, RandomSchedulerConfig, ScriptedScheduler};
     use rc_runtime::verify::check_consensus_execution;
-    use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+    use rc_runtime::{explore, run, CrashModel, ExploreConfig, RunOptions};
     use rc_spec::types::{Cas, Sn, StickyRegister};
 
     fn sn_witness(n: usize) -> (TypeHandle, RecordingWitness) {
@@ -370,9 +370,7 @@ mod tests {
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed,
                     crash_prob: 0.25,
-                    max_crashes: 4,
-                    simultaneous: false,
-                    crash_after_decide: true,
+                    crash: CrashModel::independent(4).after_decide(true),
                 });
                 let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
                 check_consensus_execution(&exec, &inputs)
@@ -389,8 +387,7 @@ mod tests {
             let outcome = explore(
                 &|| build_team_rc_system(ty.clone(), &w, &inputs),
                 &ExploreConfig {
-                    crash_budget: 2,
-                    crash_after_decide: true,
+                    crash: CrashModel::independent(2).after_decide(true),
                     inputs: Some(inputs.clone()),
                     ..ExploreConfig::default()
                 },
@@ -421,9 +418,7 @@ mod tests {
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed,
                     crash_prob: 0.2,
-                    max_crashes: 3,
-                    simultaneous: false,
-                    crash_after_decide: true,
+                    crash: CrashModel::independent(3).after_decide(true),
                 });
                 let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
                 check_consensus_execution(&exec, &inputs)
@@ -574,7 +569,7 @@ mod tests {
                 (mem, programs)
             },
             &ExploreConfig {
-                crash_budget: 0, // the violation needs no crashes at all
+                crash: CrashModel::none(), // the violation needs no crashes at all
                 inputs: Some(inputs.clone()),
                 ..ExploreConfig::default()
             },

@@ -307,7 +307,7 @@ mod tests {
     use super::*;
     use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
     use rc_runtime::verify::check_consensus_execution;
-    use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+    use rc_runtime::{explore, run, CrashModel, ExploreConfig, RunOptions};
     use rc_spec::types::{Cas, Sn, Tn};
 
     fn sn_witness(n: usize) -> (TypeHandle, RecordingWitness) {
@@ -357,9 +357,7 @@ mod tests {
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed,
                     crash_prob: 0.2,
-                    max_crashes: 4,
-                    simultaneous: false,
-                    crash_after_decide: true,
+                    crash: CrashModel::independent(4).after_decide(true),
                 });
                 let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
                 check_consensus_execution(&exec, &inputs)
@@ -375,7 +373,7 @@ mod tests {
         let outcome = explore(
             &|| build_tournament_rc(ty.clone(), &w, &inputs),
             &ExploreConfig {
-                crash_budget: 1,
+                crash: CrashModel::independent(1),
                 inputs: Some(inputs.clone()),
                 max_states: 3_000_000,
                 ..ExploreConfig::default()
@@ -394,9 +392,7 @@ mod tests {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.15,
-                max_crashes: 5,
-                simultaneous: false,
-                crash_after_decide: true,
+                crash: CrashModel::independent(5).after_decide(true),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             check_consensus_execution(&exec, &inputs)

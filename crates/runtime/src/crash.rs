@@ -1,0 +1,240 @@
+//! The crash adversary, described once.
+//!
+//! The paper's adversary is parameterized three ways: how many crash
+//! events it may inject (the *budget*), whether a crash hits one process
+//! or all of them at once (*independent* vs *simultaneous*, Sections 1
+//! and 2), and whether it may crash a process whose current run has
+//! already decided (forcing *re-runs*, which the agreement property of
+//! Section 1 quantifies over).
+//!
+//! Historically each layer of this crate re-derived those rules for
+//! itself — the exhaustive checker ([`explore`](crate::explore)), the
+//! randomized tester ([`RandomScheduler`](crate::sched::RandomScheduler))
+//! and the `E_A` scheduler
+//! ([`BudgetedCrashScheduler`](crate::sched::BudgetedCrashScheduler)) —
+//! and the copies drifted: the simultaneous branch of the model checker
+//! reset decided processes even when post-decide crashes were disabled,
+//! and the random scheduler emitted [`Action::CrashAll`] after every
+//! process had decided. [`CrashModel`] is now the single source of truth
+//! for crash legality; every layer routes its decisions through it.
+//!
+//! ## Semantics
+//!
+//! * A crash of process `p` is legal iff the budget is not exhausted and
+//!   (`p`'s current run is undecided, or post-decide crashes are
+//!   enabled).
+//! * A simultaneous crash ([`Action::CrashAll`]) wipes **every** process
+//!   — that is its definition; there is no partial `CrashAll`. It is
+//!   therefore legal iff the budget is not exhausted and (no process's
+//!   current run has decided, or post-decide crashes are enabled). This
+//!   is the exact simultaneous analogue of the independent rule, which is
+//!   what keeps the exhaustive and randomized layers in agreement.
+
+use crate::program::Pid;
+use crate::sched::Action;
+
+/// Whether crashes hit one process at a time or every process at once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrashMode {
+    /// Any single process may crash at any step boundary (Section 1's
+    /// general model, Section 3's lower bounds).
+    Independent,
+    /// All processes crash together (the Section 2 model of Theorem 1).
+    Simultaneous,
+}
+
+/// The complete description of a crash adversary: budget, crash mode and
+/// post-decide policy. Shared by [`explore`](crate::explore),
+/// [`RandomScheduler`](crate::sched::RandomScheduler) and
+/// [`BudgetedCrashScheduler`](crate::sched::BudgetedCrashScheduler).
+///
+/// # Example
+///
+/// ```
+/// use rc_runtime::{CrashModel, CrashMode};
+///
+/// let model = CrashModel::independent(2).after_decide(true);
+/// assert_eq!(model.budget, 2);
+/// assert_eq!(model.mode, CrashMode::Independent);
+/// assert!(model.may_crash(true), "post-decide crashes enabled");
+///
+/// let strict = CrashModel::simultaneous(1);
+/// assert!(strict.may_crash_all(&[false, false]));
+/// assert!(!strict.may_crash_all(&[true, false]), "would reset a decided run");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CrashModel {
+    /// Maximum number of crash events along one execution.
+    pub budget: usize,
+    /// Independent (per-process) or simultaneous (all-at-once) crashes.
+    pub mode: CrashMode,
+    /// Whether a crash may hit a process whose current run has already
+    /// decided (forcing a re-run whose output agreement must also cover).
+    pub crash_after_decide: bool,
+}
+
+impl Default for CrashModel {
+    /// One independent crash, no post-decide crashes — the cheapest model
+    /// that still exercises recovery.
+    fn default() -> Self {
+        CrashModel::independent(1)
+    }
+}
+
+impl CrashModel {
+    /// An independent-crash adversary with the given budget (post-decide
+    /// crashes disabled; enable with [`after_decide`](Self::after_decide)).
+    pub fn independent(budget: usize) -> Self {
+        CrashModel {
+            budget,
+            mode: CrashMode::Independent,
+            crash_after_decide: false,
+        }
+    }
+
+    /// A simultaneous-crash adversary with the given budget (post-decide
+    /// crashes disabled; enable with [`after_decide`](Self::after_decide)).
+    pub fn simultaneous(budget: usize) -> Self {
+        CrashModel {
+            budget,
+            mode: CrashMode::Simultaneous,
+            crash_after_decide: false,
+        }
+    }
+
+    /// The crash-free adversary.
+    pub fn none() -> Self {
+        CrashModel::independent(0)
+    }
+
+    /// Builder: sets the post-decide crash policy.
+    #[must_use]
+    pub fn after_decide(mut self, allowed: bool) -> Self {
+        self.crash_after_decide = allowed;
+        self
+    }
+
+    /// Crash events remaining after `used` have been injected.
+    pub fn remaining(&self, used: usize) -> usize {
+        self.budget.saturating_sub(used)
+    }
+
+    /// Whether the budget is exhausted after `used` injected crashes.
+    pub fn exhausted(&self, used: usize) -> bool {
+        self.remaining(used) == 0
+    }
+
+    /// Whether a process whose current run has (`decided = true`) / has
+    /// not (`decided = false`) decided may be crashed, budget aside.
+    pub fn may_crash(&self, decided: bool) -> bool {
+        self.crash_after_decide || !decided
+    }
+
+    /// Whether a simultaneous crash is legal given the decided flags,
+    /// budget aside: a `CrashAll` wipes *every* process, so it is only
+    /// legal while no current run has decided — unless post-decide
+    /// crashes are enabled.
+    pub fn may_crash_all(&self, decided: &[bool]) -> bool {
+        self.crash_after_decide || decided.iter().all(|d| !d)
+    }
+
+    /// Bitmask form of [`may_crash_all`](Self::may_crash_all), used by
+    /// the model checker's packed decided flags: bit `p` set means
+    /// process `p`'s current run has decided.
+    pub fn may_crash_all_mask(&self, decided_mask: u64) -> bool {
+        self.crash_after_decide || decided_mask == 0
+    }
+
+    /// The processes an independent-crash adversary may crash, given the
+    /// decided flags (budget aside).
+    pub fn crash_candidates(&self, decided: &[bool]) -> Vec<Pid> {
+        decided
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| self.may_crash(d))
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Every crash action this model permits from a state with the given
+    /// decided flags and `used` crashes so far — the exhaustive checker's
+    /// branch enumeration.
+    pub fn legal_crashes(&self, decided: &[bool], used: usize) -> Vec<Action> {
+        if self.exhausted(used) {
+            return Vec::new();
+        }
+        match self.mode {
+            CrashMode::Simultaneous => {
+                if self.may_crash_all(decided) {
+                    vec![Action::CrashAll]
+                } else {
+                    Vec::new()
+                }
+            }
+            CrashMode::Independent => self
+                .crash_candidates(decided)
+                .into_iter()
+                .map(Action::Crash)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_accessors() {
+        let m = CrashModel::independent(3).after_decide(true);
+        assert_eq!(m.budget, 3);
+        assert_eq!(m.mode, CrashMode::Independent);
+        assert!(m.crash_after_decide);
+        assert_eq!(m.remaining(1), 2);
+        assert!(!m.exhausted(2));
+        assert!(m.exhausted(3));
+        assert!(m.exhausted(4), "saturating, not underflowing");
+        assert_eq!(CrashModel::none().budget, 0);
+        assert_eq!(CrashModel::default(), CrashModel::independent(1));
+    }
+
+    #[test]
+    fn independent_candidates_respect_post_decide_policy() {
+        let strict = CrashModel::independent(1);
+        assert_eq!(strict.crash_candidates(&[false, true, false]), vec![0, 2]);
+        let lax = strict.after_decide(true);
+        assert_eq!(lax.crash_candidates(&[false, true, false]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn crash_all_forbidden_while_any_run_has_decided() {
+        let strict = CrashModel::simultaneous(1);
+        assert!(strict.may_crash_all(&[false, false]));
+        assert!(!strict.may_crash_all(&[false, true]));
+        assert!(!strict.may_crash_all(&[true, true]));
+        let lax = strict.after_decide(true);
+        assert!(lax.may_crash_all(&[true, true]));
+        // The mask form agrees with the slice form.
+        assert!(strict.may_crash_all_mask(0b00));
+        assert!(!strict.may_crash_all_mask(0b10));
+        assert!(lax.may_crash_all_mask(0b11));
+    }
+
+    #[test]
+    fn legal_crashes_enumeration() {
+        let m = CrashModel::independent(1);
+        assert_eq!(
+            m.legal_crashes(&[false, true], 0),
+            vec![Action::Crash(0)],
+            "decided process excluded"
+        );
+        assert!(m.legal_crashes(&[false, false], 1).is_empty(), "budget");
+        let s = CrashModel::simultaneous(2);
+        assert_eq!(s.legal_crashes(&[false, false], 1), vec![Action::CrashAll]);
+        assert!(s.legal_crashes(&[true, false], 1).is_empty());
+        assert_eq!(
+            s.after_decide(true).legal_crashes(&[true, false], 1),
+            vec![Action::CrashAll]
+        );
+    }
+}

@@ -1,13 +1,14 @@
 //! Bounded-exhaustive model checking of crash–recovery executions.
 //!
-//! [`explore`] enumerates, by depth-first search, **every** execution of a
-//! system of [`Program`]s under the paper's adversary, up to a crash
-//! budget: at each point the adversary may step any undecided process, or
-//! (budget permitting) crash any process / all processes. Reached system
-//! states — shared memory contents, every process's volatile state, the
-//! decided flags, the remaining budget — are memoized *structurally*
-//! (full-fidelity keys, no hashing shortcuts), so the search visits each
-//! state once and the verdict is exact.
+//! [`explore`] enumerates **every** execution of a system of [`Program`]s
+//! under the paper's adversary, up to a crash budget: at each point the
+//! adversary may step any undecided process, or (budget and
+//! [`CrashModel`] policy permitting) crash a process / all processes.
+//! Reached system states — shared memory contents, every process's
+//! volatile state, the decided flags, the crashes used so far — are
+//! memoized *exactly* (hash-consed full-fidelity keys, no lossy
+//! shortcuts), so the search visits each state once and the verdict is
+//! exact.
 //!
 //! The checked properties are the safety half of recoverable consensus
 //! (Section 1):
@@ -17,46 +18,87 @@
 //! * **validity** — every output is one of the declared inputs.
 //!
 //! Termination (recoverable wait-freedom) holds by construction for the
-//! paper's loop-free algorithms and is additionally guarded by a depth
-//! bound.
+//! paper's loop-free algorithms and is additionally guarded by the state
+//! cap.
+//!
+//! ## The engine
+//!
+//! The checker is an **iterative worklist DFS** over an arena of
+//! explicit frames — no recursion, so deep crash budgets (very long
+//! executions) cannot overflow the call stack. State keys are built from
+//! interned `u32` ids ([`ValueInterner`]): probing the visited set
+//! allocates nothing for already-seen values, where the seed engine
+//! cloned the entire memory and every program key per probe. Violation
+//! schedules are reconstructed from per-node **parent links** instead of
+//! a live schedule vector.
+//!
+//! With [`ExploreConfig::threads`] ` > 1` (or via [`explore_parallel`])
+//! the search switches to a **parallel frontier** mode: breadth-first
+//! levels, each processed in a serial dedup phase (interner + visited
+//! probes, fixing node indices and parent links in a deterministic
+//! order) followed by parallel expansion across `std::thread` workers,
+//! which share the post-crash program cache behind a `parking_lot`
+//! mutex. The result is fully deterministic across runs and thread
+//! counts: verdicts, state counts and leaf counts equal the serial
+//! engine's on any uncapped search (the reachable state space does not
+//! depend on exploration order), and when several violations exist the
+//! engine reports the lexicographically least schedule of the
+//! shallowest violating level — which may differ from the serial DFS's
+//! first-found schedule. The state cap is enforced at level
+//! granularity, so a capped parallel run may overshoot `max_states` by
+//! up to one frontier before reporting truncation.
 
-use crate::memory::Memory;
+use crate::crash::CrashModel;
+use crate::intern::{StateTable, ValueInterner};
+use crate::memory::{Cell, MemOps, Memory};
 use crate::program::{Program, Step};
 use crate::sched::Action;
-use rc_spec::Value;
-use std::collections::HashSet;
+use parking_lot::Mutex;
+use rc_spec::{Operation, Value};
+use std::sync::Arc;
 
 /// Configuration for [`explore`].
 #[derive(Clone, Debug)]
 pub struct ExploreConfig {
-    /// Maximum number of crash events along any one execution.
-    pub crash_budget: usize,
-    /// If `true`, crashes are simultaneous (`CrashAll`); otherwise
-    /// individual (`Crash(p)`).
-    pub simultaneous: bool,
-    /// Whether the adversary may crash a process whose current run already
-    /// decided (forcing re-runs). Default `false` keeps the state space
-    /// small; the randomized tester covers post-decide crashes at scale.
-    pub crash_after_decide: bool,
+    /// The crash adversary: budget, independent vs simultaneous mode and
+    /// post-decide policy — shared with the randomized schedulers, so
+    /// the exact and randomized layers agree on crash legality.
+    pub crash: CrashModel,
     /// The declared inputs, for the validity check. `None` skips validity.
     pub inputs: Option<Vec<Value>>,
-    /// Safety cap on distinct states (the search reports truncation).
+    /// Cap on distinct states visited. The serial engine visits at most
+    /// this many states and reports [`ExploreOutcome::Truncated`] when
+    /// one more would be needed; the parallel engine checks the cap
+    /// between frontier levels (see the module docs).
     pub max_states: usize,
+    /// Worker threads for the parallel frontier mode; `0` and `1` both
+    /// select the serial DFS engine.
+    pub threads: usize,
 }
 
 impl Default for ExploreConfig {
     fn default() -> Self {
         ExploreConfig {
-            crash_budget: 1,
-            simultaneous: false,
-            crash_after_decide: false,
+            crash: CrashModel::default(),
             inputs: None,
             max_states: 5_000_000,
+            threads: 1,
         }
     }
 }
 
 /// The result of an exhaustive exploration.
+///
+/// # Verdict precedence
+///
+/// `Violation` > `Truncated` > `Verified`: a violation is definitive the
+/// moment it is found (its schedule replays from the initial state
+/// regardless of how much of the space was explored), so it is reported
+/// even if the state cap was also hit. `Truncated` means the cap stopped
+/// the search *without* a violation having been found — safety of the
+/// unexplored remainder is unknown, so `Verified` is never claimed for a
+/// capped run. `Verified` is exact: every reachable state (under the
+/// configured adversary) was visited.
 #[derive(Clone, Debug)]
 pub enum ExploreOutcome {
     /// Every reachable execution satisfies agreement (and validity, if
@@ -78,7 +120,8 @@ pub enum ExploreOutcome {
         /// The conflicting outputs observed on that schedule.
         outputs: Vec<Value>,
     },
-    /// The state cap was hit before the search completed.
+    /// The state cap was hit before the search completed and no
+    /// violation had been found.
     Truncated {
         /// Number of distinct system states visited before giving up.
         states: usize,
@@ -95,6 +138,11 @@ impl ExploreOutcome {
     pub fn is_violation(&self) -> bool {
         matches!(self, ExploreOutcome::Violation { .. })
     }
+
+    /// Whether the state cap stopped the search.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, ExploreOutcome::Truncated { .. })
+    }
 }
 
 /// Which safety property failed.
@@ -110,153 +158,973 @@ pub enum ViolationKind {
 /// output to branch the search.
 pub type SystemFactory<'a> = dyn Fn() -> (Memory, Vec<Box<dyn Program>>) + 'a;
 
-/// Full-fidelity memoization key for a system state: shared-memory
-/// contents, each process's volatile state, the decided flags, crashes
-/// used so far, and the first decided value (if any).
-type StateKey = (Vec<Value>, Vec<Value>, Vec<bool>, usize, Option<Value>);
-
-struct Search<'a> {
-    config: &'a ExploreConfig,
-    visited: HashSet<StateKey>,
-    schedule: Vec<Action>,
-    leaves: usize,
-    truncated: bool,
-    violation: Option<(ViolationKind, Vec<Action>, Vec<Value>)>,
+/// A copy-on-write shared memory for the search: cell payloads live
+/// behind `Arc`s, so branching a state bumps refcounts instead of
+/// deep-cloning every register and object state — only the cell a child
+/// actually writes is cloned (`Arc::make_mut`), and only while shared.
+/// Semantically identical to [`Memory`] (same atomicity, same
+/// type-confusion panics).
+#[derive(Clone)]
+enum CowCell {
+    Register(Arc<Value>),
+    Object {
+        ty: rc_spec::TypeHandle,
+        state: Arc<Value>,
+    },
 }
 
 #[derive(Clone)]
-struct Node {
-    mem: Memory,
-    programs: Vec<Box<dyn Program>>,
-    decided: Vec<bool>,
+struct CowMemory {
+    cells: Vec<CowCell>,
+    /// The cell written by the last step, for incremental key updates.
+    /// `Program::step` performs at most one shared-memory access, so one
+    /// slot suffices; a second write in one step panics (it would make
+    /// the incremental keys unsound and the contract is explicit).
+    dirty: Option<usize>,
+}
+
+impl CowMemory {
+    fn from_memory(mem: &Memory) -> Self {
+        let cells = (0..mem.len())
+            .map(|i| match mem.peek_cell(crate::memory::Addr(i)) {
+                Cell::Register(v) => CowCell::Register(Arc::new(v)),
+                Cell::Object { ty, state } => CowCell::Object {
+                    ty,
+                    state: Arc::new(state),
+                },
+            })
+            .collect();
+        CowMemory { cells, dirty: None }
+    }
+
+    fn value_ref(&self, index: usize) -> &Value {
+        match &self.cells[index] {
+            CowCell::Register(v) => v,
+            CowCell::Object { state, .. } => state,
+        }
+    }
+
+    fn mark_dirty(&mut self, index: usize) {
+        assert!(
+            self.dirty.is_none() || self.dirty == Some(index),
+            "Program::step performed more than one shared-memory write; \
+             the step contract allows at most one access"
+        );
+        self.dirty = Some(index);
+    }
+
+    fn take_dirty(&mut self) -> Option<usize> {
+        self.dirty.take()
+    }
+}
+
+impl MemOps for CowMemory {
+    fn read_register(&mut self, addr: crate::memory::Addr) -> Value {
+        match &self.cells[addr.0] {
+            CowCell::Register(v) => (**v).clone(),
+            CowCell::Object { .. } => panic!("{addr} is an object, not a register"),
+        }
+    }
+
+    fn write_register(&mut self, addr: crate::memory::Addr, value: Value) {
+        match &mut self.cells[addr.0] {
+            CowCell::Register(v) => *Arc::make_mut(v) = value,
+            CowCell::Object { .. } => panic!("{addr} is an object, not a register"),
+        }
+        self.mark_dirty(addr.0);
+    }
+
+    fn read_object(&mut self, addr: crate::memory::Addr) -> Value {
+        match &self.cells[addr.0] {
+            CowCell::Object { ty, state } => {
+                assert!(
+                    ty.is_readable(),
+                    "type {} is not readable; Read is not available",
+                    ty.name()
+                );
+                (**state).clone()
+            }
+            CowCell::Register(_) => panic!("{addr} is a register, not an object"),
+        }
+    }
+
+    fn apply(&mut self, addr: crate::memory::Addr, op: &Operation) -> Value {
+        let response = match &mut self.cells[addr.0] {
+            CowCell::Object { ty, state } => {
+                let t = ty.apply(state, op);
+                *Arc::make_mut(state) = t.next;
+                t.response
+            }
+            CowCell::Register(_) => panic!("{addr} is a register, not an object"),
+        };
+        self.mark_dirty(addr.0);
+        response
+    }
+}
+
+/// Clone-on-write access to one program slot: clones the program only
+/// when its `Arc` is shared with sibling states.
+fn program_mut(slot: &mut Arc<Box<dyn Program>>) -> &mut dyn Program {
+    if Arc::get_mut(slot).is_none() {
+        *slot = Arc::new(slot.boxed_clone());
+    }
+    &mut **Arc::get_mut(slot).expect("just made unique")
+}
+
+/// One system state: shared memory, every process's volatile state, the
+/// decided flags, crashes used and the first decided value. Cloning is
+/// cheap (copy-on-write payloads) — the engine branches by cloning.
+#[derive(Clone)]
+struct SysState {
+    mem: CowMemory,
+    programs: Vec<Arc<Box<dyn Program>>>,
+    /// Bit `p` set — process `p`'s current run has decided. Packed so
+    /// branching clones a word, not a heap vector.
+    decided: u64,
     crashes_used: usize,
     decided_value: Option<Value>,
 }
 
-impl Node {
-    fn key(&self) -> StateKey {
-        (
-            self.mem.state_key(),
-            self.programs.iter().map(|p| p.state_key()).collect(),
-            self.decided.clone(),
-            self.crashes_used,
-            self.decided_value.clone(),
-        )
+impl SysState {
+    fn root(mem: Memory, programs: Vec<Box<dyn Program>>) -> Self {
+        assert!(
+            programs.len() <= 64,
+            "the exhaustive checker packs decided flags into a u64; \
+             {}-process systems are far beyond exact exploration anyway",
+            programs.len()
+        );
+        SysState {
+            mem: CowMemory::from_memory(&mem),
+            programs: programs.into_iter().map(Arc::new).collect(),
+            decided: 0,
+            crashes_used: 0,
+            decided_value: None,
+        }
+    }
+
+    fn is_decided(&self, p: usize) -> bool {
+        self.decided & (1 << p) != 0
+    }
+
+    /// Every action the adversary may take from this state, in the
+    /// engine's canonical order: steps of undecided processes (ascending
+    /// pid), then legal crashes (matching
+    /// [`CrashModel::legal_crashes`], inlined to build one vector).
+    fn enabled_actions(&self, model: &CrashModel) -> Vec<Action> {
+        let n = self.programs.len();
+        let mut actions: Vec<Action> = Vec::with_capacity(2 * n + 1);
+        actions.extend((0..n).filter(|&p| !self.is_decided(p)).map(Action::Step));
+        if !model.exhausted(self.crashes_used) {
+            match model.mode {
+                crate::crash::CrashMode::Simultaneous => {
+                    if model.may_crash_all_mask(self.decided) {
+                        actions.push(Action::CrashAll);
+                    }
+                }
+                crate::crash::CrashMode::Independent => {
+                    actions.extend(
+                        (0..n)
+                            .filter(|&p| model.may_crash(self.is_decided(p)))
+                            .map(Action::Crash),
+                    );
+                }
+            }
+        }
+        actions
     }
 }
 
-impl Search<'_> {
-    fn dfs(&mut self, node: Node) {
-        if self.violation.is_some() || self.truncated {
-            return;
-        }
-        if !self.visited.insert(node.key()) {
-            return;
-        }
-        if self.visited.len() > self.config.max_states {
-            self.truncated = true;
-            return;
-        }
+/// The post-crash program objects, one per process, computed lazily and
+/// shared by every crash branch: [`Program::on_crash`] resets a program
+/// to its initial state (input retained — the input never changes across
+/// runs), so the crashed object is the same whatever state the crash
+/// hit. Sharing it via `Arc` makes crash children allocation-free on the
+/// program side. This leans on the same contract the memoization already
+/// leans on (`on_crash` resets *everything* volatile; `state_key` is
+/// complete).
+struct CrashedPrograms {
+    progs: Vec<Option<Arc<Box<dyn Program>>>>,
+    /// Interned id of each post-crash program key, memoized on first
+    /// resolution (the id is constant for the same reason the object is).
+    key_ids: Vec<Option<u32>>,
+}
 
-        let n = node.programs.len();
-        let mut any_action = false;
+/// Where [`apply_to_child`] gets post-crash program objects from.
+trait CrashSource {
+    fn crashed(&mut self, parent: &SysState, p: usize) -> Arc<Box<dyn Program>>;
+}
 
-        // Step actions for undecided processes.
-        for p in 0..n {
-            if node.decided[p] {
+impl CrashSource for CrashedPrograms {
+    fn crashed(&mut self, parent: &SysState, p: usize) -> Arc<Box<dyn Program>> {
+        CrashedPrograms::crashed(self, parent, p)
+    }
+}
+
+/// Step actions never crash anyone; this source is unreachable.
+struct NoCrashes;
+
+impl CrashSource for NoCrashes {
+    fn crashed(&mut self, _: &SysState, _: usize) -> Arc<Box<dyn Program>> {
+        unreachable!("step actions do not crash programs")
+    }
+}
+
+impl CrashedPrograms {
+    fn new(n: usize) -> Self {
+        CrashedPrograms {
+            progs: vec![None; n],
+            key_ids: vec![None; n],
+        }
+    }
+
+    fn crashed(&mut self, parent: &SysState, p: usize) -> Arc<Box<dyn Program>> {
+        self.progs[p]
+            .get_or_insert_with(|| {
+                let mut fresh = parent.programs[p].boxed_clone();
+                fresh.on_crash();
+                Arc::new(fresh)
+            })
+            .clone()
+    }
+
+    fn crashed_key_id(&mut self, state: &SysState, p: usize, interner: &mut ValueInterner) -> u32 {
+        *self.key_ids[p].get_or_insert_with(|| interner.intern(&state.programs[p].state_key()))
+    }
+}
+
+/// Slot offsets of the flat interned state key:
+/// `[cells | program keys | packed decided bits | crashes | decided value]`.
+///
+/// Keys are built **incrementally**: a child's key is a copy of its
+/// parent's with only the slots the action touched re-interned — the one
+/// dirty memory cell (a step performs at most one access), the stepped
+/// or crashed program's key, the decided bit, the crash count and the
+/// decided value. Unchanged slots keep their parent's ids, which is
+/// sound because interned ids are stable and injective.
+#[derive(Clone, Copy)]
+struct KeyLayout {
+    cells: usize,
+    n: usize,
+}
+
+impl KeyLayout {
+    fn of(state: &SysState) -> Self {
+        KeyLayout {
+            cells: state.mem.cells.len(),
+            n: state.programs.len(),
+        }
+    }
+
+    fn decided_words(&self) -> usize {
+        self.n.div_ceil(32)
+    }
+
+    fn prog(&self, p: usize) -> usize {
+        self.cells + p
+    }
+
+    fn decided_word(&self, p: usize) -> usize {
+        self.cells + self.n + p / 32
+    }
+
+    fn crashes(&self) -> usize {
+        self.cells + self.n + self.decided_words()
+    }
+
+    fn decided_value(&self) -> usize {
+        self.crashes() + 1
+    }
+
+    fn len(&self) -> usize {
+        self.decided_value() + 1
+    }
+}
+
+/// Where a pending key slot's value comes from; resolved against the
+/// child state with the interner in hand (under the lock, in parallel
+/// mode), so no `Value` is ever cloned for key building.
+#[derive(Clone, Copy)]
+enum Slot {
+    Cell(usize),
+    Prog(usize),
+    /// A program reset by a crash: resolved from the per-engine cache of
+    /// post-crash key ids instead of rebuilding and hashing the key.
+    Crashed(usize),
+    DecidedValue,
+}
+
+/// A child's key: the patched copy of the parent's key plus the slots
+/// still needing the interner.
+struct ChildKey {
+    key: Vec<u32>,
+    pending: Vec<(usize, Slot)>,
+}
+
+impl ChildKey {
+    /// The root's key: an all-pending template (decided bits and crash
+    /// count are zero, which the template already holds).
+    fn root(layout: &KeyLayout) -> Self {
+        let mut pending = Vec::with_capacity(layout.cells + layout.n + 1);
+        pending.extend((0..layout.cells).map(|i| (i, Slot::Cell(i))));
+        pending.extend((0..layout.n).map(|p| (layout.prog(p), Slot::Prog(p))));
+        pending.push((layout.decided_value(), Slot::DecidedValue));
+        ChildKey {
+            key: vec![0; layout.len()],
+            pending,
+        }
+    }
+
+    /// Fills the pending slots from `state`, leaving `key` final.
+    fn resolve(
+        &mut self,
+        state: &SysState,
+        crashed: &mut CrashedPrograms,
+        interner: &mut ValueInterner,
+    ) -> &[u32] {
+        for &(pos, slot) in &self.pending {
+            self.key[pos] = match slot {
+                Slot::Cell(i) => interner.intern(state.mem.value_ref(i)),
+                Slot::Prog(p) => interner.intern(&state.programs[p].state_key()),
+                Slot::Crashed(p) => crashed.crashed_key_id(state, p, interner),
+                Slot::DecidedValue => match &state.decided_value {
+                    Some(v) => interner.intern(v),
+                    None => ValueInterner::NONE,
+                },
+            };
+        }
+        self.pending.clear();
+        &self.key
+    }
+}
+
+/// Clones `parent` and applies `action`. Returns the child, the cell it
+/// wrote (if any) and the value it decided (if any) — `decided_value` is
+/// deliberately left at the parent's value so the caller can check the
+/// decision against it. Crash branches take the shared post-crash
+/// program from `crashed` instead of cloning.
+fn apply_to_child(
+    parent: &SysState,
+    action: Action,
+    crashed: &mut dyn CrashSource,
+) -> (SysState, Option<usize>, Option<Value>) {
+    let mut child = parent.clone();
+    let mut newly_decided = None;
+    match action {
+        Action::Step(p) => {
+            if let Step::Decided(v) = program_mut(&mut child.programs[p]).step(&mut child.mem) {
+                child.decided |= 1 << p;
+                newly_decided = Some(v);
+            }
+        }
+        Action::Crash(p) => {
+            child.programs[p] = crashed.crashed(parent, p);
+            child.decided &= !(1 << p);
+            child.crashes_used += 1;
+        }
+        Action::CrashAll => {
+            for p in 0..child.programs.len() {
+                child.programs[p] = crashed.crashed(parent, p);
+            }
+            child.decided = 0;
+            child.crashes_used += 1;
+        }
+    }
+    let dirty = child.mem.take_dirty();
+    (child, dirty, newly_decided)
+}
+
+/// Patches the action-independent raw slots (decided bits, crash count)
+/// of a child key already initialized to the parent's key.
+fn patch_raw_slots(key: &mut [u32], child: &SysState, action: Action, layout: &KeyLayout) {
+    match action {
+        Action::Step(p) => {
+            if child.is_decided(p) {
+                key[layout.decided_word(p)] |= 1 << (p % 32);
+            }
+        }
+        Action::Crash(p) => {
+            key[layout.decided_word(p)] &= !(1 << (p % 32));
+            key[layout.crashes()] =
+                u32::try_from(child.crashes_used).expect("crash budget fits u32");
+        }
+        Action::CrashAll => {
+            for w in 0..layout.decided_words() {
+                key[layout.cells + layout.n + w] = 0;
+            }
+            key[layout.crashes()] =
+                u32::try_from(child.crashes_used).expect("crash budget fits u32");
+        }
+    }
+}
+
+/// Checks a fresh decision against the parent's decided value and the
+/// validity inputs; on success records it on the child.
+fn settle_decision(
+    child: &mut SysState,
+    newly_decided: Option<Value>,
+    inputs: Option<&[Value]>,
+) -> Result<bool, (ViolationKind, Vec<Value>)> {
+    match newly_decided {
+        None => Ok(false),
+        Some(v) => {
+            // `child.decided_value` still holds the parent's decided
+            // value here; the new output is checked against it first.
+            if let Some(kind) = check_output(inputs, child.decided_value.as_ref(), &v) {
+                return Err((kind, violation_outputs(child.decided_value.as_ref(), v)));
+            }
+            child.decided_value = Some(v);
+            Ok(true)
+        }
+    }
+}
+
+/// The parallel engine's child builder: the key is patched but interner
+/// slots stay pending (resolved in the next level's serial phase). The
+/// post-crash program cache is shared across workers; its lock is taken
+/// only inside [`apply_to_child`]'s crash branches, so step expansion
+/// runs lock-free.
+fn make_child(
+    parent: &SysState,
+    parent_key: &[u32],
+    action: Action,
+    layout: &KeyLayout,
+    crashed: &Mutex<CrashedPrograms>,
+    inputs: Option<&[Value]>,
+) -> Result<(SysState, ChildKey), (ViolationKind, Vec<Value>)> {
+    let (mut child, dirty, newly_decided) = match action {
+        Action::Step(_) => apply_to_child(parent, action, &mut NoCrashes),
+        _ => apply_to_child(parent, action, &mut *crashed.lock()),
+    };
+    let decided = settle_decision(&mut child, newly_decided, inputs)?;
+    let mut key = parent_key.to_vec();
+    patch_raw_slots(&mut key, &child, action, layout);
+    let mut pending = Vec::with_capacity(4);
+    if let Some(cell) = dirty {
+        pending.push((cell, Slot::Cell(cell)));
+    }
+    match action {
+        Action::Step(p) => pending.push((layout.prog(p), Slot::Prog(p))),
+        Action::Crash(p) => pending.push((layout.prog(p), Slot::Crashed(p))),
+        Action::CrashAll => {
+            pending.extend((0..layout.n).map(|p| (layout.prog(p), Slot::Crashed(p))));
+        }
+    }
+    if decided {
+        pending.push((layout.decided_value(), Slot::DecidedValue));
+    }
+    Ok((child, ChildKey { key, pending }))
+}
+
+/// The serial engine's child builder: the interner is at hand, so the
+/// final key is written straight into the reusable `scratch` buffer —
+/// children that turn out to be already-visited states allocate nothing
+/// beyond the copy-on-write state clone.
+#[allow(clippy::too_many_arguments)]
+fn make_child_serial(
+    parent: &SysState,
+    parent_key: &[u32],
+    action: Action,
+    layout: &KeyLayout,
+    crashed: &mut CrashedPrograms,
+    interner: &mut ValueInterner,
+    inputs: Option<&[Value]>,
+    scratch: &mut Vec<u32>,
+) -> Result<SysState, (ViolationKind, Vec<Value>)> {
+    let (mut child, dirty, newly_decided) = apply_to_child(parent, action, crashed);
+    let decided = settle_decision(&mut child, newly_decided, inputs)?;
+    scratch.clear();
+    scratch.extend_from_slice(parent_key);
+    patch_raw_slots(scratch, &child, action, layout);
+    if let Some(cell) = dirty {
+        scratch[cell] = interner.intern(child.mem.value_ref(cell));
+    }
+    match action {
+        Action::Step(p) => {
+            scratch[layout.prog(p)] = interner.intern(&child.programs[p].state_key());
+        }
+        Action::Crash(p) => {
+            scratch[layout.prog(p)] = crashed.crashed_key_id(&child, p, interner);
+        }
+        Action::CrashAll => {
+            for p in 0..layout.n {
+                scratch[layout.prog(p)] = crashed.crashed_key_id(&child, p, interner);
+            }
+        }
+    }
+    if decided {
+        scratch[layout.decided_value()] = match &child.decided_value {
+            Some(v) => interner.intern(v),
+            None => ValueInterner::NONE,
+        };
+    }
+    Ok(child)
+}
+
+fn check_output(
+    inputs: Option<&[Value]>,
+    decided: Option<&Value>,
+    v: &Value,
+) -> Option<ViolationKind> {
+    if let Some(d) = decided {
+        if d != v {
+            return Some(ViolationKind::Agreement);
+        }
+    }
+    if let Some(inputs) = inputs {
+        if !inputs.contains(v) {
+            return Some(ViolationKind::Validity);
+        }
+    }
+    None
+}
+
+fn violation_outputs(decided: Option<&Value>, v: Value) -> Vec<Value> {
+    match decided {
+        Some(d) => vec![d.clone(), v],
+        None => vec![v],
+    }
+}
+
+/// Walks parent links back to the root, returning the action sequence
+/// that reaches node `idx` from the initial state.
+fn schedule_to(parents: &[Option<(u32, Action)>], mut idx: u32) -> Vec<Action> {
+    let mut schedule = Vec::new();
+    while let Some((parent, action)) = parents[idx as usize] {
+        schedule.push(action);
+        idx = parent;
+    }
+    schedule.reverse();
+    schedule
+}
+
+/// A DFS frame: one visited node plus a cursor over its enabled actions.
+struct Frame {
+    state: SysState,
+    key: Vec<u32>,
+    idx: u32,
+    actions: Vec<Action>,
+    cursor: usize,
+}
+
+struct SerialEngine<'a> {
+    config: &'a ExploreConfig,
+    interner: ValueInterner,
+    visited: StateTable,
+    parents: Vec<Option<(u32, Action)>>,
+    crashed: CrashedPrograms,
+    leaves: usize,
+    truncated: bool,
+}
+
+impl SerialEngine<'_> {
+    /// Enters the state whose resolved key is `key`: memoizes it and,
+    /// when new and non-terminal, returns the frame to push. Sets
+    /// `truncated` when the state is new but the cap is already full.
+    fn enter(
+        &mut self,
+        state: SysState,
+        key: &[u32],
+        parent: Option<(u32, Action)>,
+    ) -> Option<Frame> {
+        if self.visited.len() >= self.config.max_states {
+            // At the cap, only a *new* state means truncation.
+            if self.visited.get(key).is_none() {
+                self.truncated = true;
+            }
+            return None;
+        }
+        let (idx, is_new) = self.visited.insert(key);
+        if !is_new {
+            return None;
+        }
+        self.parents.push(parent);
+        let actions = state.enabled_actions(&self.config.crash);
+        if actions.is_empty() {
+            self.leaves += 1;
+            return None;
+        }
+        Some(Frame {
+            state,
+            key: key.to_vec(),
+            idx,
+            actions,
+            cursor: 0,
+        })
+    }
+}
+
+fn explore_serial(root: SysState, config: &ExploreConfig) -> ExploreOutcome {
+    let layout = KeyLayout::of(&root);
+    let mut engine = SerialEngine {
+        config,
+        interner: ValueInterner::new(),
+        visited: StateTable::new(),
+        parents: Vec::new(),
+        crashed: CrashedPrograms::new(layout.n),
+        leaves: 0,
+        truncated: false,
+    };
+    let mut scratch: Vec<u32> = Vec::with_capacity(layout.len());
+    let mut stack: Vec<Frame> = Vec::new();
+    {
+        let mut root_key = ChildKey::root(&layout);
+        root_key.resolve(&root, &mut engine.crashed, &mut engine.interner);
+        if let Some(frame) = engine.enter(root, &root_key.key, None) {
+            stack.push(frame);
+        }
+    }
+    while !stack.is_empty() && !engine.truncated {
+        let top = stack.last_mut().expect("non-empty stack");
+        if top.cursor >= top.actions.len() {
+            stack.pop();
+            continue;
+        }
+        let action = top.actions[top.cursor];
+        top.cursor += 1;
+        let parent_idx = top.idx;
+        match make_child_serial(
+            &top.state,
+            &top.key,
+            action,
+            &layout,
+            &mut engine.crashed,
+            &mut engine.interner,
+            config.inputs.as_deref(),
+            &mut scratch,
+        ) {
+            Err((kind, outputs)) => {
+                let mut schedule = schedule_to(&engine.parents, parent_idx);
+                schedule.push(action);
+                return ExploreOutcome::Violation {
+                    kind,
+                    schedule,
+                    outputs,
+                };
+            }
+            Ok(child) => {
+                if let Some(frame) = engine.enter(child, &scratch, Some((parent_idx, action))) {
+                    stack.push(frame);
+                }
+            }
+        }
+    }
+    if engine.truncated {
+        ExploreOutcome::Truncated {
+            states: engine.visited.len(),
+        }
+    } else {
+        ExploreOutcome::Verified {
+            states: engine.visited.len(),
+            leaves: engine.leaves,
+        }
+    }
+}
+
+/// A violation observed while expanding a frontier node: the parent's
+/// node index plus the offending action and evidence.
+struct FoundViolation {
+    parent: u32,
+    action: Action,
+    kind: ViolationKind,
+    outputs: Vec<Value>,
+}
+
+/// The parallel frontier engine: breadth-first levels, each processed
+/// in two phases. Phase 1 (serial) resolves keys against the interner
+/// and deduplicates against the visited set — this fixes parent links
+/// and node indices in a deterministic order, which is what makes
+/// reported violation schedules independent of thread timing. Phase 2
+/// (parallel) expands the new nodes — the expensive part: cloning,
+/// stepping programs, building child keys — across `std::thread`
+/// workers, which share the post-crash program cache behind a
+/// `parking_lot` mutex.
+fn explore_frontier(root: SysState, config: &ExploreConfig, threads: usize) -> ExploreOutcome {
+    let layout = KeyLayout::of(&root);
+    let mut interner = ValueInterner::new();
+    let mut visited = StateTable::new();
+    let mut parents: Vec<Option<(u32, Action)>> = Vec::new();
+    let mut leaves = 0usize;
+    let mut phase1_crashed = CrashedPrograms::new(layout.n);
+    let shared_crashed = Mutex::new(CrashedPrograms::new(layout.n));
+    type Item = (SysState, ChildKey, Option<(u32, Action)>);
+    /// A deduplicated node awaiting expansion: state, resolved key,
+    /// node index and its enabled actions.
+    type Expand = (SysState, Vec<u32>, u32, Vec<Action>);
+    let mut frontier: Vec<Item> = vec![(root, ChildKey::root(&layout), None)];
+    let mut truncated = false;
+
+    while !frontier.is_empty() {
+        // Phase 1: serial dedup. Frontier order is deterministic (chunk
+        // results are concatenated in spawn order), so the winning
+        // parent of every state is too.
+        let mut expand: Vec<Expand> = Vec::new();
+        for (state, mut child_key, parent) in frontier.drain(..) {
+            let key = child_key.resolve(&state, &mut phase1_crashed, &mut interner);
+            let (idx, is_new) = visited.insert(key);
+            if !is_new {
                 continue;
             }
-            any_action = true;
-            let mut next = node.clone();
-            self.schedule.push(Action::Step(p));
-            let step = next.programs[p].step(&mut next.mem);
-            if let Step::Decided(v) = step {
-                next.decided[p] = true;
-                if let Some(kind) = self.check_output(&node.decided_value, &v) {
-                    self.violation = Some((
-                        kind,
-                        self.schedule.clone(),
-                        match &node.decided_value {
-                            Some(d) => vec![d.clone(), v.clone()],
-                            None => vec![v.clone()],
-                        },
-                    ));
-                    self.schedule.pop();
-                    return;
-                }
-                next.decided_value = Some(v);
+            parents.push(parent);
+            let actions = state.enabled_actions(&config.crash);
+            if actions.is_empty() {
+                leaves += 1;
+                continue;
             }
-            self.dfs(next);
-            self.schedule.pop();
+            expand.push((state, child_key.key, idx, actions));
+        }
+        if visited.len() >= config.max_states && !expand.is_empty() {
+            truncated = true;
+            break;
+        }
+
+        // Phase 2: parallel expansion. Owned per-worker chunks —
+        // `Program` is `Send` but not `Sync`, so frontier items move
+        // into their worker rather than being shared by reference.
+        let mut chunks: Vec<Vec<Expand>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, node) in expand.into_iter().enumerate() {
+            chunks[i % threads].push(node);
+        }
+        let level: Vec<(Vec<Item>, Vec<FoundViolation>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .filter(|chunk| !chunk.is_empty())
+                .map(|chunk| {
+                    let shared_crashed = &shared_crashed;
+                    let config = &*config;
+                    scope.spawn(move || {
+                        let mut next = Vec::new();
+                        let mut violations = Vec::new();
+                        for (state, key, idx, actions) in chunk {
+                            for &action in &actions {
+                                match make_child(
+                                    &state,
+                                    &key,
+                                    action,
+                                    &layout,
+                                    shared_crashed,
+                                    config.inputs.as_deref(),
+                                ) {
+                                    Err((kind, outputs)) => violations.push(FoundViolation {
+                                        parent: idx,
+                                        action,
+                                        kind,
+                                        outputs,
+                                    }),
+                                    Ok((child, child_key)) => {
+                                        next.push((child, child_key, Some((idx, action))));
+                                    }
+                                }
+                            }
+                        }
+                        (next, violations)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+        let mut violations: Vec<FoundViolation> = Vec::new();
+        let mut next_frontier: Vec<Item> = Vec::new();
+        for (next, viols) in level {
+            next_frontier.extend(next);
+            violations.extend(viols);
+        }
+        if !violations.is_empty() {
+            // Parent links are deterministic (phase 1), so every
+            // reconstructed schedule is; the lexicographically least of
+            // the shallowest violating level is the canonical witness.
+            return violations
+                .into_iter()
+                .map(|v| {
+                    let mut schedule = schedule_to(&parents, v.parent);
+                    schedule.push(v.action);
+                    (schedule, v.kind, v.outputs)
+                })
+                .min_by(|a, b| a.0.cmp(&b.0))
+                .map(|(schedule, kind, outputs)| ExploreOutcome::Violation {
+                    kind,
+                    schedule,
+                    outputs,
+                })
+                .expect("non-empty violations");
+        }
+        frontier = next_frontier;
+    }
+
+    if truncated {
+        ExploreOutcome::Truncated {
+            states: visited.len(),
+        }
+    } else {
+        ExploreOutcome::Verified {
+            states: visited.len(),
+            leaves,
+        }
+    }
+}
+
+/// Exhaustively explores every execution of the system produced by
+/// `factory` under `config`'s adversary. Dispatches to the serial DFS
+/// engine, or to the parallel frontier engine when
+/// [`ExploreConfig::threads`] ` > 1`.
+pub fn explore(factory: &SystemFactory<'_>, config: &ExploreConfig) -> ExploreOutcome {
+    let (mem, programs) = factory();
+    let root = SysState::root(mem, programs);
+    if config.threads > 1 {
+        explore_frontier(root, config, config.threads)
+    } else {
+        explore_serial(root, config)
+    }
+}
+
+/// [`explore`] in parallel frontier mode: uses
+/// [`ExploreConfig::threads`] workers, or every available CPU when the
+/// config says serial. Verdicts and state counts match [`explore`] on
+/// any uncapped search.
+pub fn explore_parallel(factory: &SystemFactory<'_>, config: &ExploreConfig) -> ExploreOutcome {
+    let threads = if config.threads > 1 {
+        config.threads
+    } else {
+        std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+    };
+    let (mem, programs) = factory();
+    explore_frontier(SysState::root(mem, programs), config, threads.max(2))
+}
+
+/// The seed engine: recursive DFS memoizing on freshly allocated
+/// structural key tuples, kept **only** as the measurement baseline for
+/// experiment E11 (old-vs-new states/sec). It routes crash legality
+/// through the same [`CrashModel`] as [`explore`], so verdicts and state
+/// counts are identical — only the allocation profile and the recursion
+/// differ. Scheduled for deletion once the E11 trajectory is
+/// established; do not use it for new work (it overflows the call stack
+/// at deep crash budgets).
+pub fn explore_legacy(factory: &SystemFactory<'_>, config: &ExploreConfig) -> ExploreOutcome {
+    type StructuralKey = (Vec<Value>, Vec<Value>, Vec<bool>, usize, Option<Value>);
+
+    /// The seed representation: deep-cloned memory and boxed programs
+    /// per branch (no copy-on-write), so the baseline's allocation
+    /// profile is preserved faithfully.
+    #[derive(Clone)]
+    struct Node {
+        mem: Memory,
+        programs: Vec<Box<dyn Program>>,
+        decided: Vec<bool>,
+        crashes_used: usize,
+        decided_value: Option<Value>,
+    }
+
+    impl Node {
+        fn key(&self) -> StructuralKey {
+            (
+                self.mem.state_key(),
+                self.programs.iter().map(|p| p.state_key()).collect(),
+                self.decided.clone(),
+                self.crashes_used,
+                self.decided_value.clone(),
+            )
+        }
+
+        fn apply(&mut self, action: Action) -> Option<Value> {
+            match action {
+                Action::Step(p) => match self.programs[p].step(&mut self.mem) {
+                    Step::Decided(v) => {
+                        self.decided[p] = true;
+                        Some(v)
+                    }
+                    Step::Running => None,
+                },
+                Action::Crash(p) => {
+                    self.programs[p].on_crash();
+                    self.decided[p] = false;
+                    self.crashes_used += 1;
+                    None
+                }
+                Action::CrashAll => {
+                    for (p, prog) in self.programs.iter_mut().enumerate() {
+                        prog.on_crash();
+                        self.decided[p] = false;
+                    }
+                    self.crashes_used += 1;
+                    None
+                }
+            }
+        }
+
+        fn enabled_actions(&self, model: &CrashModel) -> Vec<Action> {
+            let mut actions: Vec<Action> = (0..self.programs.len())
+                .filter(|&p| !self.decided[p])
+                .map(Action::Step)
+                .collect();
+            actions.extend(model.legal_crashes(&self.decided, self.crashes_used));
+            actions
+        }
+    }
+
+    struct Search<'a> {
+        config: &'a ExploreConfig,
+        visited: std::collections::HashSet<StructuralKey>,
+        schedule: Vec<Action>,
+        leaves: usize,
+        truncated: bool,
+        violation: Option<(ViolationKind, Vec<Action>, Vec<Value>)>,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, node: Node) {
             if self.violation.is_some() || self.truncated {
                 return;
             }
-        }
-
-        // Crash actions, budget permitting.
-        if node.crashes_used < self.config.crash_budget {
-            if self.config.simultaneous {
-                any_action = true;
+            let key = node.key();
+            if self.visited.contains(&key) {
+                return;
+            }
+            if self.visited.len() >= self.config.max_states {
+                self.truncated = true;
+                return;
+            }
+            self.visited.insert(key);
+            let actions = node.enabled_actions(&self.config.crash);
+            if actions.is_empty() {
+                self.leaves += 1;
+                return;
+            }
+            for action in actions {
                 let mut next = node.clone();
-                self.schedule.push(Action::CrashAll);
-                for p in 0..n {
-                    next.programs[p].on_crash();
-                    next.decided[p] = false;
+                self.schedule.push(action);
+                if let Some(v) = next.apply(action) {
+                    if let Some(kind) = check_output(
+                        self.config.inputs.as_deref(),
+                        next.decided_value.as_ref(),
+                        &v,
+                    ) {
+                        self.violation = Some((
+                            kind,
+                            self.schedule.clone(),
+                            violation_outputs(next.decided_value.as_ref(), v),
+                        ));
+                        self.schedule.pop();
+                        return;
+                    }
+                    next.decided_value = Some(v);
                 }
-                next.crashes_used += 1;
                 self.dfs(next);
                 self.schedule.pop();
                 if self.violation.is_some() || self.truncated {
                     return;
                 }
-            } else {
-                for p in 0..n {
-                    if node.decided[p] && !self.config.crash_after_decide {
-                        continue;
-                    }
-                    any_action = true;
-                    let mut next = node.clone();
-                    self.schedule.push(Action::Crash(p));
-                    next.programs[p].on_crash();
-                    next.decided[p] = false;
-                    next.crashes_used += 1;
-                    self.dfs(next);
-                    self.schedule.pop();
-                    if self.violation.is_some() || self.truncated {
-                        return;
-                    }
-                }
             }
-        }
-
-        if !any_action {
-            self.leaves += 1;
         }
     }
 
-    fn check_output(&self, decided: &Option<Value>, v: &Value) -> Option<ViolationKind> {
-        if let Some(d) = decided {
-            if d != v {
-                return Some(ViolationKind::Agreement);
-            }
-        }
-        if let Some(inputs) = &self.config.inputs {
-            if !inputs.contains(v) {
-                return Some(ViolationKind::Validity);
-            }
-        }
-        None
-    }
-}
-
-/// Exhaustively explores every execution of the system produced by
-/// `factory` under `config`'s adversary.
-pub fn explore(factory: &SystemFactory<'_>, config: &ExploreConfig) -> ExploreOutcome {
     let (mem, programs) = factory();
     let n = programs.len();
     let mut search = Search {
         config,
-        visited: HashSet::new(),
+        visited: std::collections::HashSet::new(),
         schedule: Vec::new(),
         leaves: 0,
         truncated: false,
@@ -368,6 +1236,13 @@ mod tests {
         }
     }
 
+    fn forgetful_factory() -> (Memory, Vec<Box<dyn Program>>) {
+        let mut mem = Memory::new();
+        let addr = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = vec![Box::new(ForgetfulDecider { addr, pc: 0 })];
+        (mem, programs)
+    }
+
     #[test]
     fn verifies_trivial_agreeing_system() {
         let outcome = explore(
@@ -384,7 +1259,7 @@ mod tests {
                 (mem, programs)
             },
             &ExploreConfig {
-                crash_budget: 2,
+                crash: CrashModel::independent(2),
                 inputs: Some(vec![Value::Int(3)]),
                 ..ExploreConfig::default()
             },
@@ -449,28 +1324,47 @@ mod tests {
 
     #[test]
     fn post_decide_crashes_catch_rerun_disagreement() {
-        let factory = || {
-            let mut mem = Memory::new();
-            let addr = mem.alloc_register(Value::Bottom);
-            let programs: Vec<Box<dyn Program>> = vec![Box::new(ForgetfulDecider { addr, pc: 0 })];
-            (mem, programs)
-        };
         // Without post-decide crashes the bug is invisible…
         let outcome = explore(
-            &factory,
+            &forgetful_factory,
             &ExploreConfig {
-                crash_budget: 1,
-                crash_after_decide: false,
+                crash: CrashModel::independent(1),
                 ..ExploreConfig::default()
             },
         );
         assert!(outcome.is_verified(), "{outcome:?}");
         // …with them, the model checker finds the re-run disagreement.
         let outcome = explore(
-            &factory,
+            &forgetful_factory,
             &ExploreConfig {
-                crash_budget: 1,
-                crash_after_decide: true,
+                crash: CrashModel::independent(1).after_decide(true),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_violation(), "{outcome:?}");
+    }
+
+    /// Regression: the simultaneous branch used to reset decided
+    /// processes even with post-decide crashes disabled, finding
+    /// "violations" the configured adversary cannot produce.
+    #[test]
+    fn simultaneous_crashes_respect_post_decide_policy() {
+        let outcome = explore(
+            &forgetful_factory,
+            &ExploreConfig {
+                crash: CrashModel::simultaneous(1),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(
+            outcome.is_verified(),
+            "CrashAll must not reset a decided run when post-decide \
+             crashes are disabled: {outcome:?}"
+        );
+        let outcome = explore(
+            &forgetful_factory,
+            &ExploreConfig {
+                crash: CrashModel::simultaneous(1).after_decide(true),
                 ..ExploreConfig::default()
             },
         );
@@ -493,11 +1387,180 @@ mod tests {
                 (mem, programs)
             },
             &ExploreConfig {
-                crash_budget: 2,
-                simultaneous: true,
+                crash: CrashModel::simultaneous(2).after_decide(true),
                 ..ExploreConfig::default()
             },
         );
         assert!(outcome.is_verified());
+    }
+
+    /// Regression: the cap used to trigger only after `max_states + 1`
+    /// states had been visited. Now exactly `max_states` are visited,
+    /// and a cap equal to the state-space size still verifies.
+    #[test]
+    fn state_cap_is_exact() {
+        let factory = forgetful_factory;
+        let config = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(false),
+            ..ExploreConfig::default()
+        };
+        let total = match explore(&factory, &config) {
+            ExploreOutcome::Verified { states, .. } => states,
+            other => panic!("expected verified, got {other:?}"),
+        };
+        // A cap exactly at the state-space size does not truncate.
+        let outcome = explore(
+            &factory,
+            &ExploreConfig {
+                max_states: total,
+                ..config.clone()
+            },
+        );
+        assert!(outcome.is_verified(), "{outcome:?}");
+        // One below: truncates having visited exactly the cap.
+        let outcome = explore(
+            &factory,
+            &ExploreConfig {
+                max_states: total - 1,
+                ..config.clone()
+            },
+        );
+        match outcome {
+            ExploreOutcome::Truncated { states } => assert_eq!(states, total - 1),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        assert!(outcome.is_truncated());
+    }
+
+    /// The iterative engine survives crash budgets that would overflow
+    /// the recursive seed engine's call stack (execution length grows
+    /// linearly with the budget).
+    #[test]
+    fn deep_crash_budgets_do_not_overflow() {
+        let outcome = explore(
+            &|| {
+                let mut mem = Memory::new();
+                let addr = mem.alloc_register(Value::Bottom);
+                #[derive(Clone, Debug)]
+                struct WriteThenDecide {
+                    addr: Addr,
+                    pc: u8,
+                }
+                impl Program for WriteThenDecide {
+                    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                        if self.pc == 0 {
+                            mem.write_register(self.addr, Value::Int(1));
+                            self.pc = 1;
+                            Step::Running
+                        } else {
+                            Step::Decided(mem.read_register(self.addr))
+                        }
+                    }
+                    fn on_crash(&mut self) {
+                        self.pc = 0;
+                    }
+                    fn state_key(&self) -> Value {
+                        Value::Int(i64::from(self.pc))
+                    }
+                    fn boxed_clone(&self) -> Box<dyn Program> {
+                        Box::new(self.clone())
+                    }
+                }
+                let programs: Vec<Box<dyn Program>> =
+                    vec![Box::new(WriteThenDecide { addr, pc: 0 })];
+                (mem, programs)
+            },
+            &ExploreConfig {
+                crash: CrashModel::independent(50_000).after_decide(true),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(outcome.is_verified(), "{outcome:?}");
+    }
+
+    /// Serial and parallel engines agree on verdicts, state counts and
+    /// leaf counts; the legacy baseline agrees too.
+    #[test]
+    fn parallel_engine_matches_serial() {
+        let factory = forgetful_factory;
+        for after_decide in [false, true] {
+            let config = ExploreConfig {
+                crash: CrashModel::independent(2).after_decide(after_decide),
+                ..ExploreConfig::default()
+            };
+            let serial = explore(&factory, &config);
+            let parallel = explore_parallel(
+                &factory,
+                &ExploreConfig {
+                    threads: 4,
+                    ..config.clone()
+                },
+            );
+            let legacy = explore_legacy(&factory, &config);
+            match (&serial, &parallel, &legacy) {
+                (
+                    ExploreOutcome::Verified { states, leaves },
+                    ExploreOutcome::Verified {
+                        states: p_states,
+                        leaves: p_leaves,
+                    },
+                    ExploreOutcome::Verified {
+                        states: l_states,
+                        leaves: l_leaves,
+                    },
+                ) => {
+                    assert_eq!(states, p_states);
+                    assert_eq!(leaves, p_leaves);
+                    assert_eq!(states, l_states);
+                    assert_eq!(leaves, l_leaves);
+                }
+                (
+                    ExploreOutcome::Violation { kind, .. },
+                    ExploreOutcome::Violation { kind: p_kind, .. },
+                    ExploreOutcome::Violation { kind: l_kind, .. },
+                ) => {
+                    assert_eq!(kind, p_kind);
+                    assert_eq!(kind, l_kind);
+                }
+                other => panic!("engines disagree: {other:?}"),
+            }
+        }
+    }
+
+    /// The parallel engine's violation pick is deterministic across
+    /// repeated runs and thread counts.
+    #[test]
+    fn parallel_violation_is_deterministic() {
+        let factory = || {
+            let mem = Memory::new();
+            let programs: Vec<Box<dyn Program>> = vec![
+                Box::new(DecideOwn {
+                    input: Value::Int(0),
+                }),
+                Box::new(DecideOwn {
+                    input: Value::Int(1),
+                }),
+                Box::new(DecideOwn {
+                    input: Value::Int(2),
+                }),
+            ];
+            (mem, programs)
+        };
+        let mut schedules = Vec::new();
+        for threads in [2usize, 3, 4, 2, 3, 4] {
+            match explore(
+                &factory,
+                &ExploreConfig {
+                    threads,
+                    ..ExploreConfig::default()
+                },
+            ) {
+                ExploreOutcome::Violation { schedule, .. } => schedules.push(schedule),
+                other => panic!("expected violation, got {other:?}"),
+            }
+        }
+        for s in &schedules[1..] {
+            assert_eq!(s, &schedules[0]);
+        }
     }
 }

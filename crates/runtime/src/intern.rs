@@ -1,0 +1,266 @@
+//! Hash-consing for [`Value`]s and model-checker state keys.
+//!
+//! The exhaustive checker ([`explore`](crate::explore)) memoizes every
+//! reached system state. Structural keys — cloned `Vec<Value>` tuples —
+//! are exact but allocation-heavy: every visited-set probe cloned the
+//! entire shared memory, every program's volatile state and the decided
+//! value, then hashed those deep structures with the default `SipHash`.
+//!
+//! This module replaces that with two layers:
+//!
+//! * [`ValueInterner`] — hash-conses [`Value`]s into dense `u32` ids.
+//!   Each distinct value is cloned **once** ever; subsequent probes hash
+//!   the (typically tiny) value and compare ids. Interning is injective:
+//!   `intern(a) == intern(b)` **iff** `a == b` — so keys built from ids
+//!   are exactly as collision-free as the structural tuples they replace
+//!   (property-tested in `tests/proptest_runtime.rs`).
+//! * [`StateTable`] — deduplicates flat `&[u32]` state keys (interned
+//!   memory cells, program keys, packed decided bits, crash count,
+//!   decided value) into dense node indices, which double as the parent
+//!   pointers the checker uses to reconstruct violation schedules.
+//!
+//! Both use [`FxHasher`], the Firefox/rustc multiply-rotate hash — far
+//! cheaper than `SipHash` for short keys and not exposed to untrusted
+//! input here.
+
+use rc_spec::Value;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `FxHash` function (as used by rustc): a fast, non-cryptographic
+/// hasher for in-process hash tables keyed by small values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let remainder = chunks.remainder();
+        if !remainder.is_empty() {
+            // Length-tagged so e.g. [0] hashes differently from [].
+            let mut tail = remainder.len() as u64;
+            for &b in remainder {
+                tail = (tail << 8) | u64::from(b);
+            }
+            self.add(tail);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed tables.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A hash-consing table: [`Value`] → dense `u32` id.
+///
+/// # Example
+///
+/// ```
+/// use rc_runtime::ValueInterner;
+/// use rc_spec::Value;
+///
+/// let mut interner = ValueInterner::new();
+/// let a = interner.intern(&Value::Int(3));
+/// let b = interner.intern(&Value::pair(Value::Int(3), Value::Bottom));
+/// assert_ne!(a, b);
+/// assert_eq!(a, interner.intern(&Value::Int(3)), "same value, same id");
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ValueInterner {
+    ids: FxHashMap<Value, u32>,
+}
+
+impl ValueInterner {
+    /// Sentinel id used by key builders for "no value" slots (e.g. the
+    /// checker's *no decided value yet*). Never returned by
+    /// [`intern`](Self::intern).
+    pub const NONE: u32 = u32::MAX;
+
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        ValueInterner::default()
+    }
+
+    /// Returns the id of `value`, interning (and cloning) it on first
+    /// sight. Injective: two values receive the same id iff they are
+    /// structurally equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX - 1` distinct values are interned
+    /// (far beyond any feasible state space).
+    pub fn intern(&mut self, value: &Value) -> u32 {
+        if let Some(&id) = self.ids.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.ids.len()).expect("interner overflow");
+        assert!(id < Self::NONE, "interner overflow");
+        self.ids.insert(value.clone(), id);
+        id
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Deduplicates flat `u32` state keys into dense node indices.
+///
+/// The checker's visited set: [`insert`](Self::insert) returns the
+/// node's index plus whether it was new. Indices are handed out in
+/// insertion order, so they directly index the checker's parallel
+/// parent-link arrays.
+#[derive(Clone, Debug, Default)]
+pub struct StateTable {
+    ids: FxHashMap<Box<[u32]>, u32>,
+}
+
+impl StateTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StateTable::default()
+    }
+
+    /// Looks up `key` without inserting.
+    pub fn get(&self, key: &[u32]) -> Option<u32> {
+        self.ids.get(key).copied()
+    }
+
+    /// Inserts `key`, returning `(index, was_new)`. The key slice is
+    /// boxed only when new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct keys are inserted.
+    pub fn insert(&mut self, key: &[u32]) -> (u32, bool) {
+        if let Some(&id) = self.ids.get(key) {
+            return (id, false);
+        }
+        let id = u32::try_from(self.ids.len()).expect("state table overflow");
+        self.ids.insert(key.into(), id);
+        (id, true)
+    }
+
+    /// Number of distinct keys inserted.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the table is empty. Kept for API symmetry with
+    /// [`len`](Self::len); only tests exercise it today.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_injective_on_a_value_zoo() {
+        let zoo = [
+            Value::Bottom,
+            Value::Unit,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int(-1),
+            Value::sym("A"),
+            Value::sym("B"),
+            Value::pair(Value::Int(0), Value::Int(1)),
+            Value::pair(Value::Int(1), Value::Int(0)),
+            Value::Tuple(vec![Value::Int(0)]),
+            Value::List(vec![Value::Int(0)]),
+            Value::empty_list(),
+            Value::Tuple(Vec::new()),
+        ];
+        let mut interner = ValueInterner::new();
+        let ids: Vec<u32> = zoo.iter().map(|v| interner.intern(v)).collect();
+        for (i, a) in zoo.iter().enumerate() {
+            for (j, b) in zoo.iter().enumerate() {
+                assert_eq!((a == b), (ids[i] == ids[j]), "{a} vs {b}");
+            }
+        }
+        // Stability: re-interning yields the same ids.
+        let again: Vec<u32> = zoo.iter().map(|v| interner.intern(v)).collect();
+        assert_eq!(ids, again);
+        assert_eq!(interner.len(), zoo.len());
+    }
+
+    #[test]
+    fn state_table_dedups_and_indexes_in_insertion_order() {
+        let mut table = StateTable::new();
+        assert!(table.is_empty());
+        assert_eq!(table.insert(&[1, 2, 3]), (0, true));
+        assert_eq!(table.insert(&[1, 2, 4]), (1, true));
+        assert_eq!(table.insert(&[1, 2, 3]), (0, false));
+        assert_eq!(table.insert(&[]), (2, true));
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.get(&[1, 2, 4]), Some(1));
+        assert_eq!(table.get(&[9]), None);
+    }
+
+    #[test]
+    fn fx_hasher_distinguishes_byte_strings() {
+        fn h(bytes: &[u8]) -> u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        }
+        assert_ne!(h(b"abc"), h(b"abd"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefgi"));
+        assert_ne!(h(b""), h(b"\0"));
+    }
+}

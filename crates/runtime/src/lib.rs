@@ -27,9 +27,14 @@
 //!   adversarial scenarios).
 //! * [`run`] — the simulation loop, producing an [`Execution`] with every
 //!   decision from every run of every process plus a replayable [`Trace`].
-//! * [`explore`] — a bounded-exhaustive model checker: DFS over *all*
-//!   interleavings and crash placements (up to a crash budget) with full-
-//!   fidelity state memoization.
+//! * [`CrashModel`] — the crash adversary described once (budget,
+//!   independent vs simultaneous mode, post-decide policy) and shared by
+//!   the exact and randomized layers, so they cannot drift apart.
+//! * [`explore`] — a bounded-exhaustive model checker: an iterative
+//!   worklist DFS over *all* interleavings and crash placements (up to a
+//!   crash budget) with hash-consed full-fidelity state memoization
+//!   ([`ValueInterner`]) and an opt-in parallel frontier mode
+//!   ([`ExploreConfig::threads`]).
 //! * [`threaded`] — a real-thread executor (`parking_lot` mutex per object,
 //!   one OS thread per process) for wall-clock benchmarks.
 //! * [`verify`] — agreement/validity/termination checkers for consensus-
@@ -68,8 +73,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crash;
 mod exec;
 mod explore;
+mod intern;
 mod memory;
 mod program;
 mod trace;
@@ -78,8 +85,13 @@ pub mod sched;
 pub mod threaded;
 pub mod verify;
 
+pub use crash::{CrashMode, CrashModel};
 pub use exec::{run, Execution, RunOptions};
-pub use explore::{explore, ExploreConfig, ExploreOutcome, SystemFactory};
+pub use explore::{
+    explore, explore_legacy, explore_parallel, ExploreConfig, ExploreOutcome, SystemFactory,
+    ViolationKind,
+};
+pub use intern::ValueInterner;
 pub use memory::{Addr, Cell, MemOps, Memory};
 pub use program::{Pid, Program, Step};
 pub use trace::{Trace, TraceEvent};

@@ -82,15 +82,15 @@ impl Memory {
     ///
     /// # Panics
     ///
-    /// Panics if `q0` is not a valid state of `ty` (checked by probing the
-    /// first operation of the type).
+    /// Panics if `q0` is not a valid state of `ty` — i.e. if **any**
+    /// operation of the type rejects it
+    /// ([`ObjectType::validate_state`]). (An earlier version probed only
+    /// the first operation, so a `q0` rejected by every *other* operation
+    /// slipped through and the type confusion surfaced much later, deep
+    /// inside a search.)
     pub fn alloc_object(&mut self, ty: TypeHandle, q0: Value) -> Addr {
-        if let Some(op) = ty.operations().first() {
-            assert!(
-                ty.try_apply(&q0, op).is_ok(),
-                "initial state {q0} rejected by type {}",
-                ty.name()
-            );
+        if let Err(e) = ty.validate_state(&q0) {
+            panic!("initial state {q0} rejected by type {}: {e}", ty.name());
         }
         self.cells.push(Cell::Object { ty, state: q0 });
         Addr(self.cells.len() - 1)
@@ -111,8 +111,11 @@ impl Memory {
         self.accesses
     }
 
-    /// A structural snapshot of every cell's current value/state — used by
-    /// the model checker for exact (collision-free) state memoization.
+    /// A structural snapshot of every cell's current value/state — used
+    /// by valency analyses and tests for exact state comparison. (The
+    /// model checker does not use this: it converts the memory into an
+    /// internal copy-on-write form once and interns cell values
+    /// directly.)
     pub fn state_key(&self) -> Vec<Value> {
         self.cells
             .iter()
@@ -121,6 +124,27 @@ impl Memory {
                 Cell::Object { state, .. } => state.clone(),
             })
             .collect()
+    }
+
+    /// Appends one interned id per cell to `out` — the hash-consed form
+    /// of [`state_key`](Self::state_key): nothing is cloned for
+    /// already-seen cell contents, and the ids are equal iff the
+    /// structural snapshots are. This is the reference implementation of
+    /// the flattening the model checker applies to its internal
+    /// copy-on-write memory; the key-equivalence property tests build
+    /// engine-shaped keys with it.
+    pub fn intern_state_key(
+        &self,
+        interner: &mut crate::intern::ValueInterner,
+        out: &mut Vec<u32>,
+    ) {
+        out.reserve(self.cells.len());
+        for c in &self.cells {
+            out.push(interner.intern(match c {
+                Cell::Register(v) => v,
+                Cell::Object { state, .. } => state,
+            }));
+        }
     }
 
     /// Clones a whole cell (type handle included); used by the threaded
@@ -262,5 +286,68 @@ mod tests {
             mem.alloc_object(Arc::new(TestAndSet::new()), Value::Int(7))
         }));
         assert!(result.is_err());
+    }
+
+    /// A type whose *first* operation accepts any state but whose second
+    /// accepts only booleans — the shape that slipped through when
+    /// allocation probed only the first operation.
+    #[derive(Debug)]
+    struct LenientFirstOp;
+
+    impl rc_spec::ObjectType for LenientFirstOp {
+        fn name(&self) -> String {
+            "lenient-first-op".into()
+        }
+        fn operations(&self) -> Vec<Operation> {
+            vec![Operation::nullary("reset"), Operation::nullary("flip")]
+        }
+        fn initial_states(&self) -> Vec<Value> {
+            vec![Value::Bool(false), Value::Bool(true)]
+        }
+        fn try_apply(
+            &self,
+            state: &Value,
+            op: &Operation,
+        ) -> Result<rc_spec::Transition, rc_spec::SpecError> {
+            match op.name.as_str() {
+                // `reset` ignores the current state entirely.
+                "reset" => Ok(rc_spec::Transition::new(Value::Bool(false), Value::Unit)),
+                "flip" => match state {
+                    Value::Bool(b) => Ok(rc_spec::Transition::new(Value::Bool(!b), Value::Unit)),
+                    _ => Err(rc_spec::SpecError::InvalidState {
+                        type_name: self.name(),
+                        state: state.clone(),
+                    }),
+                },
+                _ => Err(rc_spec::SpecError::UnknownOperation {
+                    type_name: self.name(),
+                    op: op.clone(),
+                }),
+            }
+        }
+    }
+
+    /// Regression: a `q0` accepted by the first operation but rejected
+    /// by a later one must be refused at allocation time (validation now
+    /// goes through [`rc_spec::ObjectType::validate_state`], which
+    /// checks every operation).
+    #[test]
+    fn alloc_object_validates_against_all_operations() {
+        let mut mem = Memory::new();
+        // Valid states still allocate.
+        let addr = mem.alloc_object(Arc::new(LenientFirstOp), Value::Bool(false));
+        assert_eq!(mem.peek(addr), Value::Bool(false));
+        // `reset` (the first op) would accept Int(3); `flip` rejects it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Memory::new().alloc_object(Arc::new(LenientFirstOp), Value::Int(3))
+        }));
+        let message = *result
+            .expect_err("invalid q0 must be rejected")
+            .downcast::<String>()
+            .expect("panic payload is a String");
+        assert!(
+            message.contains("lenient-first-op") && message.contains("3"),
+            "panic must name the type and state: {message}"
+        );
     }
 }

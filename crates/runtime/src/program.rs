@@ -39,7 +39,12 @@ pub enum Step {
 ///   checker memoizes on it, so two programs with equal keys must behave
 ///   identically forever; encoding less than the full state would make the
 ///   exhaustive exploration unsound.
-pub trait Program: fmt::Debug + Send {
+///
+/// Programs are passive data (`Send + Sync`): nothing runs without a
+/// scheduler calling [`step`](Program::step), and the model checker's
+/// copy-on-write branching shares unstepped programs between sibling
+/// states across worker threads.
+pub trait Program: fmt::Debug + Send + Sync {
     /// Executes one step (at most one shared-memory access).
     fn step(&mut self, mem: &mut dyn MemOps) -> Step;
 

@@ -1,6 +1,7 @@
 //! The `E_A` adversary of Theorem 14's valency argument.
 
 use super::{Action, SchedContext, Scheduler};
+use crate::crash::CrashModel;
 use crate::program::Pid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,12 +21,17 @@ use rand::{Rng, SeedableRng};
 /// The scheduler behaves like [`RandomScheduler`](super::RandomScheduler)
 /// otherwise: seeded, with a crash probability applied only when the
 /// `E_A` budget (steps of others minus crashes so far) is positive.
+///
+/// The crash policy is expressed as a [`CrashModel`] (independent mode,
+/// post-decide crashes allowed — `E_A` explicitly forces re-runs) whose
+/// budget is *dynamic*: it grows by one with every step of a
+/// non-designated process, exactly the paper's prefix constraint.
 #[derive(Clone, Debug)]
 pub struct BudgetedCrashScheduler {
     crasher: Pid,
     crash_prob: f64,
     rng: StdRng,
-    steps_of_others: usize,
+    model: CrashModel,
     crashes_of_crasher: usize,
 }
 
@@ -45,7 +51,7 @@ impl BudgetedCrashScheduler {
             crasher,
             crash_prob,
             rng: StdRng::seed_from_u64(seed),
-            steps_of_others: 0,
+            model: CrashModel::independent(0).after_decide(true),
             crashes_of_crasher: 0,
         }
     }
@@ -53,15 +59,16 @@ impl BudgetedCrashScheduler {
     /// The remaining `E_A` crash budget: steps taken by the non-crashing
     /// processes minus crashes already injected.
     pub fn crash_budget(&self) -> usize {
-        self.steps_of_others.saturating_sub(self.crashes_of_crasher)
+        self.model.remaining(self.crashes_of_crasher)
     }
 }
 
 impl Scheduler for BudgetedCrashScheduler {
     fn next_action(&mut self, ctx: &SchedContext<'_>) -> Option<Action> {
         // E_A: p_1 may crash while the prefix constraint allows it —
-        // including after it decided (forcing re-runs).
-        if self.crash_budget() > 0 && self.rng.gen_bool(self.crash_prob) {
+        // including after it decided (forcing re-runs), which the
+        // model's post-decide policy records explicitly.
+        if !self.model.exhausted(self.crashes_of_crasher) && self.rng.gen_bool(self.crash_prob) {
             self.crashes_of_crasher += 1;
             return Some(Action::Crash(self.crasher));
         }
@@ -71,7 +78,9 @@ impl Scheduler for BudgetedCrashScheduler {
         }
         let p = undecided[self.rng.gen_range(0..undecided.len())];
         if p != self.crasher {
-            self.steps_of_others += 1;
+            // One more step of the others: the E_A prefix constraint
+            // grants the adversary one more potential crash.
+            self.model.budget += 1;
         }
         Some(Action::Step(p))
     }

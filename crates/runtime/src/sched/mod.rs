@@ -30,7 +30,11 @@ pub use script::ScriptedScheduler;
 use crate::program::Pid;
 
 /// One scheduling decision.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// The `Ord` instance (`Step < Crash < CrashAll`, then by pid) gives
+/// schedules a canonical lexicographic order; the parallel model-checker
+/// uses it to pick a deterministic violation witness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Action {
     /// Let process `pid` execute one step.
     Step(Pid),

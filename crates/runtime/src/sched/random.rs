@@ -1,6 +1,7 @@
 //! The seeded random scheduler with crash injection.
 
 use super::{Action, SchedContext, Scheduler};
+use crate::crash::{CrashMode, CrashModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -11,17 +12,15 @@ pub struct RandomSchedulerConfig {
     pub seed: u64,
     /// Probability that the next event is a crash (while budget remains).
     pub crash_prob: f64,
-    /// Maximum number of crash events to inject.
-    pub max_crashes: usize,
-    /// If `true`, crashes are simultaneous ([`Action::CrashAll`], the
-    /// Section 2 model); otherwise they hit one random process
-    /// ([`Action::Crash`], the independent model of Section 3).
-    pub simultaneous: bool,
-    /// If `true`, a crash may also hit a process whose current run already
-    /// decided, forcing a *re-run* — this exercises the part of the
-    /// agreement property that spans "outputs of the same process when it
-    /// performs multiple runs" (Section 1).
-    pub crash_after_decide: bool,
+    /// The crash adversary: budget, independent vs simultaneous mode
+    /// ([`Action::CrashAll`], the Section 2 model, vs [`Action::Crash`],
+    /// the independent model of Section 3) and whether crashes may hit a
+    /// process whose current run already decided — forcing *re-runs*,
+    /// which exercises the part of the agreement property that spans
+    /// "outputs of the same process when it performs multiple runs"
+    /// (Section 1). Shared with [`explore`](crate::explore), so the
+    /// randomized and exact layers agree on crash legality.
+    pub crash: CrashModel,
 }
 
 impl Default for RandomSchedulerConfig {
@@ -29,18 +28,23 @@ impl Default for RandomSchedulerConfig {
         RandomSchedulerConfig {
             seed: 0,
             crash_prob: 0.1,
-            max_crashes: 3,
-            simultaneous: false,
-            crash_after_decide: true,
+            crash: CrashModel::independent(3).after_decide(true),
         }
     }
 }
 
 /// A seeded pseudo-random scheduler: at each point, with probability
-/// [`crash_prob`](RandomSchedulerConfig::crash_prob) (budget permitting) it
-/// injects a crash, otherwise it steps a uniformly random undecided
-/// process. Ends the execution when every process has decided and either
-/// the budget is exhausted or the coin says stop.
+/// [`crash_prob`](RandomSchedulerConfig::crash_prob) (budget and
+/// [`CrashModel`] policy permitting) it injects a crash, otherwise it
+/// steps a uniformly random undecided process. Ends the execution when
+/// every process has decided and either the budget is exhausted or the
+/// coin says stop.
+///
+/// [`Action::CrashAll`] wipes *every* process, so in simultaneous mode
+/// with post-decide crashes disabled the scheduler only emits it while
+/// no process's current run has decided. (It used to emit `CrashAll`
+/// even when every process had decided, silently violating the
+/// configured policy; [`CrashModel::may_crash_all`] now gates it.)
 #[derive(Clone, Debug)]
 pub struct RandomScheduler {
     config: RandomSchedulerConfig,
@@ -67,22 +71,27 @@ impl RandomScheduler {
 
 impl Scheduler for RandomScheduler {
     fn next_action(&mut self, ctx: &SchedContext<'_>) -> Option<Action> {
-        let budget_left = self.config.max_crashes.saturating_sub(ctx.crashes_injected);
+        let model = &self.config.crash;
         let undecided = ctx.undecided();
 
-        let want_crash = budget_left > 0 && self.rng.gen_bool(self.config.crash_prob);
+        let want_crash =
+            !model.exhausted(ctx.crashes_injected) && self.rng.gen_bool(self.config.crash_prob);
         if want_crash {
-            if self.config.simultaneous {
-                return Some(Action::CrashAll);
-            }
-            let crashable: Vec<_> = if self.config.crash_after_decide {
-                (0..ctx.n).collect()
-            } else {
-                undecided.clone()
-            };
-            if !crashable.is_empty() {
-                let victim = crashable[self.rng.gen_range(0..crashable.len())];
-                return Some(Action::Crash(victim));
+            match model.mode {
+                CrashMode::Simultaneous => {
+                    if model.may_crash_all(ctx.decided) {
+                        return Some(Action::CrashAll);
+                    }
+                    // Policy forbids wiping a decided run: fall through
+                    // to a step instead.
+                }
+                CrashMode::Independent => {
+                    let crashable = model.crash_candidates(ctx.decided);
+                    if !crashable.is_empty() {
+                        let victim = crashable[self.rng.gen_range(0..crashable.len())];
+                        return Some(Action::Crash(victim));
+                    }
+                }
             }
         }
 
@@ -126,9 +135,7 @@ mod tests {
         let mut s = RandomScheduler::new(RandomSchedulerConfig {
             seed: 3,
             crash_prob: 1.0,
-            max_crashes: 2,
-            simultaneous: false,
-            crash_after_decide: true,
+            crash: CrashModel::independent(2).after_decide(true),
         });
         let decided = vec![false; 2];
         // With crash_prob = 1, the first two actions are crashes, after
@@ -152,12 +159,41 @@ mod tests {
         let mut s = RandomScheduler::new(RandomSchedulerConfig {
             seed: 3,
             crash_prob: 1.0,
-            max_crashes: 1,
-            simultaneous: true,
-            crash_after_decide: false,
+            crash: CrashModel::simultaneous(1),
         });
         let decided = vec![false; 3];
         assert_eq!(s.next_action(&ctx(&decided, 0)), Some(Action::CrashAll));
+    }
+
+    /// Regression: with post-decide crashes disabled, `CrashAll` must
+    /// not be emitted once a run has decided — it would wipe the decided
+    /// run, which is exactly what the policy forbids. Previously the
+    /// scheduler emitted it unconditionally, even with *every* process
+    /// decided.
+    #[test]
+    fn crash_all_suppressed_after_decisions_when_policy_forbids() {
+        let mut s = RandomScheduler::new(RandomSchedulerConfig {
+            seed: 3,
+            crash_prob: 1.0,
+            crash: CrashModel::simultaneous(5),
+        });
+        // Every process decided: the execution must end, not crash-loop.
+        assert_eq!(s.next_action(&ctx(&[true, true], 0)), None);
+        // One process decided: the other is stepped instead.
+        assert_eq!(
+            s.next_action(&ctx(&[true, false], 0)),
+            Some(Action::Step(1))
+        );
+        // With the policy relaxed, CrashAll is back on the table.
+        let mut s = RandomScheduler::new(RandomSchedulerConfig {
+            seed: 3,
+            crash_prob: 1.0,
+            crash: CrashModel::simultaneous(5).after_decide(true),
+        });
+        assert_eq!(
+            s.next_action(&ctx(&[true, true], 0)),
+            Some(Action::CrashAll)
+        );
     }
 
     #[test]
@@ -165,9 +201,7 @@ mod tests {
         let mut s = RandomScheduler::new(RandomSchedulerConfig {
             seed: 1,
             crash_prob: 0.0,
-            max_crashes: 0,
-            simultaneous: false,
-            crash_after_decide: true,
+            crash: CrashModel::none().after_decide(true),
         });
         let decided = vec![true, true];
         assert_eq!(s.next_action(&ctx(&decided, 0)), None);

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
-use rc_runtime::{explore, run, ExploreConfig, MemOps, Memory, Program, RunOptions, Step};
+use rc_runtime::{
+    explore, run, CrashModel, ExploreConfig, MemOps, Memory, Program, RunOptions, Step,
+    ValueInterner,
+};
 use rc_spec::Value;
 
 /// A little test program: performs `work` register writes, then decides
@@ -36,6 +39,90 @@ impl Program for Worker {
     }
 }
 
+/// A small deterministic value zoo covering every `Value` constructor,
+/// with enough overlap between nearby seeds to produce collisions.
+fn small_value(seed: u64) -> Value {
+    match seed % 7 {
+        0 => Value::Bottom,
+        1 => Value::Unit,
+        2 => Value::Bool(seed % 2 == 0),
+        3 => Value::Int((seed / 7 % 5) as i64),
+        4 => Value::sym(if seed % 2 == 0 { "A" } else { "B" }),
+        5 => Value::pair(small_value(seed / 7), Value::Int((seed % 3) as i64)),
+        _ => Value::List(vec![small_value(seed / 7)]),
+    }
+}
+
+/// A system snapshot mid-execution, for key-equivalence tests.
+struct Snapshot {
+    mem: Memory,
+    programs: Vec<Box<dyn Program>>,
+    decided: Vec<bool>,
+    crashes: usize,
+    decided_value: Option<Value>,
+}
+
+/// Drives a fresh `system(n, work, ..)` along `actions` seeded random
+/// steps/crashes and returns the resulting snapshot.
+fn drive(n: usize, work: u8, seed: u64, actions: usize) -> Snapshot {
+    use rand::{Rng, SeedableRng};
+    let (mut mem, mut programs) = system(n, work, false);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut decided = vec![false; n];
+    let mut crashes = 0usize;
+    let mut decided_value = None;
+    for _ in 0..actions {
+        let p = rng.gen_range(0..n);
+        if rng.gen_bool(0.25) {
+            programs[p].on_crash();
+            decided[p] = false;
+            crashes += 1;
+        } else if !decided[p] {
+            if let Step::Decided(v) = programs[p].step(&mut mem) {
+                decided[p] = true;
+                decided_value.get_or_insert(v);
+            }
+        }
+    }
+    Snapshot {
+        mem,
+        programs,
+        decided,
+        crashes,
+        decided_value,
+    }
+}
+
+/// Builds the engine's flat interned key from a snapshot: interned
+/// memory cells, interned program keys, packed decided bits, crash
+/// count, interned decided value.
+fn interned_key(s: &Snapshot, interner: &mut ValueInterner) -> Vec<u32> {
+    let mut key = Vec::new();
+    s.mem.intern_state_key(interner, &mut key);
+    for p in &s.programs {
+        key.push(interner.intern(&p.state_key()));
+    }
+    let mut word = 0u32;
+    for (i, &d) in s.decided.iter().enumerate() {
+        if d {
+            word |= 1 << (i % 32);
+        }
+        if i % 32 == 31 {
+            key.push(word);
+            word = 0;
+        }
+    }
+    if s.decided.len() % 32 != 0 {
+        key.push(word);
+    }
+    key.push(u32::try_from(s.crashes).expect("small"));
+    key.push(match &s.decided_value {
+        Some(v) => interner.intern(v),
+        None => ValueInterner::NONE,
+    });
+    key
+}
+
 fn system(n: usize, work: u8, same_input: bool) -> (Memory, Vec<Box<dyn Program>>) {
     let mut mem = Memory::new();
     let scratch = mem.alloc_register(Value::Bottom);
@@ -66,9 +153,7 @@ proptest! {
         let config = RandomSchedulerConfig {
             seed,
             crash_prob: 0.2,
-            max_crashes: 3,
-            simultaneous: false,
-            crash_after_decide: true,
+            crash: CrashModel::independent(3).after_decide(true),
         };
         let run_once = || {
             let (mut mem, mut programs) = system(n, work, false);
@@ -94,9 +179,7 @@ proptest! {
         let mut sched = RandomScheduler::new(RandomSchedulerConfig {
             seed,
             crash_prob: 0.15,
-            max_crashes: 2,
-            simultaneous: false,
-            crash_after_decide: true,
+            crash: CrashModel::independent(2).after_decide(true),
         });
         let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
         let mut from_trace: Vec<Vec<Value>> = vec![Vec::new(); n];
@@ -133,7 +216,7 @@ proptest! {
         let outcome = explore(
             &|| system(2, work, same_input),
             &ExploreConfig {
-                crash_budget: budget,
+                crash: CrashModel::independent(budget),
                 inputs: None,
                 ..ExploreConfig::default()
             },
@@ -143,6 +226,54 @@ proptest! {
         } else {
             prop_assert!(outcome.is_violation(), "{outcome:?}");
         }
+    }
+
+    /// The interner is injective: ids collide exactly when the values
+    /// are structurally equal — the property that makes interned state
+    /// keys as collision-free as the seed engine's structural tuples.
+    #[test]
+    fn interner_ids_collide_iff_values_equal(
+        seeds in proptest::collection::vec(0u64..2_000, 2..24),
+    ) {
+        let values: Vec<Value> = seeds.iter().map(|&s| small_value(s)).collect();
+        let mut interner = ValueInterner::new();
+        let ids: Vec<u32> = values.iter().map(|v| interner.intern(v)).collect();
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                prop_assert_eq!(values[i] == values[j], ids[i] == ids[j]);
+            }
+        }
+    }
+
+    /// Interned state keys collide exactly when the seed engine's
+    /// structural `StateKey` tuples are equal: two system snapshots,
+    /// driven along independent random schedules, have equal interned
+    /// keys iff their structural tuples are equal.
+    #[test]
+    fn interned_state_keys_match_structural_equality(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        n in 1usize..4,
+        work in 1u8..4,
+        actions_a in 0usize..14,
+        actions_b in 0usize..14,
+    ) {
+        let a = drive(n, work, seed_a, actions_a);
+        let b = drive(n, work, seed_b, actions_b);
+        let structural = |s: &Snapshot| {
+            (
+                s.mem.state_key(),
+                s.programs.iter().map(|p| p.state_key()).collect::<Vec<_>>(),
+                s.decided.clone(),
+                s.crashes,
+                s.decided_value.clone(),
+            )
+        };
+        // One shared interner, exactly like one engine run.
+        let mut interner = ValueInterner::new();
+        let key_a = interned_key(&a, &mut interner);
+        let key_b = interned_key(&b, &mut interner);
+        prop_assert_eq!(structural(&a) == structural(&b), key_a == key_b);
     }
 
     /// Memory state keys change exactly when contents change.

@@ -4,7 +4,7 @@
 //! the experiment suite reproducible from its seed or its trace.
 
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, ScriptedScheduler};
-use rc_runtime::{run, MemOps, Memory, Program, RunOptions, Step};
+use rc_runtime::{run, CrashModel, MemOps, Memory, Program, RunOptions, Step};
 use rc_spec::types::ConsensusObject;
 use rc_spec::{Operation, Value};
 use std::sync::Arc;
@@ -59,9 +59,12 @@ fn traces_replay_exactly() {
         let mut sched = RandomScheduler::new(RandomSchedulerConfig {
             seed,
             crash_prob: 0.25,
-            max_crashes: 4,
-            simultaneous: seed % 2 == 0,
-            crash_after_decide: true,
+            crash: if seed % 2 == 0 {
+                CrashModel::simultaneous(4)
+            } else {
+                CrashModel::independent(4)
+            }
+            .after_decide(true),
         });
         let original = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
 

@@ -157,6 +157,26 @@ pub trait ObjectType: fmt::Debug + Send + Sync {
         seen
     }
 
+    /// Checks that `state` is a valid state of the type: since
+    /// implementations are total over valid states, **every** operation
+    /// in the universe must accept it.
+    ///
+    /// Allocation-time validation (e.g. `Memory::alloc_object` in
+    /// `rc-runtime`) goes through this method; probing a single
+    /// operation is not enough, because a state rejected by every
+    /// *other* operation would slip through and fail much later.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] produced by an operation that
+    /// rejects `state`.
+    fn validate_state(&self, state: &Value) -> Result<(), SpecError> {
+        for op in self.operations() {
+            self.try_apply(state, &op)?;
+        }
+        Ok(())
+    }
+
     /// Applies a sequence of operations starting at `q0`, returning the final
     /// state and each operation's response (a convenience for tests and for
     /// the commute/overwrite analysis of Appendix D/H).
@@ -187,6 +207,9 @@ impl ObjectType for std::sync::Arc<dyn ObjectType> {
     }
     fn is_readable(&self) -> bool {
         (**self).is_readable()
+    }
+    fn validate_state(&self, state: &Value) -> Result<(), SpecError> {
+        (**self).validate_state(state)
     }
 }
 

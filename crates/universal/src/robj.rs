@@ -110,6 +110,7 @@ mod tests {
     use rc_core::algorithms::{tournament_rc_factory, ConsensusObjectFactory};
     use rc_core::find_recording_witness;
     use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
+    use rc_runtime::CrashModel;
     use rc_spec::types::{Counter, Queue, Sn};
     use std::sync::Arc;
 
@@ -140,9 +141,7 @@ mod tests {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.03,
-                max_crashes: 4,
-                simultaneous: false,
-                crash_after_decide: false,
+                crash: CrashModel::independent(4),
             });
             let outcome = run_workload(
                 Arc::new(Counter::new(1024)),
@@ -176,9 +175,7 @@ mod tests {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.01,
-                max_crashes: 3,
-                simultaneous: false,
-                crash_after_decide: false,
+                crash: CrashModel::independent(3),
             });
             let outcome = run_workload(
                 Arc::new(Counter::new(1024)),

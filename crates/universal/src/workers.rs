@@ -308,7 +308,7 @@ mod tests {
     use rc_runtime::sched::{
         Action, RandomScheduler, RandomSchedulerConfig, RoundRobin, ScriptedScheduler,
     };
-    use rc_runtime::{run, Memory, RunOptions};
+    use rc_runtime::{run, CrashModel, Memory, RunOptions};
     use rc_spec::types::{Counter, Queue};
 
     fn counter_system(n: usize, slots: usize) -> (Memory, Arc<UniversalLayout>) {
@@ -374,11 +374,9 @@ mod tests {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.03,
-                max_crashes: 4,
-                simultaneous: false,
                 // Post-decide crashes would re-run ReadBack only, which is
                 // harmless; include them.
-                crash_after_decide: true,
+                crash: CrashModel::independent(4).after_decide(true),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             assert!(exec.all_decided, "seed={seed}");

@@ -16,7 +16,9 @@ use recoverable_consensus::core::algorithms::{
 use recoverable_consensus::core::{
     check_discerning, check_recording, find_recording_witness, Assignment, RecordingWitness, Team,
 };
-use recoverable_consensus::runtime::{explore, ExploreConfig, ExploreOutcome, Memory, Program};
+use recoverable_consensus::runtime::{
+    explore, CrashModel, ExploreConfig, ExploreOutcome, Memory, Program,
+};
 use recoverable_consensus::spec::types::{Cas, Sn, Tn};
 use recoverable_consensus::spec::{TypeHandle, Value};
 use std::sync::Arc;
@@ -58,8 +60,7 @@ fn verify_fig2() {
             let outcome = explore(
                 &|| build_team_rc_system(ty.clone(), &w, &inputs),
                 &ExploreConfig {
-                    crash_budget: budget,
-                    crash_after_decide: true,
+                    crash: CrashModel::independent(budget).after_decide(true),
                     inputs: Some(inputs.clone()),
                     ..ExploreConfig::default()
                 },
@@ -114,7 +115,7 @@ fn discover_broken_guard() {
             (mem, programs)
         },
         &ExploreConfig {
-            crash_budget: 0,
+            crash: CrashModel::independent(0),
             inputs: Some(inputs.clone()),
             ..ExploreConfig::default()
         },
@@ -149,7 +150,7 @@ fn discover_crash_break_on_t4() {
         let outcome = explore(
             &|| build_team_consensus_system(ty.clone(), &w, &inputs),
             &ExploreConfig {
-                crash_budget: budget,
+                crash: CrashModel::independent(budget),
                 inputs: Some(inputs.clone()),
                 max_states: 3_000_000,
                 ..ExploreConfig::default()

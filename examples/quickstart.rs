@@ -9,7 +9,7 @@ use recoverable_consensus::core::algorithms::build_tournament_rc;
 use recoverable_consensus::core::{check_recording, compute_hierarchy, Assignment};
 use recoverable_consensus::runtime::sched::{RandomScheduler, RandomSchedulerConfig};
 use recoverable_consensus::runtime::verify::check_consensus_execution;
-use recoverable_consensus::runtime::{run, RunOptions};
+use recoverable_consensus::runtime::{run, CrashModel, RunOptions};
 use recoverable_consensus::spec::types::{Sn, Tn};
 use recoverable_consensus::spec::Value;
 use std::sync::Arc;
@@ -42,9 +42,7 @@ fn main() {
         let mut sched = RandomScheduler::new(RandomSchedulerConfig {
             seed,
             crash_prob: 0.2,
-            max_crashes: 5,
-            simultaneous: false,
-            crash_after_decide: true,
+            crash: CrashModel::independent(5).after_decide(true),
         });
         let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
         total_crashes += exec.crashes;

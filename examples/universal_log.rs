@@ -15,7 +15,7 @@ use rc_core::algorithms::ConsensusObjectFactory;
 use recoverable_consensus::runtime::sched::{
     Action, RandomScheduler, RandomSchedulerConfig, ScriptedScheduler,
 };
-use recoverable_consensus::runtime::{run, Memory, Program, RunOptions};
+use recoverable_consensus::runtime::{run, CrashModel, Memory, Program, RunOptions};
 use recoverable_consensus::spec::types::{Counter, Queue};
 use recoverable_consensus::spec::{Operation, Value};
 use recoverable_consensus::universal::{
@@ -60,9 +60,7 @@ fn recoverable_queue() {
     let mut sched = RandomScheduler::new(RandomSchedulerConfig {
         seed: 11,
         crash_prob: 0.02,
-        max_crashes: 6,
-        simultaneous: false,
-        crash_after_decide: false,
+        crash: CrashModel::independent(6),
     });
     let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
     println!(

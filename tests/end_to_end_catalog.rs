@@ -6,7 +6,7 @@ use rc_core::algorithms::build_tournament_rc;
 use rc_core::{compute_hierarchy, find_recording_witness, Level};
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
 use rc_runtime::verify::check_consensus_execution;
-use rc_runtime::{run, RunOptions};
+use rc_runtime::{run, CrashModel, RunOptions};
 use rc_spec::catalog::{catalog, ConsensusNumber};
 use rc_spec::Value;
 
@@ -108,9 +108,7 @@ fn every_recording_type_solves_rc_in_execution() {
             let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                 seed,
                 crash_prob: 0.2,
-                max_crashes: 4,
-                simultaneous: false,
-                crash_after_decide: true,
+                crash: CrashModel::independent(4).after_decide(true),
             });
             let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
             check_consensus_execution(&exec, &inputs)

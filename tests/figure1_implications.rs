@@ -20,7 +20,7 @@ use rc_core::algorithms::build_tournament_rc;
 use rc_core::{find_recording_witness, is_discerning, is_recording};
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
 use rc_runtime::verify::check_consensus_execution;
-use rc_runtime::{run, RunOptions};
+use rc_runtime::{run, CrashModel, RunOptions};
 use rc_spec::random::{random_table_type, RandomTypeConfig};
 use rc_spec::{TableType, Value};
 use std::sync::Arc;
@@ -130,9 +130,7 @@ proptest! {
                 let mut sched = RandomScheduler::new(RandomSchedulerConfig {
                     seed: sched_seed,
                     crash_prob: 0.25,
-                    max_crashes: 3,
-                    simultaneous: false,
-                    crash_after_decide: true,
+                    crash: CrashModel::independent(3).after_decide(true),
                 });
                 let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
                 let verdict = check_consensus_execution(&exec, &inputs);

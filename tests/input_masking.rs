@@ -7,7 +7,7 @@
 use rc_core::algorithms::{alloc_team_rc, InnerMaker, InputMasked, TeamRc, TeamRcConfig};
 use rc_core::{check_recording, Assignment};
 use rc_runtime::sched::{Action, Scheduler};
-use rc_runtime::{Memory, Program, Step};
+use rc_runtime::{CrashModel, Memory, Program, Step};
 use rc_spec::types::Sn;
 use rc_spec::{TypeHandle, Value};
 use std::sync::Arc;
@@ -50,9 +50,7 @@ fn run_with_changing_inputs(seed: u64) -> Vec<Value> {
         rc_runtime::sched::RandomScheduler::new(rc_runtime::sched::RandomSchedulerConfig {
             seed,
             crash_prob: 0.25,
-            max_crashes: 4,
-            simultaneous: false,
-            crash_after_decide: true,
+            crash: CrashModel::independent(4).after_decide(true),
         });
     let mut decided: Vec<Option<Value>> = vec![None; n];
     let mut outputs = Vec::new();

@@ -11,7 +11,9 @@
 //! by others' steps) is enough: the violations below live inside `E_A`.
 
 use rc_runtime::sched::BudgetedCrashScheduler;
-use rc_runtime::{explore, run, ExploreConfig, MemOps, Memory, Program, RunOptions, Step};
+use rc_runtime::{
+    explore, run, CrashModel, ExploreConfig, MemOps, Memory, Program, RunOptions, Step,
+};
 use rc_spec::types::Queue;
 use rc_spec::{Operation, Value};
 use std::sync::Arc;
@@ -105,7 +107,7 @@ fn queue_consensus_is_correct_under_halting_failures() {
         let outcome = explore(
             &|| system(policy),
             &ExploreConfig {
-                crash_budget: 0,
+                crash: CrashModel::independent(0),
                 inputs: Some(inputs()),
                 ..ExploreConfig::default()
             },
@@ -120,7 +122,7 @@ fn crash_adversary_defeats_both_queue_policies() {
         let outcome = explore(
             &|| system(policy),
             &ExploreConfig {
-                crash_budget: budget,
+                crash: CrashModel::independent(budget),
                 inputs: Some(inputs()),
                 ..ExploreConfig::default()
             },

@@ -12,7 +12,7 @@
 //!    spirit of the Fig. 8 case analysis (a crashed process's lost pop
 //!    response cannot be recovered, and re-popping destroys the record).
 
-use rc_runtime::{explore, ExploreConfig, MemOps, Memory, Program, Step};
+use rc_runtime::{explore, CrashModel, ExploreConfig, MemOps, Memory, Program, Step};
 use rc_spec::types::Stack;
 use rc_spec::{Operation, Value};
 use std::sync::Arc;
@@ -145,7 +145,7 @@ fn stack_consensus_is_correct_under_halting_failures() {
         let outcome = explore(
             &|| system(policy),
             &ExploreConfig {
-                crash_budget: 0,
+                crash: CrashModel::independent(0),
                 inputs: Some(inputs()),
                 ..ExploreConfig::default()
             },
@@ -163,7 +163,7 @@ fn crash_adversary_defeats_bottom_means_lost() {
     let outcome = explore(
         &|| system(BottomMeans::Lost),
         &ExploreConfig {
-            crash_budget: 1,
+            crash: CrashModel::independent(1),
             inputs: Some(inputs()),
             ..ExploreConfig::default()
         },
@@ -182,7 +182,7 @@ fn crash_adversary_defeats_bottom_means_won() {
     let outcome = explore(
         &|| system(BottomMeans::Won),
         &ExploreConfig {
-            crash_budget: 2,
+            crash: CrashModel::independent(2),
             inputs: Some(inputs()),
             ..ExploreConfig::default()
         },
@@ -245,9 +245,7 @@ fn adding_read_turns_the_stack_into_a_universal_object() {
         let mut sched = RandomScheduler::new(RandomSchedulerConfig {
             seed,
             crash_prob: 0.2,
-            max_crashes: 4,
-            simultaneous: false,
-            crash_after_decide: true,
+            crash: CrashModel::independent(4).after_decide(true),
         });
         let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
         check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));

@@ -13,7 +13,7 @@ use rc_core::algorithms::{
 use rc_core::{check_discerning, Assignment};
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig};
 use rc_runtime::verify::check_consensus_execution;
-use rc_runtime::{explore, run, ExploreConfig, RunOptions};
+use rc_runtime::{explore, run, CrashModel, ExploreConfig, RunOptions};
 use rc_spec::types::Tn;
 use rc_spec::Value;
 
@@ -30,9 +30,7 @@ fn fig4_on_consensus_objects_survives_simultaneous_crashes() {
         let mut sched = RandomScheduler::new(RandomSchedulerConfig {
             seed,
             crash_prob: 0.04,
-            max_crashes: 6,
-            simultaneous: true,
-            crash_after_decide: true,
+            crash: CrashModel::simultaneous(6).after_decide(true),
         });
         let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
         check_consensus_execution(&exec, &inputs).unwrap_or_else(|e| panic!("seed={seed}: {e}"));
@@ -63,9 +61,7 @@ fn fig4_over_t4_consensus_solves_simultaneous_rc() {
         let mut sched = RandomScheduler::new(RandomSchedulerConfig {
             seed,
             crash_prob: 0.02,
-            max_crashes: 4,
-            simultaneous: true,
-            crash_after_decide: true,
+            crash: CrashModel::simultaneous(4).after_decide(true),
         });
         let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
         check_consensus_execution(&exec, &inputs)
@@ -80,9 +76,7 @@ fn fig4_model_checked_with_two_processes() {
     let outcome = explore(
         &|| build_simultaneous_rc_system(&factory, &inputs, 5),
         &ExploreConfig {
-            crash_budget: 2,
-            simultaneous: true,
-            crash_after_decide: true,
+            crash: CrashModel::simultaneous(2).after_decide(true),
             inputs: Some(inputs.clone()),
             ..ExploreConfig::default()
         },
@@ -125,9 +119,7 @@ fn fig4_over_t4_under_independent_crashes_hunt() {
         let mut sched = RandomScheduler::new(RandomSchedulerConfig {
             seed,
             crash_prob: 0.05,
-            max_crashes: 6,
-            simultaneous: false, // independent crashes!
-            crash_after_decide: true,
+            crash: CrashModel::independent(6).after_decide(true), // independent crashes!
         });
         let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
         if check_consensus_execution(&exec, &inputs).is_err() {
