@@ -34,27 +34,32 @@
 //!
 //! With [`ExploreConfig::threads`] ` > 1` (or via [`explore_parallel`])
 //! the search switches to a **parallel frontier** mode: breadth-first
-//! levels, each processed in a serial dedup phase (interner + visited
-//! probes, fixing node indices and parent links in a deterministic
-//! order) followed by parallel expansion across `std::thread` workers,
-//! which share the post-crash program cache behind a `parking_lot`
-//! mutex. The result is fully deterministic across runs and thread
-//! counts: verdicts, state counts and leaf counts equal the serial
-//! engine's on any uncapped search (the reachable state space does not
-//! depend on exploration order), and when several violations exist the
-//! engine reports the lexicographically least schedule of the
-//! shallowest violating level — which may differ from the serial DFS's
-//! first-found schedule. The state cap is enforced at level
-//! granularity, so a capped parallel run may overshoot `max_states` by
-//! up to one frontier before reporting truncation.
+//! levels run through a *shard → reconcile → expand* pipeline in which
+//! both the expensive halves — child expansion **and** dedup — execute
+//! across `std::thread` workers, with only two cheap serial
+//! reconciliation passes per level (promoting newly seen values into
+//! the global interner and mapping per-shard inserts into the global
+//! node-index space, both in canonical frontier order). The result is
+//! fully deterministic across runs and thread counts: verdicts, state
+//! counts, leaf counts and the `Truncated` state count are
+//! byte-identical to the serial engine's for every config (the cap is
+//! exact in both engines: a search truncates iff it would need a
+//! `max_states + 1`-th distinct state, and reports exactly
+//! `max_states`). When several violations exist the engine reports the
+//! lexicographically least schedule of the shallowest violating level —
+//! which may differ from the serial DFS's first-found schedule, and on
+//! a *capped violating* search the engines may even split between
+//! `Violation` and `Truncated` (they walk different prefixes of the
+//! state space; a found violation is always reported, see the verdict
+//! precedence on [`ExploreOutcome`]).
 
 use crate::crash::CrashModel;
-use crate::intern::{StateTable, ValueInterner};
+use crate::intern::{Resolved, ShardInterner, ShardedStateTable, StateTable, ValueInterner};
 use crate::memory::{Cell, MemOps, Memory};
 use crate::program::{Program, Step};
 use crate::sched::Action;
-use parking_lot::Mutex;
 use rc_spec::{Operation, Value};
+use std::hash::Hasher;
 use std::sync::Arc;
 
 /// Configuration for [`explore`].
@@ -66,10 +71,11 @@ pub struct ExploreConfig {
     pub crash: CrashModel,
     /// The declared inputs, for the validity check. `None` skips validity.
     pub inputs: Option<Vec<Value>>,
-    /// Cap on distinct states visited. The serial engine visits at most
-    /// this many states and reports [`ExploreOutcome::Truncated`] when
-    /// one more would be needed; the parallel engine checks the cap
-    /// between frontier levels (see the module docs).
+    /// Cap on distinct states visited. Both engines visit at most this
+    /// many states and report [`ExploreOutcome::Truncated`] — with a
+    /// `states` count of exactly `max_states` — when one more would be
+    /// needed; a cap equal to the reachable state-space size still
+    /// verifies.
     pub max_states: usize,
     /// Worker threads for the parallel frontier mode; `0` and `1` both
     /// select the serial DFS engine.
@@ -99,7 +105,7 @@ impl Default for ExploreConfig {
 /// unexplored remainder is unknown, so `Verified` is never claimed for a
 /// capped run. `Verified` is exact: every reachable state (under the
 /// configured adversary) was visited.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExploreOutcome {
     /// Every reachable execution satisfies agreement (and validity, if
     /// inputs were declared).
@@ -334,30 +340,9 @@ impl SysState {
     }
 }
 
-/// The post-crash program objects, one per process, computed lazily and
-/// shared by every crash branch: [`Program::on_crash`] resets a program
-/// to its initial state (input retained — the input never changes across
-/// runs), so the crashed object is the same whatever state the crash
-/// hit. Sharing it via `Arc` makes crash children allocation-free on the
-/// program side. This leans on the same contract the memoization already
-/// leans on (`on_crash` resets *everything* volatile; `state_key` is
-/// complete).
-struct CrashedPrograms {
-    progs: Vec<Option<Arc<Box<dyn Program>>>>,
-    /// Interned id of each post-crash program key, memoized on first
-    /// resolution (the id is constant for the same reason the object is).
-    key_ids: Vec<Option<u32>>,
-}
-
 /// Where [`apply_to_child`] gets post-crash program objects from.
 trait CrashSource {
     fn crashed(&mut self, parent: &SysState, p: usize) -> Arc<Box<dyn Program>>;
-}
-
-impl CrashSource for CrashedPrograms {
-    fn crashed(&mut self, parent: &SysState, p: usize) -> Arc<Box<dyn Program>> {
-        CrashedPrograms::crashed(self, parent, p)
-    }
 }
 
 /// Step actions never crash anyone; this source is unreachable.
@@ -366,29 +351,6 @@ struct NoCrashes;
 impl CrashSource for NoCrashes {
     fn crashed(&mut self, _: &SysState, _: usize) -> Arc<Box<dyn Program>> {
         unreachable!("step actions do not crash programs")
-    }
-}
-
-impl CrashedPrograms {
-    fn new(n: usize) -> Self {
-        CrashedPrograms {
-            progs: vec![None; n],
-            key_ids: vec![None; n],
-        }
-    }
-
-    fn crashed(&mut self, parent: &SysState, p: usize) -> Arc<Box<dyn Program>> {
-        self.progs[p]
-            .get_or_insert_with(|| {
-                let mut fresh = parent.programs[p].boxed_clone();
-                fresh.on_crash();
-                Arc::new(fresh)
-            })
-            .clone()
-    }
-
-    fn crashed_key_id(&mut self, state: &SysState, p: usize, interner: &mut ValueInterner) -> u32 {
-        *self.key_ids[p].get_or_insert_with(|| interner.intern(&state.programs[p].state_key()))
     }
 }
 
@@ -447,9 +409,6 @@ impl KeyLayout {
 enum Slot {
     Cell(usize),
     Prog(usize),
-    /// A program reset by a crash: resolved from the per-engine cache of
-    /// post-crash key ids instead of rebuilding and hashing the key.
-    Crashed(usize),
     DecidedValue,
 }
 
@@ -475,17 +434,11 @@ impl ChildKey {
     }
 
     /// Fills the pending slots from `state`, leaving `key` final.
-    fn resolve(
-        &mut self,
-        state: &SysState,
-        crashed: &mut CrashedPrograms,
-        interner: &mut ValueInterner,
-    ) -> &[u32] {
+    fn resolve(&mut self, state: &SysState, interner: &mut ValueInterner) -> &[u32] {
         for &(pos, slot) in &self.pending {
             self.key[pos] = match slot {
                 Slot::Cell(i) => interner.intern(state.mem.value_ref(i)),
                 Slot::Prog(p) => interner.intern(&state.programs[p].state_key()),
-                Slot::Crashed(p) => crashed.crashed_key_id(state, p, interner),
                 Slot::DecidedValue => match &state.decided_value {
                     Some(v) => interner.intern(v),
                     None => ValueInterner::NONE,
@@ -578,41 +531,223 @@ fn settle_decision(
     }
 }
 
-/// The parallel engine's child builder: the key is patched but interner
-/// slots stay pending (resolved in the next level's serial phase). The
-/// post-crash program cache is shared across workers; its lock is taken
-/// only inside [`apply_to_child`]'s crash branches, so step expansion
-/// runs lock-free.
-fn make_child(
+/// The post-crash program objects, one per process, precomputed **once**
+/// per search and shared by both engines: [`Program::on_crash`] resets a
+/// program to its initial state (input retained — the input never
+/// changes across runs), so the reset object and its interned key id are
+/// constants whatever state the crash hit. Crash children take a
+/// refcount bump and a precomputed id, nothing else, and the frontier
+/// engine's expansion workers read the set lock-free. This leans on the
+/// same contract the memoization already leans on (`on_crash` resets
+/// *everything* volatile; `state_key` is complete).
+struct CrashedSet {
+    progs: Vec<Arc<Box<dyn Program>>>,
+    /// Global interned id of each post-crash program key.
+    ids: Vec<u32>,
+}
+
+impl CrashedSet {
+    fn new(root: &SysState, interner: &mut ValueInterner) -> Self {
+        let mut progs = Vec::with_capacity(root.programs.len());
+        let mut ids = Vec::with_capacity(root.programs.len());
+        for prog in &root.programs {
+            let mut fresh = prog.boxed_clone();
+            fresh.on_crash();
+            ids.push(interner.intern(&fresh.state_key()));
+            progs.push(Arc::new(fresh));
+        }
+        CrashedSet { progs, ids }
+    }
+}
+
+/// [`CrashSource`] over a precomputed [`CrashedSet`]: crash children
+/// take a refcount bump, nothing else.
+struct FixedCrashes<'a>(&'a CrashedSet);
+
+impl CrashSource for FixedCrashes<'_> {
+    fn crashed(&mut self, _: &SysState, p: usize) -> Arc<Box<dyn Program>> {
+        self.0.progs[p].clone()
+    }
+}
+
+/// A child produced by the parallel expansion phase, awaiting the serial
+/// reconciliation passes: its key is fully patched except for values the
+/// frozen global interner had not seen (listed in `unresolved` as
+/// worker-local ids), and `route` — the shard router, present iff the
+/// key is fully resolved — is the [`key_route`] of the resolved key.
+struct PendingChild {
+    state: SysState,
+    key: Vec<u32>,
+    /// `(key slot, local id in the producing worker's ShardInterner)`,
+    /// ascending by slot.
+    unresolved: Vec<(usize, u32)>,
+    /// The destination shard, present iff the key is fully resolved (the
+    /// reconciliation pass routes patched keys itself).
+    shard: Option<usize>,
+    parent: (u32, Action),
+}
+
+/// The shard route of a **fully resolved** key: an [`FxHasher`] pass
+/// over its words. Sound as a deduplication router because resolved
+/// keys are themselves deterministic across runs, thread counts and
+/// level paths (fused or staged): global value ids are assigned in
+/// first-use order along the canonical frontier order, which no worker
+/// count changes — so every duplicate of a state carries the identical
+/// resolved key and lands in the identical shard. Keys still holding
+/// local-id placeholders are never routed with this (their states are
+/// provably new; the serial reconciliation pass patches them and routes
+/// the patched key).
+fn key_route(key: &[u32]) -> u64 {
+    let mut hasher = crate::intern::FxHasher::default();
+    for &word in key {
+        hasher.write_u32(word);
+    }
+    hasher.finish()
+}
+
+/// The shard a fully resolved key deduplicates in. With a single shard
+/// no route is hashed at all — the single-shard configuration (every
+/// run on a single-core machine) pays zero routing overhead.
+fn shard_for(visited: &ShardedStateTable, key: &[u32]) -> usize {
+    if visited.shard_count() == 1 {
+        0
+    } else {
+        visited.shard_of(key_route(key))
+    }
+}
+
+/// Encodes a worker-local id as a key-slot placeholder: descending from
+/// `NONE - 1`, far above any real global id (the interner asserts ids
+/// stay below [`ValueInterner::NONE`] and a state space approaching
+/// 4 billion distinct *values* is unreachable anyway). The encoding is
+/// injective per worker, so scratch keys containing placeholders still
+/// deduplicate correctly within a chunk; the value-reconciliation pass
+/// overwrites every placeholder with the real global id before any key
+/// crosses chunks.
+fn local_placeholder(local: u32) -> u32 {
+    ValueInterner::NONE - 1 - local
+}
+
+/// Resolves one value slot against the frozen global interner, spilling
+/// first-seen values into the worker's local interner.
+fn resolve_slot(
+    pos: usize,
+    value: &Value,
+    key: &mut [u32],
+    unresolved: &mut Vec<(usize, u32)>,
+    global: &ValueInterner,
+    scratch: &mut ShardInterner,
+) {
+    match scratch.resolve(global, value) {
+        Resolved::Global(id) => key[pos] = id,
+        Resolved::Local(local) => {
+            key[pos] = local_placeholder(local);
+            unresolved.push((pos, local));
+        }
+    }
+}
+
+/// A surviving child of [`make_child_frontier`]: state, owned key, its
+/// unresolved slots and its destination shard (when routable).
+type FrontierChild = (SysState, Vec<u32>, Vec<(usize, u32)>, Option<usize>);
+
+/// The parallel engine's child builder: clones + steps the parent, then
+/// patches and resolves the child key **in the reusable `key_scratch`
+/// buffer** against the *frozen* global interner. Duplicates are dropped
+/// right here, in the worker, paying no allocation beyond the
+/// copy-on-write state clone (exactly like the serial engine's probe
+/// path):
+///
+/// * a child already produced by this chunk (`seen_in_chunk`, keyed on
+///   the scratch key — placeholder-encoded local ids keep it injective)
+///   can never be the canonical-order winner of its state, so dropping
+///   it is invisible to the deterministic outcome;
+/// * a fully resolved child already present in the (frozen) visited
+///   shards is a prior-level duplicate — a key with an unresolved value
+///   cannot be, since stored keys only ever hold global ids.
+#[allow(clippy::too_many_arguments)]
+fn make_child_frontier(
     parent: &SysState,
     parent_key: &[u32],
     action: Action,
     layout: &KeyLayout,
-    crashed: &Mutex<CrashedPrograms>,
+    crashes: &CrashedSet,
+    global: &ValueInterner,
+    scratch: &mut ShardInterner,
+    seen_in_chunk: &mut StateTable,
+    key_scratch: &mut Vec<u32>,
+    visited: &ShardedStateTable,
     inputs: Option<&[Value]>,
-) -> Result<(SysState, ChildKey), (ViolationKind, Vec<Value>)> {
+) -> Result<Option<FrontierChild>, (ViolationKind, Vec<Value>)> {
     let (mut child, dirty, newly_decided) = match action {
         Action::Step(_) => apply_to_child(parent, action, &mut NoCrashes),
-        _ => apply_to_child(parent, action, &mut *crashed.lock()),
+        _ => apply_to_child(parent, action, &mut FixedCrashes(crashes)),
     };
     let decided = settle_decision(&mut child, newly_decided, inputs)?;
-    let mut key = parent_key.to_vec();
-    patch_raw_slots(&mut key, &child, action, layout);
-    let mut pending = Vec::with_capacity(4);
+    key_scratch.clear();
+    key_scratch.extend_from_slice(parent_key);
+    let key = key_scratch;
+    patch_raw_slots(key, &child, action, layout);
+    let mut unresolved: Vec<(usize, u32)> = Vec::new();
     if let Some(cell) = dirty {
-        pending.push((cell, Slot::Cell(cell)));
+        resolve_slot(
+            cell,
+            child.mem.value_ref(cell),
+            key,
+            &mut unresolved,
+            global,
+            scratch,
+        );
     }
     match action {
-        Action::Step(p) => pending.push((layout.prog(p), Slot::Prog(p))),
-        Action::Crash(p) => pending.push((layout.prog(p), Slot::Crashed(p))),
+        Action::Step(p) => {
+            let prog_key = child.programs[p].state_key();
+            resolve_slot(
+                layout.prog(p),
+                &prog_key,
+                key,
+                &mut unresolved,
+                global,
+                scratch,
+            );
+        }
+        Action::Crash(p) => key[layout.prog(p)] = crashes.ids[p],
         Action::CrashAll => {
-            pending.extend((0..layout.n).map(|p| (layout.prog(p), Slot::Crashed(p))));
+            for p in 0..layout.n {
+                key[layout.prog(p)] = crashes.ids[p];
+            }
         }
     }
     if decided {
-        pending.push((layout.decided_value(), Slot::DecidedValue));
+        let value = child
+            .decided_value
+            .clone()
+            .expect("settle_decision recorded the decision");
+        resolve_slot(
+            layout.decided_value(),
+            &value,
+            key,
+            &mut unresolved,
+            global,
+            scratch,
+        );
     }
-    Ok((child, ChildKey { key, pending }))
+    let shard = if unresolved.is_empty() {
+        // Prior-level duplicates drop before touching the chunk table —
+        // no key is boxed for them, matching the serial probe path.
+        let shard = shard_for(visited, key);
+        if visited.contains(shard, key) {
+            return Ok(None);
+        }
+        Some(shard)
+    } else {
+        None
+    };
+    let (_, first_in_chunk) = seen_in_chunk.insert(key);
+    if !first_in_chunk {
+        return Ok(None);
+    }
+    Ok(Some((child, key.clone(), unresolved, shard)))
 }
 
 /// The serial engine's child builder: the interner is at hand, so the
@@ -625,12 +760,15 @@ fn make_child_serial(
     parent_key: &[u32],
     action: Action,
     layout: &KeyLayout,
-    crashed: &mut CrashedPrograms,
+    crashes: &CrashedSet,
     interner: &mut ValueInterner,
     inputs: Option<&[Value]>,
     scratch: &mut Vec<u32>,
 ) -> Result<SysState, (ViolationKind, Vec<Value>)> {
-    let (mut child, dirty, newly_decided) = apply_to_child(parent, action, crashed);
+    let (mut child, dirty, newly_decided) = match action {
+        Action::Step(_) => apply_to_child(parent, action, &mut NoCrashes),
+        _ => apply_to_child(parent, action, &mut FixedCrashes(crashes)),
+    };
     let decided = settle_decision(&mut child, newly_decided, inputs)?;
     scratch.clear();
     scratch.extend_from_slice(parent_key);
@@ -643,11 +781,11 @@ fn make_child_serial(
             scratch[layout.prog(p)] = interner.intern(&child.programs[p].state_key());
         }
         Action::Crash(p) => {
-            scratch[layout.prog(p)] = crashed.crashed_key_id(&child, p, interner);
+            scratch[layout.prog(p)] = crashes.ids[p];
         }
         Action::CrashAll => {
             for p in 0..layout.n {
-                scratch[layout.prog(p)] = crashed.crashed_key_id(&child, p, interner);
+                scratch[layout.prog(p)] = crashes.ids[p];
             }
         }
     }
@@ -711,7 +849,6 @@ struct SerialEngine<'a> {
     interner: ValueInterner,
     visited: StateTable,
     parents: Vec<Option<(u32, Action)>>,
-    crashed: CrashedPrograms,
     leaves: usize,
     truncated: bool,
 }
@@ -755,12 +892,13 @@ impl SerialEngine<'_> {
 
 fn explore_serial(root: SysState, config: &ExploreConfig) -> ExploreOutcome {
     let layout = KeyLayout::of(&root);
+    let mut interner = ValueInterner::new();
+    let crashes = CrashedSet::new(&root, &mut interner);
     let mut engine = SerialEngine {
         config,
-        interner: ValueInterner::new(),
+        interner,
         visited: StateTable::new(),
         parents: Vec::new(),
-        crashed: CrashedPrograms::new(layout.n),
         leaves: 0,
         truncated: false,
     };
@@ -768,7 +906,7 @@ fn explore_serial(root: SysState, config: &ExploreConfig) -> ExploreOutcome {
     let mut stack: Vec<Frame> = Vec::new();
     {
         let mut root_key = ChildKey::root(&layout);
-        root_key.resolve(&root, &mut engine.crashed, &mut engine.interner);
+        root_key.resolve(&root, &mut engine.interner);
         if let Some(frame) = engine.enter(root, &root_key.key, None) {
             stack.push(frame);
         }
@@ -787,7 +925,7 @@ fn explore_serial(root: SysState, config: &ExploreConfig) -> ExploreOutcome {
             &top.key,
             action,
             &layout,
-            &mut engine.crashed,
+            &crashes,
             &mut engine.interner,
             config.inputs.as_deref(),
             &mut scratch,
@@ -829,140 +967,448 @@ struct FoundViolation {
     outputs: Vec<Value>,
 }
 
-/// The parallel frontier engine: breadth-first levels, each processed
-/// in two phases. Phase 1 (serial) resolves keys against the interner
-/// and deduplicates against the visited set — this fixes parent links
-/// and node indices in a deterministic order, which is what makes
-/// reported violation schedules independent of thread timing. Phase 2
-/// (parallel) expands the new nodes — the expensive part: cloning,
-/// stepping programs, building child keys — across `std::thread`
-/// workers, which share the post-crash program cache behind a
-/// `parking_lot` mutex.
-fn explore_frontier(root: SysState, config: &ExploreConfig, threads: usize) -> ExploreOutcome {
-    let layout = KeyLayout::of(&root);
-    let mut interner = ValueInterner::new();
-    let mut visited = StateTable::new();
-    let mut parents: Vec<Option<(u32, Action)>> = Vec::new();
-    let mut leaves = 0usize;
-    let mut phase1_crashed = CrashedPrograms::new(layout.n);
-    let shared_crashed = Mutex::new(CrashedPrograms::new(layout.n));
-    type Item = (SysState, ChildKey, Option<(u32, Action)>);
-    /// A deduplicated node awaiting expansion: state, resolved key,
-    /// node index and its enabled actions.
-    type Expand = (SysState, Vec<u32>, u32, Vec<Action>);
-    let mut frontier: Vec<Item> = vec![(root, ChildKey::root(&layout), None)];
-    let mut truncated = false;
+/// A deduplicated node awaiting expansion: state, resolved key, global
+/// node index and its enabled actions.
+type ExpandNode = (SysState, Vec<u32>, u32, Vec<Action>);
 
-    while !frontier.is_empty() {
-        // Phase 1: serial dedup. Frontier order is deterministic (chunk
-        // results are concatenated in spawn order), so the winning
-        // parent of every state is too.
-        let mut expand: Vec<Expand> = Vec::new();
-        for (state, mut child_key, parent) in frontier.drain(..) {
-            let key = child_key.resolve(&state, &mut phase1_crashed, &mut interner);
-            let (idx, is_new) = visited.insert(key);
+/// One expansion worker's output for its contiguous chunk of the level.
+struct ChunkOutput {
+    children: Vec<PendingChild>,
+    violations: Vec<FoundViolation>,
+    /// The worker's local overflow interner; consumed by the serial
+    /// value-reconciliation pass.
+    scratch: ShardInterner,
+}
+
+/// Expands one contiguous chunk of the level's nodes. Runs with every
+/// shared structure frozen (global interner, visited shards, post-crash
+/// set), so any number of workers may execute it concurrently; output
+/// order within the chunk is the canonical (parent, action) order.
+fn expand_chunk(
+    chunk: &[ExpandNode],
+    layout: &KeyLayout,
+    crashes: &CrashedSet,
+    global: &ValueInterner,
+    visited: &ShardedStateTable,
+    inputs: Option<&[Value]>,
+) -> ChunkOutput {
+    let mut out = ChunkOutput {
+        children: Vec::new(),
+        violations: Vec::new(),
+        scratch: ShardInterner::new(),
+    };
+    let mut seen_in_chunk = StateTable::new();
+    let mut key_scratch: Vec<u32> = Vec::with_capacity(layout.len());
+    for (state, key, idx, actions) in chunk {
+        for &action in actions {
+            match make_child_frontier(
+                state,
+                key,
+                action,
+                layout,
+                crashes,
+                global,
+                &mut out.scratch,
+                &mut seen_in_chunk,
+                &mut key_scratch,
+                visited,
+                inputs,
+            ) {
+                Err((kind, outputs)) => out.violations.push(FoundViolation {
+                    parent: *idx,
+                    action,
+                    kind,
+                    outputs,
+                }),
+                Ok(Some((child, child_key, unresolved, shard))) => {
+                    out.children.push(PendingChild {
+                        state: child,
+                        key: child_key,
+                        unresolved,
+                        shard,
+                        parent: (*idx, action),
+                    });
+                }
+                Ok(None) => {} // already-visited duplicate, dropped in-worker
+            }
+        }
+    }
+    out
+}
+
+/// Inserts one shard's routed keys, preserving arrival (canonical)
+/// order; `(pos, key, was_new)` feeds the node reconciliation pass.
+fn insert_shard(
+    table: &mut StateTable,
+    bucket: Vec<(u32, Vec<u32>)>,
+) -> Vec<(u32, Vec<u32>, bool)> {
+    bucket
+        .into_iter()
+        .map(|(pos, key)| {
+            let (_, is_new) = table.insert(&key);
+            (pos, key, is_new)
+        })
+        .collect()
+}
+
+/// Below this many nodes per worker a level runs on fewer workers —
+/// spawning threads for tiny levels costs more than it saves. The
+/// results are identical at every worker count: chunking is contiguous
+/// and every serial pass walks canonical order, so worker count never
+/// affects what is computed, only where.
+const MIN_NODES_PER_WORKER: usize = 48;
+const MIN_INSERTS_FOR_PARALLEL: usize = 512;
+
+/// How many workers a level of `nodes` frontier nodes fans out to:
+/// bounded by the configured `threads`, by the machine's actual
+/// parallelism (oversubscribing cores buys coordination cost for no
+/// concurrency) and by the level size. `1` selects the fused level path.
+fn level_workers(threads: usize, nodes: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    (nodes / MIN_NODES_PER_WORKER).clamp(1, threads.min(cores))
+}
+
+/// What processing one frontier level produced.
+enum LevelResult {
+    /// The next frontier (possibly empty — then the search is done).
+    Next(Vec<ExpandNode>),
+    /// Violations found while expanding this level (schedule picking
+    /// happens at the caller; a violation beats a same-level cap hit).
+    Violations(Vec<FoundViolation>),
+    /// A new state was needed past the exact cap.
+    Truncated,
+}
+
+/// The fused single-worker level path: expansion, value interning and
+/// sharded insertion in one canonical-order walk, with no freeze
+/// hand-off — the direct-interned value ids, shard placement, node
+/// indices, parent links, leaf counts and cap behaviour are identical
+/// to the staged pipeline's by construction (both process children in
+/// canonical order; [`ValueInterner::intern`] is idempotent and
+/// first-use-wins either way). Used whenever a level fans out to a
+/// single worker, which keeps small levels — and whole runs on
+/// single-core machines — free of the staged pipeline's coordination
+/// costs.
+#[allow(clippy::too_many_arguments)]
+fn run_level_fused(
+    expand: &[ExpandNode],
+    layout: &KeyLayout,
+    crashes: &CrashedSet,
+    config: &ExploreConfig,
+    global: &mut ValueInterner,
+    visited: &mut ShardedStateTable,
+    parents: &mut Vec<Option<(u32, Action)>>,
+    leaves: &mut usize,
+) -> LevelResult {
+    let mut violations: Vec<FoundViolation> = Vec::new();
+    let mut next: Vec<ExpandNode> = Vec::new();
+    let mut key_scratch: Vec<u32> = Vec::with_capacity(layout.len());
+    let mut truncated = false;
+    let inputs = config.inputs.as_deref();
+    for (state, key, idx, actions) in expand {
+        for &action in actions {
+            // The serial engine's child builder verbatim — the fused
+            // path adds only the level bookkeeping around it, so the
+            // incremental key logic exists in exactly one place. (Past
+            // the cap it still runs, to keep scanning the rest of the
+            // level for violations, which outrank truncation — exactly
+            // as the staged pipeline's whole-level expansion does; the
+            // few extra interns are discarded with the level.)
+            let child = match make_child_serial(
+                state,
+                key,
+                action,
+                layout,
+                crashes,
+                global,
+                inputs,
+                &mut key_scratch,
+            ) {
+                Err((kind, outputs)) => {
+                    violations.push(FoundViolation {
+                        parent: *idx,
+                        action,
+                        kind,
+                        outputs,
+                    });
+                    continue;
+                }
+                Ok(child) => child,
+            };
+            if truncated {
+                continue;
+            }
+            let shard = shard_for(visited, &key_scratch);
+            let (_, is_new) = visited.shards_mut()[shard].insert(&key_scratch);
             if !is_new {
                 continue;
             }
-            parents.push(parent);
-            let actions = state.enabled_actions(&config.crash);
-            if actions.is_empty() {
-                leaves += 1;
+            if parents.len() >= config.max_states {
+                truncated = true;
                 continue;
             }
-            expand.push((state, child_key.key, idx, actions));
+            let child_idx = u32::try_from(parents.len()).expect("node index fits u32");
+            parents.push(Some((*idx, action)));
+            let child_actions = child.enabled_actions(&config.crash);
+            if child_actions.is_empty() {
+                *leaves += 1;
+            } else {
+                next.push((child, key_scratch.clone(), child_idx, child_actions));
+            }
         }
-        if visited.len() >= config.max_states && !expand.is_empty() {
-            truncated = true;
-            break;
-        }
+    }
+    if !violations.is_empty() {
+        LevelResult::Violations(violations)
+    } else if truncated {
+        LevelResult::Truncated
+    } else {
+        LevelResult::Next(next)
+    }
+}
 
-        // Phase 2: parallel expansion. Owned per-worker chunks —
-        // `Program` is `Send` but not `Sync`, so frontier items move
-        // into their worker rather than being shared by reference.
-        let mut chunks: Vec<Vec<Expand>> = (0..threads).map(|_| Vec::new()).collect();
-        for (i, node) in expand.into_iter().enumerate() {
-            chunks[i % threads].push(node);
-        }
-        let level: Vec<(Vec<Item>, Vec<FoundViolation>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .filter(|chunk| !chunk.is_empty())
-                .map(|chunk| {
-                    let shared_crashed = &shared_crashed;
-                    let config = &*config;
-                    scope.spawn(move || {
-                        let mut next = Vec::new();
-                        let mut violations = Vec::new();
-                        for (state, key, idx, actions) in chunk {
-                            for &action in &actions {
-                                match make_child(
-                                    &state,
-                                    &key,
-                                    action,
-                                    &layout,
-                                    shared_crashed,
-                                    config.inputs.as_deref(),
-                                ) {
-                                    Err((kind, outputs)) => violations.push(FoundViolation {
-                                        parent: idx,
-                                        action,
-                                        kind,
-                                        outputs,
-                                    }),
-                                    Ok((child, child_key)) => {
-                                        next.push((child, child_key, Some((idx, action))));
-                                    }
-                                }
-                            }
-                        }
-                        (next, violations)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
+/// The parallel frontier engine: breadth-first levels through a
+/// **shard → reconcile → expand** pipeline.
+///
+/// Per level: (a) *expansion* — contiguous chunks of the frontier fan
+/// out across workers, each cloning/stepping children, resolving keys
+/// against the frozen global interner (first-seen values spill to a
+/// worker-local [`ShardInterner`]), routing by content hash and
+/// dropping prior-level duplicates against the frozen visited shards;
+/// (b) *value reconciliation* (serial, touches only first-seen values)
+/// — local ids are promoted to global ids in canonical order, exactly
+/// the ids one serial interner would assign; (c) *sharded dedup* — the
+/// surviving children are bucketed by route and each shard's
+/// [`StateTable`] inserts its bucket on its own worker; (d) *node
+/// reconciliation* (serial, touches only surviving children) — per-shard
+/// insert results are merged back into canonical order, new states get
+/// dense global node indices, parent links, the exact `max_states`
+/// check, and leaf/expansion classification.
+///
+/// Determinism across runs *and* thread counts: chunks are contiguous
+/// and concatenated in chunk order, so canonical order never depends on
+/// the worker count; all duplicates of a state share a content route
+/// and therefore a shard, so the dedup winner is the canonical-order
+/// first occurrence; and node indices are assigned in a serial pass
+/// over that order.
+/// One staged (multi-worker) level of the pipeline; see
+/// [`explore_frontier`] for the phase breakdown.
+#[allow(clippy::too_many_arguments)]
+fn run_level_staged(
+    expand: &[ExpandNode],
+    workers: usize,
+    layout: &KeyLayout,
+    crashes: &CrashedSet,
+    config: &ExploreConfig,
+    global: &mut ValueInterner,
+    visited: &mut ShardedStateTable,
+    parents: &mut Vec<Option<(u32, Action)>>,
+    leaves: &mut usize,
+) -> LevelResult {
+    // (a) Parallel expansion over contiguous chunks.
+    let chunk_size = expand.len().div_ceil(workers);
+    let mut outputs: Vec<ChunkOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = expand
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let (global, visited, crashes) = (&*global, &*visited, crashes);
+                let inputs = config.inputs.as_deref();
+                scope.spawn(move || expand_chunk(chunk, layout, crashes, global, visited, inputs))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
 
-        let mut violations: Vec<FoundViolation> = Vec::new();
-        let mut next_frontier: Vec<Item> = Vec::new();
-        for (next, viols) in level {
-            next_frontier.extend(next);
-            violations.extend(viols);
-        }
-        if !violations.is_empty() {
-            // Parent links are deterministic (phase 1), so every
-            // reconstructed schedule is; the lexicographically least of
-            // the shallowest violating level is the canonical witness.
-            return violations
-                .into_iter()
-                .map(|v| {
-                    let mut schedule = schedule_to(&parents, v.parent);
-                    schedule.push(v.action);
-                    (schedule, v.kind, v.outputs)
-                })
-                .min_by(|a, b| a.0.cmp(&b.0))
-                .map(|(schedule, kind, outputs)| ExploreOutcome::Violation {
-                    kind,
-                    schedule,
-                    outputs,
-                })
-                .expect("non-empty violations");
-        }
-        frontier = next_frontier;
+    let violations: Vec<FoundViolation> = outputs
+        .iter_mut()
+        .flat_map(|o| o.violations.drain(..))
+        .collect();
+    if !violations.is_empty() {
+        return LevelResult::Violations(violations);
     }
 
-    if truncated {
-        ExploreOutcome::Truncated {
-            states: visited.len(),
+    // (b) Value reconciliation + (c₁) routing, one serial walk in
+    // canonical order (chunk order × within-chunk order).
+    let total: usize = outputs.iter().map(|o| o.children.len()).sum();
+    let mut states: Vec<(SysState, (u32, Action))> = Vec::with_capacity(total);
+    let mut buckets: Vec<Vec<(u32, Vec<u32>)>> =
+        (0..visited.shard_count()).map(|_| Vec::new()).collect();
+    for output in outputs {
+        let scratch = output.scratch;
+        for mut child in output.children {
+            for &(pos, local) in &child.unresolved {
+                child.key[pos] = global.intern(scratch.value(local));
+            }
+            let shard = child
+                .shard
+                .unwrap_or_else(|| shard_for(visited, &child.key));
+            let pos = u32::try_from(states.len()).expect("level fits u32");
+            buckets[shard].push((pos, child.key));
+            states.push((child.state, child.parent));
         }
-    } else {
-        ExploreOutcome::Verified {
-            states: visited.len(),
-            leaves,
+    }
+
+    // (c₂) Parallel sharded dedup: each shard inserts its bucket.
+    let shard_results: Vec<Vec<(u32, Vec<u32>, bool)>> =
+        if total < MIN_INSERTS_FOR_PARALLEL || workers == 1 {
+            visited
+                .shards_mut()
+                .iter_mut()
+                .zip(buckets)
+                .map(|(table, bucket)| insert_shard(table, bucket))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = visited
+                    .shards_mut()
+                    .iter_mut()
+                    .zip(buckets)
+                    .map(|(table, bucket)| scope.spawn(move || insert_shard(table, bucket)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+
+    // (d) Node reconciliation: merge per-shard results back into
+    // canonical order and assign global node indices, enforcing the
+    // cap exactly — a new state past it truncates, a duplicate does
+    // not, matching the serial engine state for state.
+    let mut merged: Vec<Option<(Vec<u32>, bool)>> = (0..total).map(|_| None).collect();
+    for result in shard_results {
+        for (pos, key, is_new) in result {
+            merged[pos as usize] = Some((key, is_new));
         }
+    }
+    let mut next: Vec<ExpandNode> = Vec::new();
+    for ((state, parent), slot) in states.into_iter().zip(merged) {
+        let (key, is_new) = slot.expect("every routed child was inserted");
+        if !is_new {
+            continue;
+        }
+        if parents.len() >= config.max_states {
+            return LevelResult::Truncated;
+        }
+        let idx = u32::try_from(parents.len()).expect("node index fits u32");
+        parents.push(Some(parent));
+        let actions = state.enabled_actions(&config.crash);
+        if actions.is_empty() {
+            *leaves += 1;
+        } else {
+            next.push((state, key, idx, actions));
+        }
+    }
+    LevelResult::Next(next)
+}
+
+fn explore_frontier(root: SysState, config: &ExploreConfig, threads: usize) -> ExploreOutcome {
+    explore_frontier_tuned(root, config, threads, None, None)
+}
+
+/// [`explore_frontier`] with the per-level worker policy and the shard
+/// count overridable — the overrides exist so tests can force the
+/// staged multi-worker, multi-shard pipeline on machines whose core
+/// count would select the fused single-shard configuration. Outcomes
+/// are independent of both knobs (asserted by those tests).
+fn explore_frontier_tuned(
+    root: SysState,
+    config: &ExploreConfig,
+    threads: usize,
+    workers_override: Option<usize>,
+    shards_override: Option<usize>,
+) -> ExploreOutcome {
+    let layout = KeyLayout::of(&root);
+    let mut global = ValueInterner::new();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let shards = shards_override.unwrap_or_else(|| threads.min(cores)).max(1);
+    let mut visited = ShardedStateTable::new(shards);
+    let mut parents: Vec<Option<(u32, Action)>> = Vec::new();
+    let mut leaves = 0usize;
+    let crashes = CrashedSet::new(&root, &mut global);
+
+    // The root: resolved and inserted serially.
+    if config.max_states == 0 {
+        return ExploreOutcome::Truncated { states: 0 };
+    }
+    let mut expand: Vec<ExpandNode> = {
+        let mut root_key = ChildKey::root(&layout);
+        root_key.resolve(&root, &mut global);
+        let shard = shard_for(&visited, &root_key.key);
+        visited.shards_mut()[shard].insert(&root_key.key);
+        parents.push(None);
+        let actions = root.enabled_actions(&config.crash);
+        if actions.is_empty() {
+            leaves += 1;
+            Vec::new()
+        } else {
+            vec![(root, root_key.key, 0, actions)]
+        }
+    };
+
+    while !expand.is_empty() {
+        let workers = workers_override
+            .unwrap_or_else(|| level_workers(threads, expand.len()))
+            .clamp(1, threads);
+        let result = if workers == 1 {
+            run_level_fused(
+                &expand,
+                &layout,
+                &crashes,
+                config,
+                &mut global,
+                &mut visited,
+                &mut parents,
+                &mut leaves,
+            )
+        } else {
+            run_level_staged(
+                &expand,
+                workers,
+                &layout,
+                &crashes,
+                config,
+                &mut global,
+                &mut visited,
+                &mut parents,
+                &mut leaves,
+            )
+        };
+        match result {
+            LevelResult::Next(next) => expand = next,
+            LevelResult::Truncated => {
+                return ExploreOutcome::Truncated {
+                    states: parents.len(),
+                };
+            }
+            LevelResult::Violations(violations) => {
+                // Parent links are deterministic, so every reconstructed
+                // schedule is; the lexicographically least of the
+                // shallowest violating level is the canonical witness.
+                return violations
+                    .into_iter()
+                    .map(|v| {
+                        let mut schedule = schedule_to(&parents, v.parent);
+                        schedule.push(v.action);
+                        (schedule, v.kind, v.outputs)
+                    })
+                    .min_by(|a, b| a.0.cmp(&b.0))
+                    .map(|(schedule, kind, outputs)| ExploreOutcome::Violation {
+                        kind,
+                        schedule,
+                        outputs,
+                    })
+                    .expect("non-empty violations");
+            }
+        }
+    }
+
+    ExploreOutcome::Verified {
+        states: parents.len(),
+        leaves,
     }
 }
 
@@ -982,8 +1428,10 @@ pub fn explore(factory: &SystemFactory<'_>, config: &ExploreConfig) -> ExploreOu
 
 /// [`explore`] in parallel frontier mode: uses
 /// [`ExploreConfig::threads`] workers, or every available CPU when the
-/// config says serial. Verdicts and state counts match [`explore`] on
-/// any uncapped search.
+/// config says serial. Verdicts, state counts, leaf counts and
+/// truncation counts are byte-identical to [`explore`]'s for any
+/// verifying or truncating search (see the module docs for the one
+/// place a capped *violating* search may differ).
 pub fn explore_parallel(factory: &SystemFactory<'_>, config: &ExploreConfig) -> ExploreOutcome {
     let threads = if config.threads > 1 {
         config.threads
@@ -992,167 +1440,6 @@ pub fn explore_parallel(factory: &SystemFactory<'_>, config: &ExploreConfig) -> 
     };
     let (mem, programs) = factory();
     explore_frontier(SysState::root(mem, programs), config, threads.max(2))
-}
-
-/// The seed engine: recursive DFS memoizing on freshly allocated
-/// structural key tuples, kept **only** as the measurement baseline for
-/// experiment E11 (old-vs-new states/sec). It routes crash legality
-/// through the same [`CrashModel`] as [`explore`], so verdicts and state
-/// counts are identical — only the allocation profile and the recursion
-/// differ. Scheduled for deletion once the E11 trajectory is
-/// established; do not use it for new work (it overflows the call stack
-/// at deep crash budgets).
-pub fn explore_legacy(factory: &SystemFactory<'_>, config: &ExploreConfig) -> ExploreOutcome {
-    type StructuralKey = (Vec<Value>, Vec<Value>, Vec<bool>, usize, Option<Value>);
-
-    /// The seed representation: deep-cloned memory and boxed programs
-    /// per branch (no copy-on-write), so the baseline's allocation
-    /// profile is preserved faithfully.
-    #[derive(Clone)]
-    struct Node {
-        mem: Memory,
-        programs: Vec<Box<dyn Program>>,
-        decided: Vec<bool>,
-        crashes_used: usize,
-        decided_value: Option<Value>,
-    }
-
-    impl Node {
-        fn key(&self) -> StructuralKey {
-            (
-                self.mem.state_key(),
-                self.programs.iter().map(|p| p.state_key()).collect(),
-                self.decided.clone(),
-                self.crashes_used,
-                self.decided_value.clone(),
-            )
-        }
-
-        fn apply(&mut self, action: Action) -> Option<Value> {
-            match action {
-                Action::Step(p) => match self.programs[p].step(&mut self.mem) {
-                    Step::Decided(v) => {
-                        self.decided[p] = true;
-                        Some(v)
-                    }
-                    Step::Running => None,
-                },
-                Action::Crash(p) => {
-                    self.programs[p].on_crash();
-                    self.decided[p] = false;
-                    self.crashes_used += 1;
-                    None
-                }
-                Action::CrashAll => {
-                    for (p, prog) in self.programs.iter_mut().enumerate() {
-                        prog.on_crash();
-                        self.decided[p] = false;
-                    }
-                    self.crashes_used += 1;
-                    None
-                }
-            }
-        }
-
-        fn enabled_actions(&self, model: &CrashModel) -> Vec<Action> {
-            let mut actions: Vec<Action> = (0..self.programs.len())
-                .filter(|&p| !self.decided[p])
-                .map(Action::Step)
-                .collect();
-            actions.extend(model.legal_crashes(&self.decided, self.crashes_used));
-            actions
-        }
-    }
-
-    struct Search<'a> {
-        config: &'a ExploreConfig,
-        visited: std::collections::HashSet<StructuralKey>,
-        schedule: Vec<Action>,
-        leaves: usize,
-        truncated: bool,
-        violation: Option<(ViolationKind, Vec<Action>, Vec<Value>)>,
-    }
-
-    impl Search<'_> {
-        fn dfs(&mut self, node: Node) {
-            if self.violation.is_some() || self.truncated {
-                return;
-            }
-            let key = node.key();
-            if self.visited.contains(&key) {
-                return;
-            }
-            if self.visited.len() >= self.config.max_states {
-                self.truncated = true;
-                return;
-            }
-            self.visited.insert(key);
-            let actions = node.enabled_actions(&self.config.crash);
-            if actions.is_empty() {
-                self.leaves += 1;
-                return;
-            }
-            for action in actions {
-                let mut next = node.clone();
-                self.schedule.push(action);
-                if let Some(v) = next.apply(action) {
-                    if let Some(kind) = check_output(
-                        self.config.inputs.as_deref(),
-                        next.decided_value.as_ref(),
-                        &v,
-                    ) {
-                        self.violation = Some((
-                            kind,
-                            self.schedule.clone(),
-                            violation_outputs(next.decided_value.as_ref(), v),
-                        ));
-                        self.schedule.pop();
-                        return;
-                    }
-                    next.decided_value = Some(v);
-                }
-                self.dfs(next);
-                self.schedule.pop();
-                if self.violation.is_some() || self.truncated {
-                    return;
-                }
-            }
-        }
-    }
-
-    let (mem, programs) = factory();
-    let n = programs.len();
-    let mut search = Search {
-        config,
-        visited: std::collections::HashSet::new(),
-        schedule: Vec::new(),
-        leaves: 0,
-        truncated: false,
-        violation: None,
-    };
-    search.dfs(Node {
-        mem,
-        programs,
-        decided: vec![false; n],
-        crashes_used: 0,
-        decided_value: None,
-    });
-    if let Some((kind, schedule, outputs)) = search.violation {
-        ExploreOutcome::Violation {
-            kind,
-            schedule,
-            outputs,
-        }
-    } else if search.truncated {
-        ExploreOutcome::Truncated {
-            states: search.visited.len(),
-        }
-    } else {
-        ExploreOutcome::Verified {
-            states: search.visited.len(),
-            leaves: search.leaves,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1479,7 +1766,7 @@ mod tests {
     }
 
     /// Serial and parallel engines agree on verdicts, state counts and
-    /// leaf counts; the legacy baseline agrees too.
+    /// leaf counts, at several thread (and therefore shard) counts.
     #[test]
     fn parallel_engine_matches_serial() {
         let factory = forgetful_factory;
@@ -1489,40 +1776,142 @@ mod tests {
                 ..ExploreConfig::default()
             };
             let serial = explore(&factory, &config);
-            let parallel = explore_parallel(
-                &factory,
-                &ExploreConfig {
-                    threads: 4,
-                    ..config.clone()
-                },
-            );
-            let legacy = explore_legacy(&factory, &config);
-            match (&serial, &parallel, &legacy) {
-                (
-                    ExploreOutcome::Verified { states, leaves },
-                    ExploreOutcome::Verified {
-                        states: p_states,
-                        leaves: p_leaves,
+            for threads in [2usize, 3, 4] {
+                let parallel = explore_parallel(
+                    &factory,
+                    &ExploreConfig {
+                        threads,
+                        ..config.clone()
                     },
-                    ExploreOutcome::Verified {
-                        states: l_states,
-                        leaves: l_leaves,
+                );
+                match (&serial, &parallel) {
+                    (
+                        ExploreOutcome::Verified { states, leaves },
+                        ExploreOutcome::Verified {
+                            states: p_states,
+                            leaves: p_leaves,
+                        },
+                    ) => {
+                        assert_eq!(states, p_states, "threads {threads}");
+                        assert_eq!(leaves, p_leaves, "threads {threads}");
+                    }
+                    (
+                        ExploreOutcome::Violation { kind, .. },
+                        ExploreOutcome::Violation { kind: p_kind, .. },
+                    ) => {
+                        assert_eq!(kind, p_kind, "threads {threads}");
+                    }
+                    other => panic!("engines disagree: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// The parallel engine's `max_states` cap is exact and byte-identical
+    /// to the serial engine's at every boundary: below, at and above the
+    /// state-space size.
+    #[test]
+    fn parallel_state_cap_matches_serial_exactly() {
+        let factory = forgetful_factory;
+        let base = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(false),
+            ..ExploreConfig::default()
+        };
+        let total = match explore(&factory, &base) {
+            ExploreOutcome::Verified { states, .. } => states,
+            other => panic!("expected verified, got {other:?}"),
+        };
+        for cap in [1, 2, total - 1, total, total + 1] {
+            let config = ExploreConfig {
+                max_states: cap,
+                ..base.clone()
+            };
+            let serial = explore(&factory, &config);
+            for threads in [2usize, 3, 4] {
+                let parallel = explore(
+                    &factory,
+                    &ExploreConfig {
+                        threads,
+                        ..config.clone()
                     },
-                ) => {
-                    assert_eq!(states, p_states);
-                    assert_eq!(leaves, p_leaves);
-                    assert_eq!(states, l_states);
-                    assert_eq!(leaves, l_leaves);
+                );
+                assert_eq!(serial, parallel, "cap {cap}, threads {threads}");
+            }
+            if cap >= total {
+                assert!(serial.is_verified(), "cap {cap}: {serial:?}");
+            } else {
+                assert_eq!(
+                    serial,
+                    ExploreOutcome::Truncated { states: cap },
+                    "the cap is exact"
+                );
+            }
+        }
+    }
+
+    /// The staged multi-worker pipeline — forced on, whatever this
+    /// machine's core count would select — matches the serial engine
+    /// byte-for-byte: verdicts, state counts, leaf counts, truncation
+    /// counts and violation witnesses, at several worker counts and cap
+    /// boundaries. (The public entry points pick fused vs staged by
+    /// core count; this pins the staged path itself.)
+    #[test]
+    fn staged_pipeline_matches_serial_at_forced_worker_counts() {
+        let factory = forgetful_factory;
+        let base = ExploreConfig {
+            crash: CrashModel::independent(2).after_decide(false),
+            ..ExploreConfig::default()
+        };
+        let total = match explore(&factory, &base) {
+            ExploreOutcome::Verified { states, .. } => states,
+            other => panic!("expected verified, got {other:?}"),
+        };
+        let mut configs = vec![base.clone()];
+        for cap in [2usize, total - 1, total] {
+            configs.push(ExploreConfig {
+                max_states: cap,
+                ..base.clone()
+            });
+        }
+        // A violating config: post-decide crashes expose the re-run
+        // disagreement the forgetful decider is built to exhibit.
+        configs.push(ExploreConfig {
+            crash: CrashModel::independent(2).after_decide(true),
+            ..base.clone()
+        });
+        for config in configs {
+            let serial = explore(&factory, &config);
+            for (workers, shards) in [(2usize, 2usize), (3, 3), (4, 2), (3, 5)] {
+                let (mem, programs) = factory();
+                let staged = explore_frontier_tuned(
+                    SysState::root(mem, programs),
+                    &config,
+                    4,
+                    Some(workers),
+                    Some(shards),
+                );
+                if serial.is_violation() {
+                    // DFS and frontier order legitimately pick different
+                    // (both valid) witnesses; the frontier pick itself
+                    // must not depend on worker or shard counts.
+                    let reference = explore_frontier_tuned(
+                        {
+                            let (mem, programs) = factory();
+                            SysState::root(mem, programs)
+                        },
+                        &config,
+                        4,
+                        Some(2),
+                        Some(2),
+                    );
+                    assert_eq!(reference, staged, "workers {workers} shards {shards}");
+                    assert!(
+                        staged.is_violation(),
+                        "workers {workers} shards {shards}: {staged:?}"
+                    );
+                } else {
+                    assert_eq!(serial, staged, "workers {workers} shards {shards}");
                 }
-                (
-                    ExploreOutcome::Violation { kind, .. },
-                    ExploreOutcome::Violation { kind: p_kind, .. },
-                    ExploreOutcome::Violation { kind: l_kind, .. },
-                ) => {
-                    assert_eq!(kind, p_kind);
-                    assert_eq!(kind, l_kind);
-                }
-                other => panic!("engines disagree: {other:?}"),
             }
         }
     }

@@ -88,10 +88,13 @@ pub mod verify;
 pub use crash::{CrashMode, CrashModel};
 pub use exec::{run, Execution, RunOptions};
 pub use explore::{
-    explore, explore_legacy, explore_parallel, ExploreConfig, ExploreOutcome, SystemFactory,
-    ViolationKind,
+    explore, explore_parallel, ExploreConfig, ExploreOutcome, SystemFactory, ViolationKind,
 };
-pub use intern::ValueInterner;
+// `Resolved`/`ShardInterner` are exported for the sharded-reconciliation
+// property suite in tests/proptest_runtime.rs (and as the documented
+// worker-local overflow API); the engine-internal `ShardedStateTable`
+// deliberately is not.
+pub use intern::{Resolved, ShardInterner, ValueInterner};
 pub use memory::{Addr, Cell, MemOps, Memory};
 pub use program::{Pid, Program, Step};
 pub use trace::{Trace, TraceEvent};

@@ -1,19 +1,48 @@
-//! The rebuilt model-checker engine, end to end: serial/parallel/legacy
-//! equivalence on the real Fig. 2 systems, the unified [`CrashModel`]
-//! semantics, and regressions for the crash-adversary bugs this engine
-//! rebuild fixed (post-decide `CrashAll` handling and the state-cap
-//! off-by-one).
+//! The model-checker engines, end to end: serial/parallel equivalence on
+//! the real Fig. 2 systems — byte-identical outcomes including at
+//! `max_states` truncation boundaries — the unified [`CrashModel`]
+//! semantics, and regressions for the crash-adversary bugs the engine
+//! rebuilds fixed (post-decide `CrashAll` handling, the state-cap
+//! off-by-one, and the parallel frontier's whole-level cap overshoot).
+//!
+//! CI runs this suite under `EXPLORE_TEST_THREADS` ∈ {2, 8} (see
+//! `.github/workflows/ci.yml`), so determinism across thread counts is
+//! enforced on every push, beyond the locally tested counts.
 
 use rc_core::algorithms::build_team_rc_system;
 use rc_core::{check_recording, Assignment, RecordingWitness, Team};
 use rc_runtime::sched::{Action, RandomScheduler, RandomSchedulerConfig, SchedContext, Scheduler};
 use rc_runtime::{
-    explore, explore_legacy, explore_parallel, CrashModel, ExploreConfig, ExploreOutcome, MemOps,
-    Memory, Program, Step,
+    explore, explore_parallel, CrashModel, ExploreConfig, ExploreOutcome, MemOps, Memory, Program,
+    Step,
 };
 use rc_spec::types::Sn;
 use rc_spec::{TypeHandle, Value};
 use std::sync::Arc;
+
+/// The thread counts the equivalence tests run the parallel engine at:
+/// {2, 3, 4} always, plus whatever `EXPLORE_TEST_THREADS` names (the CI
+/// matrix sets 2 and 8).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![2usize, 3, 4];
+    if let Ok(raw) = std::env::var("EXPLORE_TEST_THREADS") {
+        // A malformed matrix value must fail loudly, not silently test
+        // only the defaults (the same silent-no-op shape the tables CLI
+        // rejects for unknown experiment ids).
+        let extra: usize = raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("EXPLORE_TEST_THREADS must be an integer, got {raw:?}"));
+        assert!(
+            extra > 1,
+            "EXPLORE_TEST_THREADS must be > 1 to exercise the parallel engine, got {extra}"
+        );
+        if !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
 
 fn sn_system(n: usize) -> (TypeHandle, RecordingWitness, Vec<Value>) {
     let sn = Sn::new(n);
@@ -31,9 +60,8 @@ fn sn_system(n: usize) -> (TypeHandle, RecordingWitness, Vec<Value>) {
     (Arc::new(sn), w, inputs)
 }
 
-/// `explore` vs `explore_parallel` vs the seed (`explore_legacy`) engine
-/// on the E2 systems: identical `Verified` verdicts, state counts and
-/// leaf counts.
+/// `explore` vs `explore_parallel` on the E2 systems, across thread
+/// counts: byte-identical `Verified` outcomes (state *and* leaf counts).
 #[test]
 fn engines_agree_on_e2_systems() {
     for n in [2usize, 3] {
@@ -46,20 +74,76 @@ fn engines_agree_on_e2_systems() {
                 ..ExploreConfig::default()
             };
             let serial = explore(&factory, &config);
-            let parallel = explore_parallel(
+            assert!(
+                matches!(serial, ExploreOutcome::Verified { .. }),
+                "S_{n} budget {budget} must verify: {serial:?}"
+            );
+            for threads in thread_counts() {
+                let parallel = explore_parallel(
+                    &factory,
+                    &ExploreConfig {
+                        threads,
+                        ..config.clone()
+                    },
+                );
+                assert_eq!(
+                    serial, parallel,
+                    "S_{n} budget {budget} threads {threads}: engines must agree byte-for-byte"
+                );
+            }
+        }
+    }
+}
+
+/// The `max_states` cap at every boundary of the S_2 budget-2 instance
+/// (514 states): serial and parallel outcomes are byte-identical — the
+/// parallel engine must neither overshoot the cap by a frontier (the
+/// pre-sharding bug) nor truncate a run whose cap equals the exact
+/// state-space size. Also pins `Verified { leaves }` parity at the cap
+/// boundary: a level cut mid-dedup must not have counted
+/// partially-processed nodes as leaves.
+#[test]
+fn cap_boundaries_are_byte_identical_across_engines() {
+    let (ty, w, inputs) = sn_system(2);
+    let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
+    let base = ExploreConfig {
+        crash: CrashModel::independent(2).after_decide(true),
+        inputs: Some(inputs.clone()),
+        ..ExploreConfig::default()
+    };
+    let total = match explore(&factory, &base) {
+        ExploreOutcome::Verified { states, .. } => states,
+        other => panic!("S_2 budget 2 must verify: {other:?}"),
+    };
+    for cap in [1usize, 7, total / 2, total - 1, total, total + 1] {
+        let config = ExploreConfig {
+            max_states: cap,
+            ..base.clone()
+        };
+        let serial = explore(&factory, &config);
+        if cap >= total {
+            // At (and above) the exact state-space size nothing may
+            // truncate, and the leaf count is part of the contract.
+            assert!(serial.is_verified(), "cap {cap}: {serial:?}");
+        } else {
+            assert_eq!(
+                serial,
+                ExploreOutcome::Truncated { states: cap },
+                "the serial cap is exact"
+            );
+        }
+        for threads in thread_counts() {
+            let parallel = explore(
                 &factory,
                 &ExploreConfig {
-                    threads: 4,
+                    threads,
                     ..config.clone()
                 },
             );
-            let legacy = explore_legacy(&factory, &config);
-            let stats = |o: &ExploreOutcome| match o {
-                ExploreOutcome::Verified { states, leaves } => (*states, *leaves),
-                other => panic!("S_{n} budget {budget} must verify: {other:?}"),
-            };
-            assert_eq!(stats(&serial), stats(&parallel), "S_{n} budget {budget}");
-            assert_eq!(stats(&serial), stats(&legacy), "S_{n} budget {budget}");
+            assert_eq!(
+                serial, parallel,
+                "cap {cap} threads {threads}: outcomes must be byte-identical"
+            );
         }
     }
 }
@@ -307,7 +391,8 @@ fn parallel_engine_reports_replayable_violations() {
     let bogus = vec![Value::Int(7)];
     let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
     let mut schedules = Vec::new();
-    for threads in [2usize, 4, 2, 4] {
+    let counts = thread_counts();
+    for threads in counts.iter().chain(counts.iter()).copied() {
         match explore(
             &factory,
             &ExploreConfig {
