@@ -1,11 +1,11 @@
-//! Prints every experiment table (E1–E11); pass experiment ids to select
+//! Prints every experiment table (E1–E12); pass experiment ids to select
 //! a subset, `--fast` for smaller sample counts, and `--snapshot` (with
-//! e11) to refresh `BENCH_explore.json`:
+//! e11 and e12) to refresh `BENCH_explore.json`:
 //!
 //! ```sh
 //! cargo run -p rc-bench --release --bin tables           # everything
 //! cargo run -p rc-bench --release --bin tables -- e4 e5  # a subset
-//! cargo run -p rc-bench --release --bin tables -- e11 --fast --snapshot
+//! cargo run -p rc-bench --release --bin tables -- e11 e12 --fast --snapshot
 //! ```
 //!
 //! Unknown experiment ids and flags exit non-zero with the list of valid
@@ -61,22 +61,31 @@ fn main() {
     if args.wants("e10") {
         println!("{}", exp::e10_headline(seeds.min(100)));
     }
+    let mut e11_rows = Vec::new();
     if args.wants("e11") {
         let (report, rows) = exp::e11_explore_scaling(fast);
         println!("{report}");
-        if args.snapshot {
-            // The workspace root, resolved from this crate's manifest so
-            // the snapshot lands in the same place regardless of cwd.
-            let path = Path::new(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("BENCH_explore.json");
-            let json = exp::e11_snapshot_json(&rows);
-            match std::fs::write(&path, json) {
-                Ok(()) => println!("snapshot written to {}", path.display()),
-                Err(e) => {
-                    eprintln!("tables: cannot write {}: {e}", path.display());
-                    std::process::exit(1);
-                }
+        e11_rows = rows;
+    }
+    let mut e12_rows = Vec::new();
+    if args.wants("e12") {
+        let (report, rows) = exp::e12_symmetry_reduction(fast);
+        println!("{report}");
+        e12_rows = rows;
+    }
+    if args.snapshot {
+        // The CLI guarantees e11 and e12 are both selected. The path is
+        // the workspace root, resolved from this crate's manifest so the
+        // snapshot lands in the same place regardless of cwd.
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_explore.json");
+        let json = exp::snapshot_json(&e11_rows, &e12_rows);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("snapshot written to {}", path.display()),
+            Err(e) => {
+                eprintln!("tables: cannot write {}: {e}", path.display());
+                std::process::exit(1);
             }
         }
     }

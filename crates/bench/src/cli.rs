@@ -1,13 +1,14 @@
 //! Argument parsing for the `tables` binary.
 //!
 //! Split out of the binary so the parsing rules are unit-testable — in
-//! particular the rejection of unknown experiment ids: `tables -- e12`
-//! used to exit 0 having silently printed nothing, which made typos look
-//! like passing runs.
+//! particular the rejection of unknown experiment ids: `tables` with a
+//! typo'd id used to exit 0 having silently printed nothing, which made
+//! typos look like passing runs. (`e12` was the canonical example until
+//! the symmetry sweep claimed the id; CI now probes with `e99`.)
 
 /// Every valid experiment id, in printing order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 /// Parsed `tables` arguments.
@@ -63,10 +64,10 @@ where
             }
         }
     }
-    if parsed.snapshot && !parsed.wants("e11") {
+    if parsed.snapshot && !(parsed.wants("e11") && parsed.wants("e12")) {
         return Err(
-            "--snapshot records the E11 engine sweep, but e11 is not among the selected \
-             experiment ids"
+            "--snapshot records the E11 engine sweep and the E12 symmetry sweep, but e11 \
+             and e12 are not both among the selected experiment ids"
                 .into(),
         );
     }
@@ -89,34 +90,48 @@ mod tests {
 
     #[test]
     fn subset_and_flags() {
-        let args = parse_args(["E4", "e11", "--fast", "--snapshot"]).expect("valid");
+        let args = parse_args(["E4", "e11", "e12", "--fast", "--snapshot"]).expect("valid");
         assert!(args.fast && args.snapshot);
-        assert!(args.wants("e4") && args.wants("e11"));
+        assert!(args.wants("e4") && args.wants("e11") && args.wants("e12"));
         assert!(!args.wants("e1"));
     }
 
     /// Regression: an unknown id must be an error carrying the full list
-    /// of valid ids, not a silent empty run.
+    /// of valid ids, not a silent empty run. (`e12` was the canonical
+    /// unknown id until the symmetry sweep claimed it; `e99` stays
+    /// unknown.)
     #[test]
     fn unknown_id_is_rejected_with_the_valid_list() {
-        let err = parse_args(["e12"]).expect_err("must reject");
-        assert!(err.contains("e12"), "{err}");
+        let err = parse_args(["e99"]).expect_err("must reject");
+        assert!(err.contains("e99"), "{err}");
         for id in EXPERIMENT_IDS {
             assert!(err.contains(id), "{err} should list {id}");
         }
     }
 
-    /// `--snapshot` without e11 in the selection would silently skip the
-    /// snapshot write — the same silent-no-op shape as the unknown-id
-    /// bug, so it is rejected too.
+    /// `e12` goes through the same known-id path as every other
+    /// experiment — no special-cased acceptance.
     #[test]
-    fn snapshot_requires_e11_in_the_selection() {
+    fn e12_is_a_known_experiment_id() {
+        let args = parse_args(["E12"]).expect("e12 is valid");
+        assert!(args.wants("e12"));
+        assert!(!args.wants("e11"));
+    }
+
+    /// `--snapshot` without both snapshot experiments in the selection
+    /// would silently skip part of the snapshot write — the same
+    /// silent-no-op shape as the unknown-id bug, so it is rejected too.
+    #[test]
+    fn snapshot_requires_e11_and_e12_in_the_selection() {
         let err = parse_args(["e4", "--snapshot"]).expect_err("must reject");
         assert!(err.contains("e11"), "{err}");
-        assert!(parse_args(["e4", "e11", "--snapshot"]).is_ok());
+        assert!(err.contains("e12"), "{err}");
+        let err = parse_args(["e11", "--snapshot"]).expect_err("e12 missing");
+        assert!(err.contains("e12"), "{err}");
+        assert!(parse_args(["e4", "e11", "e12", "--snapshot"]).is_ok());
         assert!(
             parse_args(["--snapshot"]).is_ok(),
-            "empty selection runs e11"
+            "empty selection runs everything"
         );
     }
 

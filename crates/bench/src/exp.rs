@@ -4,8 +4,8 @@ use crate::table::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rc_core::algorithms::{
-    alloc_team_rc, build_team_consensus_system, build_team_rc_system, build_tournament_rc,
-    BrokenTeamRc, ConsensusObjectFactory, TeamRcConfig,
+    build_broken_team_rc_system, build_team_consensus_system, build_team_rc_system,
+    build_team_rc_system_sym, build_tournament_rc, ConsensusObjectFactory,
 };
 use rc_core::{
     check_discerning, check_recording, compute_hierarchy, find_recording_witness, is_discerning,
@@ -159,26 +159,9 @@ pub fn e2_team_rc(seeds: u64) -> String {
             q_b: w.q_a.clone(),
         }
     };
-    let config = TeamRcConfig::new(cas, &w);
     let inputs = team_inputs(&w.assignment);
     let outcome = explore(
-        &|| {
-            let mut mem = Memory::new();
-            let shared = alloc_team_rc(&mut mem, &config);
-            let programs: Vec<Box<dyn Program>> = inputs
-                .iter()
-                .enumerate()
-                .map(|(slot, input)| {
-                    Box::new(BrokenTeamRc::new(
-                        config.clone(),
-                        shared,
-                        slot,
-                        input.clone(),
-                    )) as Box<dyn Program>
-                })
-                .collect();
-            (mem, programs)
-        },
+        &|| build_broken_team_rc_system(cas.clone(), &w, &inputs),
         &ExploreConfig {
             crash: CrashModel::independent(0),
             inputs: Some(inputs.clone()),
@@ -1021,20 +1004,236 @@ pub fn e11_explore_scaling(fast: bool) -> (String, Vec<E11Row>) {
     (report, rows)
 }
 
-/// Renders the E11 rows as the `BENCH_explore.json` snapshot: a stable,
-/// diff-friendly record of the engine trajectory across PRs.
-pub fn e11_snapshot_json(rows: &[E11Row]) -> String {
-    let mut out = String::from("{\n  \"experiment\": \"E11\",\n");
-    out.push_str(
-        "  \"regenerate\": \"cargo run -p rc-bench --release --bin tables -- e11 --snapshot\",\n",
+/// One measured configuration of the E12 symmetry sweep.
+#[derive(Clone, Debug)]
+pub struct E12Row {
+    /// System under check (Fig. 2 team-RC over `S_n`, as in E2/E11).
+    pub system: String,
+    /// Crash budget of the (independent, post-decide) adversary.
+    pub crash_budget: usize,
+    /// The `max_states` cap this row ran under (the default cap unless
+    /// the row demonstrates cap-exceed behaviour).
+    pub max_states: usize,
+    /// `"off"` (plain serial DFS) or `"on"` (process-symmetry reduction).
+    pub symmetry: &'static str,
+    /// `Verified` / `Truncated` (a violation would panic the sweep).
+    pub verdict: String,
+    /// Distinct states visited — canonical representatives when
+    /// symmetry is on.
+    pub states: usize,
+    /// Complete executions enumerated; symmetry-on rows weight each
+    /// canonical leaf by its permutation-class size, so Verified rows
+    /// match the off rows exactly (asserted).
+    pub leaves: usize,
+    /// Wall-clock milliseconds of the best run (machine-dependent).
+    pub millis: f64,
+    /// `states / seconds` (machine-dependent).
+    pub states_per_sec: f64,
+    /// `states(off) / states(on)` for the on rows (1.0 for off rows);
+    /// for the cap-exceed demonstration the off side is a lower bound.
+    pub reduction: f64,
+}
+
+fn e12_measure(
+    system: &str,
+    budget: usize,
+    symmetry: &'static str,
+    config: &ExploreConfig,
+    run_once: &dyn Fn() -> rc_runtime::ExploreOutcome,
+) -> E12Row {
+    use rc_runtime::ExploreOutcome;
+    use std::time::{Duration, Instant};
+    // Lighter repetition than E11 (min one run, 200 ms floor): the
+    // sweep's headline figures are the deterministic state counts; the
+    // throughput columns are secondary.
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut outcome;
+    let mut runs = 0u32;
+    loop {
+        let start = Instant::now();
+        outcome = Some(run_once());
+        let elapsed = start.elapsed();
+        total += elapsed;
+        best = best.min(elapsed);
+        runs += 1;
+        if runs >= 30 || total >= Duration::from_millis(200) {
+            break;
+        }
+    }
+    let (verdict, states, leaves) = match outcome.expect("at least one run") {
+        ExploreOutcome::Verified { states, leaves } => ("Verified".to_string(), states, leaves),
+        ExploreOutcome::Truncated { states } => ("Truncated".to_string(), states, 0),
+        ExploreOutcome::Violation { schedule, .. } => panic!(
+            "E12 systems are correct; violation after {} actions",
+            schedule.len()
+        ),
+    };
+    E12Row {
+        system: system.to_string(),
+        crash_budget: budget,
+        max_states: config.max_states,
+        symmetry,
+        verdict,
+        states,
+        leaves,
+        millis: best.as_secs_f64() * 1e3,
+        states_per_sec: states as f64 / best.as_secs_f64().max(1e-9),
+        reduction: 1.0,
+    }
+}
+
+/// E12: process-symmetry reduction — states visited and states/sec with
+/// symmetry off vs on on the Fig. 2 team-RC workload, `S_3..S_6` ×
+/// crash budgets, plus the cap-exceed demonstration: `S_8`/budget-0
+/// exceeds the default 5M-state cap without symmetry (`Truncated`) and
+/// reaches an exact `Verified` verdict with it.
+///
+/// The `S_n` witness has one team-A row and `n − 1` identical team-B
+/// rows, so the symmetric search collapses the team-B orbit — up to
+/// `(n−1)!` states per class. Verdicts and (weighted) leaf counts are
+/// asserted identical between the off and on rows of every
+/// both-verifying configuration.
+pub fn e12_symmetry_reduction(fast: bool) -> (String, Vec<E12Row>) {
+    let sweep: &[(usize, &[usize])] = if fast {
+        &[(3, &[1, 2]), (4, &[1])]
+    } else {
+        &[(3, &[1, 2]), (4, &[1, 2]), (5, &[0, 1]), (6, &[0, 1])]
+    };
+    let mut rows = Vec::new();
+    let sweep_one = |n: usize, budget: usize, config: &ExploreConfig| -> (E12Row, E12Row) {
+        let (ty, w) = sn_witness(n);
+        let inputs = team_inputs(&w.assignment);
+        let system = format!("S_{n}");
+        let config = ExploreConfig {
+            crash: CrashModel::independent(budget).after_decide(true),
+            inputs: Some(inputs.clone()),
+            ..config.clone()
+        };
+        let off = e12_measure(&system, budget, "off", &config, &|| {
+            explore(&|| build_team_rc_system(ty.clone(), &w, &inputs), &config)
+        });
+        let mut on = e12_measure(&system, budget, "on", &config, &|| {
+            rc_runtime::explore_symmetric(
+                &|| build_team_rc_system_sym(ty.clone(), &w, &inputs),
+                &config,
+            )
+        });
+        on.reduction = off.states as f64 / on.states as f64;
+        (off, on)
+    };
+    for &(n, budgets) in sweep {
+        for &budget in budgets {
+            let (off, on) = sweep_one(n, budget, &ExploreConfig::default());
+            assert_eq!(
+                off.verdict, on.verdict,
+                "S_{n}/{budget}: verdicts must agree"
+            );
+            assert_eq!(
+                off.leaves, on.leaves,
+                "S_{n}/{budget}: weighted leaf counts must agree"
+            );
+            assert!(
+                on.states < off.states,
+                "S_{n}/{budget}: symmetry must reduce states"
+            );
+            rows.push(off);
+            rows.push(on);
+        }
+    }
+    // The cap-exceed demonstration (full sweep only — the off side costs
+    // a cap-length run): S_8/budget-0 truncates at the default cap
+    // without symmetry and verifies exactly with it.
+    if !fast {
+        let (off, on) = sweep_one(8, 0, &ExploreConfig::default());
+        assert_eq!(
+            off.verdict, "Truncated",
+            "S_8/0 must exceed the default cap"
+        );
+        assert_eq!(on.verdict, "Verified", "S_8/0 must verify under symmetry");
+        rows.push(off);
+        rows.push(on);
+    }
+    let mut t = Table::new(&[
+        "system",
+        "crash budget",
+        "cap",
+        "symmetry",
+        "verdict",
+        "states",
+        "leaves",
+        "ms",
+        "states/sec",
+        "reduction",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.system.clone(),
+            r.crash_budget.to_string(),
+            r.max_states.to_string(),
+            r.symmetry.to_string(),
+            r.verdict.clone(),
+            r.states.to_string(),
+            r.leaves.to_string(),
+            format!("{:.1}", r.millis),
+            format!("{:.0}", r.states_per_sec),
+            if r.symmetry == "on" {
+                format!("{:.1}×", r.reduction)
+            } else {
+                "1.0×".into()
+            },
+        ]);
+    }
+    let headline = rows
+        .iter()
+        .filter(|r| r.symmetry == "on" && r.verdict == "Verified")
+        .map(|r| (r.reduction, r.system.clone(), r.crash_budget))
+        .fold((0.0f64, String::new(), 0usize), |acc, x| {
+            if x.0 > acc.0 {
+                x
+            } else {
+                acc
+            }
+        });
+    let cap_note = if fast {
+        "(the S_8 cap-exceed demonstration runs in the full sweep only)"
+    } else {
+        "the S_8/budget-0 rows show an instance the plain engine cannot finish \
+         within the default cap that the symmetric engine verifies exactly"
+    };
+    let report = format!(
+        "E12 — process-symmetry reduction (Fig. 2 team-RC workload; the team-B \
+         orbit of the S_n witness collapses, up to (n−1)! states per class):\n{}\n\
+         largest recorded reduction: {:.1}× on {}/budget-{}; verdicts and weighted \
+         leaf counts are identical with symmetry off and on (asserted), witness \
+         schedules stay in original process ids, and {cap_note}.\n",
+        t.render(),
+        headline.0,
+        headline.1,
+        headline.2,
     );
+    (report, rows)
+}
+
+/// Renders the E11 + E12 rows as the `BENCH_explore.json` snapshot: a
+/// stable, diff-friendly record of the engine trajectory across PRs.
+/// The host core count is recorded so trajectory points from different
+/// machines stay comparable (the fused single-worker floor on a 1-core
+/// box is not a parallel win).
+pub fn snapshot_json(e11: &[E11Row], e12: &[E12Row]) -> String {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    out.push_str(&format!(
-        "  \"note\": \"states and leaves are deterministic; millis, states_per_sec and \
-         vs_serial are machine-dependent (this snapshot: {cores} hardware core(s))\",\n",
-    ));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"regenerate\": \"cargo run -p rc-bench --release --bin tables -- e11 e12 \
+         --snapshot\",\n",
+    );
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(
+        "  \"note\": \"states and leaves are deterministic; millis, states_per_sec, \
+         vs_serial and reduction are machine-dependent\",\n",
+    );
+    out.push_str("  \"e11_rows\": [\n");
+    for (i, r) in e11.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"system\": \"{}\", \"crash_budget\": {}, \"engine\": \"{}\", \
              \"verdict\": \"{}\", \"states\": {}, \"leaves\": {}, \"millis\": {:.1}, \
@@ -1048,7 +1247,26 @@ pub fn e11_snapshot_json(rows: &[E11Row]) -> String {
             r.millis,
             r.states_per_sec,
             r.vs_serial,
-            if i + 1 == rows.len() { "" } else { "," }
+            if i + 1 == e11.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"e12_rows\": [\n");
+    for (i, r) in e12.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"crash_budget\": {}, \"max_states\": {}, \
+             \"symmetry\": \"{}\", \"verdict\": \"{}\", \"states\": {}, \"leaves\": {}, \
+             \"millis\": {:.1}, \"states_per_sec\": {:.0}, \"reduction\": {:.1}}}{}\n",
+            r.system,
+            r.crash_budget,
+            r.max_states,
+            r.symmetry,
+            r.verdict,
+            r.states,
+            r.leaves,
+            r.millis,
+            r.states_per_sec,
+            r.reduction,
+            if i + 1 == e12.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1081,5 +1299,15 @@ mod tests {
     #[test]
     fn headline_runs() {
         assert!(e10_headline(3).contains("T_4"));
+    }
+
+    /// The symmetry sweep's own invariants (identical verdicts and
+    /// weighted leaf counts, strict state reduction) are asserted inside
+    /// the experiment; the fast sweep exercises them.
+    #[test]
+    fn symmetry_sweep_runs_fast() {
+        let (report, rows) = e12_symmetry_reduction(true);
+        assert!(report.contains("E12"));
+        assert!(rows.iter().any(|r| r.symmetry == "on" && r.reduction > 1.0));
     }
 }

@@ -22,7 +22,7 @@
 
 use crate::discerning::DiscerningWitness;
 use crate::witness::Team;
-use rc_runtime::{Addr, MemOps, Memory, Program, Step};
+use rc_runtime::{Addr, MemOps, Memory, Program, Step, SymmetrySpec};
 use rc_spec::{ObjectType, TypeHandle, Value};
 use std::sync::Arc;
 
@@ -63,6 +63,20 @@ impl TeamConsensusConfig {
         );
         Arc::new(TeamConsensusConfig { ty, witness })
     }
+
+    /// The behavioural class of `slot`: the smallest slot with the same
+    /// team, operation *and* classifier. Slots of one class run the same
+    /// code; with equal inputs they are interchangeable processes.
+    fn class_of(&self, slot: usize) -> usize {
+        let a = &self.witness.assignment;
+        (0..slot)
+            .find(|&j| {
+                a.teams[j] == a.teams[slot]
+                    && a.ops[j] == a.ops[slot]
+                    && self.witness.same_classifier(j, slot)
+            })
+            .unwrap_or(slot)
+    }
 }
 
 /// Allocates the shared cells for one instance.
@@ -94,6 +108,9 @@ pub struct TeamConsensus {
     config: Arc<TeamConsensusConfig>,
     shared: TeamConsensusShared,
     slot: usize,
+    /// `config.class_of(slot)`, precomputed — `state_key` is the model
+    /// checker's hottest call and class comparison walks classifiers.
+    class: usize,
     input: Value,
     pc: Pc,
     response: Option<Value>,
@@ -112,10 +129,12 @@ impl TeamConsensus {
         input: Value,
     ) -> Self {
         assert!(slot < config.witness.len(), "slot out of range");
+        let class = config.class_of(slot);
         TeamConsensus {
             config,
             shared,
             slot,
+            class,
             input,
             pc: Pc::WriteInput,
             response: None,
@@ -185,11 +204,16 @@ impl Program for TeamConsensus {
             Pc::Output(Team::A) => Value::Int(3),
             Pc::Output(Team::B) => Value::Int(4),
         };
-        Value::triple(
+        // Like `TeamRc`: the key encodes the behavioural class (team +
+        // operation + classifier) and the input instead of the raw slot
+        // number, so equal keys mean equal behaviour across slots —
+        // per slot both are constants, so plain state counts don't move.
+        Value::Tuple(vec![
             pc,
-            Value::Int(self.slot as i64),
+            Value::Int(self.class as i64),
             self.response.clone().unwrap_or(Value::Bottom),
-        )
+            self.input.clone(),
+        ])
     }
 
     fn boxed_clone(&self) -> Box<dyn Program> {
@@ -226,6 +250,24 @@ pub fn build_team_consensus_system(
         })
         .collect();
     (mem, programs)
+}
+
+/// [`build_team_consensus_system`] plus the system's process-symmetry
+/// declaration, for [`rc_runtime::explore_symmetric`]: witness rows with
+/// the same team, operation, classifier and input form one orbit.
+pub fn build_team_consensus_system_sym(
+    ty: TypeHandle,
+    witness: &DiscerningWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) {
+    let config = TeamConsensusConfig::new(ty.clone(), witness.clone());
+    let (mem, programs) = build_team_consensus_system(ty, witness, inputs);
+    let labels: Vec<(usize, &Value)> = inputs
+        .iter()
+        .enumerate()
+        .map(|(slot, input)| (config.class_of(slot), input))
+        .collect();
+    (mem, programs, SymmetrySpec::from_classes(&labels))
 }
 
 #[cfg(test)]

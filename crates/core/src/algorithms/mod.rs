@@ -18,8 +18,8 @@ mod team_rc;
 mod tournament;
 
 pub use consensus::{
-    alloc_team_consensus, build_team_consensus_system, TeamConsensus, TeamConsensusConfig,
-    TeamConsensusShared,
+    alloc_team_consensus, build_team_consensus_system, build_team_consensus_system_sym,
+    TeamConsensus, TeamConsensusConfig, TeamConsensusShared,
 };
 pub use input_mask::{InnerMaker, InputMasked};
 pub use rc_factory::{consensus_object_rc_factory, tournament_rc_factory};
@@ -29,6 +29,8 @@ pub use simultaneous::{
     SimultaneousRcShared,
 };
 pub use team_rc::{
-    alloc_team_rc, build_team_rc_system, BrokenTeamRc, TeamRc, TeamRcConfig, TeamRcShared,
+    alloc_team_rc, build_broken_team_rc_system, build_broken_team_rc_system_sym,
+    build_team_rc_system, build_team_rc_system_sym, BrokenTeamRc, TeamRc, TeamRcConfig,
+    TeamRcShared,
 };
 pub use tournament::{build_tournament_consensus, build_tournament_rc, StageMaker, StagedProgram};

@@ -15,7 +15,7 @@
 
 use crate::recording::RecordingWitness;
 use crate::witness::Team;
-use rc_runtime::{Addr, MemOps, Memory, Program, Step};
+use rc_runtime::{Addr, MemOps, Memory, Program, Step, SymmetrySpec};
 use rc_spec::{Operation, TypeHandle, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -76,6 +76,19 @@ impl TeamRcConfig {
     fn team_b_is_singleton(&self) -> bool {
         self.witness.assignment.team_size(Team::B) == 1
     }
+
+    /// The behavioural class of `slot`: the smallest slot with the same
+    /// `(team, op)` under the normalized witness. Two slots of one class
+    /// run literally the same code — `slot` influences behaviour only
+    /// through its team and operation — so the class (plus the input) is
+    /// what [`Program::state_key`] encodes, and processes of one class
+    /// with equal inputs are interchangeable for the model checker's
+    /// process-symmetry reduction.
+    fn class_of(&self, slot: usize) -> usize {
+        (0..slot)
+            .find(|&j| self.team_of(j) == self.team_of(slot) && self.op_of(j) == self.op_of(slot))
+            .unwrap_or(slot)
+    }
 }
 
 /// Allocates the shared cells for one Fig. 2 instance (lines 1–3: `O` in
@@ -117,6 +130,9 @@ pub struct TeamRc {
     config: Arc<TeamRcConfig>,
     shared: TeamRcShared,
     slot: usize,
+    /// `config.class_of(slot)`, precomputed — `state_key` is the model
+    /// checker's hottest call.
+    class: usize,
     input: Value,
     pc: Pc,
     /// If `true`, the `|B| = 1` test of line 19 is skipped — the broken
@@ -132,10 +148,12 @@ impl TeamRc {
     /// Panics if `slot` is out of range for the witness.
     pub fn new(config: Arc<TeamRcConfig>, shared: TeamRcShared, slot: usize, input: Value) -> Self {
         assert!(slot < config.witness.len(), "slot out of range");
+        let class = config.class_of(slot);
         TeamRc {
             config,
             shared,
             slot,
+            class,
             input,
             pc: Pc::WriteInput,
             skip_singleton_test: false,
@@ -245,7 +263,18 @@ impl Program for TeamRc {
     }
 
     fn state_key(&self) -> Value {
-        Value::pair(Value::Int(self.pc_code()), Value::Int(self.slot as i64))
+        // The key encodes the behavioural state, not the slot number:
+        // `slot` acts only through its `(team, op)` class, so the class
+        // plus the input makes equal keys mean equal behaviour *across*
+        // process slots too — which is what lets the symmetry reduction
+        // merge same-class, same-input processes. Per slot, class and
+        // input are constants, so plain (symmetry-off) state counts are
+        // unchanged.
+        Value::Tuple(vec![
+            Value::Int(self.pc_code()),
+            Value::Int(self.class as i64),
+            self.input.clone(),
+        ])
     }
 
     fn boxed_clone(&self) -> Box<dyn Program> {
@@ -305,6 +334,55 @@ pub fn build_team_rc_system(
     witness: &RecordingWitness,
     inputs: &[Value],
 ) -> (Memory, Vec<Box<dyn Program>>) {
+    build_team_rc(ty, witness, inputs, false)
+}
+
+/// [`build_team_rc_system`] plus the system's process-symmetry
+/// declaration, for [`rc_runtime::explore_symmetric`]: witness rows with
+/// the same `(team, op)` class *and* the same input run interchangeable
+/// processes and form one orbit. For the paper's `S_n` witness (one
+/// team-A row, `n − 1` identical team-B rows) the team-B side collapses
+/// into a single orbit of `n − 1` processes.
+pub fn build_team_rc_system_sym(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) {
+    let config = TeamRcConfig::new(ty.clone(), witness);
+    let (mem, programs) = build_team_rc(ty, witness, inputs, false);
+    (mem, programs, team_rc_symmetry(&config, inputs))
+}
+
+/// Builds the [`BrokenTeamRc`] variant of the system (the Section 3.1
+/// missing-guard counterexample) — one builder instead of the inline
+/// copies the experiments and tests used to carry.
+pub fn build_broken_team_rc_system(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>) {
+    build_team_rc(ty, witness, inputs, true)
+}
+
+/// [`build_broken_team_rc_system`] plus its symmetry declaration (orbits
+/// are the same as the correct variant's: the broken flag is
+/// system-wide, so it never distinguishes two rows of one class).
+pub fn build_broken_team_rc_system_sym(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) {
+    let config = TeamRcConfig::new(ty.clone(), witness);
+    let (mem, programs) = build_team_rc(ty, witness, inputs, true);
+    (mem, programs, team_rc_symmetry(&config, inputs))
+}
+
+fn build_team_rc(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+    broken: bool,
+) -> (Memory, Vec<Box<dyn Program>>) {
     assert_eq!(inputs.len(), witness.len(), "one input per witness row");
     let config = TeamRcConfig::new(ty, witness);
     let mut mem = Memory::new();
@@ -315,10 +393,32 @@ pub fn build_team_rc_system(
         .iter()
         .enumerate()
         .map(|(slot, input)| {
-            Box::new(TeamRc::new(config.clone(), shared, slot, input.clone())) as Box<dyn Program>
+            if broken {
+                Box::new(BrokenTeamRc::new(
+                    config.clone(),
+                    shared,
+                    slot,
+                    input.clone(),
+                )) as Box<dyn Program>
+            } else {
+                Box::new(TeamRc::new(config.clone(), shared, slot, input.clone()))
+                    as Box<dyn Program>
+            }
         })
         .collect();
     (mem, programs)
+}
+
+/// The orbit partition of one Fig. 2 instance: witness rows grouped by
+/// `(class, input)` — interchangeable iff they run the same code (same
+/// normalized team and operation) with the same input.
+fn team_rc_symmetry(config: &TeamRcConfig, inputs: &[Value]) -> SymmetrySpec {
+    let labels: Vec<(usize, &Value)> = inputs
+        .iter()
+        .enumerate()
+        .map(|(slot, input)| (config.class_of(slot), input))
+        .collect();
+    SymmetrySpec::from_classes(&labels)
 }
 
 #[cfg(test)]

@@ -55,6 +55,14 @@ impl DiscerningWitness {
             .copied()
     }
 
+    /// Whether rows `j` and `k` carry identical classifiers — together
+    /// with equal teams, operations and inputs this makes the two
+    /// processes interchangeable (used by the symmetric system builders
+    /// to declare model-checker orbits).
+    pub fn same_classifier(&self, j: usize, k: usize) -> bool {
+        self.classifiers.get(j) == self.classifiers.get(k)
+    }
+
     /// The number of classified `(r, q)` pairs for process `j` (diagnostic).
     pub fn classifier_size(&self, j: usize) -> usize {
         self.classifiers.get(j).map_or(0, HashMap::len)

@@ -1,0 +1,297 @@
+//! Process-symmetry reduction for the model checker.
+//!
+//! The paper's systems are quantified over *all* processes running the
+//! same protocol against one shared object, so the reachable state space
+//! is closed under permuting process ids together with their programs,
+//! inputs and (declared) per-process memory cells. A [`SymmetrySpec`]
+//! names which process ids are interchangeable — *orbits* of processes
+//! whose initial program objects (input included) are identical — and
+//! the checker then stores only one **canonical representative** per
+//! permutation class: before every interner/visited lookup the child
+//! state is mapped to the representative, and the inverse permutation is
+//! threaded through the parent links so violation witness schedules are
+//! reported in *original* process ids (see `explore`).
+//!
+//! ## Soundness
+//!
+//! Permuting the program slots of two processes `p`, `q` (moving the
+//! whole program objects and decided bits together) relabels which
+//! scheduler pid drives which program — executions from the permuted
+//! state are exactly the pid-renamed executions of the original, and
+//! the checked properties (agreement, validity) mention no pid. Two
+//! requirements make the quotient exact:
+//!
+//! * the permutation group **stabilizes the initial state** — otherwise
+//!   the quotient search could count states reachable only from a
+//!   *renamed* root. That is the orbit condition: members of an orbit
+//!   must start with identical program objects (same code, same input;
+//!   the checker asserts equal root
+//!   [`state_key`](crate::Program::state_key)s, leaning on the same
+//!   key-completeness contract the memoization leans on);
+//! * shared memory is **address-indexed, not pid-indexed**: program
+//!   objects carry their cell addresses internally and travel whole, so
+//!   moving a program between slots never de-synchronizes it from the
+//!   (unmoved) memory. Systems with per-process *distinguishing* cells
+//!   (e.g. one input-masking register per process, written only by its
+//!   owner) must keep those processes in separate orbits — permuting
+//!   the cell contents under opaque program objects that still point at
+//!   their old addresses would corrupt the state, so the spec
+//!   deliberately offers no way to declare it. (Lifting this needs
+//!   program-side address rebinding; see DESIGN.md §3.)
+//!
+//! ## Canonical representative
+//!
+//! Within each orbit, processes are ordered by a total *signature* —
+//! structurally, by `(program state key, decided bit)`, never by
+//! interner ids, so the representative choice is identical across
+//! engines, runs and thread counts. Sorting is a true
+//! canonical form: two states have equal canonical keys **iff** they are
+//! related by an orbit permutation (property-tested in
+//! `tests/proptest_runtime.rs`).
+
+use crate::program::Pid;
+
+/// One orbit: a set of interchangeable process ids.
+#[derive(Clone, Debug)]
+struct Orbit {
+    /// Member pids, ascending. The canonical state keeps these *slots*;
+    /// only which member's payload sits in which slot changes.
+    pids: Vec<Pid>,
+}
+
+/// Which process ids of a system are interchangeable, as declared by the
+/// system's factory.
+///
+/// Use [`SymmetrySpec::full`] when every process runs the same program
+/// with the same input, [`SymmetrySpec::from_classes`] to partition by
+/// an `Ord` label (team, operation, input, …), or
+/// [`SymmetrySpec::trivial`] to declare no symmetry at all. Processes
+/// that own per-process *distinguishing* shared cells must stay in
+/// separate orbits (see the module docs).
+#[derive(Clone, Debug)]
+pub struct SymmetrySpec {
+    n: usize,
+    orbits: Vec<Orbit>,
+}
+
+impl SymmetrySpec {
+    /// No symmetry: every process is its own orbit. [`is_trivial`]
+    /// (`SymmetrySpec::is_trivial`) holds, and the checker skips all
+    /// canonicalization work.
+    pub fn trivial(n: usize) -> Self {
+        SymmetrySpec::new(n, (0..n).map(|p| vec![p]).collect())
+    }
+
+    /// Full symmetry: all `n` processes are interchangeable (identical
+    /// program, identical input).
+    pub fn full(n: usize) -> Self {
+        SymmetrySpec::new(n, vec![(0..n).collect()])
+    }
+
+    /// Builds a spec from explicit orbits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the orbits are not a partition of a subset of `0..n`
+    /// (out-of-range, duplicated or repeated pids). Pids missing from
+    /// every orbit are treated as singleton orbits.
+    pub fn new(n: usize, orbits: Vec<Vec<Pid>>) -> Self {
+        assert!(
+            n <= u8::MAX as usize,
+            "symmetry permutations pack pids into u8"
+        );
+        let mut seen = vec![false; n];
+        let mut parsed = Vec::with_capacity(orbits.len());
+        for mut pids in orbits {
+            pids.sort_unstable();
+            for &p in &pids {
+                assert!(p < n, "orbit pid {p} out of range for {n} processes");
+                assert!(!seen[p], "pid {p} appears in two orbits");
+                seen[p] = true;
+            }
+            if !pids.is_empty() {
+                parsed.push(Orbit { pids });
+            }
+        }
+        SymmetrySpec { n, orbits: parsed }
+    }
+
+    /// Groups processes with equal labels into one orbit: processes are
+    /// interchangeable iff their `labels` entries compare equal. This is
+    /// the factory-facing constructor — label each process by whatever
+    /// determines its behaviour (team, operation, input value) and equal
+    /// labels become orbits.
+    pub fn from_classes<K: Ord>(labels: &[K]) -> Self {
+        let mut order: Vec<Pid> = (0..labels.len()).collect();
+        order.sort_by(|&a, &b| labels[a].cmp(&labels[b]));
+        let mut orbits: Vec<Vec<Pid>> = Vec::new();
+        for &p in &order {
+            match orbits.last_mut() {
+                Some(orbit) if labels[orbit[0]] == labels[p] => orbit.push(p),
+                _ => orbits.push(vec![p]),
+            }
+        }
+        SymmetrySpec::new(labels.len(), orbits)
+    }
+
+    /// Number of processes the spec describes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the spec declares no usable symmetry (every orbit is a
+    /// singleton); the checker then skips canonicalization entirely.
+    pub fn is_trivial(&self) -> bool {
+        self.orbits.iter().all(|o| o.pids.len() < 2)
+    }
+
+    /// The orbits with at least two members (singletons never move).
+    pub(crate) fn acting_orbits(&self) -> impl Iterator<Item = &[Pid]> {
+        self.orbits
+            .iter()
+            .filter(|o| o.pids.len() >= 2)
+            .map(|o| o.pids.as_slice())
+    }
+
+    /// The canonical-representative permutation for the state whose
+    /// per-process signature is `sig(p)`: within each orbit, members are
+    /// sorted by signature (ties keep ascending pid order). Returns
+    /// `perm` with `perm[i] = s` meaning canonical slot `i` takes slot
+    /// `s`'s payload, or `None` when the state is already canonical.
+    ///
+    /// The signature must be *total* over everything the permutation
+    /// moves — program state and decided flag — or sorting would not be
+    /// a canonical form.
+    pub fn canonical_perm_with<K: Ord>(&self, mut sig: impl FnMut(Pid) -> K) -> Option<Box<[u8]>> {
+        let mut perm: Option<Box<[u8]>> = None;
+        for pids in self.acting_orbits() {
+            let mut ranked: Vec<(K, Pid)> = pids.iter().map(|&p| (sig(p), p)).collect();
+            // Stable, and pids are ascending, so equal signatures keep
+            // their slot order — sorted output is the canonical form.
+            ranked.sort_by(|a, b| a.0.cmp(&b.0));
+            if ranked.iter().zip(pids).all(|(r, &p)| r.1 == p) {
+                continue;
+            }
+            let perm = perm.get_or_insert_with(|| identity(self.n));
+            for (i, &slot) in pids.iter().enumerate() {
+                perm[slot] = ranked[i].1 as u8;
+            }
+        }
+        perm
+    }
+
+    /// The number of concrete states in the canonical state's
+    /// permutation class: per orbit, `m!` arrangements divided by the
+    /// multiplicities of equal signatures (members with equal signatures
+    /// produce the same state when swapped). The checker weights leaf
+    /// counts with this, which makes leaf counts *identical* with
+    /// symmetry on and off.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (`> u64::MAX` arrangements — far beyond any
+    /// explorable state space).
+    pub fn orbit_weight_with<K: Ord>(&self, mut sig: impl FnMut(Pid) -> K) -> u64 {
+        let mut weight: u64 = 1;
+        for pids in self.acting_orbits() {
+            let mut sigs: Vec<K> = pids.iter().map(|&p| sig(p)).collect();
+            sigs.sort();
+            let mut remaining = sigs.len() as u64;
+            let mut run = 0u64;
+            for i in 0..sigs.len() {
+                run += 1;
+                if i + 1 == sigs.len() || sigs[i + 1] != sigs[i] {
+                    weight = weight
+                        .checked_mul(binomial(remaining, run))
+                        .expect("orbit weight overflows u64");
+                    remaining -= run;
+                    run = 0;
+                }
+            }
+        }
+        weight
+    }
+}
+
+/// The identity permutation on `n` slots.
+pub(crate) fn identity(n: usize) -> Box<[u8]> {
+    (0..n).map(|i| i as u8).collect()
+}
+
+/// Composition `m ∘ π`: `result[i] = m[π[i]]`. Used by the witness
+/// reconstruction to accumulate canonical→original pid maps along a
+/// parent-link path.
+pub(crate) fn compose(m: &[u8], pi: &[u8]) -> Box<[u8]> {
+    pi.iter().map(|&i| m[i as usize]).collect()
+}
+
+/// `C(n, k)` with checked arithmetic.
+fn binomial(n: u64, k: u64) -> u64 {
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul(n - i).expect("orbit weight overflows u64") / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_classes_groups_equal_labels() {
+        let spec = SymmetrySpec::from_classes(&["a", "b", "a", "c", "b"]);
+        assert_eq!(spec.n(), 5);
+        let orbits: Vec<&[Pid]> = spec.acting_orbits().collect();
+        assert_eq!(orbits, vec![&[0usize, 2][..], &[1, 4][..]]);
+        assert!(!spec.is_trivial());
+        assert!(SymmetrySpec::from_classes(&[1, 2, 3]).is_trivial());
+    }
+
+    #[test]
+    fn canonical_perm_sorts_within_orbits_only() {
+        // Processes 1..4 interchangeable, 0 fixed.
+        let spec = SymmetrySpec::new(4, vec![vec![1, 2, 3]]);
+        // Signatures out of order in the orbit.
+        let sigs = [9, 7, 5, 6];
+        let perm = spec.canonical_perm_with(|p| sigs[p]).expect("non-identity");
+        // Canonical slots 1, 2, 3 take payloads of slots 2, 3, 1.
+        assert_eq!(&perm[..], &[0, 2, 3, 1]);
+        // Already-sorted signatures are canonical.
+        assert!(spec.canonical_perm_with(|p| [9, 1, 2, 3][p]).is_none());
+    }
+
+    #[test]
+    fn canonical_perm_is_stable_on_ties() {
+        let spec = SymmetrySpec::full(3);
+        assert!(spec.canonical_perm_with(|_| 0).is_none());
+    }
+
+    #[test]
+    fn orbit_weight_counts_distinct_arrangements() {
+        let spec = SymmetrySpec::full(4);
+        // All distinct: 4! arrangements.
+        assert_eq!(spec.orbit_weight_with(|p| p), 24);
+        // All equal: a single arrangement.
+        assert_eq!(spec.orbit_weight_with(|_| 0), 1);
+        // Multiset {a, a, b, b}: 4!/(2!2!) = 6.
+        assert_eq!(spec.orbit_weight_with(|p| p / 2), 6);
+        // Two orbits multiply.
+        let spec = SymmetrySpec::new(5, vec![vec![0, 1], vec![2, 3, 4]]);
+        assert_eq!(spec.orbit_weight_with(|p| p), 2 * 6);
+    }
+
+    #[test]
+    fn compose_applies_inner_then_outer() {
+        let m: Box<[u8]> = Box::from([2u8, 0, 1]);
+        let pi: Box<[u8]> = Box::from([1u8, 2, 0]);
+        assert_eq!(&compose(&m, &pi)[..], &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two orbits")]
+    fn overlapping_orbits_are_rejected() {
+        let _ = SymmetrySpec::new(3, vec![vec![0, 1], vec![1, 2]]);
+    }
+}

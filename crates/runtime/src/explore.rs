@@ -52,7 +52,26 @@
 //! `Violation` and `Truncated` (they walk different prefixes of the
 //! state space; a found violation is always reported, see the verdict
 //! precedence on [`ExploreOutcome`]).
+//!
+//! ## Process-symmetry reduction
+//!
+//! [`explore_symmetric`] accepts a factory that also declares a
+//! [`SymmetrySpec`] — which process ids are interchangeable (identical
+//! program, identical input, per-process cells registered). Both engines
+//! then map every child state to a **canonical representative** under
+//! process-id permutation before the interner/visited lookup, so entire
+//! permutation classes collapse to one stored state: verdicts are
+//! unchanged, state counts shrink by up to the product of the orbit
+//! factorials, leaf counts stay identical (canonical leaves are weighted
+//! by their class size), and violation witnesses are reported in
+//! *original* process ids by threading the inverse permutations through
+//! the parent links. Canonical representatives are chosen by
+//! *structural* signature ordering — never by interner ids — so the
+//! reduction composes with the frontier pipeline without disturbing the
+//! byte-identical determinism across runs and thread counts. See the
+//! [`canon`](crate::canon) module for the soundness argument.
 
+use crate::canon::{self, SymmetrySpec};
 use crate::crash::CrashModel;
 use crate::intern::{Resolved, ShardInterner, ShardedStateTable, StateTable, ValueInterner};
 use crate::memory::{Cell, MemOps, Memory};
@@ -80,6 +99,15 @@ pub struct ExploreConfig {
     /// Worker threads for the parallel frontier mode; `0` and `1` both
     /// select the serial DFS engine.
     pub threads: usize,
+    /// Forces the frontier engine's per-level worker count, bypassing
+    /// the machine-aware policy (which clamps by
+    /// `available_parallelism()` and level size). Outcomes are
+    /// independent of this knob; it exists so tests and CI can exercise
+    /// the staged multi-worker pipeline on single-core hosts.
+    pub workers_override: Option<usize>,
+    /// Forces the number of visited-set shards (default:
+    /// `min(threads, cores)`). Outcomes are independent of this knob.
+    pub shards_override: Option<usize>,
 }
 
 impl Default for ExploreConfig {
@@ -89,8 +117,29 @@ impl Default for ExploreConfig {
             inputs: None,
             max_states: 5_000_000,
             threads: 1,
+            workers_override: None,
+            shards_override: None,
         }
     }
+}
+
+/// Diagnostics about how a search actually executed — which engine ran,
+/// how wide the frontier pipeline fanned out, whether symmetry reduction
+/// was active. Outcomes never depend on any of this; tests use it to
+/// assert that forced multi-worker configurations really ran
+/// multi-worker (the CI thread matrix used to be silently neutralized on
+/// single-core runners).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Whether the parallel frontier engine ran (vs the serial DFS).
+    pub frontier: bool,
+    /// The largest number of expansion workers any level fanned out to
+    /// (`1` means every level ran the fused path, or the serial engine).
+    pub max_level_workers: usize,
+    /// Number of visited-set shards (0 for the serial engine).
+    pub shards: usize,
+    /// Whether a non-trivial [`SymmetrySpec`] was active.
+    pub symmetry: bool,
 }
 
 /// The result of an exhaustive exploration.
@@ -163,6 +212,12 @@ pub enum ViolationKind {
 /// A factory producing the initial system; the model checker clones its
 /// output to branch the search.
 pub type SystemFactory<'a> = dyn Fn() -> (Memory, Vec<Box<dyn Program>>) + 'a;
+
+/// A factory that additionally declares which process ids are
+/// interchangeable (see [`SymmetrySpec`]); consumed by
+/// [`explore_symmetric`].
+pub type SymmetricSystemFactory<'a> =
+    dyn Fn() -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) + 'a;
 
 /// A copy-on-write shared memory for the search: cell payloads live
 /// behind `Arc`s, so branching a state bumps refcounts instead of
@@ -578,13 +633,15 @@ impl CrashSource for FixedCrashes<'_> {
 struct PendingChild {
     state: SysState,
     key: Vec<u32>,
-    /// `(key slot, local id in the producing worker's ShardInterner)`,
-    /// ascending by slot.
+    /// `(key slot, local id in the producing worker's ShardInterner)`.
     unresolved: Vec<(usize, u32)>,
     /// The destination shard, present iff the key is fully resolved (the
     /// reconciliation pass routes patched keys itself).
     shard: Option<usize>,
     parent: (u32, Action),
+    /// The canonicalization permutation applied to this child (`None` =
+    /// identity), for the parent link.
+    perm: Option<Box<[u8]>>,
 }
 
 /// The shard route of a **fully resolved** key: an [`FxHasher`] pass
@@ -647,9 +704,20 @@ fn resolve_slot(
     }
 }
 
+/// A built child plus its canonicalization permutation (`None` =
+/// identity), as returned by [`make_child_serial`].
+type SerialChild = (SysState, Option<Box<[u8]>>);
+
 /// A surviving child of [`make_child_frontier`]: state, owned key, its
-/// unresolved slots and its destination shard (when routable).
-type FrontierChild = (SysState, Vec<u32>, Vec<(usize, u32)>, Option<usize>);
+/// unresolved slots, its destination shard (when routable) and its
+/// canonicalization permutation.
+type FrontierChild = (
+    SysState,
+    Vec<u32>,
+    Vec<(usize, u32)>,
+    Option<usize>,
+    Option<Box<[u8]>>,
+);
 
 /// The parallel engine's child builder: clones + steps the parent, then
 /// patches and resolves the child key **in the reusable `key_scratch`
@@ -678,6 +746,7 @@ fn make_child_frontier(
     key_scratch: &mut Vec<u32>,
     visited: &ShardedStateTable,
     inputs: Option<&[Value]>,
+    spec: Option<&SymmetrySpec>,
 ) -> Result<Option<FrontierChild>, (ViolationKind, Vec<Value>)> {
     let (mut child, dirty, newly_decided) = match action {
         Action::Step(_) => apply_to_child(parent, action, &mut NoCrashes),
@@ -732,6 +801,27 @@ fn make_child_frontier(
             scratch,
         );
     }
+    // Canonicalize before any dedup: the signature ordering is
+    // structural, so the representative (and therefore the chunk-local
+    // and cross-level dedup behaviour) is worker-count independent even
+    // while key slots still hold local placeholder ids — whose
+    // *positions* the canonicalization may move, tracked via `moved`.
+    let perm = match spec {
+        None => None,
+        Some(spec) => {
+            let mut spec_moved: Vec<(usize, usize)> = Vec::new();
+            let perm = canonicalize_child(&mut child, key, layout, spec, Some(&mut spec_moved));
+            if perm.is_some() && !unresolved.is_empty() {
+                for entry in &mut unresolved {
+                    if let Some(&(_, new_pos)) = spec_moved.iter().find(|&&(old, _)| old == entry.0)
+                    {
+                        entry.0 = new_pos;
+                    }
+                }
+            }
+            perm
+        }
+    };
     let shard = if unresolved.is_empty() {
         // Prior-level duplicates drop before touching the chunk table —
         // no key is boxed for them, matching the serial probe path.
@@ -747,13 +837,16 @@ fn make_child_frontier(
     if !first_in_chunk {
         return Ok(None);
     }
-    Ok(Some((child, key.clone(), unresolved, shard)))
+    Ok(Some((child, key.clone(), unresolved, shard, perm)))
 }
 
 /// The serial engine's child builder: the interner is at hand, so the
 /// final key is written straight into the reusable `scratch` buffer —
 /// children that turn out to be already-visited states allocate nothing
-/// beyond the copy-on-write state clone.
+/// beyond the copy-on-write state clone. With a [`SymmetrySpec`] the
+/// child is mapped to its canonical representative before the caller
+/// probes the visited set; the returned permutation goes on the child's
+/// parent link.
 #[allow(clippy::too_many_arguments)]
 fn make_child_serial(
     parent: &SysState,
@@ -764,7 +857,8 @@ fn make_child_serial(
     interner: &mut ValueInterner,
     inputs: Option<&[Value]>,
     scratch: &mut Vec<u32>,
-) -> Result<SysState, (ViolationKind, Vec<Value>)> {
+    spec: Option<&SymmetrySpec>,
+) -> Result<SerialChild, (ViolationKind, Vec<Value>)> {
     let (mut child, dirty, newly_decided) = match action {
         Action::Step(_) => apply_to_child(parent, action, &mut NoCrashes),
         _ => apply_to_child(parent, action, &mut FixedCrashes(crashes)),
@@ -795,7 +889,11 @@ fn make_child_serial(
             None => ValueInterner::NONE,
         };
     }
-    Ok(child)
+    let perm = match spec {
+        None => None,
+        Some(spec) => canonicalize_child(&mut child, scratch, layout, spec, None),
+    };
+    Ok((child, perm))
 }
 
 fn check_output(
@@ -823,16 +921,168 @@ fn violation_outputs(decided: Option<&Value>, v: Value) -> Vec<Value> {
     }
 }
 
-/// Walks parent links back to the root, returning the action sequence
-/// that reaches node `idx` from the initial state.
-fn schedule_to(parents: &[Option<(u32, Action)>], mut idx: u32) -> Vec<Action> {
-    let mut schedule = Vec::new();
-    while let Some((parent, action)) = parents[idx as usize] {
-        schedule.push(action);
-        idx = parent;
+/// One edge of the search tree: the parent node, the action that
+/// produced this node **in the parent's canonical coordinates**, and the
+/// canonicalization permutation applied to the raw child (`None` =
+/// identity). The permutations are what lets witness schedules be
+/// reported in original process ids.
+struct ParentLink {
+    parent: u32,
+    action: Action,
+    perm: Option<Box<[u8]>>,
+}
+
+/// Renames an action from canonical coordinates to original pids via the
+/// accumulated canonical→original map `m` (`None` = identity).
+fn rename_action(action: Action, m: Option<&[u8]>) -> Action {
+    match (m, action) {
+        (None, a) => a,
+        (Some(m), Action::Step(p)) => Action::Step(m[p] as usize),
+        (Some(m), Action::Crash(p)) => Action::Crash(m[p] as usize),
+        (Some(_), Action::CrashAll) => Action::CrashAll,
     }
-    schedule.reverse();
-    schedule
+}
+
+/// Accumulates one edge's canonicalization into the canonical→original
+/// map: `m ∘ π`, with `None` as the identity on either side.
+fn compose_perm(m: Option<Box<[u8]>>, pi: Option<&[u8]>) -> Option<Box<[u8]>> {
+    match (m, pi) {
+        (m, None) => m,
+        (None, Some(pi)) => Some(Box::from(pi)),
+        (Some(m), Some(pi)) => Some(canon::compose(&m, pi)),
+    }
+}
+
+/// Walks parent links back to the root, returning the action sequence
+/// that reaches node `idx` from the initial state **in original process
+/// ids**, plus the accumulated canonical→original pid map at `idx` (for
+/// renaming one further action taken from that node).
+///
+/// Reconstruction runs root-down: starting from the root
+/// canonicalization, each stored action is renamed through the map
+/// accumulated *before* its edge, and each edge's permutation is then
+/// composed in. Without symmetry every permutation is `None` and this
+/// degenerates to the plain parent-link walk.
+fn schedule_to(
+    parents: &[Option<ParentLink>],
+    root_perm: Option<&[u8]>,
+    idx: u32,
+) -> (Vec<Action>, Option<Box<[u8]>>) {
+    let mut path: Vec<&ParentLink> = Vec::new();
+    let mut at = idx;
+    while let Some(link) = &parents[at as usize] {
+        path.push(link);
+        at = link.parent;
+    }
+    path.reverse();
+    let mut m = root_perm.map(Box::from);
+    let mut schedule = Vec::with_capacity(path.len());
+    for link in path {
+        schedule.push(rename_action(link.action, m.as_deref()));
+        m = compose_perm(m, link.perm.as_deref());
+    }
+    (schedule, m)
+}
+
+/// Validates a [`SymmetrySpec`] against the system's initial state: the
+/// orbit condition (see the `canon` module docs) requires every orbit's
+/// members to start with identical program objects — asserted through
+/// equal root [`Program::state_key`]s, the same completeness contract
+/// the memoization relies on.
+fn validate_symmetry(root: &SysState, spec: &SymmetrySpec) {
+    assert_eq!(
+        spec.n(),
+        root.programs.len(),
+        "SymmetrySpec describes {} processes but the system has {}",
+        spec.n(),
+        root.programs.len()
+    );
+    for pids in spec.acting_orbits() {
+        let first = pids[0];
+        let first_key = root.programs[first].state_key();
+        for &p in &pids[1..] {
+            assert_eq!(
+                root.programs[p].state_key(),
+                first_key,
+                "symmetry orbit {pids:?} groups processes with different \
+                 initial states (p{first} vs p{p}); orbit members must run \
+                 the same program with the same input"
+            );
+        }
+    }
+}
+
+/// Maps `child` (and its key, resolved or placeholder-carrying) to its
+/// canonical representative under `spec`'s orbit permutations. Program
+/// slots and decided bits move together; shared memory never moves (see
+/// the `canon` module docs for why pid-indexed cells are excluded). The
+/// signature ordering is **structural** (state-key values, never
+/// interner ids), so the representative choice is identical across
+/// engines, runs and thread counts — including in frontier workers whose
+/// keys still hold worker-local placeholder ids.
+///
+/// Returns the permutation applied (`perm[i]` = source slot of canonical
+/// slot `i`), or `None` if the state was already canonical. When `moved`
+/// is given, every relocated key position is recorded as
+/// `(old_pos, new_pos)` so the caller can remap pending unresolved
+/// slots.
+fn canonicalize_child(
+    child: &mut SysState,
+    key: &mut [u32],
+    layout: &KeyLayout,
+    spec: &SymmetrySpec,
+    mut moved: Option<&mut Vec<(usize, usize)>>,
+) -> Option<Box<[u8]>> {
+    let perm =
+        spec.canonical_perm_with(|p| (child.programs[p].state_key(), child.is_decided(p)))?;
+    // Gather every moved payload before writing anything: a slot may be
+    // both a source and a destination within one orbit rotation.
+    let mut progs: Vec<(usize, Arc<Box<dyn Program>>)> = Vec::new();
+    let mut slots: Vec<(usize, usize, u32)> = Vec::new(); // (old, new, value)
+    let mut decided = child.decided;
+    for (i, &src) in perm.iter().enumerate() {
+        let src = src as usize;
+        if src == i {
+            continue;
+        }
+        progs.push((i, child.programs[src].clone()));
+        decided = (decided & !(1 << i)) | ((child.decided >> src & 1) << i);
+        slots.push((layout.prog(src), layout.prog(i), key[layout.prog(src)]));
+    }
+    for (i, prog) in progs {
+        child.programs[i] = prog;
+    }
+    child.decided = decided;
+    for &(old_pos, new_pos, value) in &slots {
+        key[new_pos] = value;
+        if let Some(moved) = moved.as_deref_mut() {
+            moved.push((old_pos, new_pos));
+        }
+    }
+    for w in 0..layout.decided_words() {
+        key[layout.cells + layout.n + w] = (child.decided >> (32 * w)) as u32;
+    }
+    Some(perm)
+}
+
+/// The leaf weight of an accepted canonical state: how many concrete
+/// states its permutation class contains (1 without symmetry). Weighting
+/// leaves with this keeps leaf counts identical with symmetry on and
+/// off. Signatures come from the **resolved** key (interned ids are
+/// injective, so id multiplicities equal value multiplicities).
+fn leaf_weight(
+    spec: Option<&SymmetrySpec>,
+    state: &SysState,
+    key: &[u32],
+    layout: &KeyLayout,
+) -> usize {
+    match spec {
+        None => 1,
+        Some(spec) => {
+            let weight = spec.orbit_weight_with(|p| (key[layout.prog(p)], state.is_decided(p)));
+            usize::try_from(weight).expect("leaf weight fits usize")
+        }
+    }
 }
 
 /// A DFS frame: one visited node plus a cursor over its enabled actions.
@@ -846,9 +1096,12 @@ struct Frame {
 
 struct SerialEngine<'a> {
     config: &'a ExploreConfig,
+    layout: KeyLayout,
+    spec: Option<&'a SymmetrySpec>,
     interner: ValueInterner,
     visited: StateTable,
-    parents: Vec<Option<(u32, Action)>>,
+    parents: Vec<Option<ParentLink>>,
+    root_perm: Option<Box<[u8]>>,
     leaves: usize,
     truncated: bool,
 }
@@ -857,12 +1110,7 @@ impl SerialEngine<'_> {
     /// Enters the state whose resolved key is `key`: memoizes it and,
     /// when new and non-terminal, returns the frame to push. Sets
     /// `truncated` when the state is new but the cap is already full.
-    fn enter(
-        &mut self,
-        state: SysState,
-        key: &[u32],
-        parent: Option<(u32, Action)>,
-    ) -> Option<Frame> {
+    fn enter(&mut self, state: SysState, key: &[u32], parent: Option<ParentLink>) -> Option<Frame> {
         if self.visited.len() >= self.config.max_states {
             // At the cap, only a *new* state means truncation.
             if self.visited.get(key).is_none() {
@@ -877,7 +1125,7 @@ impl SerialEngine<'_> {
         self.parents.push(parent);
         let actions = state.enabled_actions(&self.config.crash);
         if actions.is_empty() {
-            self.leaves += 1;
+            self.leaves += leaf_weight(self.spec, &state, key, &self.layout);
             return None;
         }
         Some(Frame {
@@ -890,15 +1138,22 @@ impl SerialEngine<'_> {
     }
 }
 
-fn explore_serial(root: SysState, config: &ExploreConfig) -> ExploreOutcome {
+fn explore_serial(
+    mut root: SysState,
+    config: &ExploreConfig,
+    spec: Option<&SymmetrySpec>,
+) -> ExploreOutcome {
     let layout = KeyLayout::of(&root);
     let mut interner = ValueInterner::new();
     let crashes = CrashedSet::new(&root, &mut interner);
     let mut engine = SerialEngine {
         config,
+        layout,
+        spec,
         interner,
         visited: StateTable::new(),
         parents: Vec::new(),
+        root_perm: None,
         leaves: 0,
         truncated: false,
     };
@@ -907,6 +1162,11 @@ fn explore_serial(root: SysState, config: &ExploreConfig) -> ExploreOutcome {
     {
         let mut root_key = ChildKey::root(&layout);
         root_key.resolve(&root, &mut engine.interner);
+        if let Some(spec) = spec {
+            validate_symmetry(&root, spec);
+            engine.root_perm =
+                canonicalize_child(&mut root, &mut root_key.key, &layout, spec, None);
+        }
         if let Some(frame) = engine.enter(root, &root_key.key, None) {
             stack.push(frame);
         }
@@ -929,18 +1189,25 @@ fn explore_serial(root: SysState, config: &ExploreConfig) -> ExploreOutcome {
             &mut engine.interner,
             config.inputs.as_deref(),
             &mut scratch,
+            spec,
         ) {
             Err((kind, outputs)) => {
-                let mut schedule = schedule_to(&engine.parents, parent_idx);
-                schedule.push(action);
+                let (mut schedule, m) =
+                    schedule_to(&engine.parents, engine.root_perm.as_deref(), parent_idx);
+                schedule.push(rename_action(action, m.as_deref()));
                 return ExploreOutcome::Violation {
                     kind,
                     schedule,
                     outputs,
                 };
             }
-            Ok(child) => {
-                if let Some(frame) = engine.enter(child, &scratch, Some((parent_idx, action))) {
+            Ok((child, perm)) => {
+                let link = ParentLink {
+                    parent: parent_idx,
+                    action,
+                    perm,
+                };
+                if let Some(frame) = engine.enter(child, &scratch, Some(link)) {
                     stack.push(frame);
                 }
             }
@@ -991,6 +1258,7 @@ fn expand_chunk(
     global: &ValueInterner,
     visited: &ShardedStateTable,
     inputs: Option<&[Value]>,
+    spec: Option<&SymmetrySpec>,
 ) -> ChunkOutput {
     let mut out = ChunkOutput {
         children: Vec::new(),
@@ -1013,6 +1281,7 @@ fn expand_chunk(
                 &mut key_scratch,
                 visited,
                 inputs,
+                spec,
             ) {
                 Err((kind, outputs)) => out.violations.push(FoundViolation {
                     parent: *idx,
@@ -1020,13 +1289,14 @@ fn expand_chunk(
                     kind,
                     outputs,
                 }),
-                Ok(Some((child, child_key, unresolved, shard))) => {
+                Ok(Some((child, child_key, unresolved, shard, perm))) => {
                     out.children.push(PendingChild {
                         state: child,
                         key: child_key,
                         unresolved,
                         shard,
                         parent: (*idx, action),
+                        perm,
                     });
                 }
                 Ok(None) => {} // already-visited duplicate, dropped in-worker
@@ -1095,9 +1365,10 @@ fn run_level_fused(
     layout: &KeyLayout,
     crashes: &CrashedSet,
     config: &ExploreConfig,
+    spec: Option<&SymmetrySpec>,
     global: &mut ValueInterner,
     visited: &mut ShardedStateTable,
-    parents: &mut Vec<Option<(u32, Action)>>,
+    parents: &mut Vec<Option<ParentLink>>,
     leaves: &mut usize,
 ) -> LevelResult {
     let mut violations: Vec<FoundViolation> = Vec::new();
@@ -1114,7 +1385,7 @@ fn run_level_fused(
             // level for violations, which outrank truncation — exactly
             // as the staged pipeline's whole-level expansion does; the
             // few extra interns are discarded with the level.)
-            let child = match make_child_serial(
+            let (child, perm) = match make_child_serial(
                 state,
                 key,
                 action,
@@ -1123,6 +1394,7 @@ fn run_level_fused(
                 global,
                 inputs,
                 &mut key_scratch,
+                spec,
             ) {
                 Err((kind, outputs)) => {
                     violations.push(FoundViolation {
@@ -1148,10 +1420,14 @@ fn run_level_fused(
                 continue;
             }
             let child_idx = u32::try_from(parents.len()).expect("node index fits u32");
-            parents.push(Some((*idx, action)));
+            parents.push(Some(ParentLink {
+                parent: *idx,
+                action,
+                perm,
+            }));
             let child_actions = child.enabled_actions(&config.crash);
             if child_actions.is_empty() {
-                *leaves += 1;
+                *leaves += leaf_weight(spec, &child, &key_scratch, layout);
             } else {
                 next.push((child, key_scratch.clone(), child_idx, child_actions));
             }
@@ -1199,10 +1475,12 @@ fn run_level_staged(
     layout: &KeyLayout,
     crashes: &CrashedSet,
     config: &ExploreConfig,
+    spec: Option<&SymmetrySpec>,
     global: &mut ValueInterner,
     visited: &mut ShardedStateTable,
-    parents: &mut Vec<Option<(u32, Action)>>,
+    parents: &mut Vec<Option<ParentLink>>,
     leaves: &mut usize,
+    stats: &mut ExploreStats,
 ) -> LevelResult {
     // (a) Parallel expansion over contiguous chunks.
     let chunk_size = expand.len().div_ceil(workers);
@@ -1212,7 +1490,9 @@ fn run_level_staged(
             .map(|chunk| {
                 let (global, visited, crashes) = (&*global, &*visited, crashes);
                 let inputs = config.inputs.as_deref();
-                scope.spawn(move || expand_chunk(chunk, layout, crashes, global, visited, inputs))
+                scope.spawn(move || {
+                    expand_chunk(chunk, layout, crashes, global, visited, inputs, spec)
+                })
             })
             .collect();
         handles
@@ -1220,6 +1500,11 @@ fn run_level_staged(
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
+    // The workers that really fanned out: one per contiguous chunk,
+    // which can be fewer than `workers` on small levels. Recorded here —
+    // not re-derived at the call site — so the stat can never drift from
+    // the chunking policy above.
+    stats.max_level_workers = stats.max_level_workers.max(outputs.len());
 
     let violations: Vec<FoundViolation> = outputs
         .iter_mut()
@@ -1232,7 +1517,7 @@ fn run_level_staged(
     // (b) Value reconciliation + (c₁) routing, one serial walk in
     // canonical order (chunk order × within-chunk order).
     let total: usize = outputs.iter().map(|o| o.children.len()).sum();
-    let mut states: Vec<(SysState, (u32, Action))> = Vec::with_capacity(total);
+    let mut states: Vec<(SysState, ParentLink)> = Vec::with_capacity(total);
     let mut buckets: Vec<Vec<(u32, Vec<u32>)>> =
         (0..visited.shard_count()).map(|_| Vec::new()).collect();
     for output in outputs {
@@ -1246,7 +1531,14 @@ fn run_level_staged(
                 .unwrap_or_else(|| shard_for(visited, &child.key));
             let pos = u32::try_from(states.len()).expect("level fits u32");
             buckets[shard].push((pos, child.key));
-            states.push((child.state, child.parent));
+            states.push((
+                child.state,
+                ParentLink {
+                    parent: child.parent.0,
+                    action: child.parent.1,
+                    perm: child.perm,
+                },
+            ));
         }
     }
 
@@ -1297,7 +1589,7 @@ fn run_level_staged(
         parents.push(Some(parent));
         let actions = state.enabled_actions(&config.crash);
         if actions.is_empty() {
-            *leaves += 1;
+            *leaves += leaf_weight(spec, &state, &key, layout);
         } else {
             next.push((state, key, idx, actions));
         }
@@ -1305,30 +1597,35 @@ fn run_level_staged(
     LevelResult::Next(next)
 }
 
-fn explore_frontier(root: SysState, config: &ExploreConfig, threads: usize) -> ExploreOutcome {
-    explore_frontier_tuned(root, config, threads, None, None)
-}
-
-/// [`explore_frontier`] with the per-level worker policy and the shard
-/// count overridable — the overrides exist so tests can force the
-/// staged multi-worker, multi-shard pipeline on machines whose core
-/// count would select the fused single-shard configuration. Outcomes
-/// are independent of both knobs (asserted by those tests).
-fn explore_frontier_tuned(
-    root: SysState,
+/// The parallel frontier driver. The per-level worker policy and shard
+/// count honour [`ExploreConfig::workers_override`] /
+/// [`ExploreConfig::shards_override`], which force the staged
+/// multi-worker, multi-shard pipeline on machines whose core count would
+/// select the fused single-shard configuration. Outcomes are independent
+/// of both knobs (asserted by tests); [`ExploreStats`] records what
+/// actually ran.
+fn explore_frontier(
+    mut root: SysState,
     config: &ExploreConfig,
     threads: usize,
-    workers_override: Option<usize>,
-    shards_override: Option<usize>,
+    spec: Option<&SymmetrySpec>,
+    stats: &mut ExploreStats,
 ) -> ExploreOutcome {
     let layout = KeyLayout::of(&root);
     let mut global = ValueInterner::new();
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let shards = shards_override.unwrap_or_else(|| threads.min(cores)).max(1);
+    let shards = config
+        .shards_override
+        .unwrap_or_else(|| threads.min(cores))
+        .max(1);
     let mut visited = ShardedStateTable::new(shards);
-    let mut parents: Vec<Option<(u32, Action)>> = Vec::new();
+    let mut parents: Vec<Option<ParentLink>> = Vec::new();
+    let mut root_perm: Option<Box<[u8]>> = None;
     let mut leaves = 0usize;
     let crashes = CrashedSet::new(&root, &mut global);
+    stats.frontier = true;
+    stats.max_level_workers = 1;
+    stats.shards = shards;
 
     // The root: resolved and inserted serially.
     if config.max_states == 0 {
@@ -1337,12 +1634,16 @@ fn explore_frontier_tuned(
     let mut expand: Vec<ExpandNode> = {
         let mut root_key = ChildKey::root(&layout);
         root_key.resolve(&root, &mut global);
+        if let Some(spec) = spec {
+            validate_symmetry(&root, spec);
+            root_perm = canonicalize_child(&mut root, &mut root_key.key, &layout, spec, None);
+        }
         let shard = shard_for(&visited, &root_key.key);
         visited.shards_mut()[shard].insert(&root_key.key);
         parents.push(None);
         let actions = root.enabled_actions(&config.crash);
         if actions.is_empty() {
-            leaves += 1;
+            leaves += leaf_weight(spec, &root, &root_key.key, &layout);
             Vec::new()
         } else {
             vec![(root, root_key.key, 0, actions)]
@@ -1350,7 +1651,8 @@ fn explore_frontier_tuned(
     };
 
     while !expand.is_empty() {
-        let workers = workers_override
+        let workers = config
+            .workers_override
             .unwrap_or_else(|| level_workers(threads, expand.len()))
             .clamp(1, threads);
         let result = if workers == 1 {
@@ -1359,6 +1661,7 @@ fn explore_frontier_tuned(
                 &layout,
                 &crashes,
                 config,
+                spec,
                 &mut global,
                 &mut visited,
                 &mut parents,
@@ -1371,10 +1674,12 @@ fn explore_frontier_tuned(
                 &layout,
                 &crashes,
                 config,
+                spec,
                 &mut global,
                 &mut visited,
                 &mut parents,
                 &mut leaves,
+                stats,
             )
         };
         match result {
@@ -1387,12 +1692,14 @@ fn explore_frontier_tuned(
             LevelResult::Violations(violations) => {
                 // Parent links are deterministic, so every reconstructed
                 // schedule is; the lexicographically least of the
-                // shallowest violating level is the canonical witness.
+                // shallowest violating level is the canonical witness
+                // (compared *after* renaming to original process ids).
                 return violations
                     .into_iter()
                     .map(|v| {
-                        let mut schedule = schedule_to(&parents, v.parent);
-                        schedule.push(v.action);
+                        let (mut schedule, m) =
+                            schedule_to(&parents, root_perm.as_deref(), v.parent);
+                        schedule.push(rename_action(v.action, m.as_deref()));
                         (schedule, v.kind, v.outputs)
                     })
                     .min_by(|a, b| a.0.cmp(&b.0))
@@ -1412,18 +1719,71 @@ fn explore_frontier_tuned(
     }
 }
 
+/// Dispatches a rooted search to the serial DFS or parallel frontier
+/// engine, normalizing a trivial [`SymmetrySpec`] away so the
+/// symmetry-off hot paths stay untouched.
+fn dispatch(
+    root: SysState,
+    config: &ExploreConfig,
+    spec: Option<&SymmetrySpec>,
+) -> (ExploreOutcome, ExploreStats) {
+    let spec = spec.filter(|s| !s.is_trivial());
+    let mut stats = ExploreStats {
+        frontier: false,
+        max_level_workers: 1,
+        shards: 0,
+        symmetry: spec.is_some(),
+    };
+    let outcome = if config.threads > 1 {
+        explore_frontier(root, config, config.threads, spec, &mut stats)
+    } else {
+        explore_serial(root, config, spec)
+    };
+    (outcome, stats)
+}
+
 /// Exhaustively explores every execution of the system produced by
 /// `factory` under `config`'s adversary. Dispatches to the serial DFS
 /// engine, or to the parallel frontier engine when
 /// [`ExploreConfig::threads`] ` > 1`.
 pub fn explore(factory: &SystemFactory<'_>, config: &ExploreConfig) -> ExploreOutcome {
+    explore_with_stats(factory, config).0
+}
+
+/// [`explore`], additionally reporting [`ExploreStats`] about how the
+/// search executed (which engine, how wide the pipeline fanned out).
+pub fn explore_with_stats(
+    factory: &SystemFactory<'_>,
+    config: &ExploreConfig,
+) -> (ExploreOutcome, ExploreStats) {
     let (mem, programs) = factory();
-    let root = SysState::root(mem, programs);
-    if config.threads > 1 {
-        explore_frontier(root, config, config.threads)
-    } else {
-        explore_serial(root, config)
-    }
+    dispatch(SysState::root(mem, programs), config, None)
+}
+
+/// [`explore`] with **process-symmetry reduction**: the factory also
+/// declares a [`SymmetrySpec`] naming which process ids are
+/// interchangeable, and the engines store only one canonical
+/// representative per permutation class. Verdicts are identical to the
+/// plain search, leaf counts are identical (canonical leaves are
+/// weighted by their class size), state counts shrink by up to the
+/// product of the orbit factorials, and violation witness schedules are
+/// reported in original process ids (the inverse permutations are
+/// threaded through the parent links). A trivial spec degenerates to
+/// [`explore`] exactly.
+pub fn explore_symmetric(
+    factory: &SymmetricSystemFactory<'_>,
+    config: &ExploreConfig,
+) -> ExploreOutcome {
+    explore_symmetric_with_stats(factory, config).0
+}
+
+/// [`explore_symmetric`], additionally reporting [`ExploreStats`].
+pub fn explore_symmetric_with_stats(
+    factory: &SymmetricSystemFactory<'_>,
+    config: &ExploreConfig,
+) -> (ExploreOutcome, ExploreStats) {
+    let (mem, programs, spec) = factory();
+    dispatch(SysState::root(mem, programs), config, Some(&spec))
 }
 
 /// [`explore`] in parallel frontier mode: uses
@@ -1439,7 +1799,14 @@ pub fn explore_parallel(factory: &SystemFactory<'_>, config: &ExploreConfig) -> 
         std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
     };
     let (mem, programs) = factory();
-    explore_frontier(SysState::root(mem, programs), config, threads.max(2))
+    let mut stats = ExploreStats::default();
+    explore_frontier(
+        SysState::root(mem, programs),
+        config,
+        threads.max(2),
+        None,
+        &mut stats,
+    )
 }
 
 #[cfg(test)]
@@ -1882,27 +2249,27 @@ mod tests {
         for config in configs {
             let serial = explore(&factory, &config);
             for (workers, shards) in [(2usize, 2usize), (3, 3), (4, 2), (3, 5)] {
-                let (mem, programs) = factory();
-                let staged = explore_frontier_tuned(
-                    SysState::root(mem, programs),
-                    &config,
-                    4,
-                    Some(workers),
-                    Some(shards),
-                );
+                let forced = ExploreConfig {
+                    threads: 4,
+                    workers_override: Some(workers),
+                    shards_override: Some(shards),
+                    ..config.clone()
+                };
+                let (staged, stats) = explore_with_stats(&factory, &forced);
+                assert!(stats.frontier, "threads 4 must select the frontier engine");
+                assert_eq!(stats.shards, shards, "forced shard count must be honoured");
                 if serial.is_violation() {
                     // DFS and frontier order legitimately pick different
                     // (both valid) witnesses; the frontier pick itself
                     // must not depend on worker or shard counts.
-                    let reference = explore_frontier_tuned(
-                        {
-                            let (mem, programs) = factory();
-                            SysState::root(mem, programs)
+                    let reference = explore(
+                        &factory,
+                        &ExploreConfig {
+                            threads: 4,
+                            workers_override: Some(2),
+                            shards_override: Some(2),
+                            ..config.clone()
                         },
-                        &config,
-                        4,
-                        Some(2),
-                        Some(2),
                     );
                     assert_eq!(reference, staged, "workers {workers} shards {shards}");
                     assert!(
@@ -1913,6 +2280,202 @@ mod tests {
                     assert_eq!(serial, staged, "workers {workers} shards {shards}");
                 }
             }
+        }
+    }
+
+    /// Symmetry reduction on a fully symmetric system: same verdict,
+    /// identical (weighted) leaf counts, strictly fewer states — in the
+    /// serial engine and in the frontier engine at several thread
+    /// counts, byte-identically.
+    #[test]
+    fn symmetry_reduces_states_and_preserves_leaves() {
+        #[derive(Clone, Debug)]
+        struct WriteThenDecide {
+            addr: Addr,
+            pc: u8,
+        }
+        impl Program for WriteThenDecide {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                if self.pc == 0 {
+                    mem.write_register(self.addr, Value::Int(1));
+                    self.pc = 1;
+                    Step::Running
+                } else {
+                    Step::Decided(mem.read_register(self.addr))
+                }
+            }
+            fn on_crash(&mut self) {
+                self.pc = 0;
+            }
+            fn state_key(&self) -> Value {
+                Value::Int(i64::from(self.pc))
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+        }
+        let n = 3;
+        let plain = || {
+            let mut mem = Memory::new();
+            let addr = mem.alloc_register(Value::Bottom);
+            let programs: Vec<Box<dyn Program>> = (0..n)
+                .map(|_| Box::new(WriteThenDecide { addr, pc: 0 }) as Box<dyn Program>)
+                .collect();
+            (mem, programs)
+        };
+        let symmetric = || {
+            let (mem, programs) = plain();
+            (mem, programs, SymmetrySpec::full(n))
+        };
+        let config = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(false),
+            ..ExploreConfig::default()
+        };
+        let off = explore(&plain, &config);
+        let (on, stats) = explore_symmetric_with_stats(&symmetric, &config);
+        assert!(stats.symmetry);
+        let (off_states, off_leaves) = match off {
+            ExploreOutcome::Verified { states, leaves } => (states, leaves),
+            other => panic!("expected verified, got {other:?}"),
+        };
+        match &on {
+            ExploreOutcome::Verified { states, leaves } => {
+                assert!(
+                    *states < off_states,
+                    "symmetry must merge permutation classes: {states} vs {off_states}"
+                );
+                assert_eq!(
+                    *leaves, off_leaves,
+                    "weighted leaf counts must match the plain engine"
+                );
+            }
+            other => panic!("expected verified, got {other:?}"),
+        }
+        for threads in [2usize, 3, 4] {
+            let parallel = explore_symmetric(
+                &symmetric,
+                &ExploreConfig {
+                    threads,
+                    workers_override: Some(threads),
+                    shards_override: Some(threads),
+                    ..config.clone()
+                },
+            );
+            assert_eq!(on, parallel, "threads {threads}");
+        }
+    }
+
+    /// A trivial spec degenerates to the plain engine byte-for-byte, and
+    /// an orbit grouping processes with different initial states is
+    /// rejected loudly.
+    #[test]
+    fn trivial_spec_matches_plain_engine_exactly() {
+        let symmetric = || {
+            let (mem, programs) = forgetful_factory();
+            let n = programs.len();
+            (mem, programs, SymmetrySpec::trivial(n))
+        };
+        let config = ExploreConfig {
+            crash: CrashModel::independent(2).after_decide(true),
+            ..ExploreConfig::default()
+        };
+        let (outcome, stats) = explore_symmetric_with_stats(&symmetric, &config);
+        assert!(!stats.symmetry, "a trivial spec must be normalized away");
+        assert_eq!(outcome, explore(&forgetful_factory, &config));
+    }
+
+    /// An orbit whose members start in different states (here: different
+    /// inputs, visible through honest state keys) is a declaration bug
+    /// and must panic, not silently merge inequivalent states.
+    #[test]
+    #[should_panic(expected = "different")]
+    fn mismatched_orbit_declaration_is_rejected() {
+        /// Decides its input; the key honestly includes the input, so
+        /// cross-process key equality implies behavioural equality.
+        #[derive(Clone, Debug)]
+        struct KeyedDecider {
+            input: Value,
+        }
+        impl Program for KeyedDecider {
+            fn step(&mut self, _: &mut dyn MemOps) -> Step {
+                Step::Decided(self.input.clone())
+            }
+            fn on_crash(&mut self) {}
+            fn state_key(&self) -> Value {
+                self.input.clone()
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+        }
+        let symmetric = || {
+            let mem = Memory::new();
+            let programs: Vec<Box<dyn Program>> = vec![
+                Box::new(KeyedDecider {
+                    input: Value::Int(0),
+                }),
+                Box::new(KeyedDecider {
+                    input: Value::Int(1),
+                }),
+            ];
+            (mem, programs, SymmetrySpec::full(2))
+        };
+        let _ = explore_symmetric(&symmetric, &ExploreConfig::default());
+    }
+
+    /// Witness schedules from a symmetric search replay against the
+    /// *original* system: the inverse permutations threaded through the
+    /// parent links rename every action back to original process ids.
+    #[test]
+    fn symmetric_violation_witness_replays_in_original_pids() {
+        use crate::exec::{run, RunOptions};
+        use crate::sched::ScriptedScheduler;
+        let inputs = [Value::Int(5), Value::Int(7), Value::Int(7)];
+        let plain = || {
+            let mem = Memory::new();
+            let programs: Vec<Box<dyn Program>> = inputs
+                .iter()
+                .map(|input| {
+                    Box::new(DecideOwn {
+                        input: input.clone(),
+                    }) as Box<dyn Program>
+                })
+                .collect();
+            (mem, programs)
+        };
+        let symmetric = || {
+            let (mem, programs) = plain();
+            (mem, programs, SymmetrySpec::from_classes(&inputs))
+        };
+        for threads in [1usize, 2, 4] {
+            let config = ExploreConfig {
+                threads,
+                workers_override: (threads > 1).then_some(threads),
+                shards_override: (threads > 1).then_some(threads),
+                ..ExploreConfig::default()
+            };
+            let outcome = explore_symmetric(&symmetric, &config);
+            let (schedule, outputs) = match outcome {
+                ExploreOutcome::Violation {
+                    kind: ViolationKind::Agreement,
+                    schedule,
+                    outputs,
+                } => (schedule, outputs),
+                other => panic!("expected agreement violation, got {other:?}"),
+            };
+            // Replay the schedule on the original (un-permuted) system.
+            let (mut mem, mut programs) = plain();
+            let mut sched = ScriptedScheduler::then_finish(schedule.clone());
+            let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+            let mut decisions: Vec<Value> = exec.outputs.iter().flatten().cloned().collect();
+            decisions.sort();
+            decisions.dedup();
+            assert!(
+                decisions.len() >= 2,
+                "threads {threads}: replayed schedule {schedule:?} must \
+                 reproduce the disagreement, decided {decisions:?}"
+            );
+            assert_eq!(outputs.len(), 2, "threads {threads}");
         }
     }
 

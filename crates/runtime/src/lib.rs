@@ -33,8 +33,9 @@
 //! * [`explore`] — a bounded-exhaustive model checker: an iterative
 //!   worklist DFS over *all* interleavings and crash placements (up to a
 //!   crash budget) with hash-consed full-fidelity state memoization
-//!   ([`ValueInterner`]) and an opt-in parallel frontier mode
-//!   ([`ExploreConfig::threads`]).
+//!   ([`ValueInterner`]), an opt-in parallel frontier mode
+//!   ([`ExploreConfig::threads`]) and opt-in process-symmetry reduction
+//!   ([`explore_symmetric`] + [`SymmetrySpec`]).
 //! * [`threaded`] — a real-thread executor (`parking_lot` mutex per object,
 //!   one OS thread per process) for wall-clock benchmarks.
 //! * [`verify`] — agreement/validity/termination checkers for consensus-
@@ -73,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod crash;
 mod exec;
 mod explore;
@@ -85,10 +87,13 @@ pub mod sched;
 pub mod threaded;
 pub mod verify;
 
+pub use canon::SymmetrySpec;
 pub use crash::{CrashMode, CrashModel};
 pub use exec::{run, Execution, RunOptions};
 pub use explore::{
-    explore, explore_parallel, ExploreConfig, ExploreOutcome, SystemFactory, ViolationKind,
+    explore, explore_parallel, explore_symmetric, explore_symmetric_with_stats, explore_with_stats,
+    ExploreConfig, ExploreOutcome, ExploreStats, SymmetricSystemFactory, SystemFactory,
+    ViolationKind,
 };
 // `Resolved`/`ShardInterner` are exported for the sharded-reconciliation
 // property suite in tests/proptest_runtime.rs (and as the documented

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
 use rc_runtime::{
     explore, run, CrashModel, ExploreConfig, MemOps, Memory, Program, Resolved, RunOptions,
-    ShardInterner, Step, ValueInterner,
+    ShardInterner, Step, SymmetrySpec, ValueInterner,
 };
 use rc_spec::Value;
 
@@ -137,6 +137,38 @@ fn system(n: usize, work: u8, same_input: bool) -> (Memory, Vec<Box<dyn Program>
         })
         .collect();
     (mem, programs)
+}
+
+/// Applies a spec's canonical permutation to a signature vector — the
+/// canonical form the engine's state keys inherit.
+fn canonical_sigs(spec: &SymmetrySpec, sigs: &[u8]) -> Vec<u8> {
+    match spec.canonical_perm_with(|p| sigs[p]) {
+        None => sigs.to_vec(),
+        Some(perm) => perm.iter().map(|&s| sigs[s as usize]).collect(),
+    }
+}
+
+/// Enumerates every orbit permutation of `sigs` (brute force, for
+/// checking `orbit_weight_with` against ground truth): recursively swaps
+/// position `at` with every later same-label position.
+fn permute_within_orbits(
+    labels: &[u8],
+    sigs: &mut Vec<u8>,
+    at: usize,
+    out: &mut std::collections::BTreeSet<Vec<u8>>,
+) {
+    if at == sigs.len() {
+        out.insert(sigs.clone());
+        return;
+    }
+    permute_within_orbits(labels, sigs, at + 1, out);
+    for j in at + 1..sigs.len() {
+        if labels[j] == labels[at] {
+            sigs.swap(at, j);
+            permute_within_orbits(labels, sigs, at + 1, out);
+            sigs.swap(at, j);
+        }
+    }
 }
 
 proptest! {
@@ -371,6 +403,86 @@ proptest! {
                 prop_assert_eq!(global.lookup(v), Some(id));
             }
         }
+    }
+
+    /// Process-symmetry canonicalization is **invariant** under every
+    /// orbit permutation: permuting a state's per-process signatures
+    /// within orbits never changes the canonical form. This is the
+    /// soundness half of the reduction — every member of a permutation
+    /// class maps to the same stored representative.
+    #[test]
+    fn canonical_form_is_invariant_under_orbit_permutations(
+        labels in proptest::collection::vec(0u8..3, 1..7),
+        sigs_seed in proptest::collection::vec(0u8..4, 7..8),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let n = labels.len();
+        let spec = SymmetrySpec::from_classes(&labels);
+        let sigs: Vec<u8> = (0..n).map(|i| sigs_seed[i % sigs_seed.len()]).collect();
+        // A random permutation respecting the orbits (Fisher–Yates over
+        // each label's positions; the vendored rand stub has no `seq`).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for label in 0u8..3 {
+            let members: Vec<usize> =
+                (0..n).filter(|&i| labels[i] == label).collect();
+            let mut shuffled = members.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                shuffled.swap(i, j);
+            }
+            for (&dst, &src) in members.iter().zip(&shuffled) {
+                perm[dst] = src;
+            }
+        }
+        let permuted: Vec<u8> = (0..n).map(|i| sigs[perm[i]]).collect();
+        // Orbit-permuted states must share a canonical form.
+        prop_assert_eq!(canonical_sigs(&spec, &sigs), canonical_sigs(&spec, &permuted));
+    }
+
+    /// Canonicalization is **injective on orbits**: two signature
+    /// vectors share a canonical form iff they are orbit permutations of
+    /// each other (equal per-orbit multisets). This is the no-false-merge
+    /// half — states from different permutation classes never collide.
+    #[test]
+    fn canonical_form_is_injective_across_orbits(
+        labels in proptest::collection::vec(0u8..3, 1..7),
+        a_seed in proptest::collection::vec(0u8..4, 7..8),
+        b_seed in proptest::collection::vec(0u8..4, 7..8),
+    ) {
+        let n = labels.len();
+        let spec = SymmetrySpec::from_classes(&labels);
+        let a: Vec<u8> = (0..n).map(|i| a_seed[i % a_seed.len()]).collect();
+        let b: Vec<u8> = (0..n).map(|i| b_seed[i % b_seed.len()]).collect();
+        let related = (0u8..3).all(|label| {
+            let mut ma: Vec<u8> =
+                (0..n).filter(|&i| labels[i] == label).map(|i| a[i]).collect();
+            let mut mb: Vec<u8> =
+                (0..n).filter(|&i| labels[i] == label).map(|i| b[i]).collect();
+            ma.sort_unstable();
+            mb.sort_unstable();
+            ma == mb
+        });
+        // Canonical keys collide exactly on orbit-permutation classes.
+        prop_assert_eq!(canonical_sigs(&spec, &a) == canonical_sigs(&spec, &b), related);
+    }
+
+    /// The orbit weight equals the true permutation-class size: the
+    /// number of *distinct* signature vectors reachable by orbit
+    /// permutations, counted by brute force.
+    #[test]
+    fn orbit_weight_counts_the_permutation_class(
+        labels in proptest::collection::vec(0u8..3, 1..6),
+        sigs_seed in proptest::collection::vec(0u8..3, 6..7),
+    ) {
+        let n = labels.len();
+        let spec = SymmetrySpec::from_classes(&labels);
+        let sigs: Vec<u8> = (0..n).map(|i| sigs_seed[i % sigs_seed.len()]).collect();
+        let weight = spec.orbit_weight_with(|p| sigs[p]);
+        let mut class: std::collections::BTreeSet<Vec<u8>> = std::collections::BTreeSet::new();
+        permute_within_orbits(&labels, &mut sigs.clone(), 0, &mut class);
+        prop_assert_eq!(weight, class.len() as u64);
     }
 
     /// Memory state keys change exactly when contents change.

@@ -52,4 +52,4 @@ pub use check::{audit_history, AuditError, HistoryReport};
 pub use layout::{decode_op, encode_op, NodeCells, UniversalLayout};
 pub use machine::UniversalMachine;
 pub use robj::{run_workload, Workload, WorkloadOutcome};
-pub use workers::{HerlihyWorker, RUniversalWorker};
+pub use workers::{HerlihyWorker, RUniversalWorker, SlotsExhausted};

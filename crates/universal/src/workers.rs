@@ -9,6 +9,38 @@ use rc_spec::{Operation, Value};
 use std::fmt;
 use std::sync::Arc;
 
+/// A worker's operation list needs more per-process node slots than its
+/// [`UniversalLayout`] reserves.
+///
+/// Returned by the checked constructors
+/// ([`RUniversalWorker::try_new`], [`HerlihyWorker::try_new`]); the
+/// panicking constructors and the [`HerlihyWorker`] retry path render it
+/// with [`fmt::Display`], so the message is identical everywhere (the
+/// two workers used to format it independently and drifted).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotsExhausted {
+    /// The process whose slots ran out.
+    pub pid: usize,
+    /// Node slots the worker needs (ops, plus retries for the
+    /// recovery-less baseline).
+    pub needed: usize,
+    /// Slots the layout reserves per process.
+    pub reserved: usize,
+}
+
+impl fmt::Display for SlotsExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p{}: {} node slots needed but the layout reserves {} per \
+             process; size the pool as ops + expected crashes",
+            self.pid, self.needed, self.reserved
+        )
+    }
+}
+
+impl std::error::Error for SlotsExhausted {}
+
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum WPc {
     /// The paper's `Recover` (lines 128–130): read `Announce[i]` and
@@ -41,21 +73,28 @@ pub struct RUniversalWorker {
 }
 
 impl RUniversalWorker {
-    /// Creates the worker.
+    /// Creates the worker, checking that `ops` fits the layout's
+    /// per-process node slots (invocation `k` always uses node slot `k`,
+    /// so exactly `ops.len()` slots are needed — re-runs are idempotent
+    /// and never consume extra slots).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `ops` needs more node slots than the layout reserves per
-    /// process.
-    pub fn new(layout: Arc<UniversalLayout>, pid: usize, ops: Vec<Operation>) -> Self {
-        assert!(
-            ops.len() <= layout.slots_per_process,
-            "{} ops need {} slots but the layout reserves {}",
-            ops.len(),
-            ops.len(),
-            layout.slots_per_process
-        );
-        RUniversalWorker {
+    /// Returns [`SlotsExhausted`] if `ops` needs more node slots than
+    /// the layout reserves per process.
+    pub fn try_new(
+        layout: Arc<UniversalLayout>,
+        pid: usize,
+        ops: Vec<Operation>,
+    ) -> Result<Self, SlotsExhausted> {
+        if ops.len() > layout.slots_per_process {
+            return Err(SlotsExhausted {
+                pid,
+                needed: ops.len(),
+                reserved: layout.slots_per_process,
+            });
+        }
+        Ok(RUniversalWorker {
             layout,
             pid,
             ops,
@@ -63,7 +102,18 @@ impl RUniversalWorker {
             op_idx: 0,
             machine: None,
             responses: Vec::new(),
-        }
+        })
+    }
+
+    /// Creates the worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the shared [`SlotsExhausted`] message) if `ops`
+    /// needs more node slots than the layout reserves per process; use
+    /// [`RUniversalWorker::try_new`] to handle it instead.
+    pub fn new(layout: Arc<UniversalLayout>, pid: usize, ops: Vec<Operation>) -> Self {
+        RUniversalWorker::try_new(layout, pid, ops).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -203,11 +253,28 @@ pub struct HerlihyWorker {
 }
 
 impl HerlihyWorker {
-    /// Creates the worker. The layout must reserve
-    /// `ops.len() + expected crashes` slots per process; the worker panics
-    /// if retries exhaust its slots.
-    pub fn new(layout: Arc<UniversalLayout>, pid: usize, ops: Vec<Operation>) -> Self {
-        HerlihyWorker {
+    /// Creates the worker, checking the crash-free minimum: the layout
+    /// must reserve at least `ops.len()` slots (and should reserve
+    /// `ops.len() + expected crashes` — retries consume extra slots at
+    /// run time, where exhaustion panics with the same
+    /// [`SlotsExhausted`] message).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlotsExhausted`] if even a crash-free run could not fit.
+    pub fn try_new(
+        layout: Arc<UniversalLayout>,
+        pid: usize,
+        ops: Vec<Operation>,
+    ) -> Result<Self, SlotsExhausted> {
+        if ops.len() > layout.slots_per_process {
+            return Err(SlotsExhausted {
+                pid,
+                needed: ops.len(),
+                reserved: layout.slots_per_process,
+            });
+        }
+        Ok(HerlihyWorker {
             layout,
             pid,
             ops,
@@ -215,7 +282,20 @@ impl HerlihyWorker {
             next_slot: 0,
             machine: None,
             responses: Vec::new(),
-        }
+        })
+    }
+
+    /// Creates the worker. The layout must reserve
+    /// `ops.len() + expected crashes` slots per process; retries that
+    /// exhaust the reserve panic at run time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the shared [`SlotsExhausted`] message) if `ops`
+    /// cannot fit even crash-free; use [`HerlihyWorker::try_new`] to
+    /// handle it instead.
+    pub fn new(layout: Arc<UniversalLayout>, pid: usize, ops: Vec<Operation>) -> Self {
+        HerlihyWorker::try_new(layout, pid, ops).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Node slots consumed so far (grows with retries; diagnostic).
@@ -240,12 +320,17 @@ impl Program for HerlihyWorker {
             return Step::Decided(Value::List(self.responses.clone()));
         }
         if self.machine.is_none() {
-            assert!(
-                self.next_slot < self.layout.slots_per_process,
-                "p{} exhausted its node slots after retries; size the pool \
-                 as ops + expected crashes",
-                self.pid
-            );
+            if self.next_slot >= self.layout.slots_per_process {
+                // Same message as the checked constructors.
+                panic!(
+                    "{}",
+                    SlotsExhausted {
+                        pid: self.pid,
+                        needed: self.next_slot + 1,
+                        reserved: self.layout.slots_per_process,
+                    }
+                );
+            }
             let node = self.layout.node_id(self.pid, self.next_slot);
             self.next_slot += 1;
             self.machine = Some(UniversalMachine::new(
@@ -511,5 +596,53 @@ mod tests {
         assert!(exec.all_decided);
         let report = audit_history(&mem, &layout).expect("linearizable");
         assert_eq!(report.final_state, Value::Int(6));
+    }
+
+    /// Regression: `RUniversalWorker::new` used to panic on oversized op
+    /// lists with a message that drifted from `HerlihyWorker`'s runtime
+    /// exhaustion panic. Both constructors now return the same
+    /// [`SlotsExhausted`] error through `try_new`, and the panic message
+    /// is the error's single `Display` rendering.
+    #[test]
+    fn checked_constructors_reject_oversized_op_lists_identically() {
+        let slots = 2;
+        let (_, layout) = counter_system(2, slots);
+        let ops = vec![Operation::nullary("inc"); slots + 1];
+        let r = RUniversalWorker::try_new(layout.clone(), 0, ops.clone())
+            .expect_err("3 ops cannot fit 2 slots");
+        let h = HerlihyWorker::try_new(layout.clone(), 0, ops.clone())
+            .expect_err("3 ops cannot fit 2 slots");
+        assert_eq!(r, h, "both workers report the identical error");
+        assert_eq!(
+            r.to_string(),
+            "p0: 3 node slots needed but the layout reserves 2 per \
+             process; size the pool as ops + expected crashes"
+        );
+        // Fitting lists construct fine through both paths.
+        let ok = vec![Operation::nullary("inc"); slots];
+        assert!(RUniversalWorker::try_new(layout.clone(), 0, ok.clone()).is_ok());
+        assert!(HerlihyWorker::try_new(layout, 0, ok).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "p1: 3 node slots needed but the layout reserves 2")]
+    fn runiversal_new_panics_with_the_shared_message() {
+        let (_, layout) = counter_system(2, 2);
+        let _ = RUniversalWorker::new(layout, 1, vec![Operation::nullary("inc"); 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node slots needed but the layout reserves")]
+    fn herlihy_runtime_exhaustion_uses_the_shared_message() {
+        // 1 slot, 1 op: a crash mid-operation forces a retry that needs
+        // a second slot — the runtime exhaustion path.
+        let (mut mem, layout) = counter_system(1, 1);
+        let mut worker = HerlihyWorker::new(layout, 0, vec![Operation::nullary("inc")]);
+        // Step once (announce/claim work begins), crash, then re-run
+        // until the fresh invocation asks for the second slot.
+        for _ in 0..200 {
+            let _ = worker.step(&mut mem);
+            worker.on_crash();
+        }
     }
 }

@@ -1,20 +1,31 @@
 //! The model-checker engines, end to end: serial/parallel equivalence on
 //! the real Fig. 2 systems — byte-identical outcomes including at
 //! `max_states` truncation boundaries — the unified [`CrashModel`]
-//! semantics, and regressions for the crash-adversary bugs the engine
-//! rebuilds fixed (post-decide `CrashAll` handling, the state-cap
-//! off-by-one, and the parallel frontier's whole-level cap overshoot).
+//! semantics, process-symmetry reduction (identical verdicts and leaf
+//! counts with symmetry on vs off, replayable un-permuted witnesses),
+//! and regressions for the crash-adversary bugs the engine rebuilds
+//! fixed (post-decide `CrashAll` handling, the state-cap off-by-one, and
+//! the parallel frontier's whole-level cap overshoot).
 //!
-//! CI runs this suite under `EXPLORE_TEST_THREADS` ∈ {2, 8} (see
-//! `.github/workflows/ci.yml`), so determinism across thread counts is
-//! enforced on every push, beyond the locally tested counts.
+//! CI runs this suite under `EXPLORE_TEST_THREADS` ∈ {2, 8} ×
+//! `EXPLORE_TEST_SYMMETRY` ∈ {on, off} (see `.github/workflows/ci.yml`).
+//! The thread counts are routed through
+//! `ExploreConfig::workers_override` / `shards_override`, so the forced
+//! multi-worker, multi-shard pipeline really runs — even on single-core
+//! runners, where the machine-aware policy used to clamp every level to
+//! the fused single-worker path and silently neutralize the matrix.
 
-use rc_core::algorithms::build_team_rc_system;
+use rc_core::algorithms::{
+    build_broken_team_rc_system, build_team_rc_system, build_team_rc_system_sym,
+};
 use rc_core::{check_recording, Assignment, RecordingWitness, Team};
-use rc_runtime::sched::{Action, RandomScheduler, RandomSchedulerConfig, SchedContext, Scheduler};
+use rc_runtime::sched::{
+    Action, RandomScheduler, RandomSchedulerConfig, SchedContext, Scheduler, ScriptedScheduler,
+};
+use rc_runtime::verify::check_consensus_execution;
 use rc_runtime::{
-    explore, explore_parallel, CrashModel, ExploreConfig, ExploreOutcome, MemOps, Memory, Program,
-    Step,
+    explore, explore_parallel, explore_symmetric, explore_with_stats, run, CrashModel,
+    ExploreConfig, ExploreOutcome, MemOps, Memory, Program, RunOptions, Step,
 };
 use rc_spec::types::Sn;
 use rc_spec::{TypeHandle, Value};
@@ -44,6 +55,34 @@ fn thread_counts() -> Vec<usize> {
     counts
 }
 
+/// Which symmetry modes the equivalence tests exercise: both by default;
+/// the CI matrix narrows to one via `EXPLORE_TEST_SYMMETRY` ∈
+/// {`on`, `off`}. Anything else fails loudly.
+fn symmetry_modes() -> Vec<bool> {
+    match std::env::var("EXPLORE_TEST_SYMMETRY") {
+        Err(_) => vec![false, true],
+        Ok(raw) => match raw.trim() {
+            "on" => vec![true],
+            "off" => vec![false],
+            other => panic!("EXPLORE_TEST_SYMMETRY must be `on` or `off`, got {other:?}"),
+        },
+    }
+}
+
+/// The parallel-engine config for `threads` workers with the staged
+/// multi-worker, multi-shard pipeline **forced** — the machine-aware
+/// policy would clamp to `available_parallelism()` and run the fused
+/// single-worker path on single-core hosts, making the thread matrix a
+/// no-op. Outcomes are knob-independent (asserted throughout).
+fn parallel_config(base: &ExploreConfig, threads: usize) -> ExploreConfig {
+    ExploreConfig {
+        threads,
+        workers_override: Some(threads),
+        shards_override: Some(threads),
+        ..base.clone()
+    }
+}
+
 fn sn_system(n: usize) -> (TypeHandle, RecordingWitness, Vec<Value>) {
     let sn = Sn::new(n);
     let a = Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]);
@@ -60,36 +99,121 @@ fn sn_system(n: usize) -> (TypeHandle, RecordingWitness, Vec<Value>) {
     (Arc::new(sn), w, inputs)
 }
 
-/// `explore` vs `explore_parallel` on the E2 systems, across thread
-/// counts: byte-identical `Verified` outcomes (state *and* leaf counts).
+/// `explore` vs the parallel engine on the E2 systems, across thread
+/// counts, with symmetry off *and* on: byte-identical `Verified`
+/// outcomes (state *and* leaf counts). Each thread count runs twice —
+/// once under the default machine-aware worker policy
+/// (`explore_parallel`) and once with the staged pipeline forced
+/// (`parallel_config`), so single-core hosts exercise real multi-worker
+/// levels too.
 #[test]
 fn engines_agree_on_e2_systems() {
     for n in [2usize, 3] {
         let (ty, w, inputs) = sn_system(n);
         let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
+        let sym_factory = || build_team_rc_system_sym(ty.clone(), &w, &inputs);
         for budget in [0usize, 1, 2] {
             let config = ExploreConfig {
                 crash: CrashModel::independent(budget).after_decide(true),
                 inputs: Some(inputs.clone()),
                 ..ExploreConfig::default()
             };
-            let serial = explore(&factory, &config);
-            assert!(
-                matches!(serial, ExploreOutcome::Verified { .. }),
-                "S_{n} budget {budget} must verify: {serial:?}"
-            );
-            for threads in thread_counts() {
-                let parallel = explore_parallel(
-                    &factory,
-                    &ExploreConfig {
-                        threads,
-                        ..config.clone()
-                    },
+            for symmetry in symmetry_modes() {
+                let serial = if symmetry {
+                    explore_symmetric(&sym_factory, &config)
+                } else {
+                    explore(&factory, &config)
+                };
+                assert!(
+                    matches!(serial, ExploreOutcome::Verified { .. }),
+                    "S_{n} budget {budget} symmetry {symmetry} must verify: {serial:?}"
                 );
+                for threads in thread_counts() {
+                    for forced in [false, true] {
+                        let threaded = if forced {
+                            parallel_config(&config, threads)
+                        } else {
+                            ExploreConfig {
+                                threads,
+                                ..config.clone()
+                            }
+                        };
+                        let parallel = if symmetry {
+                            explore_symmetric(&sym_factory, &threaded)
+                        } else if forced {
+                            explore(&factory, &threaded)
+                        } else {
+                            explore_parallel(&factory, &threaded)
+                        };
+                        assert_eq!(
+                            serial, parallel,
+                            "S_{n} budget {budget} threads {threads} forced {forced} \
+                             symmetry {symmetry}: engines must agree byte-for-byte"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Symmetry on vs off on every E2 config: identical verdicts, identical
+/// (weighted) leaf counts, and never more states — strictly fewer
+/// whenever the witness has an orbit to merge (`n ≥ 3`; the `S_2`
+/// witness is one process per team, so its quotient is the identity).
+/// The symmetric search is itself byte-identical across thread counts
+/// 1/2/8.
+#[test]
+fn symmetry_on_off_equivalence_on_e2_systems() {
+    for n in [2usize, 3, 4] {
+        let (ty, w, inputs) = sn_system(n);
+        let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
+        let sym_factory = || build_team_rc_system_sym(ty.clone(), &w, &inputs);
+        let budgets: &[usize] = if n < 4 { &[0, 1, 2] } else { &[0, 1] };
+        for &budget in budgets {
+            let config = ExploreConfig {
+                crash: CrashModel::independent(budget).after_decide(true),
+                inputs: Some(inputs.clone()),
+                ..ExploreConfig::default()
+            };
+            let (off_states, off_leaves) = match explore(&factory, &config) {
+                ExploreOutcome::Verified { states, leaves } => (states, leaves),
+                other => panic!("S_{n} budget {budget} must verify: {other:?}"),
+            };
+            let mut outcomes = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let threaded = if threads == 1 {
+                    config.clone()
+                } else {
+                    parallel_config(&config, threads)
+                };
+                outcomes.push(explore_symmetric(&sym_factory, &threaded));
+            }
+            for on in &outcomes[1..] {
                 assert_eq!(
-                    serial, parallel,
-                    "S_{n} budget {budget} threads {threads}: engines must agree byte-for-byte"
+                    on, &outcomes[0],
+                    "S_{n} budget {budget}: symmetric outcomes must be \
+                     byte-identical across thread counts"
                 );
+            }
+            match &outcomes[0] {
+                ExploreOutcome::Verified { states, leaves } => {
+                    assert_eq!(
+                        *leaves, off_leaves,
+                        "S_{n} budget {budget}: weighted leaf counts must \
+                         match the plain engine"
+                    );
+                    if n >= 3 {
+                        assert!(
+                            *states < off_states,
+                            "S_{n} budget {budget}: symmetry must merge the \
+                             team-B orbit ({states} vs {off_states})"
+                        );
+                    } else {
+                        assert_eq!(*states, off_states, "S_2 has no orbit to merge");
+                    }
+                }
+                other => panic!("S_{n} budget {budget} must verify: {other:?}"),
             }
         }
     }
@@ -133,18 +257,91 @@ fn cap_boundaries_are_byte_identical_across_engines() {
             );
         }
         for threads in thread_counts() {
-            let parallel = explore(
-                &factory,
-                &ExploreConfig {
-                    threads,
-                    ..config.clone()
-                },
-            );
+            // Forced staged pipeline: the cap must stay exact when every
+            // level really fans out multi-worker and multi-shard.
+            let parallel = explore(&factory, &parallel_config(&config, threads));
             assert_eq!(
                 serial, parallel,
                 "cap {cap} threads {threads}: outcomes must be byte-identical"
             );
         }
+    }
+}
+
+/// `max_states` boundaries of the *symmetric* search: the cap counts
+/// canonical states and stays exact — at/above the quotient size the
+/// search verifies, below it truncates at exactly the cap — and the
+/// outcome is byte-identical across thread counts 1/2/8.
+#[test]
+fn symmetric_cap_boundaries_are_exact() {
+    let (ty, w, inputs) = sn_system(3);
+    let sym_factory = || build_team_rc_system_sym(ty.clone(), &w, &inputs);
+    let base = ExploreConfig {
+        crash: CrashModel::independent(2).after_decide(true),
+        inputs: Some(inputs.clone()),
+        ..ExploreConfig::default()
+    };
+    let total = match explore_symmetric(&sym_factory, &base) {
+        ExploreOutcome::Verified { states, .. } => states,
+        other => panic!("S_3 budget 2 must verify: {other:?}"),
+    };
+    for cap in [1usize, 7, total - 1, total, total + 1] {
+        let config = ExploreConfig {
+            max_states: cap,
+            ..base.clone()
+        };
+        let serial = explore_symmetric(&sym_factory, &config);
+        if cap >= total {
+            assert!(serial.is_verified(), "cap {cap}: {serial:?}");
+        } else {
+            assert_eq!(
+                serial,
+                ExploreOutcome::Truncated { states: cap },
+                "the symmetric cap is exact"
+            );
+        }
+        for threads in [2usize, 8] {
+            let parallel = explore_symmetric(&sym_factory, &parallel_config(&config, threads));
+            assert_eq!(serial, parallel, "cap {cap} threads {threads}");
+        }
+    }
+}
+
+/// Regression: the CI thread matrix used to be silently neutralized on
+/// single-core runners — `level_workers` clamps by
+/// `available_parallelism()`, so `EXPLORE_TEST_THREADS=8` still ran the
+/// fused single-worker path everywhere. With the overrides routed
+/// through [`parallel_config`], the staged pipeline must *actually* fan
+/// out to every forced worker (asserted via [`ExploreStats`], which
+/// reports the real per-level maximum).
+#[test]
+fn forced_multi_worker_pipelines_actually_run() {
+    let (ty, w, inputs) = sn_system(3);
+    let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
+    let base = ExploreConfig {
+        crash: CrashModel::independent(2).after_decide(true),
+        inputs: Some(inputs.clone()),
+        ..ExploreConfig::default()
+    };
+    let serial = explore(&factory, &base);
+    for threads in thread_counts() {
+        let (outcome, stats) = explore_with_stats(&factory, &parallel_config(&base, threads));
+        assert_eq!(serial, outcome, "threads {threads}");
+        assert!(
+            stats.frontier,
+            "threads {threads} must select the frontier engine"
+        );
+        assert_eq!(stats.shards, threads, "forced shard count must be honoured");
+        assert!(
+            stats.max_level_workers > 1,
+            "threads {threads}: the forced pipeline must use more than one \
+             worker — a single-worker run means the override was ignored"
+        );
+        assert_eq!(
+            stats.max_level_workers, threads,
+            "threads {threads}: the S_3 peak level is large enough to fan \
+             out to every forced worker"
+        );
     }
 }
 
@@ -411,4 +608,91 @@ fn parallel_engine_reports_replayable_violations() {
     for s in &schedules[1..] {
         assert_eq!(s, &schedules[0], "parallel verdicts must be deterministic");
     }
+}
+
+/// Symmetric searches report witnesses in *original* process ids: the
+/// schedule a violating symmetric search returns must replay, action for
+/// action, on the plain (never-permuted) system and reproduce the
+/// violation — at thread counts 1/2/8. (Validity is broken here the same
+/// way as in `parallel_engine_reports_replayable_violations`: declared
+/// inputs that exclude what team B decides.)
+#[test]
+fn symmetric_witness_replays_on_the_original_system() {
+    let (ty, w, inputs) = sn_system(3);
+    let bogus = vec![Value::Int(7)];
+    let sym_factory = || build_team_rc_system_sym(ty.clone(), &w, &inputs);
+    for threads in [1usize, 2, 8] {
+        let base = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(true),
+            inputs: Some(bogus.clone()),
+            ..ExploreConfig::default()
+        };
+        let config = if threads == 1 {
+            base
+        } else {
+            parallel_config(&base, threads)
+        };
+        let schedule = match explore_symmetric(&sym_factory, &config) {
+            ExploreOutcome::Violation { schedule, .. } => schedule,
+            other => panic!("bogus inputs must violate validity: {other:?}"),
+        };
+        // Replay on the plain system builder (no symmetry, no
+        // canonicalization): the un-permuted schedule must reach the
+        // same validity failure.
+        let (mut mem, mut programs) = build_team_rc_system(ty.clone(), &w, &inputs);
+        let mut sched = ScriptedScheduler::then_finish(schedule.clone());
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        check_consensus_execution(&exec, &bogus).expect_err(
+            "the replayed witness must reproduce the validity violation \
+             on the original system",
+        );
+    }
+}
+
+/// The broken Fig. 2 variant (Section 3.1) under symmetry: the agreement
+/// violation is still found, and its witness replays on the original
+/// broken system to an agreement failure.
+#[test]
+fn symmetric_search_finds_the_broken_guard_violation() {
+    use rc_core::algorithms::build_broken_team_rc_system_sym;
+    use rc_core::find_recording_witness;
+    use rc_spec::types::Cas;
+    let cas: TypeHandle = Arc::new(Cas::new(2));
+    let w = find_recording_witness(&cas, 3)
+        .expect("cas witness")
+        .normalized();
+    let w = if w.assignment.team_size(Team::B) >= 2 {
+        w
+    } else {
+        RecordingWitness {
+            assignment: w.assignment.swap_teams(),
+            q_a: w.q_b.clone(),
+            q_b: w.q_a.clone(),
+        }
+    };
+    let inputs: Vec<Value> = w
+        .assignment
+        .teams
+        .iter()
+        .map(|t| match t {
+            Team::A => Value::Int(0),
+            Team::B => Value::Int(1),
+        })
+        .collect();
+    let sym_factory = || build_broken_team_rc_system_sym(cas.clone(), &w, &inputs);
+    let config = ExploreConfig {
+        crash: CrashModel::none(),
+        inputs: Some(inputs.clone()),
+        ..ExploreConfig::default()
+    };
+    let schedule = match explore_symmetric(&sym_factory, &config) {
+        ExploreOutcome::Violation { schedule, .. } => schedule,
+        other => panic!("the broken guard must fail: {other:?}"),
+    };
+    let (mut mem, mut programs) = build_broken_team_rc_system(cas.clone(), &w, &inputs);
+    let mut sched = ScriptedScheduler::then_finish(schedule);
+    let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+    let err = check_consensus_execution(&exec, &inputs)
+        .expect_err("the replayed witness must violate agreement");
+    assert!(err.to_string().contains("agreement"), "{err}");
 }
