@@ -1,11 +1,14 @@
-//! Prints every experiment table (E1–E12); pass experiment ids to select
-//! a subset, `--fast` for smaller sample counts, and `--snapshot` (with
-//! e11 and e12) to refresh `BENCH_explore.json`:
+//! Prints every experiment table (E1–E13); pass experiment ids to select
+//! a subset, `--fast` for smaller sample counts, `--snapshot` (with e11,
+//! e12 and e13) to refresh `BENCH_explore.json`, and `--list` to print
+//! the experiment ids one per line (CI diffs that against
+//! EXPERIMENTS.md):
 //!
 //! ```sh
 //! cargo run -p rc-bench --release --bin tables           # everything
 //! cargo run -p rc-bench --release --bin tables -- e4 e5  # a subset
-//! cargo run -p rc-bench --release --bin tables -- e11 e12 --fast --snapshot
+//! cargo run -p rc-bench --release --bin tables -- e11 e12 e13 --fast --snapshot
+//! cargo run -p rc-bench --release --bin tables -- --list
 //! ```
 //!
 //! Unknown experiment ids and flags exit non-zero with the list of valid
@@ -23,6 +26,13 @@ fn main() {
         }
     };
     let fast = args.fast;
+
+    if args.list {
+        for id in cli::EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return;
+    }
 
     let (samples, seeds) = if fast { (50, 50) } else { (400, 300) };
 
@@ -73,14 +83,20 @@ fn main() {
         println!("{report}");
         e12_rows = rows;
     }
+    let mut e13_rows = Vec::new();
+    if args.wants("e13") {
+        let (report, rows) = exp::e13_full_state_symmetry(fast);
+        println!("{report}");
+        e13_rows = rows;
+    }
     if args.snapshot {
-        // The CLI guarantees e11 and e12 are both selected. The path is
-        // the workspace root, resolved from this crate's manifest so the
-        // snapshot lands in the same place regardless of cwd.
+        // The CLI guarantees e11, e12 and e13 are all selected. The path
+        // is the workspace root, resolved from this crate's manifest so
+        // the snapshot lands in the same place regardless of cwd.
         let path = Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
             .join("BENCH_explore.json");
-        let json = exp::snapshot_json(&e11_rows, &e12_rows);
+        let json = exp::snapshot_json(&e11_rows, &e12_rows, &e13_rows);
         match std::fs::write(&path, json) {
             Ok(()) => println!("snapshot written to {}", path.display()),
             Err(e) => {

@@ -8,7 +8,7 @@
 
 /// Every valid experiment id, in printing order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// Parsed `tables` arguments.
@@ -18,6 +18,10 @@ pub struct TablesArgs {
     pub fast: bool,
     /// Write the `BENCH_explore.json` snapshot after E11 (`--snapshot`).
     pub snapshot: bool,
+    /// Print the experiment ids, one per line, and exit (`--list`) — CI
+    /// diffs this against the experiments indexed in EXPERIMENTS.md so
+    /// the two can never drift apart.
+    pub list: bool,
     /// Lower-cased experiment ids to print; empty means all.
     pub selected: Vec<String>,
 }
@@ -47,9 +51,10 @@ where
         match arg {
             "--fast" => parsed.fast = true,
             "--snapshot" => parsed.snapshot = true,
+            "--list" => parsed.list = true,
             flag if flag.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag `{flag}`; valid flags: --fast, --snapshot"
+                    "unknown flag `{flag}`; valid flags: --fast, --snapshot, --list"
                 ));
             }
             id => {
@@ -64,10 +69,21 @@ where
             }
         }
     }
-    if parsed.snapshot && !(parsed.wants("e11") && parsed.wants("e12")) {
+    if parsed.list && parsed.snapshot {
+        // `--list` exits before any experiment runs, so honouring both
+        // flags would silently skip the requested snapshot write — the
+        // same silent-no-op shape as a typo'd experiment id.
         return Err(
-            "--snapshot records the E11 engine sweep and the E12 symmetry sweep, but e11 \
-             and e12 are not both among the selected experiment ids"
+            "--list prints the experiment ids and exits; it cannot be combined \
+             with --snapshot"
+                .into(),
+        );
+    }
+    if parsed.snapshot && !(parsed.wants("e11") && parsed.wants("e12") && parsed.wants("e13")) {
+        return Err(
+            "--snapshot records the E11 engine sweep, the E12 symmetry sweep and the E13 \
+             full-state sweep, but e11, e12 and e13 are not all among the selected \
+             experiment ids"
                 .into(),
         );
     }
@@ -90,10 +106,24 @@ mod tests {
 
     #[test]
     fn subset_and_flags() {
-        let args = parse_args(["E4", "e11", "e12", "--fast", "--snapshot"]).expect("valid");
+        let args = parse_args(["E4", "e11", "e12", "e13", "--fast", "--snapshot"]).expect("valid");
         assert!(args.fast && args.snapshot);
-        assert!(args.wants("e4") && args.wants("e11") && args.wants("e12"));
+        assert!(args.wants("e4") && args.wants("e11") && args.wants("e12") && args.wants("e13"));
         assert!(!args.wants("e1"));
+    }
+
+    /// `--list` is how CI syncs the id list with EXPERIMENTS.md; it must
+    /// parse alone and alongside a selection — but never with
+    /// `--snapshot`, whose write the list early-exit would silently
+    /// skip.
+    #[test]
+    fn list_flag_parses_but_refuses_snapshot() {
+        assert!(parse_args(["--list"]).expect("valid").list);
+        assert!(!parse_args(Vec::<&str>::new()).expect("valid").list);
+        assert!(parse_args(["e4", "--list"]).expect("valid").list);
+        let err = parse_args(["e11", "e12", "e13", "--snapshot", "--list"])
+            .expect_err("must reject the silent snapshot skip");
+        assert!(err.contains("--snapshot"), "{err}");
     }
 
     /// Regression: an unknown id must be an error carrying the full list
@@ -118,17 +148,20 @@ mod tests {
         assert!(!args.wants("e11"));
     }
 
-    /// `--snapshot` without both snapshot experiments in the selection
+    /// `--snapshot` without every snapshot experiment in the selection
     /// would silently skip part of the snapshot write — the same
     /// silent-no-op shape as the unknown-id bug, so it is rejected too.
     #[test]
-    fn snapshot_requires_e11_and_e12_in_the_selection() {
+    fn snapshot_requires_e11_e12_and_e13_in_the_selection() {
         let err = parse_args(["e4", "--snapshot"]).expect_err("must reject");
         assert!(err.contains("e11"), "{err}");
         assert!(err.contains("e12"), "{err}");
-        let err = parse_args(["e11", "--snapshot"]).expect_err("e12 missing");
+        assert!(err.contains("e13"), "{err}");
+        let err = parse_args(["e11", "--snapshot"]).expect_err("e12/e13 missing");
         assert!(err.contains("e12"), "{err}");
-        assert!(parse_args(["e4", "e11", "e12", "--snapshot"]).is_ok());
+        let err = parse_args(["e11", "e12", "--snapshot"]).expect_err("e13 missing");
+        assert!(err.contains("e13"), "{err}");
+        assert!(parse_args(["e4", "e11", "e12", "e13", "--snapshot"]).is_ok());
         assert!(
             parse_args(["--snapshot"]).is_ok(),
             "empty selection runs everything"

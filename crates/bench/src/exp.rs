@@ -1,11 +1,12 @@
-//! The experiments (E1–E11); each returns a rendered report.
+//! The experiments (E1–E13); each returns a rendered report.
 
 use crate::table::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rc_core::algorithms::{
-    build_broken_team_rc_system, build_team_consensus_system, build_team_rc_system,
-    build_team_rc_system_sym, build_tournament_rc, ConsensusObjectFactory,
+    build_broken_team_rc_system, build_masked_team_rc_system, build_masked_team_rc_system_sym,
+    build_simultaneous_rc_system, build_simultaneous_rc_system_sym, build_team_consensus_system,
+    build_team_rc_system, build_team_rc_system_sym, build_tournament_rc, ConsensusObjectFactory,
 };
 use rc_core::{
     check_discerning, check_recording, compute_hierarchy, find_recording_witness, is_discerning,
@@ -1034,18 +1035,18 @@ pub struct E12Row {
     pub reduction: f64,
 }
 
-fn e12_measure(
-    system: &str,
-    budget: usize,
-    symmetry: &'static str,
-    config: &ExploreConfig,
+/// The E12/E13 sweeps' shared measurement policy — lighter repetition
+/// than E11 (min one run, 200 ms floor, 30-run cap): their headline
+/// figures are the deterministic state counts; the throughput columns
+/// are secondary. Returns the verdict string, state and leaf counts and
+/// the best run's wall clock. Panics on a violation (both sweeps check
+/// correct systems only), naming `experiment`.
+fn measure_sweep_run(
+    experiment: &str,
     run_once: &dyn Fn() -> rc_runtime::ExploreOutcome,
-) -> E12Row {
+) -> (String, usize, usize, std::time::Duration) {
     use rc_runtime::ExploreOutcome;
     use std::time::{Duration, Instant};
-    // Lighter repetition than E11 (min one run, 200 ms floor): the
-    // sweep's headline figures are the deterministic state counts; the
-    // throughput columns are secondary.
     let mut best = Duration::MAX;
     let mut total = Duration::ZERO;
     let mut outcome;
@@ -1061,14 +1062,26 @@ fn e12_measure(
             break;
         }
     }
-    let (verdict, states, leaves) = match outcome.expect("at least one run") {
-        ExploreOutcome::Verified { states, leaves } => ("Verified".to_string(), states, leaves),
-        ExploreOutcome::Truncated { states } => ("Truncated".to_string(), states, 0),
+    match outcome.expect("at least one run") {
+        ExploreOutcome::Verified { states, leaves } => {
+            ("Verified".to_string(), states, leaves, best)
+        }
+        ExploreOutcome::Truncated { states } => ("Truncated".to_string(), states, 0, best),
         ExploreOutcome::Violation { schedule, .. } => panic!(
-            "E12 systems are correct; violation after {} actions",
+            "{experiment} systems are correct; violation after {} actions",
             schedule.len()
         ),
-    };
+    }
+}
+
+fn e12_measure(
+    system: &str,
+    budget: usize,
+    symmetry: &'static str,
+    config: &ExploreConfig,
+    run_once: &dyn Fn() -> rc_runtime::ExploreOutcome,
+) -> E12Row {
+    let (verdict, states, leaves, best) = measure_sweep_run("E12", run_once);
     E12Row {
         system: system.to_string(),
         crash_budget: budget,
@@ -1215,16 +1228,291 @@ pub fn e12_symmetry_reduction(fast: bool) -> (String, Vec<E12Row>) {
     (report, rows)
 }
 
-/// Renders the E11 + E12 rows as the `BENCH_explore.json` snapshot: a
-/// stable, diff-friendly record of the engine trajectory across PRs.
-/// The host core count is recorded so trajectory points from different
-/// machines stay comparable (the fused single-worker floor on a 1-core
-/// box is not a parallel win).
-pub fn snapshot_json(e11: &[E11Row], e12: &[E12Row]) -> String {
+/// One measured configuration of the E13 full-state symmetry sweep.
+#[derive(Clone, Debug)]
+pub struct E13Row {
+    /// System under check: `"masked S_n"` (the input-masked Fig. 2
+    /// team-RC system — per-process mask registers, the introduction's
+    /// transformation) or `"SimultaneousRc n=k"` (Fig. 4 over atomic
+    /// consensus objects).
+    pub system: String,
+    /// Crash budget (independent + post-decide for the masked systems,
+    /// simultaneous + post-decide for Fig. 4).
+    pub crash_budget: usize,
+    /// The `max_states` cap the row ran under.
+    pub max_states: usize,
+    /// `"off"` (plain engine), `"slots"` (the strongest *slots-only*
+    /// declaration PR 4 allowed — singleton orbits on these systems, so
+    /// byte-identical to off; asserted) or `"rebind"` (owned-cell orbits
+    /// with `Program::rebind`).
+    pub mode: &'static str,
+    /// `Verified` / `Truncated` (a violation would panic the sweep).
+    pub verdict: String,
+    /// Distinct states visited — canonical representatives under
+    /// `rebind`.
+    pub states: usize,
+    /// Weighted executions enumerated; Verified `rebind` rows must match
+    /// the off rows exactly (asserted).
+    pub leaves: usize,
+    /// Wall-clock milliseconds of the best run (machine-dependent).
+    pub millis: f64,
+    /// `states / seconds` (machine-dependent).
+    pub states_per_sec: f64,
+    /// `states(off) / states(this row)`; a **lower bound** when the off
+    /// side truncated at the cap (see `reduction_is_lower_bound`).
+    pub reduction: f64,
+    /// Whether `reduction` is a lower bound (off side hit the cap).
+    pub reduction_is_lower_bound: bool,
+}
+
+fn e13_measure(
+    system: &str,
+    budget: usize,
+    mode: &'static str,
+    config: &ExploreConfig,
+    run_once: &dyn Fn() -> rc_runtime::ExploreOutcome,
+) -> E13Row {
+    let (verdict, states, leaves, best) = measure_sweep_run("E13", run_once);
+    E13Row {
+        system: system.to_string(),
+        crash_budget: budget,
+        max_states: config.max_states,
+        mode,
+        verdict,
+        states,
+        leaves,
+        millis: best.as_secs_f64() * 1e3,
+        states_per_sec: states as f64 / best.as_secs_f64().max(1e-9),
+        reduction: 1.0,
+        reduction_is_lower_bound: false,
+    }
+}
+
+/// E13: **full-state** symmetry via `Program::rebind` — the systems
+/// PR 4's slots-only reduction had to keep asymmetric because each
+/// process owns distinguishing shared cells. Three modes per instance:
+///
+/// * `off` — the plain engine;
+/// * `slots` — the strongest slots-only declaration that is *sound* on
+///   these systems. For masked programs that is the singleton-orbit
+///   (trivial) spec: a non-singleton slots declaration is rejected by
+///   the orbit reference-consistency validation (the mask registers are
+///   per-process distinguishing state), so `slots` is byte-identical to
+///   `off` — which is precisely the point of the column;
+/// * `rebind` — the mask registers are declared *owned*
+///   (`SymmetrySpec::with_owned_cells`), permute together with their
+///   owners, and relocated wrappers are rebound (`Program::rebind`).
+///
+/// The masked `S_7`/`S_8` budget-0 instances exceed the default 5M-state
+/// cap without rebind (`Truncated`) and verify exactly with it —
+/// reductions are then reported as lower bounds. Fig. 4
+/// (`SimultaneousRc`) rows run `off`/`slots` only: its per-process round
+/// registers are read by *every* process (the line-44 termination scan),
+/// so no owned-cell declaration is sound — the validator rejects it
+/// (tested in `rc-core`), and `build_simultaneous_rc_system_sym`
+/// honestly returns the trivial spec.
+pub fn e13_full_state_symmetry(fast: bool) -> (String, Vec<E13Row>) {
+    // (n, budgets, slots_row, off_row) per masked S_n instance: the off
+    // search of S_7/S_8 at budget 0 is a cap-length run (~5M states), so
+    // the fast sweep skips those sizes entirely and the full sweep
+    // measures the (identical-by-construction) slots rows only where the
+    // off side verifies quickly.
+    let masked_sweep: &[(usize, &[usize], bool)] = if fast {
+        &[(4, &[0, 1], true), (5, &[0], false)]
+    } else {
+        &[
+            (5, &[0, 1], true),
+            (6, &[0], true),
+            (7, &[0], false),
+            (8, &[0], false),
+        ]
+    };
+    let mut rows: Vec<E13Row> = Vec::new();
+    for &(n, budgets, measure_slots) in masked_sweep {
+        let (ty, w) = sn_witness(n);
+        let inputs = team_inputs(&w.assignment);
+        let system = format!("masked S_{n}");
+        for &budget in budgets {
+            let config = ExploreConfig {
+                crash: CrashModel::independent(budget).after_decide(true),
+                inputs: Some(inputs.clone()),
+                ..ExploreConfig::default()
+            };
+            let off = e13_measure(&system, budget, "off", &config, &|| {
+                explore(
+                    &|| build_masked_team_rc_system(ty.clone(), &w, &inputs),
+                    &config,
+                )
+            });
+            if measure_slots {
+                let slots = e13_measure(&system, budget, "slots", &config, &|| {
+                    rc_runtime::explore_symmetric(
+                        &|| {
+                            let (mem, programs) =
+                                build_masked_team_rc_system(ty.clone(), &w, &inputs);
+                            let n = programs.len();
+                            (mem, programs, rc_runtime::SymmetrySpec::trivial(n))
+                        },
+                        &config,
+                    )
+                });
+                assert_eq!(
+                    (&slots.verdict, slots.states, slots.leaves),
+                    (&off.verdict, off.states, off.leaves),
+                    "{system}/{budget}: slots-only is the identity on masked systems"
+                );
+                rows.push(slots);
+            }
+            let mut on = e13_measure(&system, budget, "rebind", &config, &|| {
+                rc_runtime::explore_symmetric(
+                    &|| build_masked_team_rc_system_sym(ty.clone(), &w, &inputs),
+                    &config,
+                )
+            });
+            assert_eq!(
+                on.verdict, "Verified",
+                "{system}/{budget} must verify under rebind"
+            );
+            if off.verdict == "Verified" {
+                assert_eq!(
+                    on.leaves, off.leaves,
+                    "{system}/{budget}: weighted leaf counts must agree"
+                );
+                assert!(
+                    on.states < off.states,
+                    "{system}/{budget}: rebind must reduce states"
+                );
+            } else {
+                on.reduction_is_lower_bound = true;
+            }
+            on.reduction = off.states as f64 / on.states as f64;
+            rows.push(off);
+            rows.push(on);
+        }
+    }
+    // Fig. 4 rows: off and the honest (trivial) sym declaration — the
+    // owned round-register declaration is rejected by the validator.
+    {
+        let n = 3;
+        let budget = 1;
+        let factory = ConsensusObjectFactory { domain: 4 };
+        let inputs: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+        let horizon = 4;
+        let system = format!("SimultaneousRc n={n}");
+        let config = ExploreConfig {
+            crash: CrashModel::simultaneous(budget).after_decide(true),
+            inputs: Some(inputs.clone()),
+            ..ExploreConfig::default()
+        };
+        let off = e13_measure(&system, budget, "off", &config, &|| {
+            explore(
+                &|| build_simultaneous_rc_system(&factory, &inputs, horizon),
+                &config,
+            )
+        });
+        let slots = e13_measure(&system, budget, "slots", &config, &|| {
+            rc_runtime::explore_symmetric(
+                &|| build_simultaneous_rc_system_sym(&factory, &inputs, horizon),
+                &config,
+            )
+        });
+        assert_eq!(
+            (&slots.verdict, slots.states, slots.leaves),
+            (&off.verdict, off.states, off.leaves),
+            "Fig. 4's sound declaration is trivial, so outcomes are identical"
+        );
+        rows.push(off);
+        rows.push(slots);
+    }
+    let mut t = Table::new(&[
+        "system",
+        "crash budget",
+        "cap",
+        "mode",
+        "verdict",
+        "states",
+        "leaves",
+        "ms",
+        "states/sec",
+        "reduction",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.system.clone(),
+            r.crash_budget.to_string(),
+            r.max_states.to_string(),
+            r.mode.to_string(),
+            r.verdict.clone(),
+            r.states.to_string(),
+            r.leaves.to_string(),
+            format!("{:.1}", r.millis),
+            format!("{:.0}", r.states_per_sec),
+            match (r.mode, r.reduction_is_lower_bound) {
+                ("rebind", true) => format!("≥{:.1}×", r.reduction),
+                ("rebind", false) => format!("{:.1}×", r.reduction),
+                _ => "1.0×".into(),
+            },
+        ]);
+    }
+    let headline = rows
+        .iter()
+        .filter(|r| r.mode == "rebind")
+        .map(|r| {
+            (
+                r.reduction,
+                r.reduction_is_lower_bound,
+                r.system.clone(),
+                r.crash_budget,
+            )
+        })
+        .fold((0.0f64, false, String::new(), 0usize), |acc, x| {
+            if x.0 > acc.0 {
+                x
+            } else {
+                acc
+            }
+        });
+    let cap_note = if fast {
+        "(the Truncated-without-rebind demonstrations on masked S_7/S_8 run \
+         in the full sweep only)"
+    } else {
+        "the masked S_7/S_8 budget-0 rows exceed the default cap without \
+         rebind and verify exactly with it — their reductions are lower \
+         bounds"
+    };
+    let report = format!(
+        "E13 — full-state symmetry via Program::rebind (input-masked Fig. 2 \
+         team-RC: per-process mask registers permute with their owners; \
+         slots-only must keep masked processes in singleton orbits, so it \
+         equals off — asserted):\n{}\n\
+         largest recorded reduction: {}{:.1}× on {}/budget-{}; Verified \
+         rebind rows match off verdicts and weighted leaf counts exactly \
+         (asserted), witnesses replay in original pids (tested), and \
+         {cap_note}. Fig. 4 (SimultaneousRc) rows stay slots-only: every \
+         process scans every round register (line 44), so owned-cell \
+         round-register orbits are *rejected* by the owner-only soundness \
+         validation (tested in rc-core).\n",
+        t.render(),
+        if headline.1 { "≥" } else { "" },
+        headline.0,
+        headline.2,
+        headline.3,
+    );
+    (report, rows)
+}
+
+/// Renders the E11 + E12 + E13 rows as the `BENCH_explore.json`
+/// snapshot: a stable, diff-friendly record of the engine trajectory
+/// across PRs. The host core count is recorded so trajectory points from
+/// different machines stay comparable (the fused single-worker floor on
+/// a 1-core box is not a parallel win) — the CI `bench-record` job
+/// regenerates the snapshot on a multi-core runner and uploads it as an
+/// artifact.
+pub fn snapshot_json(e11: &[E11Row], e12: &[E12Row], e13: &[E13Row]) -> String {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::from("{\n");
     out.push_str(
-        "  \"regenerate\": \"cargo run -p rc-bench --release --bin tables -- e11 e12 \
+        "  \"regenerate\": \"cargo run -p rc-bench --release --bin tables -- e11 e12 e13 \
          --snapshot\",\n",
     );
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
@@ -1269,6 +1557,27 @@ pub fn snapshot_json(e11: &[E11Row], e12: &[E12Row]) -> String {
             if i + 1 == e12.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n  \"e13_rows\": [\n");
+    for (i, r) in e13.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"crash_budget\": {}, \"max_states\": {}, \
+             \"mode\": \"{}\", \"verdict\": \"{}\", \"states\": {}, \"leaves\": {}, \
+             \"millis\": {:.1}, \"states_per_sec\": {:.0}, \"reduction\": {:.1}, \
+             \"reduction_is_lower_bound\": {}}}{}\n",
+            r.system,
+            r.crash_budget,
+            r.max_states,
+            r.mode,
+            r.verdict,
+            r.states,
+            r.leaves,
+            r.millis,
+            r.states_per_sec,
+            r.reduction,
+            r.reduction_is_lower_bound,
+            if i + 1 == e13.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -1309,5 +1618,20 @@ mod tests {
         let (report, rows) = e12_symmetry_reduction(true);
         assert!(report.contains("E12"));
         assert!(rows.iter().any(|r| r.symmetry == "on" && r.reduction > 1.0));
+    }
+
+    /// The full-state sweep's invariants (slots ≡ off on masked systems,
+    /// rebind reduces with identical weighted leaves) are asserted
+    /// inside the experiment; the fast sweep exercises them, and the
+    /// snapshot renderer accepts all three row sets.
+    #[test]
+    fn full_state_sweep_runs_fast() {
+        let (report, rows) = e13_full_state_symmetry(true);
+        assert!(report.contains("E13"));
+        assert!(rows.iter().any(|r| r.mode == "rebind" && r.reduction > 1.0));
+        assert!(rows.iter().any(|r| r.mode == "slots"));
+        let json = snapshot_json(&[], &[], &rows);
+        assert!(json.contains("\"e13_rows\""));
+        assert!(json.contains("masked S_4"));
     }
 }

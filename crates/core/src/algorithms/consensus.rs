@@ -20,9 +20,10 @@
 //! under a single crash — the executable heart of the paper's claim that
 //! recoverable consensus is *harder* than consensus.
 
+use crate::algorithms::input_mask::{InnerMaker, InputMasked};
 use crate::discerning::DiscerningWitness;
 use crate::witness::Team;
-use rc_runtime::{Addr, MemOps, Memory, Program, Step, SymmetrySpec};
+use rc_runtime::{Addr, MemOps, Memory, Program, Rebinding, Step, SymmetrySpec};
 use rc_spec::{ObjectType, TypeHandle, Value};
 use std::sync::Arc;
 
@@ -219,6 +220,18 @@ impl Program for TeamConsensus {
     fn boxed_clone(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
+
+    fn rebind(&mut self, map: &Rebinding) {
+        // All Theorem-3 cells are team-shared; honest identity rebind so
+        // the masked wrapper can rebind through it.
+        self.shared.obj = map.lookup(self.shared.obj);
+        self.shared.reg_a = map.lookup(self.shared.reg_a);
+        self.shared.reg_b = map.lookup(self.shared.reg_b);
+    }
+
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        Some(vec![self.shared.obj, self.shared.reg_a, self.shared.reg_b])
+    }
 }
 
 /// Builds a complete Theorem-3 system: memory, cells, one [`TeamConsensus`]
@@ -268,6 +281,77 @@ pub fn build_team_consensus_system_sym(
         .map(|(slot, input)| (config.class_of(slot), input))
         .collect();
     (mem, programs, SymmetrySpec::from_classes(&labels))
+}
+
+/// Builds the **input-masked** Theorem-3 system: each process runs
+/// [`TeamConsensus`] under the [`InputMasked`] wrapper with a dedicated
+/// per-process mask register (written and read only by its owner).
+pub fn build_masked_team_consensus_system(
+    ty: TypeHandle,
+    witness: &DiscerningWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>) {
+    let (mem, programs, _, _) = build_masked_team_consensus(ty, witness, inputs);
+    (mem, programs)
+}
+
+/// [`build_masked_team_consensus_system`] plus its **full-state**
+/// symmetry declaration: same-class, same-input rows form orbits, and
+/// each mask register is declared as an owned cell so it permutes with
+/// its owner under [`rc_runtime::Program::rebind`].
+pub fn build_masked_team_consensus_system_sym(
+    ty: TypeHandle,
+    witness: &DiscerningWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) {
+    let (mem, programs, config, mask_regs) = build_masked_team_consensus(ty, witness, inputs);
+    let labels: Vec<(usize, &Value)> = inputs
+        .iter()
+        .enumerate()
+        .map(|(slot, input)| (config.class_of(slot), input))
+        .collect();
+    let mut spec = SymmetrySpec::from_classes(&labels);
+    for (pid, &reg) in mask_regs.iter().enumerate() {
+        spec = spec.with_owned_cells(pid, vec![reg]);
+    }
+    (mem, programs, spec)
+}
+
+/// A built masked system plus the config and per-process mask registers
+/// the `_sym` sibling derives the symmetry declaration from.
+type MaskedTeamConsensusSystem = (
+    Memory,
+    Vec<Box<dyn Program>>,
+    Arc<TeamConsensusConfig>,
+    Vec<Addr>,
+);
+
+fn build_masked_team_consensus(
+    ty: TypeHandle,
+    witness: &DiscerningWitness,
+    inputs: &[Value],
+) -> MaskedTeamConsensusSystem {
+    assert_eq!(inputs.len(), witness.len(), "one input per witness row");
+    let config = TeamConsensusConfig::new(ty, witness.clone());
+    let mut mem = Memory::new();
+    let shared = alloc_team_consensus(&mut mem, &config);
+    let mask_regs: Vec<Addr> = (0..inputs.len())
+        .map(|_| InputMasked::alloc_register(&mut mem))
+        .collect();
+    let programs: Vec<Box<dyn Program>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(slot, input)| {
+            let config = config.clone();
+            let make_inner: InnerMaker = Arc::new(move |masked: Value| {
+                Box::new(TeamConsensus::new(config.clone(), shared, slot, masked))
+                    as Box<dyn Program>
+            });
+            Box::new(InputMasked::new(mask_regs[slot], input.clone(), make_inner))
+                as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs, config, mask_regs)
 }
 
 #[cfg(test)]
@@ -389,6 +473,44 @@ mod tests {
             outcome.is_violation(),
             "a single crash suffices to break Theorem 3 on T_4: {outcome:?}"
         );
+    }
+
+    /// Full-state symmetry on the masked Theorem-3 system (crash-free —
+    /// the algorithm is deliberately not crash-safe): both team orbits
+    /// merge even though every process owns a distinguishing mask
+    /// register, with identical verdicts and weighted leaf counts and
+    /// strictly fewer states.
+    #[test]
+    fn masked_owned_cell_symmetry_reduces_and_preserves_outcomes() {
+        let (ty, w) = tn_witness(4);
+        let inputs = team_inputs(&w);
+        let config = ExploreConfig {
+            crash: CrashModel::independent(0),
+            inputs: Some(inputs.clone()),
+            ..ExploreConfig::default()
+        };
+        let off = explore(
+            &|| build_masked_team_consensus_system(ty.clone(), &w, &inputs),
+            &config,
+        );
+        let on = rc_runtime::explore_symmetric(
+            &|| build_masked_team_consensus_system_sym(ty.clone(), &w, &inputs),
+            &config,
+        );
+        let (off_states, off_leaves) = match off {
+            rc_runtime::ExploreOutcome::Verified { states, leaves } => (states, leaves),
+            other => panic!("masked T_4 crash-free must verify: {other:?}"),
+        };
+        match on {
+            rc_runtime::ExploreOutcome::Verified { states, leaves } => {
+                assert_eq!(leaves, off_leaves, "weighted leaves must match");
+                assert!(
+                    states < off_states,
+                    "owned-cell orbits must reduce ({states} vs {off_states})"
+                );
+            }
+            other => panic!("masked T_4 crash-free must verify: {other:?}"),
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! between runs ([`InputMasked::set_next_input`]) and verify the inner
 //! algorithm still sees a single stable value.
 
-use rc_runtime::{Addr, MemOps, Memory, Program, Step};
+use rc_runtime::{Addr, MemOps, Memory, Program, Rebinding, Step};
 use rc_spec::Value;
 use std::fmt;
 use std::sync::Arc;
@@ -124,11 +124,18 @@ impl Program for InputMasked {
             Pc::WriteReg => 1,
             Pc::Run => 2,
         };
-        Value::triple(
+        // The nominal input is part of the key even though it is stable
+        // per process: it stays behaviourally live across crashes (a
+        // recovery run whose register is still ⊥ writes it), so equal
+        // keys across *different* processes must imply equal nominal
+        // inputs — the honest-key contract the model checker's
+        // process-symmetry reduction validates orbit declarations with.
+        Value::Tuple(vec![
             Value::Int(pc),
+            self.nominal_input.clone(),
             self.masked.clone().unwrap_or(Value::Bottom),
             self.inner.as_ref().map_or(Value::Bottom, |p| p.state_key()),
-        )
+        ])
     }
 
     fn boxed_clone(&self) -> Box<dyn Program> {
@@ -140,6 +147,27 @@ impl Program for InputMasked {
             masked: self.masked.clone(),
             inner: self.inner.clone(),
         })
+    }
+
+    fn rebind(&mut self, map: &Rebinding) {
+        self.reg = map.lookup(self.reg);
+        if let Some(inner) = &mut self.inner {
+            inner.rebind(map);
+        }
+    }
+
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        // The wrapper touches its mask register plus everything the
+        // inner algorithm touches; probe a fresh inner when none is
+        // materialized yet (the reference set of the inner program does
+        // not depend on the masked input).
+        let inner_refs = match &self.inner {
+            Some(inner) => inner.referenced_cells()?,
+            None => (self.make_inner)(self.nominal_input.clone()).referenced_cells()?,
+        };
+        let mut cells = vec![self.reg];
+        cells.extend(inner_refs);
+        Some(cells)
     }
 }
 

@@ -18,19 +18,21 @@ mod team_rc;
 mod tournament;
 
 pub use consensus::{
-    alloc_team_consensus, build_team_consensus_system, build_team_consensus_system_sym,
-    TeamConsensus, TeamConsensusConfig, TeamConsensusShared,
+    alloc_team_consensus, build_masked_team_consensus_system,
+    build_masked_team_consensus_system_sym, build_team_consensus_system,
+    build_team_consensus_system_sym, TeamConsensus, TeamConsensusConfig, TeamConsensusShared,
 };
 pub use input_mask::{InnerMaker, InputMasked};
 pub use rc_factory::{consensus_object_rc_factory, tournament_rc_factory};
 pub use simultaneous::{
-    alloc_simultaneous_rc, build_simultaneous_rc_system, discerning_consensus_factory,
-    ConsensusFactory, ConsensusObjectFactory, FnConsensusFactory, InstanceMaker, SimultaneousRc,
-    SimultaneousRcShared,
+    alloc_simultaneous_rc, build_simultaneous_rc_system, build_simultaneous_rc_system_sym,
+    discerning_consensus_factory, ConsensusFactory, ConsensusObjectFactory, FnConsensusFactory,
+    InstanceMaker, SimultaneousRc, SimultaneousRcShared,
 };
 pub use team_rc::{
     alloc_team_rc, build_broken_team_rc_system, build_broken_team_rc_system_sym,
-    build_team_rc_system, build_team_rc_system_sym, BrokenTeamRc, TeamRc, TeamRcConfig,
-    TeamRcShared,
+    build_masked_broken_team_rc_system, build_masked_broken_team_rc_system_sym,
+    build_masked_team_rc_system, build_masked_team_rc_system_sym, build_team_rc_system,
+    build_team_rc_system_sym, BrokenTeamRc, TeamRc, TeamRcConfig, TeamRcShared,
 };
 pub use tournament::{build_tournament_consensus, build_tournament_rc, StageMaker, StagedProgram};

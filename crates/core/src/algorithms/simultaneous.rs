@@ -24,7 +24,7 @@
 //! even though it cannot under independent crashes (Corollary 20).
 
 use crate::algorithms::tournament::StageMaker;
-use rc_runtime::{Addr, MemOps, Memory, Program, Step};
+use rc_runtime::{Addr, MemOps, Memory, Program, Rebinding, Step, SymmetrySpec};
 use rc_spec::Value;
 use std::fmt;
 use std::sync::Arc;
@@ -94,6 +94,12 @@ impl Program for ProposeProgram {
     }
     fn boxed_clone(&self) -> Box<dyn Program> {
         Box::new(self.clone())
+    }
+    fn rebind(&mut self, map: &Rebinding) {
+        self.obj = map.lookup(self.obj);
+    }
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        Some(vec![self.obj])
     }
 }
 
@@ -347,6 +353,24 @@ impl Program for SimultaneousRc {
             inner: self.inner.clone(),
         })
     }
+
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        // Every Round register — the line-44 termination scan reads all
+        // of them, own and foreign alike — plus every D register and
+        // every preallocated consensus instance's cells (probed through
+        // a throwaway program; an instance's reference set does not
+        // depend on the proposed value). This honest enumeration is
+        // what makes the model checker's owned-cell validation *reject*
+        // round-register orbits: the registers are per-process but not
+        // owner-only, so they cannot soundly permute with their owners
+        // (see `build_simultaneous_rc_system_sym`).
+        let mut cells: Vec<Addr> = self.shared.round_regs.iter().copied().collect();
+        cells.extend(self.shared.d_regs.iter().copied());
+        for maker in self.shared.instances.iter() {
+            cells.extend(maker(self.pid, self.input.clone()).referenced_cells()?);
+        }
+        Some(cells)
+    }
 }
 
 /// Builds a complete Fig. 4 system for the given inputs.
@@ -366,6 +390,32 @@ pub fn build_simultaneous_rc_system(
         })
         .collect();
     (mem, programs)
+}
+
+/// [`build_simultaneous_rc_system`] plus the strongest process-symmetry
+/// declaration that is **sound** for Fig. 4 — which is the trivial one.
+///
+/// The per-process `Round[j]` registers are distinguishing shared state,
+/// so same-input processes could only share an orbit if those registers
+/// permuted with their owners (owned-cell orbits + [`Program::rebind`]).
+/// But Fig. 4's line-44 termination scan makes *every* process read
+/// *every* round register: the registers are per-process without being
+/// owner-only, and under a permutation a mid-scan process would read
+/// different registers than the original execution did at the same local
+/// state — no address rebinding makes the quotient exact (DESIGN.md §3).
+/// The model checker enforces exactly this: declaring the round
+/// registers as owned cells is rejected by the root-stabilizer
+/// validation against [`Program::referenced_cells`] (tested in
+/// `simultaneous::tests`), so this builder honestly returns
+/// [`SymmetrySpec::trivial`] and the search runs the plain engines.
+pub fn build_simultaneous_rc_system_sym(
+    factory: &dyn ConsensusFactory,
+    inputs: &[Value],
+    max_rounds: usize,
+) -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) {
+    let (mem, programs) = build_simultaneous_rc_system(factory, inputs, max_rounds);
+    let spec = SymmetrySpec::trivial(inputs.len());
+    (mem, programs, spec)
 }
 
 /// A [`ConsensusFactory`] running Theorem 3's tournament consensus on an
@@ -447,6 +497,59 @@ mod tests {
             },
         );
         assert!(outcome.is_verified(), "{outcome:?}");
+    }
+
+    /// The round registers are per-process but cross-read (the line-44
+    /// scan), so declaring them as owned cells is unsound — and the
+    /// model checker's owner-only validation rejects the declaration at
+    /// search start, naming the offending cross-reference.
+    #[test]
+    fn round_register_owned_orbits_are_rejected() {
+        let factory = ConsensusObjectFactory { domain: 4 };
+        let inputs = inputs(2);
+        let unsound = || {
+            let n = inputs.len();
+            let mut mem = Memory::new();
+            let shared = alloc_simultaneous_rc(&mut mem, &factory, n, 3);
+            let mut spec = rc_runtime::SymmetrySpec::full(n);
+            for (pid, &reg) in shared.round_regs.iter().enumerate() {
+                spec = spec.with_owned_cells(pid, vec![reg]);
+            }
+            let programs: Vec<Box<dyn Program>> = (0..n)
+                .map(|pid| {
+                    Box::new(SimultaneousRc::new(shared.clone(), pid, n, Value::Int(0)))
+                        as Box<dyn Program>
+                })
+                .collect();
+            (mem, programs, spec)
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rc_runtime::explore_symmetric(&unsound, &ExploreConfig::default())
+        }));
+        let message = *result
+            .expect_err("the owned declaration must be rejected")
+            .downcast::<String>()
+            .expect("panic payload is a String");
+        assert!(
+            message.contains("owned by p") && message.contains("referenced by p"),
+            "the rejection must name the cross-reference: {message}"
+        );
+        // The sound declaration Fig. 4 gets instead is the trivial one,
+        // which degenerates to the plain engines exactly.
+        let sym = || build_simultaneous_rc_system_sym(&factory, &inputs, 4);
+        let config = ExploreConfig {
+            crash: CrashModel::simultaneous(1).after_decide(true),
+            inputs: Some(inputs.clone()),
+            ..ExploreConfig::default()
+        };
+        let outcome = rc_runtime::explore_symmetric(&sym, &config);
+        assert_eq!(
+            outcome,
+            rc_runtime::explore(
+                &|| build_simultaneous_rc_system(&factory, &inputs, 4),
+                &config
+            ),
+        );
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! violates agreement — reproduced in this module's tests and in the
 //! `adversary` example.
 
+use crate::algorithms::input_mask::{InnerMaker, InputMasked};
 use crate::recording::RecordingWitness;
 use crate::witness::Team;
-use rc_runtime::{Addr, MemOps, Memory, Program, Step, SymmetrySpec};
+use rc_runtime::{Addr, MemOps, Memory, Program, Rebinding, Step, SymmetrySpec};
 use rc_spec::{Operation, TypeHandle, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -280,6 +281,19 @@ impl Program for TeamRc {
     fn boxed_clone(&self) -> Box<dyn Program> {
         Box::new(self.clone())
     }
+
+    fn rebind(&mut self, map: &Rebinding) {
+        // Fig. 2's cells are all team-shared (never owned by one
+        // process), so in practice this is the identity — implemented
+        // honestly so the masked wrapper can rebind through it.
+        self.shared.obj = map.lookup(self.shared.obj);
+        self.shared.reg_a = map.lookup(self.shared.reg_a);
+        self.shared.reg_b = map.lookup(self.shared.reg_b);
+    }
+
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        Some(vec![self.shared.obj, self.shared.reg_a, self.shared.reg_b])
+    }
 }
 
 /// The broken variant of Fig. 2 used to reproduce the paper's second bad
@@ -315,6 +329,12 @@ impl Program for BrokenTeamRc {
     }
     fn boxed_clone(&self) -> Box<dyn Program> {
         Box::new(self.clone())
+    }
+    fn rebind(&mut self, map: &Rebinding) {
+        self.0.rebind(map);
+    }
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        self.0.referenced_cells()
     }
 }
 
@@ -421,6 +441,120 @@ fn team_rc_symmetry(config: &TeamRcConfig, inputs: &[Value]) -> SymmetrySpec {
     SymmetrySpec::from_classes(&labels)
 }
 
+/// Builds the **input-masked** Fig. 2 system: each process runs
+/// [`TeamRc`] under the [`InputMasked`] wrapper with a dedicated
+/// per-process mask register — the introduction's transformation that
+/// removes the stable-input assumption. The mask registers are written
+/// and read only by their owners.
+pub fn build_masked_team_rc_system(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>) {
+    let (mem, programs, _, _) = build_masked_team_rc(ty, witness, inputs, false);
+    (mem, programs)
+}
+
+/// [`build_masked_team_rc_system`] plus its **full-state** symmetry
+/// declaration for [`rc_runtime::explore_symmetric`]: rows of one
+/// `(team, op)` class with equal inputs form an orbit, and each
+/// process's mask register is declared as an *owned cell*
+/// ([`SymmetrySpec::with_owned_cells`]) so it permutes together with its
+/// owner and the relocated wrapper is rebound. A slots-only declaration
+/// would have to keep every masked process in a singleton orbit (the
+/// mask registers are per-process distinguishing state), so this is the
+/// system family that needed `Program::rebind`.
+pub fn build_masked_team_rc_system_sym(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) {
+    let (mem, programs, config, mask_regs) = build_masked_team_rc(ty, witness, inputs, false);
+    (
+        mem,
+        programs,
+        masked_team_rc_symmetry(&config, inputs, &mask_regs),
+    )
+}
+
+/// The masked [`BrokenTeamRc`] system (the Section 3.1 missing-guard
+/// counterexample under input masking), for witness-replay tests of the
+/// full-state symmetry reduction on a *violating* masked system.
+pub fn build_masked_broken_team_rc_system(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>) {
+    let (mem, programs, _, _) = build_masked_team_rc(ty, witness, inputs, true);
+    (mem, programs)
+}
+
+/// [`build_masked_broken_team_rc_system`] plus its full-state symmetry
+/// declaration (orbits and owned cells as in the correct variant).
+pub fn build_masked_broken_team_rc_system_sym(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+) -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) {
+    let (mem, programs, config, mask_regs) = build_masked_team_rc(ty, witness, inputs, true);
+    (
+        mem,
+        programs,
+        masked_team_rc_symmetry(&config, inputs, &mask_regs),
+    )
+}
+
+/// A built masked system plus the config and per-process mask registers
+/// its `_sym` siblings derive the symmetry declaration from.
+type MaskedTeamRcSystem = (Memory, Vec<Box<dyn Program>>, Arc<TeamRcConfig>, Vec<Addr>);
+
+fn build_masked_team_rc(
+    ty: TypeHandle,
+    witness: &RecordingWitness,
+    inputs: &[Value],
+    broken: bool,
+) -> MaskedTeamRcSystem {
+    assert_eq!(inputs.len(), witness.len(), "one input per witness row");
+    let config = TeamRcConfig::new(ty, witness);
+    let mut mem = Memory::new();
+    let shared = alloc_team_rc(&mut mem, &config);
+    let mask_regs: Vec<Addr> = (0..inputs.len())
+        .map(|_| InputMasked::alloc_register(&mut mem))
+        .collect();
+    let programs: Vec<Box<dyn Program>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(slot, input)| {
+            let config = config.clone();
+            let make_inner: InnerMaker = Arc::new(move |masked: Value| {
+                if broken {
+                    Box::new(BrokenTeamRc::new(config.clone(), shared, slot, masked))
+                        as Box<dyn Program>
+                } else {
+                    Box::new(TeamRc::new(config.clone(), shared, slot, masked)) as Box<dyn Program>
+                }
+            });
+            Box::new(InputMasked::new(mask_regs[slot], input.clone(), make_inner))
+                as Box<dyn Program>
+        })
+        .collect();
+    (mem, programs, config, mask_regs)
+}
+
+/// The masked system's orbit partition — `(class, input)` like the
+/// unmasked variant — with each process's mask register declared owned.
+fn masked_team_rc_symmetry(
+    config: &TeamRcConfig,
+    inputs: &[Value],
+    mask_regs: &[Addr],
+) -> SymmetrySpec {
+    let mut spec = team_rc_symmetry(config, inputs);
+    for (pid, &reg) in mask_regs.iter().enumerate() {
+        spec = spec.with_owned_cells(pid, vec![reg]);
+    }
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +659,80 @@ mod tests {
                     .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
             }
         }
+    }
+
+    /// Full-state symmetry on the masked Fig. 2 system: the owned-cell
+    /// declaration merges the team-B orbit even though each process owns
+    /// a distinguishing mask register — identical verdicts and weighted
+    /// leaf counts, strictly fewer states.
+    #[test]
+    fn masked_owned_cell_symmetry_reduces_and_preserves_outcomes() {
+        let n = 3;
+        let (ty, w) = sn_witness(n);
+        let inputs = team_inputs(n);
+        for budget in [0usize, 1] {
+            let config = rc_runtime::ExploreConfig {
+                crash: CrashModel::independent(budget).after_decide(true),
+                inputs: Some(inputs.clone()),
+                ..rc_runtime::ExploreConfig::default()
+            };
+            let off = explore(
+                &|| build_masked_team_rc_system(ty.clone(), &w, &inputs),
+                &config,
+            );
+            let on = rc_runtime::explore_symmetric(
+                &|| build_masked_team_rc_system_sym(ty.clone(), &w, &inputs),
+                &config,
+            );
+            let (off_states, off_leaves) = match off {
+                rc_runtime::ExploreOutcome::Verified { states, leaves } => (states, leaves),
+                other => panic!("masked S_{n}/{budget} must verify: {other:?}"),
+            };
+            match on {
+                rc_runtime::ExploreOutcome::Verified { states, leaves } => {
+                    assert_eq!(leaves, off_leaves, "budget {budget}: weighted leaves");
+                    assert!(
+                        states < off_states,
+                        "budget {budget}: owned-cell orbits must reduce \
+                         ({states} vs {off_states})"
+                    );
+                }
+                other => panic!("masked S_{n}/{budget} must verify: {other:?}"),
+            }
+        }
+    }
+
+    /// A slots-only orbit over masked processes — distinguishing mask
+    /// registers *not* declared owned — would miscount orbit weights, so
+    /// the reference-consistency validation rejects it at search start.
+    #[test]
+    fn masked_slots_only_orbits_are_rejected() {
+        let n = 3;
+        let (ty, w) = sn_witness(n);
+        let inputs = team_inputs(n);
+        let config = TeamRcConfig::new(ty.clone(), &w);
+        let slots_only = || {
+            let (mem, programs) = build_masked_team_rc_system(ty.clone(), &w, &inputs);
+            // The unmasked orbit labels, with no owned cells: unsound
+            // over masked programs.
+            let labels: Vec<(usize, &Value)> = inputs
+                .iter()
+                .enumerate()
+                .map(|(slot, input)| (config.class_of(slot), input))
+                .collect();
+            (mem, programs, SymmetrySpec::from_classes(&labels))
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rc_runtime::explore_symmetric(&slots_only, &rc_runtime::ExploreConfig::default())
+        }));
+        let message = *result
+            .expect_err("slots-only masked orbits must be rejected")
+            .downcast::<String>()
+            .expect("panic payload is a String");
+        assert!(
+            message.contains("different shared cells"),
+            "the rejection must explain the reference mismatch: {message}"
+        );
     }
 
     /// The paper's second bad scenario (Section 3.1): without the `|B| = 1`

@@ -33,11 +33,23 @@
 //!   moving a program between slots never de-synchronizes it from the
 //!   (unmoved) memory. Systems with per-process *distinguishing* cells
 //!   (e.g. one input-masking register per process, written only by its
-//!   owner) must keep those processes in separate orbits — permuting
-//!   the cell contents under opaque program objects that still point at
-//!   their old addresses would corrupt the state, so the spec
-//!   deliberately offers no way to declare it. (Lifting this needs
-//!   program-side address rebinding; see DESIGN.md §3.)
+//!   owner) additionally declare those cells as **owned**
+//!   ([`SymmetrySpec::with_owned_cells`]): owned cells permute together
+//!   with their owners' payloads, and each relocated program is
+//!   *rebound* ([`Program::rebind`](crate::Program::rebind)) so it
+//!   points at its destination slot's cells. Soundness of the full-state
+//!   quotient needs the **owner-only rule**: a cell owned by a process
+//!   of an acting orbit may be referenced by *no other process* — then a
+//!   canonical slot's program always references exactly that slot's
+//!   cells, `(slot, state key)` still determines behaviour, and every
+//!   orbit permutation is a true system automorphism. Cross-referenced
+//!   per-process cells (e.g. `SimultaneousRc`'s round registers, which
+//!   every process scans) are *not* expressible: under a permutation the
+//!   scanning program would read other registers than the original did
+//!   at the same local state, so no rebinding makes the quotient exact.
+//!   The checker validates the rule at search start against
+//!   [`Program::referenced_cells`](crate::Program::referenced_cells)
+//!   and rejects declarations it cannot prove sound (see DESIGN.md §3).
 //!
 //! ## Canonical representative
 //!
@@ -49,6 +61,7 @@
 //! related by an orbit permutation (property-tested in
 //! `tests/proptest_runtime.rs`).
 
+use crate::memory::Addr;
 use crate::program::Pid;
 
 /// One orbit: a set of interchangeable process ids.
@@ -72,6 +85,10 @@ struct Orbit {
 pub struct SymmetrySpec {
     n: usize,
     orbits: Vec<Orbit>,
+    /// `owned[p]` — the shared cells owned by process `p`, in declared
+    /// order (position `k` of every orbit member's list corresponds).
+    /// Empty lists everywhere for a slots-only spec.
+    owned: Vec<Vec<Addr>>,
 }
 
 impl SymmetrySpec {
@@ -113,7 +130,11 @@ impl SymmetrySpec {
                 parsed.push(Orbit { pids });
             }
         }
-        SymmetrySpec { n, orbits: parsed }
+        SymmetrySpec {
+            n,
+            orbits: parsed,
+            owned: vec![Vec::new(); n],
+        }
     }
 
     /// Groups processes with equal labels into one orbit: processes are
@@ -132,6 +153,85 @@ impl SymmetrySpec {
             }
         }
         SymmetrySpec::new(labels.len(), orbits)
+    }
+
+    /// Declares that process `pid` **owns** the given shared cells: under
+    /// an orbit permutation that relocates `pid`'s payload, these cells'
+    /// contents relocate too (position `k` of the source list moves to
+    /// position `k` of the destination process's list), and the moved
+    /// program is rebound ([`Program::rebind`](crate::Program::rebind))
+    /// to its destination cells. Every member of one orbit must declare
+    /// the same number of owned cells, the cells must hold equal values
+    /// in the initial state, and no process other than the owner may
+    /// ever reference them — all validated at search start (see the
+    /// module docs for the soundness argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately if `pid` is out of range, already has an
+    /// owned-cell list (declare each process once, with its full list),
+    /// or a cell is claimed twice (by one process or by two — "claimed
+    /// by two orbits" is the cross-orbit shape of the same bug).
+    pub fn with_owned_cells(mut self, pid: Pid, cells: Vec<Addr>) -> Self {
+        assert!(pid < self.n, "owned-cell pid {pid} out of range");
+        assert!(
+            self.owned[pid].is_empty(),
+            "p{pid} already declared owned cells; declare each process \
+             once, with its complete list"
+        );
+        for &cell in &cells {
+            for (q, owned) in self.owned.iter().enumerate() {
+                assert!(
+                    !owned.contains(&cell),
+                    "cell {cell} claimed by two owners (p{q} and p{pid}); \
+                     every owned cell belongs to exactly one process"
+                );
+            }
+            assert!(
+                cells.iter().filter(|&&c| c == cell).count() == 1,
+                "cell {cell} declared twice for p{pid}"
+            );
+        }
+        self.owned[pid] = cells;
+        self
+    }
+
+    /// The cells process `p` owns (empty unless declared).
+    pub(crate) fn owned(&self, p: Pid) -> &[Addr] {
+        &self.owned[p]
+    }
+
+    /// Whether any process of an **acting** orbit owns cells — i.e.
+    /// whether canonicalization must move cell contents and rebind
+    /// programs. Owned declarations on singleton-orbit processes are
+    /// inert (singletons never move).
+    pub(crate) fn has_moving_owned_cells(&self) -> bool {
+        self.acting_orbits()
+            .any(|pids| pids.iter().any(|&p| !self.owned[p].is_empty()))
+    }
+
+    /// Validates the owned-cell shape against the orbits: members of one
+    /// acting orbit must declare the same number of owned cells (the
+    /// lists correspond position by position).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mismatch, naming the orbit.
+    pub(crate) fn validate_owned_shape(&self) {
+        for pids in self.acting_orbits() {
+            let first = self.owned[pids[0]].len();
+            for &p in &pids[1..] {
+                assert_eq!(
+                    self.owned[p].len(),
+                    first,
+                    "orbit {pids:?} members declare differing owned-cell \
+                     counts (p{} owns {first}, p{p} owns {}); owned cells \
+                     permute position-for-position within an orbit",
+                    pids[0],
+                    self.owned[p].len(),
+                );
+            }
+        }
     }
 
     /// Number of processes the spec describes.
@@ -160,8 +260,9 @@ impl SymmetrySpec {
     /// `s`'s payload, or `None` when the state is already canonical.
     ///
     /// The signature must be *total* over everything the permutation
-    /// moves — program state and decided flag — or sorting would not be
-    /// a canonical form.
+    /// moves — program state, decided flag and (when declared) the
+    /// values of the process's owned cells — or sorting would not be a
+    /// canonical form.
     pub fn canonical_perm_with<K: Ord>(&self, mut sig: impl FnMut(Pid) -> K) -> Option<Box<[u8]>> {
         let mut perm: Option<Box<[u8]>> = None;
         for pids in self.acting_orbits() {
@@ -293,5 +394,50 @@ mod tests {
     #[should_panic(expected = "two orbits")]
     fn overlapping_orbits_are_rejected() {
         let _ = SymmetrySpec::new(3, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    fn addr(i: usize) -> Addr {
+        Addr(i)
+    }
+
+    #[test]
+    fn owned_cells_track_their_processes() {
+        let spec = SymmetrySpec::full(3)
+            .with_owned_cells(0, vec![addr(3)])
+            .with_owned_cells(1, vec![addr(4)])
+            .with_owned_cells(2, vec![addr(5)]);
+        assert!(spec.has_moving_owned_cells());
+        assert_eq!(spec.owned(1), &[addr(4)]);
+        spec.validate_owned_shape();
+        // Owned cells on singleton orbits never move.
+        let inert = SymmetrySpec::trivial(2).with_owned_cells(0, vec![addr(2)]);
+        assert!(!inert.has_moving_owned_cells());
+        // A slots-only spec owns nothing.
+        assert!(!SymmetrySpec::full(3).has_moving_owned_cells());
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed by two owners")]
+    fn doubly_claimed_cell_is_rejected() {
+        let _ = SymmetrySpec::new(4, vec![vec![0, 1], vec![2, 3]])
+            .with_owned_cells(0, vec![addr(7)])
+            .with_owned_cells(2, vec![addr(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already declared owned cells")]
+    fn redeclaring_a_process_is_rejected() {
+        let _ = SymmetrySpec::full(2)
+            .with_owned_cells(0, vec![addr(0)])
+            .with_owned_cells(0, vec![addr(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "differing owned-cell counts")]
+    fn uneven_owned_counts_within_an_orbit_are_rejected() {
+        SymmetrySpec::full(2)
+            .with_owned_cells(0, vec![addr(0), addr(1)])
+            .with_owned_cells(1, vec![addr(2)])
+            .validate_owned_shape();
     }
 }

@@ -75,7 +75,7 @@ use crate::canon::{self, SymmetrySpec};
 use crate::crash::CrashModel;
 use crate::intern::{Resolved, ShardInterner, ShardedStateTable, StateTable, ValueInterner};
 use crate::memory::{Cell, MemOps, Memory};
-use crate::program::{Program, Step};
+use crate::program::{Pid, Program, Rebinding, Step};
 use crate::sched::Action;
 use rc_spec::{Operation, Value};
 use std::hash::Hasher;
@@ -989,6 +989,19 @@ fn schedule_to(
 /// members to start with identical program objects — asserted through
 /// equal root [`Program::state_key`]s, the same completeness contract
 /// the memoization relies on.
+///
+/// Declared **owned cells** are additionally validated here, at search
+/// start, so an unsound declaration can never corrupt a search:
+///
+/// * the owned lists of one orbit's members correspond (equal lengths);
+/// * every owned cell is a real cell of this system's memory;
+/// * the root is stabilized: an orbit's owned cells hold equal values
+///   position-for-position across its members;
+/// * the **owner-only rule**: a cell owned by a process of an acting
+///   orbit is referenced by no other process — checked against
+///   [`Program::referenced_cells`], and rejected outright when any
+///   program's reference set is not enumerable (soundness cannot be
+///   established, so it is not assumed).
 fn validate_symmetry(root: &SysState, spec: &SymmetrySpec) {
     assert_eq!(
         spec.n(),
@@ -1010,22 +1023,119 @@ fn validate_symmetry(root: &SysState, spec: &SymmetrySpec) {
             );
         }
     }
+    spec.validate_owned_shape();
+    if spec.has_moving_owned_cells() {
+        validate_owned_cells(root, spec);
+    }
+    // Orbit reference consistency (best-effort, when enumerable): two
+    // members of one orbit must reference the *same* cells outside
+    // their own owned lists. A per-process distinguishing cell that is
+    // not declared owned makes orbit weights wrong — the arrangements
+    // the multinomial counts would not all be reachable states of one
+    // canonical class — so the declaration is rejected rather than
+    // silently miscounting. Programs without `referenced_cells` keep
+    // the pre-rebind status quo: the factory contract vouches for them.
+    for pids in spec.acting_orbits() {
+        let mut reference: Option<(Pid, std::collections::BTreeSet<crate::memory::Addr>)> = None;
+        for &p in pids {
+            let Some(refs) = root.programs[p].referenced_cells() else {
+                continue;
+            };
+            let shared: std::collections::BTreeSet<crate::memory::Addr> = refs
+                .into_iter()
+                .filter(|c| !spec.owned(p).contains(c))
+                .collect();
+            match &reference {
+                None => reference = Some((p, shared)),
+                Some((q, expected)) => assert_eq!(
+                    &shared, expected,
+                    "symmetry orbit {pids:?}: p{q} and p{p} reference \
+                     different shared cells outside their owned lists; \
+                     per-process cells must be declared owned \
+                     (SymmetrySpec::with_owned_cells) or the processes \
+                     kept in separate orbits"
+                ),
+            }
+        }
+    }
+}
+
+/// The owned-cell half of [`validate_symmetry`]: in-range addresses,
+/// root stabilization and the owner-only reference rule.
+fn validate_owned_cells(root: &SysState, spec: &SymmetrySpec) {
+    let cells = root.mem.cells.len();
+    // Root stabilization: owned contents equal across each orbit.
+    for pids in spec.acting_orbits() {
+        let first = pids[0];
+        for &p in pids {
+            for &cell in spec.owned(p) {
+                assert!(
+                    cell.index() < cells,
+                    "owned cell {cell} of p{p} is outside this system's \
+                     memory ({cells} cells)"
+                );
+            }
+        }
+        for &p in &pids[1..] {
+            for (k, (&a, &b)) in spec.owned(first).iter().zip(spec.owned(p)).enumerate() {
+                assert_eq!(
+                    root.mem.value_ref(a.index()),
+                    root.mem.value_ref(b.index()),
+                    "symmetry orbit {pids:?}: owned cells at position {k} \
+                     ({a} of p{first}, {b} of p{p}) differ at the root; the \
+                     orbit group must stabilize the initial state"
+                );
+            }
+        }
+    }
+    // The owner-only rule. Every process's reference set must be
+    // enumerable — an unknown set could hide a cross-reference, so the
+    // declaration is rejected rather than trusted.
+    let moving: Vec<(crate::memory::Addr, Pid)> = spec
+        .acting_orbits()
+        .flat_map(|pids| pids.iter().copied())
+        .flat_map(|p| spec.owned(p).iter().map(move |&c| (c, p)))
+        .collect();
+    for (p, prog) in root.programs.iter().enumerate() {
+        let refs = prog.referenced_cells().unwrap_or_else(|| {
+            panic!(
+                "owned cells are declared but process p{p} does not \
+                 enumerate its referenced cells \
+                 (Program::referenced_cells returned None); the owner-only \
+                 soundness rule cannot be validated, so the declaration is \
+                 rejected"
+            )
+        });
+        for &(cell, owner) in &moving {
+            assert!(
+                owner == p || !refs.contains(&cell),
+                "cell {cell} is owned by p{owner} but referenced by p{p}; \
+                 owned cells permute with their owners, so a cell may be \
+                 accessed only by the process that owns it (Fig. 4-style \
+                 global scans of per-process registers are outside the \
+                 sound fragment — see DESIGN.md §3)"
+            );
+        }
+    }
 }
 
 /// Maps `child` (and its key, resolved or placeholder-carrying) to its
 /// canonical representative under `spec`'s orbit permutations. Program
-/// slots and decided bits move together; shared memory never moves (see
-/// the `canon` module docs for why pid-indexed cells are excluded). The
-/// signature ordering is **structural** (state-key values, never
-/// interner ids), so the representative choice is identical across
+/// slots and decided bits move together; declared **owned cells** move
+/// with their owners and the relocated programs are rebound
+/// ([`Program::rebind`]) to their destination slots' cells — undeclared
+/// shared memory never moves (see the `canon` module docs for the
+/// soundness argument and the owner-only reference rule). The signature
+/// ordering is **structural** (state-key values and owned-cell `Value`s,
+/// never interner ids), so the representative choice is identical across
 /// engines, runs and thread counts — including in frontier workers whose
 /// keys still hold worker-local placeholder ids.
 ///
 /// Returns the permutation applied (`perm[i]` = source slot of canonical
 /// slot `i`), or `None` if the state was already canonical. When `moved`
-/// is given, every relocated key position is recorded as
-/// `(old_pos, new_pos)` so the caller can remap pending unresolved
-/// slots.
+/// is given, every relocated key position — program slots *and* owned
+/// cells — is recorded as `(old_pos, new_pos)` so the caller can remap
+/// pending unresolved slots.
 fn canonicalize_child(
     child: &mut SysState,
     key: &mut [u32],
@@ -1033,13 +1143,29 @@ fn canonicalize_child(
     spec: &SymmetrySpec,
     mut moved: Option<&mut Vec<(usize, usize)>>,
 ) -> Option<Box<[u8]>> {
-    let perm =
-        spec.canonical_perm_with(|p| (child.programs[p].state_key(), child.is_decided(p)))?;
+    let perm = spec.canonical_perm_with(|p| {
+        // Owned-cell values are part of the signature: the permutation
+        // moves them, so the sort must be total over them (two members
+        // with equal program keys but different owned contents are
+        // *different* payloads). Slots-only specs own nothing and pay
+        // only an empty-Vec comparison.
+        let owned: Vec<&Value> = spec
+            .owned(p)
+            .iter()
+            .map(|&a| child.mem.value_ref(a.index()))
+            .collect();
+        (child.programs[p].state_key(), child.is_decided(p), owned)
+    })?;
     // Gather every moved payload before writing anything: a slot may be
     // both a source and a destination within one orbit rotation.
     let mut progs: Vec<(usize, Arc<Box<dyn Program>>)> = Vec::new();
     let mut slots: Vec<(usize, usize, u32)> = Vec::new(); // (old, new, value)
+    let mut cells: Vec<(usize, usize, CowCell, u32)> = Vec::new(); // (old, new, content, value)
     let mut decided = child.decided;
+    // Built lazily on the first owned-cell move: most canonicalizations
+    // of slots-only specs (and moves confined to cell-less orbits) never
+    // pay the O(cells) identity allocation.
+    let mut rebinding: Option<Rebinding> = None;
     for (i, &src) in perm.iter().enumerate() {
         let src = src as usize;
         if src == i {
@@ -1048,12 +1174,38 @@ fn canonicalize_child(
         progs.push((i, child.programs[src].clone()));
         decided = (decided & !(1 << i)) | ((child.decided >> src & 1) << i);
         slots.push((layout.prog(src), layout.prog(i), key[layout.prog(src)]));
+        for (k, &dst_cell) in spec.owned(i).iter().enumerate() {
+            let src_cell = spec.owned(src)[k];
+            cells.push((
+                src_cell.index(),
+                dst_cell.index(),
+                child.mem.cells[src_cell.index()].clone(),
+                key[src_cell.index()],
+            ));
+            // The program moving src → i holds src's owned cells; after
+            // the move it must hold i's (position for position).
+            rebinding
+                .get_or_insert_with(|| Rebinding::identity(layout.cells))
+                .map(src_cell, dst_cell);
+        }
     }
     for (i, prog) in progs {
         child.programs[i] = prog;
+        if let Some(map) = rebinding.as_ref() {
+            if !spec.owned(i).is_empty() {
+                program_mut(&mut child.programs[i]).rebind(map);
+            }
+        }
     }
     child.decided = decided;
     for &(old_pos, new_pos, value) in &slots {
+        key[new_pos] = value;
+        if let Some(moved) = moved.as_deref_mut() {
+            moved.push((old_pos, new_pos));
+        }
+    }
+    for (old_pos, new_pos, content, value) in cells {
+        child.mem.cells[new_pos] = content;
         key[new_pos] = value;
         if let Some(moved) = moved.as_deref_mut() {
             moved.push((old_pos, new_pos));
@@ -1079,7 +1231,13 @@ fn leaf_weight(
     match spec {
         None => 1,
         Some(spec) => {
-            let weight = spec.orbit_weight_with(|p| (key[layout.prog(p)], state.is_decided(p)));
+            let weight = spec.orbit_weight_with(|p| {
+                // Owned-cell ids join the signature exactly as in the
+                // canonical sort: members differing only in owned
+                // contents are distinct arrangements.
+                let owned: Vec<u32> = spec.owned(p).iter().map(|a| key[a.index()]).collect();
+                (key[layout.prog(p)], state.is_decided(p), owned)
+            });
             usize::try_from(weight).expect("leaf weight fits usize")
         }
     }
@@ -2477,6 +2635,216 @@ mod tests {
             );
             assert_eq!(outputs.len(), 2, "threads {threads}");
         }
+    }
+
+    /// A mask-register-style program: writes its *own* register (owned,
+    /// never touched by anyone else), then decides what it reads back.
+    /// Implements the full-state symmetry hooks, so processes with equal
+    /// inputs form an orbit whose registers permute with them.
+    #[derive(Clone, Debug)]
+    struct OwnRegWriter {
+        reg: Addr,
+        input: Value,
+        pc: u8,
+    }
+    impl Program for OwnRegWriter {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            if self.pc == 0 {
+                mem.write_register(self.reg, self.input.clone());
+                self.pc = 1;
+                Step::Running
+            } else {
+                Step::Decided(mem.read_register(self.reg))
+            }
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
+        }
+        fn state_key(&self) -> Value {
+            Value::pair(Value::Int(i64::from(self.pc)), self.input.clone())
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+        fn rebind(&mut self, map: &crate::program::Rebinding) {
+            self.reg = map.lookup(self.reg);
+        }
+        fn referenced_cells(&self) -> Option<Vec<Addr>> {
+            Some(vec![self.reg])
+        }
+    }
+
+    fn own_reg_factory(n: usize) -> (Memory, Vec<Box<dyn Program>>, Vec<Addr>) {
+        let mut mem = Memory::new();
+        let regs: Vec<Addr> = (0..n).map(|_| mem.alloc_register(Value::Bottom)).collect();
+        let programs: Vec<Box<dyn Program>> = regs
+            .iter()
+            .map(|&reg| {
+                Box::new(OwnRegWriter {
+                    reg,
+                    input: Value::Int(1),
+                    pc: 0,
+                }) as Box<dyn Program>
+            })
+            .collect();
+        (mem, programs, regs)
+    }
+
+    /// Full-state symmetry on a system of per-process *owned* registers:
+    /// without the owned-cell declaration the registers distinguish the
+    /// processes (orbits must be singletons — no reduction); with it,
+    /// cells permute with their owners and programs are rebound, so the
+    /// orbit collapses. Verdicts and weighted leaf counts are identical,
+    /// byte-identically across engines and thread counts.
+    #[test]
+    fn owned_cell_orbits_reduce_and_preserve_leaves() {
+        let n = 3;
+        let plain = || {
+            let (mem, programs, _) = own_reg_factory(n);
+            (mem, programs)
+        };
+        let rebind = || {
+            let (mem, programs, regs) = own_reg_factory(n);
+            let mut spec = SymmetrySpec::full(n);
+            for (p, &reg) in regs.iter().enumerate() {
+                spec = spec.with_owned_cells(p, vec![reg]);
+            }
+            (mem, programs, spec)
+        };
+        let config = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(false),
+            inputs: Some(vec![Value::Int(1)]),
+            ..ExploreConfig::default()
+        };
+        let off = explore(&plain, &config);
+        let (off_states, off_leaves) = match off {
+            ExploreOutcome::Verified { states, leaves } => (states, leaves),
+            other => panic!("expected verified, got {other:?}"),
+        };
+        let (on, stats) = explore_symmetric_with_stats(&rebind, &config);
+        assert!(stats.symmetry);
+        match &on {
+            ExploreOutcome::Verified { states, leaves } => {
+                assert!(
+                    *states < off_states,
+                    "owned-cell orbits must merge permutation classes: \
+                     {states} vs {off_states}"
+                );
+                assert_eq!(*leaves, off_leaves, "weighted leaves must match");
+            }
+            other => panic!("expected verified, got {other:?}"),
+        }
+        for threads in [2usize, 3, 4] {
+            let parallel = explore_symmetric(
+                &rebind,
+                &ExploreConfig {
+                    threads,
+                    workers_override: Some(threads),
+                    shards_override: Some(threads),
+                    ..config.clone()
+                },
+            );
+            assert_eq!(on, parallel, "threads {threads}");
+        }
+    }
+
+    /// The owner-only rule: a process reading another process's owned
+    /// register makes the quotient unsound, and the declaration is
+    /// rejected at search start.
+    #[test]
+    #[should_panic(expected = "owned by p1 but referenced by p0")]
+    fn cross_referenced_owned_cell_is_rejected() {
+        /// Reads p0's register instead of its own — the Fig. 4
+        /// round-scan shape in miniature.
+        #[derive(Clone, Debug)]
+        struct Spy {
+            own: Addr,
+            other: Addr,
+        }
+        impl Program for Spy {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                mem.write_register(self.own, Value::Int(1));
+                Step::Decided(mem.read_register(self.other))
+            }
+            fn on_crash(&mut self) {}
+            fn state_key(&self) -> Value {
+                Value::Unit
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+            fn rebind(&mut self, map: &crate::program::Rebinding) {
+                self.own = map.lookup(self.own);
+                self.other = map.lookup(self.other);
+            }
+            fn referenced_cells(&self) -> Option<Vec<Addr>> {
+                Some(vec![self.own, self.other])
+            }
+        }
+        let factory = || {
+            let mut mem = Memory::new();
+            let r0 = mem.alloc_register(Value::Bottom);
+            let r1 = mem.alloc_register(Value::Bottom);
+            let programs: Vec<Box<dyn Program>> = vec![
+                Box::new(Spy { own: r0, other: r1 }),
+                Box::new(Spy { own: r1, other: r0 }),
+            ];
+            let spec = SymmetrySpec::full(2)
+                .with_owned_cells(0, vec![r0])
+                .with_owned_cells(1, vec![r1]);
+            (mem, programs, spec)
+        };
+        let _ = explore_symmetric(&factory, &ExploreConfig::default());
+    }
+
+    /// Programs that cannot enumerate their references cannot prove the
+    /// owner-only rule, so an owned-cell declaration over them is
+    /// rejected rather than trusted.
+    #[test]
+    #[should_panic(expected = "does not enumerate its referenced cells")]
+    fn unenumerable_references_reject_owned_declarations() {
+        let factory = || {
+            let mut mem = Memory::new();
+            let r0 = mem.alloc_register(Value::Bottom);
+            let r1 = mem.alloc_register(Value::Bottom);
+            // ForgetfulDecider has no referenced_cells implementation.
+            let programs: Vec<Box<dyn Program>> = vec![
+                Box::new(ForgetfulDecider { addr: r0, pc: 0 }),
+                Box::new(ForgetfulDecider { addr: r1, pc: 0 }),
+            ];
+            let spec = SymmetrySpec::full(2)
+                .with_owned_cells(0, vec![r0])
+                .with_owned_cells(1, vec![r1]);
+            (mem, programs, spec)
+        };
+        let _ = explore_symmetric(&factory, &ExploreConfig::default());
+    }
+
+    /// An inert owned declaration (all orbits singletons) changes
+    /// nothing: the spec is trivial, so the search runs the plain
+    /// engines byte-for-byte.
+    #[test]
+    fn owned_cells_on_singleton_orbits_are_inert() {
+        let n = 2;
+        let plain = || {
+            let (mem, programs, _) = own_reg_factory(n);
+            (mem, programs)
+        };
+        let inert = || {
+            let (mem, programs, regs) = own_reg_factory(n);
+            let mut spec = SymmetrySpec::trivial(n);
+            for (p, &reg) in regs.iter().enumerate() {
+                spec = spec.with_owned_cells(p, vec![reg]);
+            }
+            (mem, programs, spec)
+        };
+        let config = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(true),
+            ..ExploreConfig::default()
+        };
+        let (outcome, stats) = explore_symmetric_with_stats(&inert, &config);
+        assert!(!stats.symmetry, "singleton orbits are trivial");
+        assert_eq!(outcome, explore(&plain, &config));
     }
 
     /// The parallel engine's violation pick is deterministic across

@@ -35,7 +35,10 @@
 //!   crash budget) with hash-consed full-fidelity state memoization
 //!   ([`ValueInterner`]), an opt-in parallel frontier mode
 //!   ([`ExploreConfig::threads`]) and opt-in process-symmetry reduction
-//!   ([`explore_symmetric`] + [`SymmetrySpec`]).
+//!   ([`explore_symmetric`] + [`SymmetrySpec`]) — including *full-state*
+//!   symmetry, where declared per-process cells permute with their
+//!   owners and relocated programs are rebound ([`Program::rebind`] +
+//!   [`SymmetrySpec::with_owned_cells`]).
 //! * [`threaded`] — a real-thread executor (`parking_lot` mutex per object,
 //!   one OS thread per process) for wall-clock benchmarks.
 //! * [`verify`] — agreement/validity/termination checkers for consensus-
@@ -101,5 +104,5 @@ pub use explore::{
 // deliberately is not.
 pub use intern::{Resolved, ShardInterner, ValueInterner};
 pub use memory::{Addr, Cell, MemOps, Memory};
-pub use program::{Pid, Program, Step};
+pub use program::{Pid, Program, Rebinding, Step};
 pub use trace::{Trace, TraceEvent};

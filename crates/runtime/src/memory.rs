@@ -7,6 +7,14 @@ use std::fmt;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Addr(pub(crate) usize);
 
+impl Addr {
+    /// The cell index behind the address (also its slot in the model
+    /// checker's flat state key).
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 impl fmt::Display for Addr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "@{}", self.0)

@@ -1,11 +1,77 @@
 //! The [`Program`] trait: algorithms as crashable state machines.
 
-use crate::memory::MemOps;
+use crate::memory::{Addr, MemOps};
 use rc_spec::Value;
 use std::fmt;
 
 /// A process identifier, `0..n`.
 pub type Pid = usize;
+
+/// A shared-cell address remapping, handed to [`Program::rebind`] by the
+/// model checker's full-state symmetry reduction.
+///
+/// When an orbit permutation moves a process's payload to another slot,
+/// the cells that process *owns* (see
+/// [`SymmetrySpec::with_owned_cells`](crate::SymmetrySpec::with_owned_cells))
+/// move with it — and the relocated program must be told its cells' new
+/// addresses. The map is total over the system's cells and is the
+/// identity everywhere except the owned cells of the moved processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rebinding {
+    /// `map[a]` is the new address of old address `a`.
+    map: Vec<Addr>,
+}
+
+impl Rebinding {
+    /// The identity map over a memory of `cells` addresses.
+    pub fn identity(cells: usize) -> Self {
+        Rebinding {
+            map: (0..cells).map(Addr).collect(),
+        }
+    }
+
+    /// Redirects `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is outside the memory the map was built for.
+    pub fn map(&mut self, from: Addr, to: Addr) {
+        self.map[from.0] = to;
+    }
+
+    /// The new address of `addr`. Programs implement
+    /// [`Program::rebind`] by replacing every held address `a` with
+    /// `lookup(a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the memory the map was built for.
+    pub fn lookup(&self, addr: Addr) -> Addr {
+        self.map[addr.0]
+    }
+
+    /// The inverse map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not a bijection.
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![None; self.map.len()];
+        for (from, to) in self.map.iter().enumerate() {
+            assert!(
+                inv[to.0].is_none(),
+                "rebinding is not a bijection: two addresses map to {to}"
+            );
+            inv[to.0] = Some(Addr(from));
+        }
+        Rebinding {
+            map: inv
+                .into_iter()
+                .map(|a| a.expect("bijection covers every address"))
+                .collect(),
+        }
+    }
+}
 
 /// The outcome of one program step.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,6 +125,39 @@ pub trait Program: fmt::Debug + Send + Sync {
     /// Clones the program as a boxed trait object (used by the model
     /// checker to branch the search).
     fn boxed_clone(&self) -> Box<dyn Program>;
+
+    /// Remaps every shared-cell address the program holds: each held
+    /// [`Addr`] — including addresses inside nested programs and
+    /// captured layouts — must be replaced by [`Rebinding::lookup`] of
+    /// it. The model checker's full-state symmetry reduction calls this
+    /// when an orbit permutation relocates the program together with its
+    /// owned cells; rebinding must not change
+    /// [`state_key`](Program::state_key) (addresses are identity, not
+    /// volatile state — two rebound copies of one program differ only in
+    /// *where* they point).
+    ///
+    /// The default implementation panics: it is only ever invoked for
+    /// programs of orbits that declare owned cells, and such orbits must
+    /// be built from rebindable programs.
+    fn rebind(&mut self, map: &Rebinding) {
+        let _ = map;
+        panic!(
+            "this Program does not support address rebinding; declare no \
+             owned cells for its process (SymmetrySpec::with_owned_cells)"
+        );
+    }
+
+    /// Every shared-cell address the program may access over *any*
+    /// execution (its own and all programs it may create), used by the
+    /// owned-cell soundness validation: a cell owned by a process in an
+    /// acting orbit may be referenced by **no other process** — see the
+    /// [`canon`](crate::canon) module docs. `None` (the default) means
+    /// the reference set is not enumerable; systems declaring owned
+    /// cells are then rejected at search start, because the validation
+    /// cannot establish soundness.
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        None
+    }
 }
 
 impl Clone for Box<dyn Program> {
@@ -119,6 +218,43 @@ mod tests {
         // Re-run from the beginning.
         assert_eq!(p.step(&mut mem), Step::Running);
         assert_eq!(p.step(&mut mem), Step::Decided(Value::Int(9)));
+    }
+
+    #[test]
+    fn rebinding_roundtrips_through_its_inverse() {
+        let mut map = Rebinding::identity(4);
+        // Swap cells 1 and 3 (the shape an orbit transposition produces).
+        map.map(Addr(1), Addr(3));
+        map.map(Addr(3), Addr(1));
+        assert_eq!(map.lookup(Addr(0)), Addr(0));
+        assert_eq!(map.lookup(Addr(1)), Addr(3));
+        let inv = map.inverse();
+        for a in 0..4 {
+            assert_eq!(inv.lookup(map.lookup(Addr(a))), Addr(a));
+        }
+        assert_eq!(Rebinding::identity(4).inverse(), Rebinding::identity(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn non_bijective_rebinding_has_no_inverse() {
+        let mut map = Rebinding::identity(3);
+        map.map(Addr(0), Addr(2));
+        let _ = map.inverse();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support address rebinding")]
+    fn default_rebind_panics() {
+        let mut mem = Memory::new();
+        let addr = mem.alloc_register(Value::Bottom);
+        let mut p = TwoStep {
+            addr,
+            input: Value::Int(1),
+            pc: 0,
+        };
+        assert_eq!(p.referenced_cells(), None, "default is not enumerable");
+        p.rebind(&Rebinding::identity(1));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
 use rc_runtime::{
-    explore, run, CrashModel, ExploreConfig, MemOps, Memory, Program, Resolved, RunOptions,
-    ShardInterner, Step, SymmetrySpec, ValueInterner,
+    explore, run, Addr, CrashModel, ExploreConfig, MemOps, Memory, Program, Rebinding, Resolved,
+    RunOptions, ShardInterner, Step, SymmetrySpec, ValueInterner,
 };
 use rc_spec::Value;
 
@@ -483,6 +483,128 @@ proptest! {
         let mut class: std::collections::BTreeSet<Vec<u8>> = std::collections::BTreeSet::new();
         permute_within_orbits(&labels, &mut sigs.clone(), 0, &mut class);
         prop_assert_eq!(weight, class.len() as u64);
+    }
+
+    /// Full-state canonicalization — signatures enriched with owned-cell
+    /// values, as the engine builds them for owned-cell orbits — is
+    /// invariant under orbit permutations that move program payloads and
+    /// owned contents *together* (exactly what `canonicalize_child`
+    /// does). The slots-only invariance test above is the owned = ∅
+    /// special case.
+    #[test]
+    fn owned_cell_canonical_form_is_invariant_under_orbit_permutations(
+        labels in proptest::collection::vec(0u8..3, 1..7),
+        sigs_seed in proptest::collection::vec(0u8..3, 7..8),
+        owned_seed in proptest::collection::vec(0u8..3, 7..8),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let n = labels.len();
+        let spec = SymmetrySpec::from_classes(&labels);
+        let sigs: Vec<(u8, u8)> = (0..n)
+            .map(|i| (sigs_seed[i % sigs_seed.len()], owned_seed[i % owned_seed.len()]))
+            .collect();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for label in 0u8..3 {
+            let members: Vec<usize> = (0..n).filter(|&i| labels[i] == label).collect();
+            let mut shuffled = members.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                shuffled.swap(i, j);
+            }
+            for (&dst, &src) in members.iter().zip(&shuffled) {
+                perm[dst] = src;
+            }
+        }
+        // Program payload and owned-cell content travel together.
+        let permuted: Vec<(u8, u8)> = (0..n).map(|i| sigs[perm[i]]).collect();
+        let canonical = |v: &[(u8, u8)]| -> Vec<(u8, u8)> {
+            match spec.canonical_perm_with(|p| v[p]) {
+                None => v.to_vec(),
+                Some(perm) => perm.iter().map(|&s| v[s as usize]).collect(),
+            }
+        };
+        prop_assert_eq!(canonical(&sigs), canonical(&permuted));
+    }
+
+    /// On systems without owned cells the engine's enriched signature
+    /// degenerates to the slots-only one: the canonical permutation
+    /// computed from `(sig, ∅)` tuples equals the one computed from bare
+    /// sigs, for every spec and signature vector (brute-force agreement
+    /// at small n).
+    #[test]
+    fn empty_owned_signatures_agree_with_slots_only_canonicalization(
+        labels in proptest::collection::vec(0u8..3, 1..7),
+        sigs_seed in proptest::collection::vec(0u8..4, 7..8),
+    ) {
+        let n = labels.len();
+        let spec = SymmetrySpec::from_classes(&labels);
+        let sigs: Vec<u8> = (0..n).map(|i| sigs_seed[i % sigs_seed.len()]).collect();
+        let slots_only = spec.canonical_perm_with(|p| sigs[p]);
+        let empty_owned =
+            spec.canonical_perm_with(|p| (sigs[p], Vec::<u8>::new()));
+        prop_assert_eq!(slots_only, empty_owned);
+    }
+
+    /// `rebind ∘ rebind⁻¹` is the identity on programs: remapping a
+    /// program's addresses by a random cell bijection and then by its
+    /// inverse restores the original reference list, whatever subset of
+    /// cells the program holds.
+    #[test]
+    fn rebind_roundtrips_through_the_inverse_map(
+        cells in 2usize..8,
+        picks in proptest::collection::vec(any::<u16>(), 1..6),
+        shuffle_seed in any::<u64>(),
+    ) {
+        /// Holds an arbitrary list of addresses and rebinds them all.
+        #[derive(Clone, Debug)]
+        struct AddrHolder(Vec<Addr>);
+        impl Program for AddrHolder {
+            fn step(&mut self, _: &mut dyn MemOps) -> Step {
+                Step::Decided(Value::Unit)
+            }
+            fn on_crash(&mut self) {}
+            fn state_key(&self) -> Value {
+                Value::Unit
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+            fn rebind(&mut self, map: &Rebinding) {
+                for a in &mut self.0 {
+                    *a = map.lookup(*a);
+                }
+            }
+            fn referenced_cells(&self) -> Option<Vec<Addr>> {
+                Some(self.0.clone())
+            }
+        }
+        let mut mem = Memory::new();
+        let addrs: Vec<Addr> = (0..cells).map(|_| mem.alloc_register(Value::Bottom)).collect();
+        // A random bijection over the cells (Fisher–Yates).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        let mut target: Vec<usize> = (0..cells).collect();
+        for i in (1..cells).rev() {
+            let j = rng.gen_range(0..i + 1);
+            target.swap(i, j);
+        }
+        let mut map = Rebinding::identity(cells);
+        for (from, &to) in target.iter().enumerate() {
+            map.map(addrs[from], addrs[to]);
+        }
+        let original: Vec<Addr> = picks
+            .iter()
+            .map(|&p| addrs[p as usize % cells])
+            .collect();
+        let mut program = AddrHolder(original.clone());
+        program.rebind(&map);
+        program.rebind(&map.inverse());
+        prop_assert_eq!(program.referenced_cells(), Some(original));
+        // State keys never change under rebinding (the documented
+        // contract: addresses are identity, not volatile state).
+        prop_assert_eq!(program.state_key(), Value::Unit);
     }
 
     /// Memory state keys change exactly when contents change.

@@ -8,15 +8,20 @@
 //! the parallel frontier's whole-level cap overshoot).
 //!
 //! CI runs this suite under `EXPLORE_TEST_THREADS` ∈ {2, 8} ×
-//! `EXPLORE_TEST_SYMMETRY` ∈ {on, off} (see `.github/workflows/ci.yml`).
-//! The thread counts are routed through
-//! `ExploreConfig::workers_override` / `shards_override`, so the forced
-//! multi-worker, multi-shard pipeline really runs — even on single-core
-//! runners, where the machine-aware policy used to clamp every level to
-//! the fused single-worker path and silently neutralize the matrix.
+//! `EXPLORE_TEST_SYMMETRY` ∈ {on, off, rebind} (see
+//! `.github/workflows/ci.yml`); `rebind` exercises the full-state mode —
+//! input-masked systems whose per-process mask registers permute with
+//! their owners under `Program::rebind`. The thread counts are routed
+//! through `ExploreConfig::workers_override` / `shards_override`, so the
+//! forced multi-worker, multi-shard pipeline really runs — even on
+//! single-core runners, where the machine-aware policy used to clamp
+//! every level to the fused single-worker path and silently neutralize
+//! the matrix.
 
 use rc_core::algorithms::{
-    build_broken_team_rc_system, build_team_rc_system, build_team_rc_system_sym,
+    build_broken_team_rc_system, build_masked_broken_team_rc_system,
+    build_masked_broken_team_rc_system_sym, build_masked_team_rc_system,
+    build_masked_team_rc_system_sym, build_team_rc_system, build_team_rc_system_sym,
 };
 use rc_core::{check_recording, Assignment, RecordingWitness, Team};
 use rc_runtime::sched::{
@@ -55,16 +60,30 @@ fn thread_counts() -> Vec<usize> {
     counts
 }
 
-/// Which symmetry modes the equivalence tests exercise: both by default;
-/// the CI matrix narrows to one via `EXPLORE_TEST_SYMMETRY` ∈
-/// {`on`, `off`}. Anything else fails loudly.
-fn symmetry_modes() -> Vec<bool> {
+/// A symmetry mode of the equivalence matrix: plain search, slots-only
+/// orbits (PR 4's reduction) or full-state rebind (owned mask registers
+/// permuting with their owners on the input-masked systems).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SymMode {
+    Off,
+    Slots,
+    Rebind,
+}
+
+/// Which symmetry modes the equivalence tests exercise: all three by
+/// default; the CI matrix narrows to one via `EXPLORE_TEST_SYMMETRY` ∈
+/// {`on`, `off`, `rebind`} (`on` is the slots-only mode, keeping the
+/// matrix value PR 4 introduced). Anything else fails loudly.
+fn symmetry_modes() -> Vec<SymMode> {
     match std::env::var("EXPLORE_TEST_SYMMETRY") {
-        Err(_) => vec![false, true],
+        Err(_) => vec![SymMode::Off, SymMode::Slots, SymMode::Rebind],
         Ok(raw) => match raw.trim() {
-            "on" => vec![true],
-            "off" => vec![false],
-            other => panic!("EXPLORE_TEST_SYMMETRY must be `on` or `off`, got {other:?}"),
+            "on" => vec![SymMode::Slots],
+            "off" => vec![SymMode::Off],
+            "rebind" => vec![SymMode::Rebind],
+            other => {
+                panic!("EXPLORE_TEST_SYMMETRY must be `on`, `off` or `rebind`, got {other:?}")
+            }
         },
     }
 }
@@ -100,9 +119,10 @@ fn sn_system(n: usize) -> (TypeHandle, RecordingWitness, Vec<Value>) {
 }
 
 /// `explore` vs the parallel engine on the E2 systems, across thread
-/// counts, with symmetry off *and* on: byte-identical `Verified`
-/// outcomes (state *and* leaf counts). Each thread count runs twice —
-/// once under the default machine-aware worker policy
+/// counts, with symmetry off, slots-only *and* full-rebind (the latter
+/// on the input-masked variant of the same systems): byte-identical
+/// `Verified` outcomes (state *and* leaf counts). Each thread count runs
+/// twice — once under the default machine-aware worker policy
 /// (`explore_parallel`) and once with the staged pipeline forced
 /// (`parallel_config`), so single-core hosts exercise real multi-worker
 /// levels too.
@@ -112,21 +132,29 @@ fn engines_agree_on_e2_systems() {
         let (ty, w, inputs) = sn_system(n);
         let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
         let sym_factory = || build_team_rc_system_sym(ty.clone(), &w, &inputs);
+        let masked_sym_factory = || build_masked_team_rc_system_sym(ty.clone(), &w, &inputs);
         for budget in [0usize, 1, 2] {
             let config = ExploreConfig {
                 crash: CrashModel::independent(budget).after_decide(true),
                 inputs: Some(inputs.clone()),
                 ..ExploreConfig::default()
             };
-            for symmetry in symmetry_modes() {
-                let serial = if symmetry {
-                    explore_symmetric(&sym_factory, &config)
-                } else {
-                    explore(&factory, &config)
+            for mode in symmetry_modes() {
+                // The masked S_3/budget-2 instance is an order of
+                // magnitude bigger; the full-rebind mode covers it at
+                // budgets 0–1 (E13 measures the larger instances in
+                // release mode).
+                if mode == SymMode::Rebind && n >= 3 && budget >= 2 {
+                    continue;
+                }
+                let serial = match mode {
+                    SymMode::Off => explore(&factory, &config),
+                    SymMode::Slots => explore_symmetric(&sym_factory, &config),
+                    SymMode::Rebind => explore_symmetric(&masked_sym_factory, &config),
                 };
                 assert!(
                     matches!(serial, ExploreOutcome::Verified { .. }),
-                    "S_{n} budget {budget} symmetry {symmetry} must verify: {serial:?}"
+                    "S_{n} budget {budget} mode {mode:?} must verify: {serial:?}"
                 );
                 for threads in thread_counts() {
                     for forced in [false, true] {
@@ -138,17 +166,16 @@ fn engines_agree_on_e2_systems() {
                                 ..config.clone()
                             }
                         };
-                        let parallel = if symmetry {
-                            explore_symmetric(&sym_factory, &threaded)
-                        } else if forced {
-                            explore(&factory, &threaded)
-                        } else {
-                            explore_parallel(&factory, &threaded)
+                        let parallel = match mode {
+                            SymMode::Off if forced => explore(&factory, &threaded),
+                            SymMode::Off => explore_parallel(&factory, &threaded),
+                            SymMode::Slots => explore_symmetric(&sym_factory, &threaded),
+                            SymMode::Rebind => explore_symmetric(&masked_sym_factory, &threaded),
                         };
                         assert_eq!(
                             serial, parallel,
                             "S_{n} budget {budget} threads {threads} forced {forced} \
-                             symmetry {symmetry}: engines must agree byte-for-byte"
+                             mode {mode:?}: engines must agree byte-for-byte"
                         );
                     }
                 }
@@ -690,6 +717,150 @@ fn symmetric_search_finds_the_broken_guard_violation() {
         other => panic!("the broken guard must fail: {other:?}"),
     };
     let (mut mem, mut programs) = build_broken_team_rc_system(cas.clone(), &w, &inputs);
+    let mut sched = ScriptedScheduler::then_finish(schedule);
+    let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+    let err = check_consensus_execution(&exec, &inputs)
+        .expect_err("the replayed witness must violate agreement");
+    assert!(err.to_string().contains("agreement"), "{err}");
+}
+
+/// Full-state symmetry (owned mask registers + `Program::rebind`) on the
+/// masked E2 systems: identical verdicts and weighted leaf counts to the
+/// plain masked search, strictly fewer states (the mask registers no
+/// longer block the team-B orbit), byte-identical across thread counts
+/// 1/2/8.
+#[test]
+fn rebind_on_off_equivalence_on_masked_systems() {
+    for n in [2usize, 3] {
+        let (ty, w, inputs) = sn_system(n);
+        let factory = || build_masked_team_rc_system(ty.clone(), &w, &inputs);
+        let sym_factory = || build_masked_team_rc_system_sym(ty.clone(), &w, &inputs);
+        for budget in [0usize, 1] {
+            let config = ExploreConfig {
+                crash: CrashModel::independent(budget).after_decide(true),
+                inputs: Some(inputs.clone()),
+                ..ExploreConfig::default()
+            };
+            let (off_states, off_leaves) = match explore(&factory, &config) {
+                ExploreOutcome::Verified { states, leaves } => (states, leaves),
+                other => panic!("masked S_{n} budget {budget} must verify: {other:?}"),
+            };
+            let mut outcomes = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let threaded = if threads == 1 {
+                    config.clone()
+                } else {
+                    parallel_config(&config, threads)
+                };
+                outcomes.push(explore_symmetric(&sym_factory, &threaded));
+            }
+            for on in &outcomes[1..] {
+                assert_eq!(
+                    on, &outcomes[0],
+                    "masked S_{n} budget {budget}: rebind outcomes must be \
+                     byte-identical across thread counts"
+                );
+            }
+            match &outcomes[0] {
+                ExploreOutcome::Verified { states, leaves } => {
+                    assert_eq!(
+                        *leaves, off_leaves,
+                        "masked S_{n} budget {budget}: weighted leaf counts \
+                         must match the plain engine"
+                    );
+                    if n >= 3 {
+                        assert!(
+                            *states < off_states,
+                            "masked S_{n} budget {budget}: owned-cell orbits \
+                             must merge the team-B processes ({states} vs \
+                             {off_states})"
+                        );
+                    } else {
+                        assert_eq!(*states, off_states, "masked S_2 has no orbit to merge");
+                    }
+                }
+                other => panic!("masked S_{n} budget {budget} must verify: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Witnesses from a full-rebind symmetric search replay in *original*
+/// process ids: the validity-violation schedule reported on the masked
+/// system replays, action for action, on the original (never-permuted,
+/// never-rebound) masked system — at thread counts 1/2/8.
+#[test]
+fn rebind_witness_replays_on_the_original_masked_system() {
+    let (ty, w, inputs) = sn_system(3);
+    let bogus = vec![Value::Int(7)];
+    let sym_factory = || build_masked_team_rc_system_sym(ty.clone(), &w, &inputs);
+    for threads in [1usize, 2, 8] {
+        let base = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(true),
+            inputs: Some(bogus.clone()),
+            ..ExploreConfig::default()
+        };
+        let config = if threads == 1 {
+            base
+        } else {
+            parallel_config(&base, threads)
+        };
+        let schedule = match explore_symmetric(&sym_factory, &config) {
+            ExploreOutcome::Violation { schedule, .. } => schedule,
+            other => panic!("bogus inputs must violate validity: {other:?}"),
+        };
+        let (mut mem, mut programs) = build_masked_team_rc_system(ty.clone(), &w, &inputs);
+        let mut sched = ScriptedScheduler::then_finish(schedule.clone());
+        let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
+        check_consensus_execution(&exec, &bogus).expect_err(
+            "the replayed witness must reproduce the validity violation \
+             on the original masked system",
+        );
+    }
+}
+
+/// The **masked-program counterexample**: the broken Fig. 2 guard under
+/// input masking. The full-rebind search merges the masked team-B orbit,
+/// still finds the Section 3.1 agreement violation, and its witness —
+/// un-permuted *and* un-rebound — replays on the original masked broken
+/// system to the same agreement failure.
+#[test]
+fn rebind_search_finds_the_masked_broken_guard_violation() {
+    use rc_core::find_recording_witness;
+    use rc_spec::types::Cas;
+    let cas: TypeHandle = Arc::new(Cas::new(2));
+    let w = find_recording_witness(&cas, 3)
+        .expect("cas witness")
+        .normalized();
+    let w = if w.assignment.team_size(Team::B) >= 2 {
+        w
+    } else {
+        RecordingWitness {
+            assignment: w.assignment.swap_teams(),
+            q_a: w.q_b.clone(),
+            q_b: w.q_a.clone(),
+        }
+    };
+    let inputs: Vec<Value> = w
+        .assignment
+        .teams
+        .iter()
+        .map(|t| match t {
+            Team::A => Value::Int(0),
+            Team::B => Value::Int(1),
+        })
+        .collect();
+    let sym_factory = || build_masked_broken_team_rc_system_sym(cas.clone(), &w, &inputs);
+    let config = ExploreConfig {
+        crash: CrashModel::none(),
+        inputs: Some(inputs.clone()),
+        ..ExploreConfig::default()
+    };
+    let schedule = match explore_symmetric(&sym_factory, &config) {
+        ExploreOutcome::Violation { schedule, .. } => schedule,
+        other => panic!("the masked broken guard must fail: {other:?}"),
+    };
+    let (mut mem, mut programs) = build_masked_broken_team_rc_system(cas.clone(), &w, &inputs);
     let mut sched = ScriptedScheduler::then_finish(schedule);
     let exec = run(&mut mem, &mut programs, &mut sched, RunOptions::default());
     let err = check_consensus_execution(&exec, &inputs)
