@@ -1,14 +1,16 @@
-//! Prints every experiment table (E1–E13); pass experiment ids to select
+//! Prints every experiment table (E1–E14); pass experiment ids to select
 //! a subset, `--fast` for smaller sample counts, `--snapshot` (with e11,
-//! e12 and e13) to refresh `BENCH_explore.json`, and `--list` to print
-//! the experiment ids one per line (CI diffs that against
-//! EXPERIMENTS.md):
+//! e12 and e13) to refresh `BENCH_explore.json`, `--list` to print the
+//! experiment ids one per line (CI diffs that against EXPERIMENTS.md),
+//! and `lint` to run the E14 catalog access-declaration audit as a gate
+//! (exit non-zero if any system fails):
 //!
 //! ```sh
 //! cargo run -p rc-bench --release --bin tables           # everything
 //! cargo run -p rc-bench --release --bin tables -- e4 e5  # a subset
 //! cargo run -p rc-bench --release --bin tables -- e11 e12 e13 --fast --snapshot
 //! cargo run -p rc-bench --release --bin tables -- --list
+//! cargo run -p rc-bench --release --bin tables -- lint
 //! ```
 //!
 //! Unknown experiment ids and flags exit non-zero with the list of valid
@@ -30,6 +32,16 @@ fn main() {
     if args.list {
         for id in cli::EXPERIMENT_IDS {
             println!("{id}");
+        }
+        return;
+    }
+
+    if args.lint {
+        let (report, clean) = exp::e14_catalog_lint();
+        println!("{report}");
+        if !clean {
+            eprintln!("tables: catalog lint failed (see errors above)");
+            std::process::exit(1);
         }
         return;
     }
@@ -88,6 +100,14 @@ fn main() {
         let (report, rows) = exp::e13_full_state_symmetry(fast);
         println!("{report}");
         e13_rows = rows;
+    }
+    if args.wants("e14") {
+        let (report, clean) = exp::e14_catalog_lint();
+        println!("{report}");
+        if !clean {
+            eprintln!("tables: catalog lint failed (see errors above)");
+            std::process::exit(1);
+        }
     }
     if args.snapshot {
         // The CLI guarantees e11, e12 and e13 are all selected. The path

@@ -8,7 +8,7 @@
 
 /// Every valid experiment id, in printing order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// Parsed `tables` arguments.
@@ -22,6 +22,9 @@ pub struct TablesArgs {
     /// diffs this against the experiments indexed in EXPERIMENTS.md so
     /// the two can never drift apart.
     pub list: bool,
+    /// Run the catalog access-declaration audit (`tables lint`) and exit
+    /// non-zero if any system fails it — the CI gate form of E14.
+    pub lint: bool,
     /// Lower-cased experiment ids to print; empty means all.
     pub selected: Vec<String>,
 }
@@ -52,6 +55,7 @@ where
             "--fast" => parsed.fast = true,
             "--snapshot" => parsed.snapshot = true,
             "--list" => parsed.list = true,
+            "lint" => parsed.lint = true,
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown flag `{flag}`; valid flags: --fast, --snapshot, --list"
@@ -76,6 +80,17 @@ where
         return Err(
             "--list prints the experiment ids and exits; it cannot be combined \
              with --snapshot"
+                .into(),
+        );
+    }
+    if parsed.lint && (parsed.list || parsed.snapshot || !parsed.selected.is_empty()) {
+        // `lint` is the CI gate: it runs the audit, sets the exit code
+        // and prints nothing else. Combining it with experiment
+        // selection, `--list` or `--snapshot` would silently skip one of
+        // the two requests — same silent-no-op shape as a typo'd id.
+        return Err(
+            "`lint` runs the catalog audit and exits; it cannot be combined \
+             with experiment ids, --list or --snapshot"
                 .into(),
         );
     }
@@ -166,6 +181,33 @@ mod tests {
             parse_args(["--snapshot"]).is_ok(),
             "empty selection runs everything"
         );
+    }
+
+    /// `tables lint` is the CI gate form of E14: it parses alone (with
+    /// `--fast` allowed) and refuses experiment selection, `--list` and
+    /// `--snapshot` — each combination would silently drop a request.
+    #[test]
+    fn lint_parses_alone_and_refuses_combinations() {
+        assert!(parse_args(["lint"]).expect("valid").lint);
+        assert!(!parse_args(Vec::<&str>::new()).expect("valid").lint);
+        let fast = parse_args(["lint", "--fast"]).expect("valid");
+        assert!(fast.lint && fast.fast);
+        for combo in [
+            vec!["lint", "e4"],
+            vec!["lint", "--list"],
+            vec!["lint", "e11", "e12", "e13", "--snapshot"],
+        ] {
+            let err = parse_args(combo.clone()).expect_err("must reject");
+            assert!(err.contains("lint"), "{combo:?}: {err}");
+        }
+    }
+
+    /// `e14` is a known experiment id (the table form of the audit).
+    #[test]
+    fn e14_is_a_known_experiment_id() {
+        let args = parse_args(["E14"]).expect("e14 is valid");
+        assert!(args.wants("e14"));
+        assert!(!args.wants("e13"));
     }
 
     #[test]

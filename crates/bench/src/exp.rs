@@ -4,9 +4,12 @@ use crate::table::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rc_core::algorithms::{
-    build_broken_team_rc_system, build_masked_team_rc_system, build_masked_team_rc_system_sym,
-    build_simultaneous_rc_system, build_simultaneous_rc_system_sym, build_team_consensus_system,
-    build_team_rc_system, build_team_rc_system_sym, build_tournament_rc, ConsensusObjectFactory,
+    build_broken_team_rc_system, build_broken_team_rc_system_sym,
+    build_masked_broken_team_rc_system_sym, build_masked_team_consensus_system_sym,
+    build_masked_team_rc_system, build_masked_team_rc_system_sym, build_simultaneous_rc_system,
+    build_simultaneous_rc_system_sym, build_team_consensus_system, build_team_consensus_system_sym,
+    build_team_rc_system, build_team_rc_system_sym, build_tournament_consensus,
+    build_tournament_rc, ConsensusObjectFactory,
 };
 use rc_core::{
     check_discerning, check_recording, compute_hierarchy, find_recording_witness, is_discerning,
@@ -1580,6 +1583,255 @@ pub fn snapshot_json(e11: &[E11Row], e12: &[E12Row], e13: &[E13Row]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// A system of the lint catalog: builds the memory, the programs and
+/// (when the catalog ships one) the symmetry declaration to audit.
+pub type LintSystemFn = Box<
+    dyn Fn() -> (
+        Memory,
+        Vec<Box<dyn Program>>,
+        Option<rc_runtime::SymmetrySpec>,
+    ),
+>;
+
+/// The E14 / `tables lint` system catalog: every shipped system builder
+/// (the `_sym` variants where they exist, so the owned-cell and orbit
+/// declarations are audited too) at the instance sizes the experiments
+/// use. The paper's Fig. 7 universal construction is exercised through
+/// its RC building blocks (each `next`-pointer instance is a catalog
+/// consensus object); its workers' node-pool state space defeats the
+/// per-process fixpoint budget, so it is audited structurally via E6's
+/// history audit instead of appearing here.
+pub fn lint_catalog() -> Vec<(String, LintSystemFn)> {
+    let tn_witness = |n: usize| {
+        let tn = Tn::new(n);
+        let a = Assignment::split(
+            Tn::forget_state(),
+            vec![Tn::op_a(); n / 2],
+            vec![Tn::op_b(); n - n / 2],
+        );
+        let w = check_discerning(&tn, &a).expect("T_n witness");
+        (Arc::new(tn) as TypeHandle, w)
+    };
+    let mut catalog: Vec<(String, LintSystemFn)> = Vec::new();
+    {
+        let (ty, w) = tn_witness(4);
+        let inputs = team_inputs(&w.assignment);
+        let (ty2, w2, inputs2) = (ty.clone(), w.clone(), inputs.clone());
+        catalog.push((
+            "team consensus T_4 (sym)".into(),
+            Box::new(move || {
+                let (mem, programs, spec) =
+                    build_team_consensus_system_sym(ty.clone(), &w, &inputs);
+                (mem, programs, Some(spec))
+            }),
+        ));
+        catalog.push((
+            "masked team consensus T_4 (sym)".into(),
+            Box::new(move || {
+                let (mem, programs, spec) =
+                    build_masked_team_consensus_system_sym(ty2.clone(), &w2, &inputs2);
+                (mem, programs, Some(spec))
+            }),
+        ));
+    }
+    {
+        let (ty, w) = tn_witness(4);
+        let inputs = team_inputs(&w.assignment);
+        catalog.push((
+            "tournament consensus T_4".into(),
+            Box::new(move || {
+                let (mem, programs) = build_tournament_consensus(ty.clone(), &w, &inputs);
+                (mem, programs, None)
+            }),
+        ));
+    }
+    for (name, broken) in [("team RC", false), ("broken team RC", true)] {
+        let (ty, w) = sn_witness(3);
+        let inputs = team_inputs(&w.assignment);
+        let (ty2, w2, inputs2) = (ty.clone(), w.clone(), inputs.clone());
+        catalog.push((
+            format!("{name} S_3 (sym)"),
+            Box::new(move || {
+                let (mem, programs, spec) = if broken {
+                    build_broken_team_rc_system_sym(ty.clone(), &w, &inputs)
+                } else {
+                    build_team_rc_system_sym(ty.clone(), &w, &inputs)
+                };
+                (mem, programs, Some(spec))
+            }),
+        ));
+        catalog.push((
+            format!("masked {name} S_3 (sym)"),
+            Box::new(move || {
+                let (mem, programs, spec) = if broken {
+                    build_masked_broken_team_rc_system_sym(ty2.clone(), &w2, &inputs2)
+                } else {
+                    build_masked_team_rc_system_sym(ty2.clone(), &w2, &inputs2)
+                };
+                (mem, programs, Some(spec))
+            }),
+        ));
+    }
+    {
+        let (ty, w) = sn_witness(3);
+        let inputs: Vec<Value> = (0..3).map(|i| Value::Int(i as i64)).collect();
+        catalog.push((
+            "tournament RC S_3".into(),
+            Box::new(move || {
+                let (mem, programs) = build_tournament_rc(ty.clone(), &w, &inputs);
+                (mem, programs, None)
+            }),
+        ));
+    }
+    {
+        let inputs: Vec<Value> = (0..2i64).map(Value::Int).collect();
+        catalog.push((
+            "SimultaneousRc n=2 (sym)".into(),
+            Box::new(move || {
+                let factory = ConsensusObjectFactory { domain: 4 };
+                let (mem, programs, spec) = build_simultaneous_rc_system_sym(&factory, &inputs, 3);
+                (mem, programs, Some(spec))
+            }),
+        ));
+    }
+    catalog
+}
+
+/// One catalog system's audit result.
+pub struct E14Row {
+    /// Catalog entry name (`(sym)` marks audited symmetry declarations).
+    pub system: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Shared cells allocated by the builder.
+    pub cells: usize,
+    /// Memoized per-process local states the fixpoint visited (summed).
+    pub local_states: usize,
+    /// Instrumented step probes the fixpoint ran.
+    pub probes: usize,
+    /// Total `(process, cell)` access pairs under the **crash-free**
+    /// footprint (no `on_crash` edges).
+    pub accesses_crash_free: usize,
+    /// The same under the **crash** footprint (`on_crash` edges
+    /// included) — the sound one the lint verdict is based on.
+    pub accesses_crash: usize,
+    /// Statically-independent process pairs (disjoint write∩access
+    /// footprints), from the crash footprint.
+    pub independent_pairs: usize,
+    /// Cells touched by exactly one process: derivable owned-cell
+    /// candidates.
+    pub derived_owned: usize,
+    /// Lint errors (under-declarations, owner-only violations).
+    pub errors: Vec<String>,
+    /// Lint warnings (over-declarations, inert ownership).
+    pub warnings: Vec<String>,
+}
+
+/// Audits every catalog system; the row order is the catalog order.
+///
+/// # Panics
+///
+/// Panics if the footprint analysis itself fails on a catalog system
+/// (budget exhaustion or a contract violation) — the catalog is sized to
+/// be analyzable, so a failure is a defect, not a verdict.
+pub fn catalog_lint_rows() -> Vec<E14Row> {
+    use rc_runtime::{analyze_system, lint_system, AnalysisBudget, StaticIndependence};
+    lint_catalog()
+        .into_iter()
+        .map(|(system, build)| {
+            let (mem, programs, spec) = build();
+            let crash_free = analyze_system(&mem, &programs, false, AnalysisBudget::default())
+                .unwrap_or_else(|e| panic!("{system}: crash-free analysis failed: {e}"));
+            let report = lint_system(&mem, &programs, spec.as_ref(), AnalysisBudget::default())
+                .unwrap_or_else(|e| panic!("{system}: analysis failed: {e}"));
+            let count = |fp: &rc_runtime::SystemFootprint| -> usize {
+                fp.per_process.iter().map(|p| p.cells.len()).sum()
+            };
+            let indep = StaticIndependence::from_footprint(&report.footprint);
+            E14Row {
+                system,
+                n: programs.len(),
+                cells: mem.len(),
+                local_states: report
+                    .footprint
+                    .per_process
+                    .iter()
+                    .map(|p| p.local_states)
+                    .sum(),
+                probes: report.footprint.probes,
+                accesses_crash_free: count(&crash_free),
+                accesses_crash: count(&report.footprint),
+                independent_pairs: indep.independent_pairs().len(),
+                derived_owned: report.derived_owned.iter().map(Vec::len).sum(),
+                errors: report.errors,
+                warnings: report.warnings,
+            }
+        })
+        .collect()
+}
+
+/// E14: the catalog access-declaration audit (also the `tables lint` CI
+/// gate). Returns the rendered report and whether every system passed.
+pub fn e14_catalog_lint() -> (String, bool) {
+    let rows = catalog_lint_rows();
+    let mut t = Table::new(&[
+        "system",
+        "n",
+        "cells",
+        "local states",
+        "probes",
+        "accesses (no crash)",
+        "accesses (crash)",
+        "indep pairs",
+        "derived owned",
+        "verdict",
+    ]);
+    let mut clean = true;
+    let mut details = String::new();
+    for r in &rows {
+        let verdict = if r.errors.is_empty() {
+            if r.warnings.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("clean ({} warnings)", r.warnings.len())
+            }
+        } else {
+            clean = false;
+            format!("FAIL ({} errors)", r.errors.len())
+        };
+        t.row(&[
+            r.system.clone(),
+            r.n.to_string(),
+            r.cells.to_string(),
+            r.local_states.to_string(),
+            r.probes.to_string(),
+            r.accesses_crash_free.to_string(),
+            r.accesses_crash.to_string(),
+            r.independent_pairs.to_string(),
+            r.derived_owned.to_string(),
+            verdict,
+        ]);
+        for e in &r.errors {
+            details.push_str(&format!("  error [{}]: {e}\n", r.system));
+        }
+        for w in &r.warnings {
+            details.push_str(&format!("  warning [{}]: {w}\n", r.system));
+        }
+    }
+    let report = format!(
+        "E14 — catalog access-declaration audit (`tables lint`): every \
+         shipped system's `referenced_cells` and owned-cell declarations \
+         checked against the analyzed cell-access footprint; crash edges \
+         can only widen footprints (a re-run revisits cells from a reset \
+         pc), so the crash column is the sound basis for the verdicts and \
+         the static independence relation:\n{}{details}\
+         overall: {}\n",
+        t.render(),
+        if clean { "clean" } else { "FAIL" },
+    );
+    (report, clean)
 }
 
 #[cfg(test)]

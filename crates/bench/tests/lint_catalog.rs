@@ -1,0 +1,114 @@
+//! The E14 / `tables lint` catalog audit, as a test suite: every shipped
+//! system (in particular every `_sym` builder, whose owned-cell and
+//! orbit declarations the audit checks) must lint clean, and a seeded
+//! under-declaration must fail it — the linter is only trustworthy as a
+//! CI gate if a real defect is caught, not just absent.
+
+use rc_bench::exp::{catalog_lint_rows, e14_catalog_lint, lint_catalog};
+use rc_runtime::{lint_system, Addr, AnalysisBudget, MemOps, Program, Rebinding, Step};
+use rc_spec::Value;
+
+/// Every catalog system — all the `_sym` builders among them — passes
+/// the audit with zero errors (warnings allowed: over-declaration is a
+/// lost-reduction note, not a soundness defect).
+#[test]
+fn every_catalog_system_lints_clean() {
+    let rows = catalog_lint_rows();
+    assert!(!rows.is_empty());
+    let sym_rows = rows.iter().filter(|r| r.system.contains("(sym)")).count();
+    assert!(sym_rows >= 6, "the _sym builders are all audited");
+    for row in &rows {
+        assert!(
+            row.errors.is_empty(),
+            "{} must lint clean, got: {:?}",
+            row.system,
+            row.errors
+        );
+    }
+    let (report, clean) = e14_catalog_lint();
+    assert!(clean, "{report}");
+    assert!(report.contains("overall: clean"), "{report}");
+}
+
+/// Forwards every `Program` method to the wrapped catalog program but
+/// omits one known-accessed cell from `referenced_cells` — the seeded
+/// under-declaration the linter must catch.
+#[derive(Debug)]
+struct OmitCell {
+    inner: Box<dyn Program>,
+    omit: Addr,
+}
+
+impl Program for OmitCell {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        self.inner.step(mem)
+    }
+    fn on_crash(&mut self) {
+        self.inner.on_crash();
+    }
+    fn state_key(&self) -> Value {
+        self.inner.state_key()
+    }
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(OmitCell {
+            inner: self.inner.boxed_clone(),
+            omit: self.omit,
+        })
+    }
+    fn rebind(&mut self, map: &Rebinding) {
+        self.inner.rebind(map);
+    }
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        let cells = self.inner.referenced_cells()?;
+        Some(cells.into_iter().filter(|&c| c != self.omit).collect())
+    }
+}
+
+/// Mutation test: clone a catalog system, drop one analyzed-as-accessed
+/// cell from one process's declaration, and assert the lint fails with
+/// an under-declaration error naming the process and the rule. A linter
+/// that cannot catch this seeded defect would pass broken declarations
+/// into the owned-cell soundness validation.
+#[test]
+fn seeded_under_declaration_fails_the_lint() {
+    let mut mutated = 0usize;
+    for (system, build) in lint_catalog() {
+        let (mem, mut programs, spec) = build();
+        // Pick a cell the analysis observes p0 accessing *and* p0
+        // declares — dropping it is a genuine under-declaration.
+        let clean = lint_system(&mem, &programs, spec.as_ref(), AnalysisBudget::default())
+            .unwrap_or_else(|e| panic!("{system}: analysis failed: {e}"));
+        let Some(declared) = programs[0].referenced_cells() else {
+            continue;
+        };
+        let Some(&omit) = clean.footprint.per_process[0]
+            .cells
+            .keys()
+            .find(|c| declared.contains(c))
+        else {
+            continue;
+        };
+        programs[0] = Box::new(OmitCell {
+            inner: programs[0].boxed_clone(),
+            omit,
+        });
+        let report = lint_system(&mem, &programs, spec.as_ref(), AnalysisBudget::default())
+            .unwrap_or_else(|e| panic!("{system}: analysis failed: {e}"));
+        assert!(
+            !report.is_clean(),
+            "{system}: dropping {omit} from p0's declaration must fail the lint"
+        );
+        assert!(
+            report.errors.iter().any(|e| {
+                e.contains("p0") && e.contains("under-declares") && e.contains(&omit.to_string())
+            }),
+            "{system}: the error must name the process, rule and cell: {:?}",
+            report.errors
+        );
+        mutated += 1;
+    }
+    assert!(
+        mutated >= 6,
+        "the mutation ran across the catalog: {mutated}"
+    );
+}

@@ -25,7 +25,7 @@ use crate::algorithms::team_rc::{alloc_team_rc, TeamRc, TeamRcConfig};
 use crate::discerning::{check_discerning, DiscerningWitness};
 use crate::recording::{check_recording, RecordingWitness};
 use crate::witness::{Assignment, Team};
-use rc_runtime::{MemOps, Memory, Program, Step};
+use rc_runtime::{Addr, MemOps, Memory, Program, Step};
 use rc_spec::{TypeHandle, Value};
 use std::fmt;
 use std::sync::Arc;
@@ -113,6 +113,20 @@ impl Program for StagedProgram {
 
     fn boxed_clone(&self) -> Box<dyn Program> {
         Box::new(self.clone())
+    }
+
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        // Each stage's cell set is input-independent (the shared layout is
+        // captured by the maker closure, not derived from the stage input),
+        // so probing every maker with the original input covers all
+        // executions; the chain's footprint is the union over its stages.
+        let mut cells = Vec::new();
+        for maker in &self.stages {
+            cells.extend(maker(self.original_input.clone()).referenced_cells()?);
+        }
+        cells.sort_unstable();
+        cells.dedup();
+        Some(cells)
     }
 }
 

@@ -73,6 +73,7 @@
 
 use crate::canon::{self, SymmetrySpec};
 use crate::crash::CrashModel;
+use crate::footprint::{analyze_system, AnalysisBudget, StaticIndependence, SystemFootprint};
 use crate::intern::{Resolved, ShardInterner, ShardedStateTable, StateTable, ValueInterner};
 use crate::memory::{Cell, MemOps, Memory};
 use crate::program::{Pid, Program, Rebinding, Step};
@@ -108,6 +109,17 @@ pub struct ExploreConfig {
     /// Forces the number of visited-set shards (default:
     /// `min(threads, cores)`). Outcomes are independent of this knob.
     pub shards_override: Option<usize>,
+    /// Cross-validates the static independence relation derived by the
+    /// footprint analysis ([`crate::footprint`]): at every expanded
+    /// state, each pair of enabled steps the relation calls independent
+    /// is applied in both orders and the results asserted identical
+    /// (memory cells, both programs' state keys, decided flags and
+    /// outputs). Purely a soundness check for the POR prerequisite —
+    /// outcomes and counts are unchanged; the search only gets slower.
+    /// Panics at search start if the system defeats the analysis
+    /// (budget exhaustion): an explicit request to cross-validate an
+    /// unanalyzable system is an error, not a silent no-op.
+    pub cross_validate_independence: bool,
 }
 
 impl Default for ExploreConfig {
@@ -119,6 +131,7 @@ impl Default for ExploreConfig {
             threads: 1,
             workers_override: None,
             shards_override: None,
+            cross_validate_independence: false,
         }
     }
 }
@@ -998,11 +1011,21 @@ fn schedule_to(
 /// * the root is stabilized: an orbit's owned cells hold equal values
 ///   position-for-position across its members;
 /// * the **owner-only rule**: a cell owned by a process of an acting
-///   orbit is referenced by no other process — checked against
-///   [`Program::referenced_cells`], and rejected outright when any
-///   program's reference set is not enumerable (soundness cannot be
-///   established, so it is not assumed).
-fn validate_symmetry(root: &SysState, spec: &SymmetrySpec) {
+///   orbit is referenced by no other process — checked against the
+///   **analyzed footprint** ([`crate::footprint::analyze_system`],
+///   computed by the entry points) when the analysis converges, else
+///   against the hand-written [`Program::referenced_cells`], and
+///   rejected outright when neither is available (soundness cannot be
+///   established, so it is not assumed);
+/// * when both are available, the hand-written declaration must
+///   **cover** the analyzed footprint — an under-declaration would have
+///   silently weakened exactly this validation;
+/// * every owning member of an acting orbit really supports
+///   [`Program::rebind`] (probed with the identity map, which must also
+///   preserve [`Program::state_key`]) — a rebind-less program would
+///   otherwise panic mid-search, at the first non-identity
+///   canonicalization.
+fn validate_symmetry(root: &SysState, spec: &SymmetrySpec, analyzed: Option<&SystemFootprint>) {
     assert_eq!(
         spec.n(),
         root.programs.len(),
@@ -1025,7 +1048,7 @@ fn validate_symmetry(root: &SysState, spec: &SymmetrySpec) {
     }
     spec.validate_owned_shape();
     if spec.has_moving_owned_cells() {
-        validate_owned_cells(root, spec);
+        validate_owned_cells(root, spec, analyzed);
     }
     // Orbit reference consistency (best-effort, when enumerable): two
     // members of one orbit must reference the *same* cells outside
@@ -1061,8 +1084,9 @@ fn validate_symmetry(root: &SysState, spec: &SymmetrySpec) {
 }
 
 /// The owned-cell half of [`validate_symmetry`]: in-range addresses,
-/// root stabilization and the owner-only reference rule.
-fn validate_owned_cells(root: &SysState, spec: &SymmetrySpec) {
+/// root stabilization, rebind support and the owner-only reference
+/// rule (analyzed-footprint-first; see [`validate_symmetry`]).
+fn validate_owned_cells(root: &SysState, spec: &SymmetrySpec, analyzed: Option<&SystemFootprint>) {
     let cells = root.mem.cells.len();
     // Root stabilization: owned contents equal across each orbit.
     for pids in spec.acting_orbits() {
@@ -1088,24 +1112,45 @@ fn validate_owned_cells(root: &SysState, spec: &SymmetrySpec) {
             }
         }
     }
-    // The owner-only rule. Every process's reference set must be
-    // enumerable — an unknown set could hide a cross-reference, so the
-    // declaration is rejected rather than trusted.
+    // The owner-only rule, checked against the analyzed footprint when
+    // the analysis converged, else against the hand-written
+    // `referenced_cells`. One of the two must be available — an unknown
+    // reference set could hide a cross-reference, so the declaration is
+    // rejected rather than trusted.
     let moving: Vec<(crate::memory::Addr, Pid)> = spec
         .acting_orbits()
         .flat_map(|pids| pids.iter().copied())
         .flat_map(|p| spec.owned(p).iter().map(move |&c| (c, p)))
         .collect();
     for (p, prog) in root.programs.iter().enumerate() {
-        let refs = prog.referenced_cells().unwrap_or_else(|| {
-            panic!(
-                "owned cells are declared but process p{p} does not \
-                 enumerate its referenced cells \
-                 (Program::referenced_cells returned None); the owner-only \
-                 soundness rule cannot be validated, so the declaration is \
-                 rejected"
-            )
-        });
+        let declared = prog.referenced_cells();
+        if let (Some(fp), Some(declared)) = (analyzed, &declared) {
+            // A declaration that misses an analyzed access would have
+            // silently weakened this very validation — hard error.
+            for (&cell, modes) in &fp.per_process[p].cells {
+                assert!(
+                    declared.contains(&cell),
+                    "p{p} under-declares referenced_cells: the footprint \
+                     analysis observes an access to cell {cell} ({}) that \
+                     the declaration omits (rule: referenced_cells must \
+                     cover every cell the process may access)",
+                    modes.label()
+                );
+            }
+        }
+        let refs = analyzed
+            .map(|fp| fp.per_process[p].accessed())
+            .or(declared)
+            .unwrap_or_else(|| {
+                panic!(
+                    "owned cells are declared but process p{p} does not \
+                     enumerate its referenced cells \
+                     (Program::referenced_cells returned None) and the \
+                     footprint analysis did not converge; the owner-only \
+                     soundness rule cannot be validated, so the declaration \
+                     is rejected"
+                )
+            });
         for &(cell, owner) in &moving {
             assert!(
                 owner == p || !refs.contains(&cell),
@@ -1115,6 +1160,140 @@ fn validate_owned_cells(root: &SysState, spec: &SymmetrySpec) {
                  global scans of per-process registers are outside the \
                  sound fragment — see DESIGN.md §3)"
             );
+        }
+    }
+    // Rebind support: canonicalization will call `Program::rebind` on
+    // every relocated owner, so probe it up front (identity map on a
+    // clone) — a rebind-less program must be rejected here, at search
+    // start, not at the first non-identity permutation deep in a
+    // search. Probed last: a declaration that already violates the
+    // owner-only rule gets the semantic rejection above, not this
+    // mechanical one.
+    for pids in spec.acting_orbits() {
+        for &p in pids {
+            if spec.owned(p).is_empty() {
+                continue;
+            }
+            let mut probe = root.programs[p].boxed_clone();
+            let identity = Rebinding::identity(cells);
+            if crate::footprint::quiet_probe(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| probe.rebind(&identity)))
+            })
+            .is_err()
+            {
+                panic!(
+                    "p{p} declares owned cells but its Program does not \
+                     support address rebinding (Program::rebind panicked on \
+                     the identity map); implement rebind for it, or drop the \
+                     owned-cell declaration — `rc_runtime::lint_system` / \
+                     `tables lint` derive sound owned-cell candidates"
+                );
+            }
+            assert_eq!(
+                probe.state_key(),
+                root.programs[p].state_key(),
+                "p{p}: Program::rebind changed the state_key under the \
+                 identity map; addresses are identity, not volatile state"
+            );
+        }
+    }
+}
+
+/// Footprint-analysis artifacts, computed by the public entry points
+/// (which still hold the factory's `Memory` and programs — the engines
+/// only ever see the copy-on-write root) and threaded into the engines:
+/// the analyzed footprint feeds [`validate_symmetry`], the independence
+/// relation the dynamic cross-validation.
+#[derive(Default)]
+struct AnalysisCtx {
+    footprint: Option<SystemFootprint>,
+    independence: Option<StaticIndependence>,
+}
+
+/// Runs the footprint analysis when this search needs it: always when
+/// [`ExploreConfig::cross_validate_independence`] asks for the
+/// independence relation (analysis failure is then a panic — an
+/// explicit request must not silently no-op), and for owned-cell
+/// symmetry validation (failure there falls back to the hand-written
+/// `referenced_cells` declarations, the pre-analyzer status quo).
+fn prepare_analysis(
+    mem: &Memory,
+    programs: &[Box<dyn Program>],
+    config: &ExploreConfig,
+    spec: Option<&SymmetrySpec>,
+) -> AnalysisCtx {
+    let wants_validation = spec.is_some_and(|s| !s.is_trivial() && s.has_moving_owned_cells());
+    if !config.cross_validate_independence && !wants_validation {
+        return AnalysisCtx::default();
+    }
+    match analyze_system(mem, programs, true, AnalysisBudget::default()) {
+        Ok(footprint) => {
+            let independence = config
+                .cross_validate_independence
+                .then(|| StaticIndependence::from_footprint(&footprint));
+            AnalysisCtx {
+                footprint: Some(footprint),
+                independence,
+            }
+        }
+        Err(e) if config.cross_validate_independence => panic!(
+            "cross_validate_independence is set but the footprint \
+             analysis failed: {e}"
+        ),
+        Err(_) => AnalysisCtx::default(),
+    }
+}
+
+/// Asserts that every pair of enabled steps the static relation calls
+/// independent really commutes *from this state*: both orders must
+/// produce identical memory, identical state keys for both processes,
+/// identical decided flags and identical decisions. Called once per
+/// expanded node when
+/// [`ExploreConfig::cross_validate_independence`] is set; pure, so the
+/// frontier workers run it concurrently without coordination.
+fn cross_validate_node(state: &SysState, indep: &StaticIndependence) {
+    let n = state.programs.len();
+    let enabled: Vec<usize> = (0..n).filter(|&p| !state.is_decided(p)).collect();
+    for (i, &p) in enabled.iter().enumerate() {
+        for &q in &enabled[i + 1..] {
+            if !indep.are_independent(p, q) {
+                continue;
+            }
+            let both = |a: usize, b: usize| {
+                let (mid, _, da) = apply_to_child(state, Action::Step(a), &mut NoCrashes);
+                let (end, _, db) = apply_to_child(&mid, Action::Step(b), &mut NoCrashes);
+                (end, da, db)
+            };
+            let (pq, p_first, q_second) = both(p, q);
+            let (qp, q_first, p_second) = both(q, p);
+            let explain = "statically-independent enabled steps must \
+                           commute; the footprint analysis is unsound for \
+                           this system";
+            assert_eq!(
+                p_first, p_second,
+                "p{p}'s step outcome depends on whether p{q} stepped first; {explain}"
+            );
+            assert_eq!(
+                q_first, q_second,
+                "p{q}'s step outcome depends on whether p{p} stepped first; {explain}"
+            );
+            assert_eq!(pq.decided, qp.decided, "steps p{p}/p{q}: {explain}");
+            for who in [p, q] {
+                assert_eq!(
+                    pq.programs[who].state_key(),
+                    qp.programs[who].state_key(),
+                    "p{who}'s local state differs between step orders \
+                     p{p};p{q} and p{q};p{p}; {explain}"
+                );
+            }
+            for cell in 0..pq.mem.cells.len() {
+                assert_eq!(
+                    pq.mem.value_ref(cell),
+                    qp.mem.value_ref(cell),
+                    "cell @{cell} differs between step orders p{p};p{q} \
+                     and p{q};p{p}; {explain}"
+                );
+            }
         }
     }
 }
@@ -1256,6 +1435,7 @@ struct SerialEngine<'a> {
     config: &'a ExploreConfig,
     layout: KeyLayout,
     spec: Option<&'a SymmetrySpec>,
+    indep: Option<&'a StaticIndependence>,
     interner: ValueInterner,
     visited: StateTable,
     parents: Vec<Option<ParentLink>>,
@@ -1286,6 +1466,9 @@ impl SerialEngine<'_> {
             self.leaves += leaf_weight(self.spec, &state, key, &self.layout);
             return None;
         }
+        if let Some(indep) = self.indep {
+            cross_validate_node(&state, indep);
+        }
         Some(Frame {
             state,
             key: key.to_vec(),
@@ -1300,6 +1483,7 @@ fn explore_serial(
     mut root: SysState,
     config: &ExploreConfig,
     spec: Option<&SymmetrySpec>,
+    analysis: &AnalysisCtx,
 ) -> ExploreOutcome {
     let layout = KeyLayout::of(&root);
     let mut interner = ValueInterner::new();
@@ -1308,6 +1492,7 @@ fn explore_serial(
         config,
         layout,
         spec,
+        indep: analysis.independence.as_ref(),
         interner,
         visited: StateTable::new(),
         parents: Vec::new(),
@@ -1321,7 +1506,7 @@ fn explore_serial(
         let mut root_key = ChildKey::root(&layout);
         root_key.resolve(&root, &mut engine.interner);
         if let Some(spec) = spec {
-            validate_symmetry(&root, spec);
+            validate_symmetry(&root, spec, analysis.footprint.as_ref());
             engine.root_perm =
                 canonicalize_child(&mut root, &mut root_key.key, &layout, spec, None);
         }
@@ -1409,6 +1594,7 @@ struct ChunkOutput {
 /// shared structure frozen (global interner, visited shards, post-crash
 /// set), so any number of workers may execute it concurrently; output
 /// order within the chunk is the canonical (parent, action) order.
+#[allow(clippy::too_many_arguments)]
 fn expand_chunk(
     chunk: &[ExpandNode],
     layout: &KeyLayout,
@@ -1417,6 +1603,7 @@ fn expand_chunk(
     visited: &ShardedStateTable,
     inputs: Option<&[Value]>,
     spec: Option<&SymmetrySpec>,
+    indep: Option<&StaticIndependence>,
 ) -> ChunkOutput {
     let mut out = ChunkOutput {
         children: Vec::new(),
@@ -1426,6 +1613,9 @@ fn expand_chunk(
     let mut seen_in_chunk = StateTable::new();
     let mut key_scratch: Vec<u32> = Vec::with_capacity(layout.len());
     for (state, key, idx, actions) in chunk {
+        if let Some(indep) = indep {
+            cross_validate_node(state, indep);
+        }
         for &action in actions {
             match make_child_frontier(
                 state,
@@ -1524,6 +1714,7 @@ fn run_level_fused(
     crashes: &CrashedSet,
     config: &ExploreConfig,
     spec: Option<&SymmetrySpec>,
+    indep: Option<&StaticIndependence>,
     global: &mut ValueInterner,
     visited: &mut ShardedStateTable,
     parents: &mut Vec<Option<ParentLink>>,
@@ -1535,6 +1726,9 @@ fn run_level_fused(
     let mut truncated = false;
     let inputs = config.inputs.as_deref();
     for (state, key, idx, actions) in expand {
+        if let Some(indep) = indep {
+            cross_validate_node(state, indep);
+        }
         for &action in actions {
             // The serial engine's child builder verbatim — the fused
             // path adds only the level bookkeeping around it, so the
@@ -1634,6 +1828,7 @@ fn run_level_staged(
     crashes: &CrashedSet,
     config: &ExploreConfig,
     spec: Option<&SymmetrySpec>,
+    indep: Option<&StaticIndependence>,
     global: &mut ValueInterner,
     visited: &mut ShardedStateTable,
     parents: &mut Vec<Option<ParentLink>>,
@@ -1649,7 +1844,7 @@ fn run_level_staged(
                 let (global, visited, crashes) = (&*global, &*visited, crashes);
                 let inputs = config.inputs.as_deref();
                 scope.spawn(move || {
-                    expand_chunk(chunk, layout, crashes, global, visited, inputs, spec)
+                    expand_chunk(chunk, layout, crashes, global, visited, inputs, spec, indep)
                 })
             })
             .collect();
@@ -1767,8 +1962,10 @@ fn explore_frontier(
     config: &ExploreConfig,
     threads: usize,
     spec: Option<&SymmetrySpec>,
+    analysis: &AnalysisCtx,
     stats: &mut ExploreStats,
 ) -> ExploreOutcome {
+    let indep = analysis.independence.as_ref();
     let layout = KeyLayout::of(&root);
     let mut global = ValueInterner::new();
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -1793,7 +1990,7 @@ fn explore_frontier(
         let mut root_key = ChildKey::root(&layout);
         root_key.resolve(&root, &mut global);
         if let Some(spec) = spec {
-            validate_symmetry(&root, spec);
+            validate_symmetry(&root, spec, analysis.footprint.as_ref());
             root_perm = canonicalize_child(&mut root, &mut root_key.key, &layout, spec, None);
         }
         let shard = shard_for(&visited, &root_key.key);
@@ -1820,6 +2017,7 @@ fn explore_frontier(
                 &crashes,
                 config,
                 spec,
+                indep,
                 &mut global,
                 &mut visited,
                 &mut parents,
@@ -1833,6 +2031,7 @@ fn explore_frontier(
                 &crashes,
                 config,
                 spec,
+                indep,
                 &mut global,
                 &mut visited,
                 &mut parents,
@@ -1884,6 +2083,7 @@ fn dispatch(
     root: SysState,
     config: &ExploreConfig,
     spec: Option<&SymmetrySpec>,
+    analysis: &AnalysisCtx,
 ) -> (ExploreOutcome, ExploreStats) {
     let spec = spec.filter(|s| !s.is_trivial());
     let mut stats = ExploreStats {
@@ -1893,9 +2093,9 @@ fn dispatch(
         symmetry: spec.is_some(),
     };
     let outcome = if config.threads > 1 {
-        explore_frontier(root, config, config.threads, spec, &mut stats)
+        explore_frontier(root, config, config.threads, spec, analysis, &mut stats)
     } else {
-        explore_serial(root, config, spec)
+        explore_serial(root, config, spec, analysis)
     };
     (outcome, stats)
 }
@@ -1915,7 +2115,8 @@ pub fn explore_with_stats(
     config: &ExploreConfig,
 ) -> (ExploreOutcome, ExploreStats) {
     let (mem, programs) = factory();
-    dispatch(SysState::root(mem, programs), config, None)
+    let analysis = prepare_analysis(&mem, &programs, config, None);
+    dispatch(SysState::root(mem, programs), config, None, &analysis)
 }
 
 /// [`explore`] with **process-symmetry reduction**: the factory also
@@ -1941,7 +2142,13 @@ pub fn explore_symmetric_with_stats(
     config: &ExploreConfig,
 ) -> (ExploreOutcome, ExploreStats) {
     let (mem, programs, spec) = factory();
-    dispatch(SysState::root(mem, programs), config, Some(&spec))
+    let analysis = prepare_analysis(&mem, &programs, config, Some(&spec));
+    dispatch(
+        SysState::root(mem, programs),
+        config,
+        Some(&spec),
+        &analysis,
+    )
 }
 
 /// [`explore`] in parallel frontier mode: uses
@@ -1957,12 +2164,14 @@ pub fn explore_parallel(factory: &SystemFactory<'_>, config: &ExploreConfig) -> 
         std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
     };
     let (mem, programs) = factory();
+    let analysis = prepare_analysis(&mem, &programs, config, None);
     let mut stats = ExploreStats::default();
     explore_frontier(
         SysState::root(mem, programs),
         config,
         threads.max(2),
         None,
+        &analysis,
         &mut stats,
     )
 }
@@ -2797,17 +3006,20 @@ mod tests {
         let _ = explore_symmetric(&factory, &ExploreConfig::default());
     }
 
-    /// Programs that cannot enumerate their references cannot prove the
-    /// owner-only rule, so an owned-cell declaration over them is
-    /// rejected rather than trusted.
+    /// Programs without a `rebind` implementation cannot be relocated,
+    /// so an owned-cell declaration over them is rejected at search
+    /// start (the identity-map probe) — not at the first non-identity
+    /// canonicalization deep inside a search. (ForgetfulDecider also
+    /// has no `referenced_cells`, which used to be the rejection
+    /// trigger; the footprint analysis now covers that gap, so the
+    /// rebind probe is what stands between this system and a search.)
     #[test]
-    #[should_panic(expected = "does not enumerate its referenced cells")]
-    fn unenumerable_references_reject_owned_declarations() {
+    #[should_panic(expected = "does not support address rebinding")]
+    fn rebindless_programs_reject_owned_declarations() {
         let factory = || {
             let mut mem = Memory::new();
             let r0 = mem.alloc_register(Value::Bottom);
             let r1 = mem.alloc_register(Value::Bottom);
-            // ForgetfulDecider has no referenced_cells implementation.
             let programs: Vec<Box<dyn Program>> = vec![
                 Box::new(ForgetfulDecider { addr: r0, pc: 0 }),
                 Box::new(ForgetfulDecider { addr: r1, pc: 0 }),
@@ -2818,6 +3030,173 @@ mod tests {
             (mem, programs, spec)
         };
         let _ = explore_symmetric(&factory, &ExploreConfig::default());
+    }
+
+    /// OwnRegWriter minus `referenced_cells`: rebindable, but its
+    /// reference set is not hand-enumerable. Before the footprint
+    /// analysis this was rejected ("does not enumerate its referenced
+    /// cells"); the analyzer now derives the reference sets, proves the
+    /// owner-only rule and the search runs — with the same verdict and
+    /// weighted leaf count as the symmetry-off search.
+    #[test]
+    fn analyzer_validates_undeclared_owned_cell_systems() {
+        #[derive(Clone, Debug)]
+        struct UndeclaredOwnReg {
+            reg: Addr,
+            pc: u8,
+        }
+        impl Program for UndeclaredOwnReg {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                if self.pc == 0 {
+                    mem.write_register(self.reg, Value::Int(1));
+                    self.pc = 1;
+                    Step::Running
+                } else {
+                    Step::Decided(mem.read_register(self.reg))
+                }
+            }
+            fn on_crash(&mut self) {
+                self.pc = 0;
+            }
+            fn state_key(&self) -> Value {
+                Value::Int(i64::from(self.pc))
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+            fn rebind(&mut self, map: &crate::program::Rebinding) {
+                self.reg = map.lookup(self.reg);
+            }
+            // No referenced_cells: the analyzer must stand in.
+        }
+        let n = 3;
+        let build = |mem: &mut Memory| -> (Vec<Addr>, Vec<Box<dyn Program>>) {
+            let regs: Vec<Addr> = (0..n).map(|_| mem.alloc_register(Value::Bottom)).collect();
+            let programs = regs
+                .iter()
+                .map(|&reg| Box::new(UndeclaredOwnReg { reg, pc: 0 }) as Box<dyn Program>)
+                .collect();
+            (regs, programs)
+        };
+        let plain = || {
+            let mut mem = Memory::new();
+            let (_, programs) = build(&mut mem);
+            (mem, programs)
+        };
+        let symmetric = || {
+            let mut mem = Memory::new();
+            let (regs, programs) = build(&mut mem);
+            let mut spec = SymmetrySpec::full(n);
+            for (p, &reg) in regs.iter().enumerate() {
+                spec = spec.with_owned_cells(p, vec![reg]);
+            }
+            (mem, programs, spec)
+        };
+        let config = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(false),
+            ..ExploreConfig::default()
+        };
+        let (off_states, off_leaves) = match explore(&plain, &config) {
+            ExploreOutcome::Verified { states, leaves } => (states, leaves),
+            other => panic!("expected verified, got {other:?}"),
+        };
+        match explore_symmetric(&symmetric, &config) {
+            ExploreOutcome::Verified { states, leaves } => {
+                assert!(states < off_states, "{states} vs {off_states}");
+                assert_eq!(leaves, off_leaves, "weighted leaves must match");
+            }
+            other => panic!("expected verified, got {other:?}"),
+        }
+    }
+
+    /// A rebindable program whose local-state graph is unbounded
+    /// defeats the footprint analysis (budget exhaustion); without a
+    /// hand-written `referenced_cells` to fall back to, the owned-cell
+    /// declaration is rejected exactly as before the analyzer existed.
+    #[test]
+    #[should_panic(expected = "does not enumerate its referenced cells")]
+    fn unanalyzable_undeclared_systems_are_still_rejected() {
+        #[derive(Clone, Debug)]
+        struct UnboundedWriter {
+            reg: Addr,
+            count: i64,
+        }
+        impl Program for UnboundedWriter {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                self.count += 1;
+                mem.write_register(self.reg, Value::Int(self.count));
+                Step::Running
+            }
+            fn on_crash(&mut self) {
+                self.count = 0;
+            }
+            fn state_key(&self) -> Value {
+                Value::Int(self.count)
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+            fn rebind(&mut self, map: &crate::program::Rebinding) {
+                self.reg = map.lookup(self.reg);
+            }
+        }
+        let factory = || {
+            let mut mem = Memory::new();
+            let r0 = mem.alloc_register(Value::Bottom);
+            let r1 = mem.alloc_register(Value::Bottom);
+            let programs: Vec<Box<dyn Program>> = vec![
+                Box::new(UnboundedWriter { reg: r0, count: 0 }),
+                Box::new(UnboundedWriter { reg: r1, count: 0 }),
+            ];
+            let spec = SymmetrySpec::full(2)
+                .with_owned_cells(0, vec![r0])
+                .with_owned_cells(1, vec![r1]);
+            (mem, programs, spec)
+        };
+        let _ = explore_symmetric(&factory, &ExploreConfig::default());
+    }
+
+    /// The dynamic cross-validation of the static independence relation
+    /// accepts a genuinely independent system (disjoint write/access
+    /// footprints) on both engines, with outcomes unchanged.
+    #[test]
+    fn cross_validation_accepts_independent_steps() {
+        let factory = || {
+            let mut mem = Memory::new();
+            let programs: Vec<Box<dyn Program>> = (0..3)
+                .map(|_| {
+                    let reg = mem.alloc_register(Value::Bottom);
+                    Box::new(OwnRegWriter {
+                        reg,
+                        input: Value::Int(1),
+                        pc: 0,
+                    }) as Box<dyn Program>
+                })
+                .collect();
+            (mem, programs)
+        };
+        let plain = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(false),
+            inputs: Some(vec![Value::Int(1)]),
+            ..ExploreConfig::default()
+        };
+        let checked = ExploreConfig {
+            cross_validate_independence: true,
+            ..plain.clone()
+        };
+        let baseline = explore(&factory, &plain);
+        assert!(matches!(baseline, ExploreOutcome::Verified { .. }));
+        // Threads 1 (serial engine), 2 and 8 (frontier engine): the
+        // commutation assertion runs at every expanded node in each.
+        for threads in [1usize, 2, 8] {
+            let parallel = ExploreConfig {
+                threads,
+                workers_override: Some(threads),
+                shards_override: Some(2),
+                ..checked.clone()
+            };
+            assert_eq!(baseline, explore(&factory, &parallel), "threads={threads}");
+        }
     }
 
     /// An inert owned declaration (all orbits singletons) changes

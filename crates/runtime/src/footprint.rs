@@ -1,0 +1,1226 @@
+//! Cell-access footprint analysis over the guest-program catalog.
+//!
+//! The model checker's two soundness-critical *inputs* —
+//! [`Program::referenced_cells`](crate::Program::referenced_cells) and
+//! [`SymmetrySpec::with_owned_cells`](crate::SymmetrySpec::with_owned_cells)
+//! — are hand-written per factory, and an under-declaration silently
+//! breaks the exhaustive-exploration quotient. This module derives the
+//! same information *from the programs themselves*: an instrumenting
+//! [`MemOps`] recorder ([`ProbeMem`], internal) tags every shared-memory
+//! access with `(Pid, Addr, AccessKind)`, and [`analyze_system`] walks
+//! each program's memoized local-state graph to a fixpoint, producing a
+//! sound per-process cell footprint with read/write modes.
+//!
+//! ## The walk
+//!
+//! Per process, local states are memoized on
+//! [`state_key`](crate::Program::state_key) (the same key-completeness
+//! contract the checker's memoization leans on: equal keys ⇒ identical
+//! behaviour forever, so one representative clone per key suffices).
+//! From each state the analyzer probes [`step`](crate::Program::step)
+//! once per possible *observation*:
+//!
+//! * a **write** determines its successor outright (the written value is
+//!   added to the cell's value domain);
+//! * a **read** branches over the cell's current value domain — every
+//!   value the cell can hold: its initial value plus every value any
+//!   analyzed branch of any process ever wrote to it;
+//! * an **RMW** ([`MemOps::apply`]) branches over the object-state
+//!   domain, computing each branch's response and next state through the
+//!   type's [`try_apply`](rc_spec::ObjectType::try_apply) (invalid
+//!   `(state, op)` combinations are discarded — the real engine would
+//!   panic on them, so they bound no reachable behaviour);
+//! * **crash edges**: every discovered state also takes an
+//!   [`on_crash`](crate::Program::on_crash) edge (optional, on by
+//!   default — see [`analyze_system`]'s `include_crash`).
+//!
+//! When a cell's domain grows, every read/RMW site on that cell (any
+//! process) is re-probed with the new values — a classic monotone
+//! fixpoint. A probe that panics inside guest code is treated as an
+//! infeasible branch and discarded (the value fed to it was an
+//! over-approximation; a *feasible* panic would equally abort the real
+//! exploration).
+//!
+//! ## Soundness
+//!
+//! The analysis over-approximates: by induction over execution prefixes,
+//! every value a reachable memory state can hold is in the analyzed
+//! domain of its cell, and every local state a process can reach is
+//! memoized — so every access any real execution performs is recorded.
+//! The converse does not hold (domains ignore cross-process ordering),
+//! so the footprint may include accesses no feasible execution performs;
+//! for the consumers below, over-approximation is the safe direction.
+//! Programs whose state space (or written-value domain) is unbounded
+//! exhaust the [`AnalysisBudget`] and report
+//! [`FootprintError::BudgetExceeded`] instead of looping — callers then
+//! fall back to the hand-written declarations.
+//!
+//! ## Consumers
+//!
+//! * [`lint_system`] — the declaration linter: analyzed footprint vs
+//!   `referenced_cells`/owned-cell declarations. Under-declaration is a
+//!   hard error, over-declaration a lost-reduction warning, and cells
+//!   touched by exactly one process are reported as derived owned-cell
+//!   candidates. The `tables lint` CLI (rc-bench) runs this across the
+//!   whole catalog as experiment E14.
+//! * [`StaticIndependence`] — steps of distinct processes whose write
+//!   footprint is disjoint from each other's access footprint commute in
+//!   every state; exported for the partial-order-reduction roadmap item
+//!   and cross-validated dynamically by the explore engines
+//!   ([`ExploreConfig::cross_validate_independence`](crate::ExploreConfig::cross_validate_independence)).
+//! * the symmetry validation in `explore` uses analyzed footprints as
+//!   reference sets where the analysis converges, so owned-cell systems
+//!   built from programs without `referenced_cells` are validated (or
+//!   rejected) on their *actual* accesses.
+
+use crate::canon::SymmetrySpec;
+use crate::memory::{Addr, Cell, MemOps, Memory};
+use crate::program::{Pid, Program, Step};
+use rc_spec::{Operation, TypeHandle, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+thread_local! {
+    /// Whether the current thread is inside a caught probe (see
+    /// [`quiet_probe`]).
+    static IN_PROBE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` — which must catch every panic it provokes — with the panic
+/// hook silenced for this thread. Probe panics are control flow here
+/// (infeasible branches of the value-domain over-approximation, or a
+/// rebind-support check), not defects, and the default hook would spam
+/// stderr with a backtrace per caught branch. The first call swaps in a
+/// process-global hook that delegates to the previous one except on
+/// threads currently probing, so unrelated panics keep their reports.
+pub(crate) fn quiet_probe<T>(f: impl FnOnce() -> T) -> T {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_PROBE.with(std::cell::Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_PROBE.with(|p| p.set(self.0));
+        }
+    }
+    let _reset = Reset(IN_PROBE.with(|p| p.replace(true)));
+    f()
+}
+
+/// The mode of one shared-memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// `read_register` / `read_object`.
+    Read,
+    /// `write_register`.
+    Write,
+    /// `apply` — an atomic read-modify-write.
+    Rmw,
+}
+
+/// The set of access modes a process uses on one cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessModes {
+    /// The cell is read (`read_register`/`read_object`).
+    pub read: bool,
+    /// The cell is written (`write_register`).
+    pub write: bool,
+    /// The cell receives RMW operations (`apply`).
+    pub rmw: bool,
+}
+
+impl AccessModes {
+    fn record(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.read = true,
+            AccessKind::Write => self.write = true,
+            AccessKind::Rmw => self.rmw = true,
+        }
+    }
+
+    /// Whether any mode can change the cell (write or RMW).
+    pub fn mutates(&self) -> bool {
+        self.write || self.rmw
+    }
+
+    /// A compact `r`/`w`/`u` (update) rendering, e.g. `rw`, `u`, `r`.
+    pub fn label(&self) -> String {
+        let mut s = String::new();
+        if self.read {
+            s.push('r');
+        }
+        if self.write {
+            s.push('w');
+        }
+        if self.rmw {
+            s.push('u');
+        }
+        s
+    }
+}
+
+/// The analyzed footprint of one process.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessFootprint {
+    /// Every cell the process may access, with its modes.
+    pub cells: BTreeMap<Addr, AccessModes>,
+    /// Number of memoized local states the walk visited.
+    pub local_states: usize,
+}
+
+impl ProcessFootprint {
+    /// The accessed cells (any mode), ascending.
+    pub fn accessed(&self) -> Vec<Addr> {
+        self.cells.keys().copied().collect()
+    }
+
+    /// The cells the process may mutate (write or RMW), ascending.
+    pub fn mutated(&self) -> Vec<Addr> {
+        self.cells
+            .iter()
+            .filter(|(_, m)| m.mutates())
+            .map(|(&a, _)| a)
+            .collect()
+    }
+}
+
+/// The analyzed footprints of a whole system, one per process.
+#[derive(Clone, Debug)]
+pub struct SystemFootprint {
+    /// `per_process[p]` is process `p`'s footprint.
+    pub per_process: Vec<ProcessFootprint>,
+    /// Total number of `step` probes the fixpoint ran.
+    pub probes: usize,
+}
+
+impl SystemFootprint {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.per_process.len()
+    }
+}
+
+/// Caps on the fixpoint walk, so unbounded-state guests fail fast
+/// instead of looping.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisBudget {
+    /// Maximum memoized local states, summed over all processes.
+    pub max_local_states: usize,
+    /// Maximum `step` probes.
+    pub max_probes: usize,
+}
+
+impl Default for AnalysisBudget {
+    fn default() -> Self {
+        AnalysisBudget {
+            max_local_states: 1 << 16,
+            max_probes: 1 << 21,
+        }
+    }
+}
+
+/// Why a footprint analysis gave up.
+#[derive(Clone, Debug)]
+pub enum FootprintError {
+    /// The walk exceeded its [`AnalysisBudget`] — the local-state graph
+    /// or a written-value domain is too large (or unbounded).
+    BudgetExceeded {
+        /// The process whose probe hit the cap.
+        pid: Pid,
+        /// Memoized local states at the point of failure.
+        local_states: usize,
+        /// Step probes run at the point of failure.
+        probes: usize,
+    },
+    /// A single `step` performed more than one shared-memory access,
+    /// violating the [`Program`] contract the whole execution model
+    /// rests on.
+    MultipleAccesses {
+        /// The offending process.
+        pid: Pid,
+        /// The local state (its `state_key`) whose step misbehaved.
+        state_key: Value,
+    },
+    /// A probe hit a type-confused access (register op on an object
+    /// cell or vice versa, or a `Read` on a non-readable type).
+    TypeConfusion {
+        /// The offending process.
+        pid: Pid,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for FootprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FootprintError::BudgetExceeded {
+                pid,
+                local_states,
+                probes,
+            } => write!(
+                f,
+                "footprint analysis budget exceeded probing p{pid} \
+                 ({local_states} local states, {probes} probes)"
+            ),
+            FootprintError::MultipleAccesses { pid, state_key } => write!(
+                f,
+                "p{pid} performs more than one shared-memory access in a \
+                 single step (from local state {state_key}); the Program \
+                 contract allows at most one"
+            ),
+            FootprintError::TypeConfusion { pid, message } => {
+                write!(f, "p{pid} probe hit a type-confused access: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FootprintError {}
+
+/// What kind of cell sits at each address (probing needs the object
+/// type to compute RMW transitions).
+#[derive(Clone)]
+enum ProbeKind {
+    Register,
+    Object(TypeHandle),
+}
+
+/// The instrumenting [`MemOps`]: records the step's (first) access and
+/// answers it with the `branch`-th value of the cell's current domain.
+/// Subsequent accesses in the same step are counted (contract
+/// violation) and answered benignly so the probe can finish.
+struct ProbeMem<'a> {
+    kinds: &'a [ProbeKind],
+    domains: &'a [BTreeSet<Value>],
+    branch: usize,
+    /// The first access: `(cell index, kind)`.
+    site: Option<(usize, AccessKind)>,
+    /// Values this probe wrote (register writes and RMW next-states) —
+    /// merged into the domains after the branch loop.
+    wrote: Vec<(usize, Value)>,
+    /// Accesses beyond the first (each one a contract violation).
+    extra: usize,
+    /// `false` when the branch fed an RMW a domain state its operation
+    /// rejects — the branch is infeasible and its successor discarded.
+    valid: bool,
+    /// A type-confused access, reported as [`FootprintError::TypeConfusion`].
+    fault: Option<String>,
+}
+
+impl<'a> ProbeMem<'a> {
+    fn new(kinds: &'a [ProbeKind], domains: &'a [BTreeSet<Value>], branch: usize) -> Self {
+        ProbeMem {
+            kinds,
+            domains,
+            branch,
+            site: None,
+            wrote: Vec::new(),
+            extra: 0,
+            valid: true,
+            fault: None,
+        }
+    }
+
+    /// Records the access; returns `true` iff it is the step's first.
+    fn first(&mut self, cell: usize, kind: AccessKind) -> bool {
+        if self.site.is_none() {
+            self.site = Some((cell, kind));
+            true
+        } else {
+            self.extra += 1;
+            false
+        }
+    }
+
+    fn branch_value(&self, cell: usize) -> Value {
+        self.domains[cell]
+            .iter()
+            .nth(self.branch)
+            .cloned()
+            .expect("probe branch indexes into the cell's domain")
+    }
+}
+
+impl MemOps for ProbeMem<'_> {
+    fn read_register(&mut self, addr: Addr) -> Value {
+        let cell = addr.index();
+        if !self.first(cell, AccessKind::Read) {
+            return Value::Bottom;
+        }
+        if !matches!(self.kinds[cell], ProbeKind::Register) {
+            self.fault = Some(format!("{addr} is an object, not a register"));
+            return Value::Bottom;
+        }
+        self.branch_value(cell)
+    }
+
+    fn write_register(&mut self, addr: Addr, value: Value) {
+        let cell = addr.index();
+        if !self.first(cell, AccessKind::Write) {
+            return;
+        }
+        if !matches!(self.kinds[cell], ProbeKind::Register) {
+            self.fault = Some(format!("{addr} is an object, not a register"));
+            return;
+        }
+        self.wrote.push((cell, value));
+    }
+
+    fn read_object(&mut self, addr: Addr) -> Value {
+        let cell = addr.index();
+        if !self.first(cell, AccessKind::Read) {
+            return Value::Bottom;
+        }
+        match &self.kinds[cell] {
+            ProbeKind::Object(ty) if ty.is_readable() => self.branch_value(cell),
+            ProbeKind::Object(ty) => {
+                self.fault = Some(format!(
+                    "type {} is not readable; Read is not available",
+                    ty.name()
+                ));
+                Value::Bottom
+            }
+            ProbeKind::Register => {
+                self.fault = Some(format!("{addr} is a register, not an object"));
+                Value::Bottom
+            }
+        }
+    }
+
+    fn apply(&mut self, addr: Addr, op: &Operation) -> Value {
+        let cell = addr.index();
+        if !self.first(cell, AccessKind::Rmw) {
+            return Value::Bottom;
+        }
+        match &self.kinds[cell] {
+            ProbeKind::Object(ty) => {
+                let state = self.branch_value(cell);
+                match ty.try_apply(&state, op) {
+                    Ok(t) => {
+                        self.wrote.push((cell, t.next));
+                        t.response
+                    }
+                    Err(_) => {
+                        // The real engine's `apply` would panic here, so
+                        // no reachable execution performs this (state,
+                        // op) combination: discard the branch.
+                        self.valid = false;
+                        Value::Bottom
+                    }
+                }
+            }
+            ProbeKind::Register => {
+                self.fault = Some(format!("{addr} is a register, not an object"));
+                Value::Bottom
+            }
+        }
+    }
+}
+
+/// One process's memoized local-state graph during the walk.
+struct PidStates {
+    /// Representative clone + decided flag per state index.
+    states: Vec<(Box<dyn Program>, bool)>,
+    /// `(state_key, decided)` → state index.
+    index: BTreeMap<(Value, bool), usize>,
+    footprint: ProcessFootprint,
+}
+
+/// Analyzes every process's cell footprint by walking the memoized
+/// local-state graphs to a fixpoint (see the module docs).
+///
+/// `include_crash` adds [`on_crash`](Program::on_crash) edges to the
+/// walk; exploration consumers keep it `true` (sound for every crash
+/// model — extra edges only grow the over-approximation).
+pub fn analyze_system(
+    mem: &Memory,
+    programs: &[Box<dyn Program>],
+    include_crash: bool,
+    budget: AnalysisBudget,
+) -> Result<SystemFootprint, FootprintError> {
+    let kinds: Vec<ProbeKind> = (0..mem.len())
+        .map(|i| match mem.peek_cell(Addr(i)) {
+            Cell::Register(_) => ProbeKind::Register,
+            Cell::Object { ty, .. } => ProbeKind::Object(ty),
+        })
+        .collect();
+    let mut domains: Vec<BTreeSet<Value>> = (0..mem.len())
+        .map(|i| {
+            let mut d = BTreeSet::new();
+            d.insert(match mem.peek_cell(Addr(i)) {
+                Cell::Register(v) => v,
+                Cell::Object { state, .. } => state,
+            });
+            d
+        })
+        .collect();
+
+    let mut pids: Vec<PidStates> = programs
+        .iter()
+        .map(|_| PidStates {
+            states: Vec::new(),
+            index: BTreeMap::new(),
+            footprint: ProcessFootprint::default(),
+        })
+        .collect();
+    // Read/RMW sites per cell, for fixpoint re-probing on domain growth.
+    let mut read_sites: Vec<BTreeSet<(Pid, usize)>> = vec![BTreeSet::new(); mem.len()];
+    let mut work: VecDeque<(Pid, usize)> = VecDeque::new();
+    let mut queued: BTreeSet<(Pid, usize)> = BTreeSet::new();
+    let mut total_states = 0usize;
+    let mut probes = 0usize;
+
+    /// Memoizes `prog` (and, transitively, its crash restart) for `pid`;
+    /// enqueues newly discovered states.
+    #[allow(clippy::too_many_arguments)]
+    fn insert(
+        pid: Pid,
+        prog: Box<dyn Program>,
+        decided: bool,
+        include_crash: bool,
+        pids: &mut [PidStates],
+        work: &mut VecDeque<(Pid, usize)>,
+        queued: &mut BTreeSet<(Pid, usize)>,
+        total_states: &mut usize,
+        budget: &AnalysisBudget,
+        probes: usize,
+    ) -> Result<(), FootprintError> {
+        let mut pending = vec![(prog, decided)];
+        while let Some((prog, decided)) = pending.pop() {
+            let key = (prog.state_key(), decided);
+            if pids[pid].index.contains_key(&key) {
+                continue;
+            }
+            *total_states += 1;
+            if *total_states > budget.max_local_states {
+                return Err(FootprintError::BudgetExceeded {
+                    pid,
+                    local_states: *total_states,
+                    probes,
+                });
+            }
+            if include_crash {
+                let mut crashed = prog.boxed_clone();
+                crashed.on_crash();
+                pending.push((crashed, false));
+            }
+            let idx = pids[pid].states.len();
+            pids[pid].states.push((prog, decided));
+            pids[pid].index.insert(key, idx);
+            pids[pid].footprint.local_states += 1;
+            if queued.insert((pid, idx)) {
+                work.push_back((pid, idx));
+            }
+        }
+        Ok(())
+    }
+
+    for (pid, prog) in programs.iter().enumerate() {
+        insert(
+            pid,
+            prog.boxed_clone(),
+            false,
+            include_crash,
+            &mut pids,
+            &mut work,
+            &mut queued,
+            &mut total_states,
+            &budget,
+            probes,
+        )?;
+    }
+
+    while let Some((pid, sidx)) = work.pop_front() {
+        queued.remove(&(pid, sidx));
+        if pids[pid].states[sidx].1 {
+            continue; // decided states take no further steps
+        }
+        // Probe branch 0 to discover the step's access site, then the
+        // remaining branches of its domain (reads/RMWs only). The
+        // domains are frozen during the loop; growth is merged after.
+        let mut grew: Vec<(usize, Value)> = Vec::new();
+        let mut branches = 1usize;
+        let mut b = 0usize;
+        while b < branches {
+            probes += 1;
+            if probes > budget.max_probes {
+                return Err(FootprintError::BudgetExceeded {
+                    pid,
+                    local_states: total_states,
+                    probes,
+                });
+            }
+            let mut prog = pids[pid].states[sidx].0.boxed_clone();
+            let mut probe = ProbeMem::new(&kinds, &domains, b);
+            let outcome = quiet_probe(|| catch_unwind(AssertUnwindSafe(|| prog.step(&mut probe))));
+            if let Some(message) = probe.fault {
+                return Err(FootprintError::TypeConfusion { pid, message });
+            }
+            if probe.extra > 0 {
+                return Err(FootprintError::MultipleAccesses {
+                    pid,
+                    state_key: pids[pid].states[sidx].0.state_key(),
+                });
+            }
+            if b == 0 {
+                if let Some((cell, kind)) = probe.site {
+                    pids[pid]
+                        .footprint
+                        .cells
+                        .entry(Addr(cell))
+                        .or_default()
+                        .record(kind);
+                    if matches!(kind, AccessKind::Read | AccessKind::Rmw) {
+                        read_sites[cell].insert((pid, sidx));
+                        branches = domains[cell].len();
+                    }
+                }
+            }
+            grew.append(&mut probe.wrote);
+            b += 1;
+            // A panicking or infeasible branch has no successor (the fed
+            // value was an over-approximation); its access record and
+            // writes-so-far stand.
+            let step = match outcome {
+                Ok(step) if probe.valid => step,
+                _ => continue,
+            };
+            let decided = matches!(step, Step::Decided(_));
+            insert(
+                pid,
+                prog,
+                decided,
+                include_crash,
+                &mut pids,
+                &mut work,
+                &mut queued,
+                &mut total_states,
+                &budget,
+                probes,
+            )?;
+        }
+        for (cell, value) in grew {
+            if domains[cell].insert(value) {
+                for &(p, s) in &read_sites[cell] {
+                    if queued.insert((p, s)) {
+                        work.push_back((p, s));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(SystemFootprint {
+        per_process: pids.into_iter().map(|p| p.footprint).collect(),
+        probes,
+    })
+}
+
+/// The static independence relation derived from a [`SystemFootprint`]:
+/// steps of two distinct processes commute in **every** state when each
+/// one's write footprint is disjoint from the other's access footprint —
+/// neither step can change a cell the other touches, so both orders
+/// produce identical memory and identical per-process behaviour. This is
+/// the conflict relation partial-order reduction needs (see ROADMAP),
+/// and the explore engines cross-validate it dynamically on request
+/// ([`ExploreConfig::cross_validate_independence`](crate::ExploreConfig::cross_validate_independence)).
+#[derive(Clone, Debug)]
+pub struct StaticIndependence {
+    accessed: Vec<BTreeSet<usize>>,
+    mutated: Vec<BTreeSet<usize>>,
+}
+
+impl StaticIndependence {
+    /// Derives the relation from analyzed footprints.
+    pub fn from_footprint(fp: &SystemFootprint) -> Self {
+        StaticIndependence {
+            accessed: fp
+                .per_process
+                .iter()
+                .map(|p| p.cells.keys().map(|a| a.index()).collect())
+                .collect(),
+            mutated: fp
+                .per_process
+                .iter()
+                .map(|p| {
+                    p.cells
+                        .iter()
+                        .filter(|(_, m)| m.mutates())
+                        .map(|(a, _)| a.index())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.accessed.len()
+    }
+
+    /// Whether every step of `p` commutes with every step of `q`.
+    pub fn are_independent(&self, p: Pid, q: Pid) -> bool {
+        p != q
+            && self.mutated[p].is_disjoint(&self.accessed[q])
+            && self.mutated[q].is_disjoint(&self.accessed[p])
+    }
+
+    /// All independent pairs `(p, q)` with `p < q`, ascending.
+    pub fn independent_pairs(&self) -> Vec<(Pid, Pid)> {
+        let n = self.n();
+        (0..n)
+            .flat_map(|p| (p + 1..n).map(move |q| (p, q)))
+            .filter(|&(p, q)| self.are_independent(p, q))
+            .collect()
+    }
+}
+
+/// The declaration linter's verdict on one system.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Soundness-relevant defects (under-declarations, owner-only
+    /// violations). A system with errors must not be explored with the
+    /// affected reductions.
+    pub errors: Vec<String>,
+    /// Lost-reduction / hygiene notes (over-declarations, inert owned
+    /// cells).
+    pub warnings: Vec<String>,
+    /// `derived_owned[p]` — cells only process `p` ever touches:
+    /// candidates for `SymmetrySpec::with_owned_cells`.
+    pub derived_owned: Vec<Vec<Addr>>,
+    /// The analyzed footprint the verdict is based on.
+    pub footprint: SystemFootprint,
+}
+
+impl LintReport {
+    /// Whether the audit found no errors (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Audits a system's hand-written access declarations against the
+/// analyzed footprint:
+///
+/// * a [`referenced_cells`](Program::referenced_cells) declaration that
+///   misses an analyzed access is an **error** (rule: `referenced_cells`
+///   must cover every cell the process may access — the owned-cell
+///   validation trusts it);
+/// * a declaration listing cells the analysis never observes is a
+///   **warning** (it costs reduction opportunities but breaks nothing);
+/// * an owned cell (per `spec`) accessed by a non-owner from an acting
+///   orbit is an **error** (rule: owned cells permute with their owners,
+///   so a cross-reference would de-synchronize the quotient); on a
+///   singleton orbit the same shape is only a **warning** (singletons
+///   never move);
+/// * cells touched by exactly one process are returned as derived
+///   owned-cell candidates.
+pub fn lint_system(
+    mem: &Memory,
+    programs: &[Box<dyn Program>],
+    spec: Option<&SymmetrySpec>,
+    budget: AnalysisBudget,
+) -> Result<LintReport, FootprintError> {
+    let footprint = analyze_system(mem, programs, true, budget)?;
+    let mut errors = Vec::new();
+    let mut warnings = Vec::new();
+
+    for (pid, fp) in footprint.per_process.iter().enumerate() {
+        if let Some(declared) = programs[pid].referenced_cells() {
+            let declared: BTreeSet<Addr> = declared.into_iter().collect();
+            let missing: Vec<String> = fp
+                .cells
+                .iter()
+                .filter(|(a, _)| !declared.contains(a))
+                .map(|(a, m)| format!("{a} ({})", m.label()))
+                .collect();
+            if !missing.is_empty() {
+                errors.push(format!(
+                    "p{pid} under-declares referenced_cells: analyzed accesses \
+                     to {} are not declared (rule: referenced_cells must cover \
+                     every cell the process may access)",
+                    missing.join(", ")
+                ));
+            }
+            let unused: Vec<String> = declared
+                .iter()
+                .filter(|a| !fp.cells.contains_key(a))
+                .map(|a| a.to_string())
+                .collect();
+            if !unused.is_empty() {
+                warnings.push(format!(
+                    "p{pid} over-declares referenced_cells: {} never analyzed \
+                     as accessed (lost reduction: wider declarations veto \
+                     owned-cell candidates)",
+                    unused.join(", ")
+                ));
+            }
+        }
+    }
+
+    if let Some(spec) = spec {
+        let moving: BTreeSet<Pid> = spec
+            .acting_orbits()
+            .flat_map(|pids| pids.iter().copied())
+            .collect();
+        for pid in 0..footprint.n() {
+            for &cell in spec.owned(pid) {
+                for (q, fq) in footprint.per_process.iter().enumerate() {
+                    if q == pid || !fq.cells.contains_key(&cell) {
+                        continue;
+                    }
+                    if moving.contains(&pid) {
+                        errors.push(format!(
+                            "cell {cell} is owned by p{pid} but accessed by \
+                             p{q} ({}) (rule: owned cells permute with their \
+                             owners, so no other process may reference them)",
+                            fq.cells[&cell].label()
+                        ));
+                    } else {
+                        warnings.push(format!(
+                            "cell {cell} is owned by p{pid} (singleton orbit, \
+                             inert) but accessed by p{q}; the declaration \
+                             would become unsound if p{pid} joined an orbit"
+                        ));
+                    }
+                }
+                if !footprint.per_process[pid].cells.contains_key(&cell) {
+                    warnings.push(format!(
+                        "cell {cell} is owned by p{pid} but p{pid} never \
+                         accesses it (inert ownership)"
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut derived_owned: Vec<Vec<Addr>> = vec![Vec::new(); footprint.n()];
+    for cell in 0..mem.len() {
+        let addr = Addr(cell);
+        let touchers: Vec<Pid> = footprint
+            .per_process
+            .iter()
+            .enumerate()
+            .filter(|(_, fp)| fp.cells.contains_key(&addr))
+            .map(|(p, _)| p)
+            .collect();
+        if let [only] = touchers[..] {
+            derived_owned[only].push(addr);
+        }
+    }
+
+    Ok(LintReport {
+        errors,
+        warnings,
+        derived_owned,
+        footprint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writes its input to `mine`, reads `shared`, decides it.
+    #[derive(Clone, Debug)]
+    struct WriteThenRead {
+        mine: Addr,
+        shared: Addr,
+        input: Value,
+        pc: u8,
+    }
+
+    impl Program for WriteThenRead {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            match self.pc {
+                0 => {
+                    mem.write_register(self.mine, self.input.clone());
+                    self.pc = 1;
+                    Step::Running
+                }
+                _ => Step::Decided(mem.read_register(self.shared)),
+            }
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
+        }
+        fn state_key(&self) -> Value {
+            Value::Int(i64::from(self.pc))
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+        fn referenced_cells(&self) -> Option<Vec<Addr>> {
+            Some(vec![self.mine, self.shared])
+        }
+    }
+
+    fn two_writer_system() -> (Memory, Vec<Box<dyn Program>>) {
+        let mut mem = Memory::new();
+        let a = mem.alloc_register(Value::Bottom);
+        let b = mem.alloc_register(Value::Bottom);
+        let shared = mem.alloc_register(Value::Int(7));
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(WriteThenRead {
+                mine: a,
+                shared,
+                input: Value::Int(0),
+                pc: 0,
+            }),
+            Box::new(WriteThenRead {
+                mine: b,
+                shared,
+                input: Value::Int(1),
+                pc: 0,
+            }),
+        ];
+        (mem, programs)
+    }
+
+    #[test]
+    fn footprints_record_modes_per_cell() {
+        let (mem, programs) = two_writer_system();
+        let fp = analyze_system(&mem, &programs, true, AnalysisBudget::default())
+            .expect("bounded system analyzes");
+        assert_eq!(fp.n(), 2);
+        assert_eq!(fp.per_process[0].accessed(), vec![Addr(0), Addr(2)]);
+        assert_eq!(fp.per_process[1].accessed(), vec![Addr(1), Addr(2)]);
+        assert_eq!(fp.per_process[0].mutated(), vec![Addr(0)]);
+        let modes = fp.per_process[0].cells[&Addr(0)];
+        assert!(modes.write && !modes.read && !modes.rmw);
+        assert_eq!(fp.per_process[0].cells[&Addr(2)].label(), "r");
+    }
+
+    #[test]
+    fn independence_needs_disjoint_write_and_access_sets() {
+        let (mem, programs) = two_writer_system();
+        let fp = analyze_system(&mem, &programs, true, AnalysisBudget::default()).unwrap();
+        let indep = StaticIndependence::from_footprint(&fp);
+        // Both only *read* the shared cell and write disjoint cells.
+        assert!(indep.are_independent(0, 1));
+        assert!(!indep.are_independent(0, 0));
+        assert_eq!(indep.independent_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn writers_of_a_read_cell_are_dependent() {
+        let mut mem = Memory::new();
+        let shared = mem.alloc_register(Value::Bottom);
+        let mine = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = vec![
+            // p0 writes the cell p1 reads.
+            Box::new(WriteThenRead {
+                mine: shared,
+                shared: mine,
+                input: Value::Int(3),
+                pc: 0,
+            }),
+            Box::new(WriteThenRead {
+                mine,
+                shared,
+                input: Value::Int(4),
+                pc: 0,
+            }),
+        ];
+        let fp = analyze_system(&mem, &programs, true, AnalysisBudget::default()).unwrap();
+        let indep = StaticIndependence::from_footprint(&fp);
+        assert!(!indep.are_independent(0, 1));
+        assert!(indep.independent_pairs().is_empty());
+    }
+
+    #[test]
+    fn read_branching_covers_values_other_processes_write() {
+        /// Reads `watch`; if it ever sees `Int(1)` it writes `tattle`.
+        #[derive(Clone, Debug)]
+        struct Watcher {
+            watch: Addr,
+            tattle: Addr,
+            pc: u8,
+        }
+        impl Program for Watcher {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                match self.pc {
+                    0 => {
+                        if mem.read_register(self.watch) == Value::Int(1) {
+                            self.pc = 1;
+                        } else {
+                            self.pc = 2;
+                        }
+                        Step::Running
+                    }
+                    1 => {
+                        mem.write_register(self.tattle, Value::Unit);
+                        self.pc = 2;
+                        Step::Running
+                    }
+                    _ => Step::Decided(Value::Unit),
+                }
+            }
+            fn on_crash(&mut self) {
+                self.pc = 0;
+            }
+            fn state_key(&self) -> Value {
+                Value::Int(i64::from(self.pc))
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+        }
+        let mut mem = Memory::new();
+        let watch = mem.alloc_register(Value::Int(0));
+        let tattle = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(Watcher {
+                watch,
+                tattle,
+                pc: 0,
+            }),
+            // p1 writes Int(1) into `watch` — only then can p0 reach its
+            // `tattle` write. The fixpoint must re-probe p0's read site.
+            Box::new(WriteThenRead {
+                mine: watch,
+                shared: tattle,
+                input: Value::Int(1),
+                pc: 0,
+            }),
+        ];
+        let fp = analyze_system(&mem, &programs, true, AnalysisBudget::default()).unwrap();
+        assert!(
+            fp.per_process[0].cells.contains_key(&tattle),
+            "the tattle write is reachable only through a value p1 wrote: {:?}",
+            fp.per_process[0]
+        );
+    }
+
+    #[test]
+    fn rmw_transitions_grow_object_domains() {
+        use rc_spec::types::TestAndSet;
+        use std::sync::Arc;
+
+        /// Applies `tas`, decides whether it won.
+        #[derive(Clone, Debug)]
+        struct TasOnce {
+            obj: Addr,
+            pc: u8,
+        }
+        impl Program for TasOnce {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                match self.pc {
+                    0 => {
+                        let won = mem.apply(self.obj, &Operation::nullary("tas"));
+                        self.pc = if won == Value::Bool(false) { 1 } else { 2 };
+                        Step::Running
+                    }
+                    pc => Step::Decided(Value::Bool(pc == 1)),
+                }
+            }
+            fn on_crash(&mut self) {
+                self.pc = 0;
+            }
+            fn state_key(&self) -> Value {
+                Value::Int(i64::from(self.pc))
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+        }
+        let mut mem = Memory::new();
+        let obj = mem.alloc_object(Arc::new(TestAndSet::new()), Value::Bool(false));
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(TasOnce { obj, pc: 0 }),
+            Box::new(TasOnce { obj, pc: 0 }),
+        ];
+        let fp = analyze_system(&mem, &programs, true, AnalysisBudget::default()).unwrap();
+        for p in 0..2 {
+            let modes = fp.per_process[p].cells[&obj];
+            assert!(modes.rmw && modes.mutates());
+            // Both the winning and losing local branches are reached —
+            // pc 1 requires seeing `false`, pc 2 requires the `true` the
+            // first tas leaves behind (domain growth). Memoized states:
+            // (pc 0/1/2, running) plus (pc 1/2, decided).
+            assert_eq!(fp.per_process[p].local_states, 5);
+        }
+        let indep = StaticIndependence::from_footprint(&fp);
+        assert!(!indep.are_independent(0, 1), "both RMW the same object");
+    }
+
+    #[test]
+    fn unbounded_state_exhausts_the_budget() {
+        /// `state_key` grows forever: the memoized walk cannot converge.
+        #[derive(Clone, Debug)]
+        struct Counter {
+            reg: Addr,
+            count: i64,
+        }
+        impl Program for Counter {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                self.count += 1;
+                mem.write_register(self.reg, Value::Int(self.count));
+                Step::Running
+            }
+            fn on_crash(&mut self) {}
+            fn state_key(&self) -> Value {
+                Value::Int(self.count)
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+        }
+        let mut mem = Memory::new();
+        let reg = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = vec![Box::new(Counter { reg, count: 0 })];
+        let budget = AnalysisBudget {
+            max_local_states: 64,
+            max_probes: 1 << 12,
+        };
+        match analyze_system(&mem, &programs, true, budget) {
+            Err(FootprintError::BudgetExceeded { pid: 0, .. }) => {}
+            other => panic!("unbounded walk must exhaust the budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_access_steps_violate_the_contract() {
+        #[derive(Clone, Debug)]
+        struct DoubleReader {
+            a: Addr,
+            b: Addr,
+        }
+        impl Program for DoubleReader {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                let x = mem.read_register(self.a);
+                let _y = mem.read_register(self.b);
+                Step::Decided(x)
+            }
+            fn on_crash(&mut self) {}
+            fn state_key(&self) -> Value {
+                Value::Unit
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+        }
+        let mut mem = Memory::new();
+        let a = mem.alloc_register(Value::Bottom);
+        let b = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = vec![Box::new(DoubleReader { a, b })];
+        match analyze_system(&mem, &programs, true, AnalysisBudget::default()) {
+            Err(FootprintError::MultipleAccesses { pid: 0, .. }) => {}
+            other => panic!("double access must be detected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_flags_under_declaration_as_error() {
+        /// Declares only `mine`, but also reads `shared`.
+        #[derive(Clone, Debug)]
+        struct UnderDeclared {
+            mine: Addr,
+            shared: Addr,
+            pc: u8,
+        }
+        impl Program for UnderDeclared {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                match self.pc {
+                    0 => {
+                        mem.write_register(self.mine, Value::Int(1));
+                        self.pc = 1;
+                        Step::Running
+                    }
+                    _ => Step::Decided(mem.read_register(self.shared)),
+                }
+            }
+            fn on_crash(&mut self) {
+                self.pc = 0;
+            }
+            fn state_key(&self) -> Value {
+                Value::Int(i64::from(self.pc))
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+            fn referenced_cells(&self) -> Option<Vec<Addr>> {
+                Some(vec![self.mine]) // deliberately misses `shared`
+            }
+        }
+        let mut mem = Memory::new();
+        let mine = mem.alloc_register(Value::Bottom);
+        let shared = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = vec![Box::new(UnderDeclared {
+            mine,
+            shared,
+            pc: 0,
+        })];
+        let report =
+            lint_system(&mem, &programs, None, AnalysisBudget::default()).expect("analyzable");
+        assert!(!report.is_clean());
+        assert!(
+            report.errors[0].contains("p0") && report.errors[0].contains("under-declares"),
+            "error must name the pid and rule: {:?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn lint_reports_over_declaration_and_derived_owned() {
+        let (mem, programs) = two_writer_system();
+        let report =
+            lint_system(&mem, &programs, None, AnalysisBudget::default()).expect("analyzable");
+        assert!(report.is_clean());
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+        // Each writer is the sole toucher of its own register; the
+        // shared register is read by both.
+        assert_eq!(report.derived_owned[0], vec![Addr(0)]);
+        assert_eq!(report.derived_owned[1], vec![Addr(1)]);
+    }
+
+    #[test]
+    fn lint_flags_cross_referenced_owned_cells() {
+        let mut mem = Memory::new();
+        let a = mem.alloc_register(Value::Bottom);
+        let b = mem.alloc_register(Value::Bottom);
+        let shared = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(WriteThenRead {
+                mine: a,
+                shared,
+                input: Value::Int(0),
+                pc: 0,
+            }),
+            // p1's "private" cell is... p0's cell a? No: p1 reads a.
+            Box::new(WriteThenRead {
+                mine: b,
+                shared: a,
+                input: Value::Int(0),
+                pc: 0,
+            }),
+        ];
+        let spec = SymmetrySpec::full(2)
+            .with_owned_cells(0, vec![a])
+            .with_owned_cells(1, vec![b]);
+        let report = lint_system(&mem, &programs, Some(&spec), AnalysisBudget::default()).unwrap();
+        assert!(!report.is_clean());
+        assert!(
+            report.errors[0].contains(&format!("{a}"))
+                && report.errors[0].contains("owned by p0")
+                && report.errors[0].contains("accessed by p1"),
+            "error must name cell, owner and accessor: {:?}",
+            report.errors
+        );
+        // On singleton orbits the same shape is only a warning.
+        let inert = SymmetrySpec::trivial(2)
+            .with_owned_cells(0, vec![a])
+            .with_owned_cells(1, vec![b]);
+        let report = lint_system(&mem, &programs, Some(&inert), AnalysisBudget::default()).unwrap();
+        assert!(report.is_clean());
+        assert!(!report.warnings.is_empty());
+    }
+}

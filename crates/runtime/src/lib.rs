@@ -39,6 +39,12 @@
 //!   symmetry, where declared per-process cells permute with their
 //!   owners and relocated programs are rebound ([`Program::rebind`] +
 //!   [`SymmetrySpec::with_owned_cells`]).
+//! * [`footprint`] — cell-access footprint analysis over the program
+//!   catalog: an instrumenting recorder plus a fixpoint walk of each
+//!   program's memoized local-state graph, feeding a declaration linter
+//!   ([`lint_system`]), a static step-independence relation
+//!   ([`StaticIndependence`], the POR prerequisite) and the symmetry
+//!   validation.
 //! * [`threaded`] — a real-thread executor (`parking_lot` mutex per object,
 //!   one OS thread per process) for wall-clock benchmarks.
 //! * [`verify`] — agreement/validity/termination checkers for consensus-
@@ -86,6 +92,7 @@ mod memory;
 mod program;
 mod trace;
 
+pub mod footprint;
 pub mod sched;
 pub mod threaded;
 pub mod verify;
@@ -97,6 +104,10 @@ pub use explore::{
     explore, explore_parallel, explore_symmetric, explore_symmetric_with_stats, explore_with_stats,
     ExploreConfig, ExploreOutcome, ExploreStats, SymmetricSystemFactory, SystemFactory,
     ViolationKind,
+};
+pub use footprint::{
+    analyze_system, lint_system, AccessKind, AccessModes, AnalysisBudget, FootprintError,
+    LintReport, ProcessFootprint, StaticIndependence, SystemFootprint,
 };
 // `Resolved`/`ShardInterner` are exported for the sharded-reconciliation
 // property suite in tests/proptest_runtime.rs (and as the documented

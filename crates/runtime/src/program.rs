@@ -142,8 +142,11 @@ pub trait Program: fmt::Debug + Send + Sync {
     fn rebind(&mut self, map: &Rebinding) {
         let _ = map;
         panic!(
-            "this Program does not support address rebinding; declare no \
-             owned cells for its process (SymmetrySpec::with_owned_cells)"
+            "this Program does not support address rebinding; implement \
+             Program::rebind, or declare no owned cells for its process \
+             (SymmetrySpec::with_owned_cells) — the footprint analyzer \
+             (rc_runtime::lint_system / `tables lint`) derives sound \
+             owned-cell candidates and checks the declarations"
         );
     }
 

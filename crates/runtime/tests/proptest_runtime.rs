@@ -39,6 +39,48 @@ impl Program for Worker {
     }
 }
 
+/// A rebindable program driving a fixed site list: at pc `i` it writes
+/// `Int(i)` to (or reads from) `sites[i]`, then decides. Used by the
+/// footprint-equivariance properties.
+#[derive(Clone, Debug)]
+struct Toucher {
+    /// `(cell, is_write)` per step.
+    sites: Vec<(Addr, bool)>,
+    pc: u8,
+}
+
+impl Program for Toucher {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        let Some(&(addr, write)) = self.sites.get(self.pc as usize) else {
+            return Step::Decided(Value::Unit);
+        };
+        if write {
+            mem.write_register(addr, Value::Int(i64::from(self.pc)));
+        } else {
+            let _ = mem.read_register(addr);
+        }
+        self.pc += 1;
+        Step::Running
+    }
+    fn on_crash(&mut self) {
+        self.pc = 0;
+    }
+    fn state_key(&self) -> Value {
+        Value::Int(i64::from(self.pc))
+    }
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn rebind(&mut self, map: &Rebinding) {
+        for (a, _) in &mut self.sites {
+            *a = map.lookup(*a);
+        }
+    }
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        Some(self.sites.iter().map(|&(a, _)| a).collect())
+    }
+}
+
 /// A small deterministic value zoo covering every `Value` constructor,
 /// with enough overlap between nearby seeds to produce collisions.
 fn small_value(seed: u64) -> Value {
@@ -605,6 +647,155 @@ proptest! {
         // State keys never change under rebinding (the documented
         // contract: addresses are identity, not volatile state).
         prop_assert_eq!(program.state_key(), Value::Unit);
+    }
+
+    /// The analyzed footprint is *equivariant* under address rebinding:
+    /// permuting the memory cells by a random bijection and rebinding
+    /// every program through it yields exactly the original footprint
+    /// with every address mapped — the analysis sees addresses as pure
+    /// identity, so a relocation cannot grow, shrink or re-mode any
+    /// process's cell set. (The full-state symmetry reduction and the
+    /// linter both depend on this: a footprint computed once is valid
+    /// for every rebound copy of the program.)
+    #[test]
+    fn analyzed_footprints_are_equivariant_under_rebinding(
+        cells in 2usize..6,
+        site_seeds in proptest::collection::vec(any::<u16>(), 1..5),
+        n in 1usize..4,
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Registers allocate densely from 0, so both memories share one
+        // address list; cell j of the permuted memory holds the initial
+        // value of the original cell perm⁻¹(j), so contents travel with
+        // the addresses the rebinding redirects.
+        let build = |perm: &[usize]| -> (Memory, Vec<Addr>, Rebinding) {
+            let mut mem = Memory::new();
+            let mut values = vec![0i64; cells];
+            for (orig, &img) in perm.iter().enumerate() {
+                values[img] = orig as i64;
+            }
+            let addrs: Vec<Addr> =
+                values.iter().map(|&v| mem.alloc_register(Value::Int(v))).collect();
+            let mut map = Rebinding::identity(cells);
+            for (orig, &img) in perm.iter().enumerate() {
+                map.map(addrs[orig], addrs[img]);
+            }
+            (mem, addrs, map)
+        };
+        let programs = |map: &Rebinding, addrs: &[Addr]| -> Vec<Box<dyn Program>> {
+            (0..n)
+                .map(|p| {
+                    let mut prog: Box<dyn Program> = Box::new(Toucher {
+                        sites: site_seeds
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &pick)| {
+                                // Low bit picks the mode, the rest the cell.
+                                (addrs[((pick >> 1) as usize + p * i) % cells], pick & 1 == 0)
+                            })
+                            .collect(),
+                        pc: 0,
+                    });
+                    prog.rebind(map);
+                    prog
+                })
+                .collect()
+        };
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        let mut perm: Vec<usize> = (0..cells).collect();
+        for i in (1..cells).rev() {
+            let j = rng.gen_range(0..i + 1);
+            perm.swap(i, j);
+        }
+        let identity: Vec<usize> = (0..cells).collect();
+        let (mem, addrs, id_map) = build(&identity);
+        let (mem2, _, map) = build(&perm);
+        let budget = rc_runtime::AnalysisBudget::default();
+        let original = rc_runtime::analyze_system(&mem, &programs(&id_map, &addrs), true, budget)
+            .expect("bounded system");
+        let rebound = rc_runtime::analyze_system(&mem2, &programs(&map, &addrs), true, budget)
+            .expect("bounded system");
+        for p in 0..n {
+            let mapped: std::collections::BTreeMap<Addr, _> = original.per_process[p]
+                .cells
+                .iter()
+                .map(|(&a, &m)| (map.lookup(a), m))
+                .collect();
+            prop_assert_eq!(&mapped, &rebound.per_process[p].cells);
+            // Rebinding must not change the local-state graph.
+            prop_assert_eq!(
+                original.per_process[p].local_states,
+                rebound.per_process[p].local_states
+            );
+        }
+    }
+
+    /// The analyzed footprint is equivariant under orbit permutations:
+    /// relocating interchangeable processes (program slot + owned
+    /// register moving together, as the full-state symmetry reduction
+    /// does) permutes the per-process footprints and remaps their owned
+    /// addresses — nothing else changes.
+    #[test]
+    fn analyzed_footprints_are_invariant_under_orbit_permutations(
+        n in 2usize..5,
+        work in 1u8..4,
+        shuffle_seed in any::<u64>(),
+    ) {
+        // One shared register everyone reads + one owned register each.
+        let build = |order: &[usize]| -> (Memory, Vec<Box<dyn Program>>) {
+            let mut mem = Memory::new();
+            let shared = mem.alloc_register(Value::Bottom);
+            let own: Vec<Addr> = (0..n).map(|_| mem.alloc_register(Value::Bottom)).collect();
+            let programs: Vec<Box<dyn Program>> = order
+                .iter()
+                .enumerate()
+                .map(|(slot, &src)| {
+                    // The program of original process `src`, relocated to
+                    // `slot`: its owned register is slot's, exactly as
+                    // Program::rebind would leave it.
+                    let _ = src;
+                    Box::new(Toucher {
+                        sites: (0..work)
+                            .map(|w| {
+                                if w % 2 == 0 {
+                                    (own[slot], true)
+                                } else {
+                                    (shared, false)
+                                }
+                            })
+                            .collect(),
+                        pc: 0,
+                    }) as Box<dyn Program>
+                })
+                .collect();
+            (mem, programs)
+        };
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        let identity: Vec<usize> = (0..n).collect();
+        let (mem, programs) = build(&identity);
+        let (mem2, permuted) = build(&order);
+        let budget = rc_runtime::AnalysisBudget::default();
+        let original =
+            rc_runtime::analyze_system(&mem, &programs, true, budget).expect("bounded");
+        let moved =
+            rc_runtime::analyze_system(&mem2, &permuted, true, budget).expect("bounded");
+        // Orbit members are interchangeable, so the footprint at slot i
+        // equals original slot i's with the owned register relabelled —
+        // which, for this fixture, is slot i's own register either way.
+        for p in 0..n {
+            prop_assert_eq!(
+                &original.per_process[p].cells,
+                &moved.per_process[p].cells
+            );
+        }
+        prop_assert_eq!(original.probes, moved.probes);
     }
 
     /// Memory state keys change exactly when contents change.

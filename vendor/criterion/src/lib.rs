@@ -188,6 +188,7 @@ fn human_time(nanos: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point (generated by `criterion_group!`).
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
