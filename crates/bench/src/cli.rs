@@ -8,7 +8,7 @@
 
 /// Every valid experiment id, in printing order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Parsed `tables` arguments.
@@ -94,11 +94,16 @@ where
                 .into(),
         );
     }
-    if parsed.snapshot && !(parsed.wants("e11") && parsed.wants("e12") && parsed.wants("e13")) {
+    if parsed.snapshot
+        && !(parsed.wants("e11")
+            && parsed.wants("e12")
+            && parsed.wants("e13")
+            && parsed.wants("e15"))
+    {
         return Err(
-            "--snapshot records the E11 engine sweep, the E12 symmetry sweep and the E13 \
-             full-state sweep, but e11, e12 and e13 are not all among the selected \
-             experiment ids"
+            "--snapshot records the E11 engine sweep, the E12 symmetry sweep, the E13 \
+             full-state sweep and the E15 partial-order-reduction sweep, but e11, e12, \
+             e13 and e15 are not all among the selected experiment ids"
                 .into(),
         );
     }
@@ -121,9 +126,11 @@ mod tests {
 
     #[test]
     fn subset_and_flags() {
-        let args = parse_args(["E4", "e11", "e12", "e13", "--fast", "--snapshot"]).expect("valid");
+        let args =
+            parse_args(["E4", "e11", "e12", "e13", "e15", "--fast", "--snapshot"]).expect("valid");
         assert!(args.fast && args.snapshot);
         assert!(args.wants("e4") && args.wants("e11") && args.wants("e12") && args.wants("e13"));
+        assert!(args.wants("e15"));
         assert!(!args.wants("e1"));
     }
 
@@ -136,7 +143,7 @@ mod tests {
         assert!(parse_args(["--list"]).expect("valid").list);
         assert!(!parse_args(Vec::<&str>::new()).expect("valid").list);
         assert!(parse_args(["e4", "--list"]).expect("valid").list);
-        let err = parse_args(["e11", "e12", "e13", "--snapshot", "--list"])
+        let err = parse_args(["e11", "e12", "e13", "e15", "--snapshot", "--list"])
             .expect_err("must reject the silent snapshot skip");
         assert!(err.contains("--snapshot"), "{err}");
     }
@@ -166,17 +173,21 @@ mod tests {
     /// `--snapshot` without every snapshot experiment in the selection
     /// would silently skip part of the snapshot write — the same
     /// silent-no-op shape as the unknown-id bug, so it is rejected too.
+    /// (E15 joined the snapshot set with the schema-2 `e15_rows`.)
     #[test]
-    fn snapshot_requires_e11_e12_and_e13_in_the_selection() {
+    fn snapshot_requires_e11_e12_e13_and_e15_in_the_selection() {
         let err = parse_args(["e4", "--snapshot"]).expect_err("must reject");
         assert!(err.contains("e11"), "{err}");
         assert!(err.contains("e12"), "{err}");
         assert!(err.contains("e13"), "{err}");
-        let err = parse_args(["e11", "--snapshot"]).expect_err("e12/e13 missing");
+        assert!(err.contains("e15"), "{err}");
+        let err = parse_args(["e11", "--snapshot"]).expect_err("e12/e13/e15 missing");
         assert!(err.contains("e12"), "{err}");
-        let err = parse_args(["e11", "e12", "--snapshot"]).expect_err("e13 missing");
+        let err = parse_args(["e11", "e12", "--snapshot"]).expect_err("e13/e15 missing");
         assert!(err.contains("e13"), "{err}");
-        assert!(parse_args(["e4", "e11", "e12", "e13", "--snapshot"]).is_ok());
+        let err = parse_args(["e11", "e12", "e13", "--snapshot"]).expect_err("e15 missing");
+        assert!(err.contains("e15"), "{err}");
+        assert!(parse_args(["e4", "e11", "e12", "e13", "e15", "--snapshot"]).is_ok());
         assert!(
             parse_args(["--snapshot"]).is_ok(),
             "empty selection runs everything"
@@ -195,7 +206,7 @@ mod tests {
         for combo in [
             vec!["lint", "e4"],
             vec!["lint", "--list"],
-            vec!["lint", "e11", "e12", "e13", "--snapshot"],
+            vec!["lint", "e11", "e12", "e13", "e15", "--snapshot"],
         ] {
             let err = parse_args(combo.clone()).expect_err("must reject");
             assert!(err.contains("lint"), "{combo:?}: {err}");

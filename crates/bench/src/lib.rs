@@ -18,15 +18,16 @@
 //! | E11 | model-checker engine scaling (states/sec, old vs new) | [`exp::e11_explore_scaling`] |
 //! | E12 | process-symmetry reduction sweep | [`exp::e12_symmetry_reduction`] |
 //! | E13 | full-state symmetry (`Program::rebind`) sweep | [`exp::e13_full_state_symmetry`] |
-//! | E14 | catalog access-declaration audit (`tables lint`) | [`exp::e14_catalog_lint`] |
+//! | E14 | catalog access-declaration + POR ample-set audit (`tables lint`) | [`exp::e14_catalog_lint`] |
+//! | E15 | partial-order reduction sweep (POR / rebind / both) | [`exp::e15_por_reduction`] |
 //!
 //! Run `cargo run -p rc-bench --release --bin tables` for all tables, or
 //! `--bin tables -- e4 e5` for a subset (unknown ids exit non-zero with
 //! the valid list). `--bin tables -- lint` runs the E14 audit as a CI
 //! gate (exit non-zero if any catalog system fails). Criterion timing
-//! benches live in `benches/`; the E11–E13 engine trajectory is
+//! benches live in `benches/`; the E11–E15 engine trajectory is
 //! snapshotted in `BENCH_explore.json` via
-//! `--bin tables -- e11 e12 e13 --snapshot`.
+//! `--bin tables -- e11 e12 e13 e15 --snapshot`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -70,15 +70,41 @@
 //! reduction composes with the frontier pipeline without disturbing the
 //! byte-identical determinism across runs and thread counts. See the
 //! [`canon`](crate::canon) module for the soundness argument.
+//!
+//! ## Partial-order reduction
+//!
+//! [`ExploreConfig::por`] switches on a **persistent-set + sleep-set
+//! reduction** driven by the per-local-state footprint analysis
+//! ([`crate::footprint::analyze_system_states`]): at each crash-free
+//! node the engine expands a singleton persistent set when one enabled
+//! step is statically independent of everything the other processes can
+//! ever do (crash-free future footprints; the decision pseudo-cell
+//! makes any two possibly-deciding steps dependent), and sleep sets —
+//! carried in the node keys, so node identity is `(state, sleep set)` —
+//! remove interleavings already covered by sibling subtrees. Any
+//! enabled crash transition forces full expansion (crashes are
+//! dependent with everything), which keeps every [`CrashModel`]
+//! adversary complete. Verdicts and leaf counts are identical to the
+//! unreduced search; state counts shrink. The reduction composes with
+//! symmetry (the sleep set joins the canonical signature and permutes
+//! with its processes) and with the frontier pipeline (sleep masks are
+//! precomputed serially per level, so outcomes stay byte-identical
+//! across engines and thread counts). [`lint_ample`] checks the
+//! eligibility conditions statically and spot-checks pruned
+//! interleavings dynamically.
 
 use crate::canon::{self, SymmetrySpec};
 use crate::crash::CrashModel;
-use crate::footprint::{analyze_system, AnalysisBudget, StaticIndependence, SystemFootprint};
+use crate::footprint::{
+    analyze_system, analyze_system_states, system_analysis_cached, AnalysisBudget, CellSet,
+    LocalStateInfo, StaticIndependence, SystemAnalysis, SystemFootprint,
+};
 use crate::intern::{Resolved, ShardInterner, ShardedStateTable, StateTable, ValueInterner};
 use crate::memory::{Cell, MemOps, Memory};
 use crate::program::{Pid, Program, Rebinding, Step};
 use crate::sched::Action;
 use rc_spec::{Operation, Value};
+use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::Arc;
 
@@ -120,6 +146,21 @@ pub struct ExploreConfig {
     /// (budget exhaustion): an explicit request to cross-validate an
     /// unanalyzable system is an error, not a silent no-op.
     pub cross_validate_independence: bool,
+    /// Switches on the footprint-driven **partial-order reduction**
+    /// (persistent + sleep sets; see the module docs). Verdicts and
+    /// leaf counts are identical to the unreduced search; state counts
+    /// shrink. Panics at search start when the system is ineligible —
+    /// the footprint analysis fails, a process's step graph is cyclic,
+    /// or (with symmetry) the orbit members' per-state footprints are
+    /// not equivariant: an explicit POR request must not silently run
+    /// unreduced. [`lint_ample`] reports the same conditions without
+    /// running a search.
+    pub por: bool,
+    /// Cache key for the footprint analysis POR runs on
+    /// ([`crate::footprint::system_analysis_cached`]). Must uniquely
+    /// identify the system's construction (the catalog benchmarks use
+    /// their row labels); `None` analyzes uncached.
+    pub analysis_id: Option<String>,
 }
 
 impl Default for ExploreConfig {
@@ -132,6 +173,8 @@ impl Default for ExploreConfig {
             workers_override: None,
             shards_override: None,
             cross_validate_independence: false,
+            por: false,
+            analysis_id: None,
         }
     }
 }
@@ -153,6 +196,8 @@ pub struct ExploreStats {
     pub shards: usize,
     /// Whether a non-trivial [`SymmetrySpec`] was active.
     pub symmetry: bool,
+    /// Whether partial-order reduction ([`ExploreConfig::por`]) ran.
+    pub por: bool,
 }
 
 /// The result of an exhaustive exploration.
@@ -423,7 +468,8 @@ impl CrashSource for NoCrashes {
 }
 
 /// Slot offsets of the flat interned state key:
-/// `[cells | program keys | packed decided bits | crashes | decided value]`.
+/// `[cells | program keys | packed decided bits | crashes | decided value
+/// | sleep words (POR only)]`.
 ///
 /// Keys are built **incrementally**: a child's key is a copy of its
 /// parent's with only the slots the action touched re-interned — the one
@@ -431,17 +477,28 @@ impl CrashSource for NoCrashes {
 /// or crashed program's key, the decided bit, the crash count and the
 /// decided value. Unchanged slots keep their parent's ids, which is
 /// sound because interned ids are stable and injective.
+///
+/// With [`ExploreConfig::por`] the key gains trailing **sleep words**
+/// holding the node's packed sleep mask raw (never interner ids): node
+/// identity under POR is `(state, sleep set)`, the standard fix for
+/// sleep sets meeting state memoization — a state re-reached with a
+/// different sleep set must be re-explored. POR-off keys are
+/// byte-identical to the pre-POR layout.
 #[derive(Clone, Copy)]
 struct KeyLayout {
     cells: usize,
     n: usize,
+    /// Trailing sleep-mask words; `0` when POR is off.
+    sleep_words: usize,
 }
 
 impl KeyLayout {
-    fn of(state: &SysState) -> Self {
+    fn of(state: &SysState, por: bool) -> Self {
+        let n = state.programs.len();
         KeyLayout {
             cells: state.mem.cells.len(),
-            n: state.programs.len(),
+            n,
+            sleep_words: if por { n.div_ceil(32) } else { 0 },
         }
     }
 
@@ -465,8 +522,28 @@ impl KeyLayout {
         self.crashes() + 1
     }
 
+    fn sleep_word(&self, w: usize) -> usize {
+        self.decided_value() + 1 + w
+    }
+
     fn len(&self) -> usize {
-        self.decided_value() + 1
+        self.decided_value() + 1 + self.sleep_words
+    }
+
+    /// The node's sleep mask, read back from its key (`0` without POR).
+    fn read_sleep(&self, key: &[u32]) -> u64 {
+        let mut mask = 0u64;
+        for w in 0..self.sleep_words {
+            mask |= u64::from(key[self.sleep_word(w)]) << (32 * w);
+        }
+        mask
+    }
+
+    /// Writes `sleep` into the key's sleep words (no-op without POR).
+    fn write_sleep(&self, key: &mut [u32], sleep: u64) {
+        for w in 0..self.sleep_words {
+            key[self.sleep_word(w)] = (sleep >> (32 * w)) as u32;
+        }
     }
 }
 
@@ -751,6 +828,7 @@ fn make_child_frontier(
     parent: &SysState,
     parent_key: &[u32],
     action: Action,
+    child_sleep: u64,
     layout: &KeyLayout,
     crashes: &CrashedSet,
     global: &ValueInterner,
@@ -770,6 +848,7 @@ fn make_child_frontier(
     key_scratch.extend_from_slice(parent_key);
     let key = key_scratch;
     patch_raw_slots(key, &child, action, layout);
+    layout.write_sleep(key, child_sleep);
     let mut unresolved: Vec<(usize, u32)> = Vec::new();
     if let Some(cell) = dirty {
         resolve_slot(
@@ -865,6 +944,7 @@ fn make_child_serial(
     parent: &SysState,
     parent_key: &[u32],
     action: Action,
+    child_sleep: u64,
     layout: &KeyLayout,
     crashes: &CrashedSet,
     interner: &mut ValueInterner,
@@ -880,6 +960,7 @@ fn make_child_serial(
     scratch.clear();
     scratch.extend_from_slice(parent_key);
     patch_raw_slots(scratch, &child, action, layout);
+    layout.write_sleep(scratch, child_sleep);
     if let Some(cell) = dirty {
         scratch[cell] = interner.intern(child.mem.value_ref(cell));
     }
@@ -1208,14 +1289,21 @@ fn validate_owned_cells(root: &SysState, spec: &SymmetrySpec, analyzed: Option<&
 struct AnalysisCtx {
     footprint: Option<SystemFootprint>,
     independence: Option<StaticIndependence>,
+    /// The per-local-state analysis backing POR, present iff
+    /// [`ExploreConfig::por`] is set (setup panics when the system is
+    /// ineligible — see [`ExploreConfig::por`]).
+    por: Option<Arc<SystemAnalysis>>,
 }
 
 /// Runs the footprint analysis when this search needs it: always when
-/// [`ExploreConfig::cross_validate_independence`] asks for the
-/// independence relation (analysis failure is then a panic — an
-/// explicit request must not silently no-op), and for owned-cell
-/// symmetry validation (failure there falls back to the hand-written
-/// `referenced_cells` declarations, the pre-analyzer status quo).
+/// [`ExploreConfig::por`] or
+/// [`ExploreConfig::cross_validate_independence`] ask for it (analysis
+/// failure is then a panic — an explicit request must not silently
+/// no-op), and for owned-cell symmetry validation (failure there falls
+/// back to the hand-written `referenced_cells` declarations, the
+/// pre-analyzer status quo). POR additionally requires acyclic step
+/// graphs and — under symmetry — equivariant per-state footprints
+/// across every orbit; both are enforced here, at search start.
 fn prepare_analysis(
     mem: &Memory,
     programs: &[Box<dyn Program>],
@@ -1223,25 +1311,301 @@ fn prepare_analysis(
     spec: Option<&SymmetrySpec>,
 ) -> AnalysisCtx {
     let wants_validation = spec.is_some_and(|s| !s.is_trivial() && s.has_moving_owned_cells());
-    if !config.cross_validate_independence && !wants_validation {
-        return AnalysisCtx::default();
-    }
-    match analyze_system(mem, programs, true, AnalysisBudget::default()) {
-        Ok(footprint) => {
-            let independence = config
-                .cross_validate_independence
-                .then(|| StaticIndependence::from_footprint(&footprint));
-            AnalysisCtx {
-                footprint: Some(footprint),
-                independence,
+    let mut ctx = AnalysisCtx::default();
+    if config.por {
+        let analysis = match config.analysis_id.as_deref() {
+            Some(id) => system_analysis_cached(id, mem, programs, AnalysisBudget::default()),
+            None => analyze_system_states(mem, programs, AnalysisBudget::default()).map(Arc::new),
+        };
+        let analysis = analysis.unwrap_or_else(|e| {
+            panic!("ExploreConfig::por is set but the footprint analysis failed: {e}")
+        });
+        assert!(
+            analysis.step_graphs_acyclic(),
+            "ExploreConfig::por is set but a process's step graph is \
+             cyclic; the per-state future footprints of a spinning \
+             process are not grounded in termination, so POR is refused \
+             for this system (lint_ample reports which process)"
+        );
+        if let Some(spec) = spec.filter(|s| !s.is_trivial()) {
+            if let Err(e) = check_por_equivariance(&analysis, spec) {
+                panic!("ExploreConfig::por with symmetry: {e}");
             }
         }
-        Err(e) if config.cross_validate_independence => panic!(
-            "cross_validate_independence is set but the footprint \
-             analysis failed: {e}"
-        ),
-        Err(_) => AnalysisCtx::default(),
+        ctx.footprint = Some(analysis.footprint.clone());
+        ctx.por = Some(analysis);
     }
+    if !config.cross_validate_independence && !wants_validation {
+        return ctx;
+    }
+    if ctx.footprint.is_none() {
+        match analyze_system(mem, programs, true, AnalysisBudget::default()) {
+            Ok(footprint) => ctx.footprint = Some(footprint),
+            Err(e) if config.cross_validate_independence => panic!(
+                "cross_validate_independence is set but the footprint \
+                 analysis failed: {e}"
+            ),
+            Err(_) => return ctx,
+        }
+    }
+    if config.cross_validate_independence {
+        ctx.independence = ctx
+            .footprint
+            .as_ref()
+            .map(StaticIndependence::from_footprint);
+    }
+    ctx
+}
+
+/// Checks that the per-local-state footprints are **equivariant** across
+/// every acting orbit of `spec`: orbit members must memoize the same
+/// `(state_key, decided)` local states, and each state's access sets
+/// must agree modulo the renaming that swaps the two members' owned
+/// cells position-for-position. Canonicalization relocates programs
+/// between orbit slots, so the POR engine looks a relocated program's
+/// state up in the *destination* slot's map — equivariance is exactly
+/// what makes that lookup yield the relocated process's true footprint.
+/// Checked for the transposition of each member with the orbit's first
+/// (transpositions generate the orbit's symmetric group).
+fn check_por_equivariance(analysis: &SystemAnalysis, spec: &SymmetrySpec) -> Result<(), String> {
+    let bits = analysis.cells + 1;
+    for pids in spec.acting_orbits() {
+        let first = pids[0];
+        for &p in &pids[1..] {
+            // The transposition (first p) on cell indices: identity
+            // except the two members' owned cells, swapped
+            // position-for-position; the decision pseudo-cell is fixed.
+            let mut rename: Vec<usize> = (0..bits).collect();
+            for (&a, &b) in spec.owned(first).iter().zip(spec.owned(p)) {
+                rename[a.index()] = b.index();
+                rename[b.index()] = a.index();
+            }
+            let (ma, mb) = (&analysis.per_process[first], &analysis.per_process[p]);
+            if ma.infos.len() != mb.infos.len() {
+                return Err(format!(
+                    "orbit {pids:?}: p{first} memoizes {} local states but \
+                     p{p} memoizes {}; the per-state footprint maps are \
+                     not equivariant, so POR cannot compose with this \
+                     symmetry",
+                    ma.infos.len(),
+                    mb.infos.len()
+                ));
+            }
+            for info in &ma.infos {
+                let Some(other) = mb.lookup(&info.key, info.decided) else {
+                    return Err(format!(
+                        "orbit {pids:?}: p{first} memoizes a local state \
+                         p{p} never reaches; the per-state footprint maps \
+                         are not equivariant, so POR cannot compose with \
+                         this symmetry"
+                    ));
+                };
+                let pairs = [
+                    ("imm_accessed", &info.imm_accessed, &other.imm_accessed),
+                    ("imm_mutated", &info.imm_mutated, &other.imm_mutated),
+                    (
+                        "future_accessed",
+                        &info.future_accessed,
+                        &other.future_accessed,
+                    ),
+                    (
+                        "future_mutated",
+                        &info.future_mutated,
+                        &other.future_mutated,
+                    ),
+                ];
+                for (label, a, b) in pairs {
+                    if !renamed_equal(a, b, &rename) {
+                        return Err(format!(
+                            "orbit {pids:?}: p{first} and p{p} disagree on \
+                             {label} of a shared local state (modulo the \
+                             owned-cell renaming); the per-state footprint \
+                             maps are not equivariant, so POR cannot \
+                             compose with this symmetry"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether `rename` maps `a` exactly onto `b` (`rename` is a bijection
+/// on bit indices, so image inclusion plus equal cardinality suffices).
+fn renamed_equal(a: &CellSet, b: &CellSet, rename: &[usize]) -> bool {
+    let mut len_a = 0usize;
+    for bit in a.iter() {
+        len_a += 1;
+        if !b.contains(rename[bit]) {
+            return false;
+        }
+    }
+    len_a == b.iter().count()
+}
+
+/// The per-search partial-order reduction engine: the per-local-state
+/// footprint analysis re-keyed by **interned** program-state ids, so the
+/// hot expansion path looks footprints up by the `u32` already in the
+/// node key instead of rebuilding `Value` state keys.
+struct PorEngine {
+    analysis: Arc<SystemAnalysis>,
+    /// Per process: interned `state_key` id → index into that process's
+    /// `infos`, for **undecided** states only (enabled steps belong to
+    /// undecided processes; decided states never need a lookup).
+    by_id: Vec<HashMap<u32, usize>>,
+}
+
+impl PorEngine {
+    /// Builds the engine, interning every analyzed state key in a fixed
+    /// order (pid-major, discovery order). Both engines construct this
+    /// at the same point — right after [`CrashedSet::new`] — so value
+    /// ids, and therefore every node key, stay identical across engines
+    /// and thread counts.
+    fn new(analysis: Arc<SystemAnalysis>, interner: &mut ValueInterner) -> Self {
+        let by_id = analysis
+            .per_process
+            .iter()
+            .map(|map| {
+                let mut ids = HashMap::new();
+                for (i, info) in map.infos.iter().enumerate() {
+                    let id = interner.intern(&info.key);
+                    if !info.decided {
+                        ids.insert(id, i);
+                    }
+                }
+                ids
+            })
+            .collect();
+        PorEngine { analysis, by_id }
+    }
+
+    /// The analyzed footprints of process `p`'s current (undecided)
+    /// local state, by the interned key id from the node key. A
+    /// reachable state the analysis never memoized means the analyzer
+    /// under-approximated the state space — unsound, so panic.
+    fn info(&self, p: usize, id: u32) -> &LocalStateInfo {
+        let idx = self.by_id[p].get(&id).unwrap_or_else(|| {
+            panic!(
+                "POR: process p{p} reached a local state the footprint \
+                 analysis never memoized; the analyzer is unsound for \
+                 this system"
+            )
+        });
+        &self.analysis.per_process[p].infos[*idx]
+    }
+}
+
+/// Expands one node under the optional POR engine: returns the child
+/// actions — each paired with the **sleep mask** its child node will
+/// carry — plus whether the node is terminal (no enabled action at all:
+/// a complete execution). Without POR every enabled action is returned
+/// with an empty mask.
+///
+/// With POR, at a crash-free node (any enabled crash forces full
+/// expansion — crashes conflict with everything, which keeps every
+/// [`CrashModel`] adversary complete; crash-freedom is hereditary along
+/// step edges, so sleep sets only ever form below crash-free nodes):
+///
+/// * the **persistent set** is the first singleton `{p}` (ascending
+///   pid) whose immediate step is statically independent of everything
+///   the other undecided processes can ever do — `imm_mutated(p)`
+///   disjoint from their crash-free `future_accessed`, their
+///   `future_mutated` disjoint from `imm_accessed(p)`, with the
+///   decision pseudo-cell making any two possibly-deciding steps
+///   conflict — else all enabled steps;
+/// * the node's own sleep set `Z` (read from its key) drops members
+///   whose subtrees a sibling already covers;
+/// * each expanded child inherits the sleeping pids that remain
+///   immediately independent of the step taken, plus its
+///   already-expanded siblings — classic sleep-set propagation, in
+///   ascending pid order so the set is engine- and thread-count
+///   deterministic.
+///
+/// An empty action list with `terminal == false` is a fully pruned
+/// node: visited and counted, but **not** a leaf and expanding nothing.
+fn expand_actions(
+    state: &SysState,
+    key: &[u32],
+    layout: &KeyLayout,
+    model: &CrashModel,
+    por: Option<&PorEngine>,
+) -> (Vec<(Action, u64)>, bool) {
+    let enabled = state.enabled_actions(model);
+    let terminal = enabled.is_empty();
+    let Some(por) = por else {
+        return (enabled.into_iter().map(|a| (a, 0)).collect(), terminal);
+    };
+    let sleep = layout.read_sleep(key);
+    debug_assert_eq!(
+        sleep & state.decided,
+        0,
+        "a sleeping process is undecided by construction"
+    );
+    if terminal {
+        // A sleeping process stays enabled (nobody else decides it, and
+        // crash-free nodes stay crash-free), so terminals carry Z = ∅
+        // and POR counts exactly the unreduced leaves.
+        assert_eq!(sleep, 0, "terminal node carries a sleep set");
+        return (Vec::new(), true);
+    }
+    if enabled.iter().any(|a| !matches!(a, Action::Step(_))) {
+        // Crash-enabled: full expansion, and the sleep set is provably
+        // empty — a node with a non-empty sleep set descends from a
+        // crash-free node through step edges only, and crash-freedom is
+        // hereditary along steps (the budget never recovers, decided
+        // bits only get set).
+        assert_eq!(sleep, 0, "crash-enabled node carries a sleep set");
+        return (enabled.into_iter().map(|a| (a, 0)).collect(), terminal);
+    }
+    let steps: Vec<usize> = enabled
+        .iter()
+        .map(|a| match a {
+            Action::Step(p) => *p,
+            _ => unreachable!("crash-free node"),
+        })
+        .collect();
+    let infos: Vec<&LocalStateInfo> = steps
+        .iter()
+        .map(|&p| por.info(p, key[layout.prog(p)]))
+        .collect();
+    // The persistent set: the first singleton that no other process can
+    // ever conflict with, else every enabled step. The future sets are
+    // the crash-free ones — sound precisely because this node is
+    // crash-free and stays so along every step-only continuation.
+    let persistent: Vec<usize> = (0..steps.len())
+        .find(|&i| {
+            infos.iter().enumerate().all(|(j, other)| {
+                j == i
+                    || (infos[i].imm_mutated.is_disjoint(&other.future_accessed)
+                        && other.future_mutated.is_disjoint(&infos[i].imm_accessed))
+            })
+        })
+        .map_or_else(|| (0..steps.len()).collect(), |i| vec![i]);
+    let mut out: Vec<(Action, u64)> = Vec::with_capacity(persistent.len());
+    // `Z ∪ {already-expanded siblings}`: a pid's bit joins as its
+    // subtree is scheduled, so later siblings may sleep on it.
+    let mut cover = sleep;
+    for &i in &persistent {
+        let p = steps[i];
+        if sleep >> p & 1 != 0 {
+            continue; // asleep: a sibling subtree covers this step
+        }
+        let mut child_sleep = 0u64;
+        for (j, &r) in steps.iter().enumerate() {
+            if r == p || cover >> r & 1 == 0 {
+                continue;
+            }
+            let imm_independent = infos[j].imm_mutated.is_disjoint(&infos[i].imm_accessed)
+                && infos[i].imm_mutated.is_disjoint(&infos[j].imm_accessed);
+            if imm_independent {
+                child_sleep |= 1 << r;
+            }
+        }
+        out.push((Action::Step(p), child_sleep));
+        cover |= 1 << p;
+    }
+    (out, false)
 }
 
 /// Asserts that every pair of enabled steps the static relation calls
@@ -1322,6 +1686,11 @@ fn canonicalize_child(
     spec: &SymmetrySpec,
     mut moved: Option<&mut Vec<(usize, usize)>>,
 ) -> Option<Box<[u8]>> {
+    // The sleep bit joins the signature (constant `false` with POR off,
+    // so ties — and therefore representative choices — are unchanged):
+    // under POR, node identity is `(state, sleep set)`, and the mask
+    // permutes with its processes exactly like the decided bits.
+    let sleep = layout.read_sleep(key);
     let perm = spec.canonical_perm_with(|p| {
         // Owned-cell values are part of the signature: the permutation
         // moves them, so the sort must be total over them (two members
@@ -1333,7 +1702,12 @@ fn canonicalize_child(
             .iter()
             .map(|&a| child.mem.value_ref(a.index()))
             .collect();
-        (child.programs[p].state_key(), child.is_decided(p), owned)
+        (
+            child.programs[p].state_key(),
+            child.is_decided(p),
+            sleep >> p & 1 != 0,
+            owned,
+        )
     })?;
     // Gather every moved payload before writing anything: a slot may be
     // both a source and a destination within one orbit rotation.
@@ -1393,6 +1767,13 @@ fn canonicalize_child(
     for w in 0..layout.decided_words() {
         key[layout.cells + layout.n + w] = (child.decided >> (32 * w)) as u32;
     }
+    if layout.sleep_words > 0 {
+        let mut permuted = 0u64;
+        for (i, &src) in perm.iter().enumerate() {
+            permuted |= (sleep >> src & 1) << i;
+        }
+        layout.write_sleep(key, permuted);
+    }
     Some(perm)
 }
 
@@ -1422,12 +1803,13 @@ fn leaf_weight(
     }
 }
 
-/// A DFS frame: one visited node plus a cursor over its enabled actions.
+/// A DFS frame: one visited node plus a cursor over its expandable
+/// actions (each carrying the sleep mask its child will inherit).
 struct Frame {
     state: SysState,
     key: Vec<u32>,
     idx: u32,
-    actions: Vec<Action>,
+    actions: Vec<(Action, u64)>,
     cursor: usize,
 }
 
@@ -1436,6 +1818,7 @@ struct SerialEngine<'a> {
     layout: KeyLayout,
     spec: Option<&'a SymmetrySpec>,
     indep: Option<&'a StaticIndependence>,
+    por: Option<&'a PorEngine>,
     interner: ValueInterner,
     visited: StateTable,
     parents: Vec<Option<ParentLink>>,
@@ -1461,9 +1844,16 @@ impl SerialEngine<'_> {
             return None;
         }
         self.parents.push(parent);
-        let actions = state.enabled_actions(&self.config.crash);
-        if actions.is_empty() {
+        let (actions, terminal) =
+            expand_actions(&state, key, &self.layout, &self.config.crash, self.por);
+        if terminal {
             self.leaves += leaf_weight(self.spec, &state, key, &self.layout);
+            return None;
+        }
+        if actions.is_empty() {
+            // POR pruned every enabled step (all asleep): the node is
+            // visited and counted, but a sibling subtree covers its
+            // continuations — not a leaf, nothing to expand.
             return None;
         }
         if let Some(indep) = self.indep {
@@ -1485,14 +1875,19 @@ fn explore_serial(
     spec: Option<&SymmetrySpec>,
     analysis: &AnalysisCtx,
 ) -> ExploreOutcome {
-    let layout = KeyLayout::of(&root);
+    let layout = KeyLayout::of(&root, analysis.por.is_some());
     let mut interner = ValueInterner::new();
     let crashes = CrashedSet::new(&root, &mut interner);
+    let por = analysis
+        .por
+        .as_ref()
+        .map(|a| PorEngine::new(a.clone(), &mut interner));
     let mut engine = SerialEngine {
         config,
         layout,
         spec,
         indep: analysis.independence.as_ref(),
+        por: por.as_ref(),
         interner,
         visited: StateTable::new(),
         parents: Vec::new(),
@@ -1520,13 +1915,14 @@ fn explore_serial(
             stack.pop();
             continue;
         }
-        let action = top.actions[top.cursor];
+        let (action, child_sleep) = top.actions[top.cursor];
         top.cursor += 1;
         let parent_idx = top.idx;
         match make_child_serial(
             &top.state,
             &top.key,
             action,
+            child_sleep,
             &layout,
             &crashes,
             &mut engine.interner,
@@ -1578,8 +1974,10 @@ struct FoundViolation {
 }
 
 /// A deduplicated node awaiting expansion: state, resolved key, global
-/// node index and its enabled actions.
-type ExpandNode = (SysState, Vec<u32>, u32, Vec<Action>);
+/// node index and its expandable actions with their child sleep masks
+/// (precomputed in the serial classification pass, so the parallel
+/// workers never consult the POR engine).
+type ExpandNode = (SysState, Vec<u32>, u32, Vec<(Action, u64)>);
 
 /// One expansion worker's output for its contiguous chunk of the level.
 struct ChunkOutput {
@@ -1616,11 +2014,12 @@ fn expand_chunk(
         if let Some(indep) = indep {
             cross_validate_node(state, indep);
         }
-        for &action in actions {
+        for &(action, child_sleep) in actions {
             match make_child_frontier(
                 state,
                 key,
                 action,
+                child_sleep,
                 layout,
                 crashes,
                 global,
@@ -1715,6 +2114,7 @@ fn run_level_fused(
     config: &ExploreConfig,
     spec: Option<&SymmetrySpec>,
     indep: Option<&StaticIndependence>,
+    por: Option<&PorEngine>,
     global: &mut ValueInterner,
     visited: &mut ShardedStateTable,
     parents: &mut Vec<Option<ParentLink>>,
@@ -1729,7 +2129,7 @@ fn run_level_fused(
         if let Some(indep) = indep {
             cross_validate_node(state, indep);
         }
-        for &action in actions {
+        for &(action, child_sleep) in actions {
             // The serial engine's child builder verbatim — the fused
             // path adds only the level bookkeeping around it, so the
             // incremental key logic exists in exactly one place. (Past
@@ -1741,6 +2141,7 @@ fn run_level_fused(
                 state,
                 key,
                 action,
+                child_sleep,
                 layout,
                 crashes,
                 global,
@@ -1777,12 +2178,14 @@ fn run_level_fused(
                 action,
                 perm,
             }));
-            let child_actions = child.enabled_actions(&config.crash);
-            if child_actions.is_empty() {
+            let (child_actions, terminal) =
+                expand_actions(&child, &key_scratch, layout, &config.crash, por);
+            if terminal {
                 *leaves += leaf_weight(spec, &child, &key_scratch, layout);
-            } else {
+            } else if !child_actions.is_empty() {
                 next.push((child, key_scratch.clone(), child_idx, child_actions));
             }
+            // Neither: POR pruned every enabled step — counted, no leaf.
         }
     }
     if !violations.is_empty() {
@@ -1829,6 +2232,7 @@ fn run_level_staged(
     config: &ExploreConfig,
     spec: Option<&SymmetrySpec>,
     indep: Option<&StaticIndependence>,
+    por: Option<&PorEngine>,
     global: &mut ValueInterner,
     visited: &mut ShardedStateTable,
     parents: &mut Vec<Option<ParentLink>>,
@@ -1940,12 +2344,13 @@ fn run_level_staged(
         }
         let idx = u32::try_from(parents.len()).expect("node index fits u32");
         parents.push(Some(parent));
-        let actions = state.enabled_actions(&config.crash);
-        if actions.is_empty() {
+        let (actions, terminal) = expand_actions(&state, &key, layout, &config.crash, por);
+        if terminal {
             *leaves += leaf_weight(spec, &state, &key, layout);
-        } else {
+        } else if !actions.is_empty() {
             next.push((state, key, idx, actions));
         }
+        // Neither: POR pruned every enabled step — counted, no leaf.
     }
     LevelResult::Next(next)
 }
@@ -1966,7 +2371,7 @@ fn explore_frontier(
     stats: &mut ExploreStats,
 ) -> ExploreOutcome {
     let indep = analysis.independence.as_ref();
-    let layout = KeyLayout::of(&root);
+    let layout = KeyLayout::of(&root, analysis.por.is_some());
     let mut global = ValueInterner::new();
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let shards = config
@@ -1978,9 +2383,14 @@ fn explore_frontier(
     let mut root_perm: Option<Box<[u8]>> = None;
     let mut leaves = 0usize;
     let crashes = CrashedSet::new(&root, &mut global);
+    let por = analysis
+        .por
+        .as_ref()
+        .map(|a| PorEngine::new(a.clone(), &mut global));
     stats.frontier = true;
     stats.max_level_workers = 1;
     stats.shards = shards;
+    stats.por = por.is_some();
 
     // The root: resolved and inserted serially.
     if config.max_states == 0 {
@@ -1996,9 +2406,14 @@ fn explore_frontier(
         let shard = shard_for(&visited, &root_key.key);
         visited.shards_mut()[shard].insert(&root_key.key);
         parents.push(None);
-        let actions = root.enabled_actions(&config.crash);
-        if actions.is_empty() {
+        let (actions, terminal) =
+            expand_actions(&root, &root_key.key, &layout, &config.crash, por.as_ref());
+        if terminal {
             leaves += leaf_weight(spec, &root, &root_key.key, &layout);
+            Vec::new()
+        } else if actions.is_empty() {
+            // Unreachable in practice (the root's sleep set is empty,
+            // so its persistent set survives), kept for uniformity.
             Vec::new()
         } else {
             vec![(root, root_key.key, 0, actions)]
@@ -2018,6 +2433,7 @@ fn explore_frontier(
                 config,
                 spec,
                 indep,
+                por.as_ref(),
                 &mut global,
                 &mut visited,
                 &mut parents,
@@ -2032,6 +2448,7 @@ fn explore_frontier(
                 config,
                 spec,
                 indep,
+                por.as_ref(),
                 &mut global,
                 &mut visited,
                 &mut parents,
@@ -2091,6 +2508,7 @@ fn dispatch(
         max_level_workers: 1,
         shards: 0,
         symmetry: spec.is_some(),
+        por: analysis.por.is_some(),
     };
     let outcome = if config.threads > 1 {
         explore_frontier(root, config, config.threads, spec, analysis, &mut stats)
@@ -2174,6 +2592,265 @@ pub fn explore_parallel(factory: &SystemFactory<'_>, config: &ExploreConfig) -> 
         &analysis,
         &mut stats,
     )
+}
+
+/// The verdict of [`lint_ample`]: the soundness conditions the
+/// partial-order reduction rests on, checked without running a reduced
+/// search. `errors` name violated conditions (POR on this system would
+/// be unsound or refuses to run — the engine panics on the same
+/// conditions); `warnings` are diagnostics that do not block POR.
+#[derive(Clone, Debug, Default)]
+pub struct AmpleLintReport {
+    /// Violated eligibility/soundness conditions, one message each
+    /// (prefixed `A1`–`A5`, see [`lint_ample`]).
+    pub errors: Vec<String>,
+    /// Non-blocking diagnostics (e.g. "POR will not reduce this
+    /// system").
+    pub warnings: Vec<String>,
+    /// States visited by the dynamic commutation spot-check (A3).
+    pub spot_states: usize,
+    /// Pruned-order pair re-executions performed by the spot-check.
+    pub spot_pairs: usize,
+}
+
+impl AmpleLintReport {
+    /// Whether every check passed.
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Crash source for the lint's spot-check walk: resets a clone of the
+/// parent's program (the walk has no precomputed [`CrashedSet`]).
+struct LintCrashes;
+
+impl CrashSource for LintCrashes {
+    fn crashed(&mut self, parent: &SysState, p: usize) -> Arc<Box<dyn Program>> {
+        let mut fresh = parent.programs[p].boxed_clone();
+        fresh.on_crash();
+        Arc::new(fresh)
+    }
+}
+
+/// Statically checks the ample-set-style soundness conditions the POR
+/// engine relies on, plus a dynamic spot-check, without running a
+/// reduced search — the `tables lint` / CI-gate companion to
+/// [`ExploreConfig::por`]:
+///
+/// * **A1 — analyzability**: the per-local-state footprint analysis
+///   converges for every process.
+/// * **A2 — termination grounding**: every process's step-edge graph is
+///   acyclic, so the crash-free future footprints are well-founded.
+/// * **A3 — dynamic commutation spot-check**: a bounded unreduced walk
+///   (at most `spot_check_states` states) re-derives the engine's
+///   persistent-set choice at every crash-free branching state and
+///   re-executes each pruned step order both ways; any divergence —
+///   an under-approximated dependency — is an error.
+/// * **A4 — crash closure**: no local state's crash-free future escapes
+///   its crash-inclusive future (the analysis ignored no crash edge;
+///   the engine's crash gate additionally forces full expansion at
+///   every crash-enabled node).
+/// * **A5 — symmetry equivariance** (when `spec` is given): orbit
+///   members' per-state footprints agree modulo the owned-cell
+///   renaming, the condition composing POR with rebind canonicalization.
+pub fn lint_ample(
+    mem: Memory,
+    programs: Vec<Box<dyn Program>>,
+    spec: Option<&SymmetrySpec>,
+    crash: &CrashModel,
+    analysis_id: Option<&str>,
+    spot_check_states: usize,
+) -> AmpleLintReport {
+    let mut report = AmpleLintReport::default();
+    let analysis = match analysis_id {
+        Some(id) => system_analysis_cached(id, &mem, &programs, AnalysisBudget::default()),
+        None => analyze_system_states(&mem, &programs, AnalysisBudget::default()).map(Arc::new),
+    };
+    let analysis = match analysis {
+        Ok(a) => a,
+        Err(e) => {
+            report
+                .errors
+                .push(format!("A1: the footprint analysis failed: {e}"));
+            return report;
+        }
+    };
+    for (p, map) in analysis.per_process.iter().enumerate() {
+        if !map.step_acyclic {
+            report.errors.push(format!(
+                "A2: process p{p}'s step graph is cyclic (a spinning \
+                 read loop); its future footprints are not grounded in \
+                 termination, so POR is ineligible"
+            ));
+        }
+        if map
+            .infos
+            .iter()
+            .any(|i| !i.future_accessed.is_subset(&i.crash_future_accessed))
+            || map
+                .infos
+                .iter()
+                .any(|i| !i.future_mutated.is_subset(&i.crash_future_mutated))
+        {
+            report.errors.push(format!(
+                "A4: process p{p} has a local state whose crash-free \
+                 future escapes its crash-inclusive future; the analysis \
+                 ignored a crash edge"
+            ));
+        }
+    }
+    if let Some(spec) = spec.filter(|s| !s.is_trivial()) {
+        if let Err(e) = check_por_equivariance(&analysis, spec) {
+            report.errors.push(format!("A5: {e}"));
+        }
+    }
+    if report.errors.is_empty() && spot_check_states > 0 {
+        spot_check_pruned(
+            &analysis,
+            SysState::root(mem, programs),
+            crash,
+            spot_check_states,
+            &mut report,
+        );
+    }
+    report
+}
+
+/// The A3 walk of [`lint_ample`]: a bounded breadth-first traversal of
+/// the **unreduced** state graph that, at every crash-free state where
+/// the engine would prune (a singleton persistent set among several
+/// enabled steps), re-executes each pruned pair in both orders and
+/// reports any divergence.
+fn spot_check_pruned(
+    analysis: &SystemAnalysis,
+    root: SysState,
+    crash: &CrashModel,
+    cap: usize,
+    report: &mut AmpleLintReport,
+) {
+    type SpotKey = (Vec<Value>, Vec<Value>, u64, usize);
+    let spot_key = |s: &SysState| -> SpotKey {
+        (
+            (0..s.mem.cells.len())
+                .map(|i| s.mem.value_ref(i).clone())
+                .collect(),
+            s.programs.iter().map(|p| p.state_key()).collect(),
+            s.decided,
+            s.crashes_used,
+        )
+    };
+    let mut visited: std::collections::BTreeSet<SpotKey> = std::collections::BTreeSet::new();
+    let mut queue: std::collections::VecDeque<SysState> = std::collections::VecDeque::new();
+    let mut saw_singleton = false;
+    visited.insert(spot_key(&root));
+    queue.push_back(root);
+    while let Some(state) = queue.pop_front() {
+        if report.spot_states >= cap {
+            break;
+        }
+        report.spot_states += 1;
+        let enabled = state.enabled_actions(crash);
+        let crash_free = enabled.iter().all(|a| matches!(a, Action::Step(_)));
+        if crash_free && enabled.len() > 1 {
+            // Re-derive the engine's persistent-set choice on raw state
+            // keys (the lint runs without an interner) — identical
+            // condition, identical tie-break (first eligible pid).
+            let steps: Vec<usize> = enabled
+                .iter()
+                .map(|a| match a {
+                    Action::Step(p) => *p,
+                    _ => unreachable!("crash-free state"),
+                })
+                .collect();
+            let infos: Vec<&LocalStateInfo> = steps
+                .iter()
+                .map(|&p| {
+                    analysis.per_process[p]
+                        .lookup(&state.programs[p].state_key(), false)
+                        .expect("reachable local state was memoized by the analysis")
+                })
+                .collect();
+            let choice = (0..steps.len()).find(|&i| {
+                infos.iter().enumerate().all(|(j, other)| {
+                    j == i
+                        || (infos[i].imm_mutated.is_disjoint(&other.future_accessed)
+                            && other.future_mutated.is_disjoint(&infos[i].imm_accessed))
+                })
+            });
+            if let Some(i) = choice {
+                saw_singleton = true;
+                let p = steps[i];
+                for &q in &steps {
+                    if q == p {
+                        continue;
+                    }
+                    report.spot_pairs += 1;
+                    if let Some(diff) = commute_divergence(&state, p, q) {
+                        report.errors.push(format!(
+                            "A3: a pruned interleaving diverges at a \
+                             sampled state: step orders p{p};p{q} and \
+                             p{q};p{p} disagree on {diff} — the static \
+                             dependency relation under-approximates"
+                        ));
+                        return;
+                    }
+                }
+            }
+        }
+        for &action in &enabled {
+            let (mut child, _, newly) = match action {
+                Action::Step(_) => apply_to_child(&state, action, &mut NoCrashes),
+                _ => apply_to_child(&state, action, &mut LintCrashes),
+            };
+            if let Some(v) = newly {
+                child.decided_value.get_or_insert(v);
+            }
+            if visited.insert(spot_key(&child)) {
+                queue.push_back(child);
+            }
+        }
+    }
+    if !saw_singleton && report.spot_states > 1 {
+        report.warnings.push(
+            "A3: no sampled state admitted a singleton persistent set; \
+             POR will not reduce this system (every enabled pair of \
+             steps conflicts)"
+                .to_string(),
+        );
+    }
+}
+
+/// Executes `Step(p); Step(q)` and `Step(q); Step(p)` from `state` and
+/// names the first divergence, or `None` when the orders commute —
+/// [`cross_validate_node`]'s check, reporting instead of asserting.
+fn commute_divergence(state: &SysState, p: usize, q: usize) -> Option<String> {
+    let both = |a: usize, b: usize| {
+        let (mid, _, da) = apply_to_child(state, Action::Step(a), &mut NoCrashes);
+        let (end, _, db) = apply_to_child(&mid, Action::Step(b), &mut NoCrashes);
+        (end, da, db)
+    };
+    let (pq, p_first, q_second) = both(p, q);
+    let (qp, q_first, p_second) = both(q, p);
+    if p_first != p_second {
+        return Some(format!("p{p}'s step outcome"));
+    }
+    if q_first != q_second {
+        return Some(format!("p{q}'s step outcome"));
+    }
+    if pq.decided != qp.decided {
+        return Some("the decided flags".to_string());
+    }
+    for who in [p, q] {
+        if pq.programs[who].state_key() != qp.programs[who].state_key() {
+            return Some(format!("p{who}'s local state"));
+        }
+    }
+    for cell in 0..pq.mem.cells.len() {
+        if pq.mem.value_ref(cell) != qp.mem.value_ref(cell) {
+            return Some(format!("cell @{cell}"));
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -3261,5 +3938,413 @@ mod tests {
         for s in &schedules[1..] {
             assert_eq!(s, &schedules[0]);
         }
+    }
+
+    /// A spinning read loop: re-reads a register forever while it is
+    /// `Bottom`. Its local-state graph is a single state with a step
+    /// self-edge — the cyclic shape POR must refuse (lint condition A2).
+    #[derive(Clone, Debug)]
+    struct Spinner {
+        addr: Addr,
+    }
+    impl Program for Spinner {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            if mem.read_register(self.addr).is_bottom() {
+                Step::Running
+            } else {
+                Step::Decided(Value::Int(0))
+            }
+        }
+        fn on_crash(&mut self) {}
+        fn state_key(&self) -> Value {
+            Value::Unit
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn spinner_factory() -> (Memory, Vec<Box<dyn Program>>) {
+        let mut mem = Memory::new();
+        let addr = mem.alloc_register(Value::Bottom);
+        (mem, vec![Box::new(Spinner { addr }) as Box<dyn Program>])
+    }
+
+    /// Processes touching one *shared* register: every step pair
+    /// conflicts on it, so the persistent set is always the full
+    /// enabled set and POR has nothing to prune.
+    #[derive(Clone, Debug)]
+    struct SharedToucher {
+        addr: Addr,
+        pc: u8,
+    }
+    impl Program for SharedToucher {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            if self.pc == 0 {
+                mem.write_register(self.addr, Value::Int(1));
+                self.pc = 1;
+                Step::Running
+            } else {
+                Step::Decided(mem.read_register(self.addr))
+            }
+        }
+        fn on_crash(&mut self) {
+            self.pc = 0;
+        }
+        fn state_key(&self) -> Value {
+            Value::Int(i64::from(self.pc))
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn shared_toucher_factory(n: usize) -> (Memory, Vec<Box<dyn Program>>) {
+        let mut mem = Memory::new();
+        let addr = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = (0..n)
+            .map(|_| Box::new(SharedToucher { addr, pc: 0 }) as Box<dyn Program>)
+            .collect();
+        (mem, programs)
+    }
+
+    /// An unbounded local-state graph (the key grows without bound):
+    /// the footprint analysis exhausts its budget, so POR must refuse
+    /// the system instead of running on partial footprints.
+    #[derive(Clone, Debug)]
+    struct UnboundedCounter {
+        reg: Addr,
+        count: i64,
+    }
+    impl Program for UnboundedCounter {
+        fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+            self.count += 1;
+            mem.write_register(self.reg, Value::Int(self.count));
+            Step::Running
+        }
+        fn on_crash(&mut self) {
+            self.count = 0;
+        }
+        fn state_key(&self) -> Value {
+            Value::Int(self.count)
+        }
+        fn boxed_clone(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn unbounded_factory() -> (Memory, Vec<Box<dyn Program>>) {
+        let mut mem = Memory::new();
+        let reg = mem.alloc_register(Value::Bottom);
+        (
+            mem,
+            vec![Box::new(UnboundedCounter { reg, count: 0 }) as Box<dyn Program>],
+        )
+    }
+
+    /// POR on the fully independent own-register system: same verdict
+    /// and leaf count as the unreduced search, strictly fewer states —
+    /// in the serial engine and byte-identically in the frontier engine
+    /// at several thread counts. (Budget 0: every node is crash-free,
+    /// so the interleaving reduction is undiluted; with a live crash
+    /// budget the crash-enabled layer is fully expanded by design and
+    /// its crash children cover most of the crash-free layer, see the
+    /// budget-1 equality check at the end.)
+    #[test]
+    fn por_reduces_states_and_preserves_leaves() {
+        let factory = || {
+            let (mem, programs, _) = own_reg_factory(3);
+            (mem, programs)
+        };
+        let base = ExploreConfig {
+            crash: CrashModel::independent(0),
+            inputs: Some(vec![Value::Int(1)]),
+            ..ExploreConfig::default()
+        };
+        let (off_states, off_leaves) = match explore(&factory, &base) {
+            ExploreOutcome::Verified { states, leaves } => (states, leaves),
+            other => panic!("expected verified, got {other:?}"),
+        };
+        let reduced = ExploreConfig {
+            por: true,
+            ..base.clone()
+        };
+        let (on, stats) = explore_with_stats(&factory, &reduced);
+        assert!(stats.por, "the POR engine must report it ran");
+        match &on {
+            ExploreOutcome::Verified { states, leaves } => {
+                assert!(
+                    *states < off_states,
+                    "POR must prune commuting interleavings: {states} vs {off_states}"
+                );
+                assert_eq!(*leaves, off_leaves, "leaf counts must stay exact");
+            }
+            other => panic!("expected verified, got {other:?}"),
+        }
+        for threads in [2usize, 8] {
+            let parallel = explore(
+                &factory,
+                &ExploreConfig {
+                    threads,
+                    workers_override: Some(threads),
+                    shards_override: Some(2),
+                    ..reduced.clone()
+                },
+            );
+            assert_eq!(on, parallel, "threads {threads}");
+        }
+        // With a live crash budget the verdict and leaf count are still
+        // exact (states may not shrink: crash-enabled nodes expand
+        // fully, and their crash children blanket the crash-free layer).
+        let crashy = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(false),
+            ..base.clone()
+        };
+        let (c_states, c_leaves) = match explore(&factory, &crashy) {
+            ExploreOutcome::Verified { states, leaves } => (states, leaves),
+            other => panic!("expected verified, got {other:?}"),
+        };
+        match explore(
+            &factory,
+            &ExploreConfig {
+                por: true,
+                ..crashy
+            },
+        ) {
+            ExploreOutcome::Verified { states, leaves } => {
+                assert!(states <= c_states, "{states} vs {c_states}");
+                assert_eq!(leaves, c_leaves, "budget-1 leaf counts must stay exact");
+            }
+            other => panic!("expected verified, got {other:?}"),
+        }
+    }
+
+    /// POR on a fully dependent system (everyone touches one shared
+    /// register): no pair of steps commutes, so the reduced search is
+    /// byte-identical to the unreduced one — including the state count.
+    #[test]
+    fn por_is_exact_when_nothing_commutes() {
+        let factory = || shared_toucher_factory(3);
+        let base = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(false),
+            ..ExploreConfig::default()
+        };
+        let off = explore(&factory, &base);
+        assert!(off.is_verified(), "{off:?}");
+        let on = explore(
+            &factory,
+            &ExploreConfig {
+                por: true,
+                ..base.clone()
+            },
+        );
+        assert_eq!(off, on, "a conflict-saturated system admits no pruning");
+    }
+
+    /// Truncating caps stay exact under POR — `Truncated {{ states }}`
+    /// equals the cap, matching the unreduced engine's report — and the
+    /// serial and frontier engines agree byte-for-byte.
+    #[test]
+    fn por_truncation_cap_is_exact_across_engines() {
+        let factory = || {
+            let (mem, programs, _) = own_reg_factory(3);
+            (mem, programs)
+        };
+        let reduced = ExploreConfig {
+            crash: CrashModel::independent(1).after_decide(false),
+            inputs: Some(vec![Value::Int(1)]),
+            por: true,
+            ..ExploreConfig::default()
+        };
+        let total = match explore(&factory, &reduced) {
+            ExploreOutcome::Verified { states, .. } => states,
+            other => panic!("expected verified, got {other:?}"),
+        };
+        for cap in [1usize, total / 2, total - 1] {
+            let capped = ExploreConfig {
+                max_states: cap,
+                ..reduced.clone()
+            };
+            let serial = explore(&factory, &capped);
+            assert_eq!(serial, ExploreOutcome::Truncated { states: cap });
+            // The unreduced engine reports the identical truncation.
+            let unreduced = explore(
+                &factory,
+                &ExploreConfig {
+                    por: false,
+                    ..capped.clone()
+                },
+            );
+            assert_eq!(serial, unreduced, "cap {cap}");
+            for threads in [2usize, 8] {
+                let parallel = explore(
+                    &factory,
+                    &ExploreConfig {
+                        threads,
+                        workers_override: Some(threads),
+                        shards_override: Some(2),
+                        ..capped.clone()
+                    },
+                );
+                assert_eq!(serial, parallel, "cap {cap}, threads {threads}");
+            }
+        }
+    }
+
+    /// POR composes with full-state rebind symmetry: the combined
+    /// search keeps the exact leaf count and visits fewer states than
+    /// either reduction alone, byte-identically across engines.
+    #[test]
+    fn por_composes_with_rebind_symmetry() {
+        let n = 3;
+        let plain = || {
+            let (mem, programs, _) = own_reg_factory(n);
+            (mem, programs)
+        };
+        let rebind = || {
+            let (mem, programs, regs) = own_reg_factory(n);
+            let mut spec = SymmetrySpec::full(n);
+            for (p, &reg) in regs.iter().enumerate() {
+                spec = spec.with_owned_cells(p, vec![reg]);
+            }
+            (mem, programs, spec)
+        };
+        let base = ExploreConfig {
+            crash: CrashModel::independent(0),
+            inputs: Some(vec![Value::Int(1)]),
+            ..ExploreConfig::default()
+        };
+        let reduced = ExploreConfig {
+            por: true,
+            ..base.clone()
+        };
+        let verified = |outcome: ExploreOutcome| match outcome {
+            ExploreOutcome::Verified { states, leaves } => (states, leaves),
+            other => panic!("expected verified, got {other:?}"),
+        };
+        let (off_states, off_leaves) = verified(explore(&plain, &base));
+        let (por_states, por_leaves) = verified(explore(&plain, &reduced));
+        let (sym_states, sym_leaves) = verified(explore_symmetric(&rebind, &base));
+        let (combined, stats) = explore_symmetric_with_stats(&rebind, &reduced);
+        assert!(stats.symmetry && stats.por);
+        let (both_states, both_leaves) = verified(combined.clone());
+        assert_eq!(por_leaves, off_leaves);
+        assert_eq!(sym_leaves, off_leaves);
+        assert_eq!(both_leaves, off_leaves, "leaves stay exact under both");
+        assert!(
+            both_states < por_states && both_states < sym_states,
+            "the reductions must compose: por {por_states}, symmetry \
+             {sym_states}, both {both_states} (unreduced {off_states})"
+        );
+        for threads in [2usize, 8] {
+            let parallel = explore_symmetric(
+                &rebind,
+                &ExploreConfig {
+                    threads,
+                    workers_override: Some(threads),
+                    shards_override: Some(2),
+                    ..reduced.clone()
+                },
+            );
+            assert_eq!(combined, parallel, "threads {threads}");
+        }
+    }
+
+    /// A spinning read loop (cyclic step graph) makes the crash-free
+    /// future footprints unsound, so POR is refused at search start.
+    #[test]
+    #[should_panic(expected = "step graph is cyclic")]
+    fn por_refuses_cyclic_step_graphs() {
+        let _ = explore(
+            &spinner_factory,
+            &ExploreConfig {
+                por: true,
+                ..ExploreConfig::default()
+            },
+        );
+    }
+
+    /// When the footprint analysis itself fails (unbounded local-state
+    /// graph), POR is an explicit request that must not silently no-op.
+    #[test]
+    #[should_panic(expected = "footprint analysis failed")]
+    fn por_refuses_unanalyzable_systems() {
+        let _ = explore(
+            &unbounded_factory,
+            &ExploreConfig {
+                por: true,
+                ..ExploreConfig::default()
+            },
+        );
+    }
+
+    /// The ample lint passes a well-behaved independent system — with
+    /// a symmetry spec (A5) and a spot-check walk that really exercises
+    /// pruned pairs (A3) — and reports no warnings.
+    #[test]
+    fn lint_ample_passes_on_independent_systems() {
+        let (mem, programs, regs) = own_reg_factory(3);
+        let mut spec = SymmetrySpec::full(3);
+        for (p, &reg) in regs.iter().enumerate() {
+            spec = spec.with_owned_cells(p, vec![reg]);
+        }
+        let report = lint_ample(
+            mem,
+            programs,
+            Some(&spec),
+            &CrashModel::independent(1).after_decide(false),
+            None,
+            256,
+        );
+        assert!(report.ok(), "{:?}", report.errors);
+        assert!(report.spot_states > 0, "the spot-check walk must run");
+        assert!(
+            report.spot_pairs > 0,
+            "the walk must re-execute pruned pairs on this system"
+        );
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    /// The lint names the cyclic step graph (A2) the engine refuses.
+    #[test]
+    fn lint_ample_reports_cyclic_step_graphs() {
+        let (mem, programs) = spinner_factory();
+        let report = lint_ample(mem, programs, None, &CrashModel::independent(0), None, 0);
+        assert!(!report.ok());
+        assert!(
+            report.errors.iter().any(|e| e.starts_with("A2")),
+            "{:?}",
+            report.errors
+        );
+    }
+
+    /// The lint reports analysis failure (A1) instead of panicking.
+    #[test]
+    fn lint_ample_reports_unanalyzable_systems() {
+        let (mem, programs) = unbounded_factory();
+        let report = lint_ample(mem, programs, None, &CrashModel::independent(0), None, 0);
+        assert!(!report.ok());
+        assert!(
+            report.errors.iter().any(|e| e.starts_with("A1")),
+            "{:?}",
+            report.errors
+        );
+    }
+
+    /// On a conflict-saturated system the lint passes (POR is *sound*
+    /// there, merely useless) but warns that nothing will be pruned.
+    #[test]
+    fn lint_ample_warns_when_nothing_commutes() {
+        let (mem, programs) = shared_toucher_factory(2);
+        let report = lint_ample(mem, programs, None, &CrashModel::independent(0), None, 64);
+        assert!(report.ok(), "{:?}", report.errors);
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("will not reduce")),
+            "{:?}",
+            report.warnings
+        );
     }
 }

@@ -77,9 +77,11 @@ use crate::canon::SymmetrySpec;
 use crate::memory::{Addr, Cell, MemOps, Memory};
 use crate::program::{Pid, Program, Step};
 use rc_spec::{Operation, TypeHandle, Value};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 thread_local! {
     /// Whether the current thread is inside a caught probe (see
@@ -134,6 +136,13 @@ pub struct AccessModes {
     pub write: bool,
     /// The cell receives RMW operations (`apply`).
     pub rmw: bool,
+}
+
+impl AccessKind {
+    /// Whether the access can change the cell (write or RMW).
+    pub fn mutates(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Rmw)
+    }
 }
 
 impl AccessModes {
@@ -432,20 +441,44 @@ struct PidStates {
     /// `(state_key, decided)` → state index.
     index: BTreeMap<(Value, bool), usize>,
     footprint: ProcessFootprint,
+    /// Per state: the step's access site (discovered on branch 0).
+    sites: Vec<Option<(usize, AccessKind)>>,
+    /// Per state: whether some probed branch of the step decides.
+    may_decide: Vec<bool>,
+    /// Per state: step-successor state indices (all probed branches).
+    step_succ: Vec<BTreeSet<usize>>,
+    /// Per state: the crash-restart successor (`include_crash` walks).
+    crash_succ: Vec<Option<usize>>,
 }
 
-/// Analyzes every process's cell footprint by walking the memoized
-/// local-state graphs to a fixpoint (see the module docs).
-///
-/// `include_crash` adds [`on_crash`](Program::on_crash) edges to the
-/// walk; exploration consumers keep it `true` (sound for every crash
-/// model — extra edges only grow the over-approximation).
-pub fn analyze_system(
+/// The raw result of one fixpoint walk: the memoized per-process state
+/// graphs plus the probe count.
+struct Walk {
+    pids: Vec<PidStates>,
+    probes: usize,
+}
+
+/// Global fixpoint-run counter, bumped once per [`walk_system`] call.
+/// Exposed through [`analysis_fixpoint_runs`] so tests can assert the
+/// analysis cache really prevents recomputation.
+static FIXPOINT_RUNS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of fixpoint walks run by this process so far (all threads).
+pub fn analysis_fixpoint_runs() -> usize {
+    FIXPOINT_RUNS.load(Ordering::Relaxed)
+}
+
+/// The shared fixpoint walk behind [`analyze_system`] and
+/// [`analyze_system_states`]: memoizes every reachable local state per
+/// process and records, per state, the step's access site, its step
+/// successors, its crash successor and whether any branch decides.
+fn walk_system(
     mem: &Memory,
     programs: &[Box<dyn Program>],
     include_crash: bool,
     budget: AnalysisBudget,
-) -> Result<SystemFootprint, FootprintError> {
+) -> Result<Walk, FootprintError> {
+    FIXPOINT_RUNS.fetch_add(1, Ordering::Relaxed);
     let kinds: Vec<ProbeKind> = (0..mem.len())
         .map(|i| match mem.peek_cell(Addr(i)) {
             Cell::Register(_) => ProbeKind::Register,
@@ -469,6 +502,10 @@ pub fn analyze_system(
             states: Vec::new(),
             index: BTreeMap::new(),
             footprint: ProcessFootprint::default(),
+            sites: Vec::new(),
+            may_decide: Vec::new(),
+            step_succ: Vec::new(),
+            crash_succ: Vec::new(),
         })
         .collect();
     // Read/RMW sites per cell, for fixpoint re-probing on domain growth.
@@ -479,7 +516,8 @@ pub fn analyze_system(
     let mut probes = 0usize;
 
     /// Memoizes `prog` (and, transitively, its crash restart) for `pid`;
-    /// enqueues newly discovered states.
+    /// enqueues newly discovered states. Returns the index of the state
+    /// `prog` memoized to, so the caller can record successor edges.
     #[allow(clippy::too_many_arguments)]
     fn insert(
         pid: Pid,
@@ -492,35 +530,51 @@ pub fn analyze_system(
         total_states: &mut usize,
         budget: &AnalysisBudget,
         probes: usize,
-    ) -> Result<(), FootprintError> {
-        let mut pending = vec![(prog, decided)];
-        while let Some((prog, decided)) = pending.pop() {
+    ) -> Result<usize, FootprintError> {
+        // Each pending entry carries the state index whose crash edge
+        // leads to it (None for the original `prog`).
+        let mut pending: Vec<(Box<dyn Program>, bool, Option<usize>)> = vec![(prog, decided, None)];
+        let mut first = None;
+        while let Some((prog, decided, from)) = pending.pop() {
             let key = (prog.state_key(), decided);
-            if pids[pid].index.contains_key(&key) {
-                continue;
+            let idx = match pids[pid].index.get(&key) {
+                Some(&idx) => idx,
+                None => {
+                    *total_states += 1;
+                    if *total_states > budget.max_local_states {
+                        return Err(FootprintError::BudgetExceeded {
+                            pid,
+                            local_states: *total_states,
+                            probes,
+                        });
+                    }
+                    let idx = pids[pid].states.len();
+                    if include_crash {
+                        let mut crashed = prog.boxed_clone();
+                        crashed.on_crash();
+                        pending.push((crashed, false, Some(idx)));
+                    }
+                    pids[pid].states.push((prog, decided));
+                    pids[pid].index.insert(key, idx);
+                    pids[pid].footprint.local_states += 1;
+                    pids[pid].sites.push(None);
+                    pids[pid].may_decide.push(false);
+                    pids[pid].step_succ.push(BTreeSet::new());
+                    pids[pid].crash_succ.push(None);
+                    if queued.insert((pid, idx)) {
+                        work.push_back((pid, idx));
+                    }
+                    idx
+                }
+            };
+            if let Some(from) = from {
+                pids[pid].crash_succ[from] = Some(idx);
             }
-            *total_states += 1;
-            if *total_states > budget.max_local_states {
-                return Err(FootprintError::BudgetExceeded {
-                    pid,
-                    local_states: *total_states,
-                    probes,
-                });
-            }
-            if include_crash {
-                let mut crashed = prog.boxed_clone();
-                crashed.on_crash();
-                pending.push((crashed, false));
-            }
-            let idx = pids[pid].states.len();
-            pids[pid].states.push((prog, decided));
-            pids[pid].index.insert(key, idx);
-            pids[pid].footprint.local_states += 1;
-            if queued.insert((pid, idx)) {
-                work.push_back((pid, idx));
+            if first.is_none() {
+                first = Some(idx);
             }
         }
-        Ok(())
+        Ok(first.expect("insert memoizes at least the given state"))
     }
 
     for (pid, prog) in programs.iter().enumerate() {
@@ -571,6 +625,7 @@ pub fn analyze_system(
                 });
             }
             if b == 0 {
+                pids[pid].sites[sidx] = probe.site;
                 if let Some((cell, kind)) = probe.site {
                     pids[pid]
                         .footprint
@@ -594,7 +649,10 @@ pub fn analyze_system(
                 _ => continue,
             };
             let decided = matches!(step, Step::Decided(_));
-            insert(
+            if decided {
+                pids[pid].may_decide[sidx] = true;
+            }
+            let succ = insert(
                 pid,
                 prog,
                 decided,
@@ -606,6 +664,7 @@ pub fn analyze_system(
                 &budget,
                 probes,
             )?;
+            pids[pid].step_succ[sidx].insert(succ);
         }
         for (cell, value) in grew {
             if domains[cell].insert(value) {
@@ -618,10 +677,357 @@ pub fn analyze_system(
         }
     }
 
+    Ok(Walk { pids, probes })
+}
+
+/// Analyzes every process's cell footprint by walking the memoized
+/// local-state graphs to a fixpoint (see the module docs).
+///
+/// `include_crash` adds [`on_crash`](Program::on_crash) edges to the
+/// walk; exploration consumers keep it `true` (sound for every crash
+/// model — extra edges only grow the over-approximation).
+pub fn analyze_system(
+    mem: &Memory,
+    programs: &[Box<dyn Program>],
+    include_crash: bool,
+    budget: AnalysisBudget,
+) -> Result<SystemFootprint, FootprintError> {
+    let walk = walk_system(mem, programs, include_crash, budget)?;
     Ok(SystemFootprint {
-        per_process: pids.into_iter().map(|p| p.footprint).collect(),
-        probes,
+        per_process: walk.pids.into_iter().map(|p| p.footprint).collect(),
+        probes: walk.probes,
     })
+}
+
+/// A compact cell set over `cells + 1` bits: bit `i` is shared cell `i`,
+/// and the last bit (index `cells`) is the **decision pseudo-cell** —
+/// the analysis models every deciding step as an RMW on it, so the
+/// agreement check and the `decided_value` slot count as a dependency
+/// between any two steps that may decide (see [`SystemAnalysis`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellSet {
+    words: Box<[u64]>,
+}
+
+impl CellSet {
+    fn empty(bits: usize) -> Self {
+        CellSet {
+            words: vec![0u64; bits.div_ceil(64).max(1)].into_boxed_slice(),
+        }
+    }
+
+    fn insert(&mut self, bit: usize) {
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// Whether `bit` is in the set.
+    pub fn contains(&self, bit: usize) -> bool {
+        self.words
+            .get(bit / 64)
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the two sets share no bit.
+    pub fn is_disjoint(&self, other: &CellSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every bit of `self` is in `other`.
+    pub fn is_subset(&self, other: &CellSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Unions `other` into `self`; returns whether `self` changed.
+    fn union_with(&mut self, other: &CellSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            let merged = *a | b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    /// The set bits, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| w * 64 + b)
+        })
+    }
+}
+
+/// The analyzed behaviour of one memoized local state: what its next
+/// step touches *immediately* and what the process may touch on any
+/// crash-free continuation *from this state onward*. The immediate sets
+/// drive the sleep-set independence test; the future sets drive the
+/// persistent-set test (see `explore`'s POR engine).
+#[derive(Clone, Debug)]
+pub struct LocalStateInfo {
+    /// The state's `state_key`.
+    pub key: Value,
+    /// Whether the state is decided (no further steps).
+    pub decided: bool,
+    /// The step's single access site, `(cell index, kind)`; `None` when
+    /// the step touches no shared cell.
+    pub site: Option<(usize, AccessKind)>,
+    /// Whether some probed branch of the step decides.
+    pub may_decide: bool,
+    /// Cells the next step may access (site + the decision pseudo-cell
+    /// when `may_decide`).
+    pub imm_accessed: CellSet,
+    /// Cells the next step may mutate.
+    pub imm_mutated: CellSet,
+    /// Cells any **crash-free** continuation from here may access
+    /// (closure over step edges; includes this state's own step).
+    pub future_accessed: CellSet,
+    /// Cells any crash-free continuation from here may mutate.
+    pub future_mutated: CellSet,
+    /// Cells any continuation **including crash edges** may access —
+    /// the crash-closure the ample-set lint checks the crash-free sets
+    /// against.
+    pub crash_future_accessed: CellSet,
+    /// Cells any continuation including crash edges may mutate.
+    pub crash_future_mutated: CellSet,
+}
+
+/// One process's per-local-state analysis: every memoized `(state_key,
+/// decided)` state with its [`LocalStateInfo`].
+#[derive(Clone, Debug)]
+pub struct ProcessStateMap {
+    /// Per-state info, in discovery order.
+    pub infos: Vec<LocalStateInfo>,
+    /// `(state_key, decided)` → index into `infos`.
+    index: BTreeMap<(Value, bool), usize>,
+    /// Whether the process's step-edge graph (crash edges excluded) is
+    /// acyclic — the termination condition POR eligibility requires.
+    pub step_acyclic: bool,
+}
+
+impl ProcessStateMap {
+    /// Looks up the info of the state with the given key, if analyzed.
+    pub fn lookup(&self, key: &Value, decided: bool) -> Option<&LocalStateInfo> {
+        self.index
+            .get(&(key.clone(), decided))
+            .map(|&i| &self.infos[i])
+    }
+}
+
+/// The per-local-state extension of [`SystemFootprint`]: everything
+/// [`analyze_system`] computes plus, per process, a map from memoized
+/// local state to immediate/future access footprints (crash-free and
+/// crash-inclusive), the step-graph acyclicity flag, and the decision
+/// pseudo-cell convention ([`CellSet`]). Built by
+/// [`analyze_system_states`] in the same fixpoint walk, so it costs no
+/// extra probes over the whole-system footprint.
+#[derive(Clone, Debug)]
+pub struct SystemAnalysis {
+    /// The whole-system footprint (identical to
+    /// `analyze_system(mem, programs, true, budget)`).
+    pub footprint: SystemFootprint,
+    /// `per_process[p]` — process `p`'s per-local-state map.
+    pub per_process: Vec<ProcessStateMap>,
+    /// Number of real shared cells; the decision pseudo-cell is bit
+    /// `cells` of every [`CellSet`].
+    pub cells: usize,
+    /// The global fixpoint-run serial at which this analysis was
+    /// computed (see [`analysis_fixpoint_runs`]); lets tests distinguish
+    /// a cache hit from a recomputation.
+    pub serial: usize,
+}
+
+impl SystemAnalysis {
+    /// The decision pseudo-cell's bit index in this analysis's
+    /// [`CellSet`]s.
+    pub fn decision_cell(&self) -> usize {
+        self.cells
+    }
+
+    /// Whether every process's step-edge graph is acyclic.
+    pub fn step_graphs_acyclic(&self) -> bool {
+        self.per_process.iter().all(|p| p.step_acyclic)
+    }
+}
+
+/// Whether the step-edge graph over `infos` is acyclic (self-loops are
+/// cycles). Iterative three-color DFS.
+fn step_graph_acyclic(step_succ: &[BTreeSet<usize>]) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; step_succ.len()];
+    for root in 0..step_succ.len() {
+        if color[root] != Color::White {
+            continue;
+        }
+        // (node, next-successor iterator position)
+        let mut stack: Vec<(usize, std::collections::btree_set::Iter<'_, usize>)> = Vec::new();
+        color[root] = Color::Gray;
+        stack.push((root, step_succ[root].iter()));
+        while let Some((node, iter)) = stack.last_mut() {
+            match iter.next() {
+                Some(&succ) => match color[succ] {
+                    Color::Gray => return false,
+                    Color::White => {
+                        color[succ] = Color::Gray;
+                        stack.push((succ, step_succ[succ].iter()));
+                    }
+                    Color::Black => {}
+                },
+                None => {
+                    color[*node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Runs the fixpoint walk **with crash edges** and derives the
+/// per-local-state analysis: immediate access sets per state, the
+/// crash-free and crash-inclusive future footprints (backward closure
+/// over the recorded successor edges), and per-process step-graph
+/// acyclicity. See [`SystemAnalysis`].
+pub fn analyze_system_states(
+    mem: &Memory,
+    programs: &[Box<dyn Program>],
+    budget: AnalysisBudget,
+) -> Result<SystemAnalysis, FootprintError> {
+    let walk = walk_system(mem, programs, true, budget)?;
+    let cells = mem.len();
+    let decision = cells;
+    let bits = cells + 1;
+    let mut per_process = Vec::with_capacity(walk.pids.len());
+    for pid in walk.pids.iter() {
+        let n_states = pid.states.len();
+        let mut infos: Vec<LocalStateInfo> = (0..n_states)
+            .map(|s| {
+                let (prog, decided) = &pid.states[s];
+                let mut imm_accessed = CellSet::empty(bits);
+                let mut imm_mutated = CellSet::empty(bits);
+                if !*decided {
+                    if let Some((cell, kind)) = pid.sites[s] {
+                        imm_accessed.insert(cell);
+                        if kind.mutates() {
+                            imm_mutated.insert(cell);
+                        }
+                    }
+                    if pid.may_decide[s] {
+                        // A deciding step reads and writes the decision
+                        // pseudo-cell (the agreement check + the
+                        // decided-value slot).
+                        imm_accessed.insert(decision);
+                        imm_mutated.insert(decision);
+                    }
+                }
+                LocalStateInfo {
+                    key: prog.state_key(),
+                    decided: *decided,
+                    site: if *decided { None } else { pid.sites[s] },
+                    may_decide: !*decided && pid.may_decide[s],
+                    future_accessed: imm_accessed.clone(),
+                    future_mutated: imm_mutated.clone(),
+                    crash_future_accessed: imm_accessed.clone(),
+                    crash_future_mutated: imm_mutated.clone(),
+                    imm_accessed,
+                    imm_mutated,
+                }
+            })
+            .collect();
+        // Backward closure to the (monotone, bounded) fixpoint: a
+        // state's future covers its own step plus every successor's
+        // future — over step edges only for the crash-free sets, over
+        // step + crash edges for the crash-inclusive ones.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in (0..n_states).rev() {
+                for succ in pid.step_succ[s].clone() {
+                    let (acc, mutd, cacc, cmut) = {
+                        let t = &infos[succ];
+                        (
+                            t.future_accessed.clone(),
+                            t.future_mutated.clone(),
+                            t.crash_future_accessed.clone(),
+                            t.crash_future_mutated.clone(),
+                        )
+                    };
+                    changed |= infos[s].future_accessed.union_with(&acc);
+                    changed |= infos[s].future_mutated.union_with(&mutd);
+                    changed |= infos[s].crash_future_accessed.union_with(&cacc);
+                    changed |= infos[s].crash_future_mutated.union_with(&cmut);
+                }
+                if let Some(succ) = pid.crash_succ[s] {
+                    let (cacc, cmut) = {
+                        let t = &infos[succ];
+                        (
+                            t.crash_future_accessed.clone(),
+                            t.crash_future_mutated.clone(),
+                        )
+                    };
+                    changed |= infos[s].crash_future_accessed.union_with(&cacc);
+                    changed |= infos[s].crash_future_mutated.union_with(&cmut);
+                }
+            }
+        }
+        per_process.push(ProcessStateMap {
+            step_acyclic: step_graph_acyclic(&pid.step_succ),
+            infos,
+            index: pid.index.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        });
+    }
+    Ok(SystemAnalysis {
+        footprint: SystemFootprint {
+            per_process: walk.pids.into_iter().map(|p| p.footprint).collect(),
+            probes: walk.probes,
+        },
+        per_process,
+        cells,
+        serial: analysis_fixpoint_runs(),
+    })
+}
+
+/// The process-global analysis cache behind [`system_analysis_cached`].
+static ANALYSIS_CACHE: OnceLock<Mutex<HashMap<String, Arc<SystemAnalysis>>>> = OnceLock::new();
+
+/// Returns the [`SystemAnalysis`] for `id`, computing it from `mem` and
+/// `programs` only on the first call with that id. The id must uniquely
+/// identify the system's construction (memory layout, program wiring and
+/// instance size) — the catalog benchmarks use their row labels. The
+/// cache lets `tables lint`, the explore engines' owned-cell validation
+/// and the POR setup share one fixpoint run per catalog system; tests
+/// assert the sharing via [`analysis_fixpoint_runs`] and the returned
+/// [`SystemAnalysis::serial`].
+pub fn system_analysis_cached(
+    id: &str,
+    mem: &Memory,
+    programs: &[Box<dyn Program>],
+    budget: AnalysisBudget,
+) -> Result<Arc<SystemAnalysis>, FootprintError> {
+    let cache = ANALYSIS_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("analysis cache lock");
+    if let Some(hit) = map.get(id) {
+        return Ok(hit.clone());
+    }
+    let analysis = Arc::new(analyze_system_states(mem, programs, budget)?);
+    map.insert(id.to_string(), analysis.clone());
+    Ok(analysis)
 }
 
 /// The static independence relation derived from a [`SystemFootprint`]:
@@ -729,7 +1135,20 @@ pub fn lint_system(
     spec: Option<&SymmetrySpec>,
     budget: AnalysisBudget,
 ) -> Result<LintReport, FootprintError> {
-    let footprint = analyze_system(mem, programs, true, budget)?;
+    let analysis = analyze_system_states(mem, programs, budget)?;
+    Ok(lint_with_analysis(&analysis, mem, programs, spec))
+}
+
+/// [`lint_system`] over an already-computed [`SystemAnalysis`] (e.g. a
+/// [`system_analysis_cached`] hit), so the catalog audit and the explore
+/// engines share one fixpoint run per system.
+pub fn lint_with_analysis(
+    analysis: &SystemAnalysis,
+    mem: &Memory,
+    programs: &[Box<dyn Program>],
+    spec: Option<&SymmetrySpec>,
+) -> LintReport {
+    let footprint = analysis.footprint.clone();
     let mut errors = Vec::new();
     let mut warnings = Vec::new();
 
@@ -817,12 +1236,12 @@ pub fn lint_system(
         }
     }
 
-    Ok(LintReport {
+    LintReport {
         errors,
         warnings,
         derived_owned,
         footprint,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -1222,5 +1641,104 @@ mod tests {
         let report = lint_system(&mem, &programs, Some(&inert), AnalysisBudget::default()).unwrap();
         assert!(report.is_clean());
         assert!(!report.warnings.is_empty());
+    }
+
+    #[test]
+    fn per_state_futures_shrink_along_steps() {
+        let (mem, programs) = two_writer_system();
+        let analysis =
+            analyze_system_states(&mem, &programs, AnalysisBudget::default()).expect("analyzable");
+        assert_eq!(analysis.cells, 3);
+        let d = analysis.decision_cell();
+        assert!(analysis.step_graphs_acyclic());
+        let p0 = &analysis.per_process[0];
+        // pc 0: writes `mine` (cell 0) now; the future also reads
+        // `shared` (cell 2) and decides (the pseudo-cell).
+        let start = p0.lookup(&Value::Int(0), false).expect("pc 0 analyzed");
+        assert_eq!(start.site, Some((0, AccessKind::Write)));
+        assert!(!start.may_decide);
+        assert!(start.imm_mutated.contains(0) && !start.imm_mutated.contains(2));
+        assert!(!start.imm_accessed.contains(d));
+        assert!(start.future_accessed.contains(2) && start.future_accessed.contains(d));
+        // pc 1: reads `shared` and decides; cell 0 is out of its
+        // crash-free future but back in the crash-inclusive one (the
+        // restart re-runs the write).
+        let poised = p0.lookup(&Value::Int(1), false).expect("pc 1 analyzed");
+        assert_eq!(poised.site, Some((2, AccessKind::Read)));
+        assert!(poised.may_decide);
+        assert!(poised.imm_accessed.contains(d) && poised.imm_mutated.contains(d));
+        assert!(!poised.future_accessed.contains(0));
+        assert!(poised.crash_future_accessed.contains(0));
+        assert!(poised
+            .future_accessed
+            .is_subset(&poised.crash_future_accessed));
+        // Decided states step no more: empty immediate and future sets.
+        let done = p0.lookup(&Value::Int(1), true).expect("decided analyzed");
+        assert!(done.imm_accessed.is_empty() && done.future_accessed.is_empty());
+    }
+
+    #[test]
+    fn spinning_reader_has_a_cyclic_step_graph() {
+        /// Re-reads `watch` until it sees a non-Bottom value: pc 0 has a
+        /// step self-loop, so the local step graph is cyclic.
+        #[derive(Clone, Debug)]
+        struct Spinner {
+            watch: Addr,
+            pc: u8,
+        }
+        impl Program for Spinner {
+            fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+                match self.pc {
+                    0 => {
+                        if mem.read_register(self.watch) != Value::Bottom {
+                            self.pc = 1;
+                        }
+                        Step::Running
+                    }
+                    _ => Step::Decided(Value::Unit),
+                }
+            }
+            fn on_crash(&mut self) {
+                self.pc = 0;
+            }
+            fn state_key(&self) -> Value {
+                Value::Int(i64::from(self.pc))
+            }
+            fn boxed_clone(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
+            }
+        }
+        let mut mem = Memory::new();
+        let watch = mem.alloc_register(Value::Bottom);
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(Spinner { watch, pc: 0 }),
+            Box::new(WriteThenRead {
+                mine: watch,
+                shared: watch,
+                input: Value::Int(1),
+                pc: 0,
+            }),
+        ];
+        let analysis = analyze_system_states(&mem, &programs, AnalysisBudget::default()).unwrap();
+        assert!(!analysis.per_process[0].step_acyclic, "pc-0 self-loop");
+        assert!(analysis.per_process[1].step_acyclic);
+        assert!(!analysis.step_graphs_acyclic());
+    }
+
+    #[test]
+    fn analysis_cache_runs_the_fixpoint_once_per_id() {
+        let (mem, programs) = two_writer_system();
+        let id = "footprint-test::cache-once";
+        let first = system_analysis_cached(id, &mem, &programs, AnalysisBudget::default())
+            .expect("analyzable");
+        let runs_after_first = analysis_fixpoint_runs();
+        let second = system_analysis_cached(id, &mem, &programs, AnalysisBudget::default())
+            .expect("analyzable");
+        assert!(Arc::ptr_eq(&first, &second), "second call must be a hit");
+        assert_eq!(first.serial, second.serial);
+        // Other tests run fixpoints concurrently, so assert through the
+        // Arc identity + serial stamp rather than the raw global delta;
+        // the serial recorded in the hit predates `runs_after_first`.
+        assert!(second.serial <= runs_after_first);
     }
 }

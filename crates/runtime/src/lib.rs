@@ -38,12 +38,16 @@
 //!   ([`explore_symmetric`] + [`SymmetrySpec`]) — including *full-state*
 //!   symmetry, where declared per-process cells permute with their
 //!   owners and relocated programs are rebound ([`Program::rebind`] +
-//!   [`SymmetrySpec::with_owned_cells`]).
+//!   [`SymmetrySpec::with_owned_cells`]) — plus opt-in footprint-driven
+//!   **partial-order reduction** ([`ExploreConfig::por`]: persistent +
+//!   sleep sets, gated by the ample-set lint [`lint_ample`]).
 //! * [`footprint`] — cell-access footprint analysis over the program
 //!   catalog: an instrumenting recorder plus a fixpoint walk of each
 //!   program's memoized local-state graph, feeding a declaration linter
 //!   ([`lint_system`]), a static step-independence relation
-//!   ([`StaticIndependence`], the POR prerequisite) and the symmetry
+//!   ([`StaticIndependence`], the POR prerequisite), the per-local-state
+//!   access maps POR consumes ([`analyze_system_states`], cached per
+//!   catalog id via [`system_analysis_cached`]) and the symmetry
 //!   validation.
 //! * [`threaded`] — a real-thread executor (`parking_lot` mutex per object,
 //!   one OS thread per process) for wall-clock benchmarks.
@@ -102,12 +106,14 @@ pub use crash::{CrashMode, CrashModel};
 pub use exec::{run, Execution, RunOptions};
 pub use explore::{
     explore, explore_parallel, explore_symmetric, explore_symmetric_with_stats, explore_with_stats,
-    ExploreConfig, ExploreOutcome, ExploreStats, SymmetricSystemFactory, SystemFactory,
-    ViolationKind,
+    lint_ample, AmpleLintReport, ExploreConfig, ExploreOutcome, ExploreStats,
+    SymmetricSystemFactory, SystemFactory, ViolationKind,
 };
 pub use footprint::{
-    analyze_system, lint_system, AccessKind, AccessModes, AnalysisBudget, FootprintError,
-    LintReport, ProcessFootprint, StaticIndependence, SystemFootprint,
+    analysis_fixpoint_runs, analyze_system, analyze_system_states, lint_system, lint_with_analysis,
+    system_analysis_cached, AccessKind, AccessModes, AnalysisBudget, CellSet, FootprintError,
+    LintReport, LocalStateInfo, ProcessFootprint, ProcessStateMap, StaticIndependence,
+    SystemAnalysis, SystemFootprint,
 };
 // `Resolved`/`ShardInterner` are exported for the sharded-reconciliation
 // property suite in tests/proptest_runtime.rs (and as the documented

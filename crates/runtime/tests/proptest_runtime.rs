@@ -798,6 +798,150 @@ proptest! {
         prop_assert_eq!(original.probes, moved.probes);
     }
 
+    /// The static independence relation is symmetric and irreflexive:
+    /// `I(p,q) ⇔ I(q,p)` for every pair, two steps of the *same*
+    /// process never count as independent, and `independent_pairs`
+    /// agrees with the pairwise predicate — on randomly generated
+    /// site lists over randomly shared cells.
+    #[test]
+    fn static_independence_is_symmetric_and_irreflexive(
+        cells in 1usize..5,
+        site_seeds in proptest::collection::vec(any::<u16>(), 1..6),
+        n in 1usize..5,
+    ) {
+        let mut mem = Memory::new();
+        let addrs: Vec<Addr> =
+            (0..cells).map(|_| mem.alloc_register(Value::Bottom)).collect();
+        let programs: Vec<Box<dyn Program>> = (0..n)
+            .map(|p| {
+                Box::new(Toucher {
+                    sites: site_seeds
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &pick)| {
+                            (
+                                addrs[((pick >> 1) as usize + p * (i + 1)) % cells],
+                                pick & 1 == 0,
+                            )
+                        })
+                        .collect(),
+                    pc: 0,
+                }) as Box<dyn Program>
+            })
+            .collect();
+        let fp = rc_runtime::analyze_system(
+            &mem,
+            &programs,
+            true,
+            rc_runtime::AnalysisBudget::default(),
+        )
+        .expect("bounded system");
+        let indep = rc_runtime::StaticIndependence::from_footprint(&fp);
+        for p in 0..n {
+            prop_assert!(
+                !indep.are_independent(p, p),
+                "same-pid steps always conflict"
+            );
+            for q in 0..n {
+                // Independence must be symmetric.
+                prop_assert_eq!(
+                    indep.are_independent(p, q),
+                    indep.are_independent(q, p)
+                );
+            }
+        }
+        let pairs = indep.independent_pairs();
+        for p in 0..n {
+            for q in p + 1..n {
+                prop_assert_eq!(
+                    pairs.contains(&(p, q)),
+                    indep.are_independent(p, q)
+                );
+            }
+        }
+    }
+
+    /// Statically independent processes really commute: from a random
+    /// reachable mid-execution state, executing `p` then `q` and `q`
+    /// then `p` yields identical memory contents, local states and
+    /// decisions — the semantic fact POR's pruning rests on, here
+    /// checked on random systems and random states rather than at the
+    /// engine's sampled nodes.
+    #[test]
+    fn statically_independent_steps_commute_on_random_states(
+        cells in 2usize..5,
+        site_seeds in proptest::collection::vec(any::<u16>(), 1..5),
+        n in 2usize..4,
+        schedule in proptest::collection::vec(any::<u16>(), 0..10),
+    ) {
+        let mut mem = Memory::new();
+        let addrs: Vec<Addr> =
+            (0..cells).map(|_| mem.alloc_register(Value::Bottom)).collect();
+        let mut programs: Vec<Box<dyn Program>> = (0..n)
+            .map(|p| {
+                Box::new(Toucher {
+                    sites: site_seeds
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &pick)| {
+                            (
+                                addrs[((pick >> 1) as usize + p * (i + 1)) % cells],
+                                pick & 1 == 0,
+                            )
+                        })
+                        .collect(),
+                    pc: 0,
+                }) as Box<dyn Program>
+            })
+            .collect();
+        let fp = rc_runtime::analyze_system(
+            &mem,
+            &programs,
+            true,
+            rc_runtime::AnalysisBudget::default(),
+        )
+        .expect("bounded system");
+        let indep = rc_runtime::StaticIndependence::from_footprint(&fp);
+        // Drive to a random reachable state (steps only; crashes reset
+        // local state, which only makes the reached states *more*
+        // ordinary).
+        let mut decided = vec![false; n];
+        for &s in &schedule {
+            let p = s as usize % n;
+            if !decided[p] {
+                if let Step::Decided(_) = programs[p].step(&mut mem) {
+                    decided[p] = true;
+                }
+            }
+        }
+        let run_order = |first: usize, second: usize| {
+            let mut m = mem.clone();
+            let mut progs: Vec<Box<dyn Program>> =
+                programs.iter().map(|p| p.boxed_clone()).collect();
+            let mut decisions: Vec<(usize, Value)> = Vec::new();
+            for &p in &[first, second] {
+                if let Step::Decided(v) = progs[p].step(&mut m) {
+                    decisions.push((p, v));
+                }
+            }
+            decisions.sort_by_key(|&(p, _)| p);
+            (
+                m.state_key(),
+                progs.iter().map(|pr| pr.state_key()).collect::<Vec<_>>(),
+                decisions,
+            )
+        };
+        for p in 0..n {
+            for q in p + 1..n {
+                if !indep.are_independent(p, q) || decided[p] || decided[q] {
+                    continue;
+                }
+                // An independent pair must commute in both orders.
+                prop_assert_eq!(run_order(p, q), run_order(q, p));
+            }
+        }
+    }
+
     /// Memory state keys change exactly when contents change.
     #[test]
     fn state_key_tracks_contents(values in proptest::collection::vec(0i64..50, 1..8)) {

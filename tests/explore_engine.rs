@@ -8,15 +8,18 @@
 //! the parallel frontier's whole-level cap overshoot).
 //!
 //! CI runs this suite under `EXPLORE_TEST_THREADS` ∈ {2, 8} ×
-//! `EXPLORE_TEST_SYMMETRY` ∈ {on, off, rebind} (see
-//! `.github/workflows/ci.yml`); `rebind` exercises the full-state mode —
-//! input-masked systems whose per-process mask registers permute with
-//! their owners under `Program::rebind`. The thread counts are routed
-//! through `ExploreConfig::workers_override` / `shards_override`, so the
-//! forced multi-worker, multi-shard pipeline really runs — even on
-//! single-core runners, where the machine-aware policy used to clamp
-//! every level to the fused single-worker path and silently neutralize
-//! the matrix.
+//! `EXPLORE_TEST_SYMMETRY` ∈ {on, off, rebind} ×
+//! `EXPLORE_TEST_POR` ∈ {on, off} (see `.github/workflows/ci.yml`);
+//! `rebind` exercises the full-state mode — input-masked systems whose
+//! per-process mask registers permute with their owners under
+//! `Program::rebind` — and the POR axis reruns the same matrix with the
+//! persistent-set + sleep-set reduction switched on (identical verdicts
+//! and weighted leaf counts; state counts are the reduction and
+//! legitimately differ). The thread counts are routed through
+//! `ExploreConfig::workers_override` / `shards_override`, so the forced
+//! multi-worker, multi-shard pipeline really runs — even on single-core
+//! runners, where the machine-aware policy used to clamp every level to
+//! the fused single-worker path and silently neutralize the matrix.
 
 use rc_core::algorithms::{
     build_broken_team_rc_system, build_masked_broken_team_rc_system,
@@ -88,6 +91,34 @@ fn symmetry_modes() -> Vec<SymMode> {
     }
 }
 
+/// Whether the equivalence tests run the partial-order-reduced search,
+/// the unreduced one, or (the default) both; the CI matrix narrows to
+/// one via `EXPLORE_TEST_POR` ∈ {`on`, `off`}. Anything else fails
+/// loudly, like the other matrix knobs.
+fn por_modes() -> Vec<bool> {
+    match std::env::var("EXPLORE_TEST_POR") {
+        Err(_) => vec![false, true],
+        Ok(raw) => match raw.trim() {
+            "on" => vec![true],
+            "off" => vec![false],
+            other => panic!("EXPLORE_TEST_POR must be `on` or `off`, got {other:?}"),
+        },
+    }
+}
+
+/// `base` with the sleep-set POR engine switched on. The `analysis_id`
+/// shares one cached footprint analysis per *system* across every
+/// budget/mode/thread combination a test runs (the analysis only
+/// depends on the built system, never on the crash model or engine), so
+/// the doubled matrix does not recompute the fixpoint per config.
+fn por_config(base: &ExploreConfig, analysis_id: String) -> ExploreConfig {
+    ExploreConfig {
+        por: true,
+        analysis_id: Some(analysis_id),
+        ..base.clone()
+    }
+}
+
 /// The parallel-engine config for `threads` workers with the staged
 /// multi-worker, multi-shard pipeline **forced** — the machine-aware
 /// policy would clamp to `available_parallelism()` and run the fused
@@ -147,36 +178,56 @@ fn engines_agree_on_e2_systems() {
                 if mode == SymMode::Rebind && n >= 3 && budget >= 2 {
                     continue;
                 }
-                let serial = match mode {
-                    SymMode::Off => explore(&factory, &config),
-                    SymMode::Slots => explore_symmetric(&sym_factory, &config),
-                    SymMode::Rebind => explore_symmetric(&masked_sym_factory, &config),
-                };
-                assert!(
-                    matches!(serial, ExploreOutcome::Verified { .. }),
-                    "S_{n} budget {budget} mode {mode:?} must verify: {serial:?}"
-                );
-                for threads in thread_counts() {
-                    for forced in [false, true] {
-                        let threaded = if forced {
-                            parallel_config(&config, threads)
-                        } else {
-                            ExploreConfig {
-                                threads,
-                                ..config.clone()
-                            }
-                        };
-                        let parallel = match mode {
-                            SymMode::Off if forced => explore(&factory, &threaded),
-                            SymMode::Off => explore_parallel(&factory, &threaded),
-                            SymMode::Slots => explore_symmetric(&sym_factory, &threaded),
-                            SymMode::Rebind => explore_symmetric(&masked_sym_factory, &threaded),
-                        };
-                        assert_eq!(
-                            serial, parallel,
-                            "S_{n} budget {budget} threads {threads} forced {forced} \
-                             mode {mode:?}: engines must agree byte-for-byte"
-                        );
+                for por in por_modes() {
+                    let config = if por {
+                        // The plain and slots-sym builders produce the
+                        // same memory/program shape, so they share one
+                        // analysis; the masked builders differ (extra
+                        // mask registers) and get their own.
+                        por_config(
+                            &config,
+                            match mode {
+                                SymMode::Rebind => format!("test/masked-S_{n}"),
+                                _ => format!("test/S_{n}"),
+                            },
+                        )
+                    } else {
+                        config.clone()
+                    };
+                    let serial = match mode {
+                        SymMode::Off => explore(&factory, &config),
+                        SymMode::Slots => explore_symmetric(&sym_factory, &config),
+                        SymMode::Rebind => explore_symmetric(&masked_sym_factory, &config),
+                    };
+                    assert!(
+                        matches!(serial, ExploreOutcome::Verified { .. }),
+                        "S_{n} budget {budget} mode {mode:?} por {por} must \
+                         verify: {serial:?}"
+                    );
+                    for threads in thread_counts() {
+                        for forced in [false, true] {
+                            let threaded = if forced {
+                                parallel_config(&config, threads)
+                            } else {
+                                ExploreConfig {
+                                    threads,
+                                    ..config.clone()
+                                }
+                            };
+                            let parallel = match mode {
+                                SymMode::Off if forced => explore(&factory, &threaded),
+                                SymMode::Off => explore_parallel(&factory, &threaded),
+                                SymMode::Slots => explore_symmetric(&sym_factory, &threaded),
+                                SymMode::Rebind => {
+                                    explore_symmetric(&masked_sym_factory, &threaded)
+                                }
+                            };
+                            assert_eq!(
+                                serial, parallel,
+                                "S_{n} budget {budget} threads {threads} forced {forced} \
+                                 mode {mode:?} por {por}: engines must agree byte-for-byte"
+                            );
+                        }
                     }
                 }
             }
@@ -257,40 +308,53 @@ fn symmetry_on_off_equivalence_on_e2_systems() {
 fn cap_boundaries_are_byte_identical_across_engines() {
     let (ty, w, inputs) = sn_system(2);
     let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
-    let base = ExploreConfig {
+    let plain = ExploreConfig {
         crash: CrashModel::independent(2).after_decide(true),
         inputs: Some(inputs.clone()),
         ..ExploreConfig::default()
     };
-    let total = match explore(&factory, &base) {
-        ExploreOutcome::Verified { states, .. } => states,
-        other => panic!("S_2 budget 2 must verify: {other:?}"),
-    };
-    for cap in [1usize, 7, total / 2, total - 1, total, total + 1] {
-        let config = ExploreConfig {
-            max_states: cap,
-            ..base.clone()
-        };
-        let serial = explore(&factory, &config);
-        if cap >= total {
-            // At (and above) the exact state-space size nothing may
-            // truncate, and the leaf count is part of the contract.
-            assert!(serial.is_verified(), "cap {cap}: {serial:?}");
+    for por in por_modes() {
+        // The POR state-space size is computed per setting — reduced
+        // spaces are not monotonically smaller (sleep-set node
+        // splitting), so the boundaries must come from the engine under
+        // test, not the unreduced count.
+        let base = if por {
+            por_config(&plain, "test/S_2".into())
         } else {
-            assert_eq!(
-                serial,
-                ExploreOutcome::Truncated { states: cap },
-                "the serial cap is exact"
-            );
-        }
-        for threads in thread_counts() {
-            // Forced staged pipeline: the cap must stay exact when every
-            // level really fans out multi-worker and multi-shard.
-            let parallel = explore(&factory, &parallel_config(&config, threads));
-            assert_eq!(
-                serial, parallel,
-                "cap {cap} threads {threads}: outcomes must be byte-identical"
-            );
+            plain.clone()
+        };
+        let total = match explore(&factory, &base) {
+            ExploreOutcome::Verified { states, .. } => states,
+            other => panic!("S_2 budget 2 por {por} must verify: {other:?}"),
+        };
+        for cap in [1usize, 7, total / 2, total - 1, total, total + 1] {
+            let config = ExploreConfig {
+                max_states: cap,
+                ..base.clone()
+            };
+            let serial = explore(&factory, &config);
+            if cap >= total {
+                // At (and above) the exact state-space size nothing may
+                // truncate, and the leaf count is part of the contract.
+                assert!(serial.is_verified(), "cap {cap} por {por}: {serial:?}");
+            } else {
+                assert_eq!(
+                    serial,
+                    ExploreOutcome::Truncated { states: cap },
+                    "the serial cap is exact (por {por})"
+                );
+            }
+            for threads in thread_counts() {
+                // Forced staged pipeline: the cap must stay exact when
+                // every level really fans out multi-worker and
+                // multi-shard.
+                let parallel = explore(&factory, &parallel_config(&config, threads));
+                assert_eq!(
+                    serial, parallel,
+                    "cap {cap} threads {threads} por {por}: outcomes must be \
+                     byte-identical"
+                );
+            }
         }
     }
 }
@@ -303,33 +367,40 @@ fn cap_boundaries_are_byte_identical_across_engines() {
 fn symmetric_cap_boundaries_are_exact() {
     let (ty, w, inputs) = sn_system(3);
     let sym_factory = || build_team_rc_system_sym(ty.clone(), &w, &inputs);
-    let base = ExploreConfig {
+    let plain = ExploreConfig {
         crash: CrashModel::independent(2).after_decide(true),
         inputs: Some(inputs.clone()),
         ..ExploreConfig::default()
     };
-    let total = match explore_symmetric(&sym_factory, &base) {
-        ExploreOutcome::Verified { states, .. } => states,
-        other => panic!("S_3 budget 2 must verify: {other:?}"),
-    };
-    for cap in [1usize, 7, total - 1, total, total + 1] {
-        let config = ExploreConfig {
-            max_states: cap,
-            ..base.clone()
-        };
-        let serial = explore_symmetric(&sym_factory, &config);
-        if cap >= total {
-            assert!(serial.is_verified(), "cap {cap}: {serial:?}");
+    for por in por_modes() {
+        let base = if por {
+            por_config(&plain, "test/S_3".into())
         } else {
-            assert_eq!(
-                serial,
-                ExploreOutcome::Truncated { states: cap },
-                "the symmetric cap is exact"
-            );
-        }
-        for threads in [2usize, 8] {
-            let parallel = explore_symmetric(&sym_factory, &parallel_config(&config, threads));
-            assert_eq!(serial, parallel, "cap {cap} threads {threads}");
+            plain.clone()
+        };
+        let total = match explore_symmetric(&sym_factory, &base) {
+            ExploreOutcome::Verified { states, .. } => states,
+            other => panic!("S_3 budget 2 por {por} must verify: {other:?}"),
+        };
+        for cap in [1usize, 7, total - 1, total, total + 1] {
+            let config = ExploreConfig {
+                max_states: cap,
+                ..base.clone()
+            };
+            let serial = explore_symmetric(&sym_factory, &config);
+            if cap >= total {
+                assert!(serial.is_verified(), "cap {cap} por {por}: {serial:?}");
+            } else {
+                assert_eq!(
+                    serial,
+                    ExploreOutcome::Truncated { states: cap },
+                    "the symmetric cap is exact (por {por})"
+                );
+            }
+            for threads in [2usize, 8] {
+                let parallel = explore_symmetric(&sym_factory, &parallel_config(&config, threads));
+                assert_eq!(serial, parallel, "cap {cap} threads {threads} por {por}");
+            }
         }
     }
 }
@@ -780,6 +851,139 @@ fn rebind_on_off_equivalence_on_masked_systems() {
                     }
                 }
                 other => panic!("masked S_{n} budget {budget} must verify: {other:?}"),
+            }
+        }
+    }
+}
+
+/// The POR axis of the equivalence matrix, on vs off, on the E2
+/// systems:
+///
+/// * the verdict and weighted leaf count stay exact, unmasked and
+///   masked, while the state count is the reduction — legitimately
+///   different, and *not* monotone: sleep-set node splitting can
+///   outweigh the pruning at independent budget 1 (E15 records both
+///   directions);
+/// * within each setting the serial and forced-parallel searches are
+///   byte-identical at threads 1/2/8, plain and composed with
+///   full-rebind symmetry;
+/// * **truncating** configs report the identical `Truncated` outcome in
+///   both settings at every cap below both state-space sizes — the cap
+///   counts visited nodes exactly, reduced or not.
+#[test]
+fn por_on_off_equivalence_on_e2_systems() {
+    let verified = |outcome: &ExploreOutcome, what: &str| match outcome {
+        ExploreOutcome::Verified { states, leaves } => (*states, *leaves),
+        other => panic!("{what} must verify: {other:?}"),
+    };
+    for n in [2usize, 3] {
+        let (ty, w, inputs) = sn_system(n);
+        let plain = || build_team_rc_system(ty.clone(), &w, &inputs);
+        let masked = || build_masked_team_rc_system(ty.clone(), &w, &inputs);
+        let masked_sym = || build_masked_team_rc_system_sym(ty.clone(), &w, &inputs);
+        for budget in [0usize, 1] {
+            let base = ExploreConfig {
+                crash: CrashModel::independent(budget).after_decide(true),
+                inputs: Some(inputs.clone()),
+                ..ExploreConfig::default()
+            };
+            // Unmasked: exact verdict + leaves (even the plain teams
+            // have commuting step pairs, so states may shrink).
+            let (_, plain_off_leaves) = verified(
+                &explore(&plain, &base),
+                &format!("unmasked S_{n} budget {budget} por off"),
+            );
+            let (_, plain_on_leaves) = verified(
+                &explore(&plain, &por_config(&base, format!("test/S_{n}"))),
+                &format!("unmasked S_{n} budget {budget} por on"),
+            );
+            assert_eq!(
+                plain_on_leaves, plain_off_leaves,
+                "unmasked S_{n} budget {budget}: POR must preserve the \
+                 weighted leaf count exactly"
+            );
+            // Masked: exact verdict + leaves, byte-identical engines
+            // within each setting.
+            let reduced = por_config(&base, format!("test/masked-S_{n}"));
+            let (off_states, off_leaves) = verified(
+                &explore(&masked, &base),
+                &format!("masked S_{n} budget {budget} por off"),
+            );
+            let on_serial = explore(&masked, &reduced);
+            let (on_states, on_leaves) =
+                verified(&on_serial, &format!("masked S_{n} budget {budget} por on"));
+            assert_eq!(
+                on_leaves, off_leaves,
+                "masked S_{n} budget {budget}: POR must preserve the \
+                 weighted leaf count exactly"
+            );
+            for threads in [1usize, 2, 8] {
+                let threaded = if threads == 1 {
+                    reduced.clone()
+                } else {
+                    parallel_config(&reduced, threads)
+                };
+                assert_eq!(
+                    on_serial,
+                    explore(&masked, &threaded),
+                    "masked S_{n} budget {budget} threads {threads}: the \
+                     reduced engines must agree byte-for-byte"
+                );
+            }
+            // Composed with full-rebind symmetry: still exact, still
+            // byte-identical across thread counts.
+            let (_, sym_off_leaves) = verified(
+                &explore_symmetric(&masked_sym, &base),
+                &format!("masked S_{n} budget {budget} rebind por off"),
+            );
+            let sym_on = explore_symmetric(&masked_sym, &reduced);
+            let (_, sym_on_leaves) = verified(
+                &sym_on,
+                &format!("masked S_{n} budget {budget} rebind por on"),
+            );
+            assert_eq!(sym_off_leaves, off_leaves, "rebind preserves leaves");
+            assert_eq!(
+                sym_on_leaves, off_leaves,
+                "masked S_{n} budget {budget}: por+rebind must preserve the \
+                 weighted leaf count exactly"
+            );
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    sym_on,
+                    explore_symmetric(&masked_sym, &parallel_config(&reduced, threads)),
+                    "masked S_{n} budget {budget} threads {threads}: the \
+                     combined reduction must agree byte-for-byte"
+                );
+            }
+            // Truncating configs: below both state-space sizes the two
+            // settings report the identical truncation, serial and
+            // parallel.
+            let smallest = off_states.min(on_states);
+            for cap in [1usize, smallest / 2, smallest - 1] {
+                if cap == 0 {
+                    continue;
+                }
+                for (setting, cfg) in [("off", &base), ("on", &reduced)] {
+                    let capped = ExploreConfig {
+                        max_states: cap,
+                        ..cfg.clone()
+                    };
+                    let serial = explore(&masked, &capped);
+                    assert_eq!(
+                        serial,
+                        ExploreOutcome::Truncated { states: cap },
+                        "masked S_{n} budget {budget} cap {cap} por {setting}: \
+                         the cap counts visited nodes exactly"
+                    );
+                    for threads in [2usize, 8] {
+                        assert_eq!(
+                            serial,
+                            explore(&masked, &parallel_config(&capped, threads)),
+                            "masked S_{n} budget {budget} cap {cap} por \
+                             {setting} threads {threads}"
+                        );
+                    }
+                }
             }
         }
     }
