@@ -9,6 +9,7 @@
 /// Every valid experiment id, in printing order.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Parsed `tables` arguments.
@@ -98,12 +99,14 @@ where
         && !(parsed.wants("e11")
             && parsed.wants("e12")
             && parsed.wants("e13")
-            && parsed.wants("e15"))
+            && parsed.wants("e15")
+            && parsed.wants("e16"))
     {
         return Err(
             "--snapshot records the E11 engine sweep, the E12 symmetry sweep, the E13 \
-             full-state sweep and the E15 partial-order-reduction sweep, but e11, e12, \
-             e13 and e15 are not all among the selected experiment ids"
+             full-state sweep, the E15 partial-order-reduction sweep and the E16 \
+             storage-tier sweep, but e11, e12, e13, e15 and e16 are not all among the \
+             selected experiment ids"
                 .into(),
         );
     }
@@ -126,11 +129,20 @@ mod tests {
 
     #[test]
     fn subset_and_flags() {
-        let args =
-            parse_args(["E4", "e11", "e12", "e13", "e15", "--fast", "--snapshot"]).expect("valid");
+        let args = parse_args([
+            "E4",
+            "e11",
+            "e12",
+            "e13",
+            "e15",
+            "e16",
+            "--fast",
+            "--snapshot",
+        ])
+        .expect("valid");
         assert!(args.fast && args.snapshot);
         assert!(args.wants("e4") && args.wants("e11") && args.wants("e12") && args.wants("e13"));
-        assert!(args.wants("e15"));
+        assert!(args.wants("e15") && args.wants("e16"));
         assert!(!args.wants("e1"));
     }
 
@@ -143,7 +155,7 @@ mod tests {
         assert!(parse_args(["--list"]).expect("valid").list);
         assert!(!parse_args(Vec::<&str>::new()).expect("valid").list);
         assert!(parse_args(["e4", "--list"]).expect("valid").list);
-        let err = parse_args(["e11", "e12", "e13", "e15", "--snapshot", "--list"])
+        let err = parse_args(["e11", "e12", "e13", "e15", "e16", "--snapshot", "--list"])
             .expect_err("must reject the silent snapshot skip");
         assert!(err.contains("--snapshot"), "{err}");
     }
@@ -173,21 +185,25 @@ mod tests {
     /// `--snapshot` without every snapshot experiment in the selection
     /// would silently skip part of the snapshot write — the same
     /// silent-no-op shape as the unknown-id bug, so it is rejected too.
-    /// (E15 joined the snapshot set with the schema-2 `e15_rows`.)
+    /// (E15 joined the snapshot set with the schema-2 `e15_rows`; E16
+    /// joined with the schema-3 `e16_rows`.)
     #[test]
-    fn snapshot_requires_e11_e12_e13_and_e15_in_the_selection() {
+    fn snapshot_requires_e11_through_e16_in_the_selection() {
         let err = parse_args(["e4", "--snapshot"]).expect_err("must reject");
         assert!(err.contains("e11"), "{err}");
         assert!(err.contains("e12"), "{err}");
         assert!(err.contains("e13"), "{err}");
         assert!(err.contains("e15"), "{err}");
-        let err = parse_args(["e11", "--snapshot"]).expect_err("e12/e13/e15 missing");
+        assert!(err.contains("e16"), "{err}");
+        let err = parse_args(["e11", "--snapshot"]).expect_err("e12/e13/e15/e16 missing");
         assert!(err.contains("e12"), "{err}");
-        let err = parse_args(["e11", "e12", "--snapshot"]).expect_err("e13/e15 missing");
+        let err = parse_args(["e11", "e12", "--snapshot"]).expect_err("e13/e15/e16 missing");
         assert!(err.contains("e13"), "{err}");
-        let err = parse_args(["e11", "e12", "e13", "--snapshot"]).expect_err("e15 missing");
+        let err = parse_args(["e11", "e12", "e13", "--snapshot"]).expect_err("e15/e16 missing");
         assert!(err.contains("e15"), "{err}");
-        assert!(parse_args(["e4", "e11", "e12", "e13", "e15", "--snapshot"]).is_ok());
+        let err = parse_args(["e11", "e12", "e13", "e15", "--snapshot"]).expect_err("e16 missing");
+        assert!(err.contains("e16"), "{err}");
+        assert!(parse_args(["e4", "e11", "e12", "e13", "e15", "e16", "--snapshot"]).is_ok());
         assert!(
             parse_args(["--snapshot"]).is_ok(),
             "empty selection runs everything"
@@ -206,7 +222,7 @@ mod tests {
         for combo in [
             vec!["lint", "e4"],
             vec!["lint", "--list"],
-            vec!["lint", "e11", "e12", "e13", "e15", "--snapshot"],
+            vec!["lint", "e11", "e12", "e13", "e15", "e16", "--snapshot"],
         ] {
             let err = parse_args(combo.clone()).expect_err("must reject");
             assert!(err.contains("lint"), "{combo:?}: {err}");

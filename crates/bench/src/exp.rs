@@ -17,7 +17,10 @@ use rc_core::{
 };
 use rc_runtime::sched::{RandomScheduler, RandomSchedulerConfig, RoundRobin};
 use rc_runtime::verify::check_consensus_execution;
-use rc_runtime::{explore, run, CrashModel, ExploreConfig, Memory, Program, RunOptions};
+use rc_runtime::{
+    explore, explore_with_stats, run, CrashModel, ExploreConfig, Memory, Program, RunOptions,
+    StorageTier,
+};
 use rc_spec::catalog::{catalog, ConsensusNumber};
 use rc_spec::random::{random_table_type, RandomTypeConfig};
 use rc_spec::types::{Cas, Sn, Stack, Tn};
@@ -1860,27 +1863,388 @@ pub fn e15_por_reduction(fast: bool) -> (String, Vec<E15Row>) {
     (report, rows)
 }
 
-/// Renders the E11 + E12 + E13 + E15 rows as the `BENCH_explore.json`
-/// snapshot: a stable, diff-friendly record of the engine trajectory
-/// across PRs. The host core count is recorded so trajectory points from
-/// different machines stay comparable (the fused single-worker floor on
-/// a 1-core box is not a parallel win) — the CI `bench-record` job
-/// regenerates the snapshot on a multi-core runner and uploads it as an
-/// artifact.
+/// One row of the E16 storage-tier scaling sweep.
+#[derive(Clone, Debug)]
+pub struct E16Row {
+    /// System under check: `"S_n"` (Fig. 2 team-RC, as in E11/E12) or
+    /// `"masked S_n"` (the input-masked variant, as in E13/E15).
+    pub system: String,
+    /// Independent crash budget (post-decide crashes enabled).
+    pub crash_budget: usize,
+    /// Visited-set backend: `flat`, `packed`, `packed+filter` or
+    /// `packed+spill` ([`rc_runtime::StorageTier`]). The `flat`
+    /// baseline row runs at the catalog's historical cap and re-records
+    /// its `Truncated` verdict.
+    pub tier: String,
+    /// `ExploreConfig::threads` (1 = serial DFS, >1 = frontier BFS).
+    pub threads: usize,
+    /// The `max_states` cap the row ran under.
+    pub max_states: usize,
+    /// The `max_bytes` cap (0 = uncapped). Byte-capped rows route
+    /// through the frontier engine's deterministic byte budget.
+    pub max_bytes: usize,
+    /// `Verified` / `Truncated` (a violation would panic the sweep).
+    pub verdict: String,
+    /// Distinct states visited — asserted identical across every tier
+    /// and thread count of an instance's lifted-cap rows.
+    pub states: usize,
+    /// Weighted executions enumerated — asserted identical across the
+    /// lifted-cap rows *and* against the catalog's reduced-engine
+    /// record of the same instance, where one exists.
+    pub leaves: usize,
+    /// Wall-clock milliseconds of the (single) run — cap-scale searches
+    /// are too long for a best-of loop (machine-dependent).
+    pub millis: f64,
+    /// `states / seconds` (machine-dependent).
+    pub states_per_sec: f64,
+    /// Peak resident visited-set MiB ([`rc_runtime::ExploreStats::peak_table_bytes`]).
+    pub peak_table_mb: f64,
+    /// MiB frozen into on-disk spill runs (0 without the spill tier).
+    pub spilled_mb: f64,
+    /// Bloom prefilter bits set (0 without the filter tier).
+    pub filter_bits: usize,
+    /// MiB held by the compacted witness log.
+    pub witness_mb: f64,
+}
+
+fn e16_measure(
+    system: &str,
+    budget: usize,
+    config: &ExploreConfig,
+    run_once: &dyn Fn() -> (rc_runtime::ExploreOutcome, rc_runtime::ExploreStats),
+) -> E16Row {
+    use rc_runtime::ExploreOutcome;
+    let start = std::time::Instant::now();
+    let (outcome, stats) = run_once();
+    let elapsed = start.elapsed();
+    let (verdict, states, leaves) = match outcome {
+        ExploreOutcome::Verified { states, leaves } => ("Verified".to_string(), states, leaves),
+        ExploreOutcome::Truncated { states } => ("Truncated".to_string(), states, 0),
+        ExploreOutcome::Violation { schedule, .. } => panic!(
+            "E16 systems are correct; violation after {} actions",
+            schedule.len()
+        ),
+    };
+    const MB: f64 = (1 << 20) as f64;
+    E16Row {
+        system: system.to_string(),
+        crash_budget: budget,
+        tier: config.storage.to_string(),
+        threads: config.threads,
+        max_states: config.max_states,
+        max_bytes: config.max_bytes.unwrap_or(0),
+        verdict,
+        states,
+        leaves,
+        millis: elapsed.as_secs_f64() * 1e3,
+        states_per_sec: states as f64 / elapsed.as_secs_f64().max(1e-9),
+        peak_table_mb: stats.peak_table_bytes as f64 / MB,
+        spilled_mb: stats.spilled_bytes as f64 / MB,
+        filter_bits: stats.filter_occupancy,
+        witness_mb: stats.witness_bytes as f64 / MB,
+    }
+}
+
+/// E16: tiered, bit-packed state storage — the catalog instances the
+/// default cap recorded as `Truncated` (E12's `S_8`/budget-0 off row,
+/// E13's masked `S_7`/budget-0 off row), re-run **unreduced** with the
+/// cap lifted under every storage tier
+/// ([`ExploreConfig::storage`](rc_runtime::ExploreConfig)) at threads
+/// 1/2/8. Each instance records:
 ///
-/// Schema migration: version 2 adds the `schema` field itself plus
-/// `e15_rows` (the POR sweep) and requires `e15` in the regenerate
-/// command. Version-1 snapshots (no `schema` field, no `e15_rows`)
-/// predate partial-order reduction; their `e11_rows`/`e12_rows`/
-/// `e13_rows` are unchanged in shape, so a v1 reader keeps working on a
-/// v2 file as long as it ignores unknown keys.
-pub fn snapshot_json(e11: &[E11Row], e12: &[E12Row], e13: &[E13Row], e15: &[E15Row]) -> String {
+/// * a `flat` **baseline** row at the historical 5M cap, re-recording
+///   the catalog's `Truncated` verdict (asserted);
+/// * a **lifted-cap grid** — 4 tiers × threads {1, 2, 8} — every row
+///   asserted `Verified` with byte-identical state and weighted-leaf
+///   counts, and the leaf count asserted equal to what the catalog's
+///   *reduced* engines (rebind / symmetry-on) computed for the same
+///   instance: the full unreduced search independently confirms the
+///   reduction machinery's answer;
+/// * one **byte-capped** row (`ExploreConfig::max_bytes` generous
+///   enough to verify) exercising the frontier engine's deterministic
+///   byte budget at scale, asserted identical to the grid.
+///
+/// Exactness is the point: the filter tier can only *skip* probes that
+/// would have found nothing and the spill tier compares full key bytes
+/// on disk, so — unlike bitstate/supertrace hashing — every tier
+/// returns the same exact verdict (see DESIGN §3).
+pub fn e16_storage_scaling(fast: bool) -> (String, Vec<E16Row>) {
+    struct Instance {
+        n: usize,
+        masked: bool,
+        budget: usize,
+        /// The cap the catalog row truncated at (shrunk in fast mode so
+        /// the sweep still demonstrates Truncated → Verified cheaply).
+        baseline_cap: usize,
+        lifted_cap: usize,
+        /// The instance's weighted leaf count as previously computed by
+        /// a *reduced* catalog run (E12 symmetry-on / E13 rebind).
+        expected_leaves: Option<usize>,
+    }
+    let sweep: Vec<Instance> = if fast {
+        vec![
+            Instance {
+                n: 4,
+                masked: true,
+                budget: 0,
+                baseline_cap: 1_000,
+                lifted_cap: 5_000_000,
+                expected_leaves: None,
+            },
+            Instance {
+                n: 4,
+                masked: false,
+                budget: 2,
+                baseline_cap: 1_000,
+                lifted_cap: 5_000_000,
+                expected_leaves: Some(12),
+            },
+        ]
+    } else {
+        vec![
+            Instance {
+                n: 7,
+                masked: true,
+                budget: 0,
+                baseline_cap: 5_000_000,
+                lifted_cap: 20_000_000,
+                expected_leaves: Some(20),
+            },
+            Instance {
+                n: 8,
+                masked: false,
+                budget: 0,
+                baseline_cap: 5_000_000,
+                lifted_cap: 20_000_000,
+                expected_leaves: Some(23),
+            },
+        ]
+    };
+    // Small enough that every lifted-cap spill row freezes runs even
+    // split across 8 shards; run probes stay cheap behind the per-run
+    // Blooms.
+    let spill_threshold: usize = if fast { 4 << 10 } else { 8 << 20 };
+    let byte_cap: usize = if fast { 256 << 20 } else { 8 << 30 };
+    let mut rows: Vec<E16Row> = Vec::new();
+    for inst in &sweep {
+        let (ty, w) = sn_witness(inst.n);
+        let inputs = team_inputs(&w.assignment);
+        let system = if inst.masked {
+            format!("masked S_{}", inst.n)
+        } else {
+            format!("S_{}", inst.n)
+        };
+        let factory = || {
+            if inst.masked {
+                build_masked_team_rc_system(ty.clone(), &w, &inputs)
+            } else {
+                build_team_rc_system(ty.clone(), &w, &inputs)
+            }
+        };
+        let base = ExploreConfig {
+            crash: CrashModel::independent(inst.budget).after_decide(true),
+            inputs: Some(inputs.clone()),
+            ..ExploreConfig::default()
+        };
+        let baseline_cfg = ExploreConfig {
+            max_states: inst.baseline_cap,
+            ..base.clone()
+        };
+        let baseline = e16_measure(&system, inst.budget, &baseline_cfg, &|| {
+            explore_with_stats(&factory, &baseline_cfg)
+        });
+        assert_eq!(
+            baseline.verdict, "Truncated",
+            "{system}/{}: the baseline cap must truncate",
+            inst.budget
+        );
+        assert_eq!(
+            baseline.states, inst.baseline_cap,
+            "{system}/{}: Truncated reports exactly the cap",
+            inst.budget
+        );
+        rows.push(baseline);
+        let mut reference: Option<(usize, usize)> = None;
+        for tier in StorageTier::ALL {
+            for threads in [1usize, 2, 8] {
+                let cfg = ExploreConfig {
+                    max_states: inst.lifted_cap,
+                    storage: tier,
+                    threads,
+                    spill_threshold: (tier == StorageTier::PackedSpill).then_some(spill_threshold),
+                    ..base.clone()
+                };
+                let row = e16_measure(&system, inst.budget, &cfg, &|| {
+                    explore_with_stats(&factory, &cfg)
+                });
+                assert_eq!(
+                    row.verdict, "Verified",
+                    "{system}/{}: the lifted cap must verify exactly under {tier}/t{threads}",
+                    inst.budget
+                );
+                assert!(
+                    row.states > inst.baseline_cap,
+                    "{system}/{}: the instance must really exceed the baseline cap",
+                    inst.budget
+                );
+                if let Some(expected) = inst.expected_leaves {
+                    assert_eq!(
+                        row.leaves, expected,
+                        "{system}/{}: the unreduced search must reproduce the catalog's \
+                         reduced-engine weighted leaf count",
+                        inst.budget
+                    );
+                }
+                match reference {
+                    None => reference = Some((row.states, row.leaves)),
+                    Some(r) => assert_eq!(
+                        (row.states, row.leaves),
+                        r,
+                        "{system}/{}: byte-identical outcomes across tiers and threads \
+                         ({tier}/t{threads})",
+                        inst.budget
+                    ),
+                }
+                if tier == StorageTier::PackedSpill {
+                    assert!(
+                        row.spilled_mb > 0.0,
+                        "{system}/{}: the spill row at t{threads} must freeze runs",
+                        inst.budget
+                    );
+                }
+                if tier == StorageTier::PackedFilter {
+                    assert!(
+                        row.filter_bits > 0,
+                        "{system}/{}: the filter row at t{threads} must populate the Bloom",
+                        inst.budget
+                    );
+                }
+                rows.push(row);
+            }
+        }
+        let byte_cfg = ExploreConfig {
+            max_states: inst.lifted_cap,
+            storage: StorageTier::PackedSpill,
+            threads: 1,
+            spill_threshold: Some(spill_threshold),
+            max_bytes: Some(byte_cap),
+            ..base.clone()
+        };
+        let byte_row = e16_measure(&system, inst.budget, &byte_cfg, &|| {
+            explore_with_stats(&factory, &byte_cfg)
+        });
+        assert_eq!(
+            (byte_row.verdict.as_str(), byte_row.states, byte_row.leaves),
+            (
+                "Verified",
+                reference.expect("grid ran").0,
+                reference.expect("grid ran").1
+            ),
+            "{system}/{}: the byte-budgeted run must match the grid exactly",
+            inst.budget
+        );
+        rows.push(byte_row);
+    }
+    let mut t = Table::new(&[
+        "system", "budget", "tier", "threads", "cap", "byte cap", "verdict", "states", "leaves",
+        "ms", "peak MB", "spill MB", "filter", "wit MB",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.system.clone(),
+            r.crash_budget.to_string(),
+            r.tier.clone(),
+            r.threads.to_string(),
+            r.max_states.to_string(),
+            if r.max_bytes == 0 {
+                "—".into()
+            } else {
+                format!("{}M", r.max_bytes >> 20)
+            },
+            r.verdict.clone(),
+            r.states.to_string(),
+            r.leaves.to_string(),
+            format!("{:.0}", r.millis),
+            format!("{:.1}", r.peak_table_mb),
+            format!("{:.1}", r.spilled_mb),
+            r.filter_bits.to_string(),
+            format!("{:.1}", r.witness_mb),
+        ]);
+    }
+    let largest = rows
+        .iter()
+        .filter(|r| r.verdict == "Verified")
+        .max_by_key(|r| r.states)
+        .expect("grid rows exist");
+    let flat_peak = rows
+        .iter()
+        .filter(|r| r.tier == "flat" && r.verdict == "Verified" && r.threads == 1)
+        .map(|r| r.peak_table_mb)
+        .fold(0.0f64, f64::max);
+    let packed_peak = rows
+        .iter()
+        .filter(|r| r.tier == "packed" && r.verdict == "Verified" && r.threads == 1)
+        .map(|r| r.peak_table_mb)
+        .fold(0.0f64, f64::max);
+    let cap_note = if fast {
+        "(fast mode shrinks both caps; the full sweep lifts the real 5M \
+         catalog cap on masked S_7 and S_8)"
+    } else {
+        "the baseline rows re-record the catalog's 5M-cap Truncated \
+         verdicts (E12 §S_8, E13 §masked S_7) that these grids move to \
+         exact Verified"
+    };
+    let report = format!(
+        "E16 — tiered, bit-packed state storage (packed arena keys, \
+         Bloom prefilter, file-backed spill runs, byte budget): \
+         previously-Truncated catalog instances re-run unreduced with \
+         the cap lifted, across every storage tier at threads 1/2/8:\n{}\n\
+         largest exact search: {} states ({}/budget-{}); outcomes \
+         byte-identical across all tiers and thread counts, weighted \
+         leaf counts equal to the catalog's reduced-engine records, and \
+         the byte-budgeted run matches the grid (all asserted). Peak \
+         resident visited-set on the largest serial run: {:.0} MB flat \
+         vs {:.0} MB packed. Spill rows freeze resident arenas to disk \
+         behind per-run Blooms and stay exact — full key bytes are \
+         compared on disk, never hash fingerprints alone. Also \
+         {cap_note}.\n",
+        t.render(),
+        largest.states,
+        largest.system,
+        largest.crash_budget,
+        flat_peak,
+        packed_peak,
+    );
+    (report, rows)
+}
+
+/// Renders the E11 + E12 + E13 + E15 + E16 rows as the
+/// `BENCH_explore.json` snapshot: a stable, diff-friendly record of the
+/// engine trajectory across PRs. The host core count is recorded so
+/// trajectory points from different machines stay comparable (the fused
+/// single-worker floor on a 1-core box is not a parallel win) — the CI
+/// `bench-record` job regenerates the snapshot on a multi-core runner
+/// and uploads it as an artifact.
+///
+/// Schema migration: version 3 adds `e16_rows` (the storage-tier
+/// scaling sweep) and requires `e16` in the regenerate command; version
+/// 2 added the `schema` field itself plus `e15_rows` (the POR sweep).
+/// Earlier row sets are unchanged in shape at each step, so an old
+/// reader keeps working on a newer file as long as it ignores unknown
+/// keys.
+pub fn snapshot_json(
+    e11: &[E11Row],
+    e12: &[E12Row],
+    e13: &[E13Row],
+    e15: &[E15Row],
+    e16: &[E16Row],
+) -> String {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 2,\n");
+    out.push_str("  \"schema\": 3,\n");
     out.push_str(
         "  \"regenerate\": \"cargo run -p rc-bench --release --bin tables -- e11 e12 e13 e15 \
-         --snapshot\",\n",
+         e16 --snapshot\",\n",
     );
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str(
@@ -1964,6 +2328,32 @@ pub fn snapshot_json(e11: &[E11Row], e12: &[E12Row], e13: &[E13Row], e15: &[E15R
             r.reduction,
             r.reduction_is_lower_bound,
             if i + 1 == e15.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"e16_rows\": [\n");
+    for (i, r) in e16.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"crash_budget\": {}, \"tier\": \"{}\", \
+             \"threads\": {}, \"max_states\": {}, \"max_bytes\": {}, \"verdict\": \"{}\", \
+             \"states\": {}, \"leaves\": {}, \"millis\": {:.1}, \"states_per_sec\": {:.0}, \
+             \"peak_table_mb\": {:.1}, \"spilled_mb\": {:.1}, \"filter_bits\": {}, \
+             \"witness_mb\": {:.1}}}{}\n",
+            r.system,
+            r.crash_budget,
+            r.tier,
+            r.threads,
+            r.max_states,
+            r.max_bytes,
+            r.verdict,
+            r.states,
+            r.leaves,
+            r.millis,
+            r.states_per_sec,
+            r.peak_table_mb,
+            r.spilled_mb,
+            r.filter_bits,
+            r.witness_mb,
+            if i + 1 == e16.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -2362,10 +2752,11 @@ mod tests {
         assert!(report.contains("E13"));
         assert!(rows.iter().any(|r| r.mode == "rebind" && r.reduction > 1.0));
         assert!(rows.iter().any(|r| r.mode == "slots"));
-        let json = snapshot_json(&[], &[], &rows, &[]);
-        assert!(json.contains("\"schema\": 2"));
+        let json = snapshot_json(&[], &[], &rows, &[], &[]);
+        assert!(json.contains("\"schema\": 3"));
         assert!(json.contains("\"e13_rows\""));
         assert!(json.contains("\"e15_rows\""));
+        assert!(json.contains("\"e16_rows\""));
         assert!(json.contains("masked S_4"));
     }
 
@@ -2384,9 +2775,31 @@ mod tests {
         assert!(rows.iter().any(|r| r.system.starts_with("SimultaneousRc")
             && r.mode == "por"
             && r.reduction > 1.0));
-        let json = snapshot_json(&[], &[], &[], &rows);
+        let json = snapshot_json(&[], &[], &[], &rows, &[]);
         assert!(json.contains("\"e15_rows\""));
         assert!(json.contains("por+rebind"));
+    }
+
+    /// The storage sweep's invariants (baseline truncates at the cap,
+    /// every lifted-cap tier × thread row verifies byte-identically,
+    /// the byte-budgeted run matches the grid, spill rows freeze runs,
+    /// filter rows populate the Bloom) are asserted inside the
+    /// experiment; the fast sweep exercises them, including the
+    /// acceptance-critical Truncated → Verified transition.
+    #[test]
+    fn storage_sweep_runs_fast() {
+        let (report, rows) = e16_storage_scaling(true);
+        assert!(report.contains("E16"));
+        assert!(rows
+            .iter()
+            .any(|r| r.tier == "flat" && r.verdict == "Truncated"));
+        assert!(rows
+            .iter()
+            .any(|r| r.tier == "packed+spill" && r.verdict == "Verified" && r.spilled_mb > 0.0));
+        assert!(rows.iter().any(|r| r.max_bytes > 0));
+        let json = snapshot_json(&[], &[], &[], &[], &rows);
+        assert!(json.contains("\"e16_rows\""));
+        assert!(json.contains("packed+filter"));
     }
 
     /// The per-state footprint analysis behind the declaration lint, the

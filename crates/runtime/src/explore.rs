@@ -103,6 +103,7 @@ use crate::intern::{Resolved, ShardInterner, ShardedStateTable, StateTable, Valu
 use crate::memory::{Cell, MemOps, Memory};
 use crate::program::{Pid, Program, Rebinding, Step};
 use crate::sched::Action;
+use crate::storage::{packed_key_len, StorageTier, VisitedTable, WitnessLog};
 use rc_spec::{Operation, Value};
 use std::collections::HashMap;
 use std::hash::Hasher;
@@ -161,6 +162,29 @@ pub struct ExploreConfig {
     /// identify the system's construction (the catalog benchmarks use
     /// their row labels); `None` analyzes uncached.
     pub analysis_id: Option<String>,
+    /// Which storage backend holds the visited set (see
+    /// [`StorageTier`]). Every tier is exact; verdicts, state counts,
+    /// leaf counts and witnesses are byte-identical across tiers (and
+    /// thread counts) — the tiers trade probe cost against resident
+    /// memory. Default: [`StorageTier::Flat`], the historical layout.
+    pub storage: StorageTier,
+    /// Cap on *accounted* visited-set bytes, alongside
+    /// [`max_states`](Self::max_states). The account is a deterministic
+    /// cost model — each accepted state charges its packed key length
+    /// ([`packed_key_len`]) plus a fixed per-entry overhead, in
+    /// canonical acceptance order — **not** the allocator's live
+    /// footprint, so truncation points are byte-identical across
+    /// storage tiers, thread counts and shard counts. A capped search
+    /// reports [`ExploreOutcome::Truncated`] exactly like a
+    /// `max_states` cut. Setting this routes even `threads ≤ 1` runs
+    /// through the frontier engine (whose canonical acceptance order is
+    /// thread-count-invariant; the serial DFS accepts in a different
+    /// order and would truncate elsewhere).
+    pub max_bytes: Option<usize>,
+    /// Per-shard resident-arena bytes that trigger a disk freeze under
+    /// [`StorageTier::PackedSpill`] (`None` = 256 MiB). Outcomes are
+    /// independent of this knob; it bounds resident memory only.
+    pub spill_threshold: Option<usize>,
 }
 
 impl Default for ExploreConfig {
@@ -175,8 +199,27 @@ impl Default for ExploreConfig {
             cross_validate_independence: false,
             por: false,
             analysis_id: None,
+            storage: StorageTier::Flat,
+            max_bytes: None,
+            spill_threshold: None,
         }
     }
+}
+
+/// Default per-shard spill threshold: freeze a shard's resident arena
+/// to disk at 256 MiB.
+const DEFAULT_SPILL_THRESHOLD: usize = 256 << 20;
+
+/// Fixed per-entry overhead of the [`ExploreConfig::max_bytes`] cost
+/// model, charged on top of each accepted state's packed key length.
+const BYTE_COST_OVERHEAD: usize = 16;
+
+/// The deterministic per-state cost charged against
+/// [`ExploreConfig::max_bytes`]: a pure function of the key, identical
+/// whichever storage tier actually holds it.
+#[inline]
+fn byte_cost(key: &[u32]) -> usize {
+    packed_key_len(key) + BYTE_COST_OVERHEAD
 }
 
 /// Diagnostics about how a search actually executed — which engine ran,
@@ -198,6 +241,27 @@ pub struct ExploreStats {
     pub symmetry: bool,
     /// Whether partial-order reduction ([`ExploreConfig::por`]) ran.
     pub por: bool,
+    /// Which storage tier held the visited set.
+    pub storage: StorageTier,
+    /// Approximate bytes held by the value interner (structural value
+    /// payloads plus per-entry overhead). Deterministic: a pure
+    /// function of the interned values.
+    pub interned_bytes: usize,
+    /// Resident visited-set bytes at search end (accounted model:
+    /// arena/index/filter for packed tiers, key words + map overhead
+    /// for the flat tier), summed across shards.
+    pub table_bytes: usize,
+    /// High-water resident visited-set bytes (per-shard peaks summed;
+    /// differs from [`table_bytes`](Self::table_bytes) only when the
+    /// spill tier froze resident entries to disk).
+    pub peak_table_bytes: usize,
+    /// Total bytes written to spill runs (0 without the spill tier).
+    pub spilled_bytes: usize,
+    /// Bits set across the Bloom prefilters (0 without a filter tier).
+    pub filter_occupancy: usize,
+    /// Bytes held by the compacted witness log (parent links, interned
+    /// permutations and parent→child key deltas).
+    pub witness_bytes: usize,
 }
 
 /// The result of an exhaustive exploration.
@@ -1026,6 +1090,28 @@ struct ParentLink {
     perm: Option<Box<[u8]>>,
 }
 
+/// Encodes an [`Action`] into the [`WitnessLog`]'s 12-bit action code:
+/// `0` is reserved for the root, `1` is `CrashAll`, steps and crashes
+/// interleave from `2`. Fits comfortably: [`SysState::root`] asserts
+/// `n ≤ 64` processes, so codes never exceed `131`.
+fn action_code(action: Action) -> u16 {
+    match action {
+        Action::CrashAll => 1,
+        Action::Step(p) => 2 + 2 * u16::try_from(p).expect("pid fits u16"),
+        Action::Crash(p) => 3 + 2 * u16::try_from(p).expect("pid fits u16"),
+    }
+}
+
+/// Decodes a [`WitnessLog`] action code (see [`action_code`]).
+fn decode_action(code: u16) -> Action {
+    match code {
+        0 => unreachable!("action code 0 is the root sentinel"),
+        1 => Action::CrashAll,
+        c if c % 2 == 0 => Action::Step(usize::from((c - 2) / 2)),
+        c => Action::Crash(usize::from((c - 3) / 2)),
+    }
+}
+
 /// Renames an action from canonical coordinates to original pids via the
 /// accumulated canonical→original map `m` (`None` = identity).
 fn rename_action(action: Action, m: Option<&[u8]>) -> Action {
@@ -1047,35 +1133,69 @@ fn compose_perm(m: Option<Box<[u8]>>, pi: Option<&[u8]>) -> Option<Box<[u8]>> {
     }
 }
 
-/// Walks parent links back to the root, returning the action sequence
-/// that reaches node `idx` from the initial state **in original process
-/// ids**, plus the accumulated canonical→original pid map at `idx` (for
-/// renaming one further action taken from that node).
+/// Walks the witness log back to the root, returning the action
+/// sequence that reaches node `idx` from the initial state **in
+/// original process ids**, plus the accumulated canonical→original pid
+/// map at `idx` (for renaming one further action taken from that node).
 ///
 /// Reconstruction runs root-down: starting from the root
 /// canonicalization, each stored action is renamed through the map
 /// accumulated *before* its edge, and each edge's permutation is then
 /// composed in. Without symmetry every permutation is `None` and this
-/// degenerates to the plain parent-link walk.
+/// degenerates to the plain parent-link walk. The log is append-only
+/// and self-contained, so reconstruction works even after the frontier
+/// engine dropped the in-RAM nodes of earlier levels and the visited
+/// set spilled to disk.
 fn schedule_to(
-    parents: &[Option<ParentLink>],
+    witness: &WitnessLog,
     root_perm: Option<&[u8]>,
     idx: u32,
 ) -> (Vec<Action>, Option<Box<[u8]>>) {
-    let mut path: Vec<&ParentLink> = Vec::new();
+    let mut path: Vec<(u16, Option<&[u8]>)> = Vec::new();
     let mut at = idx;
-    while let Some(link) = &parents[at as usize] {
-        path.push(link);
-        at = link.parent;
+    while let Some((parent, code, perm)) = witness.link(at) {
+        path.push((code, perm));
+        at = parent;
     }
     path.reverse();
     let mut m = root_perm.map(Box::from);
     let mut schedule = Vec::with_capacity(path.len());
-    for link in path {
-        schedule.push(rename_action(link.action, m.as_deref()));
-        m = compose_perm(m, link.perm.as_deref());
+    for (code, perm) in path {
+        schedule.push(rename_action(decode_action(code), m.as_deref()));
+        m = compose_perm(m, perm);
     }
     (schedule, m)
+}
+
+/// The running account charged against [`ExploreConfig::max_bytes`]:
+/// every accepted state adds [`byte_cost`] of its resolved key, in
+/// canonical acceptance order. Storage-tier- and
+/// thread-count-independent by construction, so a byte-capped search
+/// truncates at the identical state everywhere.
+struct ByteBudget {
+    cap: Option<usize>,
+    accepted: usize,
+}
+
+impl ByteBudget {
+    fn new(cap: Option<usize>) -> Self {
+        ByteBudget { cap, accepted: 0 }
+    }
+
+    /// Charges one accepted state's cost; `true` means the cap would be
+    /// exceeded (the state must be rejected and the search truncated —
+    /// nothing is charged).
+    fn charge(&mut self, key: &[u32]) -> bool {
+        let Some(cap) = self.cap else {
+            return false;
+        };
+        let cost = byte_cost(key);
+        if self.accepted + cost > cap {
+            return true;
+        }
+        self.accepted += cost;
+        false
+    }
 }
 
 /// Validates a [`SymmetrySpec`] against the system's initial state: the
@@ -1820,8 +1940,8 @@ struct SerialEngine<'a> {
     indep: Option<&'a StaticIndependence>,
     por: Option<&'a PorEngine>,
     interner: ValueInterner,
-    visited: StateTable,
-    parents: Vec<Option<ParentLink>>,
+    visited: VisitedTable,
+    witness: WitnessLog,
     root_perm: Option<Box<[u8]>>,
     leaves: usize,
     truncated: bool,
@@ -1831,7 +1951,15 @@ impl SerialEngine<'_> {
     /// Enters the state whose resolved key is `key`: memoizes it and,
     /// when new and non-terminal, returns the frame to push. Sets
     /// `truncated` when the state is new but the cap is already full.
-    fn enter(&mut self, state: SysState, key: &[u32], parent: Option<ParentLink>) -> Option<Frame> {
+    /// `parent_key` is the parent's resolved key (empty at the root),
+    /// against which the witness log delta-encodes this node's key.
+    fn enter(
+        &mut self,
+        state: SysState,
+        key: &[u32],
+        parent: Option<ParentLink>,
+        parent_key: &[u32],
+    ) -> Option<Frame> {
         if self.visited.len() >= self.config.max_states {
             // At the cap, only a *new* state means truncation.
             if self.visited.get(key).is_none() {
@@ -1843,7 +1971,16 @@ impl SerialEngine<'_> {
         if !is_new {
             return None;
         }
-        self.parents.push(parent);
+        match &parent {
+            None => self.witness.push(None, 0, None, parent_key, key),
+            Some(link) => self.witness.push(
+                Some(link.parent),
+                action_code(link.action),
+                link.perm.as_deref(),
+                parent_key,
+                key,
+            ),
+        }
         let (actions, terminal) =
             expand_actions(&state, key, &self.layout, &self.config.crash, self.por);
         if terminal {
@@ -1874,7 +2011,16 @@ fn explore_serial(
     config: &ExploreConfig,
     spec: Option<&SymmetrySpec>,
     analysis: &AnalysisCtx,
+    stats: &mut ExploreStats,
 ) -> ExploreOutcome {
+    // A byte-capped search must truncate at the same state whatever the
+    // thread count; the serial DFS accepts states in a different order
+    // than the frontier's canonical level order, so `dispatch` routes
+    // `max_bytes` runs to the frontier engine even at threads ≤ 1.
+    debug_assert!(
+        config.max_bytes.is_none(),
+        "byte-capped searches run on the frontier engine"
+    );
     let layout = KeyLayout::of(&root, analysis.por.is_some());
     let mut interner = ValueInterner::new();
     let crashes = CrashedSet::new(&root, &mut interner);
@@ -1889,79 +2035,91 @@ fn explore_serial(
         indep: analysis.independence.as_ref(),
         por: por.as_ref(),
         interner,
-        visited: StateTable::new(),
-        parents: Vec::new(),
+        visited: VisitedTable::new(
+            config.storage,
+            config.spill_threshold.unwrap_or(DEFAULT_SPILL_THRESHOLD),
+        ),
+        witness: WitnessLog::new(),
         root_perm: None,
         leaves: 0,
         truncated: false,
     };
     let mut scratch: Vec<u32> = Vec::with_capacity(layout.len());
     let mut stack: Vec<Frame> = Vec::new();
-    {
-        let mut root_key = ChildKey::root(&layout);
-        root_key.resolve(&root, &mut engine.interner);
-        if let Some(spec) = spec {
-            validate_symmetry(&root, spec, analysis.footprint.as_ref());
-            engine.root_perm =
-                canonicalize_child(&mut root, &mut root_key.key, &layout, spec, None);
-        }
-        if let Some(frame) = engine.enter(root, &root_key.key, None) {
-            stack.push(frame);
-        }
-    }
-    while !stack.is_empty() && !engine.truncated {
-        let top = stack.last_mut().expect("non-empty stack");
-        if top.cursor >= top.actions.len() {
-            stack.pop();
-            continue;
-        }
-        let (action, child_sleep) = top.actions[top.cursor];
-        top.cursor += 1;
-        let parent_idx = top.idx;
-        match make_child_serial(
-            &top.state,
-            &top.key,
-            action,
-            child_sleep,
-            &layout,
-            &crashes,
-            &mut engine.interner,
-            config.inputs.as_deref(),
-            &mut scratch,
-            spec,
-        ) {
-            Err((kind, outputs)) => {
-                let (mut schedule, m) =
-                    schedule_to(&engine.parents, engine.root_perm.as_deref(), parent_idx);
-                schedule.push(rename_action(action, m.as_deref()));
-                return ExploreOutcome::Violation {
-                    kind,
-                    schedule,
-                    outputs,
-                };
+    let outcome = 'search: {
+        {
+            let mut root_key = ChildKey::root(&layout);
+            root_key.resolve(&root, &mut engine.interner);
+            if let Some(spec) = spec {
+                validate_symmetry(&root, spec, analysis.footprint.as_ref());
+                engine.root_perm =
+                    canonicalize_child(&mut root, &mut root_key.key, &layout, spec, None);
             }
-            Ok((child, perm)) => {
-                let link = ParentLink {
-                    parent: parent_idx,
-                    action,
-                    perm,
-                };
-                if let Some(frame) = engine.enter(child, &scratch, Some(link)) {
-                    stack.push(frame);
+            if let Some(frame) = engine.enter(root, &root_key.key, None, &[]) {
+                stack.push(frame);
+            }
+        }
+        while !stack.is_empty() && !engine.truncated {
+            let top = stack.last_mut().expect("non-empty stack");
+            if top.cursor >= top.actions.len() {
+                stack.pop();
+                continue;
+            }
+            let (action, child_sleep) = top.actions[top.cursor];
+            top.cursor += 1;
+            let parent_idx = top.idx;
+            match make_child_serial(
+                &top.state,
+                &top.key,
+                action,
+                child_sleep,
+                &layout,
+                &crashes,
+                &mut engine.interner,
+                config.inputs.as_deref(),
+                &mut scratch,
+                spec,
+            ) {
+                Err((kind, outputs)) => {
+                    let (mut schedule, m) =
+                        schedule_to(&engine.witness, engine.root_perm.as_deref(), parent_idx);
+                    schedule.push(rename_action(action, m.as_deref()));
+                    break 'search ExploreOutcome::Violation {
+                        kind,
+                        schedule,
+                        outputs,
+                    };
+                }
+                Ok((child, perm)) => {
+                    let link = ParentLink {
+                        parent: parent_idx,
+                        action,
+                        perm,
+                    };
+                    if let Some(frame) = engine.enter(child, &scratch, Some(link), &top.key) {
+                        stack.push(frame);
+                    }
                 }
             }
         }
-    }
-    if engine.truncated {
-        ExploreOutcome::Truncated {
-            states: engine.visited.len(),
+        if engine.truncated {
+            ExploreOutcome::Truncated {
+                states: engine.visited.len(),
+            }
+        } else {
+            ExploreOutcome::Verified {
+                states: engine.visited.len(),
+                leaves: engine.leaves,
+            }
         }
-    } else {
-        ExploreOutcome::Verified {
-            states: engine.visited.len(),
-            leaves: engine.leaves,
-        }
-    }
+    };
+    stats.interned_bytes = engine.interner.approx_bytes();
+    stats.table_bytes = engine.visited.resident_bytes();
+    stats.peak_table_bytes = engine.visited.peak_resident_bytes();
+    stats.spilled_bytes = engine.visited.spilled_bytes();
+    stats.filter_occupancy = engine.visited.filter_bits_set();
+    stats.witness_bytes = engine.witness.bytes();
+    outcome
 }
 
 /// A violation observed while expanding a frontier node: the parent's
@@ -2056,7 +2214,7 @@ fn expand_chunk(
 /// Inserts one shard's routed keys, preserving arrival (canonical)
 /// order; `(pos, key, was_new)` feeds the node reconciliation pass.
 fn insert_shard(
-    table: &mut StateTable,
+    table: &mut VisitedTable,
     bucket: Vec<(u32, Vec<u32>)>,
 ) -> Vec<(u32, Vec<u32>, bool)> {
     bucket
@@ -2117,7 +2275,8 @@ fn run_level_fused(
     por: Option<&PorEngine>,
     global: &mut ValueInterner,
     visited: &mut ShardedStateTable,
-    parents: &mut Vec<Option<ParentLink>>,
+    witness: &mut WitnessLog,
+    budget: &mut ByteBudget,
     leaves: &mut usize,
 ) -> LevelResult {
     let mut violations: Vec<FoundViolation> = Vec::new();
@@ -2168,16 +2327,18 @@ fn run_level_fused(
             if !is_new {
                 continue;
             }
-            if parents.len() >= config.max_states {
+            if witness.len() >= config.max_states || budget.charge(&key_scratch) {
                 truncated = true;
                 continue;
             }
-            let child_idx = u32::try_from(parents.len()).expect("node index fits u32");
-            parents.push(Some(ParentLink {
-                parent: *idx,
-                action,
-                perm,
-            }));
+            let child_idx = u32::try_from(witness.len()).expect("node index fits u32");
+            witness.push(
+                Some(*idx),
+                action_code(action),
+                perm.as_deref(),
+                key,
+                &key_scratch,
+            );
             let (child_actions, terminal) =
                 expand_actions(&child, &key_scratch, layout, &config.crash, por);
             if terminal {
@@ -2235,7 +2396,8 @@ fn run_level_staged(
     por: Option<&PorEngine>,
     global: &mut ValueInterner,
     visited: &mut ShardedStateTable,
-    parents: &mut Vec<Option<ParentLink>>,
+    witness: &mut WitnessLog,
+    budget: &mut ByteBudget,
     leaves: &mut usize,
     stats: &mut ExploreStats,
 ) -> LevelResult {
@@ -2339,11 +2501,23 @@ fn run_level_staged(
         if !is_new {
             continue;
         }
-        if parents.len() >= config.max_states {
+        if witness.len() >= config.max_states || budget.charge(&key) {
             return LevelResult::Truncated;
         }
-        let idx = u32::try_from(parents.len()).expect("node index fits u32");
-        parents.push(Some(parent));
+        let idx = u32::try_from(witness.len()).expect("node index fits u32");
+        // The parent's key, for the witness delta: every parent of a
+        // level's children is a node of the level being expanded, and
+        // `expand` is ordered by ascending node index.
+        let parent_pos = expand
+            .binary_search_by_key(&parent.parent, |node| node.2)
+            .expect("parent of a level child is in the expanded level");
+        witness.push(
+            Some(parent.parent),
+            action_code(parent.action),
+            parent.perm.as_deref(),
+            &expand[parent_pos].1,
+            &key,
+        );
         let (actions, terminal) = expand_actions(&state, &key, layout, &config.crash, por);
         if terminal {
             *leaves += leaf_weight(spec, &state, &key, layout);
@@ -2378,8 +2552,13 @@ fn explore_frontier(
         .shards_override
         .unwrap_or_else(|| threads.min(cores))
         .max(1);
-    let mut visited = ShardedStateTable::new(shards);
-    let mut parents: Vec<Option<ParentLink>> = Vec::new();
+    let mut visited = ShardedStateTable::new(
+        shards,
+        config.storage,
+        config.spill_threshold.unwrap_or(DEFAULT_SPILL_THRESHOLD),
+    );
+    let mut witness = WitnessLog::new();
+    let mut budget = ByteBudget::new(config.max_bytes);
     let mut root_perm: Option<Box<[u8]>> = None;
     let mut leaves = 0usize;
     let crashes = CrashedSet::new(&root, &mut global);
@@ -2392,105 +2571,121 @@ fn explore_frontier(
     stats.shards = shards;
     stats.por = por.is_some();
 
-    // The root: resolved and inserted serially.
-    if config.max_states == 0 {
-        return ExploreOutcome::Truncated { states: 0 };
-    }
-    let mut expand: Vec<ExpandNode> = {
-        let mut root_key = ChildKey::root(&layout);
-        root_key.resolve(&root, &mut global);
-        if let Some(spec) = spec {
-            validate_symmetry(&root, spec, analysis.footprint.as_ref());
-            root_perm = canonicalize_child(&mut root, &mut root_key.key, &layout, spec, None);
+    let outcome = 'search: {
+        // The root: resolved and inserted serially.
+        if config.max_states == 0 {
+            break 'search ExploreOutcome::Truncated { states: 0 };
         }
-        let shard = shard_for(&visited, &root_key.key);
-        visited.shards_mut()[shard].insert(&root_key.key);
-        parents.push(None);
-        let (actions, terminal) =
-            expand_actions(&root, &root_key.key, &layout, &config.crash, por.as_ref());
-        if terminal {
-            leaves += leaf_weight(spec, &root, &root_key.key, &layout);
-            Vec::new()
-        } else if actions.is_empty() {
-            // Unreachable in practice (the root's sleep set is empty,
-            // so its persistent set survives), kept for uniformity.
-            Vec::new()
-        } else {
-            vec![(root, root_key.key, 0, actions)]
+        let mut expand: Vec<ExpandNode> = {
+            let mut root_key = ChildKey::root(&layout);
+            root_key.resolve(&root, &mut global);
+            if let Some(spec) = spec {
+                validate_symmetry(&root, spec, analysis.footprint.as_ref());
+                root_perm = canonicalize_child(&mut root, &mut root_key.key, &layout, spec, None);
+            }
+            if budget.charge(&root_key.key) {
+                // Even the root exceeds the byte cap.
+                break 'search ExploreOutcome::Truncated { states: 0 };
+            }
+            let shard = shard_for(&visited, &root_key.key);
+            visited.shards_mut()[shard].insert(&root_key.key);
+            witness.push(None, 0, None, &[], &root_key.key);
+            let (actions, terminal) =
+                expand_actions(&root, &root_key.key, &layout, &config.crash, por.as_ref());
+            if terminal {
+                leaves += leaf_weight(spec, &root, &root_key.key, &layout);
+                Vec::new()
+            } else if actions.is_empty() {
+                // Unreachable in practice (the root's sleep set is empty,
+                // so its persistent set survives), kept for uniformity.
+                Vec::new()
+            } else {
+                vec![(root, root_key.key, 0, actions)]
+            }
+        };
+
+        while !expand.is_empty() {
+            let workers = config
+                .workers_override
+                .unwrap_or_else(|| level_workers(threads, expand.len()))
+                .clamp(1, threads.max(1));
+            let result = if workers == 1 {
+                run_level_fused(
+                    &expand,
+                    &layout,
+                    &crashes,
+                    config,
+                    spec,
+                    indep,
+                    por.as_ref(),
+                    &mut global,
+                    &mut visited,
+                    &mut witness,
+                    &mut budget,
+                    &mut leaves,
+                )
+            } else {
+                run_level_staged(
+                    &expand,
+                    workers,
+                    &layout,
+                    &crashes,
+                    config,
+                    spec,
+                    indep,
+                    por.as_ref(),
+                    &mut global,
+                    &mut visited,
+                    &mut witness,
+                    &mut budget,
+                    &mut leaves,
+                    stats,
+                )
+            };
+            match result {
+                LevelResult::Next(next) => expand = next,
+                LevelResult::Truncated => {
+                    break 'search ExploreOutcome::Truncated {
+                        states: witness.len(),
+                    };
+                }
+                LevelResult::Violations(violations) => {
+                    // The witness log is deterministic, so every
+                    // reconstructed schedule is; the lexicographically
+                    // least of the shallowest violating level is the
+                    // canonical witness (compared *after* renaming to
+                    // original process ids).
+                    break 'search violations
+                        .into_iter()
+                        .map(|v| {
+                            let (mut schedule, m) =
+                                schedule_to(&witness, root_perm.as_deref(), v.parent);
+                            schedule.push(rename_action(v.action, m.as_deref()));
+                            (schedule, v.kind, v.outputs)
+                        })
+                        .min_by(|a, b| a.0.cmp(&b.0))
+                        .map(|(schedule, kind, outputs)| ExploreOutcome::Violation {
+                            kind,
+                            schedule,
+                            outputs,
+                        })
+                        .expect("non-empty violations");
+                }
+            }
+        }
+
+        ExploreOutcome::Verified {
+            states: witness.len(),
+            leaves,
         }
     };
-
-    while !expand.is_empty() {
-        let workers = config
-            .workers_override
-            .unwrap_or_else(|| level_workers(threads, expand.len()))
-            .clamp(1, threads);
-        let result = if workers == 1 {
-            run_level_fused(
-                &expand,
-                &layout,
-                &crashes,
-                config,
-                spec,
-                indep,
-                por.as_ref(),
-                &mut global,
-                &mut visited,
-                &mut parents,
-                &mut leaves,
-            )
-        } else {
-            run_level_staged(
-                &expand,
-                workers,
-                &layout,
-                &crashes,
-                config,
-                spec,
-                indep,
-                por.as_ref(),
-                &mut global,
-                &mut visited,
-                &mut parents,
-                &mut leaves,
-                stats,
-            )
-        };
-        match result {
-            LevelResult::Next(next) => expand = next,
-            LevelResult::Truncated => {
-                return ExploreOutcome::Truncated {
-                    states: parents.len(),
-                };
-            }
-            LevelResult::Violations(violations) => {
-                // Parent links are deterministic, so every reconstructed
-                // schedule is; the lexicographically least of the
-                // shallowest violating level is the canonical witness
-                // (compared *after* renaming to original process ids).
-                return violations
-                    .into_iter()
-                    .map(|v| {
-                        let (mut schedule, m) =
-                            schedule_to(&parents, root_perm.as_deref(), v.parent);
-                        schedule.push(rename_action(v.action, m.as_deref()));
-                        (schedule, v.kind, v.outputs)
-                    })
-                    .min_by(|a, b| a.0.cmp(&b.0))
-                    .map(|(schedule, kind, outputs)| ExploreOutcome::Violation {
-                        kind,
-                        schedule,
-                        outputs,
-                    })
-                    .expect("non-empty violations");
-            }
-        }
-    }
-
-    ExploreOutcome::Verified {
-        states: parents.len(),
-        leaves,
-    }
+    stats.interned_bytes = global.approx_bytes();
+    stats.table_bytes = visited.resident_bytes();
+    stats.peak_table_bytes = visited.peak_resident_bytes();
+    stats.spilled_bytes = visited.spilled_bytes();
+    stats.filter_occupancy = visited.filter_bits_set();
+    stats.witness_bytes = witness.bytes();
+    outcome
 }
 
 /// Dispatches a rooted search to the serial DFS or parallel frontier
@@ -2509,11 +2704,25 @@ fn dispatch(
         shards: 0,
         symmetry: spec.is_some(),
         por: analysis.por.is_some(),
+        storage: config.storage,
+        ..ExploreStats::default()
     };
-    let outcome = if config.threads > 1 {
-        explore_frontier(root, config, config.threads, spec, analysis, &mut stats)
+    // A `max_bytes` cap routes even serial requests through the
+    // frontier engine: its canonical acceptance order is
+    // thread-count-invariant, so the byte-truncation point is identical
+    // at every thread count (the serial DFS accepts in depth-first
+    // order and would truncate at a different state).
+    let outcome = if config.threads > 1 || config.max_bytes.is_some() {
+        explore_frontier(
+            root,
+            config,
+            config.threads.max(1),
+            spec,
+            analysis,
+            &mut stats,
+        )
     } else {
-        explore_serial(root, config, spec, analysis)
+        explore_serial(root, config, spec, analysis, &mut stats)
     };
     (outcome, stats)
 }

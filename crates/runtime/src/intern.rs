@@ -45,6 +45,7 @@
 //!   insertion is exact global dedup and the engine stays deterministic
 //!   across thread counts.
 
+use crate::storage::{StorageTier, VisitedTable};
 use rc_spec::Value;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -133,6 +134,23 @@ pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 #[derive(Clone, Debug, Default)]
 pub struct ValueInterner {
     ids: FxHashMap<Value, u32>,
+    /// Approximate resident bytes of the interned values, accumulated
+    /// at first sight (see [`approx_bytes`](Self::approx_bytes)).
+    bytes: usize,
+}
+
+/// Approximate heap bytes of one [`Value`]: the enum footprint plus
+/// recursively-owned payloads (string bytes, tuple/list elements). A
+/// pure function of the value, so the account stays deterministic.
+fn approx_value_bytes(value: &Value) -> usize {
+    let own = std::mem::size_of::<Value>();
+    match value {
+        Value::Bottom | Value::Unit | Value::Bool(_) | Value::Int(_) => own,
+        Value::Sym(s) => own + s.len(),
+        Value::Tuple(items) | Value::List(items) => {
+            own + items.iter().map(approx_value_bytes).sum::<usize>()
+        }
+    }
 }
 
 impl ValueInterner {
@@ -160,8 +178,17 @@ impl ValueInterner {
         }
         let id = u32::try_from(self.ids.len()).expect("interner overflow");
         assert!(id < Self::NONE, "interner overflow");
+        self.bytes += approx_value_bytes(value) + StateTable::ENTRY_OVERHEAD;
         self.ids.insert(value.clone(), id);
         id
+    }
+
+    /// Approximate resident bytes of the interned values (payloads +
+    /// per-entry map overhead), feeding the memory counters in
+    /// [`ExploreStats`](crate::ExploreStats). Deterministic: a pure
+    /// function of the interned set.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
     }
 
     /// Read-only probe: the id of `value` if it has been interned. The
@@ -267,6 +294,10 @@ impl ShardInterner {
 #[derive(Clone, Debug, Default)]
 pub struct StateTable {
     ids: FxHashMap<Box<[u32]>, u32>,
+    /// Approximate resident bytes: key words plus per-entry map
+    /// overhead, accumulated on insert (see
+    /// [`approx_bytes`](Self::approx_bytes)).
+    bytes: usize,
 }
 
 impl StateTable {
@@ -291,8 +322,23 @@ impl StateTable {
             return (id, false);
         }
         let id = u32::try_from(self.ids.len()).expect("state table overflow");
+        self.bytes += key.len() * 4 + Self::ENTRY_OVERHEAD;
         self.ids.insert(key.into(), id);
         (id, true)
+    }
+
+    /// Approximate per-entry map overhead beyond the key words: the
+    /// boxed slice's pointer + length, the `u32` id and hash-bucket
+    /// slack.
+    const ENTRY_OVERHEAD: usize = 40;
+
+    /// Approximate resident bytes of the table (key words + per-entry
+    /// overhead). Deterministic — a pure function of the inserted keys —
+    /// so it can feed the memory counters in
+    /// [`ExploreStats`](crate::ExploreStats) without perturbing
+    /// cross-engine equivalence.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
     }
 
     /// Number of distinct keys inserted.
@@ -319,21 +365,30 @@ impl StateTable {
 /// global node-index space in canonical frontier order, which keeps
 /// parent links and schedule reconstruction byte-deterministic across
 /// runs and thread counts.
-#[derive(Clone, Debug)]
+///
+/// Each shard is a [`VisitedTable`] — the flat map or the packed tiered
+/// table, per the configured [`StorageTier`]. Every tier satisfies the
+/// same `get`/`insert` contract exactly, so shard routing, the frozen
+/// `contains` probes and index reconciliation are tier-oblivious.
+#[derive(Debug)]
 pub struct ShardedStateTable {
-    shards: Vec<StateTable>,
+    shards: Vec<VisitedTable>,
 }
 
 impl ShardedStateTable {
-    /// Creates a table with `shards` empty shards.
+    /// Creates a table with `shards` empty shards of the given storage
+    /// tier; `spill_threshold` is the per-shard resident-arena bytes
+    /// that trigger a disk freeze (spill tier only).
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
-    pub fn new(shards: usize) -> Self {
+    pub fn new(shards: usize, tier: StorageTier, spill_threshold: usize) -> Self {
         assert!(shards > 0, "a sharded table needs at least one shard");
         ShardedStateTable {
-            shards: (0..shards).map(|_| StateTable::new()).collect(),
+            shards: (0..shards)
+                .map(|_| VisitedTable::new(tier, spill_threshold))
+                .collect(),
         }
     }
 
@@ -355,8 +410,8 @@ impl ShardedStateTable {
     }
 
     /// Mutable access to every shard, for the parallel insert phase
-    /// (each worker owns exactly one `&mut StateTable`).
-    pub fn shards_mut(&mut self) -> &mut [StateTable] {
+    /// (each worker owns exactly one `&mut VisitedTable`).
+    pub fn shards_mut(&mut self) -> &mut [VisitedTable] {
         &mut self.shards
     }
 
@@ -365,13 +420,37 @@ impl ShardedStateTable {
     /// entries past a truncation cut); kept for tests and diagnostics.
     #[allow(dead_code)]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(StateTable::len).sum()
+        self.shards.iter().map(VisitedTable::len).sum()
     }
 
     /// Whether every shard is empty.
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(StateTable::is_empty)
+        self.shards.iter().all(|s| s.len() == 0)
+    }
+
+    /// Summed resident bytes across shards (final, not peak).
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(VisitedTable::resident_bytes).sum()
+    }
+
+    /// Summed per-shard peak resident bytes (each shard's high-water
+    /// mark; resident usage drops at spill freezes).
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(VisitedTable::peak_resident_bytes)
+            .sum()
+    }
+
+    /// Total bytes written to spill runs across shards.
+    pub fn spilled_bytes(&self) -> usize {
+        self.shards.iter().map(VisitedTable::spilled_bytes).sum()
+    }
+
+    /// Total prefilter bits set across shards.
+    pub fn filter_bits_set(&self) -> usize {
+        self.shards.iter().map(VisitedTable::filter_bits_set).sum()
     }
 }
 
@@ -459,27 +538,31 @@ mod tests {
 
     #[test]
     fn sharded_table_routes_consistently_and_sums_len() {
-        let mut table = ShardedStateTable::new(3);
-        assert!(table.is_empty());
-        assert_eq!(table.shard_count(), 3);
-        let keys: Vec<Vec<u32>> = (0..10u32).map(|i| vec![i, i + 1]).collect();
-        for key in &keys {
-            let route = {
-                let mut h = FxHasher::default();
-                for &w in key.iter() {
-                    h.write_u32(w);
-                }
-                h.finish()
-            };
-            let shard = table.shard_of(route);
-            assert!(shard < 3);
-            // Same route always maps to the same shard.
-            assert_eq!(shard, table.shard_of(route));
-            let (_, new) = table.shards_mut()[shard].insert(key);
-            assert!(new);
-            assert!(table.contains(shard, key));
+        for tier in StorageTier::ALL {
+            let mut table = ShardedStateTable::new(3, tier, 64);
+            assert!(table.is_empty());
+            assert_eq!(table.shard_count(), 3);
+            let keys: Vec<Vec<u32>> = (0..10u32).map(|i| vec![i, i + 1]).collect();
+            for key in &keys {
+                let route = {
+                    let mut h = FxHasher::default();
+                    for &w in key.iter() {
+                        h.write_u32(w);
+                    }
+                    h.finish()
+                };
+                let shard = table.shard_of(route);
+                assert!(shard < 3);
+                // Same route always maps to the same shard.
+                assert_eq!(shard, table.shard_of(route));
+                let (_, new) = table.shards_mut()[shard].insert(key);
+                assert!(new);
+                assert!(table.contains(shard, key));
+            }
+            assert_eq!(table.len(), keys.len(), "{tier}");
+            assert!(table.resident_bytes() > 0);
+            assert!(table.peak_resident_bytes() >= table.resident_bytes());
         }
-        assert_eq!(table.len(), keys.len());
     }
 
     #[test]

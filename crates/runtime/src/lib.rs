@@ -94,6 +94,7 @@ mod explore;
 mod intern;
 mod memory;
 mod program;
+mod storage;
 mod trace;
 
 pub mod footprint;
@@ -122,4 +123,13 @@ pub use footprint::{
 pub use intern::{Resolved, ShardInterner, ValueInterner};
 pub use memory::{Addr, Cell, MemOps, Memory};
 pub use program::{Pid, Program, Rebinding, Step};
+// The tiered storage layer: the packed-key codec and prefilter are
+// exported for the property suite in tests/proptest_runtime.rs;
+// `StorageTier` is the `ExploreConfig` knob selecting the visited-set
+// backend; `WitnessLog` is the compacted parent-link log both engines
+// now build (and tests replay).
+pub use storage::{
+    delta_decode, delta_encode, hash_packed, pack_key, pack_key_into, packed_key_len, unpack_key,
+    KeyFilter, PackedStateTable, StorageTier, WitnessLog,
+};
 pub use trace::{Trace, TraceEvent};

@@ -961,3 +961,107 @@ proptest! {
         }
     }
 }
+
+// The tiered-storage codec properties: the bit-packed key form and the
+// parent-delta encoding are exact (lossless and injective) and the
+// Bloom prefilter is deterministic — the foundations the storage tiers'
+// exactness argument rests on (see DESIGN §3).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `unpack ∘ pack` is the identity against the flat `Vec<u32>`
+    /// reference, the accounted length matches the real encoding, and
+    /// packing is injective (varints form a prefix code, so distinct
+    /// keys — even of different lengths — pack to distinct bytes).
+    #[test]
+    fn packed_keys_round_trip_against_the_flat_reference(
+        a in proptest::collection::vec(any::<u32>(), 0..24),
+        b in proptest::collection::vec(any::<u32>(), 0..24),
+    ) {
+        let packed = rc_runtime::pack_key(&a);
+        prop_assert_eq!(packed.len(), rc_runtime::packed_key_len(&a));
+        prop_assert_eq!(rc_runtime::unpack_key(&packed), a.clone());
+        prop_assert_eq!(a == b, packed == rc_runtime::pack_key(&b));
+    }
+
+    /// `delta_decode(parent, delta_encode(parent, child)) == child` for
+    /// every parent/child pair, including length changes in both
+    /// directions (the witness log's key reconstruction depends on it).
+    #[test]
+    fn delta_encode_decode_is_the_identity(
+        parent in proptest::collection::vec(0u32..5_000, 0..24),
+        child in proptest::collection::vec(0u32..5_000, 0..24),
+    ) {
+        let delta = rc_runtime::delta_encode(&parent, &child);
+        prop_assert_eq!(rc_runtime::delta_decode(&parent, &delta), child);
+    }
+
+    /// The packed table is observationally identical to a flat map:
+    /// same `(id, was_new)` on every insert (ids in insertion order),
+    /// same lookups — under every tier combination (filter, spill via a
+    /// tiny threshold, both).
+    #[test]
+    fn packed_table_matches_the_flat_reference(
+        keys in proptest::collection::vec(
+            proptest::collection::vec(0u32..200, 1..8), 1..120),
+        filter in any::<bool>(),
+        spill in any::<bool>(),
+    ) {
+        let mut table = rc_runtime::PackedStateTable::new(filter, spill, 128);
+        let mut reference: std::collections::HashMap<Vec<u32>, u32> =
+            std::collections::HashMap::new();
+        for key in &keys {
+            let expect_id = match reference.get(key) {
+                Some(&id) => (id, false),
+                None => {
+                    let id = u32::try_from(reference.len()).unwrap();
+                    reference.insert(key.clone(), id);
+                    (id, true)
+                }
+            };
+            prop_assert_eq!(table.insert(key), expect_id);
+        }
+        for key in &keys {
+            prop_assert_eq!(table.get(key), reference.get(key).copied());
+        }
+        prop_assert_eq!(table.len(), reference.len());
+    }
+
+    /// Prefilter determinism across shard counts: however the key set
+    /// is partitioned into per-shard filters (1, 2, 4 or 8 shards,
+    /// routed by key hash exactly like the engine), every inserted key
+    /// answers "maybe" in its own shard — no false negatives, the
+    /// half of the Bloom contract exactness rests on — and each
+    /// filter's bit pattern is a pure function of its key set,
+    /// independent of insertion order.
+    #[test]
+    fn prefilter_is_deterministic_across_shard_counts(
+        keys in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 1..8), 1..80),
+        seed in any::<u64>(),
+    ) {
+        for shards in [1usize, 2, 4, 8] {
+            let mut filters: Vec<rc_runtime::KeyFilter> =
+                (0..shards).map(|_| rc_runtime::KeyFilter::new(seed, 10)).collect();
+            let route = |key: &[u32]| {
+                (rc_runtime::hash_packed(&rc_runtime::pack_key(key)) % shards as u64) as usize
+            };
+            for key in &keys {
+                filters[route(key)].insert_key(key);
+            }
+            for key in &keys {
+                prop_assert!(filters[route(key)].maybe_contains_key(key), "{shards} shards");
+            }
+            // Order-independence: re-inserting the same shard's keys in
+            // reverse produces the identical occupancy.
+            let mut reversed: Vec<rc_runtime::KeyFilter> =
+                (0..shards).map(|_| rc_runtime::KeyFilter::new(seed, 10)).collect();
+            for key in keys.iter().rev() {
+                reversed[route(key)].insert_key(key);
+            }
+            for (f, r) in filters.iter().zip(&reversed) {
+                prop_assert_eq!(f.bits_set(), r.bits_set());
+            }
+        }
+    }
+}

@@ -33,7 +33,7 @@ use rc_runtime::sched::{
 use rc_runtime::verify::check_consensus_execution;
 use rc_runtime::{
     explore, explore_parallel, explore_symmetric, explore_with_stats, run, CrashModel,
-    ExploreConfig, ExploreOutcome, MemOps, Memory, Program, RunOptions, Step,
+    ExploreConfig, ExploreOutcome, MemOps, Memory, Program, RunOptions, Step, StorageTier,
 };
 use rc_spec::types::Sn;
 use rc_spec::{TypeHandle, Value};
@@ -106,6 +106,36 @@ fn por_modes() -> Vec<bool> {
     }
 }
 
+/// The storage tier the suite's searches run under: `Flat` by default,
+/// or whatever `EXPLORE_TEST_STORAGE` names (`flat` / `packed` /
+/// `packed+filter` / `packed+spill`; the CI storage axis). Anything
+/// else fails loudly, like the other matrix knobs.
+fn storage_tier() -> StorageTier {
+    match std::env::var("EXPLORE_TEST_STORAGE") {
+        Err(_) => StorageTier::Flat,
+        Ok(raw) => StorageTier::parse(raw.trim()).unwrap_or_else(|| {
+            panic!(
+                "EXPLORE_TEST_STORAGE must be one of flat, packed, \
+                 packed+filter, packed+spill; got {raw:?}"
+            )
+        }),
+    }
+}
+
+/// The suite's base config: [`ExploreConfig::default`] with the
+/// [`storage_tier`] axis applied. Under `packed+spill` the per-shard
+/// spill threshold is forced tiny (4 KiB) so these small state spaces
+/// genuinely freeze resident entries to disk — outcomes must not
+/// change (the equivalence assertions throughout are the proof).
+fn test_config() -> ExploreConfig {
+    let storage = storage_tier();
+    ExploreConfig {
+        storage,
+        spill_threshold: (storage == StorageTier::PackedSpill).then_some(4096),
+        ..ExploreConfig::default()
+    }
+}
+
 /// `base` with the sleep-set POR engine switched on. The `analysis_id`
 /// shares one cached footprint analysis per *system* across every
 /// budget/mode/thread combination a test runs (the analysis only
@@ -168,7 +198,7 @@ fn engines_agree_on_e2_systems() {
             let config = ExploreConfig {
                 crash: CrashModel::independent(budget).after_decide(true),
                 inputs: Some(inputs.clone()),
-                ..ExploreConfig::default()
+                ..test_config()
             };
             for mode in symmetry_modes() {
                 // The masked S_3/budget-2 instance is an order of
@@ -252,7 +282,7 @@ fn symmetry_on_off_equivalence_on_e2_systems() {
             let config = ExploreConfig {
                 crash: CrashModel::independent(budget).after_decide(true),
                 inputs: Some(inputs.clone()),
-                ..ExploreConfig::default()
+                ..test_config()
             };
             let (off_states, off_leaves) = match explore(&factory, &config) {
                 ExploreOutcome::Verified { states, leaves } => (states, leaves),
@@ -311,7 +341,7 @@ fn cap_boundaries_are_byte_identical_across_engines() {
     let plain = ExploreConfig {
         crash: CrashModel::independent(2).after_decide(true),
         inputs: Some(inputs.clone()),
-        ..ExploreConfig::default()
+        ..test_config()
     };
     for por in por_modes() {
         // The POR state-space size is computed per setting — reduced
@@ -370,7 +400,7 @@ fn symmetric_cap_boundaries_are_exact() {
     let plain = ExploreConfig {
         crash: CrashModel::independent(2).after_decide(true),
         inputs: Some(inputs.clone()),
-        ..ExploreConfig::default()
+        ..test_config()
     };
     for por in por_modes() {
         let base = if por {
@@ -419,7 +449,7 @@ fn forced_multi_worker_pipelines_actually_run() {
     let base = ExploreConfig {
         crash: CrashModel::independent(2).after_decide(true),
         inputs: Some(inputs.clone()),
-        ..ExploreConfig::default()
+        ..test_config()
     };
     let serial = explore(&factory, &base);
     for threads in thread_counts() {
@@ -455,7 +485,7 @@ fn e2_state_counts_are_preserved() {
             &ExploreConfig {
                 crash: CrashModel::independent(2).after_decide(true),
                 inputs: Some(inputs.clone()),
-                ..ExploreConfig::default()
+                ..test_config()
             },
         );
         match outcome {
@@ -476,7 +506,7 @@ fn s4_budget_1_verifies_within_default_cap() {
         &ExploreConfig {
             crash: CrashModel::independent(1).after_decide(true),
             inputs: Some(inputs.clone()),
-            ..ExploreConfig::default()
+            ..test_config()
         },
     );
     match outcome {
@@ -544,7 +574,7 @@ fn crash_all_respects_post_decide_policy_in_explore() {
             &forgetful_factory,
             &ExploreConfig {
                 crash: mode,
-                ..ExploreConfig::default()
+                ..test_config()
             },
         );
         assert!(
@@ -555,7 +585,7 @@ fn crash_all_respects_post_decide_policy_in_explore() {
             &forgetful_factory,
             &ExploreConfig {
                 crash: mode.after_decide(true),
-                ..ExploreConfig::default()
+                ..test_config()
             },
         );
         assert!(
@@ -609,7 +639,7 @@ fn state_cap_has_no_off_by_one() {
     let config = ExploreConfig {
         crash: CrashModel::independent(2).after_decide(true),
         inputs: Some(inputs.clone()),
-        ..ExploreConfig::default()
+        ..test_config()
     };
     // 514 states (asserted above). Capping exactly there must verify…
     let outcome = explore(
@@ -671,7 +701,7 @@ fn violation_beats_truncation_when_found_first() {
         &factory,
         &ExploreConfig {
             max_states: 3,
-            ..ExploreConfig::default()
+            ..test_config()
         },
     );
     assert!(outcome.is_violation(), "{outcome:?}");
@@ -694,7 +724,7 @@ fn parallel_engine_reports_replayable_violations() {
                 crash: CrashModel::independent(1).after_decide(true),
                 inputs: Some(bogus.clone()),
                 threads,
-                ..ExploreConfig::default()
+                ..test_config()
             },
         ) {
             ExploreOutcome::Violation { schedule, kind, .. } => {
@@ -723,7 +753,7 @@ fn symmetric_witness_replays_on_the_original_system() {
         let base = ExploreConfig {
             crash: CrashModel::independent(1).after_decide(true),
             inputs: Some(bogus.clone()),
-            ..ExploreConfig::default()
+            ..test_config()
         };
         let config = if threads == 1 {
             base
@@ -781,7 +811,7 @@ fn symmetric_search_finds_the_broken_guard_violation() {
     let config = ExploreConfig {
         crash: CrashModel::none(),
         inputs: Some(inputs.clone()),
-        ..ExploreConfig::default()
+        ..test_config()
     };
     let schedule = match explore_symmetric(&sym_factory, &config) {
         ExploreOutcome::Violation { schedule, .. } => schedule,
@@ -810,7 +840,7 @@ fn rebind_on_off_equivalence_on_masked_systems() {
             let config = ExploreConfig {
                 crash: CrashModel::independent(budget).after_decide(true),
                 inputs: Some(inputs.clone()),
-                ..ExploreConfig::default()
+                ..test_config()
             };
             let (off_states, off_leaves) = match explore(&factory, &config) {
                 ExploreOutcome::Verified { states, leaves } => (states, leaves),
@@ -885,7 +915,7 @@ fn por_on_off_equivalence_on_e2_systems() {
             let base = ExploreConfig {
                 crash: CrashModel::independent(budget).after_decide(true),
                 inputs: Some(inputs.clone()),
-                ..ExploreConfig::default()
+                ..test_config()
             };
             // Unmasked: exact verdict + leaves (even the plain teams
             // have commuting step pairs, so states may shrink).
@@ -1002,7 +1032,7 @@ fn rebind_witness_replays_on_the_original_masked_system() {
         let base = ExploreConfig {
             crash: CrashModel::independent(1).after_decide(true),
             inputs: Some(bogus.clone()),
-            ..ExploreConfig::default()
+            ..test_config()
         };
         let config = if threads == 1 {
             base
@@ -1058,7 +1088,7 @@ fn rebind_search_finds_the_masked_broken_guard_violation() {
     let config = ExploreConfig {
         crash: CrashModel::none(),
         inputs: Some(inputs.clone()),
-        ..ExploreConfig::default()
+        ..test_config()
     };
     let schedule = match explore_symmetric(&sym_factory, &config) {
         ExploreOutcome::Violation { schedule, .. } => schedule,
@@ -1070,4 +1100,157 @@ fn rebind_search_finds_the_masked_broken_guard_violation() {
     let err = check_consensus_execution(&exec, &inputs)
         .expect_err("the replayed witness must violate agreement");
     assert!(err.to_string().contains("agreement"), "{err}");
+}
+
+/// Every storage tier — flat, packed, packed+filter, packed+spill — is
+/// the *same* exact search: byte-identical `Verified` outcomes (state
+/// and leaf counts) on the E2 systems, serial and with the forced
+/// staged pipeline at every matrix thread count. The spill tier runs
+/// with a tiny per-shard threshold so resident entries genuinely
+/// freeze to disk mid-search.
+#[test]
+fn storage_tiers_agree_byte_identically() {
+    let (ty, w, inputs) = sn_system(2);
+    let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
+    for budget in [1usize, 2] {
+        let base = ExploreConfig {
+            crash: CrashModel::independent(budget).after_decide(true),
+            inputs: Some(inputs.clone()),
+            ..ExploreConfig::default()
+        };
+        let reference = explore(&factory, &base);
+        assert!(reference.is_verified(), "{reference:?}");
+        for tier in StorageTier::ALL {
+            let config = ExploreConfig {
+                storage: tier,
+                spill_threshold: (tier == StorageTier::PackedSpill).then_some(512),
+                ..base.clone()
+            };
+            let (serial, stats) = explore_with_stats(&factory, &config);
+            assert_eq!(serial, reference, "serial {tier} budget {budget}");
+            assert_eq!(stats.storage, tier);
+            if tier == StorageTier::PackedSpill {
+                assert!(
+                    stats.spilled_bytes > 0,
+                    "threshold 512 must spill at budget {budget}"
+                );
+            }
+            if tier == StorageTier::PackedFilter {
+                assert!(stats.filter_occupancy > 0);
+            }
+            for threads in thread_counts() {
+                let threaded = explore(&factory, &parallel_config(&config, threads));
+                assert_eq!(threaded, reference, "{tier} x{threads} budget {budget}");
+            }
+        }
+    }
+}
+
+/// The `max_bytes` cap is exact and storage/thread-independent: the
+/// accounted cost model is a pure function of the accepted keys in
+/// canonical order, so a byte-capped search truncates at the identical
+/// state count under every tier and thread count — and a cap equal to
+/// the full space's accounted bytes still verifies. Also pins the
+/// routing contract: a byte-capped `threads: 1` run executes on the
+/// frontier engine.
+#[test]
+fn byte_cap_boundary_is_exact_across_tiers_and_threads() {
+    let (ty, w, inputs) = sn_system(2);
+    let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
+    let base = ExploreConfig {
+        crash: CrashModel::independent(2).after_decide(true),
+        inputs: Some(inputs.clone()),
+        ..ExploreConfig::default()
+    };
+    // Generous cap: verifies, byte-identically to the uncapped search —
+    // but on the frontier engine even serially.
+    let reference = explore(&factory, &base);
+    let (capped, stats) = explore_with_stats(
+        &factory,
+        &ExploreConfig {
+            max_bytes: Some(1 << 30),
+            ..base.clone()
+        },
+    );
+    assert_eq!(capped, reference);
+    assert!(
+        stats.frontier,
+        "byte-capped serial runs must use the frontier engine"
+    );
+    // Tight cap: truncates, at the same accepted-state count everywhere.
+    let mut cut_states: Option<usize> = None;
+    for tier in StorageTier::ALL {
+        for threads in [1usize, 2, 8] {
+            let config = ExploreConfig {
+                max_bytes: Some(2_000),
+                storage: tier,
+                spill_threshold: (tier == StorageTier::PackedSpill).then_some(512),
+                threads,
+                workers_override: (threads > 1).then_some(threads),
+                shards_override: (threads > 1).then_some(threads),
+                ..base.clone()
+            };
+            match explore(&factory, &config) {
+                ExploreOutcome::Truncated { states } => {
+                    assert!(states > 0, "a 2000-byte cap fits more than the root");
+                    match cut_states {
+                        None => cut_states = Some(states),
+                        Some(expected) => {
+                            assert_eq!(states, expected, "byte-cap cut moved: {tier} x{threads}")
+                        }
+                    }
+                }
+                other => panic!("2000-byte cap must truncate S_2/budget-2: {other:?}"),
+            }
+        }
+    }
+}
+
+/// The memory/occupancy counters in [`rc_runtime::ExploreStats`] are
+/// populated and monotone in the searched space: growing the crash
+/// budget grows every byte account (more states, more interned values,
+/// a longer witness log), on the serial and frontier engines alike.
+#[test]
+fn memory_counters_are_monotone_in_the_searched_space() {
+    let (ty, w, inputs) = sn_system(2);
+    let factory = || build_team_rc_system(ty.clone(), &w, &inputs);
+    for threads in [1usize, 2] {
+        let mut previous: Option<rc_runtime::ExploreStats> = None;
+        for budget in [0usize, 1, 2] {
+            let base = ExploreConfig {
+                crash: CrashModel::independent(budget).after_decide(true),
+                inputs: Some(inputs.clone()),
+                ..test_config()
+            };
+            let config = if threads > 1 {
+                parallel_config(&base, threads)
+            } else {
+                base
+            };
+            let (outcome, stats) = explore_with_stats(&factory, &config);
+            assert!(outcome.is_verified(), "{outcome:?}");
+            assert!(stats.interned_bytes > 0);
+            assert!(stats.table_bytes > 0);
+            assert!(stats.witness_bytes > 0);
+            assert!(stats.peak_table_bytes >= stats.table_bytes);
+            if let Some(prev) = previous {
+                assert!(stats.interned_bytes >= prev.interned_bytes, "x{threads}");
+                // Under the spill tier the *resident* table can shrink as
+                // the search grows (a bigger search freezes more runs to
+                // disk), so monotonicity is asserted on total stored
+                // bytes — resident plus spilled.
+                assert!(
+                    stats.table_bytes + stats.spilled_bytes
+                        >= prev.table_bytes + prev.spilled_bytes,
+                    "x{threads}"
+                );
+                assert!(stats.witness_bytes > prev.witness_bytes, "x{threads}");
+                assert!(
+                    stats.peak_table_bytes >= prev.peak_table_bytes,
+                    "x{threads}"
+                );
+            }
+            previous = Some(stats);
+        }
+    }
 }
