@@ -1,6 +1,6 @@
-//! Prints every experiment table (E1–E16); pass experiment ids to select
+//! Prints every experiment table (E1–E17); pass experiment ids to select
 //! a subset, `--fast` for smaller sample counts, `--snapshot` (with e11,
-//! e12, e13, e15 and e16) to refresh `BENCH_explore.json`, `--list` to print
+//! e12, e13, e15, e16 and e17) to refresh `BENCH_explore.json`, `--list` to print
 //! the experiment ids one per line (CI diffs that against
 //! EXPERIMENTS.md), and `lint` to run the E14 catalog audit — access
 //! declarations plus the POR ample-set soundness lint — as a gate (exit
@@ -9,7 +9,7 @@
 //! ```sh
 //! cargo run -p rc-bench --release --bin tables           # everything
 //! cargo run -p rc-bench --release --bin tables -- e4 e5  # a subset
-//! cargo run -p rc-bench --release --bin tables -- e11 e12 e13 e15 e16 --fast --snapshot
+//! cargo run -p rc-bench --release --bin tables -- e11 e12 e13 e15 e16 e17 --fast --snapshot
 //! cargo run -p rc-bench --release --bin tables -- --list
 //! cargo run -p rc-bench --release --bin tables -- lint
 //! ```
@@ -122,15 +122,23 @@ fn main() {
         println!("{report}");
         e16_rows = rows;
     }
+    let mut e17_rows = Vec::new();
+    if args.wants("e17") {
+        let (report, rows) = exp::e17_scalarset_symmetry(fast);
+        println!("{report}");
+        e17_rows = rows;
+    }
     if args.snapshot {
-        // The CLI guarantees e11, e12, e13, e15 and e16 are all
+        // The CLI guarantees e11, e12, e13, e15, e16 and e17 are all
         // selected. The path is the workspace root, resolved from this
         // crate's manifest so the snapshot lands in the same place
         // regardless of cwd.
         let path = Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
             .join("BENCH_explore.json");
-        let json = exp::snapshot_json(&e11_rows, &e12_rows, &e13_rows, &e15_rows, &e16_rows);
+        let json = exp::snapshot_json(
+            &e11_rows, &e12_rows, &e13_rows, &e15_rows, &e16_rows, &e17_rows,
+        );
         match std::fs::write(&path, json) {
             Ok(()) => println!("snapshot written to {}", path.display()),
             Err(e) => {

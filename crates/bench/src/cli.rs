@@ -9,7 +9,7 @@
 /// Every valid experiment id, in printing order.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Parsed `tables` arguments.
@@ -100,13 +100,14 @@ where
             && parsed.wants("e12")
             && parsed.wants("e13")
             && parsed.wants("e15")
-            && parsed.wants("e16"))
+            && parsed.wants("e16")
+            && parsed.wants("e17"))
     {
         return Err(
             "--snapshot records the E11 engine sweep, the E12 symmetry sweep, the E13 \
-             full-state sweep, the E15 partial-order-reduction sweep and the E16 \
-             storage-tier sweep, but e11, e12, e13, e15 and e16 are not all among the \
-             selected experiment ids"
+             full-state sweep, the E15 partial-order-reduction sweep, the E16 \
+             storage-tier sweep and the E17 scalarset-symmetry sweep, but e11, e12, \
+             e13, e15, e16 and e17 are not all among the selected experiment ids"
                 .into(),
         );
     }
@@ -136,13 +137,14 @@ mod tests {
             "e13",
             "e15",
             "e16",
+            "e17",
             "--fast",
             "--snapshot",
         ])
         .expect("valid");
         assert!(args.fast && args.snapshot);
         assert!(args.wants("e4") && args.wants("e11") && args.wants("e12") && args.wants("e13"));
-        assert!(args.wants("e15") && args.wants("e16"));
+        assert!(args.wants("e15") && args.wants("e16") && args.wants("e17"));
         assert!(!args.wants("e1"));
     }
 
@@ -155,8 +157,17 @@ mod tests {
         assert!(parse_args(["--list"]).expect("valid").list);
         assert!(!parse_args(Vec::<&str>::new()).expect("valid").list);
         assert!(parse_args(["e4", "--list"]).expect("valid").list);
-        let err = parse_args(["e11", "e12", "e13", "e15", "e16", "--snapshot", "--list"])
-            .expect_err("must reject the silent snapshot skip");
+        let err = parse_args([
+            "e11",
+            "e12",
+            "e13",
+            "e15",
+            "e16",
+            "e17",
+            "--snapshot",
+            "--list",
+        ])
+        .expect_err("must reject the silent snapshot skip");
         assert!(err.contains("--snapshot"), "{err}");
     }
 
@@ -186,24 +197,30 @@ mod tests {
     /// would silently skip part of the snapshot write — the same
     /// silent-no-op shape as the unknown-id bug, so it is rejected too.
     /// (E15 joined the snapshot set with the schema-2 `e15_rows`; E16
-    /// joined with the schema-3 `e16_rows`.)
+    /// joined with the schema-3 `e16_rows`; E17 with the schema-4
+    /// `e17_rows`.)
     #[test]
-    fn snapshot_requires_e11_through_e16_in_the_selection() {
+    fn snapshot_requires_e11_through_e17_in_the_selection() {
         let err = parse_args(["e4", "--snapshot"]).expect_err("must reject");
         assert!(err.contains("e11"), "{err}");
         assert!(err.contains("e12"), "{err}");
         assert!(err.contains("e13"), "{err}");
         assert!(err.contains("e15"), "{err}");
         assert!(err.contains("e16"), "{err}");
-        let err = parse_args(["e11", "--snapshot"]).expect_err("e12/e13/e15/e16 missing");
+        assert!(err.contains("e17"), "{err}");
+        let err = parse_args(["e11", "--snapshot"]).expect_err("e12/e13/e15/e16/e17 missing");
         assert!(err.contains("e12"), "{err}");
-        let err = parse_args(["e11", "e12", "--snapshot"]).expect_err("e13/e15/e16 missing");
+        let err = parse_args(["e11", "e12", "--snapshot"]).expect_err("e13/e15/e16/e17 missing");
         assert!(err.contains("e13"), "{err}");
-        let err = parse_args(["e11", "e12", "e13", "--snapshot"]).expect_err("e15/e16 missing");
+        let err = parse_args(["e11", "e12", "e13", "--snapshot"]).expect_err("e15/e16/e17 missing");
         assert!(err.contains("e15"), "{err}");
-        let err = parse_args(["e11", "e12", "e13", "e15", "--snapshot"]).expect_err("e16 missing");
+        let err =
+            parse_args(["e11", "e12", "e13", "e15", "--snapshot"]).expect_err("e16/e17 missing");
         assert!(err.contains("e16"), "{err}");
-        assert!(parse_args(["e4", "e11", "e12", "e13", "e15", "e16", "--snapshot"]).is_ok());
+        let err =
+            parse_args(["e11", "e12", "e13", "e15", "e16", "--snapshot"]).expect_err("e17 missing");
+        assert!(err.contains("e17"), "{err}");
+        assert!(parse_args(["e4", "e11", "e12", "e13", "e15", "e16", "e17", "--snapshot"]).is_ok());
         assert!(
             parse_args(["--snapshot"]).is_ok(),
             "empty selection runs everything"
@@ -222,7 +239,16 @@ mod tests {
         for combo in [
             vec!["lint", "e4"],
             vec!["lint", "--list"],
-            vec!["lint", "e11", "e12", "e13", "e15", "e16", "--snapshot"],
+            vec![
+                "lint",
+                "e11",
+                "e12",
+                "e13",
+                "e15",
+                "e16",
+                "e17",
+                "--snapshot",
+            ],
         ] {
             let err = parse_args(combo.clone()).expect_err("must reject");
             assert!(err.contains("lint"), "{combo:?}: {err}");

@@ -1315,8 +1315,10 @@ fn e13_measure(
 /// (`SimultaneousRc`) rows run `off`/`slots` only: its per-process round
 /// registers are read by *every* process (the line-44 termination scan),
 /// so no owned-cell declaration is sound — the validator rejects it
-/// (tested in `rc-core`), and `build_simultaneous_rc_system_sym`
-/// honestly returns the trivial spec.
+/// (tested in `rc-core`). The registers reduce under the certified
+/// *scalarset* kind instead (E17); here the all-distinct inputs leave
+/// every orbit a singleton, so the family is inert and the sym row is
+/// byte-identical to `off`.
 pub fn e13_full_state_symmetry(fast: bool) -> (String, Vec<E13Row>) {
     // (n, budgets, slots_row, off_row) per masked S_n instance: the off
     // search of S_7/S_8 at budget 0 is a cap-length run (~5M states), so
@@ -1396,8 +1398,11 @@ pub fn e13_full_state_symmetry(fast: bool) -> (String, Vec<E13Row>) {
             rows.push(on);
         }
     }
-    // Fig. 4 rows: off and the honest (trivial) sym declaration — the
-    // owned round-register declaration is rejected by the validator.
+    // Fig. 4 rows: off and the certified scalarset declaration under
+    // all-distinct inputs — every orbit is a singleton, so the family
+    // is inert here and the quotient is the identity (the E14 audit
+    // warns exactly this); E17 measures the acting-orbit instances,
+    // where the same declaration reduces.
     {
         let n = 3;
         let budget = 1;
@@ -1425,7 +1430,8 @@ pub fn e13_full_state_symmetry(fast: bool) -> (String, Vec<E13Row>) {
         assert_eq!(
             (&slots.verdict, slots.states, slots.leaves),
             (&off.verdict, off.states, off.leaves),
-            "Fig. 4's sound declaration is trivial, so outcomes are identical"
+            "distinct inputs leave the scalarset family inert, so outcomes \
+             are identical"
         );
         rows.push(off);
         rows.push(slots);
@@ -1494,10 +1500,12 @@ pub fn e13_full_state_symmetry(fast: bool) -> (String, Vec<E13Row>) {
          largest recorded reduction: {}{:.1}× on {}/budget-{}; Verified \
          rebind rows match off verdicts and weighted leaf counts exactly \
          (asserted), witnesses replay in original pids (tested), and \
-         {cap_note}. Fig. 4 (SimultaneousRc) rows stay slots-only: every \
-         process scans every round register (line 44), so owned-cell \
-         round-register orbits are *rejected* by the owner-only soundness \
-         validation (tested in rc-core).\n",
+         {cap_note}. Fig. 4 (SimultaneousRc) rows stay slots-only here: \
+         every process scans every round register (line 44), so \
+         owned-cell round-register orbits are *rejected* by the \
+         owner-only soundness validation (tested in rc-core) — the \
+         registers reduce under the certified *scalarset* fragment \
+         instead (E17).\n",
         t.render(),
         if headline.1 { "≥" } else { "" },
         headline.0,
@@ -1605,9 +1613,10 @@ fn e15_finish(off: E15Row, mut reduced: Vec<E15Row>) -> Vec<E15Row> {
 /// `ExploreConfig::por`) — alone, against full-state symmetry, and
 /// composed with it. Four modes per masked instance
 /// (off / por / rebind / por+rebind); Fig. 4 (`SimultaneousRc`) runs
-/// off / por only: E13 showed no owned-cell orbit is sound there (every
-/// process scans every round register), so POR is precisely the reducer
-/// that still applies.
+/// off / por only here: E13 showed no *owned-cell* orbit is sound there
+/// (every process scans every round register), so within this sweep POR
+/// is the reducer that still applies — E17 adds the certified
+/// *scalarset* reduction and composes it with POR.
 ///
 /// Where the reduction lives: crash transitions are dependent with
 /// everything (the `CrashModel` adversary must stay complete), so a
@@ -1747,10 +1756,11 @@ pub fn e15_por_reduction(fast: bool) -> (String, Vec<E15Row>) {
         }
         rows.extend(e15_finish(off, vec![por, rebind, both]));
     }
-    // Fig. 4: the system symmetry cannot touch. POR's headroom comes
-    // from laggards — a process still proposing to an already-settled
-    // round's consensus object commutes with every process ahead of it
-    // (their crash-free futures never revisit settled rounds).
+    // Fig. 4: owned-cell symmetry cannot touch it (the scalarset
+    // fragment can — E17). POR's headroom comes from laggards — a
+    // process still proposing to an already-settled round's consensus
+    // object commutes with every process ahead of it (their crash-free
+    // futures never revisit settled rounds).
     {
         let n = 3;
         let factory = ConsensusObjectFactory { domain: 4 };
@@ -1848,7 +1858,8 @@ pub fn e15_por_reduction(fast: bool) -> (String, Vec<E15Row>) {
          largest recorded POR-alone reduction: {:.1}× on {}/budget-{}; \
          Verified reduced rows match off verdicts and weighted leaf \
          counts exactly (asserted). SimultaneousRc — which no sound \
-         symmetry declaration can touch (E13) — reduces under POR, and \
+         *owned-cell* declaration can touch (E13; the certified \
+         scalarset fragment reduces it in E17) — reduces under POR, and \
          on budget-0 and CrashAll instances por+rebind beats rebind \
          alone (asserted): the reducers compose. The independent \
          budget-1 rows are the honest cost datapoint — many \
@@ -1876,6 +1887,10 @@ pub struct E16Row {
     /// baseline row runs at the catalog's historical cap and re-records
     /// its `Truncated` verdict.
     pub tier: String,
+    /// `"unreduced"` (the plain engines, the tier-parity grid) or
+    /// `"por+rebind"` (both reducers composed on the masked instance —
+    /// the storage tiers must stay exact under the reduced search too).
+    pub mode: &'static str,
     /// `ExploreConfig::threads` (1 = serial DFS, >1 = frontier BFS).
     pub threads: usize,
     /// The `max_states` cap the row ran under.
@@ -1930,6 +1945,7 @@ fn e16_measure(
         system: system.to_string(),
         crash_budget: budget,
         tier: config.storage.to_string(),
+        mode: "unreduced",
         threads: config.threads,
         max_states: config.max_states,
         max_bytes: config.max_bytes.unwrap_or(0),
@@ -2048,6 +2064,10 @@ pub fn e16_storage_scaling(fast: bool) -> (String, Vec<E16Row>) {
         };
         let baseline_cfg = ExploreConfig {
             max_states: inst.baseline_cap,
+            // The historical baseline ran on the flat table; it is the
+            // opt-out now that `ExploreConfig::storage` defaults to
+            // packed, so the row pins it explicitly.
+            storage: StorageTier::Flat,
             ..base.clone()
         };
         let baseline = e16_measure(&system, inst.budget, &baseline_cfg, &|| {
@@ -2144,16 +2164,73 @@ pub fn e16_storage_scaling(fast: bool) -> (String, Vec<E16Row>) {
             inst.budget
         );
         rows.push(byte_row);
+        if inst.masked {
+            // The composed reducers (por+rebind, as in E15) on top of
+            // the packed and spill tiers: the storage layer must stay
+            // exact under the reduced search too — byte-identical
+            // canonical state counts across tiers and threads, and the
+            // same weighted leaf count as the unreduced grid.
+            let mut reduced_ref: Option<(usize, usize)> = None;
+            for tier in [StorageTier::Packed, StorageTier::PackedSpill] {
+                for threads in [1usize, 8] {
+                    let cfg = ExploreConfig {
+                        max_states: inst.lifted_cap,
+                        storage: tier,
+                        threads,
+                        spill_threshold: (tier == StorageTier::PackedSpill)
+                            .then_some(spill_threshold),
+                        por: true,
+                        analysis_id: Some(format!("bench/e16/masked-S_{}", inst.n)),
+                        ..base.clone()
+                    };
+                    let mut row = e16_measure(&system, inst.budget, &cfg, &|| {
+                        rc_runtime::explore_symmetric_with_stats(
+                            &|| build_masked_team_rc_system_sym(ty.clone(), &w, &inputs),
+                            &cfg,
+                        )
+                    });
+                    row.mode = "por+rebind";
+                    assert_eq!(
+                        row.verdict, "Verified",
+                        "{system}/{}: the reduced run must verify under {tier}/t{threads}",
+                        inst.budget
+                    );
+                    assert_eq!(
+                        row.leaves,
+                        reference.expect("grid ran").1,
+                        "{system}/{}: reduced weighted leaves must match the unreduced grid",
+                        inst.budget
+                    );
+                    assert!(
+                        row.states < reference.expect("grid ran").0,
+                        "{system}/{}: por+rebind must visit fewer states than unreduced",
+                        inst.budget
+                    );
+                    match reduced_ref {
+                        None => reduced_ref = Some((row.states, row.leaves)),
+                        Some(r) => assert_eq!(
+                            (row.states, row.leaves),
+                            r,
+                            "{system}/{}: reduced outcomes byte-identical across \
+                             tiers and threads ({tier}/t{threads})",
+                            inst.budget
+                        ),
+                    }
+                    rows.push(row);
+                }
+            }
+        }
     }
     let mut t = Table::new(&[
-        "system", "budget", "tier", "threads", "cap", "byte cap", "verdict", "states", "leaves",
-        "ms", "peak MB", "spill MB", "filter", "wit MB",
+        "system", "budget", "tier", "mode", "threads", "cap", "byte cap", "verdict", "states",
+        "leaves", "ms", "peak MB", "spill MB", "filter", "wit MB",
     ]);
     for r in &rows {
         t.row(&[
             r.system.clone(),
             r.crash_budget.to_string(),
             r.tier.clone(),
+            r.mode.to_string(),
             r.threads.to_string(),
             r.max_states.to_string(),
             if r.max_bytes == 0 {
@@ -2206,7 +2283,13 @@ pub fn e16_storage_scaling(fast: bool) -> (String, Vec<E16Row>) {
          resident visited-set on the largest serial run: {:.0} MB flat \
          vs {:.0} MB packed. Spill rows freeze resident arenas to disk \
          behind per-run Blooms and stay exact — full key bytes are \
-         compared on disk, never hash fingerprints alone. Also \
+         compared on disk, never hash fingerprints alone. The masked \
+         instance additionally re-runs with both reducers composed \
+         (por+rebind, as in E15) on the packed and spill tiers: the \
+         reduced search's canonical state counts are byte-identical \
+         across tiers and threads and its weighted leaves match the \
+         unreduced grid (asserted) — the packed default \
+         (`ExploreConfig::storage`) rests on this parity. Also \
          {cap_note}.\n",
         t.render(),
         largest.states,
@@ -2218,7 +2301,283 @@ pub fn e16_storage_scaling(fast: bool) -> (String, Vec<E16Row>) {
     (report, rows)
 }
 
-/// Renders the E11 + E12 + E13 + E15 + E16 rows as the
+/// One measured configuration of the E17 scalarset-symmetry sweep.
+#[derive(Clone, Debug)]
+pub struct E17Row {
+    /// System under check: `"SimultaneousRc n=k [inputs]"` — Fig. 4
+    /// over atomic consensus objects, the system E13/E15 recorded as
+    /// untouchable by owned-cell symmetry (reduction pinned at 1.0×).
+    pub system: String,
+    /// Simultaneous crash budget (post-decide crashes enabled).
+    pub crash_budget: usize,
+    /// The `max_states` cap the row ran under.
+    pub max_states: usize,
+    /// `"off"` (plain engines), `"scalarset"` (the certified scalarset
+    /// family permutes with the process orbits) or `"scalarset+por"`
+    /// (composed with partial-order reduction).
+    pub mode: &'static str,
+    /// `ExploreConfig::threads` (1 = serial DFS, >1 = frontier BFS).
+    pub threads: usize,
+    /// `Verified` / `Truncated` (a violation would panic the sweep).
+    pub verdict: String,
+    /// Distinct states visited (canonical representatives under the
+    /// scalarset modes) — asserted byte-identical across thread counts
+    /// within each mode.
+    pub states: usize,
+    /// Weighted executions enumerated; Verified reduced rows must match
+    /// the off rows exactly (asserted).
+    pub leaves: usize,
+    /// Wall-clock milliseconds of the best run (machine-dependent).
+    pub millis: f64,
+    /// `states / seconds` (machine-dependent).
+    pub states_per_sec: f64,
+    /// `states(off) / states(this row)` at the same thread count.
+    pub reduction: f64,
+}
+
+fn e17_measure(
+    system: &str,
+    budget: usize,
+    mode: &'static str,
+    threads: usize,
+    config: &ExploreConfig,
+    run_once: &dyn Fn() -> rc_runtime::ExploreOutcome,
+) -> E17Row {
+    let (verdict, states, leaves, best) = measure_sweep_run("E17", run_once);
+    E17Row {
+        system: system.to_string(),
+        crash_budget: budget,
+        max_states: config.max_states,
+        mode,
+        threads,
+        verdict,
+        states,
+        leaves,
+        millis: best.as_secs_f64() * 1e3,
+        states_per_sec: states as f64 / best.as_secs_f64().max(1e-9),
+        reduction: 1.0,
+    }
+}
+
+/// E17: **scalarset symmetry for Fig. 4** — the reduction E13 and E15
+/// recorded as impossible under owned-cell orbits. The line-44
+/// termination scan cross-reads every round register, so the registers
+/// can never be owner-only; but remodeled as an order-insensitive fold
+/// (a checked-position mask with the visit order as internal
+/// nondeterminism) they form a certifiable **scalarset family**
+/// ([`rc_runtime::SymmetrySpec::with_scalarset`]): at search start the
+/// scalarset certifier ([`rc_runtime::lint_scalarset`]) proves every
+/// family transposition leaves the memoized local-state graphs
+/// equivariant — bystander graph matching, member exchange, rebind
+/// fidelity, spot re-executions — and only then do the engines permute
+/// the family with the process slots (mid-scan *pinned* states forgo
+/// reduction; decided states are never pinned, so leaf weights stay
+/// exact).
+///
+/// Three modes per instance — off / scalarset / scalarset+por — each at
+/// threads 1/2/8. Asserted: byte-identical state and weighted-leaf
+/// counts across thread counts within every mode; Verified reduced rows
+/// match the off rows' weighted leaf counts exactly; the scalarset mode
+/// strictly reduces (Fig. 4 leaves 1.0× behind); and scalarset+por
+/// strictly beats scalarset alone wherever POR alone reduced (E15's
+/// 2.1× composes).
+pub fn e17_scalarset_symmetry(fast: bool) -> (String, Vec<E17Row>) {
+    struct Instance {
+        inputs: Vec<Value>,
+        label: &'static str,
+        budget: usize,
+        horizon: usize,
+    }
+    let inst = |inputs: Vec<i64>, label, budget, horizon| Instance {
+        inputs: inputs.into_iter().map(Value::Int).collect(),
+        label,
+        budget,
+        horizon,
+    };
+    // Equal inputs put every process in one orbit (the full symmetric
+    // group acts); the mixed instance keeps a singleton orbit alongside
+    // — the family still permutes under the acting orbit only.
+    let sweep: Vec<Instance> = if fast {
+        vec![inst(vec![0, 0, 1], "inputs 0,0,1", 1, 4)]
+    } else {
+        vec![
+            inst(vec![0, 0, 0], "inputs 0,0,0", 1, 4),
+            inst(vec![0, 0, 1], "inputs 0,0,1", 1, 4),
+            inst(vec![0, 0, 0], "inputs 0,0,0", 0, 4),
+        ]
+    };
+    let factory = ConsensusObjectFactory { domain: 4 };
+    let mut rows: Vec<E17Row> = Vec::new();
+    for inst in &sweep {
+        let n = inst.inputs.len();
+        let system = format!("SimultaneousRc n={n} ({})", inst.label);
+        let analysis_id = format!(
+            "bench/e17/simultaneous-rc-n{n}-{}-h{}",
+            inst.label, inst.horizon
+        );
+        let base = ExploreConfig {
+            crash: CrashModel::simultaneous(inst.budget).after_decide(true),
+            inputs: Some(inst.inputs.clone()),
+            analysis_id: Some(analysis_id.clone()),
+            ..ExploreConfig::default()
+        };
+        let por_cfg = ExploreConfig {
+            por: true,
+            ..base.clone()
+        };
+        let mut per_mode: Vec<(usize, usize)> = Vec::new(); // (states, leaves) per mode
+        for (mode, cfg, symmetric) in [
+            ("off", &base, false),
+            ("scalarset", &base, true),
+            ("scalarset+por", &por_cfg, true),
+        ] {
+            let mut mode_ref: Option<(usize, usize)> = None;
+            for threads in [1usize, 2, 8] {
+                let cfg = ExploreConfig {
+                    threads,
+                    ..cfg.clone()
+                };
+                let row = e17_measure(&system, inst.budget, mode, threads, &cfg, &|| {
+                    if symmetric {
+                        rc_runtime::explore_symmetric(
+                            &|| {
+                                build_simultaneous_rc_system_sym(
+                                    &factory,
+                                    &inst.inputs,
+                                    inst.horizon,
+                                )
+                            },
+                            &cfg,
+                        )
+                    } else {
+                        explore(
+                            &|| build_simultaneous_rc_system(&factory, &inst.inputs, inst.horizon),
+                            &cfg,
+                        )
+                    }
+                });
+                assert_eq!(
+                    row.verdict, "Verified",
+                    "{system}/{}: every E17 row must verify ({mode}/t{threads})",
+                    inst.budget
+                );
+                match mode_ref {
+                    None => mode_ref = Some((row.states, row.leaves)),
+                    Some(r) => assert_eq!(
+                        (row.states, row.leaves),
+                        r,
+                        "{system}/{}: byte-identical serial/parallel outcomes \
+                         ({mode}/t{threads})",
+                        inst.budget
+                    ),
+                }
+                rows.push(row);
+            }
+            per_mode.push(mode_ref.expect("three thread counts ran"));
+        }
+        let (off, scal, both) = (per_mode[0], per_mode[1], per_mode[2]);
+        assert_eq!(
+            scal.1, off.1,
+            "{system}/{}: scalarset weighted leaves must match off",
+            inst.budget
+        );
+        assert_eq!(
+            both.1, off.1,
+            "{system}/{}: scalarset+por weighted leaves must match off",
+            inst.budget
+        );
+        assert!(
+            scal.0 < off.0,
+            "{system}/{}: the certified scalarset must reduce the search \
+             ({} vs {} states)",
+            inst.budget,
+            scal.0,
+            off.0
+        );
+        assert!(
+            both.0 < scal.0,
+            "{system}/{}: scalarset+por must beat scalarset alone \
+             ({} vs {} states)",
+            inst.budget,
+            both.0,
+            scal.0
+        );
+        let off_states = off.0;
+        for row in rows.iter_mut().rev() {
+            if row.system != system || row.crash_budget != inst.budget {
+                break;
+            }
+            row.reduction = off_states as f64 / row.states as f64;
+        }
+    }
+    let mut t = Table::new(&[
+        "system",
+        "crash budget",
+        "cap",
+        "mode",
+        "threads",
+        "verdict",
+        "states",
+        "leaves",
+        "ms",
+        "states/sec",
+        "reduction",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.system.clone(),
+            r.crash_budget.to_string(),
+            r.max_states.to_string(),
+            r.mode.to_string(),
+            r.threads.to_string(),
+            r.verdict.clone(),
+            r.states.to_string(),
+            r.leaves.to_string(),
+            format!("{:.1}", r.millis),
+            format!("{:.0}", r.states_per_sec),
+            if r.mode == "off" {
+                "1.0×".into()
+            } else {
+                format!("{:.1}×", r.reduction)
+            },
+        ]);
+    }
+    let headline = rows
+        .iter()
+        .filter(|r| r.mode == "scalarset+por" && r.threads == 1)
+        .map(|r| (r.reduction, r.system.clone(), r.crash_budget))
+        .fold((0.0f64, String::new(), 0usize), |acc, x| {
+            if x.0 > acc.0 {
+                x
+            } else {
+                acc
+            }
+        });
+    let report = format!(
+        "E17 — scalarset symmetry for Fig. 4 (SimultaneousRc): the line-44 \
+         termination scan, remodeled as an order-insensitive fold over a \
+         checked-position mask, makes the round registers a certifiable \
+         scalarset family; the equivariance certificate (lint_scalarset: \
+         transposition graph matching, member exchange, rebind fidelity, \
+         spot re-executions) is checked at search start, and only then \
+         does canonicalization permute the family with the process \
+         slots — mid-scan pinned states forgo reduction, decided states \
+         are never pinned, so weights stay exact:\n{}\n\
+         largest composed reduction: {:.1}× on {}/budget-{}; all rows \
+         Verified, byte-identical across threads 1/2/8 within every \
+         mode, reduced weighted leaf counts equal to off, scalarset \
+         strictly below off, and scalarset+por strictly below scalarset \
+         (all asserted) — the reducers compound on the system E13/E15 \
+         recorded at 1.0× under owned-cell symmetry.\n",
+        t.render(),
+        headline.0,
+        headline.1,
+        headline.2,
+    );
+    (report, rows)
+}
+
+/// Renders the E11 + E12 + E13 + E15 + E16 + E17 rows as the
 /// `BENCH_explore.json` snapshot: a stable, diff-friendly record of the
 /// engine trajectory across PRs. The host core count is recorded so
 /// trajectory points from different machines stay comparable (the fused
@@ -2226,25 +2585,27 @@ pub fn e16_storage_scaling(fast: bool) -> (String, Vec<E16Row>) {
 /// `bench-record` job regenerates the snapshot on a multi-core runner
 /// and uploads it as an artifact.
 ///
-/// Schema migration: version 3 adds `e16_rows` (the storage-tier
-/// scaling sweep) and requires `e16` in the regenerate command; version
-/// 2 added the `schema` field itself plus `e15_rows` (the POR sweep).
-/// Earlier row sets are unchanged in shape at each step, so an old
-/// reader keeps working on a newer file as long as it ignores unknown
-/// keys.
+/// Schema migration: version 4 adds `e17_rows` (the scalarset-symmetry
+/// sweep) and a `mode` field on `e16_rows` (the por+rebind tier-parity
+/// rows), and requires `e17` in the regenerate command; version 3 added
+/// `e16_rows` (the storage-tier scaling sweep); version 2 added the
+/// `schema` field itself plus `e15_rows` (the POR sweep). Earlier row
+/// sets are unchanged in shape at each step, so an old reader keeps
+/// working on a newer file as long as it ignores unknown keys.
 pub fn snapshot_json(
     e11: &[E11Row],
     e12: &[E12Row],
     e13: &[E13Row],
     e15: &[E15Row],
     e16: &[E16Row],
+    e17: &[E17Row],
 ) -> String {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 3,\n");
+    out.push_str("  \"schema\": 4,\n");
     out.push_str(
         "  \"regenerate\": \"cargo run -p rc-bench --release --bin tables -- e11 e12 e13 e15 \
-         e16 --snapshot\",\n",
+         e16 e17 --snapshot\",\n",
     );
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str(
@@ -2334,6 +2695,7 @@ pub fn snapshot_json(
     for (i, r) in e16.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"system\": \"{}\", \"crash_budget\": {}, \"tier\": \"{}\", \
+             \"mode\": \"{}\", \
              \"threads\": {}, \"max_states\": {}, \"max_bytes\": {}, \"verdict\": \"{}\", \
              \"states\": {}, \"leaves\": {}, \"millis\": {:.1}, \"states_per_sec\": {:.0}, \
              \"peak_table_mb\": {:.1}, \"spilled_mb\": {:.1}, \"filter_bits\": {}, \
@@ -2341,6 +2703,7 @@ pub fn snapshot_json(
             r.system,
             r.crash_budget,
             r.tier,
+            r.mode,
             r.threads,
             r.max_states,
             r.max_bytes,
@@ -2354,6 +2717,27 @@ pub fn snapshot_json(
             r.filter_bits,
             r.witness_mb,
             if i + 1 == e16.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"e17_rows\": [\n");
+    for (i, r) in e17.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"crash_budget\": {}, \"max_states\": {}, \
+             \"mode\": \"{}\", \"threads\": {}, \"verdict\": \"{}\", \"states\": {}, \
+             \"leaves\": {}, \"millis\": {:.1}, \"states_per_sec\": {:.0}, \
+             \"reduction\": {:.1}}}{}\n",
+            r.system,
+            r.crash_budget,
+            r.max_states,
+            r.mode,
+            r.threads,
+            r.verdict,
+            r.states,
+            r.leaves,
+            r.millis,
+            r.states_per_sec,
+            r.reduction,
+            if i + 1 == e17.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -2461,9 +2845,26 @@ pub fn lint_catalog() -> Vec<(String, LintSystemFn)> {
         ));
     }
     {
+        // Distinct inputs: every orbit is a singleton, so the declared
+        // round-register family is *inert* — the certifier records the
+        // warning and the engines never permute it.
         let inputs: Vec<Value> = (0..2i64).map(Value::Int).collect();
         catalog.push((
             "SimultaneousRc n=2 (sym)".into(),
+            Box::new(move || {
+                let factory = ConsensusObjectFactory { domain: 4 };
+                let (mem, programs, spec) = build_simultaneous_rc_system_sym(&factory, &inputs, 3);
+                (mem, programs, Some(spec))
+            }),
+        ));
+    }
+    {
+        // Equal-input orbit: the round-register scalarset family
+        // *moves*, so the gate runs the full equivariance certificate —
+        // the declaration the E17 reduction rests on.
+        let inputs = vec![Value::Int(0), Value::Int(0), Value::Int(1)];
+        catalog.push((
+            "SimultaneousRc n=3 scalarset (sym)".into(),
             Box::new(move || {
                 let factory = ConsensusObjectFactory { domain: 4 };
                 let (mem, programs, spec) = build_simultaneous_rc_system_sym(&factory, &inputs, 3);
@@ -2509,6 +2910,16 @@ pub struct E14Row {
     pub ample_errors: Vec<String>,
     /// Ample-set lint warnings (e.g. "POR will not reduce this system").
     pub ample_warnings: Vec<String>,
+    /// Whether the audited spec declares scalarset families
+    /// ([`rc_runtime::SymmetrySpec::with_scalarset`]).
+    pub has_scalarsets: bool,
+    /// Scalarset equivariance certifier ([`rc_runtime::lint_scalarset`])
+    /// errors. Any error fails the gate: the engines refuse to permute
+    /// an uncertified family at search start, but the catalog must
+    /// never ship a declaration the certifier rejects.
+    pub scalarset_errors: Vec<String>,
+    /// Scalarset certifier warnings (inert families, no declarations).
+    pub scalarset_warnings: Vec<String>,
     /// States visited by the ample lint's dynamic commutation
     /// spot-check.
     pub spot_states: usize,
@@ -2543,6 +2954,10 @@ pub fn catalog_lint_rows() -> Vec<E14Row> {
                 system_analysis_cached(&analysis_id, &mem, &programs, AnalysisBudget::default())
                     .unwrap_or_else(|e| panic!("{system}: analysis failed: {e}"));
             let report = lint_with_analysis(&analysis, &mem, &programs, spec.as_ref());
+            let scalarset = spec
+                .as_ref()
+                .filter(|s| !s.scalarset_families().is_empty())
+                .map(|s| rc_runtime::lint_scalarset(&mem, &programs, s, AnalysisBudget::default()));
             let (mem2, programs2, spec2) = build();
             let ample = lint_ample(
                 mem2,
@@ -2575,6 +2990,15 @@ pub fn catalog_lint_rows() -> Vec<E14Row> {
                 warnings: report.warnings,
                 ample_errors: ample.errors,
                 ample_warnings: ample.warnings,
+                has_scalarsets: scalarset.is_some(),
+                scalarset_errors: scalarset
+                    .as_ref()
+                    .map(|r| r.errors.clone())
+                    .unwrap_or_default(),
+                scalarset_warnings: scalarset
+                    .as_ref()
+                    .map(|r| r.warnings.clone())
+                    .unwrap_or_default(),
                 spot_states: ample.spot_states,
                 spot_pairs: ample.spot_pairs,
             }
@@ -2613,6 +3037,31 @@ fn ample_verdict(row: &E14Row) -> Result<String, String> {
     }
 }
 
+/// Classifies a row's scalarset-certificate result for the E14 gate:
+/// `Ok(verdict)` keeps the gate green (`"—"` for specs without declared
+/// families, `"certified"`, or `"certified (k warnings)"` — inert
+/// families warn but stay green because the engines never permute
+/// them), `Err(verdict)` fails it: the engines refuse to permute an
+/// uncertified family at search start, but the catalog must never ship
+/// a declaration the certifier rejects.
+fn scalarset_verdict(row: &E14Row) -> Result<String, String> {
+    if !row.has_scalarsets {
+        Ok("—".to_string())
+    } else if !row.scalarset_errors.is_empty() {
+        Err(format!(
+            "FAIL ({})",
+            plural(row.scalarset_errors.len(), "error")
+        ))
+    } else if row.scalarset_warnings.is_empty() {
+        Ok("certified".to_string())
+    } else {
+        Ok(format!(
+            "certified ({})",
+            plural(row.scalarset_warnings.len(), "warning")
+        ))
+    }
+}
+
 /// `"1 warning"` / `"2 warnings"` — count annotations for verdicts.
 fn plural(count: usize, noun: &str) -> String {
     if count == 1 {
@@ -2638,6 +3087,7 @@ pub fn e14_catalog_lint() -> (String, bool) {
         "derived owned",
         "verdict",
         "ample (spot st/pairs)",
+        "scalarset",
     ]);
     let mut clean = true;
     let mut details = String::new();
@@ -2659,6 +3109,13 @@ pub fn e14_catalog_lint() -> (String, bool) {
                 v
             }
         };
+        let scalarset = match scalarset_verdict(r) {
+            Ok(v) => v,
+            Err(v) => {
+                clean = false;
+                v
+            }
+        };
         t.row(&[
             r.system.clone(),
             r.n.to_string(),
@@ -2671,6 +3128,7 @@ pub fn e14_catalog_lint() -> (String, bool) {
             r.derived_owned.to_string(),
             verdict,
             format!("{ample} ({}/{})", r.spot_states, r.spot_pairs),
+            scalarset,
         ]);
         for e in &r.errors {
             details.push_str(&format!("  error [{}]: {e}\n", r.system));
@@ -2684,6 +3142,12 @@ pub fn e14_catalog_lint() -> (String, bool) {
         for w in &r.ample_warnings {
             details.push_str(&format!("  ample warning [{}]: {w}\n", r.system));
         }
+        for e in &r.scalarset_errors {
+            details.push_str(&format!("  scalarset [{}]: {e}\n", r.system));
+        }
+        for w in &r.scalarset_warnings {
+            details.push_str(&format!("  scalarset warning [{}]: {w}\n", r.system));
+        }
     }
     let report = format!(
         "E14 — catalog access-declaration audit (`tables lint`): every \
@@ -2696,7 +3160,12 @@ pub fn e14_catalog_lint() -> (String, bool) {
          plus a dynamic spot-check that re-executes pruned interleavings \
          at sampled states — `ineligible` (A1/A2) means the engine \
          refuses POR for that system, which keeps the gate green; an \
-         A3–A5 soundness violation fails it:\n{}{details}\
+         A3–A5 soundness violation fails it. The scalarset column is the \
+         equivariance certificate (`lint_scalarset`) for declared \
+         cross-read cell families: `certified` means every family \
+         transposition provably leaves the local-state graphs \
+         equivariant (so the engines may permute the family with the \
+         process slots, E17); a certificate error fails the gate:\n{}{details}\
          overall: {}\n",
         t.render(),
         if clean { "clean" } else { "FAIL" },
@@ -2752,11 +3221,12 @@ mod tests {
         assert!(report.contains("E13"));
         assert!(rows.iter().any(|r| r.mode == "rebind" && r.reduction > 1.0));
         assert!(rows.iter().any(|r| r.mode == "slots"));
-        let json = snapshot_json(&[], &[], &rows, &[], &[]);
-        assert!(json.contains("\"schema\": 3"));
+        let json = snapshot_json(&[], &[], &rows, &[], &[], &[]);
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"e13_rows\""));
         assert!(json.contains("\"e15_rows\""));
         assert!(json.contains("\"e16_rows\""));
+        assert!(json.contains("\"e17_rows\""));
         assert!(json.contains("masked S_4"));
     }
 
@@ -2775,7 +3245,7 @@ mod tests {
         assert!(rows.iter().any(|r| r.system.starts_with("SimultaneousRc")
             && r.mode == "por"
             && r.reduction > 1.0));
-        let json = snapshot_json(&[], &[], &[], &rows, &[]);
+        let json = snapshot_json(&[], &[], &[], &rows, &[], &[]);
         assert!(json.contains("\"e15_rows\""));
         assert!(json.contains("por+rebind"));
     }
@@ -2797,9 +3267,44 @@ mod tests {
             .iter()
             .any(|r| r.tier == "packed+spill" && r.verdict == "Verified" && r.spilled_mb > 0.0));
         assert!(rows.iter().any(|r| r.max_bytes > 0));
-        let json = snapshot_json(&[], &[], &[], &[], &rows);
+        let json = snapshot_json(&[], &[], &[], &[], &rows, &[]);
         assert!(json.contains("\"e16_rows\""));
         assert!(json.contains("packed+filter"));
+        assert!(
+            rows.iter().any(|r| r.mode == "por+rebind"),
+            "the rebind+POR parity rows joined the tier grid"
+        );
+    }
+
+    /// The scalarset sweep's invariants (every row Verified,
+    /// byte-identical outcomes across threads within each mode, reduced
+    /// weighted leaf counts equal to off, scalarset strictly below off,
+    /// scalarset+por strictly below scalarset) are asserted inside the
+    /// experiment; the fast sweep exercises them on the system E13/E15
+    /// recorded at 1.0× under owned-cell symmetry, and the snapshot
+    /// renderer accepts the rows.
+    #[test]
+    fn scalarset_sweep_runs_fast() {
+        let (report, rows) = e17_scalarset_symmetry(true);
+        assert!(report.contains("E17"));
+        assert!(rows
+            .iter()
+            .any(|r| r.mode == "scalarset" && r.reduction > 1.0));
+        let scal = rows
+            .iter()
+            .find(|r| r.mode == "scalarset")
+            .expect("scalarset rows present");
+        let both = rows
+            .iter()
+            .find(|r| r.mode == "scalarset+por")
+            .expect("composed rows present");
+        assert!(
+            both.states < scal.states,
+            "POR composes on top of the scalarset reduction"
+        );
+        let json = snapshot_json(&[], &[], &[], &[], &[], &rows);
+        assert!(json.contains("\"e17_rows\""));
+        assert!(json.contains("scalarset+por"));
     }
 
     /// The per-state footprint analysis behind the declaration lint, the

@@ -5,7 +5,10 @@
 //! CI gate if a real defect is caught, not just absent.
 
 use rc_bench::exp::{catalog_lint_rows, e14_catalog_lint, lint_catalog};
-use rc_runtime::{lint_system, Addr, AnalysisBudget, MemOps, Program, Rebinding, Step};
+use rc_runtime::{
+    lint_scalarset, lint_system, Addr, AnalysisBudget, MemOps, Memory, Program, Rebinding, Step,
+    SymmetrySpec,
+};
 use rc_spec::Value;
 
 /// Every catalog system — all the `_sym` builders among them — passes
@@ -28,6 +31,31 @@ fn every_catalog_system_lints_clean() {
     let (report, clean) = e14_catalog_lint();
     assert!(clean, "{report}");
     assert!(report.contains("overall: clean"), "{report}");
+    // The scalarset certificate column is part of the gate: the catalog
+    // carries a moving round-register family (the E17 declaration) that
+    // must certify, and an inert one (distinct inputs) that warns.
+    let moving = rows
+        .iter()
+        .find(|r| r.system.contains("scalarset"))
+        .expect("the catalog audits a moving scalarset family");
+    assert!(moving.has_scalarsets);
+    assert!(
+        moving.scalarset_errors.is_empty(),
+        "{}: {:?}",
+        moving.system,
+        moving.scalarset_errors
+    );
+    let inert = rows
+        .iter()
+        .find(|r| r.system.starts_with("SimultaneousRc n=2"))
+        .expect("the distinct-input SimultaneousRc entry is audited");
+    assert!(inert.has_scalarsets && inert.scalarset_errors.is_empty());
+    assert!(
+        inert.scalarset_warnings.iter().any(|w| w.contains("inert")),
+        "{:?}",
+        inert.scalarset_warnings
+    );
+    assert!(report.contains("certified"), "{report}");
 }
 
 /// Forwards every `Program` method to the wrapped catalog program but
@@ -111,4 +139,93 @@ fn seeded_under_declaration_fails_the_lint() {
         mutated >= 6,
         "the mutation ran across the catalog: {mutated}"
     );
+}
+
+/// Scans a declared family in positional order and decides the fold's
+/// *trace* — a family transposition changes which value is folded
+/// first, so the family is not a scalarset. The seeded order-sensitive
+/// mutant the certifier must reject.
+#[derive(Clone, Debug)]
+struct OrderedTrace {
+    family: Vec<Addr>,
+    own: Addr,
+    k: usize,
+    trace: i64,
+    wrote: bool,
+}
+
+impl Program for OrderedTrace {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        if !self.wrote {
+            mem.write_register(self.own, Value::Int(1));
+            self.wrote = true;
+            return Step::Running;
+        }
+        if self.k == self.family.len() {
+            return Step::Decided(Value::Int(self.trace));
+        }
+        if let Value::Int(x) = mem.read_register(self.family[self.k]) {
+            self.trace = self.trace * 3 + x;
+        }
+        self.k += 1;
+        Step::Running
+    }
+    fn on_crash(&mut self) {
+        self.k = 0;
+        self.trace = 0;
+        self.wrote = false;
+    }
+    fn state_key(&self) -> Value {
+        Value::pair(
+            Value::Int(self.k as i64),
+            Value::pair(Value::Int(self.trace), Value::Int(i64::from(self.wrote))),
+        )
+    }
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn rebind(&mut self, map: &Rebinding) {
+        self.own = map.lookup(self.own);
+    }
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        let mut cells = self.family.clone();
+        cells.push(self.own);
+        Some(cells)
+    }
+}
+
+/// Mutation test for the scalarset half of the gate: the seeded
+/// order-sensitive scan must be rejected by the certifier with errors
+/// naming the scalarset, its cells and a process — the exact errors the
+/// E14 scalarset column turns red on. A certifier that waved this
+/// through would let the engines permute a family whose fold order is
+/// observable, silently corrupting leaf counts.
+#[test]
+fn seeded_order_sensitive_scan_fails_the_scalarset_certifier() {
+    let mut mem = Memory::new();
+    let family: Vec<Addr> = (0..3).map(|_| mem.alloc_register(Value::Int(0))).collect();
+    let programs: Vec<Box<dyn Program>> = (0..3)
+        .map(|pid| {
+            Box::new(OrderedTrace {
+                family: family.clone(),
+                own: family[pid],
+                k: 0,
+                trace: 0,
+                wrote: false,
+            }) as Box<dyn Program>
+        })
+        .collect();
+    let spec = SymmetrySpec::full(3).with_scalarset(family.clone());
+    let report = lint_scalarset(&mem, &programs, &spec, AnalysisBudget::default());
+    assert!(
+        !report.is_certified(),
+        "the order-sensitive scan must be rejected"
+    );
+    let all = report.errors.join("\n");
+    assert!(all.contains("scalarset"), "must name the scalarset: {all}");
+    assert!(
+        all.contains(&family[0].to_string()) || all.contains("cell"),
+        "must name the family cells: {all}"
+    );
+    assert!(all.contains('p'), "must name a process: {all}");
 }

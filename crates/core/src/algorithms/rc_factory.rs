@@ -194,6 +194,9 @@ mod tests {
                         programs[p] = maker(p, Value::Int(p as i64 + 10));
                     }
                     rc_runtime::sched::Action::CrashAll => {}
+                    rc_runtime::sched::Action::Branch(..) => {
+                        panic!("schedulers never emit Branch")
+                    }
                 }
                 assert!(steps < 100_000);
             }

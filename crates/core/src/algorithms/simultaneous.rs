@@ -156,8 +156,18 @@ enum Pc {
     RunConsensus,
     /// Line 43: write `D[r] ← pref`.
     WriteD,
-    /// Line 44: scan `Round[1..n]`; terminate if all ≤ r.
-    CheckAll { k: usize },
+    /// Line 44: scan `Round[1..n]`; terminate if all ≤ r. The scan is
+    /// modeled as an **order-insensitive fold**: `mask` records the
+    /// positions already checked (bit `k` = `Round[k]` seen `≤ r`), and
+    /// each step checks *any* unchecked position — the exhaustive
+    /// engines branch over every alternative
+    /// ([`Program::choices`]), while [`Program::step`] resolves to the
+    /// smallest unchecked position, the paper's textual order. The
+    /// paper's conjunction is order-independent, so this is the same
+    /// predicate; making the order internal nondeterminism is what lets
+    /// the scalarset certifier prove the scan order-insensitive and
+    /// unlock symmetry reduction over the round registers.
+    CheckAll { mask: u64 },
     /// Lines 47–49: read `D[r−1]` on the else-branch (skipped when
     /// `r = 1`).
     ReadPrevElse,
@@ -185,6 +195,11 @@ impl SimultaneousRc {
     /// Panics if `pid ≥ n`.
     pub fn new(shared: SimultaneousRcShared, pid: usize, n: usize, input: Value) -> Self {
         assert!(pid < n, "pid out of range");
+        assert!(
+            n <= 64,
+            "the line-44 scan tracks checked positions in a u64 bitmask; \
+             n = {n} exceeds 64 processes"
+        );
         SimultaneousRc {
             shared,
             pid,
@@ -207,6 +222,40 @@ impl SimultaneousRc {
         *self.shared.d_regs.get(round - 1).unwrap_or_else(|| {
             panic!("round horizon exceeded: round {round} was never preallocated; raise max_rounds")
         })
+    }
+
+    /// The line-44 scan's completion mask: one bit per process.
+    fn full_mask(&self) -> u64 {
+        if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        }
+    }
+
+    /// Line 44, one position: reads `Round[k]` and folds the result into
+    /// the scan mask — advancing the round if `k` is ahead, deciding
+    /// when the scan completes.
+    fn check_position(&mut self, mem: &mut dyn MemOps, mask: u64, k: usize) -> Step {
+        debug_assert_eq!(mask & (1 << k), 0, "position {k} was already checked");
+        let other = mem.read_register(self.shared.round_regs[k]);
+        let other = other.as_int().expect("Round registers hold ints");
+        if other > self.r as i64 {
+            // Someone is ahead: advance to the next round (line 50).
+            self.r += 1;
+            self.pc = Pc::CheckRound;
+            Step::Running
+        } else {
+            let mask = mask | (1 << k);
+            self.pc = Pc::CheckAll { mask };
+            if mask == self.full_mask() {
+                // Line 45. The pc keeps the completed (permutation-
+                // fixed) mask, so the decided state is not pinned.
+                Step::Decided(self.pref.clone())
+            } else {
+                Step::Running
+            }
+        }
     }
 }
 
@@ -281,25 +330,17 @@ impl Program for SimultaneousRc {
             Pc::WriteD => {
                 // Line 43.
                 mem.write_register(self.d_reg(self.r), self.pref.clone());
-                self.pc = Pc::CheckAll { k: 0 };
+                self.pc = Pc::CheckAll { mask: 0 };
                 Step::Running
             }
-            Pc::CheckAll { k } => {
-                // Line 44: ∀k, Round[k] ≤ r?
-                let other = mem.read_register(self.shared.round_regs[k]);
-                let other = other.as_int().expect("Round registers hold ints");
-                if other > self.r as i64 {
-                    // Someone is ahead: advance to the next round (line 50).
-                    self.r += 1;
-                    self.pc = Pc::CheckRound;
-                    Step::Running
-                } else if k + 1 == self.n {
-                    // Line 45.
-                    Step::Decided(self.pref.clone())
-                } else {
-                    self.pc = Pc::CheckAll { k: k + 1 };
-                    Step::Running
-                }
+            Pc::CheckAll { mask } => {
+                // Line 44: ∀k, Round[k] ≤ r? — check the smallest
+                // unchecked position (the paper's textual order; the
+                // first entry of `choices`).
+                let k = (0..self.n)
+                    .find(|&k| mask & (1 << k) == 0)
+                    .expect("an undecided scan has an unchecked position");
+                self.check_position(mem, mask, k)
             }
             Pc::ReadPrevElse => {
                 // Lines 47–49, then line 50.
@@ -316,6 +357,36 @@ impl Program for SimultaneousRc {
         }
     }
 
+    fn choices(&self) -> Vec<usize> {
+        // The line-44 scan may check any unchecked position next; every
+        // other step is deterministic. Choice ids are the process-slot
+        // positions themselves, as the `choices` contract requires of
+        // multi-alternative steps.
+        if let Pc::CheckAll { mask } = self.pc {
+            let unchecked: Vec<usize> = (0..self.n).filter(|&k| mask & (1 << k) == 0).collect();
+            if !unchecked.is_empty() {
+                return unchecked;
+            }
+        }
+        vec![0]
+    }
+
+    fn step_choice(&mut self, mem: &mut dyn MemOps, choice: usize) -> Step {
+        if let Pc::CheckAll { mask } = self.pc {
+            if mask != self.full_mask() {
+                return self.check_position(mem, mask, choice);
+            }
+        }
+        debug_assert_eq!(choice, 0, "only the scan offers multiple choices");
+        self.step(mem)
+    }
+
+    fn scalarset_pinned(&self) -> bool {
+        // A mid-scan mask names family positions; empty and complete
+        // masks are fixed by every permutation.
+        matches!(self.pc, Pc::CheckAll { mask } if mask != 0 && mask != self.full_mask())
+    }
+
     fn on_crash(&mut self) {
         self.pc = Pc::CheckRound;
         self.r = 1;
@@ -330,7 +401,7 @@ impl Program for SimultaneousRc {
             Pc::ReadPrevThen => Value::Int(2),
             Pc::RunConsensus => Value::Int(3),
             Pc::WriteD => Value::Int(4),
-            Pc::CheckAll { k } => Value::pair(Value::Int(5), Value::Int(*k as i64)),
+            Pc::CheckAll { mask } => Value::pair(Value::Int(5), Value::Int(*mask as i64)),
             Pc::ReadPrevElse => Value::Int(6),
         };
         Value::Tuple(vec![
@@ -354,6 +425,31 @@ impl Program for SimultaneousRc {
         })
     }
 
+    fn rebind(&mut self, map: &Rebinding) {
+        // The only pid-derived handle is the process's *own* round
+        // register (lines 37–38). Scalarset canonicalization relocates
+        // this program together with its family cell, so follow the
+        // register to its destination slot. The shared layout vectors
+        // are positional (cell addresses never change identity — only
+        // contents and program slots move), so the destination position
+        // IS the new pid. `D[_]` and instance cells never move; the
+        // mid-consensus routine is rebound for completeness (identity
+        // on all its cells).
+        let own = self.shared.round_regs[self.pid];
+        let new = map.lookup(own);
+        if new != own {
+            self.pid = self
+                .shared
+                .round_regs
+                .iter()
+                .position(|&c| c == new)
+                .expect("a round register can only be rebound to a round register");
+        }
+        if let Some(inner) = &mut self.inner {
+            inner.rebind(map);
+        }
+    }
+
     fn referenced_cells(&self) -> Option<Vec<Addr>> {
         // Every Round register — the line-44 termination scan reads all
         // of them, own and foreign alike — plus every D register and
@@ -362,7 +458,8 @@ impl Program for SimultaneousRc {
         // depend on the proposed value). This honest enumeration is
         // what makes the model checker's owned-cell validation *reject*
         // round-register orbits: the registers are per-process but not
-        // owner-only, so they cannot soundly permute with their owners
+        // owner-only, so they cannot soundly permute with their owners —
+        // the sound declaration is the *scalarset* one
         // (see `build_simultaneous_rc_system_sym`).
         let mut cells: Vec<Addr> = self.shared.round_regs.iter().copied().collect();
         cells.extend(self.shared.d_regs.iter().copied());
@@ -393,28 +490,42 @@ pub fn build_simultaneous_rc_system(
 }
 
 /// [`build_simultaneous_rc_system`] plus the strongest process-symmetry
-/// declaration that is **sound** for Fig. 4 — which is the trivial one.
+/// declaration that is **sound** for Fig. 4: same-input orbits with the
+/// round registers declared as a **scalarset family**.
 ///
 /// The per-process `Round[j]` registers are distinguishing shared state,
-/// so same-input processes could only share an orbit if those registers
-/// permuted with their owners (owned-cell orbits + [`Program::rebind`]).
-/// But Fig. 4's line-44 termination scan makes *every* process read
-/// *every* round register: the registers are per-process without being
-/// owner-only, and under a permutation a mid-scan process would read
-/// different registers than the original execution did at the same local
-/// state — no address rebinding makes the quotient exact (DESIGN.md §3).
-/// The model checker enforces exactly this: declaring the round
-/// registers as owned cells is rejected by the root-stabilizer
-/// validation against [`Program::referenced_cells`] (tested in
-/// `simultaneous::tests`), so this builder honestly returns
-/// [`SymmetrySpec::trivial`] and the search runs the plain engines.
+/// but they are *not* owner-only: Fig. 4's line-44 termination scan
+/// makes every process read every round register, so declaring them as
+/// owned cells is rejected by the owner-only validation (tested in
+/// `simultaneous::tests`). They fit the scalarset fragment instead
+/// ([`SymmetrySpec::with_scalarset`]): one cell per process, cross-read
+/// only by the line-44 scan, which [`SimultaneousRc`] models as an
+/// order-insensitive fold over a checked-position mask (internal
+/// nondeterminism, [`Program::choices`]) rather than a positional walk.
+/// At search start the scalarset certifier (`rc_runtime::lint_scalarset`)
+/// *proves* the fold order-insensitive — transposition equivariance of
+/// the memoized local-state graphs, member exchange, rebind fidelity —
+/// and only then do the engines permute the family with the process
+/// slots; mid-scan (pinned) states simply forgo reduction
+/// ([`Program::scalarset_pinned`]). DESIGN.md §3 has the full soundness
+/// argument.
 pub fn build_simultaneous_rc_system_sym(
     factory: &dyn ConsensusFactory,
     inputs: &[Value],
     max_rounds: usize,
 ) -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) {
-    let (mem, programs) = build_simultaneous_rc_system(factory, inputs, max_rounds);
-    let spec = SymmetrySpec::trivial(inputs.len());
+    let n = inputs.len();
+    let mut mem = Memory::new();
+    let shared = alloc_simultaneous_rc(&mut mem, factory, n, max_rounds);
+    let programs: Vec<Box<dyn Program>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(pid, input)| {
+            Box::new(SimultaneousRc::new(shared.clone(), pid, n, input.clone())) as Box<dyn Program>
+        })
+        .collect();
+    let spec = SymmetrySpec::from_classes(inputs)
+        .with_scalarset(shared.round_regs.iter().copied().collect());
     (mem, programs, spec)
 }
 
@@ -534,21 +645,48 @@ mod tests {
             message.contains("owned by p") && message.contains("referenced by p"),
             "the rejection must name the cross-reference: {message}"
         );
-        // The sound declaration Fig. 4 gets instead is the trivial one,
-        // which degenerates to the plain engines exactly.
-        let sym = || build_simultaneous_rc_system_sym(&factory, &inputs, 4);
+    }
+
+    /// The sound declaration Fig. 4 gets instead is the *scalarset* one:
+    /// with equal inputs the round registers permute with their owners
+    /// under the certified order-insensitive scan, the quotient search
+    /// visits strictly fewer states, and the weighted leaf count — each
+    /// canonical class counted with its orbit multiplicity — matches the
+    /// plain engines exactly.
+    #[test]
+    fn scalarset_symmetry_reduces_exactly() {
+        let factory = ConsensusObjectFactory { domain: 4 };
+        let inputs = vec![Value::Int(0), Value::Int(0)];
         let config = ExploreConfig {
             crash: CrashModel::simultaneous(1).after_decide(true),
             inputs: Some(inputs.clone()),
             ..ExploreConfig::default()
         };
-        let outcome = rc_runtime::explore_symmetric(&sym, &config);
-        assert_eq!(
-            outcome,
-            rc_runtime::explore(
-                &|| build_simultaneous_rc_system(&factory, &inputs, 4),
-                &config
-            ),
+        let plain = rc_runtime::explore(
+            &|| build_simultaneous_rc_system(&factory, &inputs, 4),
+            &config,
+        );
+        let sym = rc_runtime::explore_symmetric(
+            &|| build_simultaneous_rc_system_sym(&factory, &inputs, 4),
+            &config,
+        );
+        let (
+            rc_runtime::ExploreOutcome::Verified {
+                states: ps,
+                leaves: pl,
+            },
+            rc_runtime::ExploreOutcome::Verified {
+                states: ss,
+                leaves: sl,
+            },
+        ) = (&plain, &sym)
+        else {
+            panic!("both searches must verify: plain={plain:?} sym={sym:?}");
+        };
+        assert_eq!(pl, sl, "orbit-weighted leaves must match the plain count");
+        assert!(
+            ss < ps,
+            "the scalarset quotient must visit fewer states ({ss} vs {ps})"
         );
     }
 

@@ -44,12 +44,20 @@
 //!   cells, `(slot, state key)` still determines behaviour, and every
 //!   orbit permutation is a true system automorphism. Cross-referenced
 //!   per-process cells (e.g. `SimultaneousRc`'s round registers, which
-//!   every process scans) are *not* expressible: under a permutation the
-//!   scanning program would read other registers than the original did
-//!   at the same local state, so no rebinding makes the quotient exact.
-//!   The checker validates the rule at search start against
+//!   every process scans) are *not* expressible as owned cells: under a
+//!   permutation the scanning program would read other registers than
+//!   the original did at the same local state. They *are* expressible
+//!   as **scalarset families** ([`SymmetrySpec::with_scalarset`]) when
+//!   the cross-reads form an order-insensitive fold: the scalarset
+//!   certifier proves every program's local-state graph equivariant
+//!   under every family transposition, mid-scan states (which hold
+//!   family positions, [`Program::scalarset_pinned`](crate::Program::scalarset_pinned))
+//!   are exempted from canonicalization, and the family contents then
+//!   permute with the process slots soundly (DESIGN.md §3).
+//!   The checker validates both rules at search start against
 //!   [`Program::referenced_cells`](crate::Program::referenced_cells)
-//!   and rejects declarations it cannot prove sound (see DESIGN.md §3).
+//!   and the analyzed footprints, and rejects declarations it cannot
+//!   prove sound (see DESIGN.md §3).
 //!
 //! ## Canonical representative
 //!
@@ -89,6 +97,12 @@ pub struct SymmetrySpec {
     /// order (position `k` of every orbit member's list corresponds).
     /// Empty lists everywhere for a slots-only spec.
     owned: Vec<Vec<Addr>>,
+    /// Scalarset families: each entry is one cell per process
+    /// (`family[p]` is position `p`'s cell). Family contents permute
+    /// with process slots even though the cells are cross-read — sound
+    /// only for certified order-insensitive scans (see
+    /// [`SymmetrySpec::with_scalarset`]).
+    scalarsets: Vec<Vec<Addr>>,
 }
 
 impl SymmetrySpec {
@@ -134,6 +148,7 @@ impl SymmetrySpec {
             n,
             orbits: parsed,
             owned: vec![Vec::new(); n],
+            scalarsets: Vec::new(),
         }
     }
 
@@ -194,6 +209,79 @@ impl SymmetrySpec {
         }
         self.owned[pid] = cells;
         self
+    }
+
+    /// Declares a **scalarset family**: one shared cell per process,
+    /// `cells[p]` being position `p`'s member. Under an orbit
+    /// permutation the family's *contents* permute together with the
+    /// process slots — even though, unlike owned cells, every process
+    /// may read every member (the Murphi scalarset idea, adapted to
+    /// non-atomic scans). This is sound **only** when every program's
+    /// reads of the family form an order-insensitive fold; the checker
+    /// does not assume it: at search start the scalarset certifier
+    /// (`rc_runtime::lint_scalarset` / the `scalarset` module) proves
+    /// each program's memoized local-state graph equivariant under
+    /// every family transposition, and rejects the declaration
+    /// otherwise. Programs whose volatile state holds family positions
+    /// mid-scan must report
+    /// [`Program::scalarset_pinned`](crate::Program::scalarset_pinned);
+    /// pinned states are excluded from canonicalization (bounded loss
+    /// of reduction, never unsoundness).
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately if the family does not have exactly one cell
+    /// per process, repeats a cell, or claims a cell that is already
+    /// owned or in another family.
+    pub fn with_scalarset(mut self, cells: Vec<Addr>) -> Self {
+        assert_eq!(
+            cells.len(),
+            self.n,
+            "a scalarset family names exactly one cell per process \
+             ({} processes, {} cells)",
+            self.n,
+            cells.len()
+        );
+        for (p, &cell) in cells.iter().enumerate() {
+            assert!(
+                cells.iter().filter(|&&c| c == cell).count() == 1,
+                "cell {cell} appears twice in one scalarset family"
+            );
+            for (q, owned) in self.owned.iter().enumerate() {
+                assert!(
+                    !owned.contains(&cell),
+                    "scalarset cell {cell} (position {p}) is already owned \
+                     by p{q}; a cell is either owned or a family member, \
+                     not both"
+                );
+            }
+            for family in &self.scalarsets {
+                assert!(
+                    !family.contains(&cell),
+                    "cell {cell} appears in two scalarset families"
+                );
+            }
+        }
+        self.scalarsets.push(cells);
+        self
+    }
+
+    /// The declared scalarset families (one cell per process each).
+    pub fn scalarset_families(&self) -> &[Vec<Addr>] {
+        &self.scalarsets
+    }
+
+    /// The scalarset cells at position `p`, one per family, in family
+    /// declaration order.
+    pub(crate) fn scalarset_cells(&self, p: Pid) -> impl Iterator<Item = Addr> + '_ {
+        self.scalarsets.iter().map(move |family| family[p])
+    }
+
+    /// Whether any scalarset family spans an **acting** orbit — i.e.
+    /// whether canonicalization must move family contents (and the
+    /// certifier must run). Families on all-singleton specs are inert.
+    pub fn has_moving_scalarsets(&self) -> bool {
+        !self.scalarsets.is_empty() && self.acting_orbits().next().is_some()
     }
 
     /// The cells process `p` owns (empty unless declared).

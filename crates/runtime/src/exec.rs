@@ -95,7 +95,7 @@ pub fn run(
         };
         actions += 1;
         match action {
-            Action::Step(p) => {
+            Action::Step(p) | Action::Branch(p, _) => {
                 assert!(p < n, "scheduler stepped unknown process {p}");
                 if decided[p] {
                     // A decided run has terminated; stepping it is a no-op
@@ -106,7 +106,11 @@ pub fn run(
                 if options.record_trace {
                     trace.push(TraceEvent::Stepped(p));
                 }
-                if let Step::Decided(v) = programs[p].step(mem) {
+                let step = match action {
+                    Action::Branch(_, choice) => programs[p].step_choice(mem, choice),
+                    _ => programs[p].step(mem),
+                };
+                if let Step::Decided(v) = step {
                     decided[p] = true;
                     outputs[p].push(v.clone());
                     if options.record_trace {

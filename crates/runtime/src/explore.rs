@@ -166,7 +166,10 @@ pub struct ExploreConfig {
     /// [`StorageTier`]). Every tier is exact; verdicts, state counts,
     /// leaf counts and witnesses are byte-identical across tiers (and
     /// thread counts) — the tiers trade probe cost against resident
-    /// memory. Default: [`StorageTier::Flat`], the historical layout.
+    /// memory. Default: [`StorageTier::Packed`] (the bit-packed arena;
+    /// parity with the historical flat layout is asserted across the
+    /// whole E16 tier × thread grid); [`StorageTier::Flat`] remains
+    /// available as the opt-out.
     pub storage: StorageTier,
     /// Cap on *accounted* visited-set bytes, alongside
     /// [`max_states`](Self::max_states). The account is a deterministic
@@ -199,7 +202,7 @@ impl Default for ExploreConfig {
             cross_validate_independence: false,
             por: false,
             analysis_id: None,
-            storage: StorageTier::Flat,
+            storage: StorageTier::Packed,
             max_bytes: None,
             spill_threshold: None,
         }
@@ -491,12 +494,26 @@ impl SysState {
 
     /// Every action the adversary may take from this state, in the
     /// engine's canonical order: steps of undecided processes (ascending
-    /// pid), then legal crashes (matching
-    /// [`CrashModel::legal_crashes`], inlined to build one vector).
+    /// pid), then internal-nondeterminism branches (ascending pid, then
+    /// choice id — only for processes whose [`Program::choices`] offers
+    /// more than one alternative; single-choice processes step through
+    /// plain [`Action::Step`]), then legal crashes (matching
+    /// [`CrashModel::legal_crashes`], inlined to build one vector). The
+    /// order agrees with the `Action` `Ord`, keeping witness selection
+    /// deterministic.
     fn enabled_actions(&self, model: &CrashModel) -> Vec<Action> {
         let n = self.programs.len();
         let mut actions: Vec<Action> = Vec::with_capacity(2 * n + 1);
-        actions.extend((0..n).filter(|&p| !self.is_decided(p)).map(Action::Step));
+        let mut branches: Vec<Action> = Vec::new();
+        for p in (0..n).filter(|&p| !self.is_decided(p)) {
+            let choices = self.programs[p].choices();
+            if choices.len() <= 1 {
+                actions.push(Action::Step(p));
+            } else {
+                branches.extend(choices.into_iter().map(|c| Action::Branch(p, c)));
+            }
+        }
+        actions.append(&mut branches);
         if !model.exhausted(self.crashes_used) {
             match model.mode {
                 crate::crash::CrashMode::Simultaneous => {
@@ -672,8 +689,14 @@ fn apply_to_child(
     let mut child = parent.clone();
     let mut newly_decided = None;
     match action {
-        Action::Step(p) => {
-            if let Step::Decided(v) = program_mut(&mut child.programs[p]).step(&mut child.mem) {
+        Action::Step(p) | Action::Branch(p, _) => {
+            let step = match action {
+                Action::Branch(_, choice) => {
+                    program_mut(&mut child.programs[p]).step_choice(&mut child.mem, choice)
+                }
+                _ => program_mut(&mut child.programs[p]).step(&mut child.mem),
+            };
+            if let Step::Decided(v) = step {
                 child.decided |= 1 << p;
                 newly_decided = Some(v);
             }
@@ -699,7 +722,7 @@ fn apply_to_child(
 /// of a child key already initialized to the parent's key.
 fn patch_raw_slots(key: &mut [u32], child: &SysState, action: Action, layout: &KeyLayout) {
     match action {
-        Action::Step(p) => {
+        Action::Step(p) | Action::Branch(p, _) => {
             if child.is_decided(p) {
                 key[layout.decided_word(p)] |= 1 << (p % 32);
             }
@@ -904,7 +927,7 @@ fn make_child_frontier(
     spec: Option<&SymmetrySpec>,
 ) -> Result<Option<FrontierChild>, (ViolationKind, Vec<Value>)> {
     let (mut child, dirty, newly_decided) = match action {
-        Action::Step(_) => apply_to_child(parent, action, &mut NoCrashes),
+        Action::Step(_) | Action::Branch(..) => apply_to_child(parent, action, &mut NoCrashes),
         _ => apply_to_child(parent, action, &mut FixedCrashes(crashes)),
     };
     let decided = settle_decision(&mut child, newly_decided, inputs)?;
@@ -925,7 +948,7 @@ fn make_child_frontier(
         );
     }
     match action {
-        Action::Step(p) => {
+        Action::Step(p) | Action::Branch(p, _) => {
             let prog_key = child.programs[p].state_key();
             resolve_slot(
                 layout.prog(p),
@@ -1017,7 +1040,7 @@ fn make_child_serial(
     spec: Option<&SymmetrySpec>,
 ) -> Result<SerialChild, (ViolationKind, Vec<Value>)> {
     let (mut child, dirty, newly_decided) = match action {
-        Action::Step(_) => apply_to_child(parent, action, &mut NoCrashes),
+        Action::Step(_) | Action::Branch(..) => apply_to_child(parent, action, &mut NoCrashes),
         _ => apply_to_child(parent, action, &mut FixedCrashes(crashes)),
     };
     let decided = settle_decision(&mut child, newly_decided, inputs)?;
@@ -1029,7 +1052,7 @@ fn make_child_serial(
         scratch[cell] = interner.intern(child.mem.value_ref(cell));
     }
     match action {
-        Action::Step(p) => {
+        Action::Step(p) | Action::Branch(p, _) => {
             scratch[layout.prog(p)] = interner.intern(&child.programs[p].state_key());
         }
         Action::Crash(p) => {
@@ -1092,13 +1115,25 @@ struct ParentLink {
 
 /// Encodes an [`Action`] into the [`WitnessLog`]'s 12-bit action code:
 /// `0` is reserved for the root, `1` is `CrashAll`, steps and crashes
-/// interleave from `2`. Fits comfortably: [`SysState::root`] asserts
-/// `n ≤ 64` processes, so codes never exceed `131`.
+/// interleave from `2` (never exceeding `131` for the asserted `n ≤ 64`
+/// processes), and internal-nondeterminism branches pack `(pid, choice)`
+/// from `132` up. Choice ids are process-slot-indexed
+/// ([`Program::choices`]), so `choice < 61` keeps every branch code
+/// within the 12-bit budget (`132 + 63·61 + 60 = 4035 < 4096`).
 fn action_code(action: Action) -> u16 {
     match action {
         Action::CrashAll => 1,
         Action::Step(p) => 2 + 2 * u16::try_from(p).expect("pid fits u16"),
         Action::Crash(p) => 3 + 2 * u16::try_from(p).expect("pid fits u16"),
+        Action::Branch(p, c) => {
+            assert!(
+                c < 61,
+                "witness action codes pack branch choice ids into 12 bits; \
+                 choice id {c} of p{p} exceeds the supported 60"
+            );
+            132 + 61 * u16::try_from(p).expect("pid fits u16")
+                + u16::try_from(c).expect("choice fits u16")
+        }
     }
 }
 
@@ -1107,17 +1142,21 @@ fn decode_action(code: u16) -> Action {
     match code {
         0 => unreachable!("action code 0 is the root sentinel"),
         1 => Action::CrashAll,
+        c if c >= 132 => Action::Branch(usize::from((c - 132) / 61), usize::from((c - 132) % 61)),
         c if c % 2 == 0 => Action::Step(usize::from((c - 2) / 2)),
         c => Action::Crash(usize::from((c - 3) / 2)),
     }
 }
 
 /// Renames an action from canonical coordinates to original pids via the
-/// accumulated canonical→original map `m` (`None` = identity).
+/// accumulated canonical→original map `m` (`None` = identity). Branch
+/// choice ids are process-slot-indexed ([`Program::choices`]), so they
+/// rename through the same map as the pids.
 fn rename_action(action: Action, m: Option<&[u8]>) -> Action {
     match (m, action) {
         (None, a) => a,
         (Some(m), Action::Step(p)) => Action::Step(m[p] as usize),
+        (Some(m), Action::Branch(p, c)) => Action::Branch(m[p] as usize, m[c] as usize),
         (Some(m), Action::Crash(p)) => Action::Crash(m[p] as usize),
         (Some(_), Action::CrashAll) => Action::CrashAll,
     }
@@ -1250,6 +1289,9 @@ fn validate_symmetry(root: &SysState, spec: &SymmetrySpec, analyzed: Option<&Sys
     spec.validate_owned_shape();
     if spec.has_moving_owned_cells() {
         validate_owned_cells(root, spec, analyzed);
+    }
+    if spec.has_moving_scalarsets() {
+        validate_scalarset_cells(root, spec);
     }
     // Orbit reference consistency (best-effort, when enumerable): two
     // members of one orbit must reference the *same* cells outside
@@ -1400,6 +1442,64 @@ fn validate_owned_cells(root: &SysState, spec: &SymmetrySpec, analyzed: Option<&
     }
 }
 
+/// The scalarset half of [`validate_symmetry`]: in-range addresses,
+/// root stabilization across each acting orbit, and rebind support for
+/// every orbit member (family permutation rebinds relocated programs
+/// even when they own no cells). The *semantic* soundness of permuting
+/// a family — the order-insensitive fold property — is established by
+/// the scalarset certificate in [`prepare_analysis`], not here.
+fn validate_scalarset_cells(root: &SysState, spec: &SymmetrySpec) {
+    let cells = root.mem.cells.len();
+    for (f, family) in spec.scalarset_families().iter().enumerate() {
+        for (p, &cell) in family.iter().enumerate() {
+            assert!(
+                cell.index() < cells,
+                "scalarset family {f}: cell {cell} (position {p}) is \
+                 outside this system's memory ({cells} cells)"
+            );
+        }
+    }
+    for pids in spec.acting_orbits() {
+        let first = pids[0];
+        for &p in &pids[1..] {
+            for (f, family) in spec.scalarset_families().iter().enumerate() {
+                assert_eq!(
+                    root.mem.value_ref(family[first].index()),
+                    root.mem.value_ref(family[p].index()),
+                    "scalarset family {f}: cells {} (p{first}) and {} (p{p}) \
+                     differ at the root; the orbit group must stabilize the \
+                     initial state",
+                    family[first],
+                    family[p]
+                );
+            }
+        }
+        for &p in pids {
+            let mut probe = root.programs[p].boxed_clone();
+            let identity = Rebinding::identity(cells);
+            if crate::footprint::quiet_probe(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| probe.rebind(&identity)))
+            })
+            .is_err()
+            {
+                panic!(
+                    "a scalarset family spans p{p}'s orbit but its Program \
+                     does not support address rebinding (Program::rebind \
+                     panicked on the identity map); canonicalization rebinds \
+                     every relocated member, so implement rebind or drop the \
+                     scalarset declaration"
+                );
+            }
+            assert_eq!(
+                probe.state_key(),
+                root.programs[p].state_key(),
+                "p{p}: Program::rebind changed the state_key under the \
+                 identity map; addresses are identity, not volatile state"
+            );
+        }
+    }
+}
+
 /// Footprint-analysis artifacts, computed by the public entry points
 /// (which still hold the factory's `Memory` and programs — the engines
 /// only ever see the copy-on-write root) and threaded into the engines:
@@ -1432,6 +1532,24 @@ fn prepare_analysis(
 ) -> AnalysisCtx {
     let wants_validation = spec.is_some_and(|s| !s.is_trivial() && s.has_moving_owned_cells());
     let mut ctx = AnalysisCtx::default();
+    if let Some(spec) = spec.filter(|s| s.has_moving_scalarsets()) {
+        // Scalarset families are permuted only under a clean
+        // equivariance certificate — soundness is linted, not assumed.
+        let cert = crate::scalarset::certify_scalarsets_cached(
+            config.analysis_id.as_deref(),
+            mem,
+            programs,
+            spec,
+            AnalysisBudget::default(),
+        );
+        if !cert.is_certified() {
+            panic!(
+                "the declared scalarset families are not certified \
+                 order-insensitive; refusing to permute them:\n  {}",
+                cert.errors.join("\n  ")
+            );
+        }
+    }
     if config.por {
         let analysis = match config.analysis_id.as_deref() {
             Some(id) => system_analysis_cached(id, mem, programs, AnalysisBudget::default()),
@@ -1448,7 +1566,16 @@ fn prepare_analysis(
              for this system (lint_ample reports which process)"
         );
         if let Some(spec) = spec.filter(|s| !s.is_trivial()) {
-            if let Err(e) = check_por_equivariance(&analysis, spec) {
+            if spec.has_moving_scalarsets() {
+                // The pairwise owned-cell rename below cannot express a
+                // cross-read family: at a mid-scan key the immediate
+                // sets are identical *unrenamed* across members, while
+                // own-position accesses need the rename — one map
+                // cannot serve both. The scalarset certificate (checked
+                // above) subsumes this: its member-exchange and rebind
+                // fidelity checks prove the per-slot tables stay valid
+                // after relocation.
+            } else if let Err(e) = check_por_equivariance(&analysis, spec) {
                 panic!("ExploreConfig::por with symmetry: {e}");
             }
         }
@@ -1669,7 +1796,10 @@ fn expand_actions(
         assert_eq!(sleep, 0, "terminal node carries a sleep set");
         return (Vec::new(), true);
     }
-    if enabled.iter().any(|a| !matches!(a, Action::Step(_))) {
+    if enabled
+        .iter()
+        .any(|a| matches!(a, Action::Crash(_) | Action::CrashAll))
+    {
         // Crash-enabled: full expansion, and the sleep set is provably
         // empty — a node with a non-empty sleep set descends from a
         // crash-free node through step edges only, and crash-freedom is
@@ -1678,13 +1808,23 @@ fn expand_actions(
         assert_eq!(sleep, 0, "crash-enabled node carries a sleep set");
         return (enabled.into_iter().map(|a| (a, 0)).collect(), terminal);
     }
-    let steps: Vec<usize> = enabled
-        .iter()
-        .map(|a| match a {
-            Action::Step(p) => *p,
+    // POR reasons per **process**: a pid's internal alternatives
+    // (several `Branch` actions) share one footprint entry — the
+    // analyzer unions immediate sets over all choices — and are either
+    // all expanded or all covered by a sibling subtree together.
+    let mut per_pid: Vec<(usize, Vec<Action>)> = Vec::new();
+    for &a in &enabled {
+        let p = match a {
+            Action::Step(p) | Action::Branch(p, _) => p,
             _ => unreachable!("crash-free node"),
-        })
-        .collect();
+        };
+        match per_pid.last_mut() {
+            Some((q, list)) if *q == p => list.push(a),
+            _ => per_pid.push((p, vec![a])),
+        }
+    }
+    per_pid.sort_by_key(|&(p, _)| p);
+    let steps: Vec<usize> = per_pid.iter().map(|&(p, _)| p).collect();
     let infos: Vec<&LocalStateInfo> = steps
         .iter()
         .map(|&p| por.info(p, key[layout.prog(p)]))
@@ -1703,6 +1843,17 @@ fn expand_actions(
         })
         .map_or_else(|| (0..steps.len()).collect(), |i| vec![i]);
     let mut out: Vec<(Action, u64)> = Vec::with_capacity(persistent.len());
+    // Sleep bits are pure pruning, so propagating fewer is always
+    // sound. At a node where some process is mid-branch (several
+    // enabled `Branch` alternatives), propagating them is also a net
+    // loss: the choice diamonds below are collapsed by the memo table
+    // anyway, while a nonzero sleep mask in the child's node key splits
+    // every memoized state it reaches — measured on the Fig. 4
+    // branching scan, that splitting costs more states than the sleep
+    // pruning saves, and suppressing it here restores the persistent-set
+    // reduction (E17's scalarset+por composition). Deterministic nodes
+    // keep classic sleep-set propagation unchanged.
+    let branching = per_pid.iter().any(|(_, list)| list.len() > 1);
     // `Z ∪ {already-expanded siblings}`: a pid's bit joins as its
     // subtree is scheduled, so later siblings may sleep on it.
     let mut cover = sleep;
@@ -1713,7 +1864,7 @@ fn expand_actions(
         }
         let mut child_sleep = 0u64;
         for (j, &r) in steps.iter().enumerate() {
-            if r == p || cover >> r & 1 == 0 {
+            if r == p || cover >> r & 1 == 0 || branching {
                 continue;
             }
             let imm_independent = infos[j].imm_mutated.is_disjoint(&infos[i].imm_accessed)
@@ -1722,7 +1873,9 @@ fn expand_actions(
                 child_sleep |= 1 << r;
             }
         }
-        out.push((Action::Step(p), child_sleep));
+        for &action in &per_pid[i].1 {
+            out.push((action, child_sleep));
+        }
         cover |= 1 << p;
     }
     (out, false)
@@ -1737,46 +1890,67 @@ fn expand_actions(
 /// frontier workers run it concurrently without coordination.
 fn cross_validate_node(state: &SysState, indep: &StaticIndependence) {
     let n = state.programs.len();
-    let enabled: Vec<usize> = (0..n).filter(|&p| !state.is_decided(p)).collect();
-    for (i, &p) in enabled.iter().enumerate() {
-        for &q in &enabled[i + 1..] {
+    // Every step-like action of each undecided process: one `Step` for
+    // deterministic local states, one `Branch` per choice for
+    // nondeterministic ones (a scalarset scan mid-mask). Independence is
+    // per *process*, so every cross-pid action pair must commute.
+    let per_pid: Vec<(usize, Vec<Action>)> = (0..n)
+        .filter(|&p| !state.is_decided(p))
+        .map(|p| {
+            let choices = state.programs[p].choices();
+            let acts = if choices.len() <= 1 {
+                vec![Action::Step(p)]
+            } else {
+                choices.into_iter().map(|c| Action::Branch(p, c)).collect()
+            };
+            (p, acts)
+        })
+        .collect();
+    for (i, (p, p_acts)) in per_pid.iter().enumerate() {
+        let (p, q_list) = (*p, &per_pid[i + 1..]);
+        for (q, q_acts) in q_list {
+            let q = *q;
             if !indep.are_independent(p, q) {
                 continue;
             }
-            let both = |a: usize, b: usize| {
-                let (mid, _, da) = apply_to_child(state, Action::Step(a), &mut NoCrashes);
-                let (end, _, db) = apply_to_child(&mid, Action::Step(b), &mut NoCrashes);
-                (end, da, db)
-            };
-            let (pq, p_first, q_second) = both(p, q);
-            let (qp, q_first, p_second) = both(q, p);
-            let explain = "statically-independent enabled steps must \
-                           commute; the footprint analysis is unsound for \
-                           this system";
-            assert_eq!(
-                p_first, p_second,
-                "p{p}'s step outcome depends on whether p{q} stepped first; {explain}"
-            );
-            assert_eq!(
-                q_first, q_second,
-                "p{q}'s step outcome depends on whether p{p} stepped first; {explain}"
-            );
-            assert_eq!(pq.decided, qp.decided, "steps p{p}/p{q}: {explain}");
-            for who in [p, q] {
-                assert_eq!(
-                    pq.programs[who].state_key(),
-                    qp.programs[who].state_key(),
-                    "p{who}'s local state differs between step orders \
-                     p{p};p{q} and p{q};p{p}; {explain}"
-                );
-            }
-            for cell in 0..pq.mem.cells.len() {
-                assert_eq!(
-                    pq.mem.value_ref(cell),
-                    qp.mem.value_ref(cell),
-                    "cell @{cell} differs between step orders p{p};p{q} \
-                     and p{q};p{p}; {explain}"
-                );
+            for &pa in p_acts {
+                for &qa in q_acts {
+                    let both = |a: Action, b: Action| {
+                        let (mid, _, da) = apply_to_child(state, a, &mut NoCrashes);
+                        let (end, _, db) = apply_to_child(&mid, b, &mut NoCrashes);
+                        (end, da, db)
+                    };
+                    let (pq, p_first, q_second) = both(pa, qa);
+                    let (qp, q_first, p_second) = both(qa, pa);
+                    let explain = "statically-independent enabled steps must \
+                                   commute; the footprint analysis is unsound for \
+                                   this system";
+                    assert_eq!(
+                        p_first, p_second,
+                        "p{p}'s step outcome depends on whether p{q} stepped first; {explain}"
+                    );
+                    assert_eq!(
+                        q_first, q_second,
+                        "p{q}'s step outcome depends on whether p{p} stepped first; {explain}"
+                    );
+                    assert_eq!(pq.decided, qp.decided, "steps p{p}/p{q}: {explain}");
+                    for who in [p, q] {
+                        assert_eq!(
+                            pq.programs[who].state_key(),
+                            qp.programs[who].state_key(),
+                            "p{who}'s local state differs between step orders \
+                             p{p};p{q} and p{q};p{p}; {explain}"
+                        );
+                    }
+                    for cell in 0..pq.mem.cells.len() {
+                        assert_eq!(
+                            pq.mem.value_ref(cell),
+                            qp.mem.value_ref(cell),
+                            "cell @{cell} differs between step orders p{p};p{q} \
+                             and p{q};p{p}; {explain}"
+                        );
+                    }
+                }
             }
         }
     }
@@ -1806,6 +1980,16 @@ fn canonicalize_child(
     spec: &SymmetrySpec,
     mut moved: Option<&mut Vec<(usize, usize)>>,
 ) -> Option<Box<[u8]>> {
+    let scalarsets = spec.has_moving_scalarsets();
+    if scalarsets && child.programs.iter().any(|p| p.scalarset_pinned()) {
+        // A pinned program references scalarset family members
+        // *positionally* (a mid-scan mask of checked positions);
+        // permuting the family under it would dangle those references.
+        // Identity is always sound — pinned states simply forgo
+        // reduction, and the certifier guarantees the states that carry
+        // leaf weights (decided ones) are never pinned.
+        return None;
+    }
     // The sleep bit joins the signature (constant `false` with POR off,
     // so ties — and therefore representative choices — are unchanged):
     // under POR, node identity is `(state, sleep set)`, and the mask
@@ -1816,17 +2000,27 @@ fn canonicalize_child(
         // moves them, so the sort must be total over them (two members
         // with equal program keys but different owned contents are
         // *different* payloads). Slots-only specs own nothing and pay
-        // only an empty-Vec comparison.
+        // only an empty-Vec comparison. Scalarset family cells move with
+        // the slots exactly like owned cells, so their values join the
+        // signature the same way.
         let owned: Vec<&Value> = spec
             .owned(p)
             .iter()
             .map(|&a| child.mem.value_ref(a.index()))
             .collect();
+        let family: Vec<&Value> = if scalarsets {
+            spec.scalarset_cells(p)
+                .map(|a| child.mem.value_ref(a.index()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         (
             child.programs[p].state_key(),
             child.is_decided(p),
             sleep >> p & 1 != 0,
             owned,
+            family,
         )
     })?;
     // Gather every moved payload before writing anything: a slot may be
@@ -1861,11 +2055,34 @@ fn canonicalize_child(
                 .get_or_insert_with(|| Rebinding::identity(layout.cells))
                 .map(src_cell, dst_cell);
         }
+        // Scalarset family cells move with the slots too: the family
+        // member at position `src` becomes the member at position `i`.
+        // Unlike owned cells they are cross-read — which is exactly what
+        // the scalarset certificate licenses (the scan is an
+        // order-insensitive fold, so every program is equivariant under
+        // the family permutation).
+        if scalarsets {
+            for family in spec.scalarset_families() {
+                let (src_cell, dst_cell) = (family[src], family[i]);
+                cells.push((
+                    src_cell.index(),
+                    dst_cell.index(),
+                    child.mem.cells[src_cell.index()].clone(),
+                    key[src_cell.index()],
+                ));
+                rebinding
+                    .get_or_insert_with(|| Rebinding::identity(layout.cells))
+                    .map(src_cell, dst_cell);
+            }
+        }
     }
     for (i, prog) in progs {
         child.programs[i] = prog;
         if let Some(map) = rebinding.as_ref() {
-            if !spec.owned(i).is_empty() {
+            // A relocated program rebinds when its destination owns
+            // cells, or when family members moved with it (its own
+            // family handle relocated).
+            if scalarsets || !spec.owned(i).is_empty() {
                 program_mut(&mut child.programs[i]).rebind(map);
             }
         }
@@ -1912,11 +2129,15 @@ fn leaf_weight(
         None => 1,
         Some(spec) => {
             let weight = spec.orbit_weight_with(|p| {
-                // Owned-cell ids join the signature exactly as in the
-                // canonical sort: members differing only in owned
-                // contents are distinct arrangements.
+                // Owned-cell and scalarset-family ids join the signature
+                // exactly as in the canonical sort: members differing
+                // only in owned or family contents are distinct
+                // arrangements. (Leaves are decided configurations, and
+                // the certifier guarantees decided states are never
+                // pinned, so families permute freely here.)
                 let owned: Vec<u32> = spec.owned(p).iter().map(|a| key[a.index()]).collect();
-                (key[layout.prog(p)], state.is_decided(p), owned)
+                let family: Vec<u32> = spec.scalarset_cells(p).map(|a| key[a.index()]).collect();
+                (key[layout.prog(p)], state.is_decided(p), owned, family)
             });
             usize::try_from(weight).expect("leaf weight fits usize")
         }
@@ -2909,7 +3130,22 @@ pub fn lint_ample(
         }
     }
     if let Some(spec) = spec.filter(|s| !s.is_trivial()) {
-        if let Err(e) = check_por_equivariance(&analysis, spec) {
+        if spec.has_moving_scalarsets() {
+            // The pairwise owned-cell rename cannot express cross-read
+            // families (see `prepare_analysis`); the scalarset
+            // certificate's member-exchange and rebind-fidelity checks
+            // are the equivariance condition for these specs.
+            let cert = crate::scalarset::certify_scalarsets_cached(
+                analysis_id,
+                &mem,
+                &programs,
+                spec,
+                AnalysisBudget::default(),
+            );
+            for e in &cert.errors {
+                report.errors.push(format!("A5 (scalarset): {e}"));
+            }
+        } else if let Err(e) = check_por_equivariance(&analysis, spec) {
             report.errors.push(format!("A5: {e}"));
         }
     }
@@ -2959,18 +3195,28 @@ fn spot_check_pruned(
         }
         report.spot_states += 1;
         let enabled = state.enabled_actions(crash);
-        let crash_free = enabled.iter().all(|a| matches!(a, Action::Step(_)));
-        if crash_free && enabled.len() > 1 {
+        let crash_free = !enabled
+            .iter()
+            .any(|a| matches!(a, Action::Crash(_) | Action::CrashAll));
+        let steps: Vec<usize> = {
+            // Distinct acting pids, ascending — a nondeterministic local
+            // state contributes one pid however many Branch actions it
+            // offers, matching the engine's per-pid lumping.
+            let mut pids: Vec<usize> = enabled
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Step(p) | Action::Branch(p, _) => Some(*p),
+                    _ => None,
+                })
+                .collect();
+            pids.sort_unstable();
+            pids.dedup();
+            pids
+        };
+        if crash_free && steps.len() > 1 {
             // Re-derive the engine's persistent-set choice on raw state
             // keys (the lint runs without an interner) — identical
             // condition, identical tie-break (first eligible pid).
-            let steps: Vec<usize> = enabled
-                .iter()
-                .map(|a| match a {
-                    Action::Step(p) => *p,
-                    _ => unreachable!("crash-free state"),
-                })
-                .collect();
             let infos: Vec<&LocalStateInfo> = steps
                 .iter()
                 .map(|&p| {
@@ -3029,34 +3275,49 @@ fn spot_check_pruned(
     }
 }
 
-/// Executes `Step(p); Step(q)` and `Step(q); Step(p)` from `state` and
-/// names the first divergence, or `None` when the orders commute —
-/// [`cross_validate_node`]'s check, reporting instead of asserting.
+/// Executes each step-like action pair of `p` and `q` in both orders
+/// from `state` and names the first divergence, or `None` when every
+/// pair commutes — [`cross_validate_node`]'s check, reporting instead
+/// of asserting. A nondeterministic local state contributes one action
+/// per choice; independence is per process, so every cross-pid pair
+/// must commute.
 fn commute_divergence(state: &SysState, p: usize, q: usize) -> Option<String> {
-    let both = |a: usize, b: usize| {
-        let (mid, _, da) = apply_to_child(state, Action::Step(a), &mut NoCrashes);
-        let (end, _, db) = apply_to_child(&mid, Action::Step(b), &mut NoCrashes);
-        (end, da, db)
-    };
-    let (pq, p_first, q_second) = both(p, q);
-    let (qp, q_first, p_second) = both(q, p);
-    if p_first != p_second {
-        return Some(format!("p{p}'s step outcome"));
-    }
-    if q_first != q_second {
-        return Some(format!("p{q}'s step outcome"));
-    }
-    if pq.decided != qp.decided {
-        return Some("the decided flags".to_string());
-    }
-    for who in [p, q] {
-        if pq.programs[who].state_key() != qp.programs[who].state_key() {
-            return Some(format!("p{who}'s local state"));
+    let acts = |w: usize| -> Vec<Action> {
+        let choices = state.programs[w].choices();
+        if choices.len() <= 1 {
+            vec![Action::Step(w)]
+        } else {
+            choices.into_iter().map(|c| Action::Branch(w, c)).collect()
         }
-    }
-    for cell in 0..pq.mem.cells.len() {
-        if pq.mem.value_ref(cell) != qp.mem.value_ref(cell) {
-            return Some(format!("cell @{cell}"));
+    };
+    for &pa in &acts(p) {
+        for &qa in &acts(q) {
+            let both = |a: Action, b: Action| {
+                let (mid, _, da) = apply_to_child(state, a, &mut NoCrashes);
+                let (end, _, db) = apply_to_child(&mid, b, &mut NoCrashes);
+                (end, da, db)
+            };
+            let (pq, p_first, q_second) = both(pa, qa);
+            let (qp, q_first, p_second) = both(qa, pa);
+            if p_first != p_second {
+                return Some(format!("p{p}'s step outcome"));
+            }
+            if q_first != q_second {
+                return Some(format!("p{q}'s step outcome"));
+            }
+            if pq.decided != qp.decided {
+                return Some("the decided flags".to_string());
+            }
+            for who in [p, q] {
+                if pq.programs[who].state_key() != qp.programs[who].state_key() {
+                    return Some(format!("p{who}'s local state"));
+                }
+            }
+            for cell in 0..pq.mem.cells.len() {
+                if pq.mem.value_ref(cell) != qp.mem.value_ref(cell) {
+                    return Some(format!("cell @{cell}"));
+                }
+            }
         }
     }
     None

@@ -17,8 +17,10 @@
 //! [`state_key`](crate::Program::state_key) (the same key-completeness
 //! contract the checker's memoization leans on: equal keys ⇒ identical
 //! behaviour forever, so one representative clone per key suffices).
-//! From each state the analyzer probes [`step`](crate::Program::step)
-//! once per possible *observation*:
+//! From each state the analyzer probes every enabled internal
+//! alternative ([`choices`](crate::Program::choices) /
+//! [`step_choice`](crate::Program::step_choice); deterministic programs
+//! have exactly one) once per possible *observation*:
 //!
 //! * a **write** determines its successor outright (the written value is
 //!   added to the cell's value domain);
@@ -434,28 +436,60 @@ impl MemOps for ProbeMem<'_> {
     }
 }
 
+/// One probed `(choice, branch)` transition of a memoized local state —
+/// the full edge record the scalarset certifier matches under family
+/// transpositions (the footprint consumers only need the coarser
+/// site/successor projections).
+#[derive(Clone, Debug)]
+pub(crate) struct ChoiceEdge {
+    /// The choice id ([`Program::choices`]) this edge belongs to.
+    pub(crate) choice: usize,
+    /// The step's access site, `(cell index, kind)`; `None` when the
+    /// branch touches no shared cell.
+    pub(crate) site: Option<(usize, AccessKind)>,
+    /// For read/RMW sites: the domain value the branch observed.
+    pub(crate) observed: Option<Value>,
+    /// The register value or RMW next-state the branch wrote.
+    pub(crate) wrote: Option<(usize, Value)>,
+    /// Successor state index; `None` for infeasible/panicking branches.
+    pub(crate) succ: Option<usize>,
+    /// The decided output, when the branch decides.
+    pub(crate) output: Option<Value>,
+}
+
+/// `(choice id, access site)` for one enabled choice of a state.
+pub(crate) type ChoiceSite = (usize, Option<(usize, AccessKind)>);
+
 /// One process's memoized local-state graph during the walk.
-struct PidStates {
+pub(crate) struct PidStates {
     /// Representative clone + decided flag per state index.
-    states: Vec<(Box<dyn Program>, bool)>,
+    pub(crate) states: Vec<(Box<dyn Program>, bool)>,
     /// `(state_key, decided)` → state index.
-    index: BTreeMap<(Value, bool), usize>,
+    pub(crate) index: BTreeMap<(Value, bool), usize>,
     footprint: ProcessFootprint,
-    /// Per state: the step's access site (discovered on branch 0).
-    sites: Vec<Option<(usize, AccessKind)>>,
+    /// Per state: `(choice id, access site)` per enabled choice, in
+    /// [`Program::choices`] order (sites discovered on branch 0).
+    pub(crate) choice_sites: Vec<Vec<ChoiceSite>>,
+    /// Per state: every probed `(choice, branch)` edge.
+    pub(crate) edges: Vec<Vec<ChoiceEdge>>,
+    /// Per state: whether the representative reports
+    /// [`Program::scalarset_pinned`].
+    pub(crate) pinned: Vec<bool>,
     /// Per state: whether some probed branch of the step decides.
     may_decide: Vec<bool>,
     /// Per state: step-successor state indices (all probed branches).
-    step_succ: Vec<BTreeSet<usize>>,
+    pub(crate) step_succ: Vec<BTreeSet<usize>>,
     /// Per state: the crash-restart successor (`include_crash` walks).
-    crash_succ: Vec<Option<usize>>,
+    pub(crate) crash_succ: Vec<Option<usize>>,
 }
 
 /// The raw result of one fixpoint walk: the memoized per-process state
 /// graphs plus the probe count.
-struct Walk {
-    pids: Vec<PidStates>,
+pub(crate) struct Walk {
+    pub(crate) pids: Vec<PidStates>,
     probes: usize,
+    /// The fixpoint value domains, per cell (final, post-convergence).
+    pub(crate) domains: Vec<BTreeSet<Value>>,
 }
 
 /// Global fixpoint-run counter, bumped once per [`walk_system`] call.
@@ -472,7 +506,7 @@ pub fn analysis_fixpoint_runs() -> usize {
 /// [`analyze_system_states`]: memoizes every reachable local state per
 /// process and records, per state, the step's access site, its step
 /// successors, its crash successor and whether any branch decides.
-fn walk_system(
+pub(crate) fn walk_system(
     mem: &Memory,
     programs: &[Box<dyn Program>],
     include_crash: bool,
@@ -502,7 +536,9 @@ fn walk_system(
             states: Vec::new(),
             index: BTreeMap::new(),
             footprint: ProcessFootprint::default(),
-            sites: Vec::new(),
+            choice_sites: Vec::new(),
+            edges: Vec::new(),
+            pinned: Vec::new(),
             may_decide: Vec::new(),
             step_succ: Vec::new(),
             crash_succ: Vec::new(),
@@ -554,10 +590,12 @@ fn walk_system(
                         crashed.on_crash();
                         pending.push((crashed, false, Some(idx)));
                     }
+                    pids[pid].pinned.push(prog.scalarset_pinned());
                     pids[pid].states.push((prog, decided));
                     pids[pid].index.insert(key, idx);
                     pids[pid].footprint.local_states += 1;
-                    pids[pid].sites.push(None);
+                    pids[pid].choice_sites.push(Vec::new());
+                    pids[pid].edges.push(Vec::new());
                     pids[pid].may_decide.push(false);
                     pids[pid].step_succ.push(BTreeSet::new());
                     pids[pid].crash_succ.push(None);
@@ -597,74 +635,107 @@ fn walk_system(
         if pids[pid].states[sidx].1 {
             continue; // decided states take no further steps
         }
-        // Probe branch 0 to discover the step's access site, then the
-        // remaining branches of its domain (reads/RMWs only). The
-        // domains are frozen during the loop; growth is merged after.
+        // Probe every enabled choice: branch 0 discovers the choice's
+        // access site, then the remaining branches of its domain
+        // (reads/RMWs only). The domains are frozen during the loop;
+        // growth is merged after. Re-probes (domain growth) rebuild the
+        // state's per-choice records from scratch.
+        let choice_ids = pids[pid].states[sidx].0.choices();
+        assert!(
+            !choice_ids.is_empty(),
+            "Program::choices returned an empty list for p{pid}"
+        );
+        pids[pid].choice_sites[sidx].clear();
+        pids[pid].edges[sidx].clear();
         let mut grew: Vec<(usize, Value)> = Vec::new();
-        let mut branches = 1usize;
-        let mut b = 0usize;
-        while b < branches {
-            probes += 1;
-            if probes > budget.max_probes {
-                return Err(FootprintError::BudgetExceeded {
-                    pid,
-                    local_states: total_states,
-                    probes,
+        for &choice in &choice_ids {
+            let mut branches = 1usize;
+            let mut b = 0usize;
+            while b < branches {
+                probes += 1;
+                if probes > budget.max_probes {
+                    return Err(FootprintError::BudgetExceeded {
+                        pid,
+                        local_states: total_states,
+                        probes,
+                    });
+                }
+                let mut prog = pids[pid].states[sidx].0.boxed_clone();
+                let mut probe = ProbeMem::new(&kinds, &domains, b);
+                let outcome = quiet_probe(|| {
+                    catch_unwind(AssertUnwindSafe(|| prog.step_choice(&mut probe, choice)))
                 });
-            }
-            let mut prog = pids[pid].states[sidx].0.boxed_clone();
-            let mut probe = ProbeMem::new(&kinds, &domains, b);
-            let outcome = quiet_probe(|| catch_unwind(AssertUnwindSafe(|| prog.step(&mut probe))));
-            if let Some(message) = probe.fault {
-                return Err(FootprintError::TypeConfusion { pid, message });
-            }
-            if probe.extra > 0 {
-                return Err(FootprintError::MultipleAccesses {
-                    pid,
-                    state_key: pids[pid].states[sidx].0.state_key(),
-                });
-            }
-            if b == 0 {
-                pids[pid].sites[sidx] = probe.site;
-                if let Some((cell, kind)) = probe.site {
-                    pids[pid]
-                        .footprint
-                        .cells
-                        .entry(Addr(cell))
-                        .or_default()
-                        .record(kind);
-                    if matches!(kind, AccessKind::Read | AccessKind::Rmw) {
-                        read_sites[cell].insert((pid, sidx));
-                        branches = domains[cell].len();
+                if let Some(message) = probe.fault {
+                    return Err(FootprintError::TypeConfusion { pid, message });
+                }
+                if probe.extra > 0 {
+                    return Err(FootprintError::MultipleAccesses {
+                        pid,
+                        state_key: pids[pid].states[sidx].0.state_key(),
+                    });
+                }
+                if b == 0 {
+                    pids[pid].choice_sites[sidx].push((choice, probe.site));
+                    if let Some((cell, kind)) = probe.site {
+                        pids[pid]
+                            .footprint
+                            .cells
+                            .entry(Addr(cell))
+                            .or_default()
+                            .record(kind);
+                        if matches!(kind, AccessKind::Read | AccessKind::Rmw) {
+                            read_sites[cell].insert((pid, sidx));
+                            branches = domains[cell].len();
+                        }
                     }
                 }
+                let observed = probe.site.and_then(|(cell, kind)| {
+                    matches!(kind, AccessKind::Read | AccessKind::Rmw)
+                        .then(|| domains[cell].iter().nth(b).cloned())
+                        .flatten()
+                });
+                let wrote = probe.wrote.first().cloned();
+                grew.append(&mut probe.wrote);
+                b += 1;
+                // A panicking or infeasible branch has no successor (the
+                // fed value was an over-approximation); its access record
+                // and writes-so-far stand.
+                let (succ, output) = match outcome {
+                    Ok(step) if probe.valid => {
+                        let decided = matches!(step, Step::Decided(_));
+                        let output = match &step {
+                            Step::Decided(v) => Some(v.clone()),
+                            Step::Running => None,
+                        };
+                        if decided {
+                            pids[pid].may_decide[sidx] = true;
+                        }
+                        let succ = insert(
+                            pid,
+                            prog,
+                            decided,
+                            include_crash,
+                            &mut pids,
+                            &mut work,
+                            &mut queued,
+                            &mut total_states,
+                            &budget,
+                            probes,
+                        )?;
+                        pids[pid].step_succ[sidx].insert(succ);
+                        (Some(succ), output)
+                    }
+                    _ => (None, None),
+                };
+                pids[pid].edges[sidx].push(ChoiceEdge {
+                    choice,
+                    site: probe.site,
+                    observed,
+                    wrote,
+                    succ,
+                    output,
+                });
             }
-            grew.append(&mut probe.wrote);
-            b += 1;
-            // A panicking or infeasible branch has no successor (the fed
-            // value was an over-approximation); its access record and
-            // writes-so-far stand.
-            let step = match outcome {
-                Ok(step) if probe.valid => step,
-                _ => continue,
-            };
-            let decided = matches!(step, Step::Decided(_));
-            if decided {
-                pids[pid].may_decide[sidx] = true;
-            }
-            let succ = insert(
-                pid,
-                prog,
-                decided,
-                include_crash,
-                &mut pids,
-                &mut work,
-                &mut queued,
-                &mut total_states,
-                &budget,
-                probes,
-            )?;
-            pids[pid].step_succ[sidx].insert(succ);
         }
         for (cell, value) in grew {
             if domains[cell].insert(value) {
@@ -677,7 +748,109 @@ fn walk_system(
         }
     }
 
-    Ok(Walk { pids, probes })
+    Ok(Walk {
+        pids,
+        probes,
+        domains,
+    })
+}
+
+/// One freshly probed `(choice, branch)` transition of a concrete
+/// program object — like [`ChoiceEdge`], but with the successor as a
+/// `(state_key, decided)` pair instead of a walk index, so edges of
+/// *different* program objects (e.g. a rebound clone vs an orbit
+/// sibling's representative) compare directly. Produced by
+/// [`probe_state_edges`] for the scalarset certifier's dynamic checks.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ProbedEdge {
+    pub(crate) choice: usize,
+    pub(crate) site: Option<(usize, AccessKind)>,
+    pub(crate) observed: Option<Value>,
+    pub(crate) wrote: Option<(usize, Value)>,
+    pub(crate) succ: Option<(Value, bool)>,
+    pub(crate) output: Option<Value>,
+}
+
+/// Probes every `(choice, branch)` transition of `prog` against the
+/// given (already converged) value domains — the same probe loop as
+/// [`walk_system`], but for one state of one concrete program object,
+/// with successors reported by key. Errors on contract violations
+/// (multiple accesses per step, type confusion).
+pub(crate) fn probe_state_edges(
+    mem: &Memory,
+    domains: &[BTreeSet<Value>],
+    prog: &dyn Program,
+) -> Result<Vec<ProbedEdge>, String> {
+    let kinds: Vec<ProbeKind> = (0..mem.len())
+        .map(|i| match mem.peek_cell(Addr(i)) {
+            Cell::Register(_) => ProbeKind::Register,
+            Cell::Object { ty, .. } => ProbeKind::Object(ty),
+        })
+        .collect();
+    let mut edges = Vec::new();
+    let choice_ids = prog.choices();
+    if choice_ids.is_empty() {
+        return Err("Program::choices returned an empty list".into());
+    }
+    for &choice in &choice_ids {
+        let mut branches = 1usize;
+        let mut b = 0usize;
+        while b < branches {
+            let mut clone = prog.boxed_clone();
+            let mut probe = ProbeMem::new(&kinds, domains, b);
+            let outcome = quiet_probe(|| {
+                catch_unwind(AssertUnwindSafe(|| clone.step_choice(&mut probe, choice)))
+            });
+            if let Some(message) = probe.fault {
+                return Err(format!("type-confused access: {message}"));
+            }
+            if probe.extra > 0 {
+                return Err(format!(
+                    "more than one shared-memory access in a single step \
+                     (from local state {})",
+                    prog.state_key()
+                ));
+            }
+            if b == 0 {
+                if let Some((cell, kind)) = probe.site {
+                    if matches!(kind, AccessKind::Read | AccessKind::Rmw) {
+                        branches = domains[cell].len();
+                    }
+                }
+            }
+            let observed = probe.site.and_then(|(cell, kind)| {
+                matches!(kind, AccessKind::Read | AccessKind::Rmw)
+                    .then(|| domains[cell].iter().nth(b).cloned())
+                    .flatten()
+            });
+            let wrote = probe.wrote.first().cloned();
+            b += 1;
+            let (succ, output) = match outcome {
+                Ok(step) => {
+                    if probe.valid {
+                        let output = match &step {
+                            Step::Decided(v) => Some(v.clone()),
+                            Step::Running => None,
+                        };
+                        let decided = matches!(step, Step::Decided(_));
+                        (Some((clone.state_key(), decided)), output)
+                    } else {
+                        (None, None)
+                    }
+                }
+                Err(_) => (None, None),
+            };
+            edges.push(ProbedEdge {
+                choice,
+                site: probe.site,
+                observed,
+                wrote,
+                succ,
+                output,
+            });
+        }
+    }
+    Ok(edges)
 }
 
 /// Analyzes every process's cell footprint by walking the memoized
@@ -780,8 +953,10 @@ pub struct LocalStateInfo {
     pub key: Value,
     /// Whether the state is decided (no further steps).
     pub decided: bool,
-    /// The step's single access site, `(cell index, kind)`; `None` when
-    /// the step touches no shared cell.
+    /// The step's single access site, `(cell index, kind)`, when the
+    /// state offers exactly one choice; `None` when the step touches no
+    /// shared cell **or** the state is internally nondeterministic
+    /// (several choices — their union is in the immediate sets).
     pub site: Option<(usize, AccessKind)>,
     /// Whether some probed branch of the step decides.
     pub may_decide: bool,
@@ -922,10 +1097,15 @@ pub fn analyze_system_states(
                 let mut imm_accessed = CellSet::empty(bits);
                 let mut imm_mutated = CellSet::empty(bits);
                 if !*decided {
-                    if let Some((cell, kind)) = pid.sites[s] {
-                        imm_accessed.insert(cell);
-                        if kind.mutates() {
-                            imm_mutated.insert(cell);
+                    // The immediate sets union over every enabled choice
+                    // — the step the scheduler actually takes is one of
+                    // them, so the union is the sound per-process lump.
+                    for &(_, site) in &pid.choice_sites[s] {
+                        if let Some((cell, kind)) = site {
+                            imm_accessed.insert(cell);
+                            if kind.mutates() {
+                                imm_mutated.insert(cell);
+                            }
                         }
                     }
                     if pid.may_decide[s] {
@@ -936,10 +1116,14 @@ pub fn analyze_system_states(
                         imm_mutated.insert(decision);
                     }
                 }
+                let site = match pid.choice_sites[s][..] {
+                    [(_, site)] => site,
+                    _ => None,
+                };
                 LocalStateInfo {
                     key: prog.state_key(),
                     decided: *decided,
-                    site: if *decided { None } else { pid.sites[s] },
+                    site: if *decided { None } else { site },
                     may_decide: !*decided && pid.may_decide[s],
                     future_accessed: imm_accessed.clone(),
                     future_mutated: imm_mutated.clone(),

@@ -49,6 +49,11 @@
 //!   access maps POR consumes ([`analyze_system_states`], cached per
 //!   catalog id via [`system_analysis_cached`]) and the symmetry
 //!   validation.
+//! * `scalarset` — the scalarset equivariance certifier
+//!   ([`lint_scalarset`]): proves a declared cross-read cell family
+//!   ([`SymmetrySpec::with_scalarset`]) is scanned as an
+//!   order-insensitive fold, which licenses permuting the family with
+//!   the process slots during symmetry reduction.
 //! * [`threaded`] — a real-thread executor (`parking_lot` mutex per object,
 //!   one OS thread per process) for wall-clock benchmarks.
 //! * [`verify`] — agreement/validity/termination checkers for consensus-
@@ -94,6 +99,7 @@ mod explore;
 mod intern;
 mod memory;
 mod program;
+mod scalarset;
 mod storage;
 mod trace;
 
@@ -116,6 +122,10 @@ pub use footprint::{
     LintReport, LocalStateInfo, ProcessFootprint, ProcessStateMap, StaticIndependence,
     SystemAnalysis, SystemFootprint,
 };
+// The scalarset equivariance certifier: `lint_scalarset` is the
+// `tables lint` entry; the engines consult the cached certificate
+// internally before permuting any declared family.
+pub use scalarset::{lint_scalarset, ScalarsetReport};
 // `Resolved`/`ShardInterner` are exported for the sharded-reconciliation
 // property suite in tests/proptest_runtime.rs (and as the documented
 // worker-local overflow API); the engine-internal `ShardedStateTable`

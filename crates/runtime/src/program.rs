@@ -112,7 +112,60 @@ pub enum Step {
 /// states across worker threads.
 pub trait Program: fmt::Debug + Send + Sync {
     /// Executes one step (at most one shared-memory access).
+    ///
+    /// For internally nondeterministic programs this must execute the
+    /// *first* alternative of [`choices`](Program::choices) — schedulers
+    /// and the threaded executor drive programs through `step` alone, so
+    /// `step` is the deterministic resolution the paper's pseudocode
+    /// prescribes, while the exhaustive engines additionally branch over
+    /// [`step_choice`](Program::step_choice).
     fn step(&mut self, mem: &mut dyn MemOps) -> Step;
+
+    /// The enabled internal alternatives of the next step, as stable
+    /// choice ids. The default — a single id `0` — declares the step
+    /// deterministic. A program whose next step is internally
+    /// nondeterministic (e.g. a scalarset scan free to read any
+    /// unchecked family register) returns one id per alternative; the
+    /// exhaustive engines then branch over every id via
+    /// [`step_choice`](Program::step_choice), while a single-entry list
+    /// is executed through [`step`](Program::step).
+    ///
+    /// Contract: ids must be a deterministic function of the volatile
+    /// state, the list must be non-empty, and when more than one id is
+    /// offered the ids must be **process-slot-indexed** (e.g. scalarset
+    /// family positions) — the witness reconstruction renames them
+    /// through orbit permutations together with the pids.
+    fn choices(&self) -> Vec<usize> {
+        vec![0]
+    }
+
+    /// Executes the alternative with the given choice id (at most one
+    /// shared-memory access). `step_choice(first)` — for the first entry
+    /// of [`choices`](Program::choices) — must behave exactly like
+    /// [`step`](Program::step). The default delegates to `step`, which
+    /// is correct for every deterministic program.
+    fn step_choice(&mut self, mem: &mut dyn MemOps, choice: usize) -> Step {
+        debug_assert_eq!(
+            choice, 0,
+            "default step_choice only serves the default choice id"
+        );
+        self.step(mem)
+    }
+
+    /// Whether the volatile state currently references scalarset family
+    /// members *positionally* — e.g. a mid-scan set of already-checked
+    /// family positions. While any program of a system is pinned, the
+    /// symmetry reduction must not permute the family (the held
+    /// positions would dangle), so canonicalization is skipped for such
+    /// states; states whose position references are permutation-fixed
+    /// (empty or complete scans) report `false` and canonicalize as
+    /// usual. The scalarset certifier checks this flag is honest: a
+    /// state that pairs with a *different* state under a family
+    /// transposition must report pinned. The default — never pinned —
+    /// is correct for every program that holds no family positions.
+    fn scalarset_pinned(&self) -> bool {
+        false
+    }
 
     /// Crashes the process: volatile state (program counter and locals) is
     /// reset; the input, if any, is retained.

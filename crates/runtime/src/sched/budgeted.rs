@@ -127,6 +127,7 @@ mod tests {
                     crashes += 1;
                 }
                 Action::CrashAll => panic!("E_A has no simultaneous crashes"),
+                Action::Branch(..) => panic!("schedulers never emit Branch"),
             }
             assert!(
                 crashes <= others_steps,

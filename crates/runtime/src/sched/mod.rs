@@ -31,13 +31,20 @@ use crate::program::Pid;
 
 /// One scheduling decision.
 ///
-/// The `Ord` instance (`Step < Crash < CrashAll`, then by pid) gives
-/// schedules a canonical lexicographic order; the parallel model-checker
-/// uses it to pick a deterministic violation witness.
+/// The `Ord` instance (`Step < Branch < Crash < CrashAll`, then by
+/// pid/choice) gives schedules a canonical lexicographic order; the
+/// parallel model-checker uses it to pick a deterministic violation
+/// witness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Action {
     /// Let process `pid` execute one step.
     Step(Pid),
+    /// Let process `pid` execute the internal alternative with the given
+    /// choice id ([`Program::step_choice`](crate::Program::step_choice)).
+    /// Emitted only by the exhaustive engines, and only for states
+    /// offering more than one choice; schedulers resolve internal
+    /// nondeterminism deterministically via [`Action::Step`].
+    Branch(Pid, usize),
     /// Crash process `pid` (independent-crash model).
     Crash(Pid),
     /// Crash every process simultaneously (simultaneous-crash model).

@@ -66,10 +66,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum StorageTier {
     /// The flat `FxHashMap<Box<[u32]>, u32>` table (the historical
-    /// layout; one heap allocation per state).
-    #[default]
+    /// layout; one heap allocation per state). The opt-out from the
+    /// packed default.
     Flat,
     /// Bit-packed keys in an arena behind an open-addressing index.
+    /// The [`ExploreConfig`](crate::ExploreConfig) default — parity
+    /// with `Flat` is asserted across the E16 tier × thread grid.
+    #[default]
     Packed,
     /// [`Packed`](Self::Packed) plus a seeded Bloom prefilter in front
     /// of the exact probes.

@@ -1065,3 +1065,172 @@ proptest! {
         }
     }
 }
+
+/// An order-insensitive set scan over a scalarset family (the shape of
+/// the Fig. 4 remodel): after announcing itself in its own family
+/// member, any unread position may be read next; the fold sums the
+/// observed values and decides the sum once every position is read.
+#[derive(Clone, Debug)]
+struct MaskScan {
+    family: Vec<Addr>,
+    own: Addr,
+    mask: u64,
+    sum: i64,
+    wrote: bool,
+}
+
+impl MaskScan {
+    fn full(&self) -> u64 {
+        (1u64 << self.family.len()) - 1
+    }
+}
+
+impl Program for MaskScan {
+    fn step(&mut self, mem: &mut dyn MemOps) -> Step {
+        let first = self.choices()[0];
+        self.step_choice(mem, first)
+    }
+    fn choices(&self) -> Vec<usize> {
+        if !self.wrote {
+            return vec![0];
+        }
+        let open: Vec<usize> = (0..self.family.len())
+            .filter(|k| self.mask & (1 << k) == 0)
+            .collect();
+        if open.is_empty() {
+            vec![0]
+        } else {
+            open
+        }
+    }
+    fn step_choice(&mut self, mem: &mut dyn MemOps, choice: usize) -> Step {
+        if !self.wrote {
+            mem.write_register(self.own, Value::Int(1));
+            self.wrote = true;
+            return Step::Running;
+        }
+        if self.mask == self.full() {
+            return Step::Decided(Value::Int(self.sum));
+        }
+        if let Value::Int(x) = mem.read_register(self.family[choice]) {
+            self.sum += x;
+        }
+        self.mask |= 1 << choice;
+        if self.mask == self.full() {
+            Step::Decided(Value::Int(self.sum))
+        } else {
+            Step::Running
+        }
+    }
+    fn scalarset_pinned(&self) -> bool {
+        self.wrote && self.mask != 0 && self.mask != self.full()
+    }
+    fn on_crash(&mut self) {
+        self.mask = 0;
+        self.sum = 0;
+        self.wrote = false;
+    }
+    fn state_key(&self) -> Value {
+        Value::pair(
+            Value::Int(self.mask as i64),
+            Value::pair(Value::Int(self.sum), Value::Int(i64::from(self.wrote))),
+        )
+    }
+    fn boxed_clone(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn rebind(&mut self, map: &Rebinding) {
+        self.own = map.lookup(self.own);
+    }
+    fn referenced_cells(&self) -> Option<Vec<Addr>> {
+        let mut cells = self.family.clone();
+        cells.push(self.own);
+        Some(cells)
+    }
+}
+
+/// Builds an `n`-process mask-scan system with the process-to-member
+/// assignment relabeled by `perm`: process `p`'s family member (and
+/// slot-`p` entry of the declared family) is the `perm[p]`-th allocated
+/// register. The identity permutation gives the canonical layout; any
+/// other `perm` gives an isomorphic relabeling of the same system.
+fn mask_scan_system(
+    n: usize,
+    init: i64,
+    perm: &[usize],
+) -> (Memory, Vec<Box<dyn Program>>, SymmetrySpec) {
+    let mut mem = Memory::new();
+    let registers: Vec<Addr> = (0..n)
+        .map(|_| mem.alloc_register(Value::Int(init)))
+        .collect();
+    let family: Vec<Addr> = perm.iter().map(|&k| registers[k]).collect();
+    let programs: Vec<Box<dyn Program>> = (0..n)
+        .map(|pid| {
+            Box::new(MaskScan {
+                family: family.clone(),
+                own: family[pid],
+                mask: 0,
+                sum: 0,
+                wrote: false,
+            }) as Box<dyn Program>
+        })
+        .collect();
+    let spec = SymmetrySpec::full(n).with_scalarset(family);
+    (mem, programs, spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The scalarset certifier is deterministic: two runs over the same
+    /// system produce identical reports, counter for counter and
+    /// message for message — the `tables lint` CI verdict cannot flap.
+    #[test]
+    fn scalarset_certifier_is_deterministic(n in 2usize..5, init in 0i64..3) {
+        let identity: Vec<usize> = (0..n).collect();
+        let (mem, programs, spec) = mask_scan_system(n, init, &identity);
+        let a = rc_runtime::lint_scalarset(
+            &mem, &programs, &spec, rc_runtime::AnalysisBudget::default());
+        let b = rc_runtime::lint_scalarset(
+            &mem, &programs, &spec, rc_runtime::AnalysisBudget::default());
+        prop_assert!(a.is_certified(), "errors: {:?}", a.errors);
+        prop_assert_eq!(a.errors, b.errors);
+        prop_assert_eq!(a.warnings, b.warnings);
+        prop_assert_eq!(a.families, b.families);
+        prop_assert_eq!(a.transpositions, b.transpositions);
+        prop_assert_eq!(a.graph_matches, b.graph_matches);
+        prop_assert_eq!(a.exchange_states, b.exchange_states);
+        prop_assert_eq!(a.spot_reexecutions, b.spot_reexecutions);
+    }
+
+    /// The certificate is equivariant under orbit permutations: a
+    /// relabeled system — processes and their family members permuted
+    /// together — certifies with identical counters. The verdict
+    /// depends on the set structure of the scan, not on which slot
+    /// holds which member.
+    #[test]
+    fn scalarset_certificate_is_equivariant_under_orbit_permutations(
+        n in 2usize..5,
+        init in 0i64..3,
+        swaps in proptest::collection::vec(any::<u64>(), 0..5),
+    ) {
+        let identity: Vec<usize> = (0..n).collect();
+        let mut perm = identity.clone();
+        for &s in &swaps {
+            perm.swap((s as usize) % n, ((s >> 16) as usize) % n);
+        }
+        let (mem, programs, spec) = mask_scan_system(n, init, &identity);
+        let (pmem, pprograms, pspec) = mask_scan_system(n, init, &perm);
+        let a = rc_runtime::lint_scalarset(
+            &mem, &programs, &spec, rc_runtime::AnalysisBudget::default());
+        let b = rc_runtime::lint_scalarset(
+            &pmem, &pprograms, &pspec, rc_runtime::AnalysisBudget::default());
+        prop_assert!(a.is_certified(), "errors: {:?}", a.errors);
+        prop_assert!(b.is_certified(), "errors: {:?}", b.errors);
+        prop_assert_eq!(a.families, b.families);
+        prop_assert_eq!(a.transpositions, b.transpositions);
+        prop_assert_eq!(a.graph_matches, b.graph_matches);
+        prop_assert_eq!(a.exchange_states, b.exchange_states);
+        prop_assert_eq!(a.warnings.len(), b.warnings.len());
+    }
+}

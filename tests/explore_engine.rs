@@ -8,14 +8,16 @@
 //! the parallel frontier's whole-level cap overshoot).
 //!
 //! CI runs this suite under `EXPLORE_TEST_THREADS` ∈ {2, 8} ×
-//! `EXPLORE_TEST_SYMMETRY` ∈ {on, off, rebind} ×
+//! `EXPLORE_TEST_SYMMETRY` ∈ {on, off, rebind, scalarset} ×
 //! `EXPLORE_TEST_POR` ∈ {on, off} (see `.github/workflows/ci.yml`);
 //! `rebind` exercises the full-state mode — input-masked systems whose
 //! per-process mask registers permute with their owners under
-//! `Program::rebind` — and the POR axis reruns the same matrix with the
-//! persistent-set + sleep-set reduction switched on (identical verdicts
-//! and weighted leaf counts; state counts are the reduction and
-//! legitimately differ). The thread counts are routed through
+//! `Program::rebind` — `scalarset` exercises the certified-family mode
+//! on the Fig. 4 `SimultaneousRc` system (whose per-round announcement
+//! registers permute as a scalarset with the process slots), and the
+//! POR axis reruns the same matrix with the persistent-set + sleep-set
+//! reduction switched on (identical verdicts and weighted leaf counts;
+//! state counts are the reduction and legitimately differ). The thread counts are routed through
 //! `ExploreConfig::workers_override` / `shards_override`, so the forced
 //! multi-worker, multi-shard pipeline really runs — even on single-core
 //! runners, where the machine-aware policy used to clamp every level to
@@ -24,7 +26,9 @@
 use rc_core::algorithms::{
     build_broken_team_rc_system, build_masked_broken_team_rc_system,
     build_masked_broken_team_rc_system_sym, build_masked_team_rc_system,
-    build_masked_team_rc_system_sym, build_team_rc_system, build_team_rc_system_sym,
+    build_masked_team_rc_system_sym, build_simultaneous_rc_system,
+    build_simultaneous_rc_system_sym, build_team_rc_system, build_team_rc_system_sym,
+    ConsensusObjectFactory,
 };
 use rc_core::{check_recording, Assignment, RecordingWitness, Team};
 use rc_runtime::sched::{
@@ -64,28 +68,41 @@ fn thread_counts() -> Vec<usize> {
 }
 
 /// A symmetry mode of the equivalence matrix: plain search, slots-only
-/// orbits (PR 4's reduction) or full-state rebind (owned mask registers
-/// permuting with their owners on the input-masked systems).
+/// orbits (PR 4's reduction), full-state rebind (owned mask registers
+/// permuting with their owners on the input-masked systems) or the
+/// certified-scalarset mode (declared register families permuting with
+/// the process slots on the Fig. 4 `SimultaneousRc` system).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum SymMode {
     Off,
     Slots,
     Rebind,
+    Scalarset,
 }
 
-/// Which symmetry modes the equivalence tests exercise: all three by
+/// Which symmetry modes the equivalence tests exercise: all four by
 /// default; the CI matrix narrows to one via `EXPLORE_TEST_SYMMETRY` ∈
-/// {`on`, `off`, `rebind`} (`on` is the slots-only mode, keeping the
-/// matrix value PR 4 introduced). Anything else fails loudly.
+/// {`on`, `off`, `rebind`, `scalarset`} (`on` is the slots-only mode,
+/// keeping the matrix value PR 4 introduced). Anything else fails
+/// loudly.
 fn symmetry_modes() -> Vec<SymMode> {
     match std::env::var("EXPLORE_TEST_SYMMETRY") {
-        Err(_) => vec![SymMode::Off, SymMode::Slots, SymMode::Rebind],
+        Err(_) => vec![
+            SymMode::Off,
+            SymMode::Slots,
+            SymMode::Rebind,
+            SymMode::Scalarset,
+        ],
         Ok(raw) => match raw.trim() {
             "on" => vec![SymMode::Slots],
             "off" => vec![SymMode::Off],
             "rebind" => vec![SymMode::Rebind],
+            "scalarset" => vec![SymMode::Scalarset],
             other => {
-                panic!("EXPLORE_TEST_SYMMETRY must be `on`, `off` or `rebind`, got {other:?}")
+                panic!(
+                    "EXPLORE_TEST_SYMMETRY must be `on`, `off`, `rebind` or \
+                     `scalarset`, got {other:?}"
+                )
             }
         },
     }
@@ -201,6 +218,12 @@ fn engines_agree_on_e2_systems() {
                 ..test_config()
             };
             for mode in symmetry_modes() {
+                // The team systems declare no scalarset family; that
+                // axis value is carried by
+                // `scalarset_on_off_equivalence_on_simultaneous_rc`.
+                if mode == SymMode::Scalarset {
+                    continue;
+                }
                 // The masked S_3/budget-2 instance is an order of
                 // magnitude bigger; the full-rebind mode covers it at
                 // budgets 0–1 (E13 measures the larger instances in
@@ -228,6 +251,7 @@ fn engines_agree_on_e2_systems() {
                         SymMode::Off => explore(&factory, &config),
                         SymMode::Slots => explore_symmetric(&sym_factory, &config),
                         SymMode::Rebind => explore_symmetric(&masked_sym_factory, &config),
+                        SymMode::Scalarset => unreachable!("skipped above"),
                     };
                     assert!(
                         matches!(serial, ExploreOutcome::Verified { .. }),
@@ -251,6 +275,7 @@ fn engines_agree_on_e2_systems() {
                                 SymMode::Rebind => {
                                     explore_symmetric(&masked_sym_factory, &threaded)
                                 }
+                                SymMode::Scalarset => unreachable!("skipped above"),
                             };
                             assert_eq!(
                                 serial, parallel,
@@ -882,6 +907,78 @@ fn rebind_on_off_equivalence_on_masked_systems() {
                 }
                 other => panic!("masked S_{n} budget {budget} must verify: {other:?}"),
             }
+        }
+    }
+}
+
+/// The certified-scalarset mode on the Fig. 4 `SimultaneousRc` system
+/// — the carrier of the `EXPLORE_TEST_SYMMETRY=scalarset` matrix value
+/// (the team systems declare no register family, so the axis needs the
+/// one catalog system that does): identical verdicts and weighted leaf
+/// counts with the scalarset orbits on vs off, strictly fewer states,
+/// byte-identical outcomes across serial and every matrix thread
+/// count — and, on the POR axis, the same contract holding *composed*
+/// with the persistent-set + sleep-set reduction (each por setting is
+/// compared against its own plain baseline, so the strict-reduction
+/// assertion proves the two reductions stack rather than cancel).
+#[test]
+fn scalarset_on_off_equivalence_on_simultaneous_rc() {
+    if !symmetry_modes().contains(&SymMode::Scalarset) {
+        // The matrix narrowed to a mode the team-system tests carry.
+        return;
+    }
+    let factory = ConsensusObjectFactory { domain: 4 };
+    // Mixed inputs: a two-process orbit beside a singleton — the family
+    // permutes under the acting orbit only, which is the harder case
+    // for `canonicalize_child` (E17 measures the larger budget-1
+    // instances in release mode).
+    let inputs = vec![Value::Int(0), Value::Int(0), Value::Int(1)];
+    let plain = || build_simultaneous_rc_system(&factory, &inputs, 4);
+    let sym = || build_simultaneous_rc_system_sym(&factory, &inputs, 4);
+    let base = ExploreConfig {
+        crash: CrashModel::simultaneous(0).after_decide(true),
+        inputs: Some(inputs.clone()),
+        analysis_id: Some("test/simultaneous-rc-n3".into()),
+        ..test_config()
+    };
+    for por in por_modes() {
+        let config = if por {
+            ExploreConfig {
+                por: true,
+                ..base.clone()
+            }
+        } else {
+            base.clone()
+        };
+        let (off_states, off_leaves) = match explore(&plain, &config) {
+            ExploreOutcome::Verified { states, leaves } => (states, leaves),
+            other => panic!("SimultaneousRc por {por} must verify: {other:?}"),
+        };
+        let mut outcomes = vec![explore_symmetric(&sym, &config)];
+        for threads in thread_counts() {
+            outcomes.push(explore_symmetric(&sym, &parallel_config(&config, threads)));
+        }
+        for on in &outcomes[1..] {
+            assert_eq!(
+                on, &outcomes[0],
+                "SimultaneousRc por {por}: scalarset outcomes must be \
+                 byte-identical across thread counts"
+            );
+        }
+        match &outcomes[0] {
+            ExploreOutcome::Verified { states, leaves } => {
+                assert_eq!(
+                    *leaves, off_leaves,
+                    "SimultaneousRc por {por}: weighted leaf counts must \
+                     match the plain engine"
+                );
+                assert!(
+                    *states < off_states,
+                    "SimultaneousRc por {por}: the certified family must \
+                     merge orbits ({states} vs {off_states})"
+                );
+            }
+            other => panic!("SimultaneousRc scalarset por {por} must verify: {other:?}"),
         }
     }
 }

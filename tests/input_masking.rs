@@ -96,6 +96,7 @@ fn run_with_changing_inputs(seed: u64) -> Vec<Value> {
                 programs[p] = make(p, nominal);
             }
             Action::CrashAll => {}
+            Action::Branch(..) => panic!("schedulers never emit Branch"),
         }
         assert!(steps < 100_000, "runaway execution");
     }
