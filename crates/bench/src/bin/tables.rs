@@ -1,6 +1,6 @@
-//! Prints every experiment table (E1–E17); pass experiment ids to select
+//! Prints every experiment table (E1–E18); pass experiment ids to select
 //! a subset, `--fast` for smaller sample counts, `--snapshot` (with e11,
-//! e12, e13, e15, e16 and e17) to refresh `BENCH_explore.json`, `--list` to print
+//! e12, e13, e15, e16, e17 and e18) to refresh `BENCH_explore.json`, `--list` to print
 //! the experiment ids one per line (CI diffs that against
 //! EXPERIMENTS.md), and `lint` to run the E14 catalog audit — access
 //! declarations plus the POR ample-set soundness lint — as a gate (exit
@@ -9,7 +9,7 @@
 //! ```sh
 //! cargo run -p rc-bench --release --bin tables           # everything
 //! cargo run -p rc-bench --release --bin tables -- e4 e5  # a subset
-//! cargo run -p rc-bench --release --bin tables -- e11 e12 e13 e15 e16 e17 --fast --snapshot
+//! cargo run -p rc-bench --release --bin tables -- e11 e12 e13 e15 e16 e17 e18 --fast --snapshot
 //! cargo run -p rc-bench --release --bin tables -- --list
 //! cargo run -p rc-bench --release --bin tables -- lint
 //! ```
@@ -128,16 +128,22 @@ fn main() {
         println!("{report}");
         e17_rows = rows;
     }
+    let mut e18_rows = Vec::new();
+    if args.wants("e18") {
+        let (report, rows) = exp::e18_swarm(fast);
+        println!("{report}");
+        e18_rows = rows;
+    }
     if args.snapshot {
-        // The CLI guarantees e11, e12, e13, e15, e16 and e17 are all
-        // selected. The path is the workspace root, resolved from this
-        // crate's manifest so the snapshot lands in the same place
+        // The CLI guarantees e11, e12, e13, e15, e16, e17 and e18 are
+        // all selected. The path is the workspace root, resolved from
+        // this crate's manifest so the snapshot lands in the same place
         // regardless of cwd.
         let path = Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
             .join("BENCH_explore.json");
         let json = exp::snapshot_json(
-            &e11_rows, &e12_rows, &e13_rows, &e15_rows, &e16_rows, &e17_rows,
+            &e11_rows, &e12_rows, &e13_rows, &e15_rows, &e16_rows, &e17_rows, &e18_rows,
         );
         match std::fs::write(&path, json) {
             Ok(()) => println!("snapshot written to {}", path.display()),

@@ -9,7 +9,7 @@
 /// Every valid experiment id, in printing order.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Parsed `tables` arguments.
@@ -101,13 +101,15 @@ where
             && parsed.wants("e13")
             && parsed.wants("e15")
             && parsed.wants("e16")
-            && parsed.wants("e17"))
+            && parsed.wants("e17")
+            && parsed.wants("e18"))
     {
         return Err(
             "--snapshot records the E11 engine sweep, the E12 symmetry sweep, the E13 \
              full-state sweep, the E15 partial-order-reduction sweep, the E16 \
-             storage-tier sweep and the E17 scalarset-symmetry sweep, but e11, e12, \
-             e13, e15, e16 and e17 are not all among the selected experiment ids"
+             storage-tier sweep, the E17 scalarset-symmetry sweep and the E18 swarm \
+             sweep, but e11, e12, e13, e15, e16, e17 and e18 are not all among the \
+             selected experiment ids"
                 .into(),
         );
     }
@@ -138,13 +140,14 @@ mod tests {
             "e15",
             "e16",
             "e17",
+            "e18",
             "--fast",
             "--snapshot",
         ])
         .expect("valid");
         assert!(args.fast && args.snapshot);
         assert!(args.wants("e4") && args.wants("e11") && args.wants("e12") && args.wants("e13"));
-        assert!(args.wants("e15") && args.wants("e16") && args.wants("e17"));
+        assert!(args.wants("e15") && args.wants("e16") && args.wants("e17") && args.wants("e18"));
         assert!(!args.wants("e1"));
     }
 
@@ -164,6 +167,7 @@ mod tests {
             "e15",
             "e16",
             "e17",
+            "e18",
             "--snapshot",
             "--list",
         ])
@@ -198,9 +202,9 @@ mod tests {
     /// silent-no-op shape as the unknown-id bug, so it is rejected too.
     /// (E15 joined the snapshot set with the schema-2 `e15_rows`; E16
     /// joined with the schema-3 `e16_rows`; E17 with the schema-4
-    /// `e17_rows`.)
+    /// `e17_rows`; E18 with the schema-5 `e18_rows`.)
     #[test]
-    fn snapshot_requires_e11_through_e17_in_the_selection() {
+    fn snapshot_requires_e11_through_e18_in_the_selection() {
         let err = parse_args(["e4", "--snapshot"]).expect_err("must reject");
         assert!(err.contains("e11"), "{err}");
         assert!(err.contains("e12"), "{err}");
@@ -208,19 +212,34 @@ mod tests {
         assert!(err.contains("e15"), "{err}");
         assert!(err.contains("e16"), "{err}");
         assert!(err.contains("e17"), "{err}");
-        let err = parse_args(["e11", "--snapshot"]).expect_err("e12/e13/e15/e16/e17 missing");
+        assert!(err.contains("e18"), "{err}");
+        let err = parse_args(["e11", "--snapshot"]).expect_err("e12..e18 missing");
         assert!(err.contains("e12"), "{err}");
-        let err = parse_args(["e11", "e12", "--snapshot"]).expect_err("e13/e15/e16/e17 missing");
+        let err = parse_args(["e11", "e12", "--snapshot"]).expect_err("e13..e18 missing");
         assert!(err.contains("e13"), "{err}");
-        let err = parse_args(["e11", "e12", "e13", "--snapshot"]).expect_err("e15/e16/e17 missing");
+        let err = parse_args(["e11", "e12", "e13", "--snapshot"]).expect_err("e15..e18 missing");
         assert!(err.contains("e15"), "{err}");
         let err =
-            parse_args(["e11", "e12", "e13", "e15", "--snapshot"]).expect_err("e16/e17 missing");
+            parse_args(["e11", "e12", "e13", "e15", "--snapshot"]).expect_err("e16..e18 missing");
         assert!(err.contains("e16"), "{err}");
-        let err =
-            parse_args(["e11", "e12", "e13", "e15", "e16", "--snapshot"]).expect_err("e17 missing");
+        let err = parse_args(["e11", "e12", "e13", "e15", "e16", "--snapshot"])
+            .expect_err("e17/e18 missing");
         assert!(err.contains("e17"), "{err}");
-        assert!(parse_args(["e4", "e11", "e12", "e13", "e15", "e16", "e17", "--snapshot"]).is_ok());
+        let err = parse_args(["e11", "e12", "e13", "e15", "e16", "e17", "--snapshot"])
+            .expect_err("e18 missing");
+        assert!(err.contains("e18"), "{err}");
+        assert!(parse_args([
+            "e4",
+            "e11",
+            "e12",
+            "e13",
+            "e15",
+            "e16",
+            "e17",
+            "e18",
+            "--snapshot"
+        ])
+        .is_ok());
         assert!(
             parse_args(["--snapshot"]).is_ok(),
             "empty selection runs everything"
@@ -247,6 +266,7 @@ mod tests {
                 "e15",
                 "e16",
                 "e17",
+                "e18",
                 "--snapshot",
             ],
         ] {

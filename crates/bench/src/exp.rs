@@ -1,4 +1,4 @@
-//! The experiments (E1–E15); each returns a rendered report.
+//! The experiments (E1–E18); each returns a rendered report.
 
 use crate::table::Table;
 use rand::rngs::StdRng;
@@ -27,14 +27,14 @@ use rc_spec::types::{Cas, Sn, Stack, Tn};
 use rc_spec::{Operation, TypeHandle, Value};
 use std::sync::Arc;
 
-fn sn_witness(n: usize) -> (TypeHandle, RecordingWitness) {
+pub(crate) fn sn_witness(n: usize) -> (TypeHandle, RecordingWitness) {
     let sn = Sn::new(n);
     let a = Assignment::split(Sn::q0(), vec![Sn::op_a()], vec![Sn::op_b(); n - 1]);
     let w = check_recording(&sn, &a).expect("S_n witness");
     (Arc::new(sn), w)
 }
 
-fn team_inputs(w: &Assignment) -> Vec<Value> {
+pub(crate) fn team_inputs(w: &Assignment) -> Vec<Value> {
     w.teams
         .iter()
         .map(|t| match t {
@@ -2577,7 +2577,190 @@ pub fn e17_scalarset_symmetry(fast: bool) -> (String, Vec<E17Row>) {
     (report, rows)
 }
 
-/// Renders the E11 + E12 + E13 + E15 + E16 + E17 rows as the
+/// One catalog system of the E18 swarm-verification sweep.
+#[derive(Clone, Debug)]
+pub struct E18Row {
+    /// Swarm catalog id (`swarm run --system <id>`).
+    pub system: String,
+    /// The system's default crash adversary, in the `swarm --crash`
+    /// spec grammar (`none`, `independent:<b>[:after-decide]`, …).
+    pub crash: String,
+    /// Per-decision crash probability of the seeded scheduler.
+    pub crash_prob: f64,
+    /// Seeds swept (the range starts at seed 0).
+    pub seeds: u64,
+    /// Worker threads the sweep used (the deterministic columns are
+    /// independent of this; asserted inside the experiment).
+    pub threads: usize,
+    /// Distinct final memory+program states over all runs — an exact
+    /// set cardinality via the packed visited-set tables, not a sketch.
+    pub distinct_finals: usize,
+    /// Violating seeds found (0 on every correct system; asserted).
+    pub violations: usize,
+    /// Smallest violating seed, when any — `swarm replay --seed N`
+    /// reproduces it byte-identically.
+    pub first_violating_seed: Option<u64>,
+    /// Action count of that seed's replayed schedule.
+    pub original_len: Option<usize>,
+    /// Action count of its 1-minimal shrunken witness (delta-debugged,
+    /// re-verified through the witness-log replay path).
+    pub min_witness: Option<usize>,
+    /// Wall-clock milliseconds (machine-dependent).
+    pub millis: f64,
+    /// Executions per second (machine-dependent).
+    pub runs_per_sec: f64,
+}
+
+/// E18: the swarm-verification sweep — every system of the swarm
+/// catalog under its default adversary, seeded schedules fanned across
+/// all cores (DESIGN.md §3, *Swarm verification & schedule shrinking*).
+///
+/// Where E11–E17 verify exhaustively up to a frontier, E18 samples
+/// *past* it: millions of independent seeded executions whose verdicts
+/// extend the exhaustive result probabilistically. The experiment
+/// asserts the service's contract end to end:
+///
+/// - every correct catalog system sweeps clean under its default
+///   adversary, and the seeded `broken-team-rc` bug is found;
+/// - the first violating seed replays deterministically to the same
+///   violation ([`replay_seed`](rc_runtime::replay_seed));
+/// - its schedule shrinks to a 1-minimal, crash-legal subsequence that
+///   still violates and re-verifies through the witness log;
+/// - the deterministic aggregates (violating seeds, distinct final
+///   states, step/crash totals) are byte-identical across thread
+///   counts (checked at 1 vs. all cores on the first catalog entry).
+///
+/// `fast` sweeps 200 seeds per system (the tier-1 suite); the full run
+/// sweeps 20 000 (the snapshot row set). The ≥10⁶-seed headline run is
+/// recorded in `EXPERIMENTS.md` §E18 from `swarm run` directly — at
+/// that scale the row would dominate the `tables` wall clock.
+///
+/// # Panics
+///
+/// Panics if any of the asserted contract clauses above fails.
+pub fn e18_swarm(fast: bool) -> (String, Vec<E18Row>) {
+    use crate::swarm_catalog::swarm_catalog;
+    use crate::swarm_cli::crash_spec;
+    use rc_runtime::swarm::swarm;
+    use rc_runtime::{is_subsequence, replay_seed, shrink_schedule};
+
+    let seeds: u64 = if fast { 200 } else { 20_000 };
+    let systems = swarm_catalog();
+    let mut rows: Vec<E18Row> = Vec::new();
+    for (i, sys) in systems.iter().enumerate() {
+        let config = sys.config(0, seeds, 0);
+        let report = swarm(sys.factory(), &config);
+        assert_eq!(report.runs, seeds, "{}: every seed ran", sys.id);
+        assert_eq!(
+            report.violations.is_empty(),
+            !sys.expect_violation,
+            "{}: verdict under the default adversary",
+            sys.id
+        );
+        if i == 0 {
+            // Thread-count invariance, spot-checked on the first entry
+            // at a reduced seed count: the deterministic summary of a
+            // 1-thread sweep must be byte-identical to a parallel one.
+            let small = 100.min(seeds);
+            let serial = sys.config(0, small, 1);
+            let wide = sys.config(0, small, 0);
+            assert_eq!(
+                swarm(sys.factory(), &serial).deterministic_summary(),
+                swarm(sys.factory(), &wide).deterministic_summary(),
+                "{}: aggregates depend on thread count",
+                sys.id
+            );
+        }
+        let (mut first_seed, mut original_len, mut min_witness) = (None, None, None);
+        if let Some(v) = report.violations.first() {
+            let rerun = replay_seed(sys.factory(), &config, v.seed);
+            assert_eq!(
+                rerun.verdict.as_ref().err(),
+                Some(&v.violation),
+                "{}: seed {} must replay to the reported violation",
+                sys.id,
+                v.seed
+            );
+            let schedule = rerun.execution.trace.to_actions();
+            let shrunk = shrink_schedule(sys.factory(), &config, &schedule)
+                .expect("a replayed safety violation must shrink");
+            assert!(
+                is_subsequence(&shrunk.schedule, &schedule),
+                "{}: witness is a subsequence",
+                sys.id
+            );
+            assert!(shrunk.witness_verified, "{}: witness-log replay", sys.id);
+            first_seed = Some(v.seed);
+            original_len = Some(schedule.len());
+            min_witness = Some(shrunk.schedule.len());
+        }
+        rows.push(E18Row {
+            system: sys.id.to_string(),
+            crash: crash_spec(&sys.crash),
+            crash_prob: sys.crash_prob,
+            seeds,
+            threads: report.threads_used,
+            distinct_finals: report.distinct_final_states,
+            violations: report.violations.len(),
+            first_violating_seed: first_seed,
+            original_len,
+            min_witness,
+            millis: report.elapsed_millis,
+            runs_per_sec: report.runs_per_sec,
+        });
+    }
+    let mut t = Table::new(&[
+        "system",
+        "adversary",
+        "p",
+        "seeds",
+        "thr",
+        "finals",
+        "viol",
+        "first",
+        "witness",
+        "runs/s",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.system.clone(),
+            r.crash.clone(),
+            format!("{:.2}", r.crash_prob),
+            r.seeds.to_string(),
+            r.threads.to_string(),
+            r.distinct_finals.to_string(),
+            r.violations.to_string(),
+            r.first_violating_seed
+                .map_or_else(|| "—".into(), |s| s.to_string()),
+            match (r.original_len, r.min_witness) {
+                (Some(o), Some(m)) => format!("{o}→{m}"),
+                _ => "—".into(),
+            },
+            format!("{:.0}", r.runs_per_sec),
+        ]);
+    }
+    let bug = rows
+        .iter()
+        .find(|r| r.violations > 0)
+        .expect("the seeded bug row exists");
+    let report = format!(
+        "E18 — swarm verification over the catalog: seeded random \
+         schedules under each system's default adversary, aggregates \
+         thread-count-invariant (asserted), every correct system clean \
+         and the Section 3.1 seeded bug surfaced at seed {} with its \
+         schedule delta-debugged {} → {} actions into a crash-legal, \
+         witness-log-verified 1-minimal counterexample:\n{}\
+         replay/shrink any reported seed: `swarm replay --system <id> \
+         --seed N`, `swarm shrink --system <id> --seed N`.\n",
+        bug.first_violating_seed.expect("violating seed recorded"),
+        bug.original_len.expect("original length recorded"),
+        bug.min_witness.expect("witness length recorded"),
+        t.render(),
+    );
+    (report, rows)
+}
+
+/// Renders the E11 + E12 + E13 + E15 + E16 + E17 + E18 rows as the
 /// `BENCH_explore.json` snapshot: a stable, diff-friendly record of the
 /// engine trajectory across PRs. The host core count is recorded so
 /// trajectory points from different machines stay comparable (the fused
@@ -2585,13 +2768,16 @@ pub fn e17_scalarset_symmetry(fast: bool) -> (String, Vec<E17Row>) {
 /// `bench-record` job regenerates the snapshot on a multi-core runner
 /// and uploads it as an artifact.
 ///
-/// Schema migration: version 4 adds `e17_rows` (the scalarset-symmetry
-/// sweep) and a `mode` field on `e16_rows` (the por+rebind tier-parity
-/// rows), and requires `e17` in the regenerate command; version 3 added
-/// `e16_rows` (the storage-tier scaling sweep); version 2 added the
-/// `schema` field itself plus `e15_rows` (the POR sweep). Earlier row
-/// sets are unchanged in shape at each step, so an old reader keeps
-/// working on a newer file as long as it ignores unknown keys.
+/// Schema migration: version 5 adds `e18_rows` (the swarm-verification
+/// sweep; `first_violating_seed`, `original_len` and `min_witness` are
+/// `null` on clean rows) and requires `e18` in the regenerate command;
+/// version 4 added `e17_rows` (the scalarset-symmetry sweep) and a
+/// `mode` field on `e16_rows` (the por+rebind tier-parity rows);
+/// version 3 added `e16_rows` (the storage-tier scaling sweep);
+/// version 2 added the `schema` field itself plus `e15_rows` (the POR
+/// sweep). Earlier row sets are unchanged in shape at each step, so an
+/// old reader keeps working on a newer file as long as it ignores
+/// unknown keys.
 pub fn snapshot_json(
     e11: &[E11Row],
     e12: &[E12Row],
@@ -2599,13 +2785,14 @@ pub fn snapshot_json(
     e15: &[E15Row],
     e16: &[E16Row],
     e17: &[E17Row],
+    e18: &[E18Row],
 ) -> String {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": 4,\n");
+    out.push_str("  \"schema\": 5,\n");
     out.push_str(
         "  \"regenerate\": \"cargo run -p rc-bench --release --bin tables -- e11 e12 e13 e15 \
-         e16 e17 --snapshot\",\n",
+         e16 e17 e18 --snapshot\",\n",
     );
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str(
@@ -2738,6 +2925,29 @@ pub fn snapshot_json(
             r.states_per_sec,
             r.reduction,
             if i + 1 == e17.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"e18_rows\": [\n");
+    let or_null = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |x| x.to_string());
+    for (i, r) in e18.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"crash\": \"{}\", \"crash_prob\": {:.2}, \
+             \"seeds\": {}, \"threads\": {}, \"distinct_finals\": {}, \"violations\": {}, \
+             \"first_violating_seed\": {}, \"original_len\": {}, \"min_witness\": {}, \
+             \"millis\": {:.1}, \"runs_per_sec\": {:.0}}}{}\n",
+            r.system,
+            r.crash,
+            r.crash_prob,
+            r.seeds,
+            r.threads,
+            r.distinct_finals,
+            r.violations,
+            or_null(r.first_violating_seed),
+            or_null(r.original_len.map(|v| v as u64)),
+            or_null(r.min_witness.map(|v| v as u64)),
+            r.millis,
+            r.runs_per_sec,
+            if i + 1 == e18.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -3221,12 +3431,13 @@ mod tests {
         assert!(report.contains("E13"));
         assert!(rows.iter().any(|r| r.mode == "rebind" && r.reduction > 1.0));
         assert!(rows.iter().any(|r| r.mode == "slots"));
-        let json = snapshot_json(&[], &[], &rows, &[], &[], &[]);
-        assert!(json.contains("\"schema\": 4"));
+        let json = snapshot_json(&[], &[], &rows, &[], &[], &[], &[]);
+        assert!(json.contains("\"schema\": 5"));
         assert!(json.contains("\"e13_rows\""));
         assert!(json.contains("\"e15_rows\""));
         assert!(json.contains("\"e16_rows\""));
         assert!(json.contains("\"e17_rows\""));
+        assert!(json.contains("\"e18_rows\""));
         assert!(json.contains("masked S_4"));
     }
 
@@ -3245,7 +3456,7 @@ mod tests {
         assert!(rows.iter().any(|r| r.system.starts_with("SimultaneousRc")
             && r.mode == "por"
             && r.reduction > 1.0));
-        let json = snapshot_json(&[], &[], &[], &rows, &[], &[]);
+        let json = snapshot_json(&[], &[], &[], &rows, &[], &[], &[]);
         assert!(json.contains("\"e15_rows\""));
         assert!(json.contains("por+rebind"));
     }
@@ -3267,7 +3478,7 @@ mod tests {
             .iter()
             .any(|r| r.tier == "packed+spill" && r.verdict == "Verified" && r.spilled_mb > 0.0));
         assert!(rows.iter().any(|r| r.max_bytes > 0));
-        let json = snapshot_json(&[], &[], &[], &[], &rows, &[]);
+        let json = snapshot_json(&[], &[], &[], &[], &rows, &[], &[]);
         assert!(json.contains("\"e16_rows\""));
         assert!(json.contains("packed+filter"));
         assert!(
@@ -3302,9 +3513,30 @@ mod tests {
             both.states < scal.states,
             "POR composes on top of the scalarset reduction"
         );
-        let json = snapshot_json(&[], &[], &[], &[], &[], &rows);
+        let json = snapshot_json(&[], &[], &[], &[], &[], &rows, &[]);
         assert!(json.contains("\"e17_rows\""));
         assert!(json.contains("scalarset+por"));
+    }
+
+    /// The swarm sweep's contract clauses (correct systems clean, the
+    /// seeded bug found / replayed / shrunk / witness-verified,
+    /// thread-count-invariant aggregates) are asserted inside the
+    /// experiment; the fast sweep exercises them, and the snapshot
+    /// renderer writes `null` for the witness columns of clean rows.
+    #[test]
+    fn swarm_sweep_runs_fast() {
+        let (report, rows) = e18_swarm(true);
+        assert!(report.contains("E18"));
+        assert!(rows
+            .iter()
+            .any(|r| r.system == "broken-team-rc" && r.violations > 0 && r.min_witness.is_some()));
+        assert!(rows
+            .iter()
+            .all(|r| r.system == "broken-team-rc" || r.violations == 0));
+        let json = snapshot_json(&[], &[], &[], &[], &[], &[], &rows);
+        assert!(json.contains("\"e18_rows\""));
+        assert!(json.contains("\"min_witness\": null"));
+        assert!(json.contains("broken-team-rc"));
     }
 
     /// The per-state footprint analysis behind the declaration lint, the

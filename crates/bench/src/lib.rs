@@ -20,18 +20,30 @@
 //! | E13 | full-state symmetry (`Program::rebind`) sweep | [`exp::e13_full_state_symmetry`] |
 //! | E14 | catalog access-declaration + POR ample-set audit (`tables lint`) | [`exp::e14_catalog_lint`] |
 //! | E15 | partial-order reduction sweep (POR / rebind / both) | [`exp::e15_por_reduction`] |
+//! | E16 | tiered, bit-packed state-storage scaling sweep | [`exp::e16_storage_scaling`] |
+//! | E17 | scalarset-symmetry sweep for Fig. 4 | [`exp::e17_scalarset_symmetry`] |
+//! | E18 | swarm verification: seeded schedules past the exhaustive frontier | [`exp::e18_swarm`] |
 //!
 //! Run `cargo run -p rc-bench --release --bin tables` for all tables, or
 //! `--bin tables -- e4 e5` for a subset (unknown ids exit non-zero with
 //! the valid list). `--bin tables -- lint` runs the E14 audit as a CI
 //! gate (exit non-zero if any catalog system fails). Criterion timing
-//! benches live in `benches/`; the E11–E15 engine trajectory is
+//! benches live in `benches/`; the E11–E18 engine trajectory is
 //! snapshotted in `BENCH_explore.json` via
-//! `--bin tables -- e11 e12 e13 e15 --snapshot`.
+//! `--bin tables -- e11 e12 e13 e15 e16 e17 e18 --snapshot`.
+//!
+//! The `swarm` binary is the randomized counterpart of `tables`: it
+//! sweeps millions of deterministically seeded schedules over the
+//! [`swarm_catalog`] systems, replays any reported seed and
+//! delta-debugs failing schedules to minimal witnesses (see
+//! `swarm list` / `swarm run` / `swarm replay` / `swarm shrink`, and
+//! `swarm smoke` for the bounded CI tier).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod exp;
+pub mod swarm_catalog;
+pub mod swarm_cli;
 pub mod table;

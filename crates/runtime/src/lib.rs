@@ -54,6 +54,14 @@
 //!   ([`SymmetrySpec::with_scalarset`]) is scanned as an
 //!   order-insensitive fold, which licenses permuting the family with
 //!   the process slots during symmetry reduction.
+//! * [`swarm`] — randomized swarm verification past the exhaustive
+//!   frontier: millions of deterministically-seeded schedules fanned
+//!   across all cores ([`swarm()`](swarm::swarm)), exact
+//!   distinct-final-state coverage through the packed tables,
+//!   per-seed deterministic replay ([`replay_seed`]) and
+//!   delta-debugging of violating schedules down to 1-minimal,
+//!   [`CrashModel`]-legal witnesses that re-verify through the
+//!   [`WitnessLog`] replay path ([`shrink_schedule`]).
 //! * [`threaded`] — a real-thread executor (`parking_lot` mutex per object,
 //!   one OS thread per process) for wall-clock benchmarks.
 //! * [`verify`] — agreement/validity/termination checkers for consensus-
@@ -105,6 +113,7 @@ mod trace;
 
 pub mod footprint;
 pub mod sched;
+pub mod swarm;
 pub mod threaded;
 pub mod verify;
 
@@ -141,5 +150,13 @@ pub use program::{Pid, Program, Rebinding, Step};
 pub use storage::{
     delta_decode, delta_encode, hash_packed, pack_key, pack_key_into, packed_key_len, unpack_key,
     KeyFilter, PackedStateTable, StorageTier, WitnessLog,
+};
+// The swarm service: the engine (`swarm`/`swarm_with_progress`), the
+// per-seed replay and the schedule shrinker, re-exported flat for the
+// `swarm` binary and the invariant test suites.
+pub use swarm::{
+    is_subsequence, replay_schedule, replay_seed, shrink_schedule, swarm_with_progress,
+    ScheduleReplay, SeedRun, ShrinkError, ShrunkWitness, SwarmConfig, SwarmFactory, SwarmProgress,
+    SwarmReport, SwarmViolation,
 };
 pub use trace::{Trace, TraceEvent};

@@ -16,6 +16,48 @@
 //! The bounded-*exhaustive* adversary lives in
 //! [`explore`](crate::explore), not here: it enumerates every schedule
 //! rather than choosing one.
+//!
+//! ## The scheduler contract
+//!
+//! Three rules every implementation in this module obeys; downstream
+//! layers — most heavily the swarm service ([`swarm`](crate::swarm)) —
+//! are built on them:
+//!
+//! 1. **Seed determinism.** A scheduler's decisions are a pure function
+//!    of its construction parameters and the sequence of
+//!    [`SchedContext`]s it has been shown. There is no hidden entropy:
+//!    [`RandomScheduler`] draws from a PRNG seeded *only* by
+//!    [`RandomSchedulerConfig::seed`], so equal seeds replay
+//!    byte-identical executions — which is what lets the swarm engine
+//!    report a bare seed number as a complete, replayable
+//!    counterexample, on any machine and at any thread count.
+//! 2. **Crash-budget interaction.** Schedulers never invent crash
+//!    legality rules: every crash decision is routed through the shared
+//!    [`CrashModel`](crate::CrashModel) — budget via
+//!    `exhausted(ctx.crashes_injected)` (the context's counter, not a
+//!    private one, so external crash injections count against the same
+//!    budget), victim eligibility via `may_crash`/`crash_candidates`,
+//!    and simultaneous wipes via `may_crash_all`. A schedule emitted by
+//!    any scheduler here is therefore `CrashModel`-legal by
+//!    construction, and the swarm shrinker can re-check that same
+//!    legality on every delta-debugging candidate without consulting
+//!    the scheduler that produced the original.
+//! 3. **Termination signalling.** Returning `None` ends the execution;
+//!    [`RandomScheduler`] does so only when every process's current
+//!    run has decided ([`SchedContext::all_decided`]) and its coin
+//!    declines a further (policy-legal) post-decide crash — so a
+//!    seeded run is finite whenever the algorithm under test is
+//!    recoverable wait-free and the crash budget is finite.
+//!    ([`run`](crate::run)'s `max_actions` bound backstops algorithms
+//!    that are not.)
+//!
+//! Schedulers emit only [`Action::Step`], [`Action::Crash`] and
+//! [`Action::CrashAll`] — never [`Action::Branch`], which is the
+//! exhaustive engines' private vocabulary for internal nondeterminism
+//! (schedulers resolve it deterministically through
+//! [`Program::step`](crate::Program::step)). The swarm shrinker leans
+//! on this too: a `Branch` in a shrink candidate marks the candidate
+//! ill-formed rather than adversarial.
 
 mod budgeted;
 mod random;

@@ -1,0 +1,151 @@
+//! End-to-end properties of the swarm verification service: the
+//! determinism contract (equal seeds give byte-identical aggregates at
+//! any thread count) and the shrinker invariants (a shrunken schedule
+//! still violates, is crash-legal, and is a subsequence of the
+//! original), exercised through the same catalog the `swarm` binary
+//! sweeps.
+
+use proptest::prelude::*;
+use rc_bench::swarm_catalog::{find_system, swarm_catalog, SwarmSystem};
+use rc_runtime::swarm::swarm;
+use rc_runtime::{is_subsequence, replay_schedule, replay_seed, shrink_schedule, CrashModel};
+use std::sync::OnceLock;
+
+/// The catalog, built once: witness search (`find_recording_witness`,
+/// `check_recording`) is the expensive part and is identical across
+/// tests.
+fn catalog() -> &'static [SwarmSystem] {
+    static CATALOG: OnceLock<Vec<SwarmSystem>> = OnceLock::new();
+    CATALOG.get_or_init(swarm_catalog)
+}
+
+fn system(id: &str) -> &'static SwarmSystem {
+    let systems = catalog();
+    &systems[find_system(systems, id).unwrap_or_else(|| panic!("{id} in catalog"))]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The swarm determinism contract: the same seed range produces
+    /// byte-identical deterministic aggregates (violating seeds,
+    /// distinct-final-state count, step/crash totals) regardless of
+    /// worker thread count — workers race for seed chunks, but every
+    /// aggregate is a commutative fold over per-seed results.
+    #[test]
+    fn equal_seeds_give_byte_identical_runs_across_thread_counts(
+        seed_start in 0u64..100_000,
+        seeds in 1u64..48,
+        threads_a in 1usize..5,
+        threads_b in 1usize..5,
+    ) {
+        let sys = system("team-rc-s3");
+        let a = swarm(sys.factory(), &sys.config(seed_start, seeds, threads_a));
+        let b = swarm(sys.factory(), &sys.config(seed_start, seeds, threads_b));
+        prop_assert_eq!(a.deterministic_summary(), b.deterministic_summary());
+        prop_assert_eq!(a.runs, seeds);
+    }
+
+    /// Replaying a seed from a sweep reproduces the sweep's verdict for
+    /// it exactly — on the seeded bug, where both verdicts occur.
+    #[test]
+    fn replayed_seeds_reproduce_the_sweep_verdict(seed in 0u64..600) {
+        let sys = system("broken-team-rc");
+        let config = sys.config(seed, 1, 1);
+        let report = swarm(sys.factory(), &config);
+        let rerun = replay_seed(sys.factory(), &config, seed);
+        match report.violations.first() {
+            Some(v) => {
+                prop_assert_eq!(v.seed, seed);
+                prop_assert_eq!(rerun.verdict.as_ref().err(), Some(&v.violation));
+            }
+            None => prop_assert!(rerun.verdict.is_ok()),
+        }
+    }
+}
+
+/// The shrinker invariants, over every violating seed of a crash-free
+/// sweep of the seeded bug: the minimal witness is a subsequence of the
+/// replayed schedule, is [`CrashModel`]-legal, still exhibits the same
+/// violation kind when replayed, and re-verifies through the witness
+/// log.
+#[test]
+fn shrunken_witnesses_violate_legally_as_subsequences() {
+    let sys = system("broken-team-rc");
+    let config = sys.config(0, 200, 0);
+    let report = swarm(sys.factory(), &config);
+    assert!(
+        !report.violations.is_empty(),
+        "the seeded bug surfaces within 200 seeds"
+    );
+    for v in &report.violations {
+        let rerun = replay_seed(sys.factory(), &config, v.seed);
+        let schedule = rerun.execution.trace.to_actions();
+        let shrunk =
+            shrink_schedule(sys.factory(), &config, &schedule).expect("safety violations shrink");
+        assert!(
+            is_subsequence(&shrunk.schedule, &schedule),
+            "seed {}: witness must be a subsequence of the original",
+            v.seed
+        );
+        assert!(shrunk.schedule.len() <= schedule.len());
+        assert!(
+            shrunk.witness_verified,
+            "seed {}: witness-log replay",
+            v.seed
+        );
+        assert_eq!(
+            std::mem::discriminant(&shrunk.violation),
+            std::mem::discriminant(&v.violation),
+            "seed {}: the violation kind is preserved",
+            v.seed
+        );
+        let replay = replay_schedule(sys.factory(), &config, &shrunk.schedule, false);
+        assert!(replay.legal, "seed {}: witness must be crash-legal", v.seed);
+        let verdict =
+            rc_runtime::verify::check_consensus_execution(&replay.execution, sys.inputs.as_slice());
+        assert_eq!(
+            verdict.as_ref().err().map(std::mem::discriminant),
+            Some(std::mem::discriminant(&v.violation)),
+            "seed {}: the witness still violates when replayed cold",
+            v.seed
+        );
+    }
+}
+
+/// The same invariants when the adversary injects crashes: overriding
+/// the seeded bug's crash-free default with an independent-crash model
+/// puts `Crash` actions into the violating schedules, and the shrunken
+/// witness must stay legal under that model's budget.
+#[test]
+fn shrinking_respects_the_crash_model_budget() {
+    let sys = system("broken-team-rc");
+    let mut config = sys.config(0, 150, 0);
+    config.crash = CrashModel::independent(2).after_decide(true);
+    config.crash_prob = 0.2;
+    let report = swarm(sys.factory(), &config);
+    assert!(
+        !report.violations.is_empty(),
+        "the bug still surfaces under crashes"
+    );
+    let mut crashes_seen = 0usize;
+    for v in report.violations.iter().take(5) {
+        let rerun = replay_seed(sys.factory(), &config, v.seed);
+        let schedule = rerun.execution.trace.to_actions();
+        crashes_seen += usize::from(rerun.execution.crashes > 0);
+        let shrunk =
+            shrink_schedule(sys.factory(), &config, &schedule).expect("safety violations shrink");
+        assert!(
+            is_subsequence(&shrunk.schedule, &schedule),
+            "seed {}",
+            v.seed
+        );
+        let replay = replay_schedule(sys.factory(), &config, &shrunk.schedule, true);
+        assert!(replay.legal, "seed {}: budget-legal witness", v.seed);
+        assert!(replay.witness_verified, "seed {}", v.seed);
+    }
+    assert!(
+        crashes_seen > 0,
+        "at least one checked schedule actually contains crashes"
+    );
+}
